@@ -1,0 +1,93 @@
+//! B5 — spatial operator micro-benchmarks: the Distance, topological and
+//! Intersection operators the paper adds to PRML, across geometry sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdwp_geometry::{distance, intersection, predicates, Coord, Geometry, LineString, Point, Polygon};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn zigzag_line(vertices: usize) -> LineString {
+    let coords: Vec<Coord> = (0..vertices)
+        .map(|i| Coord::new(i as f64, if i % 2 == 0 { 0.0 } else { 1.0 }))
+        .collect();
+    LineString::new(coords).expect("at least two vertices")
+}
+
+fn regular_polygon(vertices: usize) -> Polygon {
+    let ring: Vec<Coord> = (0..vertices)
+        .map(|i| {
+            let a = i as f64 / vertices as f64 * std::f64::consts::TAU;
+            Coord::new(50.0 + 30.0 * a.cos(), 50.0 + 30.0 * a.sin())
+        })
+        .collect();
+    Polygon::new(ring, Vec::new()).expect("valid ring")
+}
+
+fn bench_geometry_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_geometry_operators");
+
+    let a: Geometry = Point::new(0.0, 0.0).into();
+    let b: Geometry = Point::new(3.0, 4.0).into();
+    group.bench_function("distance/point-point", |bench| {
+        bench.iter(|| distance::euclidean(black_box(&a), black_box(&b)))
+    });
+
+    for vertices in [16usize, 128, 1024] {
+        let line: Geometry = zigzag_line(vertices).into();
+        let point: Geometry = Point::new(vertices as f64 / 2.0, 5.0).into();
+        group.bench_with_input(
+            BenchmarkId::new("distance/point-line", vertices),
+            &vertices,
+            |bench, _| bench.iter(|| distance::euclidean(black_box(&point), black_box(&line))),
+        );
+        let other: Geometry = zigzag_line(vertices).into();
+        group.bench_with_input(
+            BenchmarkId::new("intersection/line-line", vertices),
+            &vertices,
+            |bench, _| bench.iter(|| intersection::intersection(black_box(&line), black_box(&other))),
+        );
+    }
+
+    for vertices in [8usize, 64, 256] {
+        let poly_a: Geometry = regular_polygon(vertices).into();
+        let poly_b: Geometry = {
+            let mut ring = regular_polygon(vertices);
+            let shifted: Vec<Coord> = ring
+                .exterior()
+                .iter()
+                .map(|c| Coord::new(c.x + 20.0, c.y))
+                .collect();
+            ring = Polygon::new(shifted, Vec::new()).unwrap();
+            ring.into()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("predicate/intersects-polygons", vertices),
+            &vertices,
+            |bench, _| bench.iter(|| predicates::intersects(black_box(&poly_a), black_box(&poly_b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("predicate/inside-point-polygon", vertices),
+            &vertices,
+            |bench, _| {
+                let p: Geometry = Point::new(50.0, 50.0).into();
+                bench.iter(|| predicates::inside(black_box(&p), black_box(&poly_a)))
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_geometry_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! B6 — interest-tracking throughput: how fast SpatialSelection events can
+//! be ingested (each one fires the IntAirportCity acquisition rule and
+//! updates the user model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdwp_bench::{engine_for, manager_location, scenario_at_scale};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_interest_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_interest_tracking");
+    let scenario = scenario_at_scale(1);
+    let mut engine = engine_for(&scenario);
+    let session = engine
+        .start_session("regional-manager", Some(manager_location(&scenario)))
+        .expect("session starts");
+
+    group.bench_function("record_spatial_selection", |b| {
+        b.iter(|| {
+            engine
+                .record_spatial_selection(session.id, black_box("GeoMD.Store.City"), None)
+                .unwrap()
+        })
+    });
+
+    // The same event delivered with an explicit expression (exact matching
+    // against the rule's condition text).
+    group.bench_function("record_with_expression_match", |b| {
+        b.iter(|| {
+            engine
+                .record_spatial_selection(
+                    session.id,
+                    black_box("GeoMD.Store.City"),
+                    Some("Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20"),
+                )
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_interest_tracking
+}
+criterion_main!(benches);

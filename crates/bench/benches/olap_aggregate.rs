@@ -1,0 +1,77 @@
+//! B8 — OLAP aggregation ablation: the same roll-up executed (a) with no
+//! restriction, (b) through an attribute slice, (c) through a spatial
+//! dimension filter and (d) through a personalized instance view, to show
+//! where the pre-computed selection pays off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdwp_bench::default_scenario;
+use sdwp_geometry::Point;
+use sdwp_olap::{AttributeRef, Filter, InstanceView, Query, QueryEngine};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_olap_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B8_olap_aggregation_ablation");
+    let scenario = default_scenario();
+    let cube = &scenario.cube;
+    let engine = QueryEngine::new();
+    let base_query = Query::over("Sales")
+        .group_by(AttributeRef::new("Store", "City", "name"))
+        .measure("UnitSales")
+        .measure("StoreSales");
+
+    group.bench_function("unrestricted", |b| {
+        b.iter(|| engine.execute(cube, black_box(&base_query)).unwrap())
+    });
+
+    let sliced = base_query
+        .clone()
+        .filter_dimension("Store", Filter::eq("State.name", "North-West"));
+    group.bench_function("attribute-slice", |b| {
+        b.iter(|| engine.execute(cube, black_box(&sliced)).unwrap())
+    });
+
+    let store0 = scenario.retail.stores[0].location;
+    let spatial = base_query.clone().filter_dimension(
+        "Store",
+        Filter::within_km("Store.geometry", Point::new(store0.x(), store0.y()).into(), 25.0),
+    );
+    group.bench_function("spatial-filter-25km", |b| {
+        b.iter(|| engine.execute(cube, black_box(&spatial)).unwrap())
+    });
+
+    // A personalized view pre-computed once (what SelectInstance produces).
+    let selected: Vec<usize> = scenario
+        .retail
+        .stores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.location.distance(&store0) < 25.0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut view = InstanceView::unrestricted();
+    view.select_dimension_members("Store", selected);
+    group.bench_function("personalized-view-25km", |b| {
+        b.iter(|| {
+            engine
+                .execute_with_view(cube, black_box(&base_query), &view)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_olap_aggregate
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! B1 — the paper's central qualitative claim, quantified: analysing
+//! through a personalized view avoids exploring the large SDW. Compares
+//! roll-up query latency over the personalized view against the full cube
+//! as the warehouse grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdwp_bench::{engine_for, manager_location, scenario_at_scale, STORE_SCALES};
+use sdwp_olap::{AttributeRef, Query};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_personalized_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_personalized_vs_full_query");
+    let query = Query::over("Sales")
+        .group_by(AttributeRef::new("Store", "City", "name"))
+        .measure("UnitSales");
+
+    for scale in STORE_SCALES {
+        let scenario = scenario_at_scale(scale);
+        let facts = scenario.retail.sales.len();
+        let mut engine = engine_for(&scenario);
+        let session = engine
+            .start_session("regional-manager", Some(manager_location(&scenario)))
+            .expect("session starts");
+
+        group.bench_with_input(
+            BenchmarkId::new("personalized-view", facts),
+            &facts,
+            |b, _| b.iter(|| engine.query(session.id, black_box(&query)).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("full-cube", facts), &facts, |b, _| {
+            b.iter(|| engine.query_unpersonalized(black_box(&query)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_personalized_vs_full
+}
+criterion_main!(benches);

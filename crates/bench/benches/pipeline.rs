@@ -1,0 +1,53 @@
+//! F1 — the full Fig. 1 pipeline: session start (schema rules + instance
+//! rules + view construction) as the warehouse grows.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sdwp_bench::{engine_for, manager_location, scenario_at_scale, STORE_SCALES};
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F1_personalization_pipeline");
+    for scale in STORE_SCALES {
+        let scenario = scenario_at_scale(scale);
+        let stores = scenario.retail.stores.len();
+        let location = manager_location(&scenario);
+        group.bench_with_input(
+            BenchmarkId::new("session_start", stores),
+            &stores,
+            |b, _| {
+                b.iter_batched(
+                    || engine_for(&scenario),
+                    |mut engine| {
+                        engine
+                            .start_session("regional-manager", Some(location.clone()))
+                            .unwrap()
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        // Scenario generation itself (data loading), for context.
+        group.bench_with_input(
+            BenchmarkId::new("scenario_generation", stores),
+            &scale,
+            |b, &scale| {
+                b.iter(|| sdwp_bench::scenario_at_scale(scale))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

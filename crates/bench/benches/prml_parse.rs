@@ -1,0 +1,71 @@
+//! B4 — PRML parsing throughput: the paper corpus and synthetically grown
+//! rule sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdwp_prml::corpus::ALL_PAPER_RULES;
+use sdwp_prml::{parse_rules, print_rule};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// Builds a corpus of `n` distinct rules by renaming copies of the paper's
+/// rules.
+fn corpus_of(n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        let base = ALL_PAPER_RULES[i % ALL_PAPER_RULES.len()];
+        let renamed = base.replacen(
+            "Rule:",
+            &format!("Rule:generated{i}_"),
+            1,
+        );
+        out.push_str(&renamed);
+        out.push('\n');
+    }
+    out
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_prml_parse");
+
+    let paper = ALL_PAPER_RULES.join("\n");
+    group.throughput(Throughput::Bytes(paper.len() as u64));
+    group.bench_function("paper-corpus", |b| {
+        b.iter(|| parse_rules(black_box(&paper)).unwrap())
+    });
+
+    for n in [16usize, 64, 256] {
+        let text = corpus_of(n);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("synthetic-rules", n), &n, |b, _| {
+            b.iter(|| parse_rules(black_box(&text)).unwrap())
+        });
+    }
+
+    // Round trip: parse + pretty-print (the cost of persisting rule
+    // catalogues).
+    let rules = parse_rules(&paper).unwrap();
+    group.bench_function("pretty-print-paper-corpus", |b| {
+        b.iter(|| {
+            rules
+                .iter()
+                .map(|r| print_rule(black_box(r)).len())
+                .sum::<usize>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_parse
+}
+criterion_main!(benches);

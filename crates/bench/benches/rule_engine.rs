@@ -1,0 +1,69 @@
+//! B3 — rule-engine throughput: session-start firing cost as the number of
+//! registered rules grows.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sdwp_bench::{manager_location, scenario_at_scale};
+use sdwp_prml::corpus::{EXAMPLE_5_1_ADD_SPATIALITY, EXAMPLE_5_2_5KM_STORES};
+use sdwp_prml::{EvalContext, RuleEngine, RuntimeEvent};
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+/// Builds a rule engine with `n` rules: renamed copies of the two
+/// session-start rules of the paper (so every rule matches the event).
+fn engine_with_rules(n: usize) -> RuleEngine {
+    let mut engine = RuleEngine::new();
+    for i in 0..n {
+        let base = if i % 2 == 0 {
+            EXAMPLE_5_1_ADD_SPATIALITY
+        } else {
+            EXAMPLE_5_2_5KM_STORES
+        };
+        let renamed = base.replacen("Rule:", &format!("Rule:rule{i}_"), 1);
+        engine.add_rules_text(&renamed).unwrap();
+    }
+    engine
+}
+
+fn bench_rule_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3_rule_engine_session_start");
+    let scenario = scenario_at_scale(1);
+    let layers = scenario.layer_source();
+    let location = manager_location(&scenario);
+
+    for rules in [2usize, 8, 32] {
+        let engine = engine_with_rules(rules);
+        group.bench_with_input(BenchmarkId::new("fire", rules), &rules, |b, _| {
+            b.iter_batched(
+                || {
+                    (
+                        scenario.cube.clone(),
+                        scenario.manager.clone(),
+                        sdwp_user::Session::start_at(1, "regional-manager", location.clone()),
+                    )
+                },
+                |(mut cube, mut profile, session)| {
+                    let mut ctx = EvalContext::new(&mut cube, &mut profile)
+                        .with_session(&session)
+                        .with_layer_source(&layers)
+                        .with_parameter("threshold", 2.0);
+                    engine.fire(&RuntimeEvent::SessionStart, &mut ctx).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_rule_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! B7 — schema-personalization cost: applying the Example 5.1 schema rule
+//! (AddLayer + BecomeSpatial) to conceptual models of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::BatchSize;
+use sdwp_geometry::GeometricType;
+use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, Schema, SchemaBuilder};
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// Builds a schema with `dimensions` dimensions of `levels` levels each.
+fn schema_of(dimensions: usize, levels: usize) -> Schema {
+    let mut builder = SchemaBuilder::new("Synthetic");
+    let mut fact = FactBuilder::new("Sales").measure("UnitSales", AttributeType::Float);
+    for d in 0..dimensions {
+        let mut dim = DimensionBuilder::new(format!("Dim{d}"));
+        for l in 0..levels {
+            dim = dim.simple_level(format!("Dim{d}Level{l}"), "name");
+        }
+        builder = builder.dimension(dim.build());
+        fact = fact.dimension(format!("Dim{d}"));
+    }
+    builder.fact(fact.build()).build().expect("synthetic schema is valid")
+}
+
+fn bench_schema_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_schema_personalization");
+    for (dimensions, levels) in [(4usize, 3usize), (16, 4), (64, 6)] {
+        let schema = schema_of(dimensions, levels);
+        let elements = schema.element_count();
+        let target_level = "Dim0Level0".to_string();
+        group.bench_with_input(
+            BenchmarkId::new("addlayer_becomespatial", elements),
+            &elements,
+            |b, _| {
+                b.iter_batched(
+                    || schema.clone(),
+                    |mut schema| {
+                        schema.add_layer("Airport", GeometricType::Point).unwrap();
+                        schema
+                            .become_spatial(&target_level, GeometricType::Point)
+                            .unwrap();
+                        schema
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("schema_diff", elements),
+            &elements,
+            |b, _| {
+                let mut personalized = schema.clone();
+                personalized.add_layer("Airport", GeometricType::Point).unwrap();
+                personalized
+                    .become_spatial(&target_level, GeometricType::Point)
+                    .unwrap();
+                b.iter(|| sdwp_model::SchemaDiff::between(&schema, &personalized))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("validate", elements),
+            &elements,
+            |b, _| b.iter(|| sdwp_model::validate_schema(&schema).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_schema_rules
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! B2 — instance-rule evaluation cost: selecting the stores within 5 km of
+//! the user, comparing a linear scan against the R-tree and grid indexes,
+//! as the number of stores grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdwp_bench::{manager_location, scenario_at_scale, STORE_SCALES};
+use sdwp_geometry::distance::DistanceMetric;
+use sdwp_geometry::Geometry;
+use sdwp_olap::spatial;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_spatial_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2_spatial_filter_5km");
+    for scale in STORE_SCALES {
+        let scenario = scenario_at_scale(scale);
+        let stores = scenario.retail.stores.len();
+        let user: Geometry = manager_location(&scenario).geometry.clone();
+        let cube = &scenario.cube;
+        let rtree = spatial::build_level_rtree(cube, "Store", "Store").unwrap();
+        let grid = spatial::build_level_grid(cube, "Store", "Store", 5.0).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("linear-scan", stores), &stores, |b, _| {
+            b.iter(|| {
+                spatial::members_within_distance(
+                    cube,
+                    "Store",
+                    "Store",
+                    black_box(&user),
+                    5.0,
+                    DistanceMetric::Euclidean,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rtree", stores), &stores, |b, _| {
+            b.iter(|| {
+                spatial::members_within_distance_indexed(
+                    cube,
+                    "Store",
+                    "Store",
+                    &rtree,
+                    black_box(&user),
+                    5.0,
+                    DistanceMetric::Euclidean,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grid", stores), &stores, |b, _| {
+            b.iter(|| {
+                spatial::members_within_distance_indexed(
+                    cube,
+                    "Store",
+                    "Store",
+                    &grid,
+                    black_box(&user),
+                    5.0,
+                    DistanceMetric::Euclidean,
+                )
+                .unwrap()
+            })
+        });
+        // Index construction cost (amortised once per cube load).
+        group.bench_with_input(BenchmarkId::new("rtree-build", stores), &stores, |b, _| {
+            b.iter(|| spatial::build_level_rtree(black_box(cube), "Store", "Store").unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_spatial_filter
+}
+criterion_main!(benches);

@@ -1,0 +1,456 @@
+//! The personalization engine: the executable version of the paper's Fig. 1
+//! process.
+
+use crate::error::CoreError;
+use crate::report::PersonalizationReport;
+use crate::session::{SessionManager, SessionState};
+use sdwp_model::{Schema, SchemaDiff};
+use sdwp_olap::{Cube, InstanceView, Query, QueryEngine, QueryResult};
+use sdwp_prml::{
+    check_rules, EvalContext, FireReport, LayerSource, NoExternalLayers, Rule, RuleClass,
+    RuleEngine, RuntimeEvent,
+};
+use sdwp_user::{LocationContext, ProfileStore, Session, SessionId, UserProfile};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A handle to a started session: the id plus the report of what the
+/// personalization rules did at session start.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    /// The session id (use it for queries, selections and logout).
+    pub id: SessionId,
+    /// What happened when the session-start rules fired.
+    pub report: PersonalizationReport,
+}
+
+/// The personalization engine.
+///
+/// One engine instance serves one spatial data warehouse (one [`Cube`]) and
+/// any number of users and sessions. Schema personalization mutates the
+/// engine's cube schema (additively — layers and spatial levels only grow),
+/// while instance personalization is kept per session in an
+/// [`InstanceView`], so different decision makers can hold different
+/// selections concurrently.
+pub struct PersonalizationEngine {
+    cube: Cube,
+    original_schema: Schema,
+    profiles: ProfileStore,
+    rules: RuleEngine,
+    parameters: BTreeMap<String, f64>,
+    layer_source: Arc<dyn LayerSource + Send + Sync>,
+    sessions: SessionManager,
+    query_engine: QueryEngine,
+}
+
+impl PersonalizationEngine {
+    /// Creates an engine over a cube, with no external layer source.
+    pub fn new(cube: Cube) -> Self {
+        PersonalizationEngine::with_layer_source(cube, Arc::new(NoExternalLayers))
+    }
+
+    /// Creates an engine over a cube with an external layer source (the
+    /// provider of airport / train / … layer instances).
+    pub fn with_layer_source(cube: Cube, layer_source: Arc<dyn LayerSource + Send + Sync>) -> Self {
+        let original_schema = cube.schema().clone();
+        PersonalizationEngine {
+            cube,
+            original_schema,
+            profiles: ProfileStore::new(),
+            rules: RuleEngine::new(),
+            parameters: BTreeMap::new(),
+            layer_source,
+            sessions: SessionManager::new(),
+            query_engine: QueryEngine::new(),
+        }
+    }
+
+    /// Registers (or replaces) a decision maker's profile.
+    pub fn register_user(&mut self, profile: UserProfile) {
+        self.profiles.upsert(profile);
+    }
+
+    /// The profile store (shared, thread-safe).
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
+    /// Adds PRML rules from text, validating them (as a set, together with
+    /// the already-registered rules) against the cube's schema.
+    pub fn add_rules_text(&mut self, text: &str) -> Result<Vec<RuleClass>, CoreError> {
+        let new_rules = sdwp_prml::parse_rules(text)?;
+        let existing = self.rules.rules().len();
+        let mut all: Vec<Rule> = self.rules.rules().to_vec();
+        all.extend(new_rules.iter().cloned());
+        let classes = check_rules(&all, self.cube.schema())?;
+        for rule in new_rules {
+            self.rules.add_rule(rule);
+        }
+        Ok(classes[existing..].to_vec())
+    }
+
+    /// Defines a designer parameter referenced by rules (e.g. `threshold`).
+    pub fn set_parameter(&mut self, name: impl Into<String>, value: f64) {
+        self.parameters.insert(name.into().to_lowercase(), value);
+    }
+
+    /// The registered rules.
+    pub fn rules(&self) -> &[Rule] {
+        self.rules.rules()
+    }
+
+    /// The current (possibly personalized) cube.
+    pub fn cube(&self) -> &Cube {
+        &self.cube
+    }
+
+    /// The schema as it was before any personalization.
+    pub fn original_schema(&self) -> &Schema {
+        &self.original_schema
+    }
+
+    /// The difference between the original MD schema and the current
+    /// (personalized) GeoMD schema — i.e. what the schema rules did.
+    pub fn schema_diff(&self) -> SchemaDiff {
+        SchemaDiff::between(&self.original_schema, self.cube.schema())
+    }
+
+    /// Starts an analysis session for a registered user, firing the
+    /// SessionStart rules (schema personalization first, then instance
+    /// selection) and building the session's personalized view.
+    pub fn start_session(
+        &mut self,
+        user_id: &str,
+        location: Option<LocationContext>,
+    ) -> Result<SessionHandle, CoreError> {
+        let id = self.sessions.allocate_id();
+        let session = match location {
+            Some(loc) => Session::start_at(id, user_id, loc),
+            None => Session::start(id, user_id),
+        };
+        let mut state = SessionState::new(session);
+        let report = self.fire_event(user_id, &state.session, &RuntimeEvent::SessionStart)?;
+        Self::apply_selection_effects(&report, &mut state.view);
+        state.effects.extend(report.effects.iter().cloned());
+        let personalization_report = self.build_report(user_id, &state, &report)?;
+        self.sessions.insert(state);
+        Ok(SessionHandle {
+            id,
+            report: personalization_report,
+        })
+    }
+
+    /// Records that the user of a session selected instances of a GeoMD
+    /// element under a spatial condition (the SpatialSelection tracking
+    /// event), firing the matching acquisition rules.
+    pub fn record_spatial_selection(
+        &mut self,
+        session_id: SessionId,
+        element: &str,
+        expression: Option<&str>,
+    ) -> Result<FireReport, CoreError> {
+        let (user_id, session_snapshot) = {
+            let state = self.sessions.get_mut(session_id)?;
+            if !state.is_active() {
+                return Err(CoreError::UnknownSession {
+                    session: session_id,
+                });
+            }
+            state.session.record_spatial_selection(
+                element,
+                expression.unwrap_or_default(),
+            );
+            (state.session.user_id.clone(), state.session.clone())
+        };
+        let event = RuntimeEvent::SpatialSelection {
+            element: element.to_string(),
+            expression: expression.map(str::to_string),
+        };
+        let report = self.fire_event(&user_id, &session_snapshot, &event)?;
+        let state = self.sessions.get_mut(session_id)?;
+        Self::apply_selection_effects(&report, &mut state.view);
+        state.effects.extend(report.effects.iter().cloned());
+        Ok(report)
+    }
+
+    /// Ends a session, firing the SessionEnd rules.
+    pub fn end_session(&mut self, session_id: SessionId) -> Result<FireReport, CoreError> {
+        let (user_id, session_snapshot) = {
+            let state = self.sessions.get_mut(session_id)?;
+            state.session.end();
+            (state.session.user_id.clone(), state.session.clone())
+        };
+        let report = self.fire_event(&user_id, &session_snapshot, &RuntimeEvent::SessionEnd)?;
+        let state = self.sessions.get_mut(session_id)?;
+        state.effects.extend(report.effects.iter().cloned());
+        Ok(report)
+    }
+
+    /// Executes an OLAP query through a session's personalized view.
+    pub fn query(
+        &self,
+        session_id: SessionId,
+        query: &Query,
+    ) -> Result<QueryResult, CoreError> {
+        let state = self.sessions.get(session_id)?;
+        if !state.is_active() {
+            return Err(CoreError::UnknownSession {
+                session: session_id,
+            });
+        }
+        Ok(self
+            .query_engine
+            .execute_with_view(&self.cube, query, &state.view)?)
+    }
+
+    /// Executes an OLAP query against the full, unpersonalized cube
+    /// (the baseline the paper's approach avoids exposing to users).
+    pub fn query_unpersonalized(&self, query: &Query) -> Result<QueryResult, CoreError> {
+        Ok(self.query_engine.execute(&self.cube, query)?)
+    }
+
+    /// The personalized view of a session.
+    pub fn session_view(&self, session_id: SessionId) -> Result<&InstanceView, CoreError> {
+        Ok(&self.sessions.get(session_id)?.view)
+    }
+
+    /// The SUS session object of a session.
+    pub fn session(&self, session_id: SessionId) -> Result<&Session, CoreError> {
+        Ok(&self.sessions.get(session_id)?.session)
+    }
+
+    /// The profile of a registered user (a clone of the stored state).
+    pub fn user_profile(&self, user_id: &str) -> Result<UserProfile, CoreError> {
+        Ok(self.profiles.get(user_id)?)
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Fires an event for a user: loads the profile, builds an evaluation
+    /// context over the engine's cube, runs the rules and writes the
+    /// (possibly updated) profile back.
+    fn fire_event(
+        &mut self,
+        user_id: &str,
+        session: &Session,
+        event: &RuntimeEvent,
+    ) -> Result<FireReport, CoreError> {
+        let mut profile = self.profiles.get(user_id)?;
+        let layer_source = Arc::clone(&self.layer_source);
+        let mut ctx = EvalContext::new(&mut self.cube, &mut profile)
+            .with_session(session)
+            .with_layer_source(layer_source.as_ref());
+        for (name, value) in &self.parameters {
+            ctx = ctx.with_parameter(name.clone(), *value);
+        }
+        let report = self.rules.fire(event, &mut ctx)?;
+        drop(ctx);
+        self.profiles.upsert(profile);
+        Ok(report)
+    }
+
+    /// Applies the SelectInstance effects of a fire report to a view:
+    /// each rule's selection restricts the view conjunctively.
+    fn apply_selection_effects(report: &FireReport, view: &mut InstanceView) {
+        for effect in &report.effects {
+            for (dimension, members) in &effect.selections {
+                if let Some(fact) = dimension.strip_prefix("__fact__") {
+                    view.select_fact_rows(fact.to_string(), members.iter().copied());
+                } else {
+                    view.select_dimension_members(dimension.clone(), members.iter().copied());
+                }
+            }
+        }
+    }
+
+    fn build_report(
+        &self,
+        user_id: &str,
+        state: &SessionState,
+        fire: &FireReport,
+    ) -> Result<PersonalizationReport, CoreError> {
+        let mut visible_facts = BTreeMap::new();
+        let mut total_facts = BTreeMap::new();
+        for fact in &self.cube.schema().facts {
+            let total = self.cube.fact_table(&fact.name)?.table.len();
+            let visible = state.view.visible_fact_count(&self.cube, &fact.name)?;
+            total_facts.insert(fact.name.clone(), total);
+            visible_facts.insert(fact.name.clone(), visible);
+        }
+        Ok(PersonalizationReport {
+            user: user_id.to_string(),
+            rules_matched: fire.rules_matched,
+            rules_with_effects: fire
+                .effects
+                .iter()
+                .filter(|e| {
+                    e.changed_schema() || e.selected_instances() || e.set_contents > 0
+                })
+                .map(|e| e.rule.clone())
+                .collect(),
+            schema_diff: self.schema_diff(),
+            selected_members: fire
+                .effects
+                .iter()
+                .flat_map(|e| e.selections.iter())
+                .map(|(dim, rows)| (dim.clone(), rows.len()))
+                .collect(),
+            visible_facts,
+            total_facts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdwp_datagen::{PaperScenario, ScenarioConfig};
+    use sdwp_olap::AttributeRef;
+    use sdwp_prml::corpus::*;
+
+    fn engine() -> (PersonalizationEngine, PaperScenario) {
+        let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+        let layer_source = Arc::new(scenario.layer_source());
+        let mut engine =
+            PersonalizationEngine::with_layer_source(scenario.cube.clone(), layer_source);
+        engine.register_user(scenario.manager.clone());
+        engine.set_parameter("threshold", 2.0);
+        for rule in ALL_PAPER_RULES {
+            engine.add_rules_text(rule).unwrap();
+        }
+        (engine, scenario)
+    }
+
+    /// A location right next to the first store, so the 5 km instance rule
+    /// always selects at least one store.
+    fn near_first_store(scenario: &PaperScenario) -> LocationContext {
+        let store = &scenario.retail.stores[0];
+        LocationContext::at_point("office", store.location.x() + 0.5, store.location.y())
+    }
+
+    #[test]
+    fn session_start_personalizes_schema_and_instances() {
+        let (mut engine, scenario) = engine();
+        let handle = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        // Schema personalization (rule 5.1): Airport layer + spatial Store.
+        let diff = engine.schema_diff();
+        assert!(diff
+            .added_layers
+            .iter()
+            .any(|(name, _)| name == "Airport"));
+        assert!(diff
+            .levels_become_spatial
+            .iter()
+            .any(|(_, level, _)| level == "Store"));
+        // Instance personalization (rule 5.2): the Store dimension is
+        // restricted in the session view.
+        let view = engine.session_view(handle.id).unwrap();
+        assert!(!view.is_unrestricted());
+        assert!(handle.report.rules_matched >= 3);
+    }
+
+    #[test]
+    fn queries_through_the_view_see_fewer_facts() {
+        let (mut engine, scenario) = engine();
+        let handle = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales");
+        let personalized = engine.query(handle.id, &query).unwrap();
+        let full = engine.query_unpersonalized(&query).unwrap();
+        assert!(personalized.facts_scanned <= full.facts_scanned);
+        assert!(personalized.column_total(0) <= full.column_total(0) + 1e-9);
+    }
+
+    #[test]
+    fn interest_tracking_across_sessions() {
+        let (mut engine, scenario) = engine();
+        let handle = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        // The user repeatedly selects cities near airports.
+        for _ in 0..3 {
+            engine
+                .record_spatial_selection(handle.id, "GeoMD.Store.City", None)
+                .unwrap();
+        }
+        let profile = engine.user_profile("regional-manager").unwrap();
+        assert_eq!(profile.interest("AirportCity").unwrap().degree, 3.0);
+        engine.end_session(handle.id).unwrap();
+        // The next session start exceeds the threshold: the Train layer is
+        // added by rule TrainAirportCity.
+        let second = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        assert!(engine.cube().schema().layer("Train").is_some());
+        assert!(second
+            .report
+            .schema_diff
+            .added_layers
+            .iter()
+            .any(|(name, _)| name == "Train"));
+    }
+
+    #[test]
+    fn unknown_users_and_sessions_error() {
+        let (mut engine, _scenario) = engine();
+        assert!(engine.start_session("ghost", None).is_err());
+        assert!(engine.session_view(99).is_err());
+        assert!(engine
+            .record_spatial_selection(99, "GeoMD.Store.City", None)
+            .is_err());
+        assert!(engine.end_session(99).is_err());
+        let query = Query::over("Sales").measure("UnitSales");
+        assert!(engine.query(99, &query).is_err());
+    }
+
+    #[test]
+    fn rules_are_validated_on_registration() {
+        let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+        let mut engine = PersonalizationEngine::new(scenario.cube.clone());
+        let err = engine
+            .add_rules_text(
+                "Rule:bad When SessionStart do \
+                 If (MD.Sales.Warehouse.name = 'x') then AddLayer('A', POINT) endIf endWhen",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Rule(_)));
+        assert!(engine.rules().is_empty());
+    }
+
+    #[test]
+    fn non_matching_role_gets_no_personalization() {
+        let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+        let mut engine = PersonalizationEngine::with_layer_source(
+            scenario.cube.clone(),
+            Arc::new(scenario.layer_source()),
+        );
+        engine.register_user(sdwp_user::UserProfile::new("analyst", "Ana"));
+        engine.set_parameter("threshold", 2.0);
+        for rule in ALL_PAPER_RULES {
+            engine.add_rules_text(rule).unwrap();
+        }
+        // The analyst logs in from far outside the sales region.
+        let handle = engine
+            .start_session(
+                "analyst",
+                Some(LocationContext::at_point("remote", 5_000.0, 5_000.0)),
+            )
+            .unwrap();
+        // Rule 5.1 did not fire for this role: no schema personalization.
+        assert!(engine.schema_diff().added_layers.is_empty());
+        assert!(engine.schema_diff().levels_become_spatial.is_empty());
+        // Rule 5.2 is role-independent, but no store lies within 5 km of
+        // the analyst, so the personalized view hides every fact.
+        let view = engine.session_view(handle.id).unwrap();
+        assert!(!view.is_unrestricted());
+        assert_eq!(
+            view.visible_fact_count(engine.cube(), "Sales").unwrap(),
+            0
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Errors surfaced by the personalization engine.
+
+use std::fmt;
+
+/// Errors raised by the personalization engine and web facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A rule failed to parse, validate or evaluate.
+    Rule(sdwp_prml::PrmlError),
+    /// The OLAP layer rejected an operation.
+    Olap(sdwp_olap::OlapError),
+    /// The user model rejected an operation.
+    User(sdwp_user::UserError),
+    /// The conceptual model rejected an operation.
+    Model(sdwp_model::ModelError),
+    /// A session id is unknown or the session has ended.
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
+    },
+    /// A request was malformed.
+    BadRequest {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rule(e) => write!(f, "rule error: {e}"),
+            CoreError::Olap(e) => write!(f, "OLAP error: {e}"),
+            CoreError::User(e) => write!(f, "user model error: {e}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::UnknownSession { session } => {
+                write!(f, "unknown or ended session {session}")
+            }
+            CoreError::BadRequest { message } => write!(f, "bad request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<sdwp_prml::PrmlError> for CoreError {
+    fn from(e: sdwp_prml::PrmlError) -> Self {
+        CoreError::Rule(e)
+    }
+}
+
+impl From<sdwp_olap::OlapError> for CoreError {
+    fn from(e: sdwp_olap::OlapError) -> Self {
+        CoreError::Olap(e)
+    }
+}
+
+impl From<sdwp_user::UserError> for CoreError {
+    fn from(e: sdwp_user::UserError) -> Self {
+        CoreError::User(e)
+    }
+}
+
+impl From<sdwp_model::ModelError> for CoreError {
+    fn from(e: sdwp_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = sdwp_prml::PrmlError::eval("r", "boom").into();
+        assert!(e.to_string().contains("rule error"));
+        let e: CoreError = sdwp_olap::OlapError::InvalidQuery {
+            message: "no measures".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("OLAP error"));
+        let e: CoreError = sdwp_user::UserError::NotFound {
+            kind: "user",
+            id: "u".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("user model error"));
+        let e: CoreError = sdwp_model::ModelError::Invalid {
+            message: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("model error"));
+        assert!(CoreError::UnknownSession { session: 9 }
+            .to_string()
+            .contains("9"));
+        assert!(CoreError::BadRequest {
+            message: "missing user".into()
+        }
+        .to_string()
+        .contains("missing user"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Session bookkeeping: one personalized view per analysis session.
+
+use crate::error::CoreError;
+use sdwp_olap::InstanceView;
+use sdwp_prml::RuleEffect;
+use sdwp_user::{Session, SessionId, SessionStatus};
+use std::collections::BTreeMap;
+
+/// The per-session state kept by the engine: the user-model session object,
+/// the personalized instance view built by instance rules, and the effects
+/// of every rule that fired during the session.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The SUS «Session» instance (events, location context, status).
+    pub session: Session,
+    /// The personalized view every query of this session goes through.
+    pub view: InstanceView,
+    /// Effects of the rules that fired during this session, in firing order.
+    pub effects: Vec<RuleEffect>,
+}
+
+impl SessionState {
+    /// Creates the state for a freshly started session.
+    pub fn new(session: Session) -> Self {
+        SessionState {
+            session,
+            view: InstanceView::unrestricted(),
+            effects: Vec::new(),
+        }
+    }
+
+    /// Returns `true` while the session is active.
+    pub fn is_active(&self) -> bool {
+        self.session.status == SessionStatus::Active
+    }
+}
+
+/// Allocates session ids and stores per-session state.
+#[derive(Debug, Clone, Default)]
+pub struct SessionManager {
+    next_id: SessionId,
+    sessions: BTreeMap<SessionId, SessionState>,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        SessionManager {
+            next_id: 1,
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Allocates the next session id.
+    pub fn allocate_id(&mut self) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Registers a new session state.
+    pub fn insert(&mut self, state: SessionState) -> SessionId {
+        let id = state.session.id;
+        self.sessions.insert(id, state);
+        id
+    }
+
+    /// Borrows a session state.
+    pub fn get(&self, id: SessionId) -> Result<&SessionState, CoreError> {
+        self.sessions
+            .get(&id)
+            .ok_or(CoreError::UnknownSession { session: id })
+    }
+
+    /// Mutably borrows a session state.
+    pub fn get_mut(&mut self, id: SessionId) -> Result<&mut SessionState, CoreError> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownSession { session: id })
+    }
+
+    /// Number of tracked sessions (active and ended).
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Returns `true` when no session has been started yet.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Ids of the currently active sessions.
+    pub fn active_sessions(&self) -> Vec<SessionId> {
+        self.sessions
+            .iter()
+            .filter(|(_, s)| s.is_active())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut manager = SessionManager::new();
+        assert!(manager.is_empty());
+        let id = manager.allocate_id();
+        assert_eq!(id, 1);
+        let state = SessionState::new(Session::start(id, "u1"));
+        assert!(state.is_active());
+        assert!(state.view.is_unrestricted());
+        manager.insert(state);
+        assert_eq!(manager.len(), 1);
+        assert_eq!(manager.active_sessions(), vec![1]);
+        assert!(manager.get(1).is_ok());
+        assert!(manager.get(2).is_err());
+        manager.get_mut(1).unwrap().session.end();
+        assert!(manager.active_sessions().is_empty());
+        assert_eq!(manager.allocate_id(), 2);
+    }
+}

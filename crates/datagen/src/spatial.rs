@@ -1,0 +1,145 @@
+//! Generation of the synthetic geography: cities, points around cities,
+//! airports and train lines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdwp_geometry::{Coord, LineString, Point};
+
+/// Creates the deterministic RNG for a seed.
+pub fn rng_for_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generates `n` city centres uniformly over a square region of side
+/// `region_km`.
+pub fn generate_cities(rng: &mut StdRng, n: usize, region_km: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..region_km.max(f64::MIN_POSITIVE)),
+                rng.gen_range(0.0..region_km.max(f64::MIN_POSITIVE)),
+            )
+        })
+        .collect()
+}
+
+/// Generates a point scattered around a centre with an approximately normal
+/// spread of `spread_km` (sum of uniforms approximation, clamped to the
+/// region).
+pub fn scatter_around(rng: &mut StdRng, center: &Point, spread_km: f64, region_km: f64) -> Point {
+    let normal_ish = |rng: &mut StdRng| -> f64 {
+        // Irwin–Hall approximation of a standard normal.
+        let sum: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+        sum - 6.0
+    };
+    let x = (center.x() + normal_ish(rng) * spread_km).clamp(0.0, region_km);
+    let y = (center.y() + normal_ish(rng) * spread_km).clamp(0.0, region_km);
+    Point::new(x, y)
+}
+
+/// Picks airport locations: one near each of the first `n` cities (offset a
+/// few kilometres from the city centre).
+pub fn generate_airports(rng: &mut StdRng, cities: &[Point], n: usize) -> Vec<Point> {
+    cities
+        .iter()
+        .take(n.min(cities.len()))
+        .map(|c| {
+            Point::new(
+                c.x() + rng.gen_range(2.0..10.0),
+                c.y() + rng.gen_range(2.0..10.0),
+            )
+        })
+        .collect()
+}
+
+/// Builds train lines threading consecutive cities: each line visits a
+/// random contiguous run of the city list (at least two cities).
+pub fn generate_train_lines(
+    rng: &mut StdRng,
+    cities: &[Point],
+    n: usize,
+) -> Vec<LineString> {
+    if cities.len() < 2 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|_| {
+            let start = rng.gen_range(0..cities.len() - 1);
+            let max_len = cities.len() - start;
+            let len = rng.gen_range(2..=max_len.max(2).min(cities.len()));
+            let coords: Vec<Coord> = cities[start..(start + len).min(cities.len())]
+                .iter()
+                .map(|p| p.coord())
+                .collect();
+            LineString::new(coords).expect("at least two cities per line")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = rng_for_seed(1);
+        let mut b = rng_for_seed(1);
+        let ca = generate_cities(&mut a, 10, 100.0);
+        let cb = generate_cities(&mut b, 10, 100.0);
+        assert_eq!(ca, cb);
+        let mut c = rng_for_seed(2);
+        let cc = generate_cities(&mut c, 10, 100.0);
+        assert_ne!(ca, cc);
+    }
+
+    #[test]
+    fn cities_stay_in_region() {
+        let mut rng = rng_for_seed(3);
+        for city in generate_cities(&mut rng, 100, 250.0) {
+            assert!(city.x() >= 0.0 && city.x() <= 250.0);
+            assert!(city.y() >= 0.0 && city.y() <= 250.0);
+        }
+    }
+
+    #[test]
+    fn scatter_clusters_around_center() {
+        let mut rng = rng_for_seed(4);
+        let center = Point::new(50.0, 50.0);
+        let points: Vec<Point> = (0..200)
+            .map(|_| scatter_around(&mut rng, &center, 5.0, 100.0))
+            .collect();
+        let mean_distance: f64 =
+            points.iter().map(|p| p.distance(&center)).sum::<f64>() / points.len() as f64;
+        assert!(mean_distance < 20.0, "mean distance {mean_distance}");
+        for p in points {
+            assert!(p.x() >= 0.0 && p.x() <= 100.0);
+        }
+    }
+
+    #[test]
+    fn airports_near_their_cities() {
+        let mut rng = rng_for_seed(5);
+        let cities = generate_cities(&mut rng, 8, 200.0);
+        let airports = generate_airports(&mut rng, &cities, 3);
+        assert_eq!(airports.len(), 3);
+        for (airport, city) in airports.iter().zip(&cities) {
+            assert!(airport.distance(city) < 20.0);
+        }
+        // Requesting more airports than cities caps at the city count.
+        let many = generate_airports(&mut rng, &cities, 100);
+        assert_eq!(many.len(), 8);
+    }
+
+    #[test]
+    fn train_lines_have_at_least_two_vertices() {
+        let mut rng = rng_for_seed(6);
+        let cities = generate_cities(&mut rng, 12, 300.0);
+        let lines = generate_train_lines(&mut rng, &cities, 4);
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            assert!(line.len() >= 2);
+            assert!(line.length() > 0.0);
+        }
+        assert!(generate_train_lines(&mut rng, &cities[..1], 2).is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Great-circle (haversine) distance for geodetic coordinates.
+
+use crate::coord::Coord;
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Great-circle distance in kilometres between two coordinates interpreted
+/// as `(longitude, latitude)` in degrees.
+pub fn haversine_distance(a: &Coord, b: &Coord) -> f64 {
+    let lat1 = a.y.to_radians();
+    let lat2 = b.y.to_radians();
+    let dlat = (b.y - a.y).to_radians();
+    let dlon = (b.x - a.x).to_radians();
+
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Converts a kilometre distance to the approximate number of degrees of
+/// latitude it spans (useful for building geodetic search windows).
+pub fn km_to_deg_lat(km: f64) -> f64 {
+    km / (EARTH_RADIUS_KM * std::f64::consts::PI / 180.0)
+}
+
+/// Converts a kilometre distance to the approximate number of degrees of
+/// longitude it spans at the given latitude (degrees).
+pub fn km_to_deg_lon(km: f64, latitude_deg: f64) -> f64 {
+    let cos_lat = latitude_deg.to_radians().cos().abs().max(1e-12);
+    km_to_deg_lat(km) / cos_lat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = Coord::new(-0.48, 38.34); // Alicante
+        assert_eq!(haversine_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn alicante_to_lausanne() {
+        // The paper was presented at EDBT 2010 in Lausanne; the authors are
+        // in Alicante. Great-circle distance is roughly 1090-1110 km.
+        let alicante = Coord::new(-0.4810, 38.3452);
+        let lausanne = Coord::new(6.6323, 46.5197);
+        let d = haversine_distance(&alicante, &lausanne);
+        assert!(d > 1050.0 && d < 1150.0, "got {d}");
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(0.0, 1.0);
+        let d = haversine_distance(&a, &b);
+        assert!((d - 111.19).abs() < 0.5, "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Coord::new(10.0, 20.0);
+        let b = Coord::new(-30.0, 45.0);
+        assert!((haversine_distance(&a, &b) - haversine_distance(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_conversions() {
+        assert!((km_to_deg_lat(111.19) - 1.0).abs() < 0.01);
+        // Longitude degrees get wider (in degree terms) away from the equator.
+        assert!(km_to_deg_lon(100.0, 60.0) > km_to_deg_lon(100.0, 0.0));
+        // At the equator lat and lon conversions agree.
+        assert!((km_to_deg_lon(100.0, 0.0) - km_to_deg_lat(100.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Well-Known Text (WKT) parsing and serialisation.
+//!
+//! The OGC/ISO standards cited by the paper define WKT as the textual
+//! interchange format for geometries; the data generator and the examples
+//! use it to describe external layers.
+
+use crate::collection::GeometryCollection;
+use crate::coord::Coord;
+use crate::error::GeometryError;
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Serialises a geometry to WKT. The `Display` implementations already emit
+/// WKT, so this simply delegates; it exists to make intent explicit at call
+/// sites.
+pub fn to_wkt(g: &Geometry) -> String {
+    g.to_string()
+}
+
+/// Parses a WKT string into a [`Geometry`].
+///
+/// Supported tags: `POINT`, `LINESTRING`, `POLYGON`,
+/// `GEOMETRYCOLLECTION` (and `EMPTY` collections).
+pub fn parse_wkt(input: &str) -> Result<Geometry, GeometryError> {
+    let mut parser = WktParser::new(input);
+    let g = parser.parse_geometry()?;
+    parser.skip_whitespace();
+    if !parser.at_end() {
+        return Err(parser.error("trailing characters after geometry"));
+    }
+    Ok(g)
+}
+
+struct WktParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WktParser<'a> {
+    fn new(input: &'a str) -> Self {
+        WktParser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> GeometryError {
+        GeometryError::WktParse {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), GeometryError> {
+        self.skip_whitespace();
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", ch as char)))
+        }
+    }
+
+    fn parse_keyword(&mut self) -> String {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_uppercase()
+    }
+
+    fn parse_number(&mut self) -> Result<f64, GeometryError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit() || b == b'-' || b == b'+' || b == b'.' || b == b'e' || b == b'E'
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number"));
+        }
+        self.input[start..self.pos]
+            .parse::<f64>()
+            .map_err(|_| self.error("invalid number"))
+    }
+
+    fn parse_coord(&mut self) -> Result<Coord, GeometryError> {
+        let x = self.parse_number()?;
+        let y = self.parse_number()?;
+        Ok(Coord::new(x, y))
+    }
+
+    fn parse_coord_list(&mut self) -> Result<Vec<Coord>, GeometryError> {
+        self.expect(b'(')?;
+        let mut coords = vec![self.parse_coord()?];
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    coords.push(self.parse_coord()?);
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected ',' or ')'")),
+            }
+        }
+        Ok(coords)
+    }
+
+    fn parse_geometry(&mut self) -> Result<Geometry, GeometryError> {
+        let keyword = self.parse_keyword();
+        match keyword.as_str() {
+            "POINT" => {
+                self.expect(b'(')?;
+                let c = self.parse_coord()?;
+                self.expect(b')')?;
+                Ok(Geometry::Point(Point::from_coord(c)))
+            }
+            "LINESTRING" => {
+                let coords = self.parse_coord_list()?;
+                Ok(Geometry::Line(LineString::new(coords)?))
+            }
+            "POLYGON" => {
+                self.expect(b'(')?;
+                let exterior = self.parse_coord_list()?;
+                let mut interiors = Vec::new();
+                loop {
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                            interiors.push(self.parse_coord_list()?);
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.error("expected ',' or ')'")),
+                    }
+                }
+                Ok(Geometry::Polygon(Polygon::new(exterior, interiors)?))
+            }
+            "GEOMETRYCOLLECTION" => {
+                self.skip_whitespace();
+                // EMPTY collections.
+                let rest = &self.input[self.pos..];
+                if rest.to_ascii_uppercase().starts_with("EMPTY") {
+                    self.pos += "EMPTY".len();
+                    return Ok(Geometry::Collection(GeometryCollection::empty()));
+                }
+                self.expect(b'(')?;
+                let mut members = vec![self.parse_geometry()?];
+                loop {
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                            members.push(self.parse_geometry()?);
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.error("expected ',' or ')'")),
+                    }
+                }
+                Ok(Geometry::Collection(GeometryCollection::new(members)))
+            }
+            "" => Err(self.error("expected a geometry tag")),
+            other => Err(self.error(&format!("unknown geometry tag '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_point() {
+        let g = parse_wkt("POINT (1.5 -2)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(1.5, -2.0)));
+    }
+
+    #[test]
+    fn parse_point_lowercase_and_whitespace() {
+        let g = parse_wkt("  point ( 3   4 ) ").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn parse_linestring() {
+        let g = parse_wkt("LINESTRING (0 0, 1 1, 2 0)").unwrap();
+        let l = g.as_line().unwrap();
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn parse_polygon_with_hole() {
+        let g = parse_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+        )
+        .unwrap();
+        let p = g.as_polygon().unwrap();
+        assert_eq!(p.num_interiors(), 1);
+        assert!((p.area() - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_collection_and_empty() {
+        let g = parse_wkt("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))").unwrap();
+        assert_eq!(g.as_collection().unwrap().len(), 2);
+        let e = parse_wkt("GEOMETRYCOLLECTION EMPTY").unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn parse_scientific_notation() {
+        let g = parse_wkt("POINT (1e3 -2.5E-2)").unwrap();
+        let p = g.as_point().unwrap();
+        assert_eq!(p.x(), 1000.0);
+        assert_eq!(p.y(), -0.025);
+    }
+
+    #[test]
+    fn parse_errors_report_offsets() {
+        let err = parse_wkt("POINT 1 2").unwrap_err();
+        assert!(matches!(err, GeometryError::WktParse { .. }));
+        assert!(parse_wkt("CIRCLE (0 0)").is_err());
+        assert!(parse_wkt("").is_err());
+        assert!(parse_wkt("POINT (1 2) garbage").is_err());
+        assert!(parse_wkt("LINESTRING (0 0)").is_err()); // too few coords
+    }
+
+    #[test]
+    fn round_trip_all_types() {
+        let inputs = [
+            "POINT (1 2)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+            "GEOMETRYCOLLECTION (POINT (1 2), POINT (3 4))",
+            "GEOMETRYCOLLECTION EMPTY",
+        ];
+        for input in inputs {
+            let g = parse_wkt(input).unwrap();
+            let emitted = to_wkt(&g);
+            let reparsed = parse_wkt(&emitted).unwrap();
+            assert_eq!(g, reparsed, "round trip failed for {input}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! A uniform grid index.
+
+use crate::traits::{IndexEntry, SpatialQuery};
+use sdwp_geometry::{BoundingBox, Coord};
+use std::collections::HashMap;
+
+/// A uniform grid over the plane with a fixed cell size.
+///
+/// Entries are registered in every cell their bounding box overlaps. The
+/// grid is unbounded (cells are created lazily in a hash map), so it works
+/// for any coordinate range, but query performance depends on choosing a
+/// cell size close to the typical query radius.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    entries: Vec<IndexEntry<T>>,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an empty grid with the given cell size (must be positive;
+    /// non-positive sizes are clamped to 1.0).
+    pub fn new(cell_size: f64) -> Self {
+        GridIndex {
+            cell_size: if cell_size > 0.0 { cell_size } else { 1.0 },
+            cells: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a grid from a list of entries.
+    pub fn bulk_load(cell_size: f64, entries: Vec<IndexEntry<T>>) -> Self {
+        let mut grid = GridIndex::new(cell_size);
+        for e in entries {
+            grid.insert(e);
+        }
+        grid
+    }
+
+    /// The configured cell size.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
+        (
+            (x / self.cell_size).floor() as i64,
+            (y / self.cell_size).floor() as i64,
+        )
+    }
+
+    fn cells_overlapping(&self, bbox: &BoundingBox) -> Vec<(i64, i64)> {
+        let (min_cx, min_cy) = self.cell_of(bbox.min_x, bbox.min_y);
+        let (max_cx, max_cy) = self.cell_of(bbox.max_x, bbox.max_y);
+        let mut out = Vec::with_capacity(
+            ((max_cx - min_cx + 1) * (max_cy - min_cy + 1)).max(0) as usize,
+        );
+        for cx in min_cx..=max_cx {
+            for cy in min_cy..=max_cy {
+                out.push((cx, cy));
+            }
+        }
+        out
+    }
+
+    /// Inserts an entry, registering it in every overlapping cell.
+    pub fn insert(&mut self, entry: IndexEntry<T>) {
+        let idx = self.entries.len();
+        for cell in self.cells_overlapping(&entry.bbox) {
+            self.cells.entry(cell).or_default().push(idx);
+        }
+        self.entries.push(entry);
+    }
+
+    fn candidates(&self, bbox: &BoundingBox) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .cells_overlapping(bbox)
+            .into_iter()
+            .filter_map(|c| self.cells.get(&c))
+            .flatten()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+impl<T> SpatialQuery<T> for GridIndex<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn query_bbox(&self, bbox: &BoundingBox) -> Vec<&T> {
+        self.candidates(bbox)
+            .into_iter()
+            .filter(|&i| self.entries[i].bbox.intersects(bbox))
+            .map(|i| &self.entries[i].item)
+            .collect()
+    }
+
+    fn query_within_distance(&self, center: &Coord, radius: f64) -> Vec<&T> {
+        let window = BoundingBox::new(
+            center.x - radius,
+            center.y - radius,
+            center.x + radius,
+            center.y + radius,
+        );
+        self.candidates(&window)
+            .into_iter()
+            .filter(|&i| self.entries[i].bbox.distance_to_coord(center) <= radius)
+            .map(|i| &self.entries[i].item)
+            .collect()
+    }
+
+    fn nearest_neighbors(&self, center: &Coord, k: usize) -> Vec<&T> {
+        if k == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        // Expanding-ring search: examine cells in growing square rings until
+        // enough candidates are found, then rank exactly.
+        let mut radius_cells = 1i64;
+        let max_radius_cells = 1 + (self.entries.len() as f64).sqrt() as i64 * 4;
+        loop {
+            let window = BoundingBox::new(
+                center.x - radius_cells as f64 * self.cell_size,
+                center.y - radius_cells as f64 * self.cell_size,
+                center.x + radius_cells as f64 * self.cell_size,
+                center.y + radius_cells as f64 * self.cell_size,
+            );
+            let candidates = self.candidates(&window);
+            if candidates.len() >= k || radius_cells > max_radius_cells {
+                let mut with_d: Vec<(f64, &T)> = if radius_cells > max_radius_cells {
+                    // Fall back to scanning everything.
+                    self.entries
+                        .iter()
+                        .map(|e| (e.bbox.distance_to_coord(center), &e.item))
+                        .collect()
+                } else {
+                    candidates
+                        .into_iter()
+                        .map(|i| {
+                            (
+                                self.entries[i].bbox.distance_to_coord(center),
+                                &self.entries[i].item,
+                            )
+                        })
+                        .collect()
+                };
+                with_d.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                if with_d.len() >= k || radius_cells > max_radius_cells {
+                    return with_d.into_iter().take(k).map(|(_, t)| t).collect();
+                }
+            }
+            radius_cells *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize, cell: f64) -> GridIndex<usize> {
+        let entries = (0..n * n)
+            .map(|id| {
+                IndexEntry::point(Coord::new((id % n) as f64, (id / n) as f64), id)
+            })
+            .collect();
+        GridIndex::bulk_load(cell, entries)
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g: GridIndex<u32> = GridIndex::new(10.0);
+        assert!(g.is_empty());
+        assert_eq!(g.num_cells(), 0);
+        assert!(g.query_bbox(&BoundingBox::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(g.nearest_neighbors(&Coord::new(0.0, 0.0), 2).is_empty());
+    }
+
+    #[test]
+    fn cell_size_is_clamped() {
+        let g: GridIndex<u32> = GridIndex::new(-3.0);
+        assert_eq!(g.cell_size(), 1.0);
+        let g2: GridIndex<u32> = GridIndex::new(0.0);
+        assert_eq!(g2.cell_size(), 1.0);
+    }
+
+    #[test]
+    fn bbox_query_matches_expectation() {
+        let g = grid_points(10, 2.5);
+        let found = g.query_bbox(&BoundingBox::new(2.5, 2.5, 4.5, 4.5));
+        assert_eq!(found.len(), 4);
+    }
+
+    #[test]
+    fn distance_query() {
+        let g = grid_points(10, 3.0);
+        let found = g.query_within_distance(&Coord::new(5.0, 5.0), 1.0);
+        // (5,5), (4,5), (6,5), (5,4), (5,6)
+        assert_eq!(found.len(), 5);
+    }
+
+    #[test]
+    fn knn_ordering() {
+        let g = grid_points(10, 2.0);
+        let nn = g.nearest_neighbors(&Coord::new(0.1, 0.2), 4);
+        assert_eq!(nn.len(), 4);
+        assert_eq!(*nn[0], 0);
+    }
+
+    #[test]
+    fn knn_more_than_population() {
+        let g = grid_points(3, 1.0);
+        let nn = g.nearest_neighbors(&Coord::new(100.0, 100.0), 50);
+        assert_eq!(nn.len(), 9);
+    }
+
+    #[test]
+    fn entries_spanning_multiple_cells() {
+        let mut g: GridIndex<&str> = GridIndex::new(1.0);
+        g.insert(IndexEntry::new(BoundingBox::new(0.0, 0.0, 5.0, 5.0), "wide"));
+        assert!(g.num_cells() >= 25);
+        // The entry is reported exactly once despite living in many cells.
+        let found = g.query_bbox(&BoundingBox::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut g: GridIndex<u32> = GridIndex::new(2.0);
+        g.insert(IndexEntry::point(Coord::new(-5.0, -5.0), 1));
+        g.insert(IndexEntry::point(Coord::new(5.0, 5.0), 2));
+        let found = g.query_within_distance(&Coord::new(-5.0, -5.0), 1.0);
+        assert_eq!(found, vec![&1]);
+    }
+}

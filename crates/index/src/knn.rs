@@ -1,0 +1,78 @@
+//! Support types for best-first k-nearest-neighbour search.
+
+use std::cmp::Ordering;
+
+/// A candidate in a best-first search priority queue, ordered so that the
+/// *smallest* distance pops first from a `std::collections::BinaryHeap`
+/// (which is a max-heap).
+#[derive(Debug)]
+pub struct KnnCandidate<P> {
+    /// Distance from the query point to this candidate.
+    pub distance: f64,
+    /// The node or entry carried by this candidate.
+    pub payload: P,
+}
+
+impl<P> KnnCandidate<P> {
+    /// Creates a candidate with the given distance key.
+    pub fn new(distance: f64, payload: P) -> Self {
+        KnnCandidate { distance, payload }
+    }
+}
+
+impl<P> PartialEq for KnnCandidate<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance == other.distance
+    }
+}
+
+impl<P> Eq for KnnCandidate<P> {}
+
+impl<P> PartialOrd for KnnCandidate<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for KnnCandidate<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse the comparison: smaller distances are "greater" so they
+        // pop first from the max-heap. NaN distances sort last.
+        other
+            .distance
+            .partial_cmp(&self.distance)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_smallest_distance_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(KnnCandidate::new(5.0, "e"));
+        heap.push(KnnCandidate::new(1.0, "a"));
+        heap.push(KnnCandidate::new(3.0, "c"));
+        assert_eq!(heap.pop().unwrap().payload, "a");
+        assert_eq!(heap.pop().unwrap().payload, "c");
+        assert_eq!(heap.pop().unwrap().payload, "e");
+    }
+
+    #[test]
+    fn equality_is_by_distance() {
+        let a = KnnCandidate::new(2.0, 1u32);
+        let b = KnnCandidate::new(2.0, 2u32);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_is_reversed() {
+        let near = KnnCandidate::new(1.0, ());
+        let far = KnnCandidate::new(9.0, ());
+        assert!(near > far);
+    }
+}

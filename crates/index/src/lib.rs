@@ -1,0 +1,29 @@
+//! Spatial indexes for the SDWP spatial OLAP engine.
+//!
+//! The paper's instance-personalization rules (e.g. Example 5.2: *"select
+//! the stores at less than 5 km of the decision maker's location"*) run a
+//! spatial predicate over every member of a potentially large dimension
+//! level. This crate provides the index structures the OLAP engine uses to
+//! avoid the full scan:
+//!
+//! * [`RTree`] — an R-tree with quadratic-split insertion and
+//!   Sort-Tile-Recursive (STR) bulk loading, supporting bounding-box range
+//!   queries, distance (within-radius) queries and k-nearest-neighbour
+//!   search;
+//! * [`GridIndex`] — a uniform grid (fixed cell size) used as a simpler
+//!   baseline and as the ablation comparator in benchmark B2.
+//!
+//! Both implement the [`SpatialQuery`] trait so the OLAP layer can switch
+//! between them (and a plain linear scan) at runtime.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod grid;
+pub mod knn;
+pub mod rtree;
+pub mod traits;
+
+pub use grid::GridIndex;
+pub use rtree::RTree;
+pub use traits::{IndexEntry, LinearScan, SpatialQuery};

@@ -1,0 +1,590 @@
+//! An R-tree with quadratic-split insertion and STR bulk loading.
+
+use crate::knn::KnnCandidate;
+use crate::traits::{IndexEntry, SpatialQuery};
+use sdwp_geometry::{BoundingBox, Coord};
+use std::collections::BinaryHeap;
+
+/// Default maximum number of entries per node.
+pub const DEFAULT_MAX_ENTRIES: usize = 16;
+
+/// An R-tree over payloads of type `T`.
+///
+/// Supports incremental insertion (quadratic split, Guttman 1984) and
+/// Sort-Tile-Recursive bulk loading, bounding-box queries, within-radius
+/// queries and k-nearest-neighbour search. Payloads are stored at the
+/// leaves; interior nodes only carry bounding boxes.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf {
+        entries: Vec<IndexEntry<T>>,
+    },
+    Internal {
+        children: Vec<(BoundingBox, Node<T>)>,
+    },
+}
+
+impl<T> Node<T> {
+    fn bbox(&self) -> Option<BoundingBox> {
+        match self {
+            Node::Leaf { entries } => {
+                let mut it = entries.iter().map(|e| e.bbox);
+                let first = it.next()?;
+                Some(it.fold(first, |acc, b| acc.union(&b)))
+            }
+            Node::Internal { children } => {
+                let mut it = children.iter().map(|(b, _)| *b);
+                let first = it.next()?;
+                Some(it.fold(first, |acc, b| acc.union(&b)))
+            }
+        }
+    }
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        RTree::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty R-tree with the default node capacity.
+    pub fn new() -> Self {
+        RTree::with_capacity(DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Creates an empty R-tree with the given maximum node fan-out
+    /// (clamped to at least 4).
+    pub fn with_capacity(max_entries: usize) -> Self {
+        let max_entries = max_entries.max(4);
+        RTree {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+            max_entries,
+            min_entries: (max_entries / 2).max(2),
+        }
+    }
+
+    /// Bulk loads the tree with Sort-Tile-Recursive packing. Much faster
+    /// and better-packed than repeated insertion for static data sets such
+    /// as dimension levels loaded at cube-build time.
+    pub fn bulk_load(mut entries: Vec<IndexEntry<T>>) -> Self {
+        let mut tree = RTree::new();
+        tree.len = entries.len();
+        if entries.is_empty() {
+            return tree;
+        }
+        let cap = tree.max_entries;
+
+        // STR: sort by centre x, slice into vertical strips, sort each
+        // strip by centre y, pack leaves.
+        entries.sort_by(|a, b| {
+            a.bbox
+                .center()
+                .x
+                .partial_cmp(&b.bbox.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let leaf_count = entries.len().div_ceil(cap);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = entries.len().div_ceil(strip_count.max(1));
+
+        let mut leaves: Vec<Node<T>> = Vec::with_capacity(leaf_count);
+        let mut strip_buffer: Vec<IndexEntry<T>> = Vec::with_capacity(per_strip);
+        let mut iter = entries.into_iter().peekable();
+        while iter.peek().is_some() {
+            strip_buffer.clear();
+            for _ in 0..per_strip {
+                match iter.next() {
+                    Some(e) => strip_buffer.push(e),
+                    None => break,
+                }
+            }
+            strip_buffer.sort_by(|a, b| {
+                a.bbox
+                    .center()
+                    .y
+                    .partial_cmp(&b.bbox.center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut strip = std::mem::take(&mut strip_buffer);
+            while !strip.is_empty() {
+                let take = strip.len().min(cap);
+                let chunk: Vec<IndexEntry<T>> = strip.drain(..take).collect();
+                leaves.push(Node::Leaf { entries: chunk });
+            }
+            strip_buffer = strip;
+        }
+
+        // Pack upper levels until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<Node<T>> = Vec::with_capacity(level.len().div_ceil(cap));
+            let mut children: Vec<(BoundingBox, Node<T>)> = Vec::with_capacity(cap);
+            for node in level {
+                let bbox = node.bbox().expect("packed nodes are never empty");
+                children.push((bbox, node));
+                if children.len() == cap {
+                    next.push(Node::Internal {
+                        children: std::mem::take(&mut children),
+                    });
+                }
+            }
+            if !children.is_empty() {
+                next.push(Node::Internal { children });
+            }
+            level = next;
+        }
+        tree.root = level.pop().unwrap_or(Node::Leaf {
+            entries: Vec::new(),
+        });
+        tree
+    }
+
+    /// Inserts a single entry.
+    pub fn insert(&mut self, entry: IndexEntry<T>) {
+        self.len += 1;
+        let max = self.max_entries;
+        let min = self.min_entries;
+        if let Some((left, right)) = Self::insert_recursive(&mut self.root, entry, max, min) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
+            drop(old_root); // the old root's content has moved into left/right
+            let children = vec![
+                (left.bbox().expect("split node non-empty"), left),
+                (right.bbox().expect("split node non-empty"), right),
+            ];
+            self.root = Node::Internal { children };
+        }
+    }
+
+    fn insert_recursive(
+        node: &mut Node<T>,
+        entry: IndexEntry<T>,
+        max: usize,
+        min: usize,
+    ) -> Option<(Node<T>, Node<T>)> {
+        match node {
+            Node::Leaf { entries } => {
+                entries.push(entry);
+                if entries.len() > max {
+                    let (a, b) = split_entries(std::mem::take(entries), min);
+                    Some((Node::Leaf { entries: a }, Node::Leaf { entries: b }))
+                } else {
+                    None
+                }
+            }
+            Node::Internal { children } => {
+                // Choose the child needing the least enlargement.
+                let best = children
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (ba, _)), (_, (bb, _))| {
+                        let ea = ba.enlargement(&entry.bbox);
+                        let eb = bb.enlargement(&entry.bbox);
+                        ea.partial_cmp(&eb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| {
+                                ba.area()
+                                    .partial_cmp(&bb.area())
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                    })
+                    .map(|(i, _)| i)
+                    .expect("internal node always has children");
+
+                let entry_bbox = entry.bbox;
+                let split = Self::insert_recursive(&mut children[best].1, entry, max, min);
+                match split {
+                    None => {
+                        children[best].0 = children[best].0.union(&entry_bbox);
+                        None
+                    }
+                    Some((left, right)) => {
+                        children.remove(best);
+                        children.push((left.bbox().expect("non-empty"), left));
+                        children.push((right.bbox().expect("non-empty"), right));
+                        if children.len() > max {
+                            let (a, b) = split_children(std::mem::take(children), min);
+                            Some((Node::Internal { children: a }, Node::Internal { children: b }))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Height of the tree (a single leaf has height 1).
+    pub fn height(&self) -> usize {
+        fn depth<T>(node: &Node<T>) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Internal { children } => {
+                    1 + children.first().map(|(_, c)| depth(c)).unwrap_or(0)
+                }
+            }
+        }
+        depth(&self.root)
+    }
+
+    /// The bounding box of everything in the tree.
+    pub fn bbox(&self) -> Option<BoundingBox> {
+        self.root.bbox()
+    }
+
+    fn collect_bbox<'a>(node: &'a Node<T>, bbox: &BoundingBox, out: &mut Vec<&'a T>) {
+        match node {
+            Node::Leaf { entries } => {
+                for e in entries {
+                    if e.bbox.intersects(bbox) {
+                        out.push(&e.item);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for (b, child) in children {
+                    if b.intersects(bbox) {
+                        Self::collect_bbox(child, bbox, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_within<'a>(
+        node: &'a Node<T>,
+        center: &Coord,
+        radius: f64,
+        out: &mut Vec<&'a T>,
+    ) {
+        match node {
+            Node::Leaf { entries } => {
+                for e in entries {
+                    if e.bbox.distance_to_coord(center) <= radius {
+                        out.push(&e.item);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for (b, child) in children {
+                    if b.distance_to_coord(center) <= radius {
+                        Self::collect_within(child, center, radius, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every entry in the tree (in unspecified order).
+    pub fn for_each(&self, mut f: impl FnMut(&BoundingBox, &T)) {
+        fn walk<T>(node: &Node<T>, f: &mut impl FnMut(&BoundingBox, &T)) {
+            match node {
+                Node::Leaf { entries } => {
+                    for e in entries {
+                        f(&e.bbox, &e.item);
+                    }
+                }
+                Node::Internal { children } => {
+                    for (_, child) in children {
+                        walk(child, f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &mut f);
+    }
+}
+
+impl<T> SpatialQuery<T> for RTree<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn query_bbox(&self, bbox: &BoundingBox) -> Vec<&T> {
+        let mut out = Vec::new();
+        Self::collect_bbox(&self.root, bbox, &mut out);
+        out
+    }
+
+    fn query_within_distance(&self, center: &Coord, radius: f64) -> Vec<&T> {
+        let mut out = Vec::new();
+        Self::collect_within(&self.root, center, radius, &mut out);
+        out
+    }
+
+    fn nearest_neighbors(&self, center: &Coord, k: usize) -> Vec<&T> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Best-first search over nodes and entries using a min-heap keyed by
+        // bounding-box distance.
+        enum Item<'a, T> {
+            Node(&'a Node<T>),
+            Entry(&'a T),
+        }
+        let mut heap: BinaryHeap<KnnCandidate<Item<'_, T>>> = BinaryHeap::new();
+        heap.push(KnnCandidate::new(0.0, Item::Node(&self.root)));
+        let mut result = Vec::with_capacity(k);
+        while let Some(candidate) = heap.pop() {
+            match candidate.payload {
+                Item::Entry(t) => {
+                    result.push(t);
+                    if result.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(Node::Leaf { entries }) => {
+                    for e in entries {
+                        heap.push(KnnCandidate::new(
+                            e.bbox.distance_to_coord(center),
+                            Item::Entry(&e.item),
+                        ));
+                    }
+                }
+                Item::Node(Node::Internal { children }) => {
+                    for (b, child) in children {
+                        heap.push(KnnCandidate::new(
+                            b.distance_to_coord(center),
+                            Item::Node(child),
+                        ));
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Quadratic split of leaf entries.
+fn split_entries<T>(entries: Vec<IndexEntry<T>>, min: usize) -> (Vec<IndexEntry<T>>, Vec<IndexEntry<T>>) {
+    let boxes: Vec<BoundingBox> = entries.iter().map(|e| e.bbox).collect();
+    let (seed_a, seed_b) = pick_seeds(&boxes);
+    distribute(entries, seed_a, seed_b, min, |e| e.bbox)
+}
+
+/// Quadratic split of internal children.
+fn split_children<T>(
+    children: Vec<(BoundingBox, Node<T>)>,
+    min: usize,
+) -> (Vec<(BoundingBox, Node<T>)>, Vec<(BoundingBox, Node<T>)>) {
+    let boxes: Vec<BoundingBox> = children.iter().map(|(b, _)| *b).collect();
+    let (seed_a, seed_b) = pick_seeds(&boxes);
+    distribute(children, seed_a, seed_b, min, |(b, _)| *b)
+}
+
+/// Guttman's quadratic seed picking: the pair wasting the most area.
+fn pick_seeds(boxes: &[BoundingBox]) -> (usize, usize) {
+    let mut worst = (0, 1);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..boxes.len() {
+        for j in (i + 1)..boxes.len() {
+            let waste = boxes[i].union(&boxes[j]).area() - boxes[i].area() - boxes[j].area();
+            if waste > worst_waste {
+                worst_waste = waste;
+                worst = (i, j);
+            }
+        }
+    }
+    worst
+}
+
+fn distribute<E>(
+    mut items: Vec<E>,
+    seed_a: usize,
+    seed_b: usize,
+    min: usize,
+    bbox_of: impl Fn(&E) -> BoundingBox,
+) -> (Vec<E>, Vec<E>) {
+    // Remove the later index first so the earlier one stays valid.
+    let (hi, lo) = if seed_a > seed_b {
+        (seed_a, seed_b)
+    } else {
+        (seed_b, seed_a)
+    };
+    let item_hi = items.remove(hi);
+    let item_lo = items.remove(lo);
+
+    let mut group_a = vec![item_lo];
+    let mut group_b = vec![item_hi];
+    let mut bbox_a = bbox_of(&group_a[0]);
+    let mut bbox_b = bbox_of(&group_b[0]);
+
+    for item in items {
+        let b = bbox_of(&item);
+        // Honour minimum fill: if one group risks falling short, force-assign.
+        let remaining_needed_a = min.saturating_sub(group_a.len());
+        let remaining_needed_b = min.saturating_sub(group_b.len());
+        let total_left = 1; // this item
+        if remaining_needed_a >= total_left && remaining_needed_a > remaining_needed_b {
+            bbox_a.expand(&b);
+            group_a.push(item);
+            continue;
+        }
+        if remaining_needed_b >= total_left && remaining_needed_b > remaining_needed_a {
+            bbox_b.expand(&b);
+            group_b.push(item);
+            continue;
+        }
+        let enlarge_a = bbox_a.enlargement(&b);
+        let enlarge_b = bbox_b.enlargement(&b);
+        if enlarge_a < enlarge_b || (enlarge_a == enlarge_b && group_a.len() <= group_b.len()) {
+            bbox_a.expand(&b);
+            group_a.push(item);
+        } else {
+            bbox_b.expand(&b);
+            group_b.push(item);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_entries(n: usize) -> Vec<IndexEntry<usize>> {
+        // n*n points on an integer grid.
+        let mut v = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                v.push(IndexEntry::point(
+                    Coord::new(i as f64, j as f64),
+                    i * n + j,
+                ));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<u32> = RTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.bbox().is_none());
+        assert!(tree
+            .query_bbox(&BoundingBox::new(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
+        assert!(tree.nearest_neighbors(&Coord::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut tree = RTree::with_capacity(4);
+        for e in grid_entries(10) {
+            tree.insert(e);
+        }
+        assert_eq!(tree.len(), 100);
+        assert!(tree.height() > 1);
+        let found = tree.query_bbox(&BoundingBox::new(2.5, 2.5, 4.5, 4.5));
+        assert_eq!(found.len(), 4); // (3,3),(3,4),(4,3),(4,4)
+    }
+
+    #[test]
+    fn bulk_load_matches_insertion_results() {
+        let entries = grid_entries(12);
+        let bulk = RTree::bulk_load(entries.clone());
+        let mut incremental = RTree::with_capacity(8);
+        for e in entries {
+            incremental.insert(e);
+        }
+        let query = BoundingBox::new(1.5, 1.5, 7.5, 3.5);
+        let mut a: Vec<usize> = bulk.query_bbox(&query).into_iter().copied().collect();
+        let mut b: Vec<usize> = incremental.query_bbox(&query).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(bulk.len(), incremental.len());
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let tree: RTree<u32> = RTree::bulk_load(Vec::new());
+        assert!(tree.is_empty());
+        let tree = RTree::bulk_load(vec![IndexEntry::point(Coord::new(1.0, 1.0), 42u32)]);
+        assert_eq!(tree.len(), 1);
+        let found = tree.query_bbox(&BoundingBox::new(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(found, vec![&42]);
+    }
+
+    #[test]
+    fn within_distance_query() {
+        let tree = RTree::bulk_load(grid_entries(20));
+        let center = Coord::new(10.0, 10.0);
+        let found = tree.query_within_distance(&center, 1.5);
+        // Points within box-distance 1.5 of (10,10): the 3x3 block around it.
+        assert_eq!(found.len(), 9);
+    }
+
+    #[test]
+    fn knn_returns_closest_first() {
+        let tree = RTree::bulk_load(grid_entries(10));
+        let nn = tree.nearest_neighbors(&Coord::new(0.1, 0.1), 3);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(*nn[0], 0); // (0,0)
+        // k larger than the tree returns everything.
+        let all = tree.nearest_neighbors(&Coord::new(0.0, 0.0), 1000);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let tree = RTree::bulk_load(grid_entries(3));
+        assert!(tree.nearest_neighbors(&Coord::new(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn tree_bbox_covers_everything() {
+        let tree = RTree::bulk_load(grid_entries(5));
+        let bbox = tree.bbox().unwrap();
+        assert!(bbox.contains(&BoundingBox::new(0.0, 0.0, 4.0, 4.0)));
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let tree = RTree::bulk_load(grid_entries(6));
+        let mut count = 0;
+        tree.for_each(|_, _| count += 1);
+        assert_eq!(count, 36);
+    }
+
+    #[test]
+    fn duplicate_positions_are_kept() {
+        let mut tree = RTree::with_capacity(4);
+        for i in 0..10 {
+            tree.insert(IndexEntry::point(Coord::new(1.0, 1.0), i));
+        }
+        assert_eq!(tree.len(), 10);
+        let found = tree.query_bbox(&BoundingBox::new(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(found.len(), 10);
+    }
+
+    #[test]
+    fn non_point_boxes() {
+        let mut tree = RTree::with_capacity(4);
+        tree.insert(IndexEntry::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), "big"));
+        tree.insert(IndexEntry::new(BoundingBox::new(2.0, 2.0, 3.0, 3.0), "small"));
+        tree.insert(IndexEntry::new(BoundingBox::new(20.0, 20.0, 30.0, 30.0), "far"));
+        let found = tree.query_bbox(&BoundingBox::new(2.5, 2.5, 2.6, 2.6));
+        assert_eq!(found.len(), 2);
+        assert!(found.contains(&&"big"));
+        assert!(found.contains(&&"small"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Fluent builders for schemas, dimensions and facts.
+
+use crate::attribute::{AggregationFunction, Attribute, AttributeType, Measure};
+use crate::dimension::{Dimension, Level};
+use crate::error::ModelError;
+use crate::fact::Fact;
+use crate::schema::Schema;
+use crate::validate::validate_schema;
+use sdwp_geometry::GeometricType;
+
+/// Builds a [`Dimension`] level by level.
+#[derive(Debug, Clone)]
+pub struct DimensionBuilder {
+    name: String,
+    levels: Vec<Level>,
+}
+
+impl DimensionBuilder {
+    /// Starts a dimension with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DimensionBuilder {
+            name: name.into(),
+            levels: Vec::new(),
+        }
+    }
+
+    /// Adds a level (finest levels first) with explicit attributes.
+    pub fn level(mut self, name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
+        self.levels.push(Level::new(name, attributes));
+        self
+    }
+
+    /// Adds a level carrying only a text descriptor named `descriptor`.
+    pub fn simple_level(
+        mut self,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+    ) -> Self {
+        self.levels.push(Level::with_descriptor(name, descriptor));
+        self
+    }
+
+    /// Adds a spatial level: a descriptor plus a geometric description.
+    pub fn spatial_level(
+        mut self,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+        geometry: GeometricType,
+    ) -> Self {
+        let mut level = Level::with_descriptor(name, descriptor);
+        level.become_spatial(geometry);
+        self.levels.push(level);
+        self
+    }
+
+    /// Finishes the dimension.
+    pub fn build(self) -> Dimension {
+        Dimension::new(self.name, self.levels)
+    }
+}
+
+/// Builds a [`Fact`] measure by measure.
+#[derive(Debug, Clone)]
+pub struct FactBuilder {
+    name: String,
+    measures: Vec<Measure>,
+    dimensions: Vec<String>,
+}
+
+impl FactBuilder {
+    /// Starts a fact with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FactBuilder {
+            name: name.into(),
+            measures: Vec::new(),
+            dimensions: Vec::new(),
+        }
+    }
+
+    /// Adds a SUM-aggregated measure.
+    pub fn measure(mut self, name: impl Into<String>, data_type: AttributeType) -> Self {
+        self.measures.push(Measure::new(name, data_type));
+        self
+    }
+
+    /// Adds a measure with an explicit aggregation function.
+    pub fn measure_with(
+        mut self,
+        name: impl Into<String>,
+        data_type: AttributeType,
+        aggregation: AggregationFunction,
+    ) -> Self {
+        self.measures
+            .push(Measure::with_aggregation(name, data_type, aggregation));
+        self
+    }
+
+    /// Declares that the fact is analysed by the named dimension.
+    pub fn dimension(mut self, name: impl Into<String>) -> Self {
+        self.dimensions.push(name.into());
+        self
+    }
+
+    /// Finishes the fact.
+    pub fn build(self) -> Fact {
+        Fact::new(self.name, self.measures, self.dimensions)
+    }
+}
+
+/// Builds a complete [`Schema`] and validates it.
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Starts a schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder {
+            schema: Schema::new(name),
+        }
+    }
+
+    /// Adds a dimension.
+    pub fn dimension(mut self, dimension: Dimension) -> Self {
+        self.schema.dimensions.push(dimension);
+        self
+    }
+
+    /// Adds a fact.
+    pub fn fact(mut self, fact: Fact) -> Self {
+        self.schema.facts.push(fact);
+        self
+    }
+
+    /// Adds a thematic layer (GeoMD extension).
+    pub fn layer(mut self, name: impl Into<String>, geometry: GeometricType) -> Self {
+        self.schema.layers.push(crate::geo::Layer::new(name, geometry));
+        self
+    }
+
+    /// Validates and returns the schema.
+    pub fn build(self) -> Result<Schema, ModelError> {
+        validate_schema(&self.schema)?;
+        Ok(self.schema)
+    }
+
+    /// Returns the schema without validating (useful in tests that want to
+    /// construct deliberately-invalid schemas).
+    pub fn build_unchecked(self) -> Schema {
+        self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_construction_of_valid_schema() {
+        let schema = SchemaBuilder::new("SalesDW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .level(
+                        "Store",
+                        vec![
+                            Attribute::descriptor("name", AttributeType::Text),
+                            Attribute::new("address", AttributeType::Text),
+                        ],
+                    )
+                    .simple_level("City", "name")
+                    .simple_level("State", "name")
+                    .build(),
+            )
+            .dimension(
+                DimensionBuilder::new("Time")
+                    .simple_level("Day", "date")
+                    .simple_level("Month", "name")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .measure_with("StoreCost", AttributeType::Float, AggregationFunction::Avg)
+                    .dimension("Store")
+                    .dimension("Time")
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(schema.dimensions.len(), 2);
+        assert_eq!(schema.facts.len(), 1);
+        assert!(!schema.is_geographic());
+    }
+
+    #[test]
+    fn builder_with_layers_and_spatial_levels() {
+        let schema = SchemaBuilder::new("GeoSalesDW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .spatial_level("Store", "name", GeometricType::Point)
+                    .simple_level("City", "name")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Store")
+                    .build(),
+            )
+            .layer("Airport", GeometricType::Point)
+            .build()
+            .unwrap();
+        assert!(schema.is_geographic());
+        assert_eq!(schema.spatial_levels(), vec!["Store.Store".to_string()]);
+        assert!(schema.layer("Airport").is_some());
+    }
+
+    #[test]
+    fn invalid_schema_is_rejected() {
+        // Fact referencing an undeclared dimension.
+        let result = SchemaBuilder::new("Broken")
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Ghost")
+                    .build(),
+            )
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let schema = SchemaBuilder::new("Broken")
+            .fact(
+                FactBuilder::new("Sales")
+                    .dimension("Ghost")
+                    .build(),
+            )
+            .build_unchecked();
+        assert_eq!(schema.facts.len(), 1);
+    }
+}

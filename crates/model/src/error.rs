@@ -1,0 +1,133 @@
+//! Errors raised while constructing, validating or navigating models.
+
+use std::fmt;
+
+/// Errors produced by model construction, validation and path resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two model elements at the same scope share a name.
+    DuplicateName {
+        /// The kind of element ("dimension", "level", "measure", …).
+        kind: &'static str,
+        /// The clashing name.
+        name: String,
+    },
+    /// A referenced element does not exist.
+    UnknownElement {
+        /// The kind of element that was looked up.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A dimension has no levels.
+    EmptyDimension {
+        /// Name of the offending dimension.
+        dimension: String,
+    },
+    /// A fact references no dimensions.
+    FactWithoutDimensions {
+        /// Name of the offending fact.
+        fact: String,
+    },
+    /// A hierarchy roll-up path contains a cycle.
+    HierarchyCycle {
+        /// The dimension whose hierarchy is cyclic.
+        dimension: String,
+    },
+    /// A path expression could not be resolved.
+    PathResolution {
+        /// The textual path expression.
+        path: String,
+        /// Why resolution failed.
+        reason: String,
+    },
+    /// A spatial operation was requested on a non-spatial element.
+    NotSpatial {
+        /// The element lacking a geometric description.
+        element: String,
+    },
+    /// General validation failure.
+    Invalid {
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name '{name}'")
+            }
+            ModelError::UnknownElement { kind, name } => {
+                write!(f, "unknown {kind} '{name}'")
+            }
+            ModelError::EmptyDimension { dimension } => {
+                write!(f, "dimension '{dimension}' has no levels")
+            }
+            ModelError::FactWithoutDimensions { fact } => {
+                write!(f, "fact '{fact}' references no dimensions")
+            }
+            ModelError::HierarchyCycle { dimension } => {
+                write!(f, "hierarchy of dimension '{dimension}' contains a cycle")
+            }
+            ModelError::PathResolution { path, reason } => {
+                write!(f, "cannot resolve path '{path}': {reason}")
+            }
+            ModelError::NotSpatial { element } => {
+                write!(f, "element '{element}' has no geometric description")
+            }
+            ModelError::Invalid { message } => write!(f, "invalid model: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (
+                ModelError::DuplicateName {
+                    kind: "dimension",
+                    name: "Store".into(),
+                },
+                "duplicate dimension name 'Store'",
+            ),
+            (
+                ModelError::UnknownElement {
+                    kind: "level",
+                    name: "City".into(),
+                },
+                "unknown level 'City'",
+            ),
+            (
+                ModelError::EmptyDimension {
+                    dimension: "Time".into(),
+                },
+                "dimension 'Time' has no levels",
+            ),
+            (
+                ModelError::NotSpatial {
+                    element: "Store".into(),
+                },
+                "element 'Store' has no geometric description",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&ModelError::Invalid {
+            message: "x".into(),
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! Textual and Graphviz-DOT rendering of schemas.
+//!
+//! The paper communicates its models as UML class diagrams (Figs. 2, 4
+//! and 6). These renderers reproduce the same content as indented text and
+//! as DOT graphs so the examples can print the "before" (MD) and "after"
+//! (GeoMD) models of the personalization process.
+
+use crate::schema::Schema;
+use std::fmt::Write as _;
+
+/// Renders the schema as an indented, stereotype-annotated outline.
+pub fn render_text(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Schema '{}'", schema.name);
+    for fact in &schema.facts {
+        let _ = writeln!(out, "  {} {}", fact.stereotype().notation(), fact.name);
+        for measure in &fact.measures {
+            let _ = writeln!(
+                out,
+                "    {} {}: {} [{}]",
+                measure.stereotype().notation(),
+                measure.name,
+                measure.data_type,
+                measure.aggregation
+            );
+        }
+        for dim in &fact.dimensions {
+            let _ = writeln!(out, "    -> analysed by {dim}");
+        }
+    }
+    for dim in &schema.dimensions {
+        let _ = writeln!(out, "  {} {}", dim.stereotype().notation(), dim.name);
+        for (i, level) in dim.levels.iter().enumerate() {
+            let roll_up = if i + 1 < dim.levels.len() {
+                format!(" (r-> {})", dim.levels[i + 1].name)
+            } else {
+                String::new()
+            };
+            let geometry = level
+                .geometry
+                .map(|g| format!(" geometry={g}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "    {} {}{}{}",
+                level.stereotype().notation(),
+                level.name,
+                geometry,
+                roll_up
+            );
+            for attr in &level.attributes {
+                let _ = writeln!(
+                    out,
+                    "      {} {}: {}",
+                    attr.stereotype().notation(),
+                    attr.name,
+                    attr.data_type
+                );
+            }
+        }
+    }
+    for layer in &schema.layers {
+        let _ = writeln!(
+            out,
+            "  {} {} geometry={}",
+            layer.stereotype().notation(),
+            layer.name,
+            layer.geometry
+        );
+    }
+    out
+}
+
+/// Renders the schema as a Graphviz DOT digraph. Facts, dimensions, levels
+/// and layers become nodes; fact→dimension references and level roll-ups
+/// become edges.
+pub fn render_dot(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", schema.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=record, fontsize=10];");
+
+    for fact in &schema.facts {
+        let measures: Vec<String> = fact
+            .measures
+            .iter()
+            .map(|m| format!("{}: {}", m.name, m.data_type))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"fact_{}\" [label=\"{{«Fact» {}|{}}}\", style=filled, fillcolor=lightgrey];",
+            fact.name,
+            fact.name,
+            measures.join("\\l")
+        );
+        for dim in &fact.dimensions {
+            let _ = writeln!(out, "  \"fact_{}\" -> \"dim_{}\";", fact.name, dim);
+        }
+    }
+
+    for dim in &schema.dimensions {
+        let _ = writeln!(
+            out,
+            "  \"dim_{}\" [label=\"«Dimension» {}\"];",
+            dim.name, dim.name
+        );
+        let mut previous: Option<String> = None;
+        for level in &dim.levels {
+            let node = format!("level_{}_{}", dim.name, level.name);
+            let attrs: Vec<String> = level
+                .attributes
+                .iter()
+                .map(|a| format!("{}: {}", a.name, a.data_type))
+                .collect();
+            let stereotype = level.stereotype();
+            let color = if level.is_spatial() {
+                ", style=filled, fillcolor=lightblue"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [label=\"{{«{}» {}|{}}}\"{}];",
+                node,
+                stereotype,
+                level.name,
+                attrs.join("\\l"),
+                color
+            );
+            match previous {
+                None => {
+                    let _ = writeln!(out, "  \"dim_{}\" -> \"{}\";", dim.name, node);
+                }
+                Some(prev) => {
+                    let _ = writeln!(out, "  \"{prev}\" -> \"{node}\" [label=\"r\"];");
+                }
+            }
+            previous = Some(node);
+        }
+    }
+
+    for layer in &schema.layers {
+        let _ = writeln!(
+            out,
+            "  \"layer_{}\" [label=\"«Layer» {} ({})\", style=filled, fillcolor=lightgreen];",
+            layer.name, layer.name, layer.geometry
+        );
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeType;
+    use crate::builder::{DimensionBuilder, FactBuilder, SchemaBuilder};
+    use sdwp_geometry::GeometricType;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("SalesDW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .spatial_level("Store", "name", GeometricType::Point)
+                    .simple_level("City", "name")
+                    .simple_level("State", "name")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Store")
+                    .build(),
+            )
+            .layer("Airport", GeometricType::Point)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_element() {
+        let text = render_text(&schema());
+        assert!(text.contains("Schema 'SalesDW'"));
+        assert!(text.contains("«Fact» Sales"));
+        assert!(text.contains("«FactAttribute» UnitSales"));
+        assert!(text.contains("«Dimension» Store"));
+        assert!(text.contains("«SpatialLevel» Store geometry=POINT"));
+        assert!(text.contains("«Base» City"));
+        assert!(text.contains("(r-> State)"));
+        assert!(text.contains("«Layer» Airport geometry=POINT"));
+    }
+
+    #[test]
+    fn dot_rendering_is_well_formed() {
+        let dot = render_dot(&schema());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("fact_Sales"));
+        assert!(dot.contains("dim_Store"));
+        assert!(dot.contains("level_Store_City"));
+        assert!(dot.contains("layer_Airport"));
+        // Roll-up edge between consecutive levels.
+        assert!(dot.contains("\"level_Store_Store\" -> \"level_Store_City\""));
+    }
+
+    #[test]
+    fn rendering_without_layers_or_spatial_levels() {
+        let plain = SchemaBuilder::new("Plain")
+            .dimension(
+                DimensionBuilder::new("Time")
+                    .simple_level("Day", "date")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Time")
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let text = render_text(&plain);
+        assert!(!text.contains("«Layer»"));
+        assert!(!text.contains("SpatialLevel"));
+        let dot = render_dot(&plain);
+        assert!(!dot.contains("layer_"));
+    }
+}

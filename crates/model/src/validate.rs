@@ -1,0 +1,308 @@
+//! Schema well-formedness validation.
+
+use crate::error::ModelError;
+use crate::schema::Schema;
+use std::collections::HashSet;
+
+/// Validates a schema's structural well-formedness:
+///
+/// * schema, fact, dimension and layer names are unique;
+/// * level names are unique within a dimension and attribute names unique
+///   within a level;
+/// * measure names are unique within a fact;
+/// * every dimension has at least one level and every level has at least
+///   one attribute;
+/// * every fact references at least one dimension and only declared
+///   dimensions;
+/// * SUM/AVG measures are numeric.
+pub fn validate_schema(schema: &Schema) -> Result<(), ModelError> {
+    if schema.name.trim().is_empty() {
+        return Err(ModelError::Invalid {
+            message: "schema name is empty".into(),
+        });
+    }
+
+    let mut dim_names = HashSet::new();
+    for dim in &schema.dimensions {
+        if !dim_names.insert(dim.name.as_str()) {
+            return Err(ModelError::DuplicateName {
+                kind: "dimension",
+                name: dim.name.clone(),
+            });
+        }
+        if dim.levels.is_empty() {
+            return Err(ModelError::EmptyDimension {
+                dimension: dim.name.clone(),
+            });
+        }
+        let mut level_names = HashSet::new();
+        for level in &dim.levels {
+            if !level_names.insert(level.name.as_str()) {
+                return Err(ModelError::DuplicateName {
+                    kind: "level",
+                    name: level.name.clone(),
+                });
+            }
+            if level.attributes.is_empty() {
+                return Err(ModelError::Invalid {
+                    message: format!(
+                        "level '{}' of dimension '{}' has no attributes",
+                        level.name, dim.name
+                    ),
+                });
+            }
+            let mut attr_names = HashSet::new();
+            for attr in &level.attributes {
+                if !attr_names.insert(attr.name.as_str()) {
+                    return Err(ModelError::DuplicateName {
+                        kind: "attribute",
+                        name: attr.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut fact_names = HashSet::new();
+    for fact in &schema.facts {
+        if !fact_names.insert(fact.name.as_str()) {
+            return Err(ModelError::DuplicateName {
+                kind: "fact",
+                name: fact.name.clone(),
+            });
+        }
+        if fact.dimensions.is_empty() {
+            return Err(ModelError::FactWithoutDimensions {
+                fact: fact.name.clone(),
+            });
+        }
+        for dim in &fact.dimensions {
+            if schema.dimension(dim).is_none() {
+                return Err(ModelError::UnknownElement {
+                    kind: "dimension",
+                    name: dim.clone(),
+                });
+            }
+        }
+        let mut measure_names = HashSet::new();
+        for measure in &fact.measures {
+            if !measure_names.insert(measure.name.as_str()) {
+                return Err(ModelError::DuplicateName {
+                    kind: "measure",
+                    name: measure.name.clone(),
+                });
+            }
+            use crate::attribute::AggregationFunction::{Avg, Sum};
+            if matches!(measure.aggregation, Sum | Avg) && !measure.data_type.is_numeric() {
+                return Err(ModelError::Invalid {
+                    message: format!(
+                        "measure '{}' uses {} aggregation but has non-numeric type {}",
+                        measure.name, measure.aggregation, measure.data_type
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut layer_names = HashSet::new();
+    for layer in &schema.layers {
+        if !layer_names.insert(layer.name.as_str()) {
+            return Err(ModelError::DuplicateName {
+                kind: "layer",
+                name: layer.name.clone(),
+            });
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AggregationFunction, Attribute, AttributeType, Measure};
+    use crate::builder::{DimensionBuilder, FactBuilder, SchemaBuilder};
+    use crate::dimension::{Dimension, Level};
+    use crate::fact::Fact;
+
+    fn valid() -> Schema {
+        SchemaBuilder::new("DW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .simple_level("Store", "name")
+                    .simple_level("City", "name")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Store")
+                    .build(),
+            )
+            .build_unchecked()
+    }
+
+    #[test]
+    fn valid_schema_passes() {
+        assert!(validate_schema(&valid()).is_ok());
+    }
+
+    #[test]
+    fn empty_name_fails() {
+        let mut s = valid();
+        s.name = "  ".into();
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_dimension_fails() {
+        let mut s = valid();
+        s.dimensions.push(
+            DimensionBuilder::new("Store")
+                .simple_level("Other", "name")
+                .build(),
+        );
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::DuplicateName { kind: "dimension", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_dimension_fails() {
+        let mut s = valid();
+        s.dimensions.push(Dimension::new("Empty", vec![]));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::EmptyDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_level_fails() {
+        let mut s = valid();
+        s.dimensions.push(Dimension::new(
+            "Time",
+            vec![
+                Level::with_descriptor("Day", "d"),
+                Level::with_descriptor("Day", "d"),
+            ],
+        ));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::DuplicateName { kind: "level", .. })
+        ));
+    }
+
+    #[test]
+    fn level_without_attributes_fails() {
+        let mut s = valid();
+        s.dimensions
+            .push(Dimension::new("Time", vec![Level::new("Day", vec![])]));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_fails() {
+        let mut s = valid();
+        s.dimensions.push(Dimension::new(
+            "Time",
+            vec![Level::new(
+                "Day",
+                vec![
+                    Attribute::descriptor("name", AttributeType::Text),
+                    Attribute::new("name", AttributeType::Integer),
+                ],
+            )],
+        ));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::DuplicateName { kind: "attribute", .. })
+        ));
+    }
+
+    #[test]
+    fn fact_without_dimensions_fails() {
+        let mut s = valid();
+        s.facts.push(Fact::new(
+            "Orphan",
+            vec![Measure::new("x", AttributeType::Float)],
+            vec![],
+        ));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::FactWithoutDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn fact_referencing_unknown_dimension_fails() {
+        let mut s = valid();
+        s.facts.push(Fact::new(
+            "Shipments",
+            vec![Measure::new("x", AttributeType::Float)],
+            vec!["Warehouse".into()],
+        ));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::UnknownElement { kind: "dimension", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_measure_fails() {
+        let mut s = valid();
+        s.facts[0]
+            .measures
+            .push(Measure::new("UnitSales", AttributeType::Float));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::DuplicateName { kind: "measure", .. })
+        ));
+    }
+
+    #[test]
+    fn non_numeric_sum_measure_fails() {
+        let mut s = valid();
+        s.facts[0].measures.push(Measure::with_aggregation(
+            "Comment",
+            AttributeType::Text,
+            AggregationFunction::Sum,
+        ));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::Invalid { .. })
+        ));
+        // Non-numeric measures with MIN/MAX/COUNT are fine.
+        s.facts[0].measures.pop();
+        s.facts[0].measures.push(Measure::with_aggregation(
+            "Comment",
+            AttributeType::Text,
+            AggregationFunction::Count,
+        ));
+        assert!(validate_schema(&s).is_ok());
+    }
+
+    #[test]
+    fn duplicate_layer_fails() {
+        let mut s = valid();
+        s.layers.push(crate::geo::Layer::new(
+            "Airport",
+            sdwp_geometry::GeometricType::Point,
+        ));
+        s.layers.push(crate::geo::Layer::new(
+            "Airport",
+            sdwp_geometry::GeometricType::Point,
+        ));
+        assert!(matches!(
+            validate_schema(&s),
+            Err(ModelError::DuplicateName { kind: "layer", .. })
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! Measure accumulators for group-by aggregation.
+
+use crate::value::CellValue;
+use sdwp_model::AggregationFunction;
+use std::collections::HashSet;
+
+/// An incremental accumulator for one measure within one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    function: AggregationFunction,
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    distinct: HashSet<String>,
+}
+
+impl Accumulator {
+    /// Creates an accumulator for the given aggregation function.
+    pub fn new(function: AggregationFunction) -> Self {
+        Accumulator {
+            function,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+            distinct: HashSet::new(),
+        }
+    }
+
+    /// The aggregation function this accumulator implements.
+    pub fn function(&self) -> AggregationFunction {
+        self.function
+    }
+
+    /// Feeds one value into the accumulator. Null values are ignored except
+    /// by COUNT DISTINCT (which ignores them too) — COUNT counts non-null
+    /// values, matching SQL semantics.
+    pub fn update(&mut self, value: &CellValue) {
+        if value.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(n) = value.as_number() {
+            self.sum += n;
+            self.min = Some(self.min.map_or(n, |m| m.min(n)));
+            self.max = Some(self.max.map_or(n, |m| m.max(n)));
+        }
+        if self.function == AggregationFunction::CountDistinct {
+            self.distinct.insert(value.group_key());
+        }
+    }
+
+    /// Finalises the accumulator into a cell value.
+    pub fn finish(&self) -> CellValue {
+        match self.function {
+            AggregationFunction::Sum => CellValue::Float(self.sum),
+            AggregationFunction::Avg => {
+                if self.count == 0 {
+                    CellValue::Null
+                } else {
+                    CellValue::Float(self.sum / self.count as f64)
+                }
+            }
+            AggregationFunction::Min => self.min.map(CellValue::Float).unwrap_or(CellValue::Null),
+            AggregationFunction::Max => self.max.map(CellValue::Float).unwrap_or(CellValue::Null),
+            AggregationFunction::Count => CellValue::Integer(self.count as i64),
+            AggregationFunction::CountDistinct => CellValue::Integer(self.distinct.len() as i64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(function: AggregationFunction, values: &[CellValue]) -> CellValue {
+        let mut acc = Accumulator::new(function);
+        for v in values {
+            acc.update(v);
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let values = vec![
+            CellValue::Float(1.0),
+            CellValue::Integer(2),
+            CellValue::Null,
+            CellValue::Float(3.0),
+        ];
+        assert_eq!(feed(AggregationFunction::Sum, &values), CellValue::Float(6.0));
+        assert_eq!(feed(AggregationFunction::Avg, &values), CellValue::Float(2.0));
+    }
+
+    #[test]
+    fn min_max_count() {
+        let values = vec![
+            CellValue::Float(5.0),
+            CellValue::Float(-1.0),
+            CellValue::Float(3.0),
+        ];
+        assert_eq!(feed(AggregationFunction::Min, &values), CellValue::Float(-1.0));
+        assert_eq!(feed(AggregationFunction::Max, &values), CellValue::Float(5.0));
+        assert_eq!(feed(AggregationFunction::Count, &values), CellValue::Integer(3));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let values = vec![
+            CellValue::Text("a".into()),
+            CellValue::Text("b".into()),
+            CellValue::Text("a".into()),
+            CellValue::Null,
+        ];
+        assert_eq!(
+            feed(AggregationFunction::CountDistinct, &values),
+            CellValue::Integer(2)
+        );
+        // COUNT counts non-null occurrences, not distinct values.
+        assert_eq!(feed(AggregationFunction::Count, &values), CellValue::Integer(3));
+    }
+
+    #[test]
+    fn empty_input_semantics() {
+        assert_eq!(feed(AggregationFunction::Sum, &[]), CellValue::Float(0.0));
+        assert_eq!(feed(AggregationFunction::Avg, &[]), CellValue::Null);
+        assert_eq!(feed(AggregationFunction::Min, &[]), CellValue::Null);
+        assert_eq!(feed(AggregationFunction::Max, &[]), CellValue::Null);
+        assert_eq!(feed(AggregationFunction::Count, &[]), CellValue::Integer(0));
+        assert_eq!(
+            feed(AggregationFunction::CountDistinct, &[]),
+            CellValue::Integer(0)
+        );
+    }
+
+    #[test]
+    fn function_accessor() {
+        let acc = Accumulator::new(AggregationFunction::Max);
+        assert_eq!(acc.function(), AggregationFunction::Max);
+    }
+}

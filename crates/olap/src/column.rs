@@ -1,0 +1,334 @@
+//! Typed columnar storage with dictionary encoding for text.
+
+use crate::error::OlapError;
+use crate::value::CellValue;
+use sdwp_geometry::Geometry;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit integers.
+    Integer,
+    /// 64-bit floats.
+    Float,
+    /// Dictionary-encoded text.
+    Text,
+    /// Booleans.
+    Boolean,
+    /// Dates (days since epoch).
+    Date,
+    /// Geometries.
+    Geometry,
+}
+
+/// A string dictionary: interns strings to dense `u32` codes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dictionary {
+    values: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Interns a string, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(s.to_string());
+        self.index.insert(s.to_string(), code);
+        code
+    }
+
+    /// Looks up the string for a code.
+    pub fn resolve(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Looks up the code for a string, if already interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied().or_else(|| {
+            // Fall back to a scan when the index was lost to serde skip.
+            self.values
+                .iter()
+                .position(|v| v == s)
+                .map(|p| p as u32)
+        })
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A typed column of nullable values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Integer column.
+    Integer(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// Dictionary-encoded text column.
+    Text {
+        /// Per-row dictionary codes (None = null).
+        codes: Vec<Option<u32>>,
+        /// The shared dictionary for this column.
+        dictionary: Dictionary,
+    },
+    /// Boolean column.
+    Boolean(Vec<Option<bool>>),
+    /// Date column (days since epoch).
+    Date(Vec<Option<i64>>),
+    /// Geometry column.
+    Geometry(Vec<Option<Geometry>>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(column_type: ColumnType) -> Self {
+        match column_type {
+            ColumnType::Integer => Column::Integer(Vec::new()),
+            ColumnType::Float => Column::Float(Vec::new()),
+            ColumnType::Text => Column::Text {
+                codes: Vec::new(),
+                dictionary: Dictionary::new(),
+            },
+            ColumnType::Boolean => Column::Boolean(Vec::new()),
+            ColumnType::Date => Column::Date(Vec::new()),
+            ColumnType::Geometry => Column::Geometry(Vec::new()),
+        }
+    }
+
+    /// The column's physical type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::Integer(_) => ColumnType::Integer,
+            Column::Float(_) => ColumnType::Float,
+            Column::Text { .. } => ColumnType::Text,
+            Column::Boolean(_) => ColumnType::Boolean,
+            Column::Date(_) => ColumnType::Date,
+            Column::Geometry(_) => ColumnType::Geometry,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Integer(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Text { codes, .. } => codes.len(),
+            Column::Boolean(v) => v.len(),
+            Column::Date(v) => v.len(),
+            Column::Geometry(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value, coercing compatible types (integers into float
+    /// columns, integers into date columns). Returns an error on an
+    /// incompatible value.
+    pub fn push(&mut self, value: CellValue) -> Result<(), OlapError> {
+        let mismatch = |found: &CellValue, expected: &'static str| OlapError::TypeMismatch {
+            expected,
+            found: found.type_name().to_string(),
+        };
+        match self {
+            Column::Integer(v) => match value {
+                CellValue::Integer(i) => v.push(Some(i)),
+                CellValue::Null => v.push(None),
+                other => return Err(mismatch(&other, "integer")),
+            },
+            Column::Float(v) => match value {
+                CellValue::Float(f) => v.push(Some(f)),
+                CellValue::Integer(i) => v.push(Some(i as f64)),
+                CellValue::Null => v.push(None),
+                other => return Err(mismatch(&other, "float")),
+            },
+            Column::Text { codes, dictionary } => match value {
+                CellValue::Text(s) => codes.push(Some(dictionary.intern(&s))),
+                CellValue::Null => codes.push(None),
+                other => return Err(mismatch(&other, "text")),
+            },
+            Column::Boolean(v) => match value {
+                CellValue::Boolean(b) => v.push(Some(b)),
+                CellValue::Null => v.push(None),
+                other => return Err(mismatch(&other, "boolean")),
+            },
+            Column::Date(v) => match value {
+                CellValue::Date(d) | CellValue::Integer(d) => v.push(Some(d)),
+                CellValue::Null => v.push(None),
+                other => return Err(mismatch(&other, "date")),
+            },
+            Column::Geometry(v) => match value {
+                CellValue::Geometry(g) => v.push(Some(g)),
+                CellValue::Null => v.push(None),
+                other => return Err(mismatch(&other, "geometry")),
+            },
+        }
+        Ok(())
+    }
+
+    /// Reads the value at `row`, returning `CellValue::Null` when the row
+    /// is out of range or null.
+    pub fn get(&self, row: usize) -> CellValue {
+        match self {
+            Column::Integer(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map(CellValue::Integer)
+                .unwrap_or(CellValue::Null),
+            Column::Float(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map(CellValue::Float)
+                .unwrap_or(CellValue::Null),
+            Column::Text { codes, dictionary } => codes
+                .get(row)
+                .copied()
+                .flatten()
+                .and_then(|c| dictionary.resolve(c))
+                .map(|s| CellValue::Text(s.to_string()))
+                .unwrap_or(CellValue::Null),
+            Column::Boolean(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map(CellValue::Boolean)
+                .unwrap_or(CellValue::Null),
+            Column::Date(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map(CellValue::Date)
+                .unwrap_or(CellValue::Null),
+            Column::Geometry(v) => v
+                .get(row)
+                .and_then(|g| g.clone())
+                .map(CellValue::Geometry)
+                .unwrap_or(CellValue::Null),
+        }
+    }
+
+    /// Fast numeric accessor used by aggregation.
+    pub fn get_number(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Integer(v) | Column::Date(v) => v.get(row).copied().flatten().map(|i| i as f64),
+            Column::Float(v) => v.get(row).copied().flatten(),
+            _ => None,
+        }
+    }
+
+    /// Borrowed geometry accessor used by spatial filters (avoids cloning).
+    pub fn get_geometry(&self, row: usize) -> Option<&Geometry> {
+        match self {
+            Column::Geometry(v) => v.get(row).and_then(Option::as_ref),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdwp_geometry::Point;
+
+    #[test]
+    fn dictionary_interning() {
+        let mut d = Dictionary::new();
+        assert!(d.is_empty());
+        let a = d.intern("Alicante");
+        let b = d.intern("Madrid");
+        let a2 = d.intern("Alicante");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.resolve(a), Some("Alicante"));
+        assert_eq!(d.resolve(99), None);
+        assert_eq!(d.code_of("Madrid"), Some(b));
+        assert_eq!(d.code_of("Valencia"), None);
+    }
+
+    #[test]
+    fn typed_push_and_get() {
+        let mut c = Column::new(ColumnType::Integer);
+        c.push(CellValue::Integer(5)).unwrap();
+        c.push(CellValue::Null).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), CellValue::Integer(5));
+        assert_eq!(c.get(1), CellValue::Null);
+        assert_eq!(c.get(9), CellValue::Null);
+        assert!(c.push(CellValue::Text("x".into())).is_err());
+        assert_eq!(c.column_type(), ColumnType::Integer);
+    }
+
+    #[test]
+    fn float_column_accepts_integers() {
+        let mut c = Column::new(ColumnType::Float);
+        c.push(CellValue::Integer(2)).unwrap();
+        c.push(CellValue::Float(1.5)).unwrap();
+        assert_eq!(c.get_number(0), Some(2.0));
+        assert_eq!(c.get_number(1), Some(1.5));
+    }
+
+    #[test]
+    fn text_column_round_trips_through_dictionary() {
+        let mut c = Column::new(ColumnType::Text);
+        c.push(CellValue::from("Alicante")).unwrap();
+        c.push(CellValue::from("Madrid")).unwrap();
+        c.push(CellValue::from("Alicante")).unwrap();
+        c.push(CellValue::Null).unwrap();
+        assert_eq!(c.get(0), CellValue::Text("Alicante".into()));
+        assert_eq!(c.get(2), CellValue::Text("Alicante".into()));
+        assert_eq!(c.get(3), CellValue::Null);
+        if let Column::Text { dictionary, .. } = &c {
+            assert_eq!(dictionary.len(), 2);
+        } else {
+            panic!("expected text column");
+        }
+    }
+
+    #[test]
+    fn geometry_column() {
+        let mut c = Column::new(ColumnType::Geometry);
+        let g: Geometry = Point::new(1.0, 2.0).into();
+        c.push(CellValue::Geometry(g.clone())).unwrap();
+        c.push(CellValue::Null).unwrap();
+        assert_eq!(c.get_geometry(0), Some(&g));
+        assert_eq!(c.get_geometry(1), None);
+        assert!(c.push(CellValue::Integer(1)).is_err());
+    }
+
+    #[test]
+    fn boolean_and_date_columns() {
+        let mut b = Column::new(ColumnType::Boolean);
+        b.push(CellValue::Boolean(true)).unwrap();
+        assert_eq!(b.get(0), CellValue::Boolean(true));
+        assert!(b.push(CellValue::Float(0.0)).is_err());
+
+        let mut d = Column::new(ColumnType::Date);
+        d.push(CellValue::Date(100)).unwrap();
+        d.push(CellValue::Integer(200)).unwrap();
+        assert_eq!(d.get(1), CellValue::Date(200));
+        assert_eq!(d.get_number(0), Some(100.0));
+    }
+}

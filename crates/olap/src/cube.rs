@@ -1,0 +1,523 @@
+//! The star-schema cube binding instances to an MD/GeoMD schema.
+
+use crate::column::ColumnType;
+use crate::error::OlapError;
+use crate::table::Table;
+use crate::value::CellValue;
+use sdwp_geometry::Geometry;
+use sdwp_model::{AttributeType, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The instance table of one dimension, at leaf-level grain.
+///
+/// Every level contributes its attribute columns (named
+/// `"<Level>.<attribute>"`) plus a `"<Level>.geometry"` column. Geometry
+/// columns exist for every level even when the conceptual schema has not
+/// (yet) marked the level spatial: the paper's premise is that warehouses
+/// already *contain* spatial data which is "not used to its full
+/// potential" until a personalization rule introduces it into the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensionTable {
+    /// The dimension this table instantiates.
+    pub dimension: String,
+    /// The backing columnar table.
+    pub table: Table,
+}
+
+/// The instance table of a thematic geographic layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTable {
+    /// The layer this table instantiates.
+    pub layer: String,
+    /// The backing columnar table (columns `name`, `geometry`).
+    pub table: Table,
+}
+
+/// The instance table of a fact: foreign keys into dimensions plus
+/// measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactTable {
+    /// The fact this table instantiates.
+    pub fact: String,
+    /// The backing columnar table.
+    pub table: Table,
+}
+
+/// Name of the foreign-key column referencing a dimension.
+pub fn fk_column(dimension: &str) -> String {
+    format!("__fk_{dimension}")
+}
+
+/// Name of the instance-table column backing a level attribute.
+pub fn attribute_column(level: &str, attribute: &str) -> String {
+    format!("{level}.{attribute}")
+}
+
+/// Name of the instance-table column backing a level geometry.
+pub fn geometry_column(level: &str) -> String {
+    format!("{level}.geometry")
+}
+
+/// A star-schema cube: one dimension table per dimension, one layer table
+/// per (materialised) layer and one fact table per fact, all bound to a
+/// conceptual [`Schema`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cube {
+    schema: Schema,
+    dimensions: BTreeMap<String, DimensionTable>,
+    layers: BTreeMap<String, LayerTable>,
+    facts: BTreeMap<String, FactTable>,
+}
+
+fn column_type_of(attr: &AttributeType) -> ColumnType {
+    match attr {
+        AttributeType::Integer => ColumnType::Integer,
+        AttributeType::Float => ColumnType::Float,
+        AttributeType::Text => ColumnType::Text,
+        AttributeType::Boolean => ColumnType::Boolean,
+        AttributeType::Date => ColumnType::Date,
+        AttributeType::Geometry(_) => ColumnType::Geometry,
+    }
+}
+
+impl Cube {
+    /// Creates an empty cube for the given conceptual schema.
+    pub fn new(schema: Schema) -> Self {
+        let mut dimensions = BTreeMap::new();
+        for dim in &schema.dimensions {
+            let mut columns: Vec<(String, ColumnType)> = Vec::new();
+            for level in &dim.levels {
+                for attr in &level.attributes {
+                    columns.push((
+                        attribute_column(&level.name, &attr.name),
+                        column_type_of(&attr.data_type),
+                    ));
+                }
+                columns.push((geometry_column(&level.name), ColumnType::Geometry));
+            }
+            dimensions.insert(
+                dim.name.clone(),
+                DimensionTable {
+                    dimension: dim.name.clone(),
+                    table: Table::new(dim.name.clone(), columns),
+                },
+            );
+        }
+
+        let mut layers = BTreeMap::new();
+        for layer in &schema.layers {
+            layers.insert(
+                layer.name.clone(),
+                LayerTable {
+                    layer: layer.name.clone(),
+                    table: Table::new(
+                        layer.name.clone(),
+                        vec![
+                            ("name".to_string(), ColumnType::Text),
+                            ("geometry".to_string(), ColumnType::Geometry),
+                        ],
+                    ),
+                },
+            );
+        }
+
+        let mut facts = BTreeMap::new();
+        for fact in &schema.facts {
+            let mut columns: Vec<(String, ColumnType)> = fact
+                .dimensions
+                .iter()
+                .map(|d| (fk_column(d), ColumnType::Integer))
+                .collect();
+            for measure in &fact.measures {
+                columns.push((measure.name.clone(), column_type_of(&measure.data_type)));
+            }
+            facts.insert(
+                fact.name.clone(),
+                FactTable {
+                    fact: fact.name.clone(),
+                    table: Table::new(fact.name.clone(), columns),
+                },
+            );
+        }
+
+        Cube {
+            schema,
+            dimensions,
+            layers,
+            facts,
+        }
+    }
+
+    /// The conceptual schema this cube instantiates.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema, used by schema-personalization
+    /// actions. Callers adding layers should follow up with
+    /// [`Cube::ensure_layer_table`].
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// The dimension table for a dimension.
+    pub fn dimension_table(&self, dimension: &str) -> Result<&DimensionTable, OlapError> {
+        self.dimensions
+            .get(dimension)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "dimension",
+                name: dimension.to_string(),
+            })
+    }
+
+    /// The layer table for a layer, when materialised.
+    pub fn layer_table(&self, layer: &str) -> Result<&LayerTable, OlapError> {
+        self.layers
+            .get(layer)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "layer",
+                name: layer.to_string(),
+            })
+    }
+
+    /// The fact table for a fact.
+    pub fn fact_table(&self, fact: &str) -> Result<&FactTable, OlapError> {
+        self.facts.get(fact).ok_or_else(|| OlapError::UnknownElement {
+            kind: "fact",
+            name: fact.to_string(),
+        })
+    }
+
+    /// Names of the materialised layers.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.keys().map(String::as_str).collect()
+    }
+
+    /// Creates an (empty) instance table for a layer if it does not exist
+    /// yet. Called after an `AddLayer` schema-personalization action.
+    pub fn ensure_layer_table(&mut self, layer: &str) -> &mut LayerTable {
+        self.layers
+            .entry(layer.to_string())
+            .or_insert_with(|| LayerTable {
+                layer: layer.to_string(),
+                table: Table::new(
+                    layer.to_string(),
+                    vec![
+                        ("name".to_string(), ColumnType::Text),
+                        ("geometry".to_string(), ColumnType::Geometry),
+                    ],
+                ),
+            })
+    }
+
+    /// Adds a member to a dimension table. `values` use instance-column
+    /// names (`"Store.name"`, `"City.geometry"`, …); missing columns become
+    /// null. Returns the member's row id.
+    pub fn add_dimension_member(
+        &mut self,
+        dimension: &str,
+        values: Vec<(&str, CellValue)>,
+    ) -> Result<usize, OlapError> {
+        let table = self
+            .dimensions
+            .get_mut(dimension)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "dimension",
+                name: dimension.to_string(),
+            })?;
+        table.table.push_row(values)
+    }
+
+    /// Adds an instance to a layer table, creating the table if necessary.
+    pub fn add_layer_instance(
+        &mut self,
+        layer: &str,
+        name: impl Into<String>,
+        geometry: Geometry,
+    ) -> Result<usize, OlapError> {
+        let table = self.ensure_layer_table(layer);
+        table.table.push_row(vec![
+            ("name", CellValue::Text(name.into())),
+            ("geometry", CellValue::Geometry(geometry)),
+        ])
+    }
+
+    /// Adds a fact row: foreign keys (dimension name → member row id) plus
+    /// measure values. Returns the fact row id.
+    pub fn add_fact_row(
+        &mut self,
+        fact: &str,
+        foreign_keys: Vec<(&str, usize)>,
+        measures: Vec<(&str, CellValue)>,
+    ) -> Result<usize, OlapError> {
+        // Validate foreign keys against dimension table sizes first.
+        for (dim, member) in &foreign_keys {
+            let dim_table = self.dimension_table(dim)?;
+            if *member >= dim_table.table.len() {
+                return Err(OlapError::RowShape {
+                    message: format!(
+                        "foreign key {member} out of range for dimension '{dim}' ({} members)",
+                        dim_table.table.len()
+                    ),
+                });
+            }
+        }
+        let table = self.facts.get_mut(fact).ok_or_else(|| OlapError::UnknownElement {
+            kind: "fact",
+            name: fact.to_string(),
+        })?;
+        let mut values: Vec<(String, CellValue)> = foreign_keys
+            .into_iter()
+            .map(|(dim, row)| (fk_column(dim), CellValue::Integer(row as i64)))
+            .collect();
+        values.extend(
+            measures
+                .into_iter()
+                .map(|(name, v)| (name.to_string(), v)),
+        );
+        let named: Vec<(&str, CellValue)> =
+            values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        table.table.push_row(named)
+    }
+
+    /// The dimension-member row id a fact row points to.
+    pub fn fact_member(
+        &self,
+        fact: &str,
+        fact_row: usize,
+        dimension: &str,
+    ) -> Result<usize, OlapError> {
+        let table = self.fact_table(fact)?;
+        let value = table.table.get(fact_row, &fk_column(dimension))?;
+        value
+            .as_number()
+            .map(|n| n as usize)
+            .ok_or_else(|| OlapError::TypeMismatch {
+                expected: "integer foreign key",
+                found: value.type_name().to_string(),
+            })
+    }
+
+    /// Reads the geometry of a dimension member at a given level.
+    pub fn member_geometry(
+        &self,
+        dimension: &str,
+        level: &str,
+        member: usize,
+    ) -> Result<Option<Geometry>, OlapError> {
+        let table = self.dimension_table(dimension)?;
+        let value = table.table.get(member, &geometry_column(level))?;
+        Ok(match value {
+            CellValue::Geometry(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// Total number of fact rows across all facts.
+    pub fn total_fact_rows(&self) -> usize {
+        self.facts.values().map(|f| f.table.len()).sum()
+    }
+}
+
+/// Convenience builder that wraps [`Cube::new`] for fluent loading in
+/// examples and benchmarks.
+#[derive(Debug, Clone)]
+pub struct CubeBuilder {
+    cube: Cube,
+}
+
+impl CubeBuilder {
+    /// Starts building a cube for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        CubeBuilder {
+            cube: Cube::new(schema),
+        }
+    }
+
+    /// Adds a dimension member (panics on schema mismatch — builder misuse
+    /// is a programming error in examples/benchmarks).
+    pub fn member(mut self, dimension: &str, values: Vec<(&str, CellValue)>) -> Self {
+        self.cube
+            .add_dimension_member(dimension, values)
+            .expect("CubeBuilder::member: invalid dimension or values");
+        self
+    }
+
+    /// Adds a layer instance.
+    pub fn layer_instance(mut self, layer: &str, name: &str, geometry: Geometry) -> Self {
+        self.cube
+            .add_layer_instance(layer, name, geometry)
+            .expect("CubeBuilder::layer_instance: invalid layer");
+        self
+    }
+
+    /// Adds a fact row.
+    pub fn fact(
+        mut self,
+        fact: &str,
+        foreign_keys: Vec<(&str, usize)>,
+        measures: Vec<(&str, CellValue)>,
+    ) -> Self {
+        self.cube
+            .add_fact_row(fact, foreign_keys, measures)
+            .expect("CubeBuilder::fact: invalid fact row");
+        self
+    }
+
+    /// Finishes the cube.
+    pub fn build(self) -> Cube {
+        self.cube
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdwp_geometry::{GeometricType, Point};
+    use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("SalesDW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .simple_level("Store", "name")
+                    .simple_level("City", "name")
+                    .build(),
+            )
+            .dimension(
+                DimensionBuilder::new("Time")
+                    .level(
+                        "Day",
+                        vec![sdwp_model::Attribute::descriptor(
+                            "date",
+                            AttributeType::Date,
+                        )],
+                    )
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .measure("StoreCost", AttributeType::Float)
+                    .dimension("Store")
+                    .dimension("Time")
+                    .build(),
+            )
+            .layer("Airport", GeometricType::Point)
+            .build()
+            .unwrap()
+    }
+
+    fn point(x: f64, y: f64) -> CellValue {
+        CellValue::Geometry(Point::new(x, y).into())
+    }
+
+    #[test]
+    fn cube_tables_follow_schema() {
+        let cube = Cube::new(schema());
+        let store = cube.dimension_table("Store").unwrap();
+        assert!(store.table.column_index("Store.name").is_some());
+        assert!(store.table.column_index("City.name").is_some());
+        assert!(store.table.column_index("Store.geometry").is_some());
+        assert!(store.table.column_index("City.geometry").is_some());
+        let sales = cube.fact_table("Sales").unwrap();
+        assert!(sales.table.column_index("__fk_Store").is_some());
+        assert!(sales.table.column_index("__fk_Time").is_some());
+        assert!(sales.table.column_index("UnitSales").is_some());
+        assert!(cube.layer_table("Airport").is_ok());
+        assert!(cube.dimension_table("Customer").is_err());
+        assert!(cube.fact_table("Returns").is_err());
+        assert!(cube.layer_table("Train").is_err());
+    }
+
+    #[test]
+    fn load_members_facts_and_layers() {
+        let mut cube = Cube::new(schema());
+        let s0 = cube
+            .add_dimension_member(
+                "Store",
+                vec![
+                    ("Store.name", CellValue::from("Downtown")),
+                    ("City.name", CellValue::from("Alicante")),
+                    ("Store.geometry", point(1.0, 1.0)),
+                ],
+            )
+            .unwrap();
+        let t0 = cube
+            .add_dimension_member("Time", vec![("Day.date", CellValue::Date(100))])
+            .unwrap();
+        let f0 = cube
+            .add_fact_row(
+                "Sales",
+                vec![("Store", s0), ("Time", t0)],
+                vec![("UnitSales", CellValue::Float(12.0))],
+            )
+            .unwrap();
+        assert_eq!((s0, t0, f0), (0, 0, 0));
+        assert_eq!(cube.total_fact_rows(), 1);
+        assert_eq!(cube.fact_member("Sales", 0, "Store").unwrap(), 0);
+        let geom = cube.member_geometry("Store", "Store", 0).unwrap().unwrap();
+        assert_eq!(geom.as_point().unwrap().x(), 1.0);
+        assert!(cube.member_geometry("Store", "City", 0).unwrap().is_none());
+        cube.add_layer_instance("Airport", "ALC", Point::new(5.0, 5.0).into())
+            .unwrap();
+        assert_eq!(cube.layer_table("Airport").unwrap().table.len(), 1);
+    }
+
+    #[test]
+    fn foreign_keys_are_validated() {
+        let mut cube = Cube::new(schema());
+        let err = cube
+            .add_fact_row("Sales", vec![("Store", 3)], vec![])
+            .unwrap_err();
+        assert!(matches!(err, OlapError::RowShape { .. }));
+        let err2 = cube
+            .add_fact_row("Sales", vec![("Ghost", 0)], vec![])
+            .unwrap_err();
+        assert!(matches!(err2, OlapError::UnknownElement { .. }));
+    }
+
+    #[test]
+    fn ensure_layer_table_materialises_new_layers() {
+        let mut cube = Cube::new(schema());
+        assert!(cube.layer_table("Train").is_err());
+        cube.ensure_layer_table("Train");
+        assert!(cube.layer_table("Train").is_ok());
+        assert_eq!(cube.layer_names(), vec!["Airport", "Train"]);
+        // Idempotent.
+        cube.add_layer_instance("Train", "T1", Point::new(0.0, 0.0).into())
+            .unwrap();
+        cube.ensure_layer_table("Train");
+        assert_eq!(cube.layer_table("Train").unwrap().table.len(), 1);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let cube = CubeBuilder::new(schema())
+            .member(
+                "Store",
+                vec![
+                    ("Store.name", CellValue::from("Downtown")),
+                    ("Store.geometry", point(0.0, 0.0)),
+                ],
+            )
+            .member("Time", vec![("Day.date", CellValue::Date(1))])
+            .layer_instance("Airport", "ALC", Point::new(3.0, 4.0).into())
+            .fact(
+                "Sales",
+                vec![("Store", 0), ("Time", 0)],
+                vec![("UnitSales", CellValue::Float(5.0))],
+            )
+            .build();
+        assert_eq!(cube.total_fact_rows(), 1);
+        assert_eq!(cube.layer_table("Airport").unwrap().table.len(), 1);
+    }
+
+    #[test]
+    fn column_name_helpers() {
+        assert_eq!(fk_column("Store"), "__fk_Store");
+        assert_eq!(attribute_column("City", "name"), "City.name");
+        assert_eq!(geometry_column("City"), "City.geometry");
+    }
+}

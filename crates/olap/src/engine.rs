@@ -1,0 +1,507 @@
+//! The query engine: group-by aggregation through personalized views.
+
+use crate::aggregate::Accumulator;
+use crate::cube::{attribute_column, Cube};
+use crate::error::OlapError;
+use crate::query::{Query, QueryResult, ResultRow};
+use crate::value::CellValue;
+use crate::view::InstanceView;
+use sdwp_model::AggregationFunction;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+
+/// Executes [`Query`]s against a [`Cube`], optionally through an
+/// [`InstanceView`] (the personalized selection produced by the
+/// `SelectInstance` action).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryEngine;
+
+impl QueryEngine {
+    /// Creates a query engine.
+    pub fn new() -> Self {
+        QueryEngine
+    }
+
+    /// Executes a query without any personalization.
+    pub fn execute(&self, cube: &Cube, query: &Query) -> Result<QueryResult, OlapError> {
+        self.execute_with_view(cube, query, &InstanceView::unrestricted())
+    }
+
+    /// Executes a query through a personalized instance view: only fact
+    /// rows visible through the view participate in the aggregation.
+    pub fn execute_with_view(
+        &self,
+        cube: &Cube,
+        query: &Query,
+        view: &InstanceView,
+    ) -> Result<QueryResult, OlapError> {
+        let fact_def = cube
+            .schema()
+            .fact(&query.fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: query.fact.clone(),
+            })?;
+        if query.measures.is_empty() {
+            return Err(OlapError::InvalidQuery {
+                message: "a query needs at least one measure".into(),
+            });
+        }
+
+        // Resolve measures: (column name, aggregation).
+        let mut measures: Vec<(String, AggregationFunction)> = Vec::new();
+        for m in &query.measures {
+            let def = fact_def
+                .measure(&m.measure)
+                .ok_or_else(|| OlapError::UnknownElement {
+                    kind: "measure",
+                    name: m.measure.clone(),
+                })?;
+            measures.push((def.name.clone(), m.aggregation.unwrap_or(def.aggregation)));
+        }
+
+        // Validate group-by references and check the dimensions are reachable.
+        for key in &query.group_by {
+            if !fact_def.references_dimension(&key.dimension) {
+                return Err(OlapError::InvalidQuery {
+                    message: format!(
+                        "fact '{}' is not analysed by dimension '{}'",
+                        fact_def.name, key.dimension
+                    ),
+                });
+            }
+            let dim = cube
+                .schema()
+                .dimension(&key.dimension)
+                .ok_or_else(|| OlapError::UnknownElement {
+                    kind: "dimension",
+                    name: key.dimension.clone(),
+                })?;
+            let level = dim.level(&key.level).ok_or_else(|| OlapError::UnknownElement {
+                kind: "level",
+                name: key.level.clone(),
+            })?;
+            if level.attribute(&key.attribute).is_none() {
+                return Err(OlapError::UnknownElement {
+                    kind: "attribute",
+                    name: format!("{}.{}", key.level, key.attribute),
+                });
+            }
+        }
+
+        // Pre-compute allowed member sets for every filtered dimension.
+        let mut allowed_members: HashMap<&str, BTreeSet<usize>> = HashMap::new();
+        for (dimension, filter) in &query.dimension_filters {
+            if !fact_def.references_dimension(dimension) {
+                return Err(OlapError::InvalidQuery {
+                    message: format!(
+                        "filtered dimension '{dimension}' is not referenced by fact '{}'",
+                        fact_def.name
+                    ),
+                });
+            }
+            let table = &cube.dimension_table(dimension)?.table;
+            let matching: BTreeSet<usize> = filter.matching_rows(table)?.into_iter().collect();
+            match allowed_members.entry(dimension.as_str()) {
+                Entry::Occupied(mut e) => {
+                    let intersection: BTreeSet<usize> =
+                        e.get().intersection(&matching).copied().collect();
+                    e.insert(intersection);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(matching);
+                }
+            }
+        }
+
+        let fact_table = &cube.fact_table(&query.fact)?.table;
+        let total_rows = fact_table.len();
+
+        // Group-by state: group key string -> (key cells, accumulators).
+        let mut groups: HashMap<String, (Vec<CellValue>, Vec<Accumulator>)> = HashMap::new();
+        let mut facts_scanned = 0usize;
+        let mut facts_matched = 0usize;
+        // Cache of member-row → key-cell lookups per group-by attribute.
+        let mut key_cache: Vec<HashMap<usize, CellValue>> =
+            vec![HashMap::new(); query.group_by.len()];
+
+        for fact_row in 0..total_rows {
+            if !view.allows_fact_row(cube, &query.fact, fact_row)? {
+                continue;
+            }
+            facts_scanned += 1;
+
+            // Dimension filters.
+            let mut passes = true;
+            for (dimension, allowed) in &allowed_members {
+                let member = cube.fact_member(&query.fact, fact_row, dimension)?;
+                if !allowed.contains(&member) {
+                    passes = false;
+                    break;
+                }
+            }
+            if !passes {
+                continue;
+            }
+            // Fact filter.
+            if let Some(filter) = &query.fact_filter {
+                if !filter.matches(fact_table, fact_row)? {
+                    continue;
+                }
+            }
+            facts_matched += 1;
+
+            // Build the group key.
+            let mut key_cells = Vec::with_capacity(query.group_by.len());
+            let mut key_string = String::new();
+            for (i, attr) in query.group_by.iter().enumerate() {
+                let member = cube.fact_member(&query.fact, fact_row, &attr.dimension)?;
+                let cell = match key_cache[i].get(&member) {
+                    Some(c) => c.clone(),
+                    None => {
+                        let table = &cube.dimension_table(&attr.dimension)?.table;
+                        let cell =
+                            table.get(member, &attribute_column(&attr.level, &attr.attribute))?;
+                        key_cache[i].insert(member, cell.clone());
+                        cell
+                    }
+                };
+                key_string.push_str(&cell.group_key());
+                key_string.push('\u{1f}');
+                key_cells.push(cell);
+            }
+
+            let entry = groups.entry(key_string).or_insert_with(|| {
+                (
+                    key_cells.clone(),
+                    measures
+                        .iter()
+                        .map(|(_, agg)| Accumulator::new(*agg))
+                        .collect(),
+                )
+            });
+            for ((column, _), acc) in measures.iter().zip(entry.1.iter_mut()) {
+                let value = fact_table.get(fact_row, column)?;
+                acc.update(&value);
+            }
+        }
+
+        // Materialise and sort rows for deterministic output.
+        let mut rows: Vec<ResultRow> = groups
+            .into_values()
+            .map(|(keys, accs)| ResultRow {
+                keys,
+                values: accs.iter().map(Accumulator::finish).collect(),
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            let ka: Vec<String> = a.keys.iter().map(CellValue::group_key).collect();
+            let kb: Vec<String> = b.keys.iter().map(CellValue::group_key).collect();
+            ka.cmp(&kb)
+        });
+        if let Some(limit) = query.limit {
+            rows.truncate(limit);
+        }
+
+        Ok(QueryResult {
+            key_names: query.group_by.iter().map(|a| a.label()).collect(),
+            value_names: measures
+                .iter()
+                .map(|(name, agg)| format!("{agg}({name})"))
+                .collect(),
+            rows,
+            facts_scanned,
+            facts_matched,
+        })
+    }
+
+    /// Convenience: total of a single measure over the (possibly
+    /// personalized) cube, with no grouping.
+    pub fn total(
+        &self,
+        cube: &Cube,
+        fact: &str,
+        measure: &str,
+        view: &InstanceView,
+    ) -> Result<f64, OlapError> {
+        let query = Query::over(fact).measure(measure);
+        let result = self.execute_with_view(cube, &query, view)?;
+        Ok(result
+            .rows
+            .first()
+            .and_then(|r| r.values.first())
+            .and_then(CellValue::as_number)
+            .unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+    use crate::query::AttributeRef;
+    use sdwp_geometry::Point;
+    use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, SchemaBuilder};
+
+    /// Builds a small sales cube: 4 stores in 2 cities, 3 days, one fact
+    /// row per (store, day) with UnitSales = store index + 1.
+    fn sales_cube() -> Cube {
+        let schema = SchemaBuilder::new("SalesDW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .simple_level("Store", "name")
+                    .simple_level("City", "name")
+                    .build(),
+            )
+            .dimension(
+                DimensionBuilder::new("Time")
+                    .level(
+                        "Day",
+                        vec![sdwp_model::Attribute::descriptor(
+                            "date",
+                            AttributeType::Date,
+                        )],
+                    )
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .measure_with(
+                        "StoreCost",
+                        AttributeType::Float,
+                        AggregationFunction::Avg,
+                    )
+                    .dimension("Store")
+                    .dimension("Time")
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let mut cube = Cube::new(schema);
+        let cities = ["Alicante", "Alicante", "Madrid", "Madrid"];
+        for (i, city) in cities.iter().enumerate() {
+            cube.add_dimension_member(
+                "Store",
+                vec![
+                    ("Store.name", CellValue::from(format!("S{i}"))),
+                    ("City.name", CellValue::from(*city)),
+                    (
+                        "Store.geometry",
+                        CellValue::Geometry(Point::new(i as f64 * 10.0, 0.0).into()),
+                    ),
+                ],
+            )
+            .unwrap();
+        }
+        for d in 0..3 {
+            cube.add_dimension_member("Time", vec![("Day.date", CellValue::Date(d))])
+                .unwrap();
+        }
+        for s in 0..4usize {
+            for d in 0..3usize {
+                cube.add_fact_row(
+                    "Sales",
+                    vec![("Store", s), ("Time", d)],
+                    vec![
+                        ("UnitSales", CellValue::Float((s + 1) as f64)),
+                        ("StoreCost", CellValue::Float(10.0 * (s + 1) as f64)),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+        cube
+    }
+
+    #[test]
+    fn rollup_to_city() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales");
+        let result = engine.execute(&cube, &query).unwrap();
+        assert_eq!(result.len(), 2);
+        // Alicante: stores 0 and 1 → (1 + 2) * 3 days = 9.
+        let alicante = result.find(&[CellValue::from("Alicante")]).unwrap();
+        assert_eq!(alicante.values[0], CellValue::Float(9.0));
+        // Madrid: stores 2 and 3 → (3 + 4) * 3 = 21.
+        let madrid = result.find(&[CellValue::from("Madrid")]).unwrap();
+        assert_eq!(madrid.values[0], CellValue::Float(21.0));
+        assert_eq!(result.facts_scanned, 12);
+        assert_eq!(result.facts_matched, 12);
+    }
+
+    #[test]
+    fn grand_total_and_avg() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let query = Query::over("Sales")
+            .measure("UnitSales")
+            .measure("StoreCost");
+        let result = engine.execute(&cube, &query).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.rows[0].values[0], CellValue::Float(30.0));
+        // StoreCost uses its default AVG aggregation: mean of 10,20,30,40
+        // over 3 days each = 25.
+        assert_eq!(result.rows[0].values[1], CellValue::Float(25.0));
+        assert_eq!(
+            engine
+                .total(&cube, "Sales", "UnitSales", &InstanceView::unrestricted())
+                .unwrap(),
+            30.0
+        );
+    }
+
+    #[test]
+    fn dimension_filter_slice() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "Store", "name"))
+            .measure("UnitSales")
+            .filter_dimension("Store", Filter::eq("City.name", "Alicante"));
+        let result = engine.execute(&cube, &query).unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.facts_matched, 6);
+    }
+
+    #[test]
+    fn spatial_dimension_filter() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        // Stores within 15 units of the origin: stores 0 (x=0) and 1 (x=10).
+        let query = Query::over("Sales")
+            .measure("UnitSales")
+            .filter_dimension(
+                "Store",
+                Filter::within_km("Store.geometry", Point::new(0.0, 0.0).into(), 15.0),
+            );
+        let result = engine.execute(&cube, &query).unwrap();
+        assert_eq!(result.rows[0].values[0], CellValue::Float(9.0));
+    }
+
+    #[test]
+    fn view_restriction_is_equivalent_to_filter() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let mut view = InstanceView::unrestricted();
+        view.select_dimension_members("Store", vec![0, 1]);
+        let query = Query::over("Sales").measure("UnitSales");
+        let via_view = engine.execute_with_view(&cube, &query, &view).unwrap();
+        let via_filter = engine
+            .execute(
+                &cube,
+                &Query::over("Sales")
+                    .measure("UnitSales")
+                    .filter_dimension("Store", Filter::eq("City.name", "Alicante")),
+            )
+            .unwrap();
+        assert_eq!(via_view.rows[0].values[0], via_filter.rows[0].values[0]);
+        // The view reduces the number of facts even scanned.
+        assert_eq!(via_view.facts_scanned, 6);
+        assert_eq!(via_filter.facts_scanned, 12);
+    }
+
+    #[test]
+    fn fact_filter_on_measures() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let query = Query::over("Sales")
+            .measure_agg("UnitSales", AggregationFunction::Count)
+            .filter_fact(Filter::Attribute {
+                column: "UnitSales".into(),
+                op: crate::filter::CompareOp::Ge,
+                value: CellValue::Float(3.0),
+            });
+        let result = engine.execute(&cube, &query).unwrap();
+        // Stores 2 and 3 have UnitSales 3 and 4, over 3 days each.
+        assert_eq!(result.rows[0].values[0], CellValue::Integer(6));
+    }
+
+    #[test]
+    fn multi_key_grouping_and_limit() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .group_by(AttributeRef::new("Time", "Day", "date"))
+            .measure("UnitSales");
+        let full = engine.execute(&cube, &query).unwrap();
+        assert_eq!(full.len(), 6); // 2 cities x 3 days
+        let limited = engine
+            .execute(&cube, &query.clone().limit(4))
+            .unwrap();
+        assert_eq!(limited.len(), 4);
+    }
+
+    #[test]
+    fn error_cases() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        assert!(engine
+            .execute(&cube, &Query::over("Returns").measure("UnitSales"))
+            .is_err());
+        assert!(engine
+            .execute(&cube, &Query::over("Sales"))
+            .is_err());
+        assert!(engine
+            .execute(&cube, &Query::over("Sales").measure("Profit"))
+            .is_err());
+        assert!(engine
+            .execute(
+                &cube,
+                &Query::over("Sales")
+                    .measure("UnitSales")
+                    .group_by(AttributeRef::new("Customer", "Customer", "name"))
+            )
+            .is_err());
+        assert!(engine
+            .execute(
+                &cube,
+                &Query::over("Sales")
+                    .measure("UnitSales")
+                    .group_by(AttributeRef::new("Store", "Country", "name"))
+            )
+            .is_err());
+        assert!(engine
+            .execute(
+                &cube,
+                &Query::over("Sales")
+                    .measure("UnitSales")
+                    .filter_dimension("Customer", Filter::All)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn empty_cube_returns_empty_result() {
+        let schema = SchemaBuilder::new("DW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .simple_level("Store", "name")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Store")
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let cube = Cube::new(schema);
+        let engine = QueryEngine::new();
+        let result = engine
+            .execute(
+                &cube,
+                &Query::over("Sales")
+                    .group_by(AttributeRef::new("Store", "Store", "name"))
+                    .measure("UnitSales"),
+            )
+            .unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.facts_scanned, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Errors raised by the OLAP engine.
+
+use std::fmt;
+
+/// Errors raised while building cubes or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OlapError {
+    /// A referenced column does not exist in a table.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A referenced dimension, level, layer or measure does not exist.
+    UnknownElement {
+        /// The kind of element.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A row had the wrong number of values or a wrong value type.
+    RowShape {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A value had an unexpected type.
+    TypeMismatch {
+        /// What was expected.
+        expected: &'static str,
+        /// What was found.
+        found: String,
+    },
+    /// The query was structurally invalid.
+    InvalidQuery {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for OlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OlapError::UnknownColumn { table, column } => {
+                write!(f, "table '{table}' has no column '{column}'")
+            }
+            OlapError::UnknownElement { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            OlapError::RowShape { message } => write!(f, "bad row: {message}"),
+            OlapError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            OlapError::InvalidQuery { message } => write!(f, "invalid query: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for OlapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            OlapError::UnknownColumn {
+                table: "Store".into(),
+                column: "zip".into()
+            }
+            .to_string(),
+            "table 'Store' has no column 'zip'"
+        );
+        assert!(OlapError::InvalidQuery {
+            message: "no measures".into()
+        }
+        .to_string()
+        .contains("no measures"));
+        assert!(OlapError::TypeMismatch {
+            expected: "geometry",
+            found: "text".into()
+        }
+        .to_string()
+        .contains("geometry"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&OlapError::RowShape {
+            message: "x".into(),
+        });
+    }
+}

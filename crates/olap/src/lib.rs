@@ -1,0 +1,48 @@
+//! An in-memory spatial OLAP engine (the SDW substrate).
+//!
+//! The paper assumes a spatial data warehouse platform underneath its
+//! personalization layer: something that stores fact and dimension
+//! instances for an MD/GeoMD schema, evaluates spatial predicates, and
+//! answers aggregate (OLAP) queries. This crate is that substrate, built
+//! from scratch:
+//!
+//! * [`Column`] / [`Table`] — typed columnar storage with dictionary
+//!   encoding for text;
+//! * [`Cube`] — a star-schema instance bound to an [`sdwp_model::Schema`]:
+//!   one dimension table per dimension (leaf grain, one column per level
+//!   attribute plus per-level geometry columns), layer tables for GeoMD
+//!   layers, and a fact table with foreign keys and measures;
+//! * [`Filter`] — boolean and spatial predicates over dimension members and
+//!   facts;
+//! * [`Query`] / [`QueryEngine`] — group-by aggregation (roll-up, slice,
+//!   dice) with optional [`InstanceView`] restriction;
+//! * [`InstanceView`] — the personalized selection produced by the paper's
+//!   `SelectInstance` action: a subset of dimension members / fact rows
+//!   that every subsequent query is evaluated through;
+//! * [`spatial`] — R-tree-accelerated within-distance and predicate
+//!   selection over dimension geometry columns.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod column;
+pub mod cube;
+pub mod engine;
+pub mod error;
+pub mod filter;
+pub mod query;
+pub mod spatial;
+pub mod table;
+pub mod value;
+pub mod view;
+
+pub use column::{Column, ColumnType, Dictionary};
+pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, LayerTable};
+pub use engine::QueryEngine;
+pub use error::OlapError;
+pub use filter::{CompareOp, Filter, SpatialPredicateOp};
+pub use query::{AttributeRef, MeasureRef, Query, QueryResult, ResultRow};
+pub use table::Table;
+pub use value::CellValue;
+pub use view::InstanceView;

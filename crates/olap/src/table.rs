@@ -1,0 +1,207 @@
+//! Row-addressable tables built from typed columns.
+
+use crate::column::{Column, ColumnType};
+use crate::error::OlapError;
+use crate::value::CellValue;
+use serde::{Deserialize, Serialize};
+
+/// A named table: an ordered set of typed columns of equal length.
+///
+/// Dimension tables, layer tables and fact tables are all [`Table`]s; the
+/// [`crate::Cube`] adds the star-schema wiring between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    columns: Vec<(String, Column)>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates a table from `(column name, type)` pairs.
+    pub fn new(name: impl Into<String>, columns: Vec<(String, ColumnType)>) -> Self {
+        Table {
+            name: name.into(),
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n, Column::new(t)))
+                .collect(),
+            rows: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column names in declaration order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, OlapError> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| OlapError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Appends a row given as `(column name, value)` pairs; missing columns
+    /// become null.
+    pub fn push_row(&mut self, values: Vec<(&str, CellValue)>) -> Result<usize, OlapError> {
+        // Validate the provided names first so a failed push cannot leave
+        // ragged columns behind.
+        for (name, _) in &values {
+            if self.column_index(name).is_none() {
+                return Err(OlapError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: (*name).to_string(),
+                });
+            }
+        }
+        for (col_name, column) in &mut self.columns {
+            let value = values
+                .iter()
+                .find(|(n, _)| n == col_name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(CellValue::Null);
+            column.push(value)?;
+        }
+        let row = self.rows;
+        self.rows += 1;
+        Ok(row)
+    }
+
+    /// Appends a row given positionally (must cover every column).
+    pub fn push_row_positional(&mut self, values: Vec<CellValue>) -> Result<usize, OlapError> {
+        if values.len() != self.columns.len() {
+            return Err(OlapError::RowShape {
+                message: format!(
+                    "table '{}' has {} columns but the row has {} values",
+                    self.name,
+                    self.columns.len(),
+                    values.len()
+                ),
+            });
+        }
+        for ((_, column), value) in self.columns.iter_mut().zip(values) {
+            column.push(value)?;
+        }
+        let row = self.rows;
+        self.rows += 1;
+        Ok(row)
+    }
+
+    /// Reads a cell by row index and column name.
+    pub fn get(&self, row: usize, column: &str) -> Result<CellValue, OlapError> {
+        Ok(self.column(column)?.get(row))
+    }
+
+    /// Reads an entire row as `(column name, value)` pairs.
+    pub fn row(&self, row: usize) -> Vec<(String, CellValue)> {
+        self.columns
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get(row)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_table() -> Table {
+        Table::new(
+            "Store",
+            vec![
+                ("Store.name".to_string(), ColumnType::Text),
+                ("City.name".to_string(), ColumnType::Text),
+                ("size_sqm".to_string(), ColumnType::Integer),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_metadata() {
+        let t = store_table();
+        assert!(t.is_empty());
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.column_names(), vec!["Store.name", "City.name", "size_sqm"]);
+        assert_eq!(t.column_index("City.name"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+        assert!(t.column("missing").is_err());
+    }
+
+    #[test]
+    fn named_row_insertion_fills_missing_with_null() {
+        let mut t = store_table();
+        let row = t
+            .push_row(vec![
+                ("Store.name", CellValue::from("Downtown")),
+                ("City.name", CellValue::from("Alicante")),
+            ])
+            .unwrap();
+        assert_eq!(row, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, "Store.name").unwrap(), CellValue::Text("Downtown".into()));
+        assert_eq!(t.get(0, "size_sqm").unwrap(), CellValue::Null);
+    }
+
+    #[test]
+    fn unknown_column_in_row_is_rejected_without_corruption() {
+        let mut t = store_table();
+        let err = t
+            .push_row(vec![("Store.name", CellValue::from("X")), ("ghost", CellValue::Null)])
+            .unwrap_err();
+        assert!(matches!(err, OlapError::UnknownColumn { .. }));
+        assert!(t.is_empty());
+        // The failed insert must not have left a partial row behind.
+        assert_eq!(t.column("Store.name").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn positional_row_insertion() {
+        let mut t = store_table();
+        t.push_row_positional(vec![
+            CellValue::from("Downtown"),
+            CellValue::from("Alicante"),
+            CellValue::Integer(450),
+        ])
+        .unwrap();
+        assert_eq!(t.get(0, "size_sqm").unwrap(), CellValue::Integer(450));
+        let err = t.push_row_positional(vec![CellValue::Null]).unwrap_err();
+        assert!(matches!(err, OlapError::RowShape { .. }));
+    }
+
+    #[test]
+    fn full_row_read() {
+        let mut t = store_table();
+        t.push_row(vec![("Store.name", CellValue::from("Downtown"))])
+            .unwrap();
+        let row = t.row(0);
+        assert_eq!(row.len(), 3);
+        assert_eq!(row[0].0, "Store.name");
+        assert_eq!(row[0].1, CellValue::Text("Downtown".into()));
+    }
+}

@@ -1,0 +1,294 @@
+//! Personalized instance views over a cube.
+
+use crate::cube::Cube;
+use crate::error::OlapError;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of instance personalization: a restriction of the cube to
+/// the dimension members (and/or fact rows) a decision maker should see.
+///
+/// This is the model-side effect of the paper's `SelectInstance` action.
+/// "All the succeeding analysis in any BI tool will have the sales fact
+/// instances only made in selected stores" — the view restricts every
+/// later query without copying any data.
+///
+/// An empty view is unrestricted; restrictions are added per dimension (a
+/// set of allowed member row ids) or per fact (a set of allowed fact row
+/// ids). A fact row passes the view when its row id is allowed *and* every
+/// foreign key points to an allowed member.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InstanceView {
+    dimension_selections: BTreeMap<String, BTreeSet<usize>>,
+    fact_selections: BTreeMap<String, BTreeSet<usize>>,
+}
+
+impl InstanceView {
+    /// Creates an unrestricted view.
+    pub fn unrestricted() -> Self {
+        InstanceView::default()
+    }
+
+    /// Returns `true` when no restriction has been registered.
+    pub fn is_unrestricted(&self) -> bool {
+        self.dimension_selections.is_empty() && self.fact_selections.is_empty()
+    }
+
+    /// Restricts a dimension to the given member row ids. Selecting the
+    /// same dimension again *intersects* with the previous selection, so
+    /// several instance rules compose conjunctively (each rule further
+    /// narrows what the user sees).
+    pub fn select_dimension_members(
+        &mut self,
+        dimension: impl Into<String>,
+        members: impl IntoIterator<Item = usize>,
+    ) {
+        let dimension = dimension.into();
+        let new: BTreeSet<usize> = members.into_iter().collect();
+        match self.dimension_selections.get_mut(&dimension) {
+            Some(existing) => {
+                *existing = existing.intersection(&new).copied().collect();
+            }
+            None => {
+                self.dimension_selections.insert(dimension, new);
+            }
+        }
+    }
+
+    /// Restricts a fact to the given fact row ids (intersecting with any
+    /// previous selection).
+    pub fn select_fact_rows(
+        &mut self,
+        fact: impl Into<String>,
+        rows: impl IntoIterator<Item = usize>,
+    ) {
+        let fact = fact.into();
+        let new: BTreeSet<usize> = rows.into_iter().collect();
+        match self.fact_selections.get_mut(&fact) {
+            Some(existing) => {
+                *existing = existing.intersection(&new).copied().collect();
+            }
+            None => {
+                self.fact_selections.insert(fact, new);
+            }
+        }
+    }
+
+    /// Returns `true` when the member of a dimension is visible.
+    pub fn allows_member(&self, dimension: &str, member: usize) -> bool {
+        self.dimension_selections
+            .get(dimension)
+            .map(|s| s.contains(&member))
+            .unwrap_or(true)
+    }
+
+    /// The selected member set for a dimension, when restricted.
+    pub fn selected_members(&self, dimension: &str) -> Option<&BTreeSet<usize>> {
+        self.dimension_selections.get(dimension)
+    }
+
+    /// Names of the dimensions this view restricts.
+    pub fn restricted_dimensions(&self) -> Vec<&str> {
+        self.dimension_selections.keys().map(String::as_str).collect()
+    }
+
+    /// Returns `true` when a fact row is visible through the view: the row
+    /// id is allowed for the fact and every foreign key points to an
+    /// allowed dimension member.
+    pub fn allows_fact_row(
+        &self,
+        cube: &Cube,
+        fact: &str,
+        fact_row: usize,
+    ) -> Result<bool, OlapError> {
+        if let Some(rows) = self.fact_selections.get(fact) {
+            if !rows.contains(&fact_row) {
+                return Ok(false);
+            }
+        }
+        let fact_def = cube
+            .schema()
+            .fact(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })?;
+        for dimension in &fact_def.dimensions {
+            if let Some(selected) = self.dimension_selections.get(dimension) {
+                let member = cube.fact_member(fact, fact_row, dimension)?;
+                if !selected.contains(&member) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Counts the fact rows visible through the view.
+    pub fn visible_fact_count(&self, cube: &Cube, fact: &str) -> Result<usize, OlapError> {
+        let total = cube.fact_table(fact)?.table.len();
+        let mut count = 0;
+        for row in 0..total {
+            if self.allows_fact_row(cube, fact, row)? {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Merges another view into this one (intersection semantics per
+    /// dimension and per fact).
+    pub fn merge(&mut self, other: &InstanceView) {
+        for (dim, members) in &other.dimension_selections {
+            self.select_dimension_members(dim.clone(), members.iter().copied());
+        }
+        for (fact, rows) in &other.fact_selections {
+            self.select_fact_rows(fact.clone(), rows.iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::CellValue;
+    use sdwp_geometry::Point;
+    use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, SchemaBuilder};
+
+    fn small_cube() -> Cube {
+        let schema = SchemaBuilder::new("DW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .simple_level("Store", "name")
+                    .build(),
+            )
+            .dimension(
+                DimensionBuilder::new("Time")
+                    .level(
+                        "Day",
+                        vec![sdwp_model::Attribute::descriptor(
+                            "date",
+                            AttributeType::Date,
+                        )],
+                    )
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Store")
+                    .dimension("Time")
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let mut cube = Cube::new(schema);
+        for i in 0..4 {
+            cube.add_dimension_member(
+                "Store",
+                vec![
+                    ("Store.name", CellValue::from(format!("S{i}"))),
+                    (
+                        "Store.geometry",
+                        CellValue::Geometry(Point::new(i as f64, 0.0).into()),
+                    ),
+                ],
+            )
+            .unwrap();
+        }
+        for d in 0..2 {
+            cube.add_dimension_member("Time", vec![("Day.date", CellValue::Date(d))])
+                .unwrap();
+        }
+        // One fact row per (store, day) pair.
+        for s in 0..4 {
+            for d in 0..2 {
+                cube.add_fact_row(
+                    "Sales",
+                    vec![("Store", s), ("Time", d as usize)],
+                    vec![("UnitSales", CellValue::Float(1.0))],
+                )
+                .unwrap();
+            }
+        }
+        cube
+    }
+
+    #[test]
+    fn unrestricted_view_allows_everything() {
+        let cube = small_cube();
+        let view = InstanceView::unrestricted();
+        assert!(view.is_unrestricted());
+        assert!(view.allows_member("Store", 3));
+        assert_eq!(view.visible_fact_count(&cube, "Sales").unwrap(), 8);
+    }
+
+    #[test]
+    fn dimension_selection_restricts_facts() {
+        let cube = small_cube();
+        let mut view = InstanceView::unrestricted();
+        view.select_dimension_members("Store", vec![0, 1]);
+        assert!(!view.is_unrestricted());
+        assert!(view.allows_member("Store", 0));
+        assert!(!view.allows_member("Store", 2));
+        assert!(view.allows_member("Time", 0)); // unrestricted dimension
+        assert_eq!(view.visible_fact_count(&cube, "Sales").unwrap(), 4);
+        assert_eq!(view.restricted_dimensions(), vec!["Store"]);
+        assert_eq!(view.selected_members("Store").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn repeated_selections_intersect() {
+        let mut view = InstanceView::unrestricted();
+        view.select_dimension_members("Store", vec![0, 1, 2]);
+        view.select_dimension_members("Store", vec![1, 2, 3]);
+        assert_eq!(
+            view.selected_members("Store").unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn fact_row_selection() {
+        let cube = small_cube();
+        let mut view = InstanceView::unrestricted();
+        view.select_fact_rows("Sales", vec![0, 1, 2]);
+        assert_eq!(view.visible_fact_count(&cube, "Sales").unwrap(), 3);
+        // Combining with a dimension restriction narrows further: rows 0..3
+        // belong to stores 0 and 1 (two rows each).
+        view.select_dimension_members("Store", vec![1]);
+        assert_eq!(view.visible_fact_count(&cube, "Sales").unwrap(), 1);
+    }
+
+    #[test]
+    fn merge_applies_intersection_semantics() {
+        let cube = small_cube();
+        let mut a = InstanceView::unrestricted();
+        a.select_dimension_members("Store", vec![0, 1, 2]);
+        let mut b = InstanceView::unrestricted();
+        b.select_dimension_members("Store", vec![2, 3]);
+        b.select_fact_rows("Sales", vec![4, 5]);
+        a.merge(&b);
+        assert_eq!(
+            a.selected_members("Store").unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![2]
+        );
+        // Fact rows 4 and 5 belong to store 2 → both visible.
+        assert_eq!(a.visible_fact_count(&cube, "Sales").unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_selection_hides_everything() {
+        let cube = small_cube();
+        let mut view = InstanceView::unrestricted();
+        view.select_dimension_members("Store", Vec::<usize>::new());
+        assert_eq!(view.visible_fact_count(&cube, "Sales").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_fact_is_an_error() {
+        let cube = small_cube();
+        let view = InstanceView::unrestricted();
+        assert!(view.allows_fact_row(&cube, "Returns", 0).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! The personalization rules published in the paper (Section 5), verbatim.
+//!
+//! These constants are shared by unit tests, integration tests, examples
+//! and benchmarks so the whole repository exercises exactly the rule text
+//! the paper presents.
+
+/// Example 5.1 — *Spatial Schema Rule*: when a regional sales manager logs
+/// in, add the Airport layer and make the Store level spatial.
+pub const EXAMPLE_5_1_ADD_SPATIALITY: &str = "\
+Rule:addSpatiality When SessionStart do
+If (SUS.DecisionMaker.dm2role.name=
+'RegionalSalesManager') then
+AddLayer('Airport', POINT)
+BecomeSpatial(MD.Sales.Store.geometry, POINT)
+endIf
+endWhen";
+
+/// Example 5.2 — *Spatial Instance Rule*: keep only the stores at less than
+/// 5 km of the decision maker's location.
+pub const EXAMPLE_5_2_5KM_STORES: &str = "\
+Rule:5kmStores When SessionStart do
+Foreach s in (GeoMD.Store)
+If(Distance(s.geometry,
+SUS.DecisionMaker.dm2session.s2location.geometry)
+<5km)
+then
+SelectInstance(s)
+endIf
+endForeach
+endWhen";
+
+/// Example 5.3 (first rule) — *Spatial User Interest Rule*: every time the
+/// user selects cities at less than 20 km of an airport, increment the
+/// AirportCity interest degree.
+pub const EXAMPLE_5_3_INT_AIRPORT_CITY: &str = "\
+Rule:IntAirportCity When
+SpatialSelection(GeoMD.Store.City,
+Distance(GeoMD.Store.City.geometry,
+GeoMD.Airport.geometry)<20km) do
+SetContent(SUS.DecisionMaker.dm2airportcity.degree,
+SUS.DecisionMaker.dm2airportcity.degree+1)
+endWhen";
+
+/// Example 5.3 (second rule) — once the AirportCity interest exceeds the
+/// designer-defined threshold, add the Train layer and also select the
+/// cities with a good train connection to an airport.
+pub const EXAMPLE_5_3_TRAIN_AIRPORT_CITY: &str = "\
+Rule:TrainAirportCity When SessionStart do
+If (SUS.DecisionMaker.dm2airportcity.degree
+>threshold) then
+AddLayer('Train', LINE)
+Foreach t, c, a in ( GeoMD.Train, GeoMD.Store.City,
+GeoMD.Airport)
+If(Distance(Intersection(Intersection(t.geometry,
+c.geometry),a.geometry))<50km) then
+SelectInstance(c)
+endIf
+endForeach
+endIf
+endWhen";
+
+/// Every rule of the paper, in presentation order.
+pub const ALL_PAPER_RULES: [&str; 4] = [
+    EXAMPLE_5_1_ADD_SPATIALITY,
+    EXAMPLE_5_2_5KM_STORES,
+    EXAMPLE_5_3_INT_AIRPORT_CITY,
+    EXAMPLE_5_3_TRAIN_AIRPORT_CITY,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn every_paper_rule_parses() {
+        for text in ALL_PAPER_RULES {
+            let rule = parse_rule(text).unwrap_or_else(|e| panic!("{e}\nin rule:\n{text}"));
+            assert!(!rule.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_rule_names() {
+        let names: Vec<String> = ALL_PAPER_RULES
+            .iter()
+            .map(|t| parse_rule(t).unwrap().name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "addSpatiality",
+                "5kmStores",
+                "IntAirportCity",
+                "TrainAirportCity"
+            ]
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Errors for parsing, checking and evaluating PRML rules.
+
+use std::fmt;
+
+/// A position in rule source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Errors produced by the PRML toolchain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrmlError {
+    /// The lexer met an unexpected character.
+    Lex {
+        /// Position of the offending character.
+        pos: SourcePos,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Position of the offending token.
+        pos: SourcePos,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Static checking failed (unknown path, wrong operand type, …).
+    Check {
+        /// The rule that failed.
+        rule: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Evaluation failed.
+    Eval {
+        /// The rule being evaluated (empty when outside a rule).
+        rule: String,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl PrmlError {
+    /// Creates an evaluation error.
+    pub fn eval(rule: impl Into<String>, message: impl Into<String>) -> Self {
+        PrmlError::Eval {
+            rule: rule.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PrmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrmlError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            PrmlError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            PrmlError::Check { rule, message } => {
+                write!(f, "rule '{rule}' failed validation: {message}")
+            }
+            PrmlError::Eval { rule, message } => {
+                if rule.is_empty() {
+                    write!(f, "evaluation error: {message}")
+                } else {
+                    write!(f, "evaluation error in rule '{rule}': {message}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_positions() {
+        let e = PrmlError::Parse {
+            pos: SourcePos { line: 3, column: 7 },
+            message: "expected 'do'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3, column 7: expected 'do'");
+        let c = PrmlError::Check {
+            rule: "addSpatiality".into(),
+            message: "unknown level".into(),
+        };
+        assert!(c.to_string().contains("addSpatiality"));
+        let ev = PrmlError::eval("", "division by zero");
+        assert_eq!(ev.to_string(), "evaluation error: division by zero");
+        let ev2 = PrmlError::eval("5kmStores", "bad");
+        assert!(ev2.to_string().contains("5kmStores"));
+        let lx = PrmlError::Lex {
+            pos: SourcePos::default(),
+            message: "stray '#'".into(),
+        };
+        assert!(lx.to_string().contains("stray"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&PrmlError::eval("r", "m"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Rule evaluation: executing PRML rules against a cube, a user profile and
+//! an analysis session.
+
+pub mod action;
+pub mod context;
+pub mod engine;
+pub mod expr;
+pub mod value;
+
+pub use context::{EvalContext, LayerSource, NoExternalLayers, RuleEffect};
+pub use engine::{FireReport, RuleEngine, RuntimeEvent};
+pub use value::{InstanceRef, InstanceSource, Value};

@@ -1,0 +1,324 @@
+//! Tokenizer for PRML rule text.
+
+use crate::error::{PrmlError, SourcePos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword (`Rule`, `When`, `SessionStart`, `Distance`,
+    /// `SUS`, `s`, …).
+    Ident(String),
+    /// A number literal. Unit suffixes are normalised to kilometres:
+    /// `5km` → 5.0, `500m` → 0.5.
+    Number(f64),
+    /// A single-quoted string literal.
+    Text(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it starts in the source.
+    pub pos: SourcePos,
+}
+
+/// Tokenizes PRML rule text.
+///
+/// Comments start with `//` or `--` and run to the end of the line.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, PrmlError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    let advance = |i: &mut usize, line: &mut usize, column: &mut usize, c: char| {
+        *i += 1;
+        if c == '\n' {
+            *line += 1;
+            *column = 1;
+        } else {
+            *column += 1;
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = SourcePos { line, column };
+
+        // Whitespace.
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut column, c);
+            continue;
+        }
+        // Comments: // ... or -- ...
+        if (c == '/' && chars.get(i + 1) == Some(&'/'))
+            || (c == '-' && chars.get(i + 1) == Some(&'-'))
+        {
+            while i < chars.len() && chars[i] != '\n' {
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            continue;
+        }
+        // String literals.
+        if c == '\'' {
+            advance(&mut i, &mut line, &mut column, c);
+            let mut text = String::new();
+            let mut closed = false;
+            while i < chars.len() {
+                let ch = chars[i];
+                advance(&mut i, &mut line, &mut column, ch);
+                if ch == '\'' {
+                    closed = true;
+                    break;
+                }
+                text.push(ch);
+            }
+            if !closed {
+                return Err(PrmlError::Lex {
+                    pos,
+                    message: "unterminated string literal".into(),
+                });
+            }
+            tokens.push(SpannedToken {
+                token: Token::Text(text),
+                pos,
+            });
+            continue;
+        }
+        // Numbers (optionally with a unit suffix such as km / m). A number
+        // immediately followed by letters that are *not* a known unit is
+        // treated as an identifier — the paper names a rule `5kmStores`.
+        if c.is_ascii_digit() {
+            let mut number = String::new();
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                let ch = chars[i];
+                number.push(ch);
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            let mut suffix = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                let ch = chars[i];
+                suffix.push(ch);
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            let base: f64 = number.parse().map_err(|_| PrmlError::Lex {
+                pos,
+                message: format!("invalid number '{number}'"),
+            })?;
+            let token = match suffix.to_ascii_lowercase().as_str() {
+                "" | "km" => Token::Number(base),
+                "m" => Token::Number(base / 1000.0),
+                _ => Token::Ident(format!("{number}{suffix}")),
+            };
+            tokens.push(SpannedToken { token, pos });
+            continue;
+        }
+        // Identifiers (may contain digits after the first character).
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                let ch = chars[i];
+                ident.push(ch);
+                advance(&mut i, &mut line, &mut column, ch);
+            }
+            tokens.push(SpannedToken {
+                token: Token::Ident(ident),
+                pos,
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let two = if i + 1 < chars.len() {
+            Some((c, chars[i + 1]))
+        } else {
+            None
+        };
+        let (token, width) = match (c, two) {
+            ('<', Some((_, '='))) => (Token::Le, 2),
+            ('<', Some((_, '>'))) => (Token::Ne, 2),
+            ('>', Some((_, '='))) => (Token::Ge, 2),
+            ('!', Some((_, '='))) => (Token::Ne, 2),
+            ('(', _) => (Token::LParen, 1),
+            (')', _) => (Token::RParen, 1),
+            (',', _) => (Token::Comma, 1),
+            ('.', _) => (Token::Dot, 1),
+            (':', _) => (Token::Colon, 1),
+            ('=', _) => (Token::Eq, 1),
+            ('<', _) => (Token::Lt, 1),
+            ('>', _) => (Token::Gt, 1),
+            ('+', _) => (Token::Plus, 1),
+            ('-', _) => (Token::Minus, 1),
+            ('*', _) => (Token::Star, 1),
+            ('/', _) => (Token::Slash, 1),
+            _ => {
+                return Err(PrmlError::Lex {
+                    pos,
+                    message: format!("unexpected character '{c}'"),
+                })
+            }
+        };
+        for _ in 0..width {
+            let ch = chars[i];
+            advance(&mut i, &mut line, &mut column, ch);
+        }
+        tokens.push(SpannedToken { token, pos });
+    }
+
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("Rule:x When SessionStart do endWhen"),
+            vec![
+                Token::Ident("Rule".into()),
+                Token::Colon,
+                Token::Ident("x".into()),
+                Token::Ident("When".into()),
+                Token::Ident("SessionStart".into()),
+                Token::Ident("do".into()),
+                Token::Ident("endWhen".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_units() {
+        assert_eq!(kinds("5"), vec![Token::Number(5.0)]);
+        assert_eq!(kinds("5km"), vec![Token::Number(5.0)]);
+        assert_eq!(kinds("2.5km"), vec![Token::Number(2.5)]);
+        assert_eq!(kinds("500m"), vec![Token::Number(0.5)]);
+        // A number glued to non-unit letters becomes an identifier (the
+        // paper names a rule '5kmStores').
+        assert_eq!(kinds("5kmStores"), vec![Token::Ident("5kmStores".into())]);
+        assert_eq!(kinds("5miles"), vec![Token::Ident("5miles".into())]);
+    }
+
+    #[test]
+    fn strings_and_operators() {
+        assert_eq!(
+            kinds("name = 'RegionalSalesManager'"),
+            vec![
+                Token::Ident("name".into()),
+                Token::Eq,
+                Token::Text("RegionalSalesManager".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("a <= b >= c <> d != e < f > g"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ge,
+                Token::Ident("c".into()),
+                Token::Ne,
+                Token::Ident("d".into()),
+                Token::Ne,
+                Token::Ident("e".into()),
+                Token::Lt,
+                Token::Ident("f".into()),
+                Token::Gt,
+                Token::Ident("g".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("degree+1"),
+            vec![Token::Ident("degree".into()), Token::Plus, Token::Number(1.0)]
+        );
+    }
+
+    #[test]
+    fn paths_and_calls() {
+        assert_eq!(
+            kinds("Distance(s.geometry, 5km)"),
+            vec![
+                Token::Ident("Distance".into()),
+                Token::LParen,
+                Token::Ident("s".into()),
+                Token::Dot,
+                Token::Ident("geometry".into()),
+                Token::Comma,
+                Token::Number(5.0),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // comment here\nb -- another\nc");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("abc\n  #").unwrap_err();
+        match err {
+            PrmlError::Lex { pos, .. } => {
+                assert_eq!(pos.line, 2);
+                assert_eq!(pos.column, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\nbb\n  c").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[2].pos, SourcePos { line: 3, column: 3 });
+    }
+}

@@ -1,0 +1,621 @@
+//! Recursive-descent parser for PRML rule text.
+
+use crate::ast::{Action, BinaryOp, EventSpec, Expr, Rule, Statement, UnaryOp};
+use crate::error::{PrmlError, SourcePos};
+use crate::lexer::{tokenize, SpannedToken, Token};
+use sdwp_geometry::GeometricType;
+
+/// Parses a single rule from text.
+pub fn parse_rule(input: &str) -> Result<Rule, PrmlError> {
+    let rules = parse_rules(input)?;
+    match rules.len() {
+        1 => Ok(rules.into_iter().next().expect("length checked")),
+        n => Err(PrmlError::Parse {
+            pos: SourcePos::default(),
+            message: format!("expected exactly one rule, found {n}"),
+        }),
+    }
+}
+
+/// Parses a sequence of rules from text.
+pub fn parse_rules(input: &str) -> Result<Vec<Rule>, PrmlError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, index: 0 };
+    let mut rules = Vec::new();
+    while !parser.at_end() {
+        rules.push(parser.parse_rule()?);
+    }
+    Ok(rules)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    index: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.index >= self.tokens.len()
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.tokens
+            .get(self.index)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.pos)
+            .unwrap_or_default()
+    }
+
+    fn error(&self, message: impl Into<String>) -> PrmlError {
+        PrmlError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index).map(|t| &t.token)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.index).map(|t| t.token.clone());
+        if t.is_some() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn expect_token(&mut self, expected: &Token, what: &str) -> Result<(), PrmlError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.index += 1;
+                Ok(())
+            }
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    /// Peeks whether the next token is the given keyword (case-insensitive).
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(keyword))
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), PrmlError> {
+        if self.peek_keyword(keyword) {
+            self.index += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword '{keyword}'")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, PrmlError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.index = self.index.saturating_sub(1);
+                Err(self.error(format!("expected {what}")))
+            }
+        }
+    }
+
+    // Rule := 'Rule' ':' name 'When' event 'do' statements 'endWhen'
+    fn parse_rule(&mut self) -> Result<Rule, PrmlError> {
+        self.expect_keyword("Rule")?;
+        self.expect_token(&Token::Colon, "':' after 'Rule'")?;
+        let name = self.expect_ident("a rule name")?;
+        self.expect_keyword("When")?;
+        let event = self.parse_event()?;
+        self.expect_keyword("do")?;
+        let body = self.parse_statements(&["endWhen"])?;
+        self.expect_keyword("endWhen")?;
+        Ok(Rule { name, event, body })
+    }
+
+    fn parse_event(&mut self) -> Result<EventSpec, PrmlError> {
+        if self.peek_keyword("SessionStart") {
+            self.index += 1;
+            return Ok(EventSpec::SessionStart);
+        }
+        if self.peek_keyword("SessionEnd") {
+            self.index += 1;
+            return Ok(EventSpec::SessionEnd);
+        }
+        if self.peek_keyword("SpatialSelection") {
+            self.index += 1;
+            self.expect_token(&Token::LParen, "'(' after SpatialSelection")?;
+            let element = self.parse_expr()?;
+            self.expect_token(&Token::Comma, "',' between element and condition")?;
+            let condition = self.parse_expr()?;
+            self.expect_token(&Token::RParen, "')' closing SpatialSelection")?;
+            return Ok(EventSpec::SpatialSelection { element, condition });
+        }
+        Err(self.error(
+            "expected an event: SessionStart, SessionEnd or SpatialSelection(element, condition)",
+        ))
+    }
+
+    /// Parses statements until one of the stop keywords is reached (the
+    /// stop keyword itself is not consumed).
+    fn parse_statements(&mut self, stops: &[&str]) -> Result<Vec<Statement>, PrmlError> {
+        let mut statements = Vec::new();
+        loop {
+            if self.at_end() {
+                return Err(self.error(format!("expected one of {stops:?} before end of input")));
+            }
+            if stops.iter().any(|s| self.peek_keyword(s)) {
+                return Ok(statements);
+            }
+            statements.push(self.parse_statement()?);
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, PrmlError> {
+        if self.peek_keyword("If") {
+            self.index += 1;
+            self.expect_token(&Token::LParen, "'(' after If")?;
+            let condition = self.parse_expr()?;
+            self.expect_token(&Token::RParen, "')' closing the If condition")?;
+            self.expect_keyword("then")?;
+            let then_branch = self.parse_statements(&["endIf", "else"])?;
+            let else_branch = if self.peek_keyword("else") {
+                self.index += 1;
+                self.parse_statements(&["endIf"])?
+            } else {
+                Vec::new()
+            };
+            self.expect_keyword("endIf")?;
+            return Ok(Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.peek_keyword("Foreach") {
+            self.index += 1;
+            let mut variables = vec![self.expect_ident("a loop variable")?];
+            while self.peek() == Some(&Token::Comma) {
+                self.index += 1;
+                variables.push(self.expect_ident("a loop variable")?);
+            }
+            self.expect_keyword("in")?;
+            self.expect_token(&Token::LParen, "'(' before the Foreach sources")?;
+            let mut sources = vec![self.parse_expr()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.index += 1;
+                sources.push(self.parse_expr()?);
+            }
+            self.expect_token(&Token::RParen, "')' after the Foreach sources")?;
+            if variables.len() != sources.len() {
+                return Err(self.error(format!(
+                    "Foreach declares {} variables but {} sources",
+                    variables.len(),
+                    sources.len()
+                )));
+            }
+            let body = self.parse_statements(&["endForeach"])?;
+            self.expect_keyword("endForeach")?;
+            return Ok(Statement::Foreach {
+                variables,
+                sources,
+                body,
+            });
+        }
+        // Actions.
+        if self.peek_keyword("SetContent") {
+            self.index += 1;
+            self.expect_token(&Token::LParen, "'(' after SetContent")?;
+            let target = self.parse_expr()?;
+            self.expect_token(&Token::Comma, "',' between property and value")?;
+            let value = self.parse_expr()?;
+            self.expect_token(&Token::RParen, "')' closing SetContent")?;
+            return Ok(Statement::Action(Action::SetContent { target, value }));
+        }
+        if self.peek_keyword("SelectInstance") {
+            self.index += 1;
+            self.expect_token(&Token::LParen, "'(' after SelectInstance")?;
+            let target = self.parse_expr()?;
+            self.expect_token(&Token::RParen, "')' closing SelectInstance")?;
+            return Ok(Statement::Action(Action::SelectInstance { target }));
+        }
+        if self.peek_keyword("BecomeSpatial") {
+            self.index += 1;
+            self.expect_token(&Token::LParen, "'(' after BecomeSpatial")?;
+            let element = self.parse_expr()?;
+            self.expect_token(&Token::Comma, "',' between element and geometric type")?;
+            let geometry = self.parse_geometric_type()?;
+            self.expect_token(&Token::RParen, "')' closing BecomeSpatial")?;
+            return Ok(Statement::Action(Action::BecomeSpatial { element, geometry }));
+        }
+        if self.peek_keyword("AddLayer") {
+            self.index += 1;
+            self.expect_token(&Token::LParen, "'(' after AddLayer")?;
+            let name = match self.advance() {
+                Some(Token::Text(s)) => s,
+                Some(Token::Ident(s)) => s,
+                _ => return Err(self.error("expected a layer name")),
+            };
+            self.expect_token(&Token::Comma, "',' between layer name and geometric type")?;
+            let geometry = self.parse_geometric_type()?;
+            self.expect_token(&Token::RParen, "')' closing AddLayer")?;
+            return Ok(Statement::Action(Action::AddLayer { name, geometry }));
+        }
+        Err(self.error(
+            "expected a statement: If, Foreach, SetContent, SelectInstance, BecomeSpatial or AddLayer",
+        ))
+    }
+
+    fn parse_geometric_type(&mut self) -> Result<GeometricType, PrmlError> {
+        let ident = self.expect_ident("a geometric type (POINT, LINE, POLYGON, COLLECTION)")?;
+        GeometricType::parse(&ident).ok_or_else(|| {
+            self.error(format!(
+                "unknown geometric type '{ident}' (expected POINT, LINE, POLYGON or COLLECTION)"
+            ))
+        })
+    }
+
+    // Expressions, precedence climbing: or < and < comparison < additive <
+    // multiplicative < unary < primary.
+    fn parse_expr(&mut self) -> Result<Expr, PrmlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, PrmlError> {
+        let mut left = self.parse_and()?;
+        while self.peek_keyword("or") {
+            self.index += 1;
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, PrmlError> {
+        let mut left = self.parse_comparison()?;
+        while self.peek_keyword("and") {
+            self.index += 1;
+            let right = self.parse_comparison()?;
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, PrmlError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::Ne) => Some(BinaryOp::Ne),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::Le) => Some(BinaryOp::Le),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.index += 1;
+                let right = self.parse_additive()?;
+                Ok(Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, PrmlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.index += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, PrmlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.index += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, PrmlError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.index += 1;
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+            });
+        }
+        if self.peek_keyword("not") {
+            self.index += 1;
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, PrmlError> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.index += 1;
+                Ok(Expr::Number(n))
+            }
+            Some(Token::Text(s)) => {
+                self.index += 1;
+                Ok(Expr::Text(s))
+            }
+            Some(Token::LParen) => {
+                self.index += 1;
+                let inner = self.parse_expr()?;
+                self.expect_token(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(ident)) => {
+                self.index += 1;
+                // Literals.
+                if ident.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Boolean(true));
+                }
+                if ident.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Boolean(false));
+                }
+                if let Some(g) = parse_geometric_literal(&ident) {
+                    return Ok(Expr::GeometricType(g));
+                }
+                // Function call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.index += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        args.push(self.parse_expr()?);
+                        while self.peek() == Some(&Token::Comma) {
+                            self.index += 1;
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect_token(&Token::RParen, "')' closing the argument list")?;
+                    return Ok(Expr::Call {
+                        function: ident,
+                        args,
+                    });
+                }
+                // Dotted path (or bare identifier).
+                let mut segments = vec![ident];
+                while self.peek() == Some(&Token::Dot) {
+                    self.index += 1;
+                    segments.push(self.expect_ident("a path segment after '.'")?);
+                }
+                Ok(Expr::Path(segments))
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+}
+
+/// Recognises upper-case geometric-type literals only (so that a loop
+/// variable named `line` keeps working as a path).
+fn parse_geometric_literal(ident: &str) -> Option<GeometricType> {
+    if ident.chars().all(|c| c.is_ascii_uppercase()) {
+        GeometricType::parse(ident)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::corpus::{
+        EXAMPLE_5_1_ADD_SPATIALITY as EXAMPLE_5_1, EXAMPLE_5_2_5KM_STORES as EXAMPLE_5_2,
+        EXAMPLE_5_3_INT_AIRPORT_CITY as EXAMPLE_5_3A,
+        EXAMPLE_5_3_TRAIN_AIRPORT_CITY as EXAMPLE_5_3B,
+    };
+
+    #[test]
+    fn parses_example_5_1() {
+        let rule = parse_rule(EXAMPLE_5_1).unwrap();
+        assert_eq!(rule.name, "addSpatiality");
+        assert_eq!(rule.event, EventSpec::SessionStart);
+        assert_eq!(rule.body.len(), 1);
+        let actions = rule.actions();
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            actions[0],
+            Action::AddLayer { name, geometry: GeometricType::Point } if name == "Airport"
+        ));
+        assert!(matches!(actions[1], Action::BecomeSpatial { .. }));
+        // The condition compares the role path against the literal.
+        match &rule.body[0] {
+            Statement::If { condition, .. } => match condition {
+                Expr::Binary { op: BinaryOp::Eq, left, right } => {
+                    assert!(left.has_prefix("SUS"));
+                    assert_eq!(**right, Expr::Text("RegionalSalesManager".into()));
+                }
+                other => panic!("unexpected condition {other:?}"),
+            },
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_example_5_2() {
+        let rule = parse_rule(EXAMPLE_5_2).unwrap();
+        assert_eq!(rule.name, "5kmStores");
+        match &rule.body[0] {
+            Statement::Foreach {
+                variables,
+                sources,
+                body,
+            } => {
+                assert_eq!(variables, &vec!["s".to_string()]);
+                assert!(sources[0].has_prefix("GeoMD"));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected Foreach, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_example_5_3a() {
+        let rule = parse_rule(EXAMPLE_5_3A).unwrap();
+        assert_eq!(rule.name, "IntAirportCity");
+        match &rule.event {
+            EventSpec::SpatialSelection { element, condition } => {
+                assert!(element.has_prefix("GeoMD"));
+                assert!(matches!(condition, Expr::Binary { op: BinaryOp::Lt, .. }));
+            }
+            other => panic!("expected SpatialSelection, got {other:?}"),
+        }
+        assert_eq!(rule.actions().len(), 1);
+    }
+
+    #[test]
+    fn parses_example_5_3b() {
+        let rule = parse_rule(EXAMPLE_5_3B).unwrap();
+        assert_eq!(rule.name, "TrainAirportCity");
+        let actions = rule.actions();
+        assert_eq!(actions.len(), 2); // AddLayer + SelectInstance
+        // The inner Foreach iterates three variables over three sources.
+        match &rule.body[0] {
+            Statement::If { then_branch, .. } => match &then_branch[1] {
+                Statement::Foreach { variables, sources, .. } => {
+                    assert_eq!(variables.len(), 3);
+                    assert_eq!(sources.len(), 3);
+                }
+                other => panic!("expected Foreach, got {other:?}"),
+            },
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multiple_rules() {
+        let text = format!("{EXAMPLE_5_1}\n{EXAMPLE_5_3A}");
+        let rules = parse_rules(&text).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(parse_rule(&text).is_err()); // parse_rule demands exactly one
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let rule = parse_rule(
+            "Rule:p When SessionStart do If (1 + 2 * 3 = 7) then AddLayer('x', POINT) endIf endWhen",
+        )
+        .unwrap();
+        match &rule.body[0] {
+            Statement::If { condition, .. } => match condition {
+                Expr::Binary { op: BinaryOp::Eq, left, .. } => match &**left {
+                    Expr::Binary { op: BinaryOp::Add, right, .. } => {
+                        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+                    }
+                    other => panic!("expected Add at the top of the left side, got {other:?}"),
+                },
+                other => panic!("expected Eq, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn boolean_connectives_and_not() {
+        let rule = parse_rule(
+            "Rule:b When SessionStart do \
+             If (true and not false or 1 < 2) then AddLayer('x', LINE) endIf endWhen",
+        )
+        .unwrap();
+        match &rule.body[0] {
+            Statement::If { condition, .. } => {
+                assert!(matches!(condition, Expr::Binary { op: BinaryOp::Or, .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn else_branch() {
+        let rule = parse_rule(
+            "Rule:e When SessionStart do \
+             If (true) then AddLayer('a', POINT) else AddLayer('b', LINE) endIf endWhen",
+        )
+        .unwrap();
+        match &rule.body[0] {
+            Statement::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert_eq!(then_branch.len(), 1);
+                assert_eq!(else_branch.len(), 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_rule("").is_err());
+        assert!(parse_rule("Rule addSpatiality When SessionStart do endWhen").is_err());
+        assert!(parse_rule("Rule:x When BogusEvent do endWhen").is_err());
+        assert!(parse_rule("Rule:x When SessionStart do If (true) then endWhen").is_err());
+        assert!(parse_rule("Rule:x When SessionStart do AddLayer('a', SPHERE) endIf endWhen").is_err());
+        assert!(parse_rule("Rule:x When SessionStart do Foreach a, b in (GeoMD.Store) endForeach endWhen").is_err());
+        assert!(parse_rule("Rule:x When SessionStart do SelectInstance(s endWhen").is_err());
+    }
+
+    #[test]
+    fn geometric_literals_are_case_sensitive() {
+        // Upper-case POINT is a literal; lower-case 'point' stays a path so
+        // loop variables and attribute names are not hijacked.
+        let rule = parse_rule(
+            "Rule:g When SessionStart do If (point = 1) then AddLayer('a', POINT) endIf endWhen",
+        )
+        .unwrap();
+        match &rule.body[0] {
+            Statement::If { condition, .. } => match condition {
+                Expr::Binary { left, .. } => {
+                    assert_eq!(left.as_path().unwrap(), &["point".to_string()]);
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Pretty-printer: renders the AST back to PRML concrete syntax.
+//!
+//! The printer is the inverse of the parser up to whitespace and layout:
+//! `parse(pretty(parse(text)))` equals `parse(text)`, which the
+//! property-based tests in `tests/prml_roundtrip.rs` verify.
+
+use crate::ast::{Action, EventSpec, Expr, Rule, Statement, UnaryOp};
+use std::fmt::Write as _;
+
+/// Renders a rule as PRML text.
+pub fn print_rule(rule: &Rule) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "Rule:{} When {} do\n", rule.name, print_event(&rule.event));
+    print_statements(&rule.body, 1, &mut out);
+    out.push_str("endWhen\n");
+    out
+}
+
+/// Renders an event specification.
+pub fn print_event(event: &EventSpec) -> String {
+    match event {
+        EventSpec::SessionStart => "SessionStart".to_string(),
+        EventSpec::SessionEnd => "SessionEnd".to_string(),
+        EventSpec::SpatialSelection { element, condition } => format!(
+            "SpatialSelection({}, {})",
+            print_expr(element),
+            print_expr(condition)
+        ),
+    }
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_statements(statements: &[Statement], level: usize, out: &mut String) {
+    for statement in statements {
+        match statement {
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                indent(level, out);
+                let _ = writeln!(out, "If ({}) then", print_expr(condition));
+                print_statements(then_branch, level + 1, out);
+                if !else_branch.is_empty() {
+                    indent(level, out);
+                    out.push_str("else\n");
+                    print_statements(else_branch, level + 1, out);
+                }
+                indent(level, out);
+                out.push_str("endIf\n");
+            }
+            Statement::Foreach {
+                variables,
+                sources,
+                body,
+            } => {
+                indent(level, out);
+                let srcs: Vec<String> = sources.iter().map(print_expr).collect();
+                let _ = writeln!(
+                    out,
+                    "Foreach {} in ({})",
+                    variables.join(", "),
+                    srcs.join(", ")
+                );
+                print_statements(body, level + 1, out);
+                indent(level, out);
+                out.push_str("endForeach\n");
+            }
+            Statement::Action(action) => {
+                indent(level, out);
+                let _ = writeln!(out, "{}", print_action(action));
+            }
+        }
+    }
+}
+
+/// Renders an action.
+pub fn print_action(action: &Action) -> String {
+    match action {
+        Action::SetContent { target, value } => {
+            format!("SetContent({}, {})", print_expr(target), print_expr(value))
+        }
+        Action::SelectInstance { target } => format!("SelectInstance({})", print_expr(target)),
+        Action::BecomeSpatial { element, geometry } => {
+            format!("BecomeSpatial({}, {})", print_expr(element), geometry)
+        }
+        Action::AddLayer { name, geometry } => format!("AddLayer('{name}', {geometry})"),
+    }
+}
+
+/// Renders an expression. Parentheses are emitted around every binary
+/// operation so the output re-parses with identical associativity.
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Expr::Text(s) => format!("'{s}'"),
+        Expr::Boolean(b) => b.to_string(),
+        Expr::GeometricType(g) => g.to_string(),
+        Expr::Path(segments) => segments.join("."),
+        Expr::Binary { op, left, right } => format!(
+            "({} {} {})",
+            print_expr(left),
+            op.symbol(),
+            print_expr(right)
+        ),
+        Expr::Unary { op, operand } => match op {
+            UnaryOp::Neg => format!("(-{})", print_expr(operand)),
+            UnaryOp::Not => format!("(not {})", print_expr(operand)),
+        },
+        Expr::Call { function, args } => {
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{function}({})", rendered.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::ALL_PAPER_RULES;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn paper_rules_round_trip() {
+        for text in ALL_PAPER_RULES {
+            let original = parse_rule(text).unwrap();
+            let printed = print_rule(&original);
+            let reparsed = parse_rule(&printed)
+                .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{printed}"));
+            assert_eq!(original, reparsed, "round trip changed the AST:\n{printed}");
+        }
+    }
+
+    #[test]
+    fn expressions_render_readably() {
+        let rule = parse_rule(crate::corpus::EXAMPLE_5_2_5KM_STORES).unwrap();
+        let printed = print_rule(&rule);
+        assert!(printed.contains("Rule:5kmStores When SessionStart do"));
+        assert!(printed.contains("Foreach s in (GeoMD.Store)"));
+        assert!(printed.contains("SelectInstance(s)"));
+        assert!(printed.contains("Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry)"));
+        assert!(printed.trim_end().ends_with("endWhen"));
+    }
+
+    #[test]
+    fn literals_and_unary() {
+        assert_eq!(print_expr(&Expr::Number(5.0)), "5");
+        assert_eq!(print_expr(&Expr::Number(2.5)), "2.5");
+        assert_eq!(print_expr(&Expr::Text("x".into())), "'x'");
+        assert_eq!(print_expr(&Expr::Boolean(true)), "true");
+        assert_eq!(
+            print_expr(&Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(Expr::Boolean(false))
+            }),
+            "(not false)"
+        );
+        assert_eq!(
+            print_expr(&Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(Expr::Number(3.0))
+            }),
+            "(-3)"
+        );
+    }
+
+    #[test]
+    fn actions_render() {
+        assert_eq!(
+            print_action(&Action::AddLayer {
+                name: "Airport".into(),
+                geometry: sdwp_geometry::GeometricType::Point
+            }),
+            "AddLayer('Airport', POINT)"
+        );
+        assert_eq!(
+            print_action(&Action::SelectInstance {
+                target: Expr::path("s")
+            }),
+            "SelectInstance(s)"
+        );
+    }
+}

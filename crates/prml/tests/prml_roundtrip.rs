@@ -1,0 +1,204 @@
+//! Property-based tests: pretty-printing a rule and re-parsing it yields
+//! the same AST, for randomly generated rules.
+
+use proptest::prelude::*;
+use sdwp_geometry::GeometricType;
+use sdwp_prml::ast::{Action, BinaryOp, EventSpec, Expr, Rule, Statement};
+use sdwp_prml::{parse_rule, print_rule};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn path_strategy() -> impl Strategy<Value = Expr> {
+    (
+        prop_oneof![Just("SUS"), Just("MD"), Just("GeoMD")],
+        prop::collection::vec(ident_strategy(), 1..4),
+    )
+        .prop_map(|(prefix, mut rest)| {
+            let mut segments = vec![prefix.to_string()];
+            segments.append(&mut rest);
+            Expr::Path(segments)
+        })
+}
+
+fn leaf_expr_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0u32..10_000).prop_map(|n| Expr::Number(n as f64)),
+        "[a-zA-Z ]{0,12}".prop_map(Expr::Text),
+        any::<bool>().prop_map(Expr::Boolean),
+        path_strategy(),
+        prop_oneof![
+            Just(GeometricType::Point),
+            Just(GeometricType::Line),
+            Just(GeometricType::Polygon),
+            Just(GeometricType::Collection),
+        ]
+        .prop_map(Expr::GeometricType),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf_expr_strategy().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::Ge),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, left, right)| Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }),
+            (
+                prop_oneof![Just("Distance"), Just("Intersection"), Just("Inside")],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(function, a, b)| Expr::Call {
+                    function: function.to_string(),
+                    args: vec![a, b],
+                }),
+        ]
+    })
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (path_strategy(), leaf_expr_strategy())
+            .prop_map(|(target, value)| Action::SetContent { target, value }),
+        ident_strategy().prop_map(|v| Action::SelectInstance {
+            target: Expr::Path(vec![v]),
+        }),
+        (path_strategy(), Just(GeometricType::Point))
+            .prop_map(|(element, geometry)| Action::BecomeSpatial { element, geometry }),
+        (ident_strategy(), Just(GeometricType::Line))
+            .prop_map(|(name, geometry)| Action::AddLayer { name, geometry }),
+    ]
+}
+
+fn statement_strategy() -> impl Strategy<Value = Statement> {
+    let action = action_strategy().prop_map(Statement::Action);
+    action.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (expr_strategy(), prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(condition, then_branch)| Statement::If {
+                    condition,
+                    then_branch,
+                    else_branch: Vec::new(),
+                }),
+            (
+                ident_strategy(),
+                path_strategy(),
+                prop::collection::vec(inner, 1..3)
+            )
+                .prop_map(|(variable, source, body)| Statement::Foreach {
+                    variables: vec![variable],
+                    sources: vec![source],
+                    body,
+                }),
+        ]
+    })
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        ident_strategy(),
+        prop_oneof![
+            Just(EventSpec::SessionStart),
+            Just(EventSpec::SessionEnd),
+            (path_strategy(), expr_strategy()).prop_map(|(element, condition)| {
+                EventSpec::SpatialSelection { element, condition }
+            }),
+        ],
+        prop::collection::vec(statement_strategy(), 0..4),
+    )
+        .prop_map(|(name, event, body)| Rule { name, event, body })
+}
+
+/// Keywords that cannot be used as identifiers without confusing the
+/// parser; generated rules containing them as names are discarded.
+fn uses_reserved_words(rule: &Rule) -> bool {
+    const RESERVED: [&str; 20] = [
+        "Rule", "When", "do", "endWhen", "If", "then", "else", "endIf", "Foreach", "in",
+        "endForeach", "SetContent", "SelectInstance", "BecomeSpatial", "AddLayer", "and", "or",
+        "not", "true", "false",
+    ];
+    fn expr_has_reserved(expr: &Expr) -> bool {
+        match expr {
+            Expr::Path(segments) => segments
+                .iter()
+                .any(|s| RESERVED.iter().any(|r| r.eq_ignore_ascii_case(s))),
+            Expr::Binary { left, right, .. } => expr_has_reserved(left) || expr_has_reserved(right),
+            Expr::Unary { operand, .. } => expr_has_reserved(operand),
+            Expr::Call { args, .. } => args.iter().any(expr_has_reserved),
+            Expr::Text(t) => t.contains('\''),
+            _ => false,
+        }
+    }
+    fn statement_has_reserved(statement: &Statement) -> bool {
+        match statement {
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                expr_has_reserved(condition)
+                    || then_branch.iter().any(statement_has_reserved)
+                    || else_branch.iter().any(statement_has_reserved)
+            }
+            Statement::Foreach {
+                variables,
+                sources,
+                body,
+            } => {
+                variables
+                    .iter()
+                    .any(|v| RESERVED.iter().any(|r| r.eq_ignore_ascii_case(v)))
+                    || sources.iter().any(expr_has_reserved)
+                    || body.iter().any(statement_has_reserved)
+            }
+            Statement::Action(action) => match action {
+                Action::SetContent { target, value } => {
+                    expr_has_reserved(target) || expr_has_reserved(value)
+                }
+                Action::SelectInstance { target } => expr_has_reserved(target),
+                Action::BecomeSpatial { element, .. } => expr_has_reserved(element),
+                Action::AddLayer { name, .. } => {
+                    name.contains('\'') || RESERVED.iter().any(|r| r.eq_ignore_ascii_case(name))
+                }
+            },
+        }
+    }
+    RESERVED.iter().any(|r| r.eq_ignore_ascii_case(&rule.name))
+        || match &rule.event {
+            EventSpec::SpatialSelection { element, condition } => {
+                expr_has_reserved(element) || expr_has_reserved(condition)
+            }
+            _ => false,
+        }
+        || rule.body.iter().any(statement_has_reserved)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn printed_rules_reparse_to_the_same_ast(rule in rule_strategy()) {
+        prop_assume!(!uses_reserved_words(&rule));
+        let printed = print_rule(&rule);
+        let reparsed = parse_rule(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- printed ---\n{printed}")))?;
+        prop_assert_eq!(rule, reparsed, "round trip changed the AST:\n{}", printed);
+    }
+}

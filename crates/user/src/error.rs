@@ -1,0 +1,93 @@
+//! Errors for the spatial-aware user model.
+
+use std::fmt;
+
+/// Errors raised while building profiles or navigating `SUS.*` paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserError {
+    /// A `SUS` path could not be resolved.
+    PathResolution {
+        /// The textual path.
+        path: String,
+        /// Why resolution failed.
+        reason: String,
+    },
+    /// An assignment targeted a read-only or non-existent property.
+    InvalidAssignment {
+        /// The textual path.
+        path: String,
+        /// Why the assignment failed.
+        reason: String,
+    },
+    /// A profile or session was not found in the store.
+    NotFound {
+        /// The kind of entity ("user", "session").
+        kind: &'static str,
+        /// The identifier that was looked up.
+        id: String,
+    },
+    /// A value had the wrong type for the requested operation.
+    TypeMismatch {
+        /// What was expected.
+        expected: &'static str,
+        /// What was found.
+        found: String,
+    },
+}
+
+impl fmt::Display for UserError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UserError::PathResolution { path, reason } => {
+                write!(f, "cannot resolve SUS path '{path}': {reason}")
+            }
+            UserError::InvalidAssignment { path, reason } => {
+                write!(f, "cannot assign to SUS path '{path}': {reason}")
+            }
+            UserError::NotFound { kind, id } => write!(f, "{kind} '{id}' not found"),
+            UserError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UserError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = UserError::PathResolution {
+            path: "SUS.X".into(),
+            reason: "no such role".into(),
+        };
+        assert!(e.to_string().contains("SUS.X"));
+        let e = UserError::NotFound {
+            kind: "user",
+            id: "u1".into(),
+        };
+        assert_eq!(e.to_string(), "user 'u1' not found");
+        let e = UserError::TypeMismatch {
+            expected: "number",
+            found: "text".into(),
+        };
+        assert!(e.to_string().contains("expected number"));
+        let e = UserError::InvalidAssignment {
+            path: "SUS.DecisionMaker.name".into(),
+            reason: "read-only".into(),
+        };
+        assert!(e.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&UserError::NotFound {
+            kind: "session",
+            id: "s".into(),
+        });
+    }
+}

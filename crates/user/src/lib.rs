@@ -1,0 +1,45 @@
+//! The Spatial-aware User model (SUS).
+//!
+//! Personalization is a user-centred process: the paper captures everything
+//! the rules need to know about a decision maker in a *spatial-aware user
+//! model* defined by a UML profile (Fig. 3) with these stereotypes:
+//!
+//! * «User» — the decision maker ([`UserProfile`]);
+//! * «Session» — one analysis session ([`Session`]);
+//! * «Characteristic» — domain-independent user data such as role, age or
+//!   language ([`Characteristic`], [`Role`]);
+//! * «LocationContext» — the geographic position the analysis is performed
+//!   from ([`LocationContext`]);
+//! * «SpatialSelection» — a tracked spatial-interest event whose `degree`
+//!   counts how often the user selected instances satisfying a spatial
+//!   condition ([`SpatialSelectionInterest`]).
+//!
+//! The crate also resolves and assigns `SUS.*` path expressions
+//! (`SUS.DecisionMaker.dm2role.name`,
+//! `SUS.DecisionMaker.dm2airportcity.degree`, …) used by PRML rule
+//! conditions and by the `SetContent` action.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod characteristic;
+pub mod error;
+pub mod location;
+pub mod path;
+pub mod profile;
+pub mod schema;
+pub mod selection;
+pub mod session;
+pub mod stereotype;
+pub mod value;
+
+pub use characteristic::{Characteristic, Role};
+pub use error::UserError;
+pub use location::LocationContext;
+pub use path::{assign_sus_path, resolve_sus_path, SusPath};
+pub use profile::{ProfileStore, UserProfile};
+pub use schema::{SusClass, SusModel, SusProperty};
+pub use selection::SpatialSelectionInterest;
+pub use session::{Session, SessionEvent, SessionId, SessionStatus};
+pub use stereotype::SusStereotype;
+pub use value::Value;

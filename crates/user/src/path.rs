@@ -1,0 +1,484 @@
+//! Resolution and assignment of `SUS.*` path expressions.
+//!
+//! The paper navigates the user model with OCL-like path expressions whose
+//! source concept is always the user class, e.g.:
+//!
+//! * `SUS.DecisionMaker.name`
+//! * `SUS.DecisionMaker.dm2role.name`
+//! * `SUS.DecisionMaker.dm2session.s2location.geometry`
+//! * `SUS.DecisionMaker.dm2airportcity.degree`
+//!
+//! Association roles follow the paper's `dm2...` / `s2...` naming: the
+//! resolver accepts both the role names (`dm2role`, `dm2session`,
+//! `s2location`, `dm2<interest>`) and the bare association targets
+//! (`role`, `session`, `location`, `<interest>`).
+
+use crate::error::UserError;
+use crate::profile::UserProfile;
+use crate::session::Session;
+use crate::value::Value;
+
+/// A parsed `SUS` path: the segments after the `SUS.` prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SusPath {
+    /// Navigation segments (the first is the user class name).
+    pub segments: Vec<String>,
+}
+
+impl SusPath {
+    /// Parses a textual path. The `SUS.` prefix is optional.
+    pub fn parse(text: &str) -> Result<Self, UserError> {
+        let mut parts: Vec<String> = text
+            .split('.')
+            .map(|s| s.trim().to_string())
+            .collect();
+        if parts.first().map(|p| p.eq_ignore_ascii_case("sus")) == Some(true) {
+            parts.remove(0);
+        }
+        if parts.is_empty() || parts.iter().any(String::is_empty) {
+            return Err(UserError::PathResolution {
+                path: text.to_string(),
+                reason: "path needs at least the user class segment".into(),
+            });
+        }
+        Ok(SusPath { segments: parts })
+    }
+}
+
+/// Strips an association-role prefix (`dm2`, `s2`, `u2`) from a segment,
+/// returning the target name: `dm2role` → `role`, `s2location` →
+/// `location`.
+fn strip_role_prefix(segment: &str) -> &str {
+    let lower_len = |prefix: &str| {
+        if segment.len() > prefix.len() && segment[..prefix.len()].eq_ignore_ascii_case(prefix) {
+            Some(prefix.len())
+        } else {
+            None
+        }
+    };
+    for prefix in ["dm2", "s2", "u2"] {
+        if let Some(n) = lower_len(prefix) {
+            return &segment[n..];
+        }
+    }
+    segment
+}
+
+/// Resolves a `SUS` path against a profile and (optionally) the current
+/// session, returning the value it denotes.
+pub fn resolve_sus_path(
+    profile: &UserProfile,
+    session: Option<&Session>,
+    path: &SusPath,
+) -> Result<Value, UserError> {
+    let text = || format!("SUS.{}", path.segments.join("."));
+    let err = |reason: String| UserError::PathResolution {
+        path: text(),
+        reason,
+    };
+    // segments[0] is the user class name; anything is accepted since the
+    // source concept is always the user.
+    let rest = &path.segments[1..];
+    if rest.is_empty() {
+        return Ok(Value::Text(profile.name.clone()));
+    }
+
+    let head = strip_role_prefix(&rest[0]);
+    let tail = &rest[1..];
+
+    match head.to_ascii_lowercase().as_str() {
+        "name" if tail.is_empty() => Ok(Value::Text(profile.name.clone())),
+        "id" if tail.is_empty() => Ok(Value::Text(profile.id.clone())),
+        "role" => {
+            // A user without an assigned role resolves to Null so that rule
+            // conditions such as `dm2role.name = 'RegionalSalesManager'`
+            // simply evaluate to false rather than failing the session.
+            let Some(role) = profile.role.as_ref() else {
+                return Ok(Value::Null);
+            };
+            match tail.first().map(String::as_str) {
+                None | Some("name") => Ok(Value::Text(role.name.clone())),
+                Some("description") => Ok(role
+                    .description
+                    .clone()
+                    .map(Value::Text)
+                    .unwrap_or(Value::Null)),
+                Some(other) => Err(err(format!("role has no property '{other}'"))),
+            }
+        }
+        "session" => {
+            // No active session resolves to Null (see the role case above).
+            let Some(session) = session else {
+                return Ok(Value::Null);
+            };
+            if tail.is_empty() {
+                return Ok(Value::Integer(session.id as i64));
+            }
+            let next = strip_role_prefix(&tail[0]);
+            match next.to_ascii_lowercase().as_str() {
+                "id" => Ok(Value::Integer(session.id as i64)),
+                "location" => {
+                    // A session without a reported location resolves to Null.
+                    let Some(loc) = session.location.as_ref() else {
+                        return Ok(Value::Null);
+                    };
+                    match tail.get(1).map(String::as_str) {
+                        None | Some("geometry") => Ok(Value::Geometry(loc.geometry.clone())),
+                        Some("name") => Ok(Value::Text(loc.name.clone())),
+                        Some(other) => {
+                            Err(err(format!("location context has no property '{other}'")))
+                        }
+                    }
+                }
+                other => Err(err(format!("session has no association '{other}'"))),
+            }
+        }
+        _ => {
+            // Interest, characteristic or custom property, in that order.
+            if let Some(interest) = profile.interest(head) {
+                return match tail.first().map(String::as_str) {
+                    None | Some("degree") => Ok(Value::Float(interest.degree)),
+                    Some("name") => Ok(Value::Text(interest.name.clone())),
+                    Some("condition") => Ok(interest
+                        .condition
+                        .clone()
+                        .map(Value::Text)
+                        .unwrap_or(Value::Null)),
+                    Some(other) => Err(err(format!("interest has no property '{other}'"))),
+                };
+            }
+            if let Some(characteristic) = profile.characteristic(head) {
+                if !tail.is_empty() && tail[0] != "value" {
+                    return Err(err(format!(
+                        "characteristic '{}' has no property '{}'",
+                        head, tail[0]
+                    )));
+                }
+                return Ok(characteristic.value.clone());
+            }
+            if let Some(value) = profile.custom.get(head) {
+                return Ok(value.clone());
+            }
+            // An interest that has never been tracked reads as degree 0, so
+            // threshold rules work for users whose profile does not declare
+            // the interest yet.
+            if tail.first().map(String::as_str) == Some("degree") {
+                return Ok(Value::Float(0.0));
+            }
+            Err(err(format!(
+                "'{head}' is not a role, session, interest, characteristic or custom property"
+            )))
+        }
+    }
+}
+
+/// Assigns a value to a `SUS` path (the model-side effect of the
+/// `SetContent` action).
+///
+/// Writable targets: the user name, the role name, interest degrees and
+/// conditions, characteristic values and custom properties (created on
+/// first assignment).
+pub fn assign_sus_path(
+    profile: &mut UserProfile,
+    path: &SusPath,
+    value: Value,
+) -> Result<(), UserError> {
+    let text = || format!("SUS.{}", path.segments.join("."));
+    let err = |reason: String| UserError::InvalidAssignment {
+        path: text(),
+        reason,
+    };
+    let rest = &path.segments[1..];
+    if rest.is_empty() {
+        return Err(err("cannot assign to the user object itself".into()));
+    }
+    let head = strip_role_prefix(&rest[0]).to_string();
+    let tail = &rest[1..];
+
+    match head.to_ascii_lowercase().as_str() {
+        "name" if tail.is_empty() => {
+            profile.name = value.to_string();
+            Ok(())
+        }
+        "role" => {
+            let new_name = match &value {
+                Value::Text(s) => s.clone(),
+                other => other.to_string(),
+            };
+            match tail.first().map(String::as_str) {
+                None | Some("name") => {
+                    match profile.role.as_mut() {
+                        Some(role) => role.name = new_name,
+                        None => profile.role = Some(crate::characteristic::Role::new(new_name)),
+                    }
+                    Ok(())
+                }
+                Some(other) => Err(err(format!("cannot assign to role property '{other}'"))),
+            }
+        }
+        "session" => Err(err("session properties are managed by the engine".into())),
+        "id" => Err(err("the user id is immutable".into())),
+        _ => {
+            // Interests take priority when the property is 'degree' or the
+            // interest already exists.
+            let is_degree = matches!(tail.first().map(String::as_str), Some("degree"));
+            if is_degree || profile.interest(&head).is_some() {
+                let interest = profile.interest_mut(&head);
+                match tail.first().map(String::as_str) {
+                    None | Some("degree") => {
+                        let number = value.as_number().ok_or_else(|| UserError::TypeMismatch {
+                            expected: "number",
+                            found: value.type_name().to_string(),
+                        })?;
+                        interest.degree = number;
+                        Ok(())
+                    }
+                    Some("condition") => {
+                        interest.condition = Some(value.to_string());
+                        Ok(())
+                    }
+                    Some(other) => {
+                        Err(err(format!("cannot assign to interest property '{other}'")))
+                    }
+                }
+            } else if profile.characteristic(&head).is_some() {
+                profile
+                    .characteristics
+                    .get_mut(&head.to_lowercase())
+                    .expect("checked above")
+                    .value = value;
+                Ok(())
+            } else {
+                // New custom property.
+                if !tail.is_empty() {
+                    return Err(err(format!(
+                        "unknown property '{}' cannot be navigated into",
+                        head
+                    )));
+                }
+                profile.custom.insert(head, value);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristic::{Characteristic, Role};
+    use crate::location::LocationContext;
+    use crate::selection::SpatialSelectionInterest;
+
+    fn profile() -> UserProfile {
+        UserProfile::new("u1", "Octavio")
+            .with_role(Role::with_description("RegionalSalesManager", "manages a region"))
+            .with_characteristic(Characteristic::new("language", "es"))
+            .with_interest(SpatialSelectionInterest::new("AirportCity"))
+    }
+
+    fn session() -> Session {
+        Session::start_at(7, "u1", LocationContext::at_point("office", 3.0, 4.0))
+    }
+
+    fn get(profile: &UserProfile, session: Option<&Session>, path: &str) -> Result<Value, UserError> {
+        resolve_sus_path(profile, session, &SusPath::parse(path).unwrap())
+    }
+
+    #[test]
+    fn parse_strips_prefix() {
+        let p = SusPath::parse("SUS.DecisionMaker.dm2role.name").unwrap();
+        assert_eq!(p.segments, vec!["DecisionMaker", "dm2role", "name"]);
+        let q = SusPath::parse("DecisionMaker.name").unwrap();
+        assert_eq!(q.segments.len(), 2);
+        assert!(SusPath::parse("SUS.").is_err());
+        assert!(SusPath::parse("").is_err());
+    }
+
+    #[test]
+    fn resolve_name_and_id() {
+        let p = profile();
+        assert_eq!(get(&p, None, "SUS.DecisionMaker.name").unwrap(), Value::Text("Octavio".into()));
+        assert_eq!(get(&p, None, "SUS.DecisionMaker.id").unwrap(), Value::Text("u1".into()));
+        assert_eq!(get(&p, None, "SUS.DecisionMaker").unwrap(), Value::Text("Octavio".into()));
+    }
+
+    #[test]
+    fn resolve_role_as_in_example_51() {
+        let p = profile();
+        // Paper: SUS.DecisionMaker.dm2role.name = 'RegionalSalesManager'
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.dm2role.name").unwrap(),
+            Value::Text("RegionalSalesManager".into())
+        );
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.role").unwrap(),
+            Value::Text("RegionalSalesManager".into())
+        );
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.dm2role.description").unwrap(),
+            Value::Text("manages a region".into())
+        );
+        let no_role = UserProfile::new("u2", "Ana");
+        // A missing role resolves to Null so conditions evaluate to false.
+        assert_eq!(
+            get(&no_role, None, "SUS.DecisionMaker.dm2role.name").unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn resolve_session_location_as_in_example_52() {
+        let p = profile();
+        let s = session();
+        // Paper: SUS.DecisionMaker.dm2session.s2location.geometry
+        let v = get(&p, Some(&s), "SUS.DecisionMaker.dm2session.s2location.geometry").unwrap();
+        let g = v.as_geometry().unwrap();
+        assert_eq!(g.as_point().unwrap().x(), 3.0);
+        assert_eq!(
+            get(&p, Some(&s), "SUS.DecisionMaker.dm2session.s2location.name").unwrap(),
+            Value::Text("office".into())
+        );
+        assert_eq!(
+            get(&p, Some(&s), "SUS.DecisionMaker.dm2session.id").unwrap(),
+            Value::Integer(7)
+        );
+        // Without an active session the path resolves to Null.
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.dm2session.s2location.geometry").unwrap(),
+            Value::Null
+        );
+        // A session without a location also resolves to Null.
+        let bare = Session::start(9, "u1");
+        assert_eq!(
+            get(&p, Some(&bare), "SUS.DecisionMaker.dm2session.s2location.geometry").unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn resolve_interest_degree_as_in_example_53() {
+        let mut p = profile();
+        p.interest_mut("AirportCity").increment();
+        p.interest_mut("AirportCity").increment();
+        // Paper: SUS.DecisionMaker.dm2airportcity.degree
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.dm2airportcity.degree").unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.dm2airportcity.name").unwrap(),
+            Value::Text("AirportCity".into())
+        );
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.dm2airportcity.condition").unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn resolve_characteristics_and_custom() {
+        let mut p = profile();
+        p.custom.insert("theme".into(), Value::from("dark"));
+        assert_eq!(get(&p, None, "SUS.DecisionMaker.language").unwrap(), Value::Text("es".into()));
+        assert_eq!(get(&p, None, "SUS.DecisionMaker.theme").unwrap(), Value::Text("dark".into()));
+        assert!(get(&p, None, "SUS.DecisionMaker.age").is_err());
+        assert!(get(&p, None, "SUS.DecisionMaker.dm2role.salary").is_err());
+    }
+
+    #[test]
+    fn assign_degree_increment() {
+        let mut p = profile();
+        // Paper Example 5.3: SetContent(degree, degree + 1).
+        let path = SusPath::parse("SUS.DecisionMaker.dm2airportcity.degree").unwrap();
+        let current = resolve_sus_path(&p, None, &path).unwrap().as_number().unwrap();
+        assign_sus_path(&mut p, &path, Value::Float(current + 1.0)).unwrap();
+        assert_eq!(p.interest("AirportCity").unwrap().degree, 1.0);
+        // Non-numeric degree assignment is rejected.
+        assert!(matches!(
+            assign_sus_path(&mut p, &path, Value::Text("x".into())),
+            Err(UserError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn assign_creates_interest_on_first_use() {
+        let mut p = UserProfile::new("u3", "Irene");
+        let path = SusPath::parse("SUS.DecisionMaker.dm2hospitalcity.degree").unwrap();
+        assign_sus_path(&mut p, &path, Value::Float(1.0)).unwrap();
+        assert_eq!(p.interest("hospitalcity").unwrap().degree, 1.0);
+    }
+
+    #[test]
+    fn assign_role_name_and_user_name() {
+        let mut p = UserProfile::new("u4", "Juan");
+        assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker.dm2role.name").unwrap(),
+            Value::from("Analyst"),
+        )
+        .unwrap();
+        assert_eq!(p.role_name(), Some("Analyst"));
+        assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker.name").unwrap(),
+            Value::from("Juan T."),
+        )
+        .unwrap();
+        assert_eq!(p.name, "Juan T.");
+    }
+
+    #[test]
+    fn assign_characteristic_and_custom() {
+        let mut p = profile();
+        assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker.language").unwrap(),
+            Value::from("en"),
+        )
+        .unwrap();
+        assert_eq!(
+            p.characteristic("language").unwrap().value,
+            Value::Text("en".into())
+        );
+        assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker.favourite_city").unwrap(),
+            Value::from("Alicante"),
+        )
+        .unwrap();
+        assert_eq!(
+            p.custom.get("favourite_city"),
+            Some(&Value::Text("Alicante".into()))
+        );
+    }
+
+    #[test]
+    fn invalid_assignments() {
+        let mut p = profile();
+        assert!(assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker").unwrap(),
+            Value::Null
+        )
+        .is_err());
+        assert!(assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker.id").unwrap(),
+            Value::from("other")
+        )
+        .is_err());
+        assert!(assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker.dm2session.s2location.geometry").unwrap(),
+            Value::Null
+        )
+        .is_err());
+        assert!(assign_sus_path(
+            &mut p,
+            &SusPath::parse("SUS.DecisionMaker.unknown.deeper").unwrap(),
+            Value::Null
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Example 5.1 in isolation: the spatial *schema* rule.
+//!
+//! Shows how `AddLayer` and `BecomeSpatial` turn the MD model of Fig. 2
+//! into the GeoMD model of Fig. 6, and prints the schema diff and the
+//! Graphviz DOT rendering of both models.
+//!
+//! Run with: `cargo run --example schema_personalization`
+
+use sdwp::core::PersonalizationEngine;
+use sdwp::datagen::{PaperScenario, ScenarioConfig};
+use sdwp::model::render::{render_dot, render_text};
+use sdwp::model::SchemaDiff;
+use sdwp::prml::corpus::EXAMPLE_5_1_ADD_SPATIALITY;
+use sdwp::prml::{classify_rule, parse_rule, print_rule};
+use std::sync::Arc;
+
+fn main() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let before = scenario.cube.schema().clone();
+
+    // Show the rule as parsed and pretty-printed, plus the metamodel
+    // elements (Fig. 5) it instantiates.
+    let rule = parse_rule(EXAMPLE_5_1_ADD_SPATIALITY).expect("paper rule parses");
+    println!("== Rule 5.1 (pretty-printed) ==\n{}", print_rule(&rule));
+    println!("Metamodel elements instantiated: {:?}\n", classify_rule(&rule));
+
+    let mut engine = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    engine.register_user(scenario.manager.clone());
+    engine
+        .add_rules_text(EXAMPLE_5_1_ADD_SPATIALITY)
+        .expect("rule registers");
+    engine
+        .start_session("regional-manager", None)
+        .expect("session starts");
+
+    let after = engine.cube().schema().clone();
+    println!("== Schema diff (MD → GeoMD) ==");
+    println!("{}", SchemaDiff::between(&before, &after));
+
+    println!("== MD model (before) ==\n{}", render_text(&before));
+    println!("== GeoMD model (after, Fig. 6) ==\n{}", render_text(&after));
+
+    println!("== GeoMD model as Graphviz DOT ==\n{}", render_dot(&after));
+}

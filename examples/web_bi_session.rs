@@ -1,0 +1,95 @@
+//! The web-facing deployment: a BI front-end driving the engine through
+//! serde request/response messages.
+//!
+//! This mirrors how the paper's approach is meant to be consumed — a web
+//! application logs users in, forwards their selections, and renders
+//! aggregation tables that are already personalized server-side.
+//!
+//! Run with: `cargo run --example web_bi_session`
+
+use sdwp::core::{PersonalizationEngine, WebFacade, WebRequest, WebResponse};
+use sdwp::datagen::{PaperScenario, ScenarioConfig};
+use sdwp::prml::corpus::ALL_PAPER_RULES;
+use std::sync::Arc;
+
+fn show(label: &str, response: &WebResponse) {
+    match response {
+        WebResponse::LoggedIn { session, report } => {
+            println!("[{label}] logged in, session {session}");
+            println!("{report}");
+        }
+        WebResponse::SelectionRecorded { rules_matched } => {
+            println!("[{label}] selection recorded ({rules_matched} rule(s) matched)");
+        }
+        WebResponse::Table {
+            columns,
+            rows,
+            facts_matched,
+        } => {
+            println!("[{label}] {} ({facts_matched} facts matched)", columns.join(" | "));
+            for row in rows.iter().take(8) {
+                println!("  {}", row.join(" | "));
+            }
+        }
+        WebResponse::Report(report) => println!("[{label}]\n{report}"),
+        WebResponse::LoggedOut => println!("[{label}] logged out"),
+        WebResponse::Error { message } => println!("[{label}] error: {message}"),
+    }
+}
+
+fn main() {
+    let scenario = PaperScenario::generate(ScenarioConfig::default());
+    let mut engine = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    engine.register_user(scenario.manager.clone());
+    engine.set_parameter("threshold", 2.0);
+    for rule in ALL_PAPER_RULES {
+        engine.add_rules_text(rule).expect("paper rule registers");
+    }
+    let mut facade = WebFacade::new(engine);
+
+    // The browser reports the manager's position next to the first store.
+    let store = &scenario.retail.stores[0];
+    let login = facade.handle(WebRequest::Login {
+        user: "regional-manager".into(),
+        location: Some((store.location.x(), store.location.y())),
+    });
+    show("login", &login);
+    let session = match login {
+        WebResponse::LoggedIn { session, .. } => session,
+        _ => return,
+    };
+
+    // The user pivots sales by city and by product category.
+    for (label, group_by) in [
+        ("sales by city", ("Store", "City", "name")),
+        ("sales by category", ("Product", "Category", "name")),
+    ] {
+        let response = facade.handle(WebRequest::Aggregate {
+            session,
+            fact: "Sales".into(),
+            measure: "UnitSales".into(),
+            group_by: vec![(
+                group_by.0.to_string(),
+                group_by.1.to_string(),
+                group_by.2.to_string(),
+            )],
+        });
+        show(label, &response);
+    }
+
+    // The user keeps drilling into cities near airports, then logs out.
+    for _ in 0..3 {
+        let response = facade.handle(WebRequest::SpatialSelection {
+            session,
+            element: "GeoMD.Store.City".into(),
+            expression: None,
+        });
+        show("selection", &response);
+    }
+    let report = facade.handle(WebRequest::Report { session });
+    show("report", &report);
+    show("logout", &facade.handle(WebRequest::Logout { session }));
+}

@@ -1,0 +1,49 @@
+//! # SDWP — Web-based personalization on spatial data warehouses
+//!
+//! A from-scratch Rust reproduction of *Using Web-based Personalization on
+//! Spatial Data Warehouses* (Glorio, Mazón, Garrigós, Trujillo — EDBT
+//! 2010): a multidimensional / geographic-multidimensional conceptual
+//! model, a spatial-aware user model, the PRML rule language adapted to
+//! spatial data warehouses, and the personalization engine that ties them
+//! together on top of an in-memory spatial OLAP substrate.
+//!
+//! This crate is a thin facade re-exporting the workspace crates under one
+//! name. Start with [`core::PersonalizationEngine`] and the
+//! `examples/quickstart.rs` example.
+//!
+//! ```
+//! use sdwp::datagen::{PaperScenario, ScenarioConfig};
+//! use sdwp::core::PersonalizationEngine;
+//! use sdwp::prml::corpus::EXAMPLE_5_1_ADD_SPATIALITY;
+//! use std::sync::Arc;
+//!
+//! let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+//! let mut engine = PersonalizationEngine::with_layer_source(
+//!     scenario.cube.clone(),
+//!     Arc::new(scenario.layer_source()),
+//! );
+//! engine.register_user(scenario.manager.clone());
+//! engine.add_rules_text(EXAMPLE_5_1_ADD_SPATIALITY).unwrap();
+//! let session = engine.start_session("regional-manager", None).unwrap();
+//! assert!(engine.cube().schema().layer("Airport").is_some());
+//! assert!(session.report.is_personalized());
+//! ```
+
+#![warn(missing_docs)]
+
+/// The personalization engine (the paper's primary contribution).
+pub use sdwp_core as core;
+/// Synthetic workload generation (the paper's running example at scale).
+pub use sdwp_datagen as datagen;
+/// Computational geometry and the paper's spatial operators.
+pub use sdwp_geometry as geometry;
+/// Spatial indexes (R-tree, uniform grid).
+pub use sdwp_index as index;
+/// The MD / GeoMD conceptual models.
+pub use sdwp_model as model;
+/// The in-memory spatial OLAP engine.
+pub use sdwp_olap as olap;
+/// The PRML rule language adapted to SDW.
+pub use sdwp_prml as prml;
+/// The spatial-aware user model (SUS).
+pub use sdwp_user as user;

@@ -1,0 +1,118 @@
+//! Cross-crate invariants of the OLAP layer under personalization: the
+//! personalized results must always be a "subset" of the full results.
+
+use sdwp::core::PersonalizationEngine;
+use sdwp::datagen::{PaperScenario, ScenarioConfig};
+use sdwp::olap::{AttributeRef, CellValue, Query};
+use sdwp::prml::corpus::ALL_PAPER_RULES;
+use sdwp::user::LocationContext;
+use std::sync::Arc;
+
+fn setup() -> (PersonalizationEngine, PaperScenario, u64) {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny().with_seed(2024));
+    let mut engine = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    engine.register_user(scenario.manager.clone());
+    engine.set_parameter("threshold", 2.0);
+    for rule in ALL_PAPER_RULES {
+        engine.add_rules_text(rule).unwrap();
+    }
+    let store = &scenario.retail.stores[0];
+    let session = engine
+        .start_session(
+            "regional-manager",
+            Some(LocationContext::at_point(
+                "office",
+                store.location.x(),
+                store.location.y(),
+            )),
+        )
+        .unwrap();
+    let id = session.id;
+    (engine, scenario, id)
+}
+
+#[test]
+fn personalized_totals_never_exceed_full_totals() {
+    let (engine, _scenario, session) = setup();
+    for measure in ["UnitSales", "StoreCost", "StoreSales"] {
+        let query = Query::over("Sales").measure(measure);
+        let personalized = engine.query(session, &query).unwrap();
+        let full = engine.query_unpersonalized(&query).unwrap();
+        let p = personalized.rows.first().map(|r| r.values[0].as_number().unwrap()).unwrap_or(0.0);
+        let f = full.rows[0].values[0].as_number().unwrap();
+        assert!(p <= f + 1e-6, "{measure}: personalized {p} > full {f}");
+        assert!(p >= 0.0);
+    }
+}
+
+#[test]
+fn personalized_groups_are_a_subset_of_full_groups() {
+    let (engine, _scenario, session) = setup();
+    let query = Query::over("Sales")
+        .group_by(AttributeRef::new("Store", "City", "name"))
+        .measure("UnitSales");
+    let personalized = engine.query(session, &query).unwrap();
+    let full = engine.query_unpersonalized(&query).unwrap();
+    assert!(personalized.len() <= full.len());
+    for row in &personalized.rows {
+        let counterpart = full.find(&row.keys).expect("group exists in the full result");
+        assert!(
+            row.values[0].as_number().unwrap() <= counterpart.values[0].as_number().unwrap() + 1e-6
+        );
+    }
+}
+
+#[test]
+fn group_totals_add_up_to_the_grand_total() {
+    let (engine, _scenario, session) = setup();
+    let grand = engine
+        .query(session, &Query::over("Sales").measure("UnitSales"))
+        .unwrap();
+    let grand_total = grand
+        .rows
+        .first()
+        .map(|r| r.values[0].as_number().unwrap())
+        .unwrap_or(0.0);
+    let by_city = engine
+        .query(
+            session,
+            &Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "City", "name"))
+                .measure("UnitSales"),
+        )
+        .unwrap();
+    assert!((by_city.column_total(0) - grand_total).abs() < 1e-6);
+    // Rolling up to the coarser State level preserves the total as well.
+    let by_state = engine
+        .query(
+            session,
+            &Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "State", "name"))
+                .measure("UnitSales"),
+        )
+        .unwrap();
+    assert!((by_state.column_total(0) - grand_total).abs() < 1e-6);
+    assert!(by_state.len() <= by_city.len());
+}
+
+#[test]
+fn counts_match_visible_fact_rows() {
+    let (engine, _scenario, session) = setup();
+    let count_query = Query::over("Sales").measure_agg(
+        "UnitSales",
+        sdwp::model::AggregationFunction::Count,
+    );
+    let counted = engine.query(session, &count_query).unwrap();
+    let visible = engine
+        .session_view(session)
+        .unwrap()
+        .visible_fact_count(engine.cube(), "Sales")
+        .unwrap();
+    assert_eq!(
+        counted.rows[0].values[0],
+        CellValue::Integer(visible as i64)
+    );
+}

@@ -1,0 +1,119 @@
+//! Reproduction of the paper's model figures (F2, F3, F4, F5, F6 in
+//! EXPERIMENTS.md): the structures the paper draws as UML diagrams are
+//! constructed programmatically and their content verified.
+
+use sdwp::datagen::scenario::{regional_sales_manager, sales_schema};
+use sdwp::geometry::GeometricType;
+use sdwp::model::{render::render_text, SchemaDiff, Stereotype};
+use sdwp::prml::corpus::ALL_PAPER_RULES;
+use sdwp::prml::metamodel::{classify_rule, MetaClass};
+use sdwp::prml::parse_rule;
+use sdwp::user::{SusModel, SusStereotype};
+
+/// Figure 2: the MD model for sales analysis.
+#[test]
+fn figure_2_md_model_for_sales() {
+    let schema = sales_schema();
+    let fact = schema.fact("Sales").expect("Sales fact");
+    // Who bought (Customer), where (Store), what (Product), when (Time).
+    assert_eq!(fact.dimensions, vec!["Store", "Customer", "Product", "Time"]);
+    // Measures shown in the figure.
+    for measure in ["UnitSales", "StoreCost", "StoreSales"] {
+        assert!(fact.measure(measure).is_some());
+    }
+    // Only the Store dimension is expanded in the figure: Store→City→State.
+    let store = schema.dimension("Store").unwrap();
+    assert_eq!(store.aggregation_path(), vec!["Store", "City", "State"]);
+    assert_eq!(store.leaf_level().unwrap().stereotype(), Stereotype::Base);
+    // Roll-up (r) and drill-down (d) roles.
+    assert_eq!(store.roll_up_target("City").unwrap().unwrap().name, "State");
+    assert_eq!(store.drill_down_target("City").unwrap().unwrap().name, "Store");
+    // No spatiality in the initial model.
+    assert!(!schema.is_geographic());
+    // The rendering mentions every stereotype of the figure.
+    let text = render_text(&schema);
+    assert!(text.contains("«Fact» Sales"));
+    assert!(text.contains("«Dimension» Store"));
+    assert!(text.contains("«Base» City"));
+    assert!(text.contains("«FactAttribute» UnitSales"));
+}
+
+/// Figure 3: the UML profile for the spatial-aware user model.
+#[test]
+fn figure_3_sus_profile_stereotypes() {
+    let names: Vec<String> = SusStereotype::ALL.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        names,
+        vec!["User", "Session", "Characteristic", "LocationContext", "SpatialSelection"]
+    );
+    // The GeometricTypes enumeration of the profile: POINT, LINE, POLYGON,
+    // COLLECTION (ISO/OGC compliant).
+    let geo: Vec<&str> = GeometricType::ALL.iter().map(|g| g.as_str()).collect();
+    assert_eq!(geo, vec!["POINT", "LINE", "POLYGON", "COLLECTION"]);
+}
+
+/// Figure 4: the spatial-aware user model for the motivating example.
+#[test]
+fn figure_4_user_model_instance() {
+    let model = SusModel::motivating_example();
+    model.validate().expect("the Fig. 4 model is well-formed");
+    assert!(model.find("DecisionMaker").is_some());
+    assert!(model.find("AirportCity").is_some());
+    // The runtime profile carries the same information: role and interest.
+    let profile = regional_sales_manager();
+    assert_eq!(profile.role_name(), Some("RegionalSalesManager"));
+    assert_eq!(profile.interest("AirportCity").unwrap().degree, 0.0);
+}
+
+/// Figure 5: the adapted PRML metamodel — every published rule parses and
+/// its metamodel elements are identifiable.
+#[test]
+fn figure_5_prml_metamodel_coverage() {
+    let mut covered = std::collections::BTreeSet::new();
+    for text in ALL_PAPER_RULES {
+        let rule = parse_rule(text).expect("paper rule parses");
+        covered.extend(classify_rule(&rule));
+    }
+    for expected in [
+        MetaClass::Rule,
+        MetaClass::SessionStartEvent,
+        MetaClass::SpatialSelectionEvent,
+        MetaClass::DistanceOperator,
+        MetaClass::IntersectionOperator,
+        MetaClass::SetContentAction,
+        MetaClass::SelectInstanceAction,
+        MetaClass::BecomeSpatialAction,
+        MetaClass::AddLayerAction,
+        MetaClass::ForeachStatement,
+        MetaClass::IfStatement,
+    ] {
+        assert!(covered.contains(&expected), "missing {expected:?}");
+    }
+}
+
+/// Figure 6: the GeoMD model obtained after applying the schema rules.
+#[test]
+fn figure_6_geomd_model_after_schema_rules() {
+    let before = sales_schema();
+    let mut after = before.clone();
+    // The effects of rule 5.1.
+    after.add_layer("Airport", GeometricType::Point).unwrap();
+    after.become_spatial("Store", GeometricType::Point).unwrap();
+    // Plus the Train layer the paper also shows in Fig. 6.
+    after.add_layer("Train", GeometricType::Line).unwrap();
+
+    assert!(after.is_geographic());
+    let (_, store_level) = after.find_level("Store").unwrap();
+    assert_eq!(store_level.stereotype(), Stereotype::SpatialLevel);
+    assert_eq!(store_level.geometry, Some(GeometricType::Point));
+    assert_eq!(after.layer("Airport").unwrap().geometry, GeometricType::Point);
+    assert_eq!(after.layer("Train").unwrap().geometry, GeometricType::Line);
+
+    let diff = SchemaDiff::between(&before, &after);
+    assert_eq!(diff.added_layers.len(), 2);
+    assert_eq!(diff.levels_become_spatial.len(), 1);
+    let rendered = render_text(&after);
+    assert!(rendered.contains("«SpatialLevel» Store geometry=POINT"));
+    assert!(rendered.contains("«Layer» Airport geometry=POINT"));
+    assert!(rendered.contains("«Layer» Train geometry=LINE"));
+}

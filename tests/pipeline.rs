@@ -1,0 +1,171 @@
+//! End-to-end reproduction of the paper's Fig. 1 process and of the three
+//! worked examples (5.1, 5.2, 5.3), exercised across every crate of the
+//! workspace through the public facade.
+
+use sdwp::core::PersonalizationEngine;
+use sdwp::datagen::{PaperScenario, ScenarioConfig};
+use sdwp::olap::{AttributeRef, Query};
+use sdwp::prml::corpus::*;
+use sdwp::prml::{check_rules, parse_rule, parse_rules, RuleClass};
+use sdwp::user::LocationContext;
+use std::sync::Arc;
+
+fn build_engine(scenario: &PaperScenario, threshold: f64) -> PersonalizationEngine {
+    let mut engine = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    engine.register_user(scenario.manager.clone());
+    engine.set_parameter("threshold", threshold);
+    for rule in ALL_PAPER_RULES {
+        engine.add_rules_text(rule).expect("paper rule registers");
+    }
+    engine
+}
+
+fn near_store(scenario: &PaperScenario, index: usize) -> LocationContext {
+    let store = &scenario.retail.stores[index];
+    LocationContext::at_point("office", store.location.x(), store.location.y())
+}
+
+#[test]
+fn paper_rule_set_parses_and_classifies() {
+    let all_text = ALL_PAPER_RULES.join("\n");
+    let rules = parse_rules(&all_text).expect("the whole corpus parses together");
+    assert_eq!(rules.len(), 4);
+    let schema = sdwp::datagen::scenario::sales_schema();
+    let classes = check_rules(&rules, &schema).expect("the corpus validates");
+    assert_eq!(
+        classes,
+        vec![
+            RuleClass::Schema,
+            RuleClass::Instance,
+            RuleClass::Acquisition,
+            RuleClass::Schema,
+        ]
+    );
+}
+
+#[test]
+fn figure_1_pipeline_end_to_end() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let mut engine = build_engine(&scenario, 2.0);
+
+    // Stage 1+2 happen at session start: schema rules then instance rules.
+    let session = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .expect("session starts");
+    let diff = engine.schema_diff();
+    assert!(diff.added_layers.iter().any(|(n, _)| n == "Airport"));
+    assert!(diff
+        .levels_become_spatial
+        .iter()
+        .any(|(_, level, _)| level == "Store"));
+
+    // The personalized view only exposes the nearby stores' facts.
+    let report = &session.report;
+    assert!(report.is_personalized());
+    let visible = report.visible_facts.get("Sales").copied().unwrap();
+    let total = report.total_facts.get("Sales").copied().unwrap();
+    assert!(visible <= total);
+    assert!(visible > 0, "the manager is standing next to a store");
+
+    // Queries through the session agree with the view counts.
+    let query = Query::over("Sales").measure("UnitSales");
+    let personalized = engine.query(session.id, &query).unwrap();
+    assert_eq!(personalized.facts_scanned, visible);
+    let full = engine.query_unpersonalized(&query).unwrap();
+    assert_eq!(full.facts_scanned, total);
+}
+
+#[test]
+fn example_5_2_selection_matches_ground_truth() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let mut engine = build_engine(&scenario, 100.0);
+    let location = near_store(&scenario, 3);
+    let session = engine
+        .start_session("regional-manager", Some(location.clone()))
+        .unwrap();
+
+    // Ground truth: stores strictly within 5 km of the location.
+    let user_point = location.geometry.as_point().unwrap();
+    let expected: std::collections::BTreeSet<usize> = scenario
+        .retail
+        .stores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.location.distance(user_point) < 5.0)
+        .map(|(i, _)| i)
+        .collect();
+    let view = engine.session_view(session.id).unwrap();
+    let selected = view.selected_members("Store").expect("Store restricted");
+    assert_eq!(selected, &expected);
+}
+
+#[test]
+fn example_5_3_threshold_behaviour_across_sessions() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let mut engine = build_engine(&scenario, 2.0);
+
+    // Below the threshold nothing extra happens.
+    let first = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .unwrap();
+    assert!(engine.cube().schema().layer("Train").is_none());
+
+    // The user selects cities near airports three times (> threshold of 2).
+    for _ in 0..3 {
+        engine
+            .record_spatial_selection(first.id, "GeoMD.Store.City", None)
+            .unwrap();
+    }
+    let degree = engine
+        .user_profile("regional-manager")
+        .unwrap()
+        .interest("AirportCity")
+        .unwrap()
+        .degree;
+    assert_eq!(degree, 3.0);
+    engine.end_session(first.id).unwrap();
+
+    // The interest persists across sessions; the next login adds the Train
+    // layer and keeps the train-connected cities.
+    let second = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .unwrap();
+    assert!(engine.cube().schema().layer("Train").is_some());
+    assert!(second
+        .report
+        .schema_diff
+        .added_layers
+        .iter()
+        .any(|(n, _)| n == "Train"));
+}
+
+#[test]
+fn personalization_is_deterministic_across_runs() {
+    let run = || {
+        let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+        let mut engine = build_engine(&scenario, 2.0);
+        let session = engine
+            .start_session("regional-manager", Some(near_store(&scenario, 0)))
+            .unwrap();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales");
+        engine.query(session.id, &query).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn rules_can_be_pretty_printed_and_reparsed() {
+    for text in ALL_PAPER_RULES {
+        let rule = parse_rule(text).unwrap();
+        let printed = sdwp::prml::print_rule(&rule);
+        let reparsed = parse_rule(&printed).unwrap();
+        assert_eq!(rule, reparsed);
+    }
+}

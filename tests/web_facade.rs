@@ -1,0 +1,155 @@
+//! Integration test of the web-facing request/response flow (the
+//! "web-based" part of the paper's title) plus a concurrency smoke test of
+//! the shared profile store.
+
+use sdwp::core::{PersonalizationEngine, WebFacade, WebRequest, WebResponse};
+use sdwp::datagen::{PaperScenario, ScenarioConfig};
+use sdwp::prml::corpus::ALL_PAPER_RULES;
+use sdwp::user::{Characteristic, Role, UserProfile};
+use std::sync::Arc;
+
+fn facade(scenario: &PaperScenario) -> WebFacade {
+    let mut engine = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    engine.register_user(scenario.manager.clone());
+    engine.register_user(
+        UserProfile::new("analyst", "Ana Lyst")
+            .with_role(Role::new("Analyst"))
+            .with_characteristic(Characteristic::new("language", "en")),
+    );
+    engine.set_parameter("threshold", 2.0);
+    for rule in ALL_PAPER_RULES {
+        engine.add_rules_text(rule).expect("paper rule registers");
+    }
+    WebFacade::new(engine)
+}
+
+#[test]
+fn two_users_get_different_views() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let mut facade = facade(&scenario);
+    let store = &scenario.retail.stores[0];
+
+    // The regional sales manager logs in next to a store: personalized.
+    let manager_session = match facade.handle(WebRequest::Login {
+        user: "regional-manager".into(),
+        location: Some((store.location.x(), store.location.y())),
+    }) {
+        WebResponse::LoggedIn { session, report } => {
+            assert!(report.is_personalized());
+            assert!(!report.schema_diff.added_layers.is_empty());
+            session
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+
+    // The analyst logs in from far away with a different role.
+    let analyst_session = match facade.handle(WebRequest::Login {
+        user: "analyst".into(),
+        location: Some((9_999.0, 9_999.0)),
+    }) {
+        WebResponse::LoggedIn { session, report } => {
+            // No store near the analyst: everything filtered out.
+            assert_eq!(report.visible_facts.get("Sales"), Some(&0));
+            session
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+
+    // The manager sees some rows, the analyst sees none.
+    let aggregate = |facade: &mut WebFacade, session| {
+        facade.handle(WebRequest::Aggregate {
+            session,
+            fact: "Sales".into(),
+            measure: "UnitSales".into(),
+            group_by: vec![("Store".into(), "City".into(), "name".into())],
+        })
+    };
+    match aggregate(&mut facade, manager_session) {
+        WebResponse::Table { facts_matched, .. } => assert!(facts_matched > 0),
+        other => panic!("unexpected {other:?}"),
+    }
+    match aggregate(&mut facade, analyst_session) {
+        WebResponse::Table { facts_matched, rows, .. } => {
+            assert_eq!(facts_matched, 0);
+            assert!(rows.is_empty());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn selections_update_the_profile_until_logout() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let mut facade = facade(&scenario);
+    let store = &scenario.retail.stores[0];
+    let session = match facade.handle(WebRequest::Login {
+        user: "regional-manager".into(),
+        location: Some((store.location.x(), store.location.y())),
+    }) {
+        WebResponse::LoggedIn { session, .. } => session,
+        other => panic!("unexpected {other:?}"),
+    };
+    for _ in 0..2 {
+        match facade.handle(WebRequest::SpatialSelection {
+            session,
+            element: "GeoMD.Store.City".into(),
+            expression: None,
+        }) {
+            WebResponse::SelectionRecorded { rules_matched } => assert_eq!(rules_matched, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let profile = facade.engine().user_profile("regional-manager").unwrap();
+    assert_eq!(profile.interest("AirportCity").unwrap().degree, 2.0);
+
+    assert_eq!(
+        facade.handle(WebRequest::Logout { session }),
+        WebResponse::LoggedOut
+    );
+    // After logout the session is rejected.
+    match facade.handle(WebRequest::Aggregate {
+        session,
+        fact: "Sales".into(),
+        measure: "UnitSales".into(),
+        group_by: vec![],
+    }) {
+        WebResponse::Table { .. } => panic!("query should not run on an ended session"),
+        WebResponse::Error { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn profile_store_is_shared_across_threads() {
+    // The ProfileStore is the piece shared between concurrent web workers;
+    // verify cross-thread visibility of SetContent-style updates.
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let engine = {
+        let mut engine = PersonalizationEngine::new(scenario.cube.clone());
+        engine.register_user(scenario.manager.clone());
+        engine
+    };
+    let store = engine.profiles().clone();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    store
+                        .update("regional-manager", |p| {
+                            p.interest_mut("AirportCity").increment();
+                        })
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let profile = store.get("regional-manager").unwrap();
+    assert_eq!(profile.interest("AirportCity").unwrap().degree, 200.0);
+}
