@@ -1,0 +1,147 @@
+//! Concurrent multi-session serving: query throughput of one shared engine
+//! as worker threads are added, plus concurrent session churn
+//! (login → select → query → logout).
+//!
+//! The read path runs on hot-swapped cube snapshots and a sharded session
+//! map, so aggregate query throughput should *scale* with threads rather
+//! than serialise — the property the engine-core refactor exists for.
+//!
+//! Interpreting the numbers: on an N-core machine the fixed per-iteration
+//! query batch should take ≈ 1/min(threads, N) of the single-thread time.
+//! On a single-core runner (CI containers often are) the curve is flat
+//! instead — and *flatness* is then the signal: adding contending threads
+//! costs nothing, i.e. the read path does not convoy on any lock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdwp_bench::{engine_for, manager_location, scenario_at_scale};
+use sdwp_core::PersonalizationEngine;
+use sdwp_olap::{AttributeRef, Query};
+use sdwp_user::SessionId;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Queries executed per measured iteration, split across the workers.
+const QUERIES_PER_ITER: usize = 64;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn city_query() -> Query {
+    Query::over("Sales")
+        .group_by(AttributeRef::new("Store", "City", "name"))
+        .measure("UnitSales")
+}
+
+/// One engine, one pre-started session per worker; measure wall-clock for
+/// `QUERIES_PER_ITER` personalized queries split over `threads` workers.
+fn bench_query_scaling(c: &mut Criterion) {
+    println!(
+        "available parallelism: {} core(s)",
+        thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let scenario = scenario_at_scale(4);
+    let engine = engine_for(&scenario);
+    let location = manager_location(&scenario);
+    let max_threads = 8;
+    let sessions: Vec<SessionId> = (0..max_threads)
+        .map(|_| {
+            engine
+                .start_session("regional-manager", Some(location.clone()))
+                .expect("session starts")
+                .id
+        })
+        .collect();
+    let engine = Arc::new(engine);
+    let query = city_query();
+
+    let mut group = c.benchmark_group("B10_concurrent_query_throughput");
+    group.throughput(Throughput::Elements(QUERIES_PER_ITER as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let per_worker = QUERIES_PER_ITER / threads;
+                    let workers: Vec<_> = (0..threads)
+                        .map(|w| {
+                            let engine = Arc::clone(&engine);
+                            let query = query.clone();
+                            let session = sessions[w];
+                            thread::spawn(move || {
+                                for _ in 0..per_worker {
+                                    criterion::black_box(
+                                        engine.query(session, &query).expect("query runs"),
+                                    );
+                                }
+                            })
+                        })
+                        .collect();
+                    for worker in workers {
+                        worker.join().expect("worker finishes");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Full lifecycle churn: every worker logs in, records a selection, queries
+/// and logs out, all against one shared engine.
+fn bench_session_churn(c: &mut Criterion) {
+    let scenario = scenario_at_scale(1);
+    let location = manager_location(&scenario);
+    let query = city_query();
+
+    let mut group = c.benchmark_group("B11_concurrent_session_churn");
+    for threads in [1usize, 4, 8] {
+        // A fresh engine per parameter point so session history does not
+        // accumulate across measurements.
+        let engine: Arc<PersonalizationEngine> = Arc::new(engine_for(&scenario));
+        group.throughput(Throughput::Elements(threads as u64));
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let workers: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let engine = Arc::clone(&engine);
+                            let location = location.clone();
+                            let query = query.clone();
+                            thread::spawn(move || {
+                                let handle = engine
+                                    .start_session("regional-manager", Some(location))
+                                    .expect("login");
+                                engine
+                                    .record_spatial_selection(handle.id, "GeoMD.Store.City", None)
+                                    .expect("selection");
+                                criterion::black_box(
+                                    engine.query(handle.id, &query).expect("query"),
+                                );
+                                engine.end_session(handle.id).expect("logout");
+                            })
+                        })
+                        .collect();
+                    for worker in workers {
+                        worker.join().expect("worker finishes");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_query_scaling, bench_session_churn
+}
+criterion_main!(benches);

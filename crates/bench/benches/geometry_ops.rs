@@ -2,7 +2,9 @@
 //! Intersection operators the paper adds to PRML, across geometry sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sdwp_geometry::{distance, intersection, predicates, Coord, Geometry, LineString, Point, Polygon};
+use sdwp_geometry::{
+    distance, intersection, predicates, Coord, Geometry, LineString, Point, Polygon,
+};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -51,7 +53,9 @@ fn bench_geometry_ops(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("intersection/line-line", vertices),
             &vertices,
-            |bench, _| bench.iter(|| intersection::intersection(black_box(&line), black_box(&other))),
+            |bench, _| {
+                bench.iter(|| intersection::intersection(black_box(&line), black_box(&other)))
+            },
         );
     }
 
@@ -70,7 +74,9 @@ fn bench_geometry_ops(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("predicate/intersects-polygons", vertices),
             &vertices,
-            |bench, _| bench.iter(|| predicates::intersects(black_box(&poly_a), black_box(&poly_b))),
+            |bench, _| {
+                bench.iter(|| predicates::intersects(black_box(&poly_a), black_box(&poly_b)))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("predicate/inside-point-polygon", vertices),

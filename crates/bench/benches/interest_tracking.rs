@@ -17,7 +17,7 @@ fn short() -> Criterion {
 fn bench_interest_tracking(c: &mut Criterion) {
     let mut group = c.benchmark_group("B6_interest_tracking");
     let scenario = scenario_at_scale(1);
-    let mut engine = engine_for(&scenario);
+    let engine = engine_for(&scenario);
     let session = engine
         .start_session("regional-manager", Some(manager_location(&scenario)))
         .expect("session starts");

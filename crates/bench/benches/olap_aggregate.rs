@@ -41,7 +41,11 @@ fn bench_olap_aggregate(c: &mut Criterion) {
     let store0 = scenario.retail.stores[0].location;
     let spatial = base_query.clone().filter_dimension(
         "Store",
-        Filter::within_km("Store.geometry", Point::new(store0.x(), store0.y()).into(), 25.0),
+        Filter::within_km(
+            "Store.geometry",
+            Point::new(store0.x(), store0.y()).into(),
+            25.0,
+        ),
     );
     group.bench_function("spatial-filter-25km", |b| {
         b.iter(|| engine.execute(cube, black_box(&spatial)).unwrap())

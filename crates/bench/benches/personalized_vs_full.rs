@@ -25,7 +25,7 @@ fn bench_personalized_vs_full(c: &mut Criterion) {
     for scale in STORE_SCALES {
         let scenario = scenario_at_scale(scale);
         let facts = scenario.retail.sales.len();
-        let mut engine = engine_for(&scenario);
+        let engine = engine_for(&scenario);
         let session = engine
             .start_session("regional-manager", Some(manager_location(&scenario)))
             .expect("session starts");

@@ -24,7 +24,7 @@ fn bench_pipeline(c: &mut Criterion) {
             |b, _| {
                 b.iter_batched(
                     || engine_for(&scenario),
-                    |mut engine| {
+                    |engine| {
                         engine
                             .start_session("regional-manager", Some(location.clone()))
                             .unwrap()
@@ -37,9 +37,7 @@ fn bench_pipeline(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("scenario_generation", stores),
             &scale,
-            |b, &scale| {
-                b.iter(|| sdwp_bench::scenario_at_scale(scale))
-            },
+            |b, &scale| b.iter(|| sdwp_bench::scenario_at_scale(scale)),
         );
     }
     group.finish();

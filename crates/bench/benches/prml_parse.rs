@@ -20,11 +20,7 @@ fn corpus_of(n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
         let base = ALL_PAPER_RULES[i % ALL_PAPER_RULES.len()];
-        let renamed = base.replacen(
-            "Rule:",
-            &format!("Rule:generated{i}_"),
-            1,
-        );
+        let renamed = base.replacen("Rule:", &format!("Rule:generated{i}_"), 1);
         out.push_str(&renamed);
         out.push('\n');
     }

@@ -1,8 +1,8 @@
 //! B7 — schema-personalization cost: applying the Example 5.1 schema rule
 //! (AddLayer + BecomeSpatial) to conceptual models of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use criterion::BatchSize;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdwp_geometry::GeometricType;
 use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, Schema, SchemaBuilder};
 use std::time::Duration;
@@ -26,7 +26,10 @@ fn schema_of(dimensions: usize, levels: usize) -> Schema {
         builder = builder.dimension(dim.build());
         fact = fact.dimension(format!("Dim{d}"));
     }
-    builder.fact(fact.build()).build().expect("synthetic schema is valid")
+    builder
+        .fact(fact.build())
+        .build()
+        .expect("synthetic schema is valid")
 }
 
 fn bench_schema_rules(c: &mut Criterion) {
@@ -57,18 +60,18 @@ fn bench_schema_rules(c: &mut Criterion) {
             &elements,
             |b, _| {
                 let mut personalized = schema.clone();
-                personalized.add_layer("Airport", GeometricType::Point).unwrap();
+                personalized
+                    .add_layer("Airport", GeometricType::Point)
+                    .unwrap();
                 personalized
                     .become_spatial(&target_level, GeometricType::Point)
                     .unwrap();
                 b.iter(|| sdwp_model::SchemaDiff::between(&schema, &personalized))
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("validate", elements),
-            &elements,
-            |b, _| b.iter(|| sdwp_model::validate_schema(&schema).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("validate", elements), &elements, |b, _| {
+            b.iter(|| sdwp_model::validate_schema(&schema).unwrap())
+        });
     }
     group.finish();
 }

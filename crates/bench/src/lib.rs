@@ -33,7 +33,7 @@ pub fn default_scenario() -> PaperScenario {
 /// Builds a fully configured personalization engine over a scenario, with
 /// the paper's four rules registered and the interest threshold set to 2.
 pub fn engine_for(scenario: &PaperScenario) -> PersonalizationEngine {
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );
@@ -61,7 +61,7 @@ mod tests {
     #[test]
     fn fixtures_build() {
         let scenario = scenario_at_scale(1);
-        let mut engine = engine_for(&scenario);
+        let engine = engine_for(&scenario);
         let session = engine
             .start_session("regional-manager", Some(manager_location(&scenario)))
             .unwrap();

@@ -1,9 +1,37 @@
 //! The personalization engine: the executable version of the paper's Fig. 1
-//! process.
+//! process, refactored for concurrent multi-session serving.
+//!
+//! # Concurrency model
+//!
+//! One engine instance serves one spatial data warehouse and any number of
+//! users and sessions **from many threads at once** — every public method
+//! takes `&self`, so the engine can sit behind an `Arc` and be shared by a
+//! pool of web workers. Internally the state splits three ways:
+//!
+//! * **Read path (lock-free-ish).** Queries and reports run against an
+//!   immutable cube snapshot published through [`ArcSwap`]; they never wait
+//!   for rule firing. Per-session state lives in a sharded
+//!   [`SessionManager`], so sessions only contend when they hash to the
+//!   same shard.
+//! * **Write master.** Rule firing needs `&mut Cube` (schema
+//!   personalization grows the cube), so a single `Mutex<Cube>` master
+//!   copy serialises rule firing. After an event whose effects changed the
+//!   schema, the master is cloned once and hot-swapped into the snapshot —
+//!   the additive-only personalization of the paper (layers and spatial
+//!   levels only grow) makes old snapshots remain valid for readers.
+//! * **Rules and parameters.** The rule set is itself an [`ArcSwap`]
+//!   snapshot (the Cerberus `ArcSwap<RuleSet>` hot-swap pattern), so rules
+//!   can be registered while sessions are live; designer parameters sit
+//!   behind a `RwLock`.
+//!
+//! [`sdwp_user::ProfileStore`] was already thread-safe in the seed; this
+//! module makes the rest of the stack match it.
 
 use crate::error::CoreError;
 use crate::report::PersonalizationReport;
 use crate::session::{SessionManager, SessionState};
+use crate::sync::ArcSwap;
+use parking_lot::{Mutex, RwLock};
 use sdwp_model::{Schema, SchemaDiff};
 use sdwp_olap::{Cube, InstanceView, Query, QueryEngine, QueryResult};
 use sdwp_prml::{
@@ -26,18 +54,23 @@ pub struct SessionHandle {
 
 /// The personalization engine.
 ///
-/// One engine instance serves one spatial data warehouse (one [`Cube`]) and
-/// any number of users and sessions. Schema personalization mutates the
-/// engine's cube schema (additively — layers and spatial levels only grow),
-/// while instance personalization is kept per session in an
-/// [`InstanceView`], so different decision makers can hold different
-/// selections concurrently.
+/// Schema personalization mutates the engine's cube schema (additively —
+/// layers and spatial levels only grow), while instance personalization is
+/// kept per session in an [`InstanceView`], so different decision makers
+/// hold different selections concurrently. See the module docs for the
+/// locking discipline that lets all of this happen through `&self`.
 pub struct PersonalizationEngine {
-    cube: Cube,
+    /// Write master of the personalized cube; rule firing locks it.
+    master: Mutex<Cube>,
+    /// Published read snapshot; queries and reports load it.
+    snapshot: ArcSwap<Cube>,
     original_schema: Schema,
     profiles: ProfileStore,
-    rules: RuleEngine,
-    parameters: BTreeMap<String, f64>,
+    /// Immutable rule-set snapshot, hot-swapped on registration.
+    rules: ArcSwap<RuleEngine>,
+    /// Serialises rule registration (load → validate → store).
+    rules_write: Mutex<()>,
+    parameters: RwLock<BTreeMap<String, f64>>,
     layer_source: Arc<dyn LayerSource + Send + Sync>,
     sessions: SessionManager,
     query_engine: QueryEngine,
@@ -53,12 +86,15 @@ impl PersonalizationEngine {
     /// provider of airport / train / … layer instances).
     pub fn with_layer_source(cube: Cube, layer_source: Arc<dyn LayerSource + Send + Sync>) -> Self {
         let original_schema = cube.schema().clone();
+        let snapshot = ArcSwap::from_pointee(cube.clone());
         PersonalizationEngine {
-            cube,
+            master: Mutex::new(cube),
+            snapshot,
             original_schema,
             profiles: ProfileStore::new(),
-            rules: RuleEngine::new(),
-            parameters: BTreeMap::new(),
+            rules: ArcSwap::from_pointee(RuleEngine::new()),
+            rules_write: Mutex::new(()),
+            parameters: RwLock::new(BTreeMap::new()),
             layer_source,
             sessions: SessionManager::new(),
             query_engine: QueryEngine::new(),
@@ -66,7 +102,7 @@ impl PersonalizationEngine {
     }
 
     /// Registers (or replaces) a decision maker's profile.
-    pub fn register_user(&mut self, profile: UserProfile) {
+    pub fn register_user(&self, profile: UserProfile) {
         self.profiles.upsert(profile);
     }
 
@@ -75,33 +111,51 @@ impl PersonalizationEngine {
         &self.profiles
     }
 
+    /// The session manager (shared, thread-safe).
+    pub fn sessions(&self) -> &SessionManager {
+        &self.sessions
+    }
+
     /// Adds PRML rules from text, validating them (as a set, together with
-    /// the already-registered rules) against the cube's schema.
-    pub fn add_rules_text(&mut self, text: &str) -> Result<Vec<RuleClass>, CoreError> {
+    /// the already-registered rules) against the cube's schema. Safe to
+    /// call while sessions are being served: firing threads keep using the
+    /// rule-set snapshot they loaded.
+    pub fn add_rules_text(&self, text: &str) -> Result<Vec<RuleClass>, CoreError> {
         let new_rules = sdwp_prml::parse_rules(text)?;
-        let existing = self.rules.rules().len();
-        let mut all: Vec<Rule> = self.rules.rules().to_vec();
+        let _guard = self.rules_write.lock();
+        let current = self.rules.load();
+        let existing = current.rules().len();
+        let mut all: Vec<Rule> = current.rules().to_vec();
         all.extend(new_rules.iter().cloned());
-        let classes = check_rules(&all, self.cube.schema())?;
-        for rule in new_rules {
-            self.rules.add_rule(rule);
+        let classes = {
+            let master = self.master.lock();
+            check_rules(&all, master.schema())?
+        };
+        let mut next = RuleEngine::new();
+        for rule in all {
+            next.add_rule(rule);
         }
+        self.rules.store(Arc::new(next));
         Ok(classes[existing..].to_vec())
     }
 
     /// Defines a designer parameter referenced by rules (e.g. `threshold`).
-    pub fn set_parameter(&mut self, name: impl Into<String>, value: f64) {
-        self.parameters.insert(name.into().to_lowercase(), value);
+    pub fn set_parameter(&self, name: impl Into<String>, value: f64) {
+        self.parameters
+            .write()
+            .insert(name.into().to_lowercase(), value);
     }
 
-    /// The registered rules.
-    pub fn rules(&self) -> &[Rule] {
-        self.rules.rules()
+    /// The current rule-set snapshot.
+    pub fn rules(&self) -> Arc<RuleEngine> {
+        self.rules.load()
     }
 
-    /// The current (possibly personalized) cube.
-    pub fn cube(&self) -> &Cube {
-        &self.cube
+    /// The current (possibly personalized) cube snapshot. The returned
+    /// `Arc` stays consistent however much later rule firing personalizes
+    /// the engine further.
+    pub fn cube(&self) -> Arc<Cube> {
+        self.snapshot.load()
     }
 
     /// The schema as it was before any personalization.
@@ -112,14 +166,14 @@ impl PersonalizationEngine {
     /// The difference between the original MD schema and the current
     /// (personalized) GeoMD schema — i.e. what the schema rules did.
     pub fn schema_diff(&self) -> SchemaDiff {
-        SchemaDiff::between(&self.original_schema, self.cube.schema())
+        SchemaDiff::between(&self.original_schema, self.snapshot.load().schema())
     }
 
     /// Starts an analysis session for a registered user, firing the
     /// SessionStart rules (schema personalization first, then instance
     /// selection) and building the session's personalized view.
     pub fn start_session(
-        &mut self,
+        &self,
         user_id: &str,
         location: Option<LocationContext>,
     ) -> Result<SessionHandle, CoreError> {
@@ -144,79 +198,93 @@ impl PersonalizationEngine {
     /// element under a spatial condition (the SpatialSelection tracking
     /// event), firing the matching acquisition rules.
     pub fn record_spatial_selection(
-        &mut self,
+        &self,
         session_id: SessionId,
         element: &str,
         expression: Option<&str>,
     ) -> Result<FireReport, CoreError> {
-        let (user_id, session_snapshot) = {
-            let state = self.sessions.get_mut(session_id)?;
-            if !state.is_active() {
-                return Err(CoreError::UnknownSession {
-                    session: session_id,
-                });
-            }
-            state.session.record_spatial_selection(
-                element,
-                expression.unwrap_or_default(),
-            );
-            (state.session.user_id.clone(), state.session.clone())
-        };
+        let (user_id, session_snapshot) =
+            self.sessions.with_session_mut(session_id, |state| {
+                if !state.is_active() {
+                    return Err(CoreError::UnknownSession {
+                        session: session_id,
+                    });
+                }
+                state
+                    .session
+                    .record_spatial_selection(element, expression.unwrap_or_default());
+                Ok((state.session.user_id.clone(), state.session.clone()))
+            })??;
         let event = RuntimeEvent::SpatialSelection {
             element: element.to_string(),
             expression: expression.map(str::to_string),
         };
         let report = self.fire_event(&user_id, &session_snapshot, &event)?;
-        let state = self.sessions.get_mut(session_id)?;
-        Self::apply_selection_effects(&report, &mut state.view);
-        state.effects.extend(report.effects.iter().cloned());
+        self.sessions.with_session_mut(session_id, |state| {
+            Self::apply_selection_effects(&report, &mut state.view);
+            state.effects.extend(report.effects.iter().cloned());
+        })?;
         Ok(report)
     }
 
-    /// Ends a session, firing the SessionEnd rules.
-    pub fn end_session(&mut self, session_id: SessionId) -> Result<FireReport, CoreError> {
-        let (user_id, session_snapshot) = {
-            let state = self.sessions.get_mut(session_id)?;
-            state.session.end();
-            (state.session.user_id.clone(), state.session.clone())
-        };
+    /// Ends a session, firing the SessionEnd rules. Ending an
+    /// already-ended (or unknown) session is an error, so a retried or
+    /// concurrently racing logout cannot re-fire the SessionEnd rules.
+    pub fn end_session(&self, session_id: SessionId) -> Result<FireReport, CoreError> {
+        let (user_id, session_snapshot) =
+            self.sessions.with_session_mut(session_id, |state| {
+                if !state.is_active() {
+                    return Err(CoreError::UnknownSession {
+                        session: session_id,
+                    });
+                }
+                state.session.end();
+                Ok((state.session.user_id.clone(), state.session.clone()))
+            })??;
         let report = self.fire_event(&user_id, &session_snapshot, &RuntimeEvent::SessionEnd)?;
-        let state = self.sessions.get_mut(session_id)?;
-        state.effects.extend(report.effects.iter().cloned());
+        self.sessions.with_session_mut(session_id, |state| {
+            state.effects.extend(report.effects.iter().cloned());
+        })?;
         Ok(report)
     }
 
     /// Executes an OLAP query through a session's personalized view.
-    pub fn query(
-        &self,
-        session_id: SessionId,
-        query: &Query,
-    ) -> Result<QueryResult, CoreError> {
-        let state = self.sessions.get(session_id)?;
-        if !state.is_active() {
+    ///
+    /// Runs entirely on snapshots: the session's view is copied out under
+    /// its shard lock, the cube is the published [`ArcSwap`] snapshot —
+    /// so queries from many sessions (or threads) run concurrently and
+    /// never block rule firing.
+    pub fn query(&self, session_id: SessionId, query: &Query) -> Result<QueryResult, CoreError> {
+        let (active, view) = self.sessions.with_session(session_id, |state| {
+            (state.is_active(), Arc::clone(&state.view))
+        })?;
+        if !active {
             return Err(CoreError::UnknownSession {
                 session: session_id,
             });
         }
-        Ok(self
-            .query_engine
-            .execute_with_view(&self.cube, query, &state.view)?)
+        let cube = self.snapshot.load();
+        Ok(self.query_engine.execute_with_view(&cube, query, &view)?)
     }
 
     /// Executes an OLAP query against the full, unpersonalized cube
     /// (the baseline the paper's approach avoids exposing to users).
     pub fn query_unpersonalized(&self, query: &Query) -> Result<QueryResult, CoreError> {
-        Ok(self.query_engine.execute(&self.cube, query)?)
+        let cube = self.snapshot.load();
+        Ok(self.query_engine.execute(&cube, query)?)
     }
 
-    /// The personalized view of a session.
-    pub fn session_view(&self, session_id: SessionId) -> Result<&InstanceView, CoreError> {
-        Ok(&self.sessions.get(session_id)?.view)
+    /// The personalized view of a session (a shared snapshot; the `Arc`
+    /// stays consistent if rules later restrict the view further).
+    pub fn session_view(&self, session_id: SessionId) -> Result<Arc<InstanceView>, CoreError> {
+        self.sessions
+            .with_session(session_id, |state| Arc::clone(&state.view))
     }
 
-    /// The SUS session object of a session.
-    pub fn session(&self, session_id: SessionId) -> Result<&Session, CoreError> {
-        Ok(&self.sessions.get(session_id)?.session)
+    /// The SUS session object of a session (an owned snapshot).
+    pub fn session(&self, session_id: SessionId) -> Result<Session, CoreError> {
+        self.sessions
+            .with_session(session_id, |state| state.session.clone())
     }
 
     /// The profile of a registered user (a clone of the stored state).
@@ -227,31 +295,73 @@ impl PersonalizationEngine {
     // ----- internals ----------------------------------------------------
 
     /// Fires an event for a user: loads the profile, builds an evaluation
-    /// context over the engine's cube, runs the rules and writes the
+    /// context over the master cube, runs the rules and writes the
     /// (possibly updated) profile back.
+    ///
+    /// The master mutex is held across profile read → rule run → profile
+    /// write, making the whole firing atomic with respect to other firing
+    /// threads (so two concurrent `SetContent` increments cannot lose an
+    /// update). When the firing actually changed the schema, the master is
+    /// cloned once and published for the read path.
+    ///
+    /// Invariant: outside a firing, master and snapshot hold the same
+    /// content — successful schema changes publish, non-schema firings
+    /// never touch the cube, and an erroring firing rolls the master back
+    /// to the published snapshot so partially applied schema actions never
+    /// leak into later publishes.
     fn fire_event(
-        &mut self,
+        &self,
         user_id: &str,
         session: &Session,
         event: &RuntimeEvent,
     ) -> Result<FireReport, CoreError> {
+        let rules = self.rules.load();
+        let parameters = self.parameters.read().clone();
+        let mut master = self.master.lock();
         let mut profile = self.profiles.get(user_id)?;
-        let layer_source = Arc::clone(&self.layer_source);
-        let mut ctx = EvalContext::new(&mut self.cube, &mut profile)
+        let mut ctx = EvalContext::new(&mut master, &mut profile)
             .with_session(session)
-            .with_layer_source(layer_source.as_ref());
-        for (name, value) in &self.parameters {
+            .with_layer_source(self.layer_source.as_ref());
+        for (name, value) in &parameters {
             ctx = ctx.with_parameter(name.clone(), *value);
         }
-        let report = self.rules.fire(event, &mut ctx)?;
+        let fired = rules.fire(event, &mut ctx);
         drop(ctx);
+        let published = self.snapshot.load();
+        let report = match fired {
+            Ok(report) => report,
+            Err(error) => {
+                // Roll back: a rule may have errored after earlier
+                // statements (or earlier rules) already mutated the cube.
+                *master = (*published).clone();
+                return Err(error.into());
+            }
+        };
+        // Publish only on a real schema change — effects report AddLayer
+        // even when it was an idempotent re-add, and cloning the whole
+        // cube on every login would serialise logins behind an
+        // O(warehouse) copy.
+        if master.schema() != published.schema() {
+            self.snapshot.store(Arc::new(master.clone()));
+        }
         self.profiles.upsert(profile);
+        drop(master);
         Ok(report)
     }
 
     /// Applies the SelectInstance effects of a fire report to a view:
-    /// each rule's selection restricts the view conjunctively.
-    fn apply_selection_effects(report: &FireReport, view: &mut InstanceView) {
+    /// each rule's selection restricts the view conjunctively. The view is
+    /// copy-on-write (`Arc`): concurrent readers keep the snapshot they
+    /// loaded; only the stored view is replaced.
+    fn apply_selection_effects(report: &FireReport, view: &mut Arc<InstanceView>) {
+        if report
+            .effects
+            .iter()
+            .all(|effect| effect.selections.is_empty())
+        {
+            return;
+        }
+        let view = Arc::make_mut(view);
         for effect in &report.effects {
             for (dimension, members) in &effect.selections {
                 if let Some(fact) = dimension.strip_prefix("__fact__") {
@@ -269,11 +379,12 @@ impl PersonalizationEngine {
         state: &SessionState,
         fire: &FireReport,
     ) -> Result<PersonalizationReport, CoreError> {
+        let cube = self.snapshot.load();
         let mut visible_facts = BTreeMap::new();
         let mut total_facts = BTreeMap::new();
-        for fact in &self.cube.schema().facts {
-            let total = self.cube.fact_table(&fact.name)?.table.len();
-            let visible = state.view.visible_fact_count(&self.cube, &fact.name)?;
+        for fact in &cube.schema().facts {
+            let total = cube.fact_table(&fact.name)?.table.len();
+            let visible = state.view.visible_fact_count(&cube, &fact.name)?;
             total_facts.insert(fact.name.clone(), total);
             visible_facts.insert(fact.name.clone(), visible);
         }
@@ -283,9 +394,7 @@ impl PersonalizationEngine {
             rules_with_effects: fire
                 .effects
                 .iter()
-                .filter(|e| {
-                    e.changed_schema() || e.selected_instances() || e.set_contents > 0
-                })
+                .filter(|e| e.changed_schema() || e.selected_instances() || e.set_contents > 0)
                 .map(|e| e.rule.clone())
                 .collect(),
             schema_diff: self.schema_diff(),
@@ -311,8 +420,7 @@ mod tests {
     fn engine() -> (PersonalizationEngine, PaperScenario) {
         let scenario = PaperScenario::generate(ScenarioConfig::tiny());
         let layer_source = Arc::new(scenario.layer_source());
-        let mut engine =
-            PersonalizationEngine::with_layer_source(scenario.cube.clone(), layer_source);
+        let engine = PersonalizationEngine::with_layer_source(scenario.cube.clone(), layer_source);
         engine.register_user(scenario.manager.clone());
         engine.set_parameter("threshold", 2.0);
         for rule in ALL_PAPER_RULES {
@@ -330,16 +438,13 @@ mod tests {
 
     #[test]
     fn session_start_personalizes_schema_and_instances() {
-        let (mut engine, scenario) = engine();
+        let (engine, scenario) = engine();
         let handle = engine
             .start_session("regional-manager", Some(near_first_store(&scenario)))
             .unwrap();
         // Schema personalization (rule 5.1): Airport layer + spatial Store.
         let diff = engine.schema_diff();
-        assert!(diff
-            .added_layers
-            .iter()
-            .any(|(name, _)| name == "Airport"));
+        assert!(diff.added_layers.iter().any(|(name, _)| name == "Airport"));
         assert!(diff
             .levels_become_spatial
             .iter()
@@ -353,7 +458,7 @@ mod tests {
 
     #[test]
     fn queries_through_the_view_see_fewer_facts() {
-        let (mut engine, scenario) = engine();
+        let (engine, scenario) = engine();
         let handle = engine
             .start_session("regional-manager", Some(near_first_store(&scenario)))
             .unwrap();
@@ -368,7 +473,7 @@ mod tests {
 
     #[test]
     fn interest_tracking_across_sessions() {
-        let (mut engine, scenario) = engine();
+        let (engine, scenario) = engine();
         let handle = engine
             .start_session("regional-manager", Some(near_first_store(&scenario)))
             .unwrap();
@@ -397,7 +502,7 @@ mod tests {
 
     #[test]
     fn unknown_users_and_sessions_error() {
-        let (mut engine, _scenario) = engine();
+        let (engine, _scenario) = engine();
         assert!(engine.start_session("ghost", None).is_err());
         assert!(engine.session_view(99).is_err());
         assert!(engine
@@ -411,7 +516,7 @@ mod tests {
     #[test]
     fn rules_are_validated_on_registration() {
         let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-        let mut engine = PersonalizationEngine::new(scenario.cube.clone());
+        let engine = PersonalizationEngine::new(scenario.cube.clone());
         let err = engine
             .add_rules_text(
                 "Rule:bad When SessionStart do \
@@ -425,7 +530,7 @@ mod tests {
     #[test]
     fn non_matching_role_gets_no_personalization() {
         let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-        let mut engine = PersonalizationEngine::with_layer_source(
+        let engine = PersonalizationEngine::with_layer_source(
             scenario.cube.clone(),
             Arc::new(scenario.layer_source()),
         );
@@ -448,9 +553,98 @@ mod tests {
         // the analyst, so the personalized view hides every fact.
         let view = engine.session_view(handle.id).unwrap();
         assert!(!view.is_unrestricted());
-        assert_eq!(
-            view.visible_fact_count(engine.cube(), "Sales").unwrap(),
-            0
+        assert_eq!(view.visible_fact_count(&engine.cube(), "Sales").unwrap(), 0);
+    }
+
+    #[test]
+    fn ending_a_session_twice_is_rejected() {
+        let (engine, scenario) = engine();
+        let handle = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        engine.end_session(handle.id).unwrap();
+        // A retried logout must not re-fire the SessionEnd rules.
+        assert!(matches!(
+            engine.end_session(handle.id),
+            Err(CoreError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn idempotent_schema_rules_do_not_republish_the_cube() {
+        let (engine, scenario) = engine();
+        engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        let first = engine.cube();
+        // The second login re-fires AddLayer('Airport') as an idempotent
+        // no-op: the schema is unchanged, so the published snapshot must
+        // be the same allocation (no O(warehouse) clone per login).
+        engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        let second = engine.cube();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "schema-stable firing must not republish the cube"
         );
+    }
+
+    #[test]
+    fn failed_rule_firing_rolls_back_schema_mutations() {
+        let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+        let engine = PersonalizationEngine::new(scenario.cube.clone());
+        engine.register_user(sdwp_user::UserProfile::new("u", "U"));
+        // `flag` / `missingparam` are bare identifiers: they pass static
+        // validation (they could be designer parameters) and resolve — or
+        // fail — at firing time.
+        engine
+            .add_rules_text(
+                "Rule:boom When SessionStart do \
+                 If (flag > 0) then AddLayer('Partial', POINT) endIf \
+                 If (missingparam > 1) then AddLayer('Q', POINT) endIf endWhen",
+            )
+            .unwrap();
+        engine.set_parameter("flag", 1.0);
+        // AddLayer('Partial') executes, then `missingparam` errors: the
+        // firing fails and nothing may leak.
+        let err = engine.start_session("u", None).unwrap_err();
+        assert!(matches!(err, CoreError::Rule(_)));
+        assert!(engine.cube().schema().layer("Partial").is_none());
+        // A later *successful* firing (flag off, parameter defined) must
+        // not publish a leftover 'Partial' from the failed attempt.
+        engine.set_parameter("flag", 0.0);
+        engine.set_parameter("missingparam", 0.0);
+        engine.start_session("u", None).unwrap();
+        assert!(
+            engine.cube().schema().layer("Partial").is_none(),
+            "partial schema mutation of a failed firing leaked into the snapshot"
+        );
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let (engine, scenario) = engine();
+        let engine = Arc::new(engine);
+        let location = near_first_store(&scenario);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let location = location.clone();
+                std::thread::spawn(move || {
+                    let handle = engine
+                        .start_session("regional-manager", Some(location))
+                        .unwrap();
+                    let query = Query::over("Sales").measure("UnitSales");
+                    engine.query(handle.id, &query).unwrap();
+                    engine.end_session(handle.id).unwrap();
+                    handle.id
+                })
+            })
+            .collect();
+        let mut ids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "session ids must be unique across threads");
     }
 }

@@ -19,6 +19,14 @@
 //! [`PersonalizationEngine`] is the library-level API;
 //! [`web::WebFacade`] wraps it in serde request/response messages that
 //! mirror the "web-based" deployment the paper targets.
+//!
+//! Both are built for **concurrent multi-session serving**: every method
+//! takes `&self`, so one engine behind an `Arc` (or one cloned
+//! [`WebFacade`]) serves any number of worker threads. Queries run on
+//! hot-swapped immutable snapshots ([`sync::ArcSwap`]); per-session state
+//! lives in a sharded [`SessionManager`]; only rule firing serialises, on
+//! the single mutable cube master. See [`engine`]'s module docs for the
+//! full locking discipline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,10 +35,12 @@ pub mod engine;
 pub mod error;
 pub mod report;
 pub mod session;
+pub mod sync;
 pub mod web;
 
 pub use engine::{PersonalizationEngine, SessionHandle};
 pub use error::CoreError;
 pub use report::PersonalizationReport;
 pub use session::{SessionManager, SessionState};
+pub use sync::ArcSwap;
 pub use web::{WebFacade, WebRequest, WebResponse};

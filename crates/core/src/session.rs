@@ -1,10 +1,21 @@
 //! Session bookkeeping: one personalized view per analysis session.
+//!
+//! The [`SessionManager`] is the piece of engine state touched by *every*
+//! request of *every* decision maker, so it is sharded: session ids map
+//! round-robin onto independent `RwLock`-protected maps. Two sessions on
+//! different shards never contend, and readers of the same shard share the
+//! lock. All operations take `&self`, which is what lets
+//! [`crate::PersonalizationEngine`] serve many web sessions from one
+//! shared instance.
 
 use crate::error::CoreError;
+use parking_lot::RwLock;
 use sdwp_olap::InstanceView;
 use sdwp_prml::RuleEffect;
 use sdwp_user::{Session, SessionId, SessionStatus};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The per-session state kept by the engine: the user-model session object,
 /// the personalized instance view built by instance rules, and the effects
@@ -14,7 +25,9 @@ pub struct SessionState {
     /// The SUS «Session» instance (events, location context, status).
     pub session: Session,
     /// The personalized view every query of this session goes through.
-    pub view: InstanceView,
+    /// Copy-on-write: the engine replaces the `Arc` when rules restrict
+    /// the view, so readers clone a pointer, never the selection sets.
+    pub view: Arc<InstanceView>,
     /// Effects of the rules that fired during this session, in firing order.
     pub effects: Vec<RuleEffect>,
 }
@@ -24,7 +37,7 @@ impl SessionState {
     pub fn new(session: Session) -> Self {
         SessionState {
             session,
-            view: InstanceView::unrestricted(),
+            view: Arc::new(InstanceView::unrestricted()),
             effects: Vec::new(),
         }
     }
@@ -35,77 +48,131 @@ impl SessionState {
     }
 }
 
-/// Allocates session ids and stores per-session state.
-#[derive(Debug, Clone, Default)]
+/// How many independent shards the session map is split into. Ids are
+/// assigned sequentially, so consecutive logins land on consecutive shards.
+const SHARD_COUNT: usize = 16;
+
+/// Allocates session ids and stores per-session state, concurrently.
+///
+/// Reads and writes to *different* sessions proceed in parallel (modulo
+/// shard collisions); id allocation is a single atomic increment.
+#[derive(Debug)]
 pub struct SessionManager {
-    next_id: SessionId,
-    sessions: BTreeMap<SessionId, SessionState>,
+    next_id: AtomicU64,
+    shards: Vec<RwLock<HashMap<SessionId, SessionState>>>,
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        SessionManager::new()
+    }
 }
 
 impl SessionManager {
-    /// Creates an empty manager.
+    /// Creates an empty manager with the default shard count.
     pub fn new() -> Self {
+        SessionManager::with_shards(SHARD_COUNT)
+    }
+
+    /// Creates an empty manager with an explicit shard count (≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
         SessionManager {
-            next_id: 1,
-            sessions: BTreeMap::new(),
+            next_id: AtomicU64::new(1),
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 
-    /// Allocates the next session id.
-    pub fn allocate_id(&mut self) -> SessionId {
-        let id = self.next_id;
-        self.next_id += 1;
-        id
+    fn shard(&self, id: SessionId) -> &RwLock<HashMap<SessionId, SessionState>> {
+        &self.shards[(id as usize) % self.shards.len()]
+    }
+
+    /// Allocates the next session id (wait-free).
+    pub fn allocate_id(&self) -> SessionId {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Registers a new session state.
-    pub fn insert(&mut self, state: SessionState) -> SessionId {
+    pub fn insert(&self, state: SessionState) -> SessionId {
         let id = state.session.id;
-        self.sessions.insert(id, state);
+        self.shard(id).write().insert(id, state);
         id
     }
 
-    /// Borrows a session state.
-    pub fn get(&self, id: SessionId) -> Result<&SessionState, CoreError> {
-        self.sessions
+    /// Runs `f` over a shared borrow of a session's state.
+    pub fn with_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&SessionState) -> R,
+    ) -> Result<R, CoreError> {
+        self.shard(id)
+            .read()
             .get(&id)
+            .map(f)
             .ok_or(CoreError::UnknownSession { session: id })
     }
 
-    /// Mutably borrows a session state.
-    pub fn get_mut(&mut self, id: SessionId) -> Result<&mut SessionState, CoreError> {
-        self.sessions
+    /// Runs `f` over an exclusive borrow of a session's state.
+    pub fn with_session_mut<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut SessionState) -> R,
+    ) -> Result<R, CoreError> {
+        self.shard(id)
+            .write()
             .get_mut(&id)
+            .map(f)
             .ok_or(CoreError::UnknownSession { session: id })
+    }
+
+    /// Returns an owned copy of a session's state.
+    pub fn snapshot(&self, id: SessionId) -> Result<SessionState, CoreError> {
+        self.with_session(id, Clone::clone)
     }
 
     /// Number of tracked sessions (active and ended).
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Returns `true` when no session has been started yet.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Ids of the currently active sessions.
+    /// Ids of the currently active sessions, in ascending order.
     pub fn active_sessions(&self) -> Vec<SessionId> {
-        self.sessions
+        let mut ids: Vec<SessionId> = self
+            .shards
             .iter()
-            .filter(|(_, s)| s.is_active())
-            .map(|(id, _)| *id)
-            .collect()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .iter()
+                    .filter(|(_, s)| s.is_active())
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The number of shards the session map is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn lifecycle() {
-        let mut manager = SessionManager::new();
+        let manager = SessionManager::new();
         assert!(manager.is_empty());
         let id = manager.allocate_id();
         assert_eq!(id, 1);
@@ -115,10 +182,53 @@ mod tests {
         manager.insert(state);
         assert_eq!(manager.len(), 1);
         assert_eq!(manager.active_sessions(), vec![1]);
-        assert!(manager.get(1).is_ok());
-        assert!(manager.get(2).is_err());
-        manager.get_mut(1).unwrap().session.end();
+        assert!(manager.with_session(1, |_| ()).is_ok());
+        assert!(manager.with_session(2, |_| ()).is_err());
+        manager
+            .with_session_mut(1, |state| state.session.end())
+            .unwrap();
         assert!(manager.active_sessions().is_empty());
         assert_eq!(manager.allocate_id(), 2);
+        let snapshot = manager.snapshot(1).unwrap();
+        assert!(!snapshot.is_active());
+    }
+
+    #[test]
+    fn sessions_spread_over_shards() {
+        let manager = SessionManager::with_shards(4);
+        for _ in 0..8 {
+            let id = manager.allocate_id();
+            manager.insert(SessionState::new(Session::start(id, "u")));
+        }
+        assert_eq!(manager.len(), 8);
+        assert_eq!(manager.shard_count(), 4);
+        assert_eq!(manager.active_sessions(), (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let manager = Arc::new(SessionManager::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let manager = Arc::clone(&manager);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let id = manager.allocate_id();
+                        manager.insert(SessionState::new(Session::start(id, "u")));
+                        manager
+                            .with_session(id, |s| assert!(s.is_active()))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(manager.len(), 400);
+        // Ids are unique: the active list has no duplicates.
+        let ids = manager.active_sessions();
+        assert_eq!(ids.len(), 400);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -14,6 +14,7 @@ use crate::report::PersonalizationReport;
 use sdwp_olap::{AttributeRef, CellValue, Query};
 use sdwp_user::{LocationContext, SessionId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A request from the web front-end.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,29 +97,36 @@ pub enum WebResponse {
 }
 
 /// The message-level web interface over a personalization engine.
+///
+/// Cloning the facade clones the *handle*; all clones serve the same
+/// shared engine (sessions, profiles, personalized schema).
+#[derive(Clone)]
 pub struct WebFacade {
-    engine: PersonalizationEngine,
+    engine: Arc<PersonalizationEngine>,
 }
 
 impl WebFacade {
-    /// Wraps an engine.
+    /// Wraps an engine, taking ownership of it.
     pub fn new(engine: PersonalizationEngine) -> Self {
+        WebFacade {
+            engine: Arc::new(engine),
+        }
+    }
+
+    /// Wraps an engine that is already shared elsewhere.
+    pub fn from_shared(engine: Arc<PersonalizationEngine>) -> Self {
         WebFacade { engine }
     }
 
-    /// Access to the wrapped engine (e.g. to register users and rules).
-    pub fn engine_mut(&mut self) -> &mut PersonalizationEngine {
-        &mut self.engine
-    }
-
-    /// Read access to the wrapped engine.
+    /// Access to the wrapped engine (registration, rules, parameters —
+    /// every engine method takes `&self`).
     pub fn engine(&self) -> &PersonalizationEngine {
         &self.engine
     }
 
     /// Dispatches one request, never panicking: failures become
-    /// [`WebResponse::Error`].
-    pub fn handle(&mut self, request: WebRequest) -> WebResponse {
+    /// [`WebResponse::Error`]. Callable from any number of threads.
+    pub fn handle(&self, request: WebRequest) -> WebResponse {
         match self.try_handle(request) {
             Ok(response) => response,
             Err(error) => WebResponse::Error {
@@ -127,11 +135,11 @@ impl WebFacade {
         }
     }
 
-    fn try_handle(&mut self, request: WebRequest) -> Result<WebResponse, CoreError> {
+    fn try_handle(&self, request: WebRequest) -> Result<WebResponse, CoreError> {
         match request {
             WebRequest::Login { user, location } => {
-                let location = location
-                    .map(|(x, y)| LocationContext::at_point("reported by browser", x, y));
+                let location =
+                    location.map(|(x, y)| LocationContext::at_point("reported by browser", x, y));
                 let handle = self.engine.start_session(&user, location)?;
                 Ok(WebResponse::LoggedIn {
                     session: handle.id,
@@ -185,19 +193,18 @@ impl WebFacade {
                 })
             }
             WebRequest::Report { session } => {
-                // Rebuild a lightweight report from the current session view.
+                // Rebuild a lightweight report from the current session view
+                // against a consistent cube snapshot.
                 let view = self.engine.session_view(session)?;
-                let user = self.engine.session(session)?.user_id.clone();
+                let user = self.engine.session(session)?.user_id;
+                let cube = self.engine.cube();
                 let mut visible = std::collections::BTreeMap::new();
                 let mut totals = std::collections::BTreeMap::new();
-                for fact in &self.engine.cube().schema().facts {
-                    totals.insert(
-                        fact.name.clone(),
-                        self.engine.cube().fact_table(&fact.name)?.table.len(),
-                    );
+                for fact in &cube.schema().facts {
+                    totals.insert(fact.name.clone(), cube.fact_table(&fact.name)?.table.len());
                     visible.insert(
                         fact.name.clone(),
-                        view.visible_fact_count(self.engine.cube(), &fact.name)?,
+                        view.visible_fact_count(&cube, &fact.name)?,
                     );
                 }
                 Ok(WebResponse::Report(Box::new(PersonalizationReport {
@@ -227,7 +234,7 @@ mod tests {
 
     fn facade() -> WebFacade {
         let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-        let mut engine = PersonalizationEngine::with_layer_source(
+        let engine = PersonalizationEngine::with_layer_source(
             scenario.cube.clone(),
             Arc::new(scenario.layer_source()),
         );
@@ -239,7 +246,7 @@ mod tests {
         WebFacade::new(engine)
     }
 
-    fn login(facade: &mut WebFacade) -> SessionId {
+    fn login(facade: &WebFacade) -> SessionId {
         match facade.handle(WebRequest::Login {
             user: "regional-manager".into(),
             location: Some((50.0, 50.0)),
@@ -254,8 +261,8 @@ mod tests {
 
     #[test]
     fn full_web_session_flow() {
-        let mut facade = facade();
-        let session = login(&mut facade);
+        let facade = facade();
+        let session = login(&facade);
 
         // Aggregate by city through the personalized view.
         let response = facade.handle(WebRequest::Aggregate {
@@ -290,7 +297,10 @@ mod tests {
         }
 
         // Logout, after which the session is unusable.
-        assert_eq!(facade.handle(WebRequest::Logout { session }), WebResponse::LoggedOut);
+        assert_eq!(
+            facade.handle(WebRequest::Logout { session }),
+            WebResponse::LoggedOut
+        );
         match facade.handle(WebRequest::SpatialSelection {
             session,
             element: "GeoMD.Store.City".into(),
@@ -303,7 +313,7 @@ mod tests {
 
     #[test]
     fn errors_become_error_responses() {
-        let mut facade = facade();
+        let facade = facade();
         match facade.handle(WebRequest::Login {
             user: "nobody".into(),
             location: None,

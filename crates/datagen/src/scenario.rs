@@ -5,9 +5,7 @@ use crate::layers::GeneratedLayers;
 use crate::retail::{state_of, RetailData};
 use crate::spatial::{generate_cities, rng_for_seed};
 use sdwp_geometry::GeometricType;
-use sdwp_model::{
-    Attribute, AttributeType, DimensionBuilder, FactBuilder, Schema, SchemaBuilder,
-};
+use sdwp_model::{Attribute, AttributeType, DimensionBuilder, FactBuilder, Schema, SchemaBuilder};
 use sdwp_olap::{CellValue, Cube};
 use sdwp_prml::StaticLayerSource;
 use sdwp_user::{Role, SpatialSelectionInterest, UserProfile};
@@ -154,14 +152,8 @@ impl ScenarioBuilder {
                         "State.name",
                         CellValue::from(state_of(city_point, config.region_km)),
                     ),
-                    (
-                        "Store.geometry",
-                        CellValue::Geometry(store.location.into()),
-                    ),
-                    (
-                        "City.geometry",
-                        CellValue::Geometry((*city_point).into()),
-                    ),
+                    ("Store.geometry", CellValue::Geometry(store.location.into())),
+                    ("City.geometry", CellValue::Geometry((*city_point).into())),
                 ],
             )
             .expect("store member matches the schema");
@@ -179,10 +171,7 @@ impl ScenarioBuilder {
                         "Customer.geometry",
                         CellValue::Geometry(customer.location.into()),
                     ),
-                    (
-                        "City.geometry",
-                        CellValue::Geometry((*city_point).into()),
-                    ),
+                    ("City.geometry", CellValue::Geometry((*city_point).into())),
                 ],
             )
             .expect("customer member matches the schema");

@@ -54,11 +54,7 @@ pub fn generate_airports(rng: &mut StdRng, cities: &[Point], n: usize) -> Vec<Po
 
 /// Builds train lines threading consecutive cities: each line visits a
 /// random contiguous run of the city list (at least two cities).
-pub fn generate_train_lines(
-    rng: &mut StdRng,
-    cities: &[Point],
-    n: usize,
-) -> Vec<LineString> {
+pub fn generate_train_lines(rng: &mut StdRng, cities: &[Point], n: usize) -> Vec<LineString> {
     if cities.len() < 2 {
         return Vec::new();
     }

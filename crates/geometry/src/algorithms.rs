@@ -13,9 +13,18 @@ pub enum SegmentIntersection {
     Overlap(Coord, Coord),
 }
 
-/// Returns `true` if coordinate `p` lies on the closed segment `a`-`b`.
+/// Returns `true` if coordinate `p` lies on the closed segment `a`-`b`
+/// (within an absolute distance of [`EPSILON`]).
 pub fn point_on_segment(p: &Coord, a: &Coord, b: &Coord) -> bool {
-    if orientation(a, b, p) != Orientation::Collinear {
+    let ab = *b - *a;
+    let len2 = ab.dot(&ab);
+    if len2 < EPSILON * EPSILON {
+        return p.approx_eq(a);
+    }
+    // The raw cross product scales with |ab| · |ap|, so an absolute-epsilon
+    // orientation test misclassifies points that are a true 1e-10 away from
+    // a long segment. Normalise by |ab| to compare a real distance.
+    if ab.cross(&(*p - *a)).abs() / len2.sqrt() > EPSILON {
         return false;
     }
     p.x >= a.x.min(b.x) - EPSILON
@@ -25,12 +34,7 @@ pub fn point_on_segment(p: &Coord, a: &Coord, b: &Coord) -> bool {
 }
 
 /// Computes the intersection of the closed segments `p1`-`p2` and `q1`-`q2`.
-pub fn segment_intersection(
-    p1: &Coord,
-    p2: &Coord,
-    q1: &Coord,
-    q2: &Coord,
-) -> SegmentIntersection {
+pub fn segment_intersection(p1: &Coord, p2: &Coord, q1: &Coord, q2: &Coord) -> SegmentIntersection {
     let r = *p2 - *p1;
     let s = *q2 - *q1;
     let denom = r.cross(&s);
@@ -247,10 +251,7 @@ mod tests {
         assert_eq!(point_segment_distance(&Coord::new(-3.0, 4.0), &a, &b), 5.0);
         assert_eq!(point_segment_distance(&Coord::new(5.0, 0.0), &a, &b), 0.0);
         // Degenerate segment.
-        assert_eq!(
-            point_segment_distance(&Coord::new(3.0, 4.0), &a, &a),
-            5.0
-        );
+        assert_eq!(point_segment_distance(&Coord::new(3.0, 4.0), &a, &a), 5.0);
     }
 
     #[test]

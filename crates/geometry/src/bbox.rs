@@ -255,7 +255,10 @@ mod tests {
         let c = BoundingBox::new(5.0, 5.0, 6.0, 6.0);
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
-        assert_eq!(a.intersection(&b), Some(BoundingBox::new(1.0, 1.0, 2.0, 2.0)));
+        assert_eq!(
+            a.intersection(&b),
+            Some(BoundingBox::new(1.0, 1.0, 2.0, 2.0))
+        );
         assert_eq!(a.intersection(&c), None);
         // Touching edge counts as intersecting.
         let d = BoundingBox::new(2.0, 0.0, 4.0, 2.0);

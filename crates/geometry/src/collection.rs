@@ -105,8 +105,8 @@ impl fmt::Display for GeometryCollection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::point::Point;
     use crate::linestring::LineString;
+    use crate::point::Point;
 
     #[test]
     fn empty_collection() {
@@ -138,7 +138,9 @@ mod tests {
     fn iteration() {
         let c = GeometryCollection::new(vec![
             Point::new(1.0, 1.0).into(),
-            LineString::from_tuples(&[(0.0, 0.0), (1.0, 1.0)]).unwrap().into(),
+            LineString::from_tuples(&[(0.0, 0.0), (1.0, 1.0)])
+                .unwrap()
+                .into(),
         ]);
         assert_eq!(c.iter().count(), 2);
         assert_eq!((&c).into_iter().count(), 2);

@@ -198,7 +198,10 @@ mod tests {
             assert_eq!(GeometricType::parse(&t.as_str().to_lowercase()), Some(t));
         }
         assert_eq!(GeometricType::parse("SPHERE"), None);
-        assert_eq!(GeometricType::parse("LINESTRING"), Some(GeometricType::Line));
+        assert_eq!(
+            GeometricType::parse("LINESTRING"),
+            Some(GeometricType::Line)
+        );
     }
 
     #[test]
@@ -242,8 +245,7 @@ mod tests {
         assert_eq!(p.representative_coord().unwrap(), (1.0, 2.0).into());
         let empty: Geometry = GeometryCollection::empty().into();
         assert!(empty.representative_coord().is_none());
-        let nested: Geometry =
-            GeometryCollection::new(vec![Point::new(3.0, 4.0).into()]).into();
+        let nested: Geometry = GeometryCollection::new(vec![Point::new(3.0, 4.0).into()]).into();
         assert_eq!(nested.representative_coord().unwrap(), (3.0, 4.0).into());
     }
 

@@ -196,8 +196,9 @@ fn polygon_with(poly: &Polygon, other: &Geometry) -> GeometryCollection {
             // predicate-style consumption (emptiness / distance checks).
             let boundary = LineString::new(poly.exterior().to_vec())
                 .expect("polygon exterior has >= 4 coords");
-            let mut pieces: Vec<Geometry> =
-                line_with_polygon(&boundary, other_poly).into_iter().collect();
+            let mut pieces: Vec<Geometry> = line_with_polygon(&boundary, other_poly)
+                .into_iter()
+                .collect();
             let other_boundary = LineString::new(other_poly.exterior().to_vec())
                 .expect("polygon exterior has >= 4 coords");
             pieces.extend(line_with_polygon(&other_boundary, poly));
@@ -316,9 +317,7 @@ mod tests {
         let l = line(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
         let r = intersection(&l, &pt(5.0, 0.0));
         assert!(!r.is_empty());
-        assert!(r
-            .iter()
-            .all(|g| g.geometric_type() == GeometricType::Line));
+        assert!(r.iter().all(|g| g.geometric_type() == GeometricType::Line));
         // The point lies at the shared vertex of two segments → two sublines.
         assert_eq!(r.len(), 2);
     }
@@ -329,8 +328,14 @@ mod tests {
         let p = pt(5.0, 0.0);
         let point_first = intersection(&p, &l);
         let line_first = intersection(&l, &p);
-        assert_eq!(point_first.geometries()[0].geometric_type(), GeometricType::Point);
-        assert_eq!(line_first.geometries()[0].geometric_type(), GeometricType::Line);
+        assert_eq!(
+            point_first.geometries()[0].geometric_type(),
+            GeometricType::Point
+        );
+        assert_eq!(
+            line_first.geometries()[0].geometric_type(),
+            GeometricType::Line
+        );
     }
 
     #[test]

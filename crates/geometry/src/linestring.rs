@@ -147,8 +147,7 @@ mod tests {
 
     #[test]
     fn construction_rejects_non_finite() {
-        let err =
-            LineString::from_tuples(&[(0.0, 0.0), (f64::NAN, 1.0)]).unwrap_err();
+        let err = LineString::from_tuples(&[(0.0, 0.0), (f64::NAN, 1.0)]).unwrap_err();
         assert!(matches!(err, GeometryError::NonFiniteCoordinate { .. }));
     }
 

@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn coordinate_counts() {
         assert_eq!(num_coordinates(&Point::new(0.0, 0.0).into()), 1);
-        assert_eq!(num_coordinates(&line(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])), 3);
+        assert_eq!(
+            num_coordinates(&line(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])),
+            3
+        );
         assert_eq!(num_coordinates(&square()), 5);
         assert_eq!(coordinates(&square()).len(), 5);
     }

@@ -122,10 +122,7 @@ impl Polygon {
 
     /// Perimeter of the exterior ring.
     pub fn perimeter(&self) -> f64 {
-        self.exterior
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum()
+        self.exterior.windows(2).map(|w| w[0].distance(&w[1])).sum()
     }
 
     /// Centroid of the exterior ring (area-weighted). Falls back to the
@@ -165,11 +162,8 @@ impl Polygon {
 
     /// Iterates over the segments of all rings (exterior then holes).
     pub fn all_segments(&self) -> Vec<(Coord, Coord)> {
-        let mut segs: Vec<(Coord, Coord)> = self
-            .exterior
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect();
+        let mut segs: Vec<(Coord, Coord)> =
+            self.exterior.windows(2).map(|w| (w[0], w[1])).collect();
         for hole in &self.interiors {
             segs.extend(hole.windows(2).map(|w| (w[0], w[1])));
         }
@@ -252,8 +246,8 @@ mod tests {
 
     #[test]
     fn rejects_non_finite() {
-        let err = Polygon::from_tuples(&[(0.0, 0.0), (1.0, 0.0), (f64::INFINITY, 1.0)])
-            .unwrap_err();
+        let err =
+            Polygon::from_tuples(&[(0.0, 0.0), (1.0, 0.0), (f64::INFINITY, 1.0)]).unwrap_err();
         assert!(matches!(err, GeometryError::NonFiniteCoordinate { .. }));
     }
 
@@ -273,11 +267,7 @@ mod tests {
             Coord::new(0.25, 0.75),
             Coord::new(0.25, 0.25),
         ];
-        let p = Polygon::new(
-            unit_square().exterior().to_vec(),
-            vec![hole],
-        )
-        .unwrap();
+        let p = Polygon::new(unit_square().exterior().to_vec(), vec![hole]).unwrap();
         assert!((p.area() - 0.75).abs() < 1e-12);
         assert_eq!(p.num_interiors(), 1);
     }

@@ -15,9 +15,14 @@ use crate::polygon::Polygon;
 
 /// `Intersect(a, b)`: the geometries share at least one point.
 pub fn intersects(a: &Geometry, b: &Geometry) -> bool {
-    // Cheap bounding-box rejection first.
+    // Cheap bounding-box rejection first. The exact predicates below all
+    // tolerate EPSILON, so the fast path must too — otherwise a point a
+    // true 1e-12 outside the box is rejected although the exact test would
+    // accept it.
     match (a.bbox(), b.bbox()) {
-        (Some(ba), Some(bb)) if !ba.intersects(&bb) => return false,
+        (Some(ba), Some(bb)) if !ba.buffered(crate::coord::EPSILON).intersects(&bb) => {
+            return false
+        }
         (None, _) | (_, None) => return false,
         _ => {}
     }
@@ -67,11 +72,7 @@ pub fn equals(a: &Geometry, b: &Geometry) -> bool {
                     .all(|(r1, r2)| rings_equal(r1, r2))
         }
         (Geometry::Collection(c1), Geometry::Collection(c2)) => {
-            c1.len() == c2.len()
-                && c1
-                    .iter()
-                    .zip(c2.iter())
-                    .all(|(g1, g2)| equals(g1, g2))
+            c1.len() == c2.len() && c1.iter().zip(c2.iter()).all(|(g1, g2)| equals(g1, g2))
         }
         _ => false,
     }
@@ -88,15 +89,11 @@ pub fn inside(a: &Geometry, b: &Geometry) -> bool {
             l.coords().iter().all(|c| poly.contains_coord(c))
                 && !line_crosses_polygon_boundary_outwards(l, poly)
         }
-        (Geometry::Line(a), Geometry::Line(b)) => {
-            a.coords().iter().all(|c| point_on_line(c, b))
-        }
+        (Geometry::Line(a), Geometry::Line(b)) => a.coords().iter().all(|c| point_on_line(c, b)),
         (Geometry::Polygon(a), Geometry::Polygon(b)) => {
             a.exterior().iter().all(|c| b.contains_coord(c))
         }
-        (Geometry::Collection(c), other) => {
-            !c.is_empty() && c.iter().all(|g| inside(g, other))
-        }
+        (Geometry::Collection(c), other) => !c.is_empty() && c.iter().all(|g| inside(g, other)),
         (other, Geometry::Collection(c)) => c.iter().any(|g| inside(other, g)),
         // A polygon (2-D) can never be inside a point or a line.
         (Geometry::Polygon(_), Geometry::Point(_))
@@ -245,8 +242,7 @@ fn polygons_intersect(a: &Polygon, b: &Polygon) -> bool {
 
 fn on_polygon_boundary(p: &Polygon, c: &Coord) -> bool {
     crate::polygon::on_ring_boundary(p.exterior(), c)
-        || p
-            .interiors()
+        || p.interiors()
             .iter()
             .any(|r| crate::polygon::on_ring_boundary(r, c))
 }
@@ -339,9 +335,8 @@ fn segment_param(a: &Coord, b: &Coord, x: &Coord) -> Option<f64> {
 /// share points. Checks exterior vertices, edge midpoints and the centre of
 /// the bounding-box overlap.
 fn polygon_interiors_overlap(p1: &Polygon, p2: &Polygon) -> bool {
-    let strict_in = |poly: &Polygon, c: &Coord| {
-        poly.contains_coord(c) && !on_polygon_boundary(poly, c)
-    };
+    let strict_in =
+        |poly: &Polygon, c: &Coord| poly.contains_coord(c) && !on_polygon_boundary(poly, c);
     if p1.exterior().iter().any(|c| strict_in(p2, c))
         || p2.exterior().iter().any(|c| strict_in(p1, c))
     {
@@ -517,13 +512,11 @@ mod tests {
 
     #[test]
     fn collection_predicates() {
-        let c: Geometry =
-            GeometryCollection::new(vec![pt(1.0, 1.0), pt(20.0, 20.0)]).into();
+        let c: Geometry = GeometryCollection::new(vec![pt(1.0, 1.0), pt(20.0, 20.0)]).into();
         let square = unit_square();
         assert!(intersects(&c, &square));
         assert!(!inside(&c, &square)); // one member is outside
-        let all_in: Geometry =
-            GeometryCollection::new(vec![pt(1.0, 1.0), pt(2.0, 2.0)]).into();
+        let all_in: Geometry = GeometryCollection::new(vec![pt(1.0, 1.0), pt(2.0, 2.0)]).into();
         assert!(inside(&all_in, &square));
         let empty: Geometry = GeometryCollection::empty().into();
         assert!(disjoint(&empty, &square));
@@ -545,7 +538,10 @@ mod tests {
     fn any_intersects_collection_helper() {
         let c = GeometryCollection::new(vec![pt(1.0, 1.0)]);
         assert!(any_intersects(&c, &unit_square()));
-        assert!(!any_intersects(&GeometryCollection::empty(), &unit_square()));
+        assert!(!any_intersects(
+            &GeometryCollection::empty(),
+            &unit_square()
+        ));
     }
 
     #[test]

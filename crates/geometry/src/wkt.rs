@@ -93,8 +93,7 @@ impl<'a> WktParser<'a> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
-            if b.is_ascii_digit() || b == b'-' || b == b'+' || b == b'.' || b == b'e' || b == b'E'
-            {
+            if b.is_ascii_digit() || b == b'-' || b == b'+' || b == b'.' || b == b'e' || b == b'E' {
                 self.pos += 1;
             } else {
                 break;
@@ -224,10 +223,8 @@ mod tests {
 
     #[test]
     fn parse_polygon_with_hole() {
-        let g = parse_wkt(
-            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
-        )
-        .unwrap();
+        let g = parse_wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))")
+            .unwrap();
         let p = g.as_polygon().unwrap();
         assert_eq!(p.num_interiors(), 1);
         assert!((p.area() - 96.0).abs() < 1e-9);

@@ -57,9 +57,8 @@ impl<T> GridIndex<T> {
     fn cells_overlapping(&self, bbox: &BoundingBox) -> Vec<(i64, i64)> {
         let (min_cx, min_cy) = self.cell_of(bbox.min_x, bbox.min_y);
         let (max_cx, max_cy) = self.cell_of(bbox.max_x, bbox.max_y);
-        let mut out = Vec::with_capacity(
-            ((max_cx - min_cx + 1) * (max_cy - min_cy + 1)).max(0) as usize,
-        );
+        let mut out =
+            Vec::with_capacity(((max_cx - min_cx + 1) * (max_cy - min_cy + 1)).max(0) as usize);
         for cx in min_cx..=max_cx {
             for cy in min_cy..=max_cy {
                 out.push((cx, cy));
@@ -152,9 +151,7 @@ impl<T> SpatialQuery<T> for GridIndex<T> {
                         })
                         .collect()
                 };
-                with_d.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-                });
+                with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 if with_d.len() >= k || radius_cells > max_radius_cells {
                     return with_d.into_iter().take(k).map(|(_, t)| t).collect();
                 }
@@ -170,9 +167,7 @@ mod tests {
 
     fn grid_points(n: usize, cell: f64) -> GridIndex<usize> {
         let entries = (0..n * n)
-            .map(|id| {
-                IndexEntry::point(Coord::new((id % n) as f64, (id / n) as f64), id)
-            })
+            .map(|id| IndexEntry::point(Coord::new((id % n) as f64, (id / n) as f64), id))
             .collect();
         GridIndex::bulk_load(cell, entries)
     }
@@ -182,7 +177,9 @@ mod tests {
         let g: GridIndex<u32> = GridIndex::new(10.0);
         assert!(g.is_empty());
         assert_eq!(g.num_cells(), 0);
-        assert!(g.query_bbox(&BoundingBox::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(g
+            .query_bbox(&BoundingBox::new(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         assert!(g.nearest_neighbors(&Coord::new(0.0, 0.0), 2).is_empty());
     }
 
@@ -227,7 +224,10 @@ mod tests {
     #[test]
     fn entries_spanning_multiple_cells() {
         let mut g: GridIndex<&str> = GridIndex::new(1.0);
-        g.insert(IndexEntry::new(BoundingBox::new(0.0, 0.0, 5.0, 5.0), "wide"));
+        g.insert(IndexEntry::new(
+            BoundingBox::new(0.0, 0.0, 5.0, 5.0),
+            "wide",
+        ));
         assert!(g.num_cells() >= 25);
         // The entry is reported exactly once despite living in many cells.
         let found = g.query_bbox(&BoundingBox::new(0.0, 0.0, 10.0, 10.0));

@@ -221,7 +221,10 @@ impl<T> RTree<T> {
                         children.push((right.bbox().expect("non-empty"), right));
                         if children.len() > max {
                             let (a, b) = split_children(std::mem::take(children), min);
-                            Some((Node::Internal { children: a }, Node::Internal { children: b }))
+                            Some((
+                                Node::Internal { children: a },
+                                Node::Internal { children: b },
+                            ))
                         } else {
                             None
                         }
@@ -268,12 +271,7 @@ impl<T> RTree<T> {
         }
     }
 
-    fn collect_within<'a>(
-        node: &'a Node<T>,
-        center: &Coord,
-        radius: f64,
-        out: &mut Vec<&'a T>,
-    ) {
+    fn collect_within<'a>(node: &'a Node<T>, center: &Coord, radius: f64, out: &mut Vec<&'a T>) {
         match node {
             Node::Leaf { entries } => {
                 for e in entries {
@@ -373,17 +371,23 @@ impl<T> SpatialQuery<T> for RTree<T> {
 }
 
 /// Quadratic split of leaf entries.
-fn split_entries<T>(entries: Vec<IndexEntry<T>>, min: usize) -> (Vec<IndexEntry<T>>, Vec<IndexEntry<T>>) {
+fn split_entries<T>(
+    entries: Vec<IndexEntry<T>>,
+    min: usize,
+) -> (Vec<IndexEntry<T>>, Vec<IndexEntry<T>>) {
     let boxes: Vec<BoundingBox> = entries.iter().map(|e| e.bbox).collect();
     let (seed_a, seed_b) = pick_seeds(&boxes);
     distribute(entries, seed_a, seed_b, min, |e| e.bbox)
 }
 
+/// A child entry of an internal node: its bounding box plus subtree.
+type ChildEntry<T> = (BoundingBox, Node<T>);
+
 /// Quadratic split of internal children.
 fn split_children<T>(
-    children: Vec<(BoundingBox, Node<T>)>,
+    children: Vec<ChildEntry<T>>,
     min: usize,
-) -> (Vec<(BoundingBox, Node<T>)>, Vec<(BoundingBox, Node<T>)>) {
+) -> (Vec<ChildEntry<T>>, Vec<ChildEntry<T>>) {
     let boxes: Vec<BoundingBox> = children.iter().map(|(b, _)| *b).collect();
     let (seed_a, seed_b) = pick_seeds(&boxes);
     distribute(children, seed_a, seed_b, min, |(b, _)| *b)
@@ -464,10 +468,7 @@ mod tests {
         let mut v = Vec::with_capacity(n * n);
         for i in 0..n {
             for j in 0..n {
-                v.push(IndexEntry::point(
-                    Coord::new(i as f64, j as f64),
-                    i * n + j,
-                ));
+                v.push(IndexEntry::point(Coord::new(i as f64, j as f64), i * n + j));
             }
         }
         v
@@ -507,7 +508,11 @@ mod tests {
         }
         let query = BoundingBox::new(1.5, 1.5, 7.5, 3.5);
         let mut a: Vec<usize> = bulk.query_bbox(&query).into_iter().copied().collect();
-        let mut b: Vec<usize> = incremental.query_bbox(&query).into_iter().copied().collect();
+        let mut b: Vec<usize> = incremental
+            .query_bbox(&query)
+            .into_iter()
+            .copied()
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -539,7 +544,7 @@ mod tests {
         let nn = tree.nearest_neighbors(&Coord::new(0.1, 0.1), 3);
         assert_eq!(nn.len(), 3);
         assert_eq!(*nn[0], 0); // (0,0)
-        // k larger than the tree returns everything.
+                               // k larger than the tree returns everything.
         let all = tree.nearest_neighbors(&Coord::new(0.0, 0.0), 1000);
         assert_eq!(all.len(), 100);
     }
@@ -579,9 +584,18 @@ mod tests {
     #[test]
     fn non_point_boxes() {
         let mut tree = RTree::with_capacity(4);
-        tree.insert(IndexEntry::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), "big"));
-        tree.insert(IndexEntry::new(BoundingBox::new(2.0, 2.0, 3.0, 3.0), "small"));
-        tree.insert(IndexEntry::new(BoundingBox::new(20.0, 20.0, 30.0, 30.0), "far"));
+        tree.insert(IndexEntry::new(
+            BoundingBox::new(0.0, 0.0, 10.0, 10.0),
+            "big",
+        ));
+        tree.insert(IndexEntry::new(
+            BoundingBox::new(2.0, 2.0, 3.0, 3.0),
+            "small",
+        ));
+        tree.insert(IndexEntry::new(
+            BoundingBox::new(20.0, 20.0, 30.0, 30.0),
+            "far",
+        ));
         let found = tree.query_bbox(&BoundingBox::new(2.5, 2.5, 2.6, 2.6));
         assert_eq!(found.len(), 2);
         assert!(found.contains(&&"big"));

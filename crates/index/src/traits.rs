@@ -52,9 +52,7 @@ pub trait SpatialQuery<T> {
             center.x + radius,
             center.y + radius,
         );
-        self.query_bbox(&window)
-            .into_iter()
-            .collect()
+        self.query_bbox(&window).into_iter().collect()
     }
 
     /// Returns up to `k` payloads closest to the coordinate, ordered by
@@ -120,8 +118,7 @@ impl<T> SpatialQuery<T> for LinearScan<T> {
             .iter()
             .map(|e| (e.bbox.distance_to_coord(center), &e.item))
             .collect();
-        with_distance
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        with_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         with_distance.into_iter().take(k).map(|(_, t)| t).collect()
     }
 }
@@ -177,7 +174,9 @@ mod tests {
     fn empty_scan() {
         let scan: LinearScan<u32> = LinearScan::new();
         assert!(scan.is_empty());
-        assert!(scan.query_bbox(&BoundingBox::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(scan
+            .query_bbox(&BoundingBox::new(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         assert!(scan.nearest_neighbors(&Coord::new(0.0, 0.0), 5).is_empty());
     }
 

@@ -1,8 +1,8 @@
 //! Property tests: every index answers queries exactly like the linear scan.
 
 use proptest::prelude::*;
-use sdwp_index::{GridIndex, IndexEntry, LinearScan, RTree, SpatialQuery};
 use sdwp_geometry::{BoundingBox, Coord};
+use sdwp_index::{GridIndex, IndexEntry, LinearScan, RTree, SpatialQuery};
 
 fn entry_strategy() -> impl Strategy<Value = IndexEntry<u32>> {
     (
@@ -12,9 +12,7 @@ fn entry_strategy() -> impl Strategy<Value = IndexEntry<u32>> {
         0.0f64..20.0,
         any::<u32>(),
     )
-        .prop_map(|(x, y, w, h, id)| {
-            IndexEntry::new(BoundingBox::new(x, y, x + w, y + h), id)
-        })
+        .prop_map(|(x, y, w, h, id)| IndexEntry::new(BoundingBox::new(x, y, x + w, y + h), id))
 }
 
 fn sorted(mut v: Vec<u32>) -> Vec<u32> {

@@ -212,7 +212,10 @@ mod tests {
         for agg in AggregationFunction::ALL {
             assert_eq!(AggregationFunction::parse(&agg.to_string()), Some(agg));
         }
-        assert_eq!(AggregationFunction::parse("avg"), Some(AggregationFunction::Avg));
+        assert_eq!(
+            AggregationFunction::parse("avg"),
+            Some(AggregationFunction::Avg)
+        );
         assert_eq!(AggregationFunction::parse("median"), None);
         assert_eq!(AggregationFunction::default(), AggregationFunction::Sum);
     }
@@ -236,11 +239,8 @@ mod tests {
             AttributeType::Geometry(GeometricType::Polygon),
         );
         assert_eq!(spatial.stereotype(), Stereotype::SpatialMeasure);
-        let avg = Measure::with_aggregation(
-            "StoreCost",
-            AttributeType::Float,
-            AggregationFunction::Avg,
-        );
+        let avg =
+            Measure::with_aggregation("StoreCost", AttributeType::Float, AggregationFunction::Avg);
         assert_eq!(avg.aggregation, AggregationFunction::Avg);
     }
 }

@@ -31,11 +31,7 @@ impl DimensionBuilder {
     }
 
     /// Adds a level carrying only a text descriptor named `descriptor`.
-    pub fn simple_level(
-        mut self,
-        name: impl Into<String>,
-        descriptor: impl Into<String>,
-    ) -> Self {
+    pub fn simple_level(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
         self.levels.push(Level::with_descriptor(name, descriptor));
         self
     }
@@ -135,7 +131,9 @@ impl SchemaBuilder {
 
     /// Adds a thematic layer (GeoMD extension).
     pub fn layer(mut self, name: impl Into<String>, geometry: GeometricType) -> Self {
-        self.schema.layers.push(crate::geo::Layer::new(name, geometry));
+        self.schema
+            .layers
+            .push(crate::geo::Layer::new(name, geometry));
         self
     }
 
@@ -233,11 +231,7 @@ mod tests {
     #[test]
     fn build_unchecked_skips_validation() {
         let schema = SchemaBuilder::new("Broken")
-            .fact(
-                FactBuilder::new("Sales")
-                    .dimension("Ghost")
-                    .build(),
-            )
+            .fact(FactBuilder::new("Sales").dimension("Ghost").build())
             .build_unchecked();
         assert_eq!(schema.facts.len(), 1);
     }

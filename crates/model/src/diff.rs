@@ -29,8 +29,7 @@ impl SchemaDiff {
 
         for layer in &after.layers {
             if before.layer(&layer.name).is_none() {
-                diff.added_layers
-                    .push((layer.name.clone(), layer.geometry));
+                diff.added_layers.push((layer.name.clone(), layer.geometry));
             }
         }
         for layer in &before.layers {
@@ -115,8 +114,8 @@ impl fmt::Display for SchemaDiff {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{DimensionBuilder, FactBuilder, SchemaBuilder};
     use crate::attribute::AttributeType;
+    use crate::builder::{DimensionBuilder, FactBuilder, SchemaBuilder};
 
     fn md_schema() -> Schema {
         SchemaBuilder::new("SalesDW")
@@ -154,10 +153,17 @@ mod tests {
         after.become_spatial("Store", GeometricType::Point).unwrap();
 
         let diff = SchemaDiff::between(&before, &after);
-        assert_eq!(diff.added_layers, vec![("Airport".to_string(), GeometricType::Point)]);
+        assert_eq!(
+            diff.added_layers,
+            vec![("Airport".to_string(), GeometricType::Point)]
+        );
         assert_eq!(
             diff.levels_become_spatial,
-            vec![("Store".to_string(), "Store".to_string(), GeometricType::Point)]
+            vec![(
+                "Store".to_string(),
+                "Store".to_string(),
+                GeometricType::Point
+            )]
         );
         assert_eq!(diff.change_count(), 2);
         let rendered = diff.to_string();

@@ -18,11 +18,7 @@ pub struct Fact {
 
 impl Fact {
     /// Creates a fact from its measures and dimension references.
-    pub fn new(
-        name: impl Into<String>,
-        measures: Vec<Measure>,
-        dimensions: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, measures: Vec<Measure>, dimensions: Vec<String>) -> Self {
         Fact {
             name: name.into(),
             measures,
@@ -62,7 +58,12 @@ mod tests {
                     AggregationFunction::Avg,
                 ),
             ],
-            vec!["Store".into(), "Customer".into(), "Product".into(), "Time".into()],
+            vec![
+                "Store".into(),
+                "Customer".into(),
+                "Product".into(),
+                "Time".into(),
+            ],
         )
     }
 

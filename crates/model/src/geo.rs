@@ -65,12 +65,12 @@ mod tests {
 
     #[test]
     fn layer_with_description() {
-        let train = Layer::with_description(
-            "Train",
-            GeometricType::Line,
-            "national railway network",
-        );
+        let train =
+            Layer::with_description("Train", GeometricType::Line, "national railway network");
         assert_eq!(train.geometry, GeometricType::Line);
-        assert_eq!(train.description.as_deref(), Some("national railway network"));
+        assert_eq!(
+            train.description.as_deref(),
+            Some("national railway network")
+        );
     }
 }

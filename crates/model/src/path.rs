@@ -240,7 +240,9 @@ impl<'a> PathResolver<'a> {
 
         if i >= segs.len() {
             return match fact_name {
-                Some(f) => Ok(PathTarget::Fact { fact: f.to_string() }),
+                Some(f) => Ok(PathTarget::Fact {
+                    fact: f.to_string(),
+                }),
                 None => Err(err("empty path".into())),
             };
         }
@@ -410,7 +412,9 @@ mod tests {
         let r = PathResolver::new(&schema);
         assert_eq!(
             r.resolve_text("MD.Sales").unwrap(),
-            PathTarget::Fact { fact: "Sales".into() }
+            PathTarget::Fact {
+                fact: "Sales".into()
+            }
         );
     }
 
@@ -504,11 +508,15 @@ mod tests {
         let r = PathResolver::new(&schema);
         assert_eq!(
             r.resolve_text("GeoMD.Airport").unwrap(),
-            PathTarget::Layer { layer: "Airport".into() }
+            PathTarget::Layer {
+                layer: "Airport".into()
+            }
         );
         assert_eq!(
             r.resolve_text("GeoMD.Airport.geometry").unwrap(),
-            PathTarget::LayerGeometry { layer: "Airport".into() }
+            PathTarget::LayerGeometry {
+                layer: "Airport".into()
+            }
         );
         assert!(r.resolve_text("GeoMD.Airport.runways").is_err());
     }
@@ -527,7 +535,10 @@ mod tests {
     #[test]
     fn target_classification() {
         assert!(PathTarget::LayerGeometry { layer: "A".into() }.is_spatial());
-        assert!(!PathTarget::Fact { fact: "Sales".into() }.is_spatial());
+        assert!(!PathTarget::Fact {
+            fact: "Sales".into()
+        }
+        .is_spatial());
         assert!(PathTarget::Layer { layer: "A".into() }.is_iterable());
         assert!(!PathTarget::LevelGeometry {
             dimension: "Store".into(),

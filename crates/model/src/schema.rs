@@ -217,7 +217,9 @@ mod tests {
         s.become_spatial("Store", GeometricType::Point).unwrap();
         assert!(s.is_geographic());
         assert_eq!(s.spatial_levels(), vec!["Store.Store".to_string()]);
-        let err = s.become_spatial("Warehouse", GeometricType::Point).unwrap_err();
+        let err = s
+            .become_spatial("Warehouse", GeometricType::Point)
+            .unwrap_err();
         assert!(matches!(err, ModelError::UnknownElement { .. }));
     }
 

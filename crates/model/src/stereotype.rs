@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(Stereotype::DimensionAttribute.to_string(), "DimensionAttribute");
+        assert_eq!(
+            Stereotype::DimensionAttribute.to_string(),
+            "DimensionAttribute"
+        );
         assert_eq!(Stereotype::Layer.to_string(), "Layer");
     }
 }

@@ -167,7 +167,10 @@ mod tests {
         );
         assert!(matches!(
             validate_schema(&s),
-            Err(ModelError::DuplicateName { kind: "dimension", .. })
+            Err(ModelError::DuplicateName {
+                kind: "dimension",
+                ..
+            })
         ));
     }
 
@@ -223,7 +226,10 @@ mod tests {
         ));
         assert!(matches!(
             validate_schema(&s),
-            Err(ModelError::DuplicateName { kind: "attribute", .. })
+            Err(ModelError::DuplicateName {
+                kind: "attribute",
+                ..
+            })
         ));
     }
 
@@ -251,7 +257,10 @@ mod tests {
         ));
         assert!(matches!(
             validate_schema(&s),
-            Err(ModelError::UnknownElement { kind: "dimension", .. })
+            Err(ModelError::UnknownElement {
+                kind: "dimension",
+                ..
+            })
         ));
     }
 
@@ -263,7 +272,10 @@ mod tests {
             .push(Measure::new("UnitSales", AttributeType::Float));
         assert!(matches!(
             validate_schema(&s),
-            Err(ModelError::DuplicateName { kind: "measure", .. })
+            Err(ModelError::DuplicateName {
+                kind: "measure",
+                ..
+            })
         ));
     }
 

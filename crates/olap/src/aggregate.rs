@@ -90,8 +90,14 @@ mod tests {
             CellValue::Null,
             CellValue::Float(3.0),
         ];
-        assert_eq!(feed(AggregationFunction::Sum, &values), CellValue::Float(6.0));
-        assert_eq!(feed(AggregationFunction::Avg, &values), CellValue::Float(2.0));
+        assert_eq!(
+            feed(AggregationFunction::Sum, &values),
+            CellValue::Float(6.0)
+        );
+        assert_eq!(
+            feed(AggregationFunction::Avg, &values),
+            CellValue::Float(2.0)
+        );
     }
 
     #[test]
@@ -101,9 +107,18 @@ mod tests {
             CellValue::Float(-1.0),
             CellValue::Float(3.0),
         ];
-        assert_eq!(feed(AggregationFunction::Min, &values), CellValue::Float(-1.0));
-        assert_eq!(feed(AggregationFunction::Max, &values), CellValue::Float(5.0));
-        assert_eq!(feed(AggregationFunction::Count, &values), CellValue::Integer(3));
+        assert_eq!(
+            feed(AggregationFunction::Min, &values),
+            CellValue::Float(-1.0)
+        );
+        assert_eq!(
+            feed(AggregationFunction::Max, &values),
+            CellValue::Float(5.0)
+        );
+        assert_eq!(
+            feed(AggregationFunction::Count, &values),
+            CellValue::Integer(3)
+        );
     }
 
     #[test]
@@ -119,7 +134,10 @@ mod tests {
             CellValue::Integer(2)
         );
         // COUNT counts non-null occurrences, not distinct values.
-        assert_eq!(feed(AggregationFunction::Count, &values), CellValue::Integer(3));
+        assert_eq!(
+            feed(AggregationFunction::Count, &values),
+            CellValue::Integer(3)
+        );
     }
 
     #[test]

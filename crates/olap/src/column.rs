@@ -57,10 +57,7 @@ impl Dictionary {
     pub fn code_of(&self, s: &str) -> Option<u32> {
         self.index.get(s).copied().or_else(|| {
             // Fall back to a scan when the index was lost to serde skip.
-            self.values
-                .iter()
-                .position(|v| v == s)
-                .map(|p| p as u32)
+            self.values.iter().position(|v| v == s).map(|p| p as u32)
         })
     }
 

@@ -183,10 +183,12 @@ impl Cube {
 
     /// The fact table for a fact.
     pub fn fact_table(&self, fact: &str) -> Result<&FactTable, OlapError> {
-        self.facts.get(fact).ok_or_else(|| OlapError::UnknownElement {
-            kind: "fact",
-            name: fact.to_string(),
-        })
+        self.facts
+            .get(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })
     }
 
     /// Names of the materialised layers.
@@ -219,13 +221,13 @@ impl Cube {
         dimension: &str,
         values: Vec<(&str, CellValue)>,
     ) -> Result<usize, OlapError> {
-        let table = self
-            .dimensions
-            .get_mut(dimension)
-            .ok_or_else(|| OlapError::UnknownElement {
-                kind: "dimension",
-                name: dimension.to_string(),
-            })?;
+        let table =
+            self.dimensions
+                .get_mut(dimension)
+                .ok_or_else(|| OlapError::UnknownElement {
+                    kind: "dimension",
+                    name: dimension.to_string(),
+                })?;
         table.table.push_row(values)
     }
 
@@ -263,21 +265,22 @@ impl Cube {
                 });
             }
         }
-        let table = self.facts.get_mut(fact).ok_or_else(|| OlapError::UnknownElement {
-            kind: "fact",
-            name: fact.to_string(),
-        })?;
+        let table = self
+            .facts
+            .get_mut(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })?;
         let mut values: Vec<(String, CellValue)> = foreign_keys
             .into_iter()
             .map(|(dim, row)| (fk_column(dim), CellValue::Integer(row as i64)))
             .collect();
-        values.extend(
-            measures
-                .into_iter()
-                .map(|(name, v)| (name.to_string(), v)),
-        );
-        let named: Vec<(&str, CellValue)> =
-            values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        values.extend(measures.into_iter().map(|(name, v)| (name.to_string(), v)));
+        let named: Vec<(&str, CellValue)> = values
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         table.table.push_row(named)
     }
 

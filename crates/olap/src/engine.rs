@@ -35,13 +35,13 @@ impl QueryEngine {
         query: &Query,
         view: &InstanceView,
     ) -> Result<QueryResult, OlapError> {
-        let fact_def = cube
-            .schema()
-            .fact(&query.fact)
-            .ok_or_else(|| OlapError::UnknownElement {
-                kind: "fact",
-                name: query.fact.clone(),
-            })?;
+        let fact_def =
+            cube.schema()
+                .fact(&query.fact)
+                .ok_or_else(|| OlapError::UnknownElement {
+                    kind: "fact",
+                    name: query.fact.clone(),
+                })?;
         if query.measures.is_empty() {
             return Err(OlapError::InvalidQuery {
                 message: "a query needs at least one measure".into(),
@@ -70,17 +70,18 @@ impl QueryEngine {
                     ),
                 });
             }
-            let dim = cube
-                .schema()
-                .dimension(&key.dimension)
-                .ok_or_else(|| OlapError::UnknownElement {
+            let dim = cube.schema().dimension(&key.dimension).ok_or_else(|| {
+                OlapError::UnknownElement {
                     kind: "dimension",
                     name: key.dimension.clone(),
-                })?;
-            let level = dim.level(&key.level).ok_or_else(|| OlapError::UnknownElement {
-                kind: "level",
-                name: key.level.clone(),
+                }
             })?;
+            let level = dim
+                .level(&key.level)
+                .ok_or_else(|| OlapError::UnknownElement {
+                    kind: "level",
+                    name: key.level.clone(),
+                })?;
             if level.attribute(&key.attribute).is_none() {
                 return Err(OlapError::UnknownElement {
                     kind: "attribute",
@@ -267,11 +268,7 @@ mod tests {
             .fact(
                 FactBuilder::new("Sales")
                     .measure("UnitSales", AttributeType::Float)
-                    .measure_with(
-                        "StoreCost",
-                        AttributeType::Float,
-                        AggregationFunction::Avg,
-                    )
+                    .measure_with("StoreCost", AttributeType::Float, AggregationFunction::Avg)
                     .dimension("Store")
                     .dimension("Time")
                     .build(),
@@ -372,12 +369,10 @@ mod tests {
         let cube = sales_cube();
         let engine = QueryEngine::new();
         // Stores within 15 units of the origin: stores 0 (x=0) and 1 (x=10).
-        let query = Query::over("Sales")
-            .measure("UnitSales")
-            .filter_dimension(
-                "Store",
-                Filter::within_km("Store.geometry", Point::new(0.0, 0.0).into(), 15.0),
-            );
+        let query = Query::over("Sales").measure("UnitSales").filter_dimension(
+            "Store",
+            Filter::within_km("Store.geometry", Point::new(0.0, 0.0).into(), 15.0),
+        );
         let result = engine.execute(&cube, &query).unwrap();
         assert_eq!(result.rows[0].values[0], CellValue::Float(9.0));
     }
@@ -430,9 +425,7 @@ mod tests {
             .measure("UnitSales");
         let full = engine.execute(&cube, &query).unwrap();
         assert_eq!(full.len(), 6); // 2 cities x 3 days
-        let limited = engine
-            .execute(&cube, &query.clone().limit(4))
-            .unwrap();
+        let limited = engine.execute(&cube, &query.clone().limit(4)).unwrap();
         assert_eq!(limited.len(), 4);
     }
 
@@ -443,9 +436,7 @@ mod tests {
         assert!(engine
             .execute(&cube, &Query::over("Returns").measure("UnitSales"))
             .is_err());
-        assert!(engine
-            .execute(&cube, &Query::over("Sales"))
-            .is_err());
+        assert!(engine.execute(&cube, &Query::over("Sales")).is_err());
         assert!(engine
             .execute(&cube, &Query::over("Sales").measure("Profit"))
             .is_err());

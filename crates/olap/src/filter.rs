@@ -136,11 +136,7 @@ impl Filter {
 
     /// Convenience constructor for a within-distance filter in Euclidean
     /// (planar) units.
-    pub fn within_km(
-        column: impl Into<String>,
-        target: Geometry,
-        max_distance: f64,
-    ) -> Self {
+    pub fn within_km(column: impl Into<String>, target: Geometry, max_distance: f64) -> Self {
         Filter::WithinDistance {
             column: column.into(),
             target,
@@ -241,7 +237,10 @@ mod tests {
                 ("Store.name", CellValue::from(store)),
                 ("City.name", CellValue::from(city)),
                 ("size", CellValue::Integer(size)),
-                ("Store.geometry", CellValue::Geometry(Point::new(x, y).into())),
+                (
+                    "Store.geometry",
+                    CellValue::Geometry(Point::new(x, y).into()),
+                ),
             ])
             .unwrap();
         }
@@ -353,7 +352,10 @@ mod tests {
         assert_eq!(either.matching_rows(&t).unwrap(), vec![0, 2]);
         assert_eq!(Filter::All.matching_rows(&t).unwrap().len(), 3);
         assert!(Filter::None.matching_rows(&t).unwrap().is_empty());
-        assert_eq!(Filter::RowIn(vec![2, 5]).matching_rows(&t).unwrap(), vec![2]);
+        assert_eq!(
+            Filter::RowIn(vec![2, 5]).matching_rows(&t).unwrap(),
+            vec![2]
+        );
     }
 
     #[test]
@@ -365,10 +367,7 @@ mod tests {
 
     #[test]
     fn null_geometry_never_matches_spatial_filters() {
-        let mut t = Table::new(
-            "L",
-            vec![("geometry".to_string(), ColumnType::Geometry)],
-        );
+        let mut t = Table::new("L", vec![("geometry".to_string(), ColumnType::Geometry)]);
         t.push_row(vec![]).unwrap(); // null geometry
         let f = Filter::within_km("geometry", Point::new(0.0, 0.0).into(), 1000.0);
         assert!(f.matching_rows(&t).unwrap().is_empty());

@@ -236,9 +236,15 @@ mod tests {
     fn scan_and_indexed_selection_agree() {
         let cube = cube_with_stores(50);
         let user: Geometry = Point::new(10.0, 0.0).into();
-        let scan =
-            members_within_distance(&cube, "Store", "Store", &user, 5.0, DistanceMetric::Euclidean)
-                .unwrap();
+        let scan = members_within_distance(
+            &cube,
+            "Store",
+            "Store",
+            &user,
+            5.0,
+            DistanceMetric::Euclidean,
+        )
+        .unwrap();
         let rtree = build_level_rtree(&cube, "Store", "Store").unwrap();
         let via_rtree = members_within_distance_indexed(
             &cube,
@@ -290,9 +296,14 @@ mod tests {
         ])
         .unwrap()
         .into();
-        let inside =
-            members_matching_predicate(&cube, "Store", "Store", SpatialPredicateOp::Inside, &region)
-                .unwrap();
+        let inside = members_matching_predicate(
+            &cube,
+            "Store",
+            "Store",
+            SpatialPredicateOp::Inside,
+            &region,
+        )
+        .unwrap();
         assert_eq!(inside, vec![3, 4, 5, 6]);
         let disjoint = members_matching_predicate(
             &cube,

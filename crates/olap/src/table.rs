@@ -147,7 +147,10 @@ mod tests {
         let t = store_table();
         assert!(t.is_empty());
         assert_eq!(t.num_columns(), 3);
-        assert_eq!(t.column_names(), vec!["Store.name", "City.name", "size_sqm"]);
+        assert_eq!(
+            t.column_names(),
+            vec!["Store.name", "City.name", "size_sqm"]
+        );
         assert_eq!(t.column_index("City.name"), Some(1));
         assert_eq!(t.column_index("missing"), None);
         assert!(t.column("missing").is_err());
@@ -164,7 +167,10 @@ mod tests {
             .unwrap();
         assert_eq!(row, 0);
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(0, "Store.name").unwrap(), CellValue::Text("Downtown".into()));
+        assert_eq!(
+            t.get(0, "Store.name").unwrap(),
+            CellValue::Text("Downtown".into())
+        );
         assert_eq!(t.get(0, "size_sqm").unwrap(), CellValue::Null);
     }
 
@@ -172,7 +178,10 @@ mod tests {
     fn unknown_column_in_row_is_rejected_without_corruption() {
         let mut t = store_table();
         let err = t
-            .push_row(vec![("Store.name", CellValue::from("X")), ("ghost", CellValue::Null)])
+            .push_row(vec![
+                ("Store.name", CellValue::from("X")),
+                ("ghost", CellValue::Null),
+            ])
             .unwrap_err();
         assert!(matches!(err, OlapError::UnknownColumn { .. }));
         assert!(t.is_empty());

@@ -89,7 +89,10 @@ impl InstanceView {
 
     /// Names of the dimensions this view restricts.
     pub fn restricted_dimensions(&self) -> Vec<&str> {
-        self.dimension_selections.keys().map(String::as_str).collect()
+        self.dimension_selections
+            .keys()
+            .map(String::as_str)
+            .collect()
     }
 
     /// Returns `true` when a fact row is visible through the view: the row
@@ -243,7 +246,11 @@ mod tests {
         view.select_dimension_members("Store", vec![0, 1, 2]);
         view.select_dimension_members("Store", vec![1, 2, 3]);
         assert_eq!(
-            view.selected_members("Store").unwrap().iter().copied().collect::<Vec<_>>(),
+            view.selected_members("Store")
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![1, 2]
         );
     }
@@ -270,7 +277,11 @@ mod tests {
         b.select_fact_rows("Sales", vec![4, 5]);
         a.merge(&b);
         assert_eq!(
-            a.selected_members("Store").unwrap().iter().copied().collect::<Vec<_>>(),
+            a.selected_members("Store")
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![2]
         );
         // Fact rows 4 and 5 belong to store 2 → both visible.

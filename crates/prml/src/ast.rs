@@ -287,7 +287,10 @@ mod tests {
             op: BinaryOp::Lt,
             left: Box::new(Expr::Call {
                 function: "Distance".into(),
-                args: vec![Expr::path("s.geometry"), Expr::path("GeoMD.Airport.geometry")],
+                args: vec![
+                    Expr::path("s.geometry"),
+                    Expr::path("GeoMD.Airport.geometry"),
+                ],
             }),
             right: Box::new(Expr::Number(5.0)),
         };

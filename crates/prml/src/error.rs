@@ -91,7 +91,10 @@ mod tests {
             pos: SourcePos { line: 3, column: 7 },
             message: "expected 'do'".into(),
         };
-        assert_eq!(e.to_string(), "parse error at line 3, column 7: expected 'do'");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 3, column 7: expected 'do'"
+        );
         let c = PrmlError::Check {
             rule: "addSpatiality".into(),
             message: "unknown level".into(),

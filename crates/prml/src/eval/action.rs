@@ -59,9 +59,9 @@ pub fn execute_action(
             select_value(&value, effect, &rule_name)
         }
         Action::SetContent { target, value } => {
-            let segments = target.as_path().ok_or_else(|| {
-                PrmlError::eval(&effect.rule, "SetContent target must be a path")
-            })?;
+            let segments = target
+                .as_path()
+                .ok_or_else(|| PrmlError::eval(&effect.rule, "SetContent target must be a path"))?;
             if !segments
                 .first()
                 .map(|s| s.eq_ignore_ascii_case("SUS"))
@@ -126,7 +126,10 @@ fn select_value(value: &Value, effect: &mut RuleEffect, rule: &str) -> Result<()
         }
         other => Err(PrmlError::eval(
             rule,
-            format!("SelectInstance expects an instance, got a {}", other.type_name()),
+            format!(
+                "SelectInstance expects an instance, got a {}",
+                other.type_name()
+            ),
         )),
     }
 }

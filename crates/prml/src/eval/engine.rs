@@ -392,7 +392,9 @@ mod tests {
             "Train",
             vec![(
                 "coastal line".to_string(),
-                LineString::from_tuples(&[(0.0, 1.0), (50.0, 1.0)]).unwrap().into(),
+                LineString::from_tuples(&[(0.0, 1.0), (50.0, 1.0)])
+                    .unwrap()
+                    .into(),
             )],
         );
         source
@@ -479,7 +481,10 @@ mod tests {
                 .with_layer_source(&layers)
                 .with_parameter("threshold", 2.0);
             let report = engine
-                .fire(&RuntimeEvent::spatial_selection("GeoMD.Store.City"), &mut ctx)
+                .fire(
+                    &RuntimeEvent::spatial_selection("GeoMD.Store.City"),
+                    &mut ctx,
+                )
                 .unwrap();
             assert_eq!(report.rules_matched, 1);
             assert_eq!(report.effects[0].set_contents, 1);
@@ -495,10 +500,7 @@ mod tests {
             .with_parameter("threshold", 2.0);
         let report = engine.fire(&RuntimeEvent::SessionStart, &mut ctx).unwrap();
         let effect = report.effect_of("TrainAirportCity").unwrap();
-        assert!(effect
-            .added_layers
-            .iter()
-            .any(|(name, _)| name == "Train"));
+        assert!(effect.added_layers.iter().any(|(name, _)| name == "Train"));
         let selected = effect.selections.get("Store").expect("cities selected");
         // The train line runs along y=1 from x=0 to x=50; the airport sits
         // at (0, 1). Splitting the line at each city and then at the airport
@@ -518,7 +520,9 @@ mod tests {
         let mut profile = manager_profile();
         let layers = airports();
         let mut engine = RuleEngine::new();
-        engine.add_rules_text(EXAMPLE_5_3_TRAIN_AIRPORT_CITY).unwrap();
+        engine
+            .add_rules_text(EXAMPLE_5_3_TRAIN_AIRPORT_CITY)
+            .unwrap();
         let mut ctx = EvalContext::new(&mut cube, &mut profile)
             .with_layer_source(&layers)
             .with_parameter("threshold", 5.0);
@@ -595,7 +599,11 @@ mod tests {
     fn selection_sets_helper() {
         let mut report = FireReport::default();
         let mut effect = RuleEffect::new("r");
-        effect.selections.entry("Store".into()).or_default().insert(1);
+        effect
+            .selections
+            .entry("Store".into())
+            .or_default()
+            .insert(1);
         report.effects.push(effect);
         let sets = report.selection_sets();
         assert_eq!(sets.len(), 1);
@@ -615,7 +623,9 @@ mod tests {
         let mut cube = sales_cube();
         let mut profile = manager_profile();
         let mut ctx = EvalContext::new(&mut cube, &mut profile);
-        let err = engine.fire(&RuntimeEvent::SessionStart, &mut ctx).unwrap_err();
+        let err = engine
+            .fire(&RuntimeEvent::SessionStart, &mut ctx)
+            .unwrap_err();
         assert!(err.to_string().contains("division by zero"));
 
         let mut engine2 = RuleEngine::new();
@@ -631,12 +641,16 @@ mod tests {
     #[test]
     fn unknown_parameter_is_an_error() {
         let mut engine = RuleEngine::new();
-        engine.add_rules_text(EXAMPLE_5_3_TRAIN_AIRPORT_CITY).unwrap();
+        engine
+            .add_rules_text(EXAMPLE_5_3_TRAIN_AIRPORT_CITY)
+            .unwrap();
         let mut cube = sales_cube();
         let mut profile = manager_profile();
         // No 'threshold' parameter is defined in the context.
         let mut ctx = EvalContext::new(&mut cube, &mut profile);
-        let err = engine.fire(&RuntimeEvent::SessionStart, &mut ctx).unwrap_err();
+        let err = engine
+            .fire(&RuntimeEvent::SessionStart, &mut ctx)
+            .unwrap_err();
         assert!(err.to_string().contains("threshold"));
     }
 }

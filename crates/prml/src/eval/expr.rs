@@ -41,7 +41,10 @@ pub fn evaluate_condition(expr: &Expr, ctx: &EvalContext<'_>) -> Result<bool, Pr
     value.as_bool().ok_or_else(|| {
         PrmlError::eval(
             "",
-            format!("condition evaluated to {} instead of a boolean", value.type_name()),
+            format!(
+                "condition evaluated to {} instead of a boolean",
+                value.type_name()
+            ),
         )
     })
 }
@@ -82,11 +85,19 @@ fn evaluate_binary(
         BinaryOp::And | BinaryOp::Or => {
             let a = lhs.as_bool().ok_or_else(|| type_error("boolean", &lhs))?;
             let b = rhs.as_bool().ok_or_else(|| type_error("boolean", &rhs))?;
-            Ok(Value::Boolean(if op == BinaryOp::And { a && b } else { a || b }))
+            Ok(Value::Boolean(if op == BinaryOp::And {
+                a && b
+            } else {
+                a || b
+            }))
         }
         BinaryOp::Eq | BinaryOp::Ne => {
             let equal = values_equal(&lhs, &rhs);
-            Ok(Value::Boolean(if op == BinaryOp::Eq { equal } else { !equal }))
+            Ok(Value::Boolean(if op == BinaryOp::Eq {
+                equal
+            } else {
+                !equal
+            }))
         }
         BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
             let ordering = compare_values(&lhs, &rhs).ok_or_else(|| {
@@ -143,8 +154,8 @@ fn evaluate_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Value, Pr
 
     // 1. SUS.* — the user model.
     if head.eq_ignore_ascii_case("SUS") {
-        let path = SusPath::parse(&segments.join("."))
-            .map_err(|e| PrmlError::eval("", e.to_string()))?;
+        let path =
+            SusPath::parse(&segments.join(".")).map_err(|e| PrmlError::eval("", e.to_string()))?;
         let value = resolve_sus_path(ctx.profile, ctx.session, &path)
             .map_err(|e| PrmlError::eval("", e.to_string()))?;
         return Ok(Value::from_user(value));
@@ -190,9 +201,15 @@ fn evaluate_model_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Val
 
     match target {
         PathTarget::Level { dimension, level } => {
-            let table = &ctx.cube.dimension_table(&dimension).map_err(olap_err)?.table;
+            let table = &ctx
+                .cube
+                .dimension_table(&dimension)
+                .map_err(olap_err)?
+                .table;
             let instances = (0..table.len())
-                .map(|row| Value::Instance(InstanceRef::level(dimension.clone(), level.clone(), row)))
+                .map(|row| {
+                    Value::Instance(InstanceRef::level(dimension.clone(), level.clone(), row))
+                })
                 .collect();
             Ok(Value::Collection(instances))
         }
@@ -204,7 +221,11 @@ fn evaluate_model_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Val
             Ok(Value::Collection(instances))
         }
         PathTarget::LevelGeometry { dimension, level } => {
-            let table = &ctx.cube.dimension_table(&dimension).map_err(olap_err)?.table;
+            let table = &ctx
+                .cube
+                .dimension_table(&dimension)
+                .map_err(olap_err)?
+                .table;
             let column = table.column(&geometry_column(&level)).map_err(olap_err)?;
             let geometries = (0..table.len())
                 .filter_map(|row| column.get_geometry(row).cloned())
@@ -226,7 +247,11 @@ fn evaluate_model_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Val
             level,
             attribute,
         } => {
-            let table = &ctx.cube.dimension_table(&dimension).map_err(olap_err)?.table;
+            let table = &ctx
+                .cube
+                .dimension_table(&dimension)
+                .map_err(olap_err)?
+                .table;
             let column_name = attribute_column(&level, &attribute);
             let values = (0..table.len())
                 .map(|row| {
@@ -243,18 +268,23 @@ fn evaluate_model_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Val
             format!("fact '{fact}' cannot be used directly in a rule expression"),
         )),
         PathTarget::Dimension { dimension } => {
-            let dim = ctx
-                .cube
-                .schema()
-                .dimension(&dimension)
-                .ok_or_else(|| PrmlError::eval("", format!("unknown dimension '{dimension}'")))?;
+            let dim =
+                ctx.cube.schema().dimension(&dimension).ok_or_else(|| {
+                    PrmlError::eval("", format!("unknown dimension '{dimension}'"))
+                })?;
             let leaf = dim
                 .leaf_level()
                 .map(|l| l.name.clone())
                 .unwrap_or_else(|| dimension.clone());
-            let table = &ctx.cube.dimension_table(&dimension).map_err(olap_err)?.table;
+            let table = &ctx
+                .cube
+                .dimension_table(&dimension)
+                .map_err(olap_err)?
+                .table;
             let instances = (0..table.len())
-                .map(|row| Value::Instance(InstanceRef::level(dimension.clone(), leaf.clone(), row)))
+                .map(|row| {
+                    Value::Instance(InstanceRef::level(dimension.clone(), leaf.clone(), row))
+                })
                 .collect();
             Ok(Value::Collection(instances))
         }
@@ -274,7 +304,11 @@ fn access_properties(
     Ok(current)
 }
 
-fn access_property(value: &Value, property: &str, ctx: &EvalContext<'_>) -> Result<Value, PrmlError> {
+fn access_property(
+    value: &Value,
+    property: &str,
+    ctx: &EvalContext<'_>,
+) -> Result<Value, PrmlError> {
     let olap_err = |e: sdwp_olap::OlapError| PrmlError::eval("", e.to_string());
     match value {
         Value::Instance(instance) => match &instance.source {
@@ -372,11 +406,7 @@ pub fn geometry_of(value: &Value, ctx: &EvalContext<'_>) -> Result<Geometry, Prm
     }
 }
 
-fn evaluate_call(
-    function: &str,
-    args: &[Expr],
-    ctx: &EvalContext<'_>,
-) -> Result<Value, PrmlError> {
+fn evaluate_call(function: &str, args: &[Expr], ctx: &EvalContext<'_>) -> Result<Value, PrmlError> {
     let values: Vec<Value> = args
         .iter()
         .map(|a| evaluate(a, ctx))
@@ -453,7 +483,10 @@ fn evaluate_call(
             if values.len() != 2 {
                 return Err(PrmlError::eval(
                     "",
-                    format!("operator '{function}' expects 2 arguments, got {}", values.len()),
+                    format!(
+                        "operator '{function}' expects 2 arguments, got {}",
+                        values.len()
+                    ),
                 ));
             }
             if values.iter().any(Value::is_null) {

@@ -220,7 +220,10 @@ mod tests {
         assert_eq!(Value::Boolean(false).as_bool(), Some(false));
         assert_eq!(Value::Text("a".into()).as_text(), Some("a"));
         assert!(Value::Null.is_null());
-        assert!(Value::Collection(vec![]).as_collection().unwrap().is_empty());
+        assert!(Value::Collection(vec![])
+            .as_collection()
+            .unwrap()
+            .is_empty());
         let inst = Value::Instance(InstanceRef::level("Store", "Store", 3));
         assert_eq!(inst.as_instance().unwrap().row, 3);
         assert_eq!(inst.type_name(), "instance");
@@ -230,10 +233,7 @@ mod tests {
     fn user_value_round_trip() {
         let v = Value::from_user(sdwp_user::Value::Integer(4));
         assert_eq!(v, Value::Number(4.0));
-        assert_eq!(
-            Value::Number(2.5).into_user(),
-            sdwp_user::Value::Float(2.5)
-        );
+        assert_eq!(Value::Number(2.5).into_user(), sdwp_user::Value::Float(2.5));
         assert_eq!(
             Value::from_user(sdwp_user::Value::Text("x".into())).as_text(),
             Some("x")
@@ -266,6 +266,9 @@ mod tests {
         let a = InstanceRef::layer("Airport", 0);
         assert!(matches!(a.source, InstanceSource::Layer { .. }));
         assert!(Value::Instance(a).to_string().contains("instance#0"));
-        assert_eq!(Value::Collection(vec![Value::Null]).to_string(), "collection[1]");
+        assert_eq!(
+            Value::Collection(vec![Value::Null]).to_string(),
+            "collection[1]"
+        );
     }
 }

@@ -206,7 +206,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -267,7 +271,11 @@ mod tests {
         );
         assert_eq!(
             kinds("degree+1"),
-            vec![Token::Ident("degree".into()), Token::Plus, Token::Number(1.0)]
+            vec![
+                Token::Ident("degree".into()),
+                Token::Plus,
+                Token::Number(1.0)
+            ]
         );
     }
 

@@ -43,10 +43,12 @@ pub mod typecheck;
 
 pub use ast::{Action, BinaryOp, EventSpec, Expr, Rule, Statement, UnaryOp};
 pub use error::PrmlError;
-pub use eval::context::{EvalContext, LayerSource, NoExternalLayers, RuleEffect, StaticLayerSource};
+pub use eval::context::{
+    EvalContext, LayerSource, NoExternalLayers, RuleEffect, StaticLayerSource,
+};
 pub use eval::engine::{FireReport, RuleEngine, RuntimeEvent};
 pub use eval::value::{InstanceRef, InstanceSource, Value};
-pub use parser::{parse_rule, parse_rules};
 pub use metamodel::{classify_rule, MetaClass};
+pub use parser::{parse_rule, parse_rules};
 pub use pretty::print_rule;
 pub use typecheck::{check_rule, check_rules, classify, RuleClass};

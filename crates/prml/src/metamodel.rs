@@ -171,7 +171,8 @@ fn classify_expr(expr: &Expr, set: &mut BTreeSet<MetaClass>) {
             set.insert(MetaClass::PathExpression);
         }
         Expr::Binary { op, left, right } => {
-            if op.is_comparison() || matches!(op, crate::ast::BinaryOp::And | crate::ast::BinaryOp::Or)
+            if op.is_comparison()
+                || matches!(op, crate::ast::BinaryOp::And | crate::ast::BinaryOp::Or)
             {
                 set.insert(MetaClass::BooleanExpression);
             } else {
@@ -270,7 +271,10 @@ mod tests {
         .unwrap();
         covered.extend(classify_rule(&extra[0]));
         assert_eq!(
-            MetaClass::ALL.iter().filter(|c| !covered.contains(c)).count(),
+            MetaClass::ALL
+                .iter()
+                .filter(|c| !covered.contains(c))
+                .count(),
             0
         );
     }

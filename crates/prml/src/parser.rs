@@ -225,7 +225,10 @@ impl Parser {
             self.expect_token(&Token::Comma, "',' between element and geometric type")?;
             let geometry = self.parse_geometric_type()?;
             self.expect_token(&Token::RParen, "')' closing BecomeSpatial")?;
-            return Ok(Statement::Action(Action::BecomeSpatial { element, geometry }));
+            return Ok(Statement::Action(Action::BecomeSpatial {
+                element,
+                geometry,
+            }));
         }
         if self.peek_keyword("AddLayer") {
             self.index += 1;
@@ -465,7 +468,11 @@ mod tests {
         // The condition compares the role path against the literal.
         match &rule.body[0] {
             Statement::If { condition, .. } => match condition {
-                Expr::Binary { op: BinaryOp::Eq, left, right } => {
+                Expr::Binary {
+                    op: BinaryOp::Eq,
+                    left,
+                    right,
+                } => {
                     assert!(left.has_prefix("SUS"));
                     assert_eq!(**right, Expr::Text("RegionalSalesManager".into()));
                 }
@@ -500,7 +507,13 @@ mod tests {
         match &rule.event {
             EventSpec::SpatialSelection { element, condition } => {
                 assert!(element.has_prefix("GeoMD"));
-                assert!(matches!(condition, Expr::Binary { op: BinaryOp::Lt, .. }));
+                assert!(matches!(
+                    condition,
+                    Expr::Binary {
+                        op: BinaryOp::Lt,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected SpatialSelection, got {other:?}"),
         }
@@ -513,10 +526,12 @@ mod tests {
         assert_eq!(rule.name, "TrainAirportCity");
         let actions = rule.actions();
         assert_eq!(actions.len(), 2); // AddLayer + SelectInstance
-        // The inner Foreach iterates three variables over three sources.
+                                      // The inner Foreach iterates three variables over three sources.
         match &rule.body[0] {
             Statement::If { then_branch, .. } => match &then_branch[1] {
-                Statement::Foreach { variables, sources, .. } => {
+                Statement::Foreach {
+                    variables, sources, ..
+                } => {
                     assert_eq!(variables.len(), 3);
                     assert_eq!(sources.len(), 3);
                 }
@@ -542,9 +557,23 @@ mod tests {
         .unwrap();
         match &rule.body[0] {
             Statement::If { condition, .. } => match condition {
-                Expr::Binary { op: BinaryOp::Eq, left, .. } => match &**left {
-                    Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+                Expr::Binary {
+                    op: BinaryOp::Eq,
+                    left,
+                    ..
+                } => match &**left {
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        right,
+                        ..
+                    } => {
+                        assert!(matches!(
+                            **right,
+                            Expr::Binary {
+                                op: BinaryOp::Mul,
+                                ..
+                            }
+                        ));
                     }
                     other => panic!("expected Add at the top of the left side, got {other:?}"),
                 },
@@ -563,7 +592,13 @@ mod tests {
         .unwrap();
         match &rule.body[0] {
             Statement::If { condition, .. } => {
-                assert!(matches!(condition, Expr::Binary { op: BinaryOp::Or, .. }));
+                assert!(matches!(
+                    condition,
+                    Expr::Binary {
+                        op: BinaryOp::Or,
+                        ..
+                    }
+                ));
             }
             _ => unreachable!(),
         }
@@ -595,8 +630,13 @@ mod tests {
         assert!(parse_rule("Rule addSpatiality When SessionStart do endWhen").is_err());
         assert!(parse_rule("Rule:x When BogusEvent do endWhen").is_err());
         assert!(parse_rule("Rule:x When SessionStart do If (true) then endWhen").is_err());
-        assert!(parse_rule("Rule:x When SessionStart do AddLayer('a', SPHERE) endIf endWhen").is_err());
-        assert!(parse_rule("Rule:x When SessionStart do Foreach a, b in (GeoMD.Store) endForeach endWhen").is_err());
+        assert!(
+            parse_rule("Rule:x When SessionStart do AddLayer('a', SPHERE) endIf endWhen").is_err()
+        );
+        assert!(parse_rule(
+            "Rule:x When SessionStart do Foreach a, b in (GeoMD.Store) endForeach endWhen"
+        )
+        .is_err());
         assert!(parse_rule("Rule:x When SessionStart do SelectInstance(s endWhen").is_err());
     }
 
@@ -609,12 +649,12 @@ mod tests {
         )
         .unwrap();
         match &rule.body[0] {
-            Statement::If { condition, .. } => match condition {
-                Expr::Binary { left, .. } => {
-                    assert_eq!(left.as_path().unwrap(), &["point".to_string()]);
-                }
-                _ => unreachable!(),
-            },
+            Statement::If {
+                condition: Expr::Binary { left, .. },
+                ..
+            } => {
+                assert_eq!(left.as_path().unwrap(), &["point".to_string()]);
+            }
             _ => unreachable!(),
         }
     }

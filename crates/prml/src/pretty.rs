@@ -10,7 +10,12 @@ use std::fmt::Write as _;
 /// Renders a rule as PRML text.
 pub fn print_rule(rule: &Rule) -> String {
     let mut out = String::new();
-    let _ = write!(out, "Rule:{} When {} do\n", rule.name, print_event(&rule.event));
+    let _ = writeln!(
+        out,
+        "Rule:{} When {} do",
+        rule.name,
+        print_event(&rule.event)
+    );
     print_statements(&rule.body, 1, &mut out);
     out.push_str("endWhen\n");
     out
@@ -149,7 +154,8 @@ mod tests {
         assert!(printed.contains("Rule:5kmStores When SessionStart do"));
         assert!(printed.contains("Foreach s in (GeoMD.Store)"));
         assert!(printed.contains("SelectInstance(s)"));
-        assert!(printed.contains("Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry)"));
+        assert!(printed
+            .contains("Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry)"));
         assert!(printed.trim_end().ends_with("endWhen"));
     }
 

@@ -153,9 +153,8 @@ impl Checker<'_> {
                     let mut introduced = Vec::new();
                     for v in variables {
                         if !self.variables.insert(v.clone()) {
-                            return Err(
-                                self.error(format!("loop variable '{v}' shadows an outer variable"))
-                            );
+                            return Err(self
+                                .error(format!("loop variable '{v}' shadows an outer variable")));
                         }
                         introduced.push(v.clone());
                     }
@@ -214,7 +213,8 @@ impl Checker<'_> {
                 };
                 let level = become_spatial_level(element)
                     .ok_or_else(|| self.error("BecomeSpatial element path is empty"))?;
-                if self.schema.find_level(&level).is_none() && self.schema.dimension(&level).is_none()
+                if self.schema.find_level(&level).is_none()
+                    && self.schema.dimension(&level).is_none()
                 {
                     return Err(self.error(format!(
                         "BecomeSpatial targets unknown level '{level}' (path '{}')",
@@ -268,11 +268,10 @@ impl Checker<'_> {
             Expr::Call { function, args } => {
                 let arity_ok = if function.eq_ignore_ascii_case("Distance") {
                     (1..=2).contains(&args.len())
-                } else if function.eq_ignore_ascii_case("Intersection") {
-                    args.len() == 2
-                } else if TOPOLOGICAL_OPERATORS
-                    .iter()
-                    .any(|op| function.eq_ignore_ascii_case(op))
+                } else if function.eq_ignore_ascii_case("Intersection")
+                    || TOPOLOGICAL_OPERATORS
+                        .iter()
+                        .any(|op| function.eq_ignore_ascii_case(op))
                 {
                     args.len() == 2
                 } else if ["Length", "Area", "Centroid"]
@@ -449,10 +448,7 @@ mod tests {
     #[test]
     fn undeclared_variable_is_rejected() {
         let schema = md_schema();
-        let rule = parse_rule(
-            "Rule:bad When SessionStart do SelectInstance(s) endWhen",
-        )
-        .unwrap();
+        let rule = parse_rule("Rule:bad When SessionStart do SelectInstance(s) endWhen").unwrap();
         assert!(check_rule(&rule, &schema).is_err());
         // Variable property access outside a loop is also rejected.
         let rule2 = parse_rule(
@@ -466,10 +462,9 @@ mod tests {
     #[test]
     fn set_content_must_target_the_user_model() {
         let schema = md_schema();
-        let rule = parse_rule(
-            "Rule:bad When SessionStart do SetContent(MD.Sales.UnitSales, 1) endWhen",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("Rule:bad When SessionStart do SetContent(MD.Sales.UnitSales, 1) endWhen")
+                .unwrap();
         assert!(check_rule(&rule, &schema).is_err());
         let ok = parse_rule(
             "Rule:ok When SessionStart do SetContent(SUS.DecisionMaker.theme, 'dark') endWhen",

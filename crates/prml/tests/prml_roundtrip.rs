@@ -91,12 +91,13 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
     let action = action_strategy().prop_map(Statement::Action);
     action.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (expr_strategy(), prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(condition, then_branch)| Statement::If {
+            (expr_strategy(), prop::collection::vec(inner.clone(), 1..3)).prop_map(
+                |(condition, then_branch)| Statement::If {
                     condition,
                     then_branch,
                     else_branch: Vec::new(),
-                }),
+                }
+            ),
             (
                 ident_strategy(),
                 path_strategy(),
@@ -130,9 +131,26 @@ fn rule_strategy() -> impl Strategy<Value = Rule> {
 /// parser; generated rules containing them as names are discarded.
 fn uses_reserved_words(rule: &Rule) -> bool {
     const RESERVED: [&str; 20] = [
-        "Rule", "When", "do", "endWhen", "If", "then", "else", "endIf", "Foreach", "in",
-        "endForeach", "SetContent", "SelectInstance", "BecomeSpatial", "AddLayer", "and", "or",
-        "not", "true", "false",
+        "Rule",
+        "When",
+        "do",
+        "endWhen",
+        "If",
+        "then",
+        "else",
+        "endIf",
+        "Foreach",
+        "in",
+        "endForeach",
+        "SetContent",
+        "SelectInstance",
+        "BecomeSpatial",
+        "AddLayer",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
     ];
     fn expr_has_reserved(expr: &Expr) -> bool {
         match expr {

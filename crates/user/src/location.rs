@@ -55,14 +55,10 @@ mod tests {
 
     #[test]
     fn arbitrary_geometry() {
-        let region: Geometry = sdwp_geometry::Polygon::from_tuples(&[
-            (0.0, 0.0),
-            (1.0, 0.0),
-            (1.0, 1.0),
-            (0.0, 1.0),
-        ])
-        .unwrap()
-        .into();
+        let region: Geometry =
+            sdwp_geometry::Polygon::from_tuples(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+                .unwrap()
+                .into();
         let loc = LocationContext::new("sales territory", region.clone());
         assert_eq!(loc.geometry, region);
     }

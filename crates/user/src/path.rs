@@ -28,10 +28,7 @@ pub struct SusPath {
 impl SusPath {
     /// Parses a textual path. The `SUS.` prefix is optional.
     pub fn parse(text: &str) -> Result<Self, UserError> {
-        let mut parts: Vec<String> = text
-            .split('.')
-            .map(|s| s.trim().to_string())
-            .collect();
+        let mut parts: Vec<String> = text.split('.').map(|s| s.trim().to_string()).collect();
         if parts.first().map(|p| p.eq_ignore_ascii_case("sus")) == Some(true) {
             parts.remove(0);
         }
@@ -272,7 +269,10 @@ mod tests {
 
     fn profile() -> UserProfile {
         UserProfile::new("u1", "Octavio")
-            .with_role(Role::with_description("RegionalSalesManager", "manages a region"))
+            .with_role(Role::with_description(
+                "RegionalSalesManager",
+                "manages a region",
+            ))
             .with_characteristic(Characteristic::new("language", "es"))
             .with_interest(SpatialSelectionInterest::new("AirportCity"))
     }
@@ -281,7 +281,11 @@ mod tests {
         Session::start_at(7, "u1", LocationContext::at_point("office", 3.0, 4.0))
     }
 
-    fn get(profile: &UserProfile, session: Option<&Session>, path: &str) -> Result<Value, UserError> {
+    fn get(
+        profile: &UserProfile,
+        session: Option<&Session>,
+        path: &str,
+    ) -> Result<Value, UserError> {
         resolve_sus_path(profile, session, &SusPath::parse(path).unwrap())
     }
 
@@ -298,9 +302,18 @@ mod tests {
     #[test]
     fn resolve_name_and_id() {
         let p = profile();
-        assert_eq!(get(&p, None, "SUS.DecisionMaker.name").unwrap(), Value::Text("Octavio".into()));
-        assert_eq!(get(&p, None, "SUS.DecisionMaker.id").unwrap(), Value::Text("u1".into()));
-        assert_eq!(get(&p, None, "SUS.DecisionMaker").unwrap(), Value::Text("Octavio".into()));
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.name").unwrap(),
+            Value::Text("Octavio".into())
+        );
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.id").unwrap(),
+            Value::Text("u1".into())
+        );
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker").unwrap(),
+            Value::Text("Octavio".into())
+        );
     }
 
     #[test]
@@ -332,7 +345,12 @@ mod tests {
         let p = profile();
         let s = session();
         // Paper: SUS.DecisionMaker.dm2session.s2location.geometry
-        let v = get(&p, Some(&s), "SUS.DecisionMaker.dm2session.s2location.geometry").unwrap();
+        let v = get(
+            &p,
+            Some(&s),
+            "SUS.DecisionMaker.dm2session.s2location.geometry",
+        )
+        .unwrap();
         let g = v.as_geometry().unwrap();
         assert_eq!(g.as_point().unwrap().x(), 3.0);
         assert_eq!(
@@ -351,7 +369,12 @@ mod tests {
         // A session without a location also resolves to Null.
         let bare = Session::start(9, "u1");
         assert_eq!(
-            get(&p, Some(&bare), "SUS.DecisionMaker.dm2session.s2location.geometry").unwrap(),
+            get(
+                &p,
+                Some(&bare),
+                "SUS.DecisionMaker.dm2session.s2location.geometry"
+            )
+            .unwrap(),
             Value::Null
         );
     }
@@ -380,8 +403,14 @@ mod tests {
     fn resolve_characteristics_and_custom() {
         let mut p = profile();
         p.custom.insert("theme".into(), Value::from("dark"));
-        assert_eq!(get(&p, None, "SUS.DecisionMaker.language").unwrap(), Value::Text("es".into()));
-        assert_eq!(get(&p, None, "SUS.DecisionMaker.theme").unwrap(), Value::Text("dark".into()));
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.language").unwrap(),
+            Value::Text("es".into())
+        );
+        assert_eq!(
+            get(&p, None, "SUS.DecisionMaker.theme").unwrap(),
+            Value::Text("dark".into())
+        );
         assert!(get(&p, None, "SUS.DecisionMaker.age").is_err());
         assert!(get(&p, None, "SUS.DecisionMaker.dm2role.salary").is_err());
     }
@@ -391,7 +420,10 @@ mod tests {
         let mut p = profile();
         // Paper Example 5.3: SetContent(degree, degree + 1).
         let path = SusPath::parse("SUS.DecisionMaker.dm2airportcity.degree").unwrap();
-        let current = resolve_sus_path(&p, None, &path).unwrap().as_number().unwrap();
+        let current = resolve_sus_path(&p, None, &path)
+            .unwrap()
+            .as_number()
+            .unwrap();
         assign_sus_path(&mut p, &path, Value::Float(current + 1.0)).unwrap();
         assert_eq!(p.interest("AirportCity").unwrap().degree, 1.0);
         // Non-numeric degree assignment is rejected.

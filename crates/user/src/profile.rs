@@ -207,7 +207,12 @@ mod tests {
             .unwrap();
         assert_eq!(degree, 1.0);
         assert_eq!(
-            store.get("u-glorio").unwrap().interest("AirportCity").unwrap().degree,
+            store
+                .get("u-glorio")
+                .unwrap()
+                .interest("AirportCity")
+                .unwrap()
+                .degree,
             1.0
         );
         assert!(store.update("ghost", |_| ()).is_err());
@@ -219,7 +224,9 @@ mod tests {
         store.upsert(regional_manager());
         let clone = store.clone();
         clone
-            .update("u-glorio", |p| p.custom.insert("theme".into(), Value::from("dark")))
+            .update("u-glorio", |p| {
+                p.custom.insert("theme".into(), Value::from("dark"))
+            })
             .unwrap();
         // The original sees the update because the clone shares the inner map.
         assert_eq!(

@@ -143,10 +143,7 @@ impl SusModel {
                     .associated_with("AnalysisSession")
                     .associated_with("AirportCity"),
             )
-            .class(
-                SusClass::new("Role", SusStereotype::Characteristic)
-                    .property("name", "String"),
-            )
+            .class(SusClass::new("Role", SusStereotype::Characteristic).property("name", "String"))
             .class(
                 SusClass::new("AnalysisSession", SusStereotype::Session)
                     .property("id", "Integer")
@@ -194,10 +191,7 @@ mod tests {
         assert!(user.associations.contains(&"Role".to_string()));
         let airport_city = model.find("AirportCity").unwrap();
         assert_eq!(airport_city.stereotype, SusStereotype::SpatialSelection);
-        assert!(airport_city
-            .properties
-            .iter()
-            .any(|p| p.name == "degree"));
+        assert!(airport_city.properties.iter().any(|p| p.name == "degree"));
         let location = model.find("Location").unwrap();
         assert_eq!(location.stereotype, SusStereotype::LocationContext);
         assert_eq!(location.properties[0].type_name, "POINT");
@@ -227,7 +221,10 @@ mod tests {
     fn stereotype_filter_and_display() {
         let model = SusModel::motivating_example();
         assert_eq!(model.with_stereotype(SusStereotype::User).len(), 1);
-        assert_eq!(model.with_stereotype(SusStereotype::SpatialSelection).len(), 1);
+        assert_eq!(
+            model.with_stereotype(SusStereotype::SpatialSelection).len(),
+            1
+        );
         let text = model.to_string();
         assert!(text.contains("«User» DecisionMaker"));
         assert!(text.contains("«SpatialSelection» AirportCity"));

@@ -62,11 +62,7 @@ impl Session {
     }
 
     /// Starts a session with a known location context.
-    pub fn start_at(
-        id: SessionId,
-        user_id: impl Into<String>,
-        location: LocationContext,
-    ) -> Self {
+    pub fn start_at(id: SessionId, user_id: impl Into<String>, location: LocationContext) -> Self {
         let mut s = Session::start(id, user_id);
         s.location = Some(location);
         s

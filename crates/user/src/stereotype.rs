@@ -70,6 +70,9 @@ mod tests {
 
     #[test]
     fn notation() {
-        assert_eq!(SusStereotype::SpatialSelection.notation(), "«SpatialSelection»");
+        assert_eq!(
+            SusStereotype::SpatialSelection.notation(),
+            "«SpatialSelection»"
+        );
     }
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 fn main() {
     let scenario = PaperScenario::generate(ScenarioConfig::default());
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );
@@ -36,7 +36,10 @@ fn main() {
     let first = engine
         .start_session("regional-manager", Some(near_store()))
         .expect("session starts");
-    println!("Train layer present initially: {}", engine.cube().schema().layer("Train").is_some());
+    println!(
+        "Train layer present initially: {}",
+        engine.cube().schema().layer("Train").is_some()
+    );
     for i in 1..=4 {
         engine
             .record_spatial_selection(first.id, "GeoMD.Store.City", None)

@@ -24,7 +24,7 @@ fn main() {
     println!("{}", render_text(scenario.cube.schema()));
 
     // 2. Assemble the personalization engine.
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );

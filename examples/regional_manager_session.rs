@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 fn main() {
     let scenario = PaperScenario::generate(ScenarioConfig::default());
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );
@@ -38,8 +38,16 @@ fn main() {
     let first = scenario.retail.stores.first().expect("stores exist");
     let last = scenario.retail.stores.last().expect("stores exist");
     let locations = [
-        ("next to the first store", first.location.x(), first.location.y()),
-        ("next to the last store", last.location.x(), last.location.y()),
+        (
+            "next to the first store",
+            first.location.x(),
+            first.location.y(),
+        ),
+        (
+            "next to the last store",
+            last.location.x(),
+            last.location.y(),
+        ),
         ("far outside the region", 10_000.0, 10_000.0),
     ];
 

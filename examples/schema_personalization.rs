@@ -22,9 +22,12 @@ fn main() {
     // elements (Fig. 5) it instantiates.
     let rule = parse_rule(EXAMPLE_5_1_ADD_SPATIALITY).expect("paper rule parses");
     println!("== Rule 5.1 (pretty-printed) ==\n{}", print_rule(&rule));
-    println!("Metamodel elements instantiated: {:?}\n", classify_rule(&rule));
+    println!(
+        "Metamodel elements instantiated: {:?}\n",
+        classify_rule(&rule)
+    );
 
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );

@@ -26,7 +26,10 @@ fn show(label: &str, response: &WebResponse) {
             rows,
             facts_matched,
         } => {
-            println!("[{label}] {} ({facts_matched} facts matched)", columns.join(" | "));
+            println!(
+                "[{label}] {} ({facts_matched} facts matched)",
+                columns.join(" | ")
+            );
             for row in rows.iter().take(8) {
                 println!("  {}", row.join(" | "));
             }
@@ -39,7 +42,7 @@ fn show(label: &str, response: &WebResponse) {
 
 fn main() {
     let scenario = PaperScenario::generate(ScenarioConfig::default());
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );
@@ -48,7 +51,7 @@ fn main() {
     for rule in ALL_PAPER_RULES {
         engine.add_rules_text(rule).expect("paper rule registers");
     }
-    let mut facade = WebFacade::new(engine);
+    let facade = WebFacade::new(engine);
 
     // The browser reports the manager's position next to the first store.
     let store = &scenario.retail.stores[0];

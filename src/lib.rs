@@ -11,6 +11,10 @@
 //! name. Start with [`core::PersonalizationEngine`] and the
 //! `examples/quickstart.rs` example.
 //!
+//! Every engine method takes `&self`, so one engine serves many
+//! concurrent sessions — share it through an `Arc` (or a cloned
+//! [`core::WebFacade`]) across worker threads:
+//!
 //! ```
 //! use sdwp::datagen::{PaperScenario, ScenarioConfig};
 //! use sdwp::core::PersonalizationEngine;
@@ -18,13 +22,19 @@
 //! use std::sync::Arc;
 //!
 //! let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-//! let mut engine = PersonalizationEngine::with_layer_source(
+//! let engine = Arc::new(PersonalizationEngine::with_layer_source(
 //!     scenario.cube.clone(),
 //!     Arc::new(scenario.layer_source()),
-//! );
+//! ));
 //! engine.register_user(scenario.manager.clone());
 //! engine.add_rules_text(EXAMPLE_5_1_ADD_SPATIALITY).unwrap();
-//! let session = engine.start_session("regional-manager", None).unwrap();
+//!
+//! // Sessions can start (and query) from any number of threads.
+//! let worker = {
+//!     let engine = Arc::clone(&engine);
+//!     std::thread::spawn(move || engine.start_session("regional-manager", None).unwrap())
+//! };
+//! let session = worker.join().unwrap();
 //! assert!(engine.cube().schema().layer("Airport").is_some());
 //! assert!(session.report.is_personalized());
 //! ```

@@ -1,0 +1,241 @@
+//! Concurrency test of the multi-session engine core: many threads log in,
+//! fire rules, query and log out **through one shared engine**, and the
+//! per-session personalization must stay isolated while the shared schema
+//! only ever grows.
+
+use sdwp::core::{PersonalizationEngine, WebFacade, WebRequest, WebResponse};
+use sdwp::datagen::{PaperScenario, ScenarioConfig};
+use sdwp::olap::{AttributeRef, Query};
+use sdwp::prml::corpus::ALL_PAPER_RULES;
+use sdwp::user::{LocationContext, Role, UserProfile};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 5;
+
+/// Builds the shared engine: one manager profile *per even worker* (so each
+/// thread's interest tracking stays isolated), one analyst profile shared
+/// by the odd workers.
+fn shared_engine(scenario: &PaperScenario) -> Arc<PersonalizationEngine> {
+    let engine = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    for worker in (0..THREADS).step_by(2) {
+        let mut manager = scenario.manager.clone();
+        manager.id = format!("manager-{worker}");
+        engine.register_user(manager);
+    }
+    engine.register_user(UserProfile::new("analyst", "Ana Lyst").with_role(Role::new("Analyst")));
+    engine.set_parameter("threshold", 2.0);
+    for rule in ALL_PAPER_RULES {
+        engine.add_rules_text(rule).expect("paper rule registers");
+    }
+    Arc::new(engine)
+}
+
+fn layer_names(engine: &PersonalizationEngine) -> BTreeSet<String> {
+    engine
+        .cube()
+        .schema()
+        .layers
+        .iter()
+        .map(|l| l.name.clone())
+        .collect()
+}
+
+/// ≥ 8 threads drive full session lifecycles concurrently; each asserts its
+/// own view's isolation, and every thread checks schema monotonicity (the
+/// layer set it last observed is always a subset of what it observes next).
+#[test]
+fn eight_threads_of_concurrent_full_lifecycles() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let engine = shared_engine(&scenario);
+    let baseline_layers = layer_names(&engine);
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|worker| {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            // Even workers are managers next to a store (personalized
+            // restrictions); odd workers are analysts far away (fully
+            // filtered views).
+            let store = &scenario.retail.stores[0];
+            let (user, location) = if worker % 2 == 0 {
+                (
+                    format!("manager-{worker}"),
+                    LocationContext::at_point("office", store.location.x(), store.location.y()),
+                )
+            } else {
+                (
+                    "analyst".to_string(),
+                    LocationContext::at_point("remote", 9_999.0, 9_999.0),
+                )
+            };
+            thread::spawn(move || {
+                barrier.wait();
+                let mut seen_layers = BTreeSet::new();
+                for round in 0..ROUNDS {
+                    let handle = engine
+                        .start_session(&user, Some(location.clone()))
+                        .expect("session starts under contention");
+
+                    // Per-session view isolation: this session's view is
+                    // restricted by *its own* location, regardless of what
+                    // other sessions do concurrently.
+                    let view = engine.session_view(handle.id).unwrap();
+                    assert!(!view.is_unrestricted());
+                    let visible = view.visible_fact_count(&engine.cube(), "Sales").unwrap();
+                    if user == "analyst" {
+                        assert_eq!(visible, 0, "analyst far away must see nothing");
+                    } else if round < 2 {
+                        // Before this manager's interest crosses the
+                        // threshold, only the 5 km rule restricts the view.
+                        // (Later rounds also intersect the train-connected
+                        // cities, which may legally empty the view.)
+                        assert!(visible > 0, "manager next to a store must see facts");
+                    }
+
+                    // Fire acquisition rules and query through the view.
+                    // Analysts select a different element: the paper's
+                    // example corpus couples the AirportCity interest to
+                    // rule TrainAirportCity, which dereferences the Airport
+                    // layer that only the *manager* role's rule 5.1
+                    // materializes — an analyst crossing the threshold
+                    // before any manager ever logged in would hit a rule
+                    // evaluation error (a property of the example rules,
+                    // not of the engine).
+                    let element = if user == "analyst" {
+                        "GeoMD.Store.State"
+                    } else {
+                        "GeoMD.Store.City"
+                    };
+                    engine
+                        .record_spatial_selection(handle.id, element, None)
+                        .unwrap();
+                    let query = Query::over("Sales")
+                        .group_by(AttributeRef::new("Store", "City", "name"))
+                        .measure("UnitSales");
+                    let result = engine.query(handle.id, &query).unwrap();
+                    if user == "analyst" {
+                        assert_eq!(result.facts_matched, 0);
+                    }
+
+                    // Schema monotonicity: the layer set never shrinks
+                    // between two observations from the same thread.
+                    let layers = layer_names(&engine);
+                    assert!(
+                        seen_layers.is_subset(&layers),
+                        "schema lost layers: {seen_layers:?} → {layers:?}"
+                    );
+                    seen_layers = layers;
+
+                    engine.end_session(handle.id).unwrap();
+                    // Ended sessions are rejected for further queries.
+                    assert!(engine.query(handle.id, &query).is_err());
+                }
+                (user, seen_layers)
+            })
+        })
+        .collect();
+
+    let mut per_thread = Vec::new();
+    for worker in workers {
+        per_thread.push(worker.join().expect("worker thread must not panic"));
+    }
+
+    // Monotonicity across the whole run: everything any thread ever saw is
+    // contained in the final schema, and the baseline never disappeared.
+    let final_layers = layer_names(&engine);
+    assert!(baseline_layers.is_subset(&final_layers));
+    for (_, seen) in &per_thread {
+        assert!(seen.is_subset(&final_layers));
+    }
+    let diff = engine.schema_diff();
+    assert!(
+        diff.removed_layers.is_empty(),
+        "personalization is additive"
+    );
+    assert!(
+        diff.added_layers.iter().any(|(name, _)| name == "Airport"),
+        "manager sessions must have added the Airport layer"
+    );
+    // Each manager crossed the interest threshold, so the Train layer got
+    // personalized in as well.
+    assert!(
+        diff.added_layers.iter().any(|(name, _)| name == "Train"),
+        "interest tracking must have added the Train layer"
+    );
+
+    // Profile isolation: each manager made exactly ROUNDS selections on its
+    // own profile; concurrent updates never leaked across users. The shared
+    // analyst profile accumulated the selections of all odd workers.
+    for (user, _) in &per_thread {
+        if user.starts_with("manager-") {
+            let profile = engine.user_profile(user).unwrap();
+            assert_eq!(
+                profile.interest("AirportCity").unwrap().degree,
+                ROUNDS as f64,
+                "interest updates of {user} must not be lost or duplicated"
+            );
+        }
+    }
+
+    // Every session ever started is tracked and now ended.
+    assert_eq!(engine.sessions().len(), THREADS * ROUNDS);
+    assert!(engine.sessions().active_sessions().is_empty());
+}
+
+/// The same exercise through the web facade: cloned handles dispatch
+/// requests from many threads against the one shared engine.
+#[test]
+fn cloned_web_facades_serve_concurrent_logins() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let facade = WebFacade::from_shared(shared_engine(&scenario));
+    let store = &scenario.retail.stores[0];
+    let location = (store.location.x(), store.location.y());
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|worker| {
+            let facade = facade.clone();
+            let barrier = Arc::clone(&barrier);
+            let user = format!("manager-{}", (worker / 2) * 2);
+            thread::spawn(move || {
+                barrier.wait();
+                let session = match facade.handle(WebRequest::Login {
+                    user,
+                    location: Some(location),
+                }) {
+                    WebResponse::LoggedIn { session, report } => {
+                        assert!(report.is_personalized());
+                        session
+                    }
+                    other => panic!("unexpected login response {other:?}"),
+                };
+                match facade.handle(WebRequest::Aggregate {
+                    session,
+                    fact: "Sales".into(),
+                    measure: "UnitSales".into(),
+                    group_by: vec![("Store".into(), "City".into(), "name".into())],
+                }) {
+                    WebResponse::Table { facts_matched, .. } => assert!(facts_matched > 0),
+                    other => panic!("unexpected aggregate response {other:?}"),
+                }
+                assert_eq!(
+                    facade.handle(WebRequest::Logout { session }),
+                    WebResponse::LoggedOut
+                );
+                session
+            })
+        })
+        .collect();
+
+    let mut sessions: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    assert_eq!(sessions.len(), THREADS, "session ids are unique");
+}

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 fn setup() -> (PersonalizationEngine, PaperScenario, u64) {
     let scenario = PaperScenario::generate(ScenarioConfig::tiny().with_seed(2024));
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );
@@ -41,7 +41,11 @@ fn personalized_totals_never_exceed_full_totals() {
         let query = Query::over("Sales").measure(measure);
         let personalized = engine.query(session, &query).unwrap();
         let full = engine.query_unpersonalized(&query).unwrap();
-        let p = personalized.rows.first().map(|r| r.values[0].as_number().unwrap()).unwrap_or(0.0);
+        let p = personalized
+            .rows
+            .first()
+            .map(|r| r.values[0].as_number().unwrap())
+            .unwrap_or(0.0);
         let f = full.rows[0].values[0].as_number().unwrap();
         assert!(p <= f + 1e-6, "{measure}: personalized {p} > full {f}");
         assert!(p >= 0.0);
@@ -58,7 +62,9 @@ fn personalized_groups_are_a_subset_of_full_groups() {
     let full = engine.query_unpersonalized(&query).unwrap();
     assert!(personalized.len() <= full.len());
     for row in &personalized.rows {
-        let counterpart = full.find(&row.keys).expect("group exists in the full result");
+        let counterpart = full
+            .find(&row.keys)
+            .expect("group exists in the full result");
         assert!(
             row.values[0].as_number().unwrap() <= counterpart.values[0].as_number().unwrap() + 1e-6
         );
@@ -101,15 +107,13 @@ fn group_totals_add_up_to_the_grand_total() {
 #[test]
 fn counts_match_visible_fact_rows() {
     let (engine, _scenario, session) = setup();
-    let count_query = Query::over("Sales").measure_agg(
-        "UnitSales",
-        sdwp::model::AggregationFunction::Count,
-    );
+    let count_query =
+        Query::over("Sales").measure_agg("UnitSales", sdwp::model::AggregationFunction::Count);
     let counted = engine.query(session, &count_query).unwrap();
     let visible = engine
         .session_view(session)
         .unwrap()
-        .visible_fact_count(engine.cube(), "Sales")
+        .visible_fact_count(&engine.cube(), "Sales")
         .unwrap();
     assert_eq!(
         counted.rows[0].values[0],

@@ -16,7 +16,10 @@ fn figure_2_md_model_for_sales() {
     let schema = sales_schema();
     let fact = schema.fact("Sales").expect("Sales fact");
     // Who bought (Customer), where (Store), what (Product), when (Time).
-    assert_eq!(fact.dimensions, vec!["Store", "Customer", "Product", "Time"]);
+    assert_eq!(
+        fact.dimensions,
+        vec!["Store", "Customer", "Product", "Time"]
+    );
     // Measures shown in the figure.
     for measure in ["UnitSales", "StoreCost", "StoreSales"] {
         assert!(fact.measure(measure).is_some());
@@ -27,7 +30,10 @@ fn figure_2_md_model_for_sales() {
     assert_eq!(store.leaf_level().unwrap().stereotype(), Stereotype::Base);
     // Roll-up (r) and drill-down (d) roles.
     assert_eq!(store.roll_up_target("City").unwrap().unwrap().name, "State");
-    assert_eq!(store.drill_down_target("City").unwrap().unwrap().name, "Store");
+    assert_eq!(
+        store.drill_down_target("City").unwrap().unwrap().name,
+        "Store"
+    );
     // No spatiality in the initial model.
     assert!(!schema.is_geographic());
     // The rendering mentions every stereotype of the figure.
@@ -44,7 +50,13 @@ fn figure_3_sus_profile_stereotypes() {
     let names: Vec<String> = SusStereotype::ALL.iter().map(ToString::to_string).collect();
     assert_eq!(
         names,
-        vec!["User", "Session", "Characteristic", "LocationContext", "SpatialSelection"]
+        vec![
+            "User",
+            "Session",
+            "Characteristic",
+            "LocationContext",
+            "SpatialSelection"
+        ]
     );
     // The GeometricTypes enumeration of the profile: POINT, LINE, POLYGON,
     // COLLECTION (ISO/OGC compliant).
@@ -106,7 +118,10 @@ fn figure_6_geomd_model_after_schema_rules() {
     let (_, store_level) = after.find_level("Store").unwrap();
     assert_eq!(store_level.stereotype(), Stereotype::SpatialLevel);
     assert_eq!(store_level.geometry, Some(GeometricType::Point));
-    assert_eq!(after.layer("Airport").unwrap().geometry, GeometricType::Point);
+    assert_eq!(
+        after.layer("Airport").unwrap().geometry,
+        GeometricType::Point
+    );
     assert_eq!(after.layer("Train").unwrap().geometry, GeometricType::Line);
 
     let diff = SchemaDiff::between(&before, &after);

@@ -11,7 +11,7 @@ use sdwp::user::LocationContext;
 use std::sync::Arc;
 
 fn build_engine(scenario: &PaperScenario, threshold: f64) -> PersonalizationEngine {
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );
@@ -49,7 +49,7 @@ fn paper_rule_set_parses_and_classifies() {
 #[test]
 fn figure_1_pipeline_end_to_end() {
     let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-    let mut engine = build_engine(&scenario, 2.0);
+    let engine = build_engine(&scenario, 2.0);
 
     // Stage 1+2 happen at session start: schema rules then instance rules.
     let session = engine
@@ -81,7 +81,7 @@ fn figure_1_pipeline_end_to_end() {
 #[test]
 fn example_5_2_selection_matches_ground_truth() {
     let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-    let mut engine = build_engine(&scenario, 100.0);
+    let engine = build_engine(&scenario, 100.0);
     let location = near_store(&scenario, 3);
     let session = engine
         .start_session("regional-manager", Some(location.clone()))
@@ -105,7 +105,7 @@ fn example_5_2_selection_matches_ground_truth() {
 #[test]
 fn example_5_3_threshold_behaviour_across_sessions() {
     let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-    let mut engine = build_engine(&scenario, 2.0);
+    let engine = build_engine(&scenario, 2.0);
 
     // Below the threshold nothing extra happens.
     let first = engine
@@ -146,7 +146,7 @@ fn example_5_3_threshold_behaviour_across_sessions() {
 fn personalization_is_deterministic_across_runs() {
     let run = || {
         let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-        let mut engine = build_engine(&scenario, 2.0);
+        let engine = build_engine(&scenario, 2.0);
         let session = engine
             .start_session("regional-manager", Some(near_store(&scenario, 0)))
             .unwrap();

@@ -9,7 +9,7 @@ use sdwp::user::{Characteristic, Role, UserProfile};
 use std::sync::Arc;
 
 fn facade(scenario: &PaperScenario) -> WebFacade {
-    let mut engine = PersonalizationEngine::with_layer_source(
+    let engine = PersonalizationEngine::with_layer_source(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
     );
@@ -72,7 +72,11 @@ fn two_users_get_different_views() {
         other => panic!("unexpected {other:?}"),
     }
     match aggregate(&mut facade, analyst_session) {
-        WebResponse::Table { facts_matched, rows, .. } => {
+        WebResponse::Table {
+            facts_matched,
+            rows,
+            ..
+        } => {
             assert_eq!(facts_matched, 0);
             assert!(rows.is_empty());
         }
@@ -83,7 +87,7 @@ fn two_users_get_different_views() {
 #[test]
 fn selections_update_the_profile_until_logout() {
     let scenario = PaperScenario::generate(ScenarioConfig::tiny());
-    let mut facade = facade(&scenario);
+    let facade = facade(&scenario);
     let store = &scenario.retail.stores[0];
     let session = match facade.handle(WebRequest::Login {
         user: "regional-manager".into(),
@@ -128,7 +132,7 @@ fn profile_store_is_shared_across_threads() {
     // verify cross-thread visibility of SetContent-style updates.
     let scenario = PaperScenario::generate(ScenarioConfig::tiny());
     let engine = {
-        let mut engine = PersonalizationEngine::new(scenario.cube.clone());
+        let engine = PersonalizationEngine::new(scenario.cube.clone());
         engine.register_user(scenario.manager.clone());
         engine
     };

@@ -1,0 +1,83 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// The element-count range of a collection strategy.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors with `size ∈ size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Retry rejected elements a few times before rejecting the
+            // whole collection, so sparse filters still make progress.
+            let mut element = None;
+            for _ in 0..16 {
+                if let Some(v) = self.element.generate(rng) {
+                    element = Some(v);
+                    break;
+                }
+            }
+            values.push(element?);
+        }
+        Some(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_size_range() {
+        let strategy = vec(0u32..5, 2..6);
+        let mut rng = TestRng::for_test("respects_size_range");
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Numeric strategies (`prop::num::f64::NORMAL` and friends).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy for normal (finite, non-zero, non-subnormal) `f64` values.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalStrategy;
+
+    /// Generates normal `f64` values across many magnitudes.
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    impl Strategy for NormalStrategy {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+            // sign * mantissa in [1, 2) * 2^exp with a wide exponent sweep;
+            // always a normal float, never zero / inf / NaN.
+            let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            let mantissa = 1.0 + rng.next_f64();
+            let exp = rng.below(121) as i32 - 60;
+            Some(sign * mantissa * (exp as f64).exp2())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn always_normal() {
+            let mut rng = TestRng::for_test("always_normal");
+            for _ in 0..1_000 {
+                let v = NORMAL.generate(&mut rng).unwrap();
+                assert!(v.is_normal(), "{v} is not a normal float");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax — enough for the patterns this workspace's tests use
+//! (`"[a-zA-Z][a-zA-Z0-9_]{0,8}"`, `"[a-zA-Z ]{0,12}"`, …):
+//!
+//! * literal characters (plus `\\`-escapes)
+//! * character classes `[a-z0-9_ ]` with ranges and literal members
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 repeats)
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a random string matching `pattern`; panics on syntax outside
+/// the supported subset (a test-authoring error, not a runtime condition).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = (atom.max - atom.min + 1) as u64;
+        let count = atom.min + rng.below(span) as usize;
+        for _ in 0..count {
+            let pick = rng.below(atom.choices.len() as u64) as usize;
+            out.push(atom.choices[pick]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed character class in regex {pattern:?}"))
+                    + i;
+                let class = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                let escaped = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 2;
+                vec![escaped]
+            }
+            '.' => {
+                i += 1;
+                ('a'..='z').chain('A'..='Z').chain('0'..='9').collect()
+            }
+            literal => {
+                i += 1;
+                vec![literal]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        !body.is_empty(),
+        "empty character class in regex {pattern:?}"
+    );
+    let mut choices = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in regex {pattern:?}");
+            choices.extend(lo..=hi);
+            i += 3;
+        } else {
+            choices.push(body[i]);
+            i += 1;
+        }
+    }
+    choices
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in regex {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((min, max)) => (
+                    min.trim().parse().expect("quantifier minimum"),
+                    max.trim().parse().expect("quantifier maximum"),
+                ),
+                None => {
+                    let exact = body.trim().parse().expect("quantifier count");
+                    (exact, exact)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::for_test("identifier_pattern");
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z][a-zA-Z0-9_]{0,8}", &mut rng);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(s.len() <= 9);
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literal_and_escape() {
+        let mut rng = TestRng::for_test("literal_and_escape");
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching(r"a\[b", &mut rng), "a[b");
+    }
+
+    #[test]
+    fn spaces_in_class() {
+        let mut rng = TestRng::for_test("spaces_in_class");
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z ]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+        }
+    }
+}

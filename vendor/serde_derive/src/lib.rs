@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments without a crates.io mirror, so the
+//! real serde cannot be fetched. The code base keeps its `#[derive(Serialize,
+//! Deserialize)]` annotations (and `#[serde(...)]` attributes) as declared
+//! intent; this crate accepts that syntax and expands to nothing. The sibling
+//! `serde` stub supplies blanket trait impls, so `T: Serialize` bounds still
+//! hold. Swapping in the real serde is a Cargo.toml change only.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and generates no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and generates no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
