@@ -13,9 +13,9 @@
 //! costs nothing, i.e. the read path does not convoy on any lock.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sdwp_bench::{engine_for, manager_location, scenario_at_scale};
+use sdwp_bench::{engine_for, engine_with_config, manager_location, scenario_at_scale};
 use sdwp_core::PersonalizationEngine;
-use sdwp_olap::{AttributeRef, Query};
+use sdwp_olap::{AttributeRef, ExecutionConfig, Query};
 use sdwp_user::SessionId;
 use std::sync::Arc;
 use std::thread;
@@ -39,33 +39,41 @@ fn city_query() -> Query {
 
 /// One engine, one pre-started session per worker; measure wall-clock for
 /// `QUERIES_PER_ITER` personalized queries split over `threads` workers.
+/// Runs once with the result cache disabled (every query executes the
+/// morsel pipeline) and once with it enabled (repeat queries are cache
+/// hits), so the two scaling curves separate executor cost from cache
+/// cost.
 fn bench_query_scaling(c: &mut Criterion) {
     println!(
         "available parallelism: {} core(s)",
         thread::available_parallelism().map_or(1, |n| n.get())
     );
     let scenario = scenario_at_scale(4);
-    let engine = engine_for(&scenario);
     let location = manager_location(&scenario);
-    let max_threads = 8;
-    let sessions: Vec<SessionId> = (0..max_threads)
-        .map(|_| {
-            engine
-                .start_session("regional-manager", Some(location.clone()))
-                .expect("session starts")
-                .id
-        })
-        .collect();
-    let engine = Arc::new(engine);
     let query = city_query();
+    let max_threads = 8;
 
     let mut group = c.benchmark_group("B10_concurrent_query_throughput");
     group.throughput(Throughput::Elements(QUERIES_PER_ITER as u64));
-    for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
+    for (label, config) in [
+        (
+            "uncached",
+            ExecutionConfig::default().with_cache_capacity(0),
+        ),
+        ("cached", ExecutionConfig::default()),
+    ] {
+        let engine = engine_with_config(&scenario, config);
+        let sessions: Vec<SessionId> = (0..max_threads)
+            .map(|_| {
+                engine
+                    .start_session("regional-manager", Some(location.clone()))
+                    .expect("session starts")
+                    .id
+            })
+            .collect();
+        let engine = Arc::new(engine);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
                 b.iter(|| {
                     let per_worker = QUERIES_PER_ITER / threads;
                     let workers: Vec<_> = (0..threads)
@@ -86,8 +94,8 @@ fn bench_query_scaling(c: &mut Criterion) {
                         worker.join().expect("worker finishes");
                     }
                 })
-            },
-        );
+            });
+        }
     }
     group.finish();
 }

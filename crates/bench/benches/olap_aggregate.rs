@@ -1,12 +1,14 @@
 //! B8 — OLAP aggregation ablation: the same roll-up executed (a) with no
 //! restriction, (b) through an attribute slice, (c) through a spatial
 //! dimension filter and (d) through a personalized instance view, to show
-//! where the pre-computed selection pays off.
+//! where the pre-computed selection pays off — all through the
+//! morsel-parallel executor, with the serial reference alongside for the
+//! executor's own ablation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdwp_bench::default_scenario;
 use sdwp_geometry::Point;
-use sdwp_olap::{AttributeRef, Filter, InstanceView, Query, QueryEngine};
+use sdwp_olap::{AttributeRef, ExecutionConfig, Filter, InstanceView, Query, QueryEngine};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -29,6 +31,12 @@ fn bench_olap_aggregate(c: &mut Criterion) {
 
     group.bench_function("unrestricted", |b| {
         b.iter(|| engine.execute(cube, black_box(&base_query)).unwrap())
+    });
+
+    // The classic row-at-a-time loop, as the executor baseline.
+    let serial = QueryEngine::with_config(ExecutionConfig::serial());
+    group.bench_function("unrestricted-serial-reference", |b| {
+        b.iter(|| serial.execute_serial(cube, black_box(&base_query)).unwrap())
     });
 
     let sliced = base_query

@@ -32,10 +32,23 @@ pub fn default_scenario() -> PaperScenario {
 
 /// Builds a fully configured personalization engine over a scenario, with
 /// the paper's four rules registered and the interest threshold set to 2.
+/// Queries run through the default morsel-parallel executor and result
+/// cache.
 pub fn engine_for(scenario: &PaperScenario) -> PersonalizationEngine {
-    let engine = PersonalizationEngine::with_layer_source(
+    engine_with_config(scenario, sdwp_olap::ExecutionConfig::default())
+}
+
+/// Builds a fully configured engine with an explicit executor
+/// configuration (worker count, morsel size, cache capacity), so benches
+/// can ablate the parallel pipeline and the result cache separately.
+pub fn engine_with_config(
+    scenario: &PaperScenario,
+    config: sdwp_olap::ExecutionConfig,
+) -> PersonalizationEngine {
+    let engine = PersonalizationEngine::with_execution_config(
         scenario.cube.clone(),
         Arc::new(scenario.layer_source()),
+        config,
     );
     engine.register_user(scenario.manager.clone());
     engine.set_parameter("threshold", 2.0);

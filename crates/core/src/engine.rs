@@ -30,10 +30,13 @@
 use crate::error::CoreError;
 use crate::report::PersonalizationReport;
 use crate::session::{SessionManager, SessionState};
-use crate::sync::ArcSwap;
+use crate::sync::{ArcSwap, VersionedSwap};
 use parking_lot::{Mutex, RwLock};
 use sdwp_model::{Schema, SchemaDiff};
-use sdwp_olap::{Cube, InstanceView, Query, QueryEngine, QueryResult};
+use sdwp_olap::{
+    CacheKey, CacheStats, Cube, ExecutionConfig, InstanceView, Query, QueryCache, QueryEngine,
+    QueryResult,
+};
 use sdwp_prml::{
     check_rules, EvalContext, FireReport, LayerSource, NoExternalLayers, Rule, RuleClass,
     RuleEngine, RuntimeEvent,
@@ -62,8 +65,9 @@ pub struct SessionHandle {
 pub struct PersonalizationEngine {
     /// Write master of the personalized cube; rule firing locks it.
     master: Mutex<Cube>,
-    /// Published read snapshot; queries and reports load it.
-    snapshot: ArcSwap<Cube>,
+    /// Published read snapshot; queries and reports load it. Every publish
+    /// bumps the generation, which keys (and invalidates) the result cache.
+    snapshot: VersionedSwap<Cube>,
     original_schema: Schema,
     profiles: ProfileStore,
     /// Immutable rule-set snapshot, hot-swapped on registration.
@@ -74,6 +78,8 @@ pub struct PersonalizationEngine {
     layer_source: Arc<dyn LayerSource + Send + Sync>,
     sessions: SessionManager,
     query_engine: QueryEngine,
+    /// Snapshot-keyed result cache in front of the executor.
+    result_cache: QueryCache,
 }
 
 impl PersonalizationEngine {
@@ -85,8 +91,18 @@ impl PersonalizationEngine {
     /// Creates an engine over a cube with an external layer source (the
     /// provider of airport / train / … layer instances).
     pub fn with_layer_source(cube: Cube, layer_source: Arc<dyn LayerSource + Send + Sync>) -> Self {
+        PersonalizationEngine::with_execution_config(cube, layer_source, ExecutionConfig::default())
+    }
+
+    /// Creates an engine with an explicit executor configuration (worker
+    /// count, morsel size, result-cache capacity).
+    pub fn with_execution_config(
+        cube: Cube,
+        layer_source: Arc<dyn LayerSource + Send + Sync>,
+        config: ExecutionConfig,
+    ) -> Self {
         let original_schema = cube.schema().clone();
-        let snapshot = ArcSwap::from_pointee(cube.clone());
+        let snapshot = VersionedSwap::from_pointee(cube.clone());
         PersonalizationEngine {
             master: Mutex::new(cube),
             snapshot,
@@ -97,7 +113,8 @@ impl PersonalizationEngine {
             parameters: RwLock::new(BTreeMap::new()),
             layer_source,
             sessions: SessionManager::new(),
-            query_engine: QueryEngine::new(),
+            query_engine: QueryEngine::with_config(config),
+            result_cache: QueryCache::new(config.cache_capacity),
         }
     }
 
@@ -251,9 +268,12 @@ impl PersonalizationEngine {
     /// Executes an OLAP query through a session's personalized view.
     ///
     /// Runs entirely on snapshots: the session's view is copied out under
-    /// its shard lock, the cube is the published [`ArcSwap`] snapshot —
-    /// so queries from many sessions (or threads) run concurrently and
-    /// never block rule firing.
+    /// its shard lock, the cube is the published [`VersionedSwap`]
+    /// snapshot — so queries from many sessions (or threads) run
+    /// concurrently and never block rule firing. Results are served from
+    /// the generation-keyed cache when the same `(snapshot, query, view)`
+    /// triple was executed before; a rule firing that publishes a new
+    /// cube bumps the generation and misses every stale entry.
     pub fn query(&self, session_id: SessionId, query: &Query) -> Result<QueryResult, CoreError> {
         let (active, view) = self.sessions.with_session(session_id, |state| {
             (state.is_active(), Arc::clone(&state.view))
@@ -263,15 +283,53 @@ impl PersonalizationEngine {
                 session: session_id,
             });
         }
-        let cube = self.snapshot.load();
-        Ok(self.query_engine.execute_with_view(&cube, query, &view)?)
+        self.query_snapshot(query, view)
     }
 
     /// Executes an OLAP query against the full, unpersonalized cube
     /// (the baseline the paper's approach avoids exposing to users).
     pub fn query_unpersonalized(&self, query: &Query) -> Result<QueryResult, CoreError> {
-        let cube = self.snapshot.load();
-        Ok(self.query_engine.execute(&cube, query)?)
+        self.query_snapshot(query, Arc::new(InstanceView::unrestricted()))
+    }
+
+    /// The shared cached read path: consistent `(generation, cube)` pair,
+    /// cache lookup, parallel execution, cache fill. Takes the view as an
+    /// `Arc` (sessions already hold one), so keying the cache is a
+    /// refcount bump rather than a deep clone of the selection sets.
+    fn query_snapshot(
+        &self,
+        query: &Query,
+        view: Arc<InstanceView>,
+    ) -> Result<QueryResult, CoreError> {
+        let (generation, cube) = self.snapshot.load_versioned();
+        if !self.result_cache.is_enabled() {
+            return Ok(self.query_engine.execute_with_view(&cube, query, &view)?);
+        }
+        let key = CacheKey::new(generation, query, view);
+        if let Some(hit) = self.result_cache.get(&key) {
+            return Ok((*hit).clone());
+        }
+        let result = self
+            .query_engine
+            .execute_with_view(&cube, query, &key.view)?;
+        self.result_cache.insert(key, Arc::new(result.clone()));
+        Ok(result)
+    }
+
+    /// Counters of the query-result cache (hits, misses, entries,
+    /// invalidations, evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.result_cache.stats()
+    }
+
+    /// The executor configuration this engine serves queries with.
+    pub fn execution_config(&self) -> &ExecutionConfig {
+        self.query_engine.config()
+    }
+
+    /// The generation of the currently published cube snapshot.
+    pub fn cube_generation(&self) -> u64 {
+        self.snapshot.generation()
     }
 
     /// The personalized view of a session (a shared snapshot; the `Arc`
@@ -340,9 +398,12 @@ impl PersonalizationEngine {
         // Publish only on a real schema change — effects report AddLayer
         // even when it was an idempotent re-add, and cloning the whole
         // cube on every login would serialise logins behind an
-        // O(warehouse) copy.
+        // O(warehouse) copy. Publishing bumps the snapshot generation,
+        // which automatically invalidates every cached query result
+        // computed from the superseded cube.
         if master.schema() != published.schema() {
-            self.snapshot.store(Arc::new(master.clone()));
+            let generation = self.snapshot.store(Arc::new(master.clone()));
+            self.result_cache.invalidate_generations_below(generation);
         }
         self.profiles.upsert(profile);
         drop(master);
@@ -620,6 +681,63 @@ mod tests {
             engine.cube().schema().layer("Partial").is_none(),
             "partial schema mutation of a failed firing leaked into the snapshot"
         );
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_until_a_publish() {
+        let (engine, scenario) = engine();
+        let handle = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales");
+        let first = engine.query(handle.id, &query).unwrap();
+        let miss_only = engine.cache_stats();
+        assert_eq!(miss_only.hits, 0);
+        let second = engine.query(handle.id, &query).unwrap();
+        assert_eq!(first, second);
+        let after_repeat = engine.cache_stats();
+        assert_eq!(after_repeat.hits, 1);
+        let generation = engine.cube_generation();
+
+        // Drive the interest counter over the threshold and restart: the
+        // TrainAirportCity rule adds the Train layer, publishing a new
+        // cube snapshot.
+        for _ in 0..3 {
+            engine
+                .record_spatial_selection(handle.id, "GeoMD.Store.City", None)
+                .unwrap();
+        }
+        engine.end_session(handle.id).unwrap();
+        let next = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        assert!(engine.cube_generation() > generation);
+
+        // The same query text through the new session misses: both the
+        // snapshot generation and the session view changed.
+        let hits_before = engine.cache_stats().hits;
+        engine.query(next.id, &query).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, hits_before);
+        assert!(stats.invalidations > 0, "publish must drop stale entries");
+    }
+
+    #[test]
+    fn cache_can_be_disabled_by_configuration() {
+        let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+        let engine = PersonalizationEngine::with_execution_config(
+            scenario.cube.clone(),
+            Arc::new(scenario.layer_source()),
+            sdwp_olap::ExecutionConfig::default().with_cache_capacity(0),
+        );
+        let query = Query::over("Sales").measure("UnitSales");
+        engine.query_unpersonalized(&query).unwrap();
+        engine.query_unpersonalized(&query).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.entries), (0, 0));
+        assert_eq!(engine.execution_config().cache_capacity, 0);
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use engine::{PersonalizationEngine, SessionHandle};
 pub use error::CoreError;
 pub use report::PersonalizationReport;
 pub use session::{SessionManager, SessionState};
-pub use sync::ArcSwap;
+pub use sync::{ArcSwap, VersionedSwap};
 pub use web::{WebFacade, WebRequest, WebResponse};

@@ -55,6 +55,59 @@ impl<T> ArcSwap<T> {
     }
 }
 
+/// An [`ArcSwap`] that tags every published snapshot with a monotonically
+/// increasing generation number.
+///
+/// The engine keys its query-result cache by the cube snapshot the result
+/// was computed from. Reading the snapshot and its generation must be
+/// atomic — loading them from two separate cells could pair a new cube
+/// with an old generation and poison the cache with results attributed to
+/// the wrong snapshot — so both live under one lock and
+/// [`VersionedSwap::load_versioned`] returns them as a consistent pair.
+#[derive(Debug)]
+pub struct VersionedSwap<T> {
+    inner: RwLock<(u64, Arc<T>)>,
+}
+
+impl<T> VersionedSwap<T> {
+    /// Wraps an already-allocated snapshot as generation 0.
+    pub fn new(value: Arc<T>) -> Self {
+        VersionedSwap {
+            inner: RwLock::new((0, value)),
+        }
+    }
+
+    /// Allocates the initial (generation 0) snapshot from a plain value.
+    pub fn from_pointee(value: T) -> Self {
+        VersionedSwap::new(Arc::new(value))
+    }
+
+    /// Returns the current snapshot.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.inner.read().1)
+    }
+
+    /// Returns the current `(generation, snapshot)` pair, read atomically.
+    pub fn load_versioned(&self) -> (u64, Arc<T>) {
+        let guard = self.inner.read();
+        (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// The generation of the currently published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.inner.read().0
+    }
+
+    /// Publishes a new snapshot, bumping the generation; returns the new
+    /// generation. Current readers keep the pair they loaded.
+    pub fn store(&self, value: Arc<T>) -> u64 {
+        let mut guard = self.inner.write();
+        guard.0 += 1;
+        guard.1 = value;
+        guard.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +123,51 @@ mod tests {
         // The snapshot loaded before the store is unaffected.
         assert_eq!(*old, 1);
         assert_eq!(*swap.swap(Arc::new(3)), 2);
+    }
+
+    #[test]
+    fn versioned_swap_pairs_generation_with_snapshot() {
+        let swap = VersionedSwap::from_pointee("a");
+        assert_eq!(swap.generation(), 0);
+        let (gen0, first) = swap.load_versioned();
+        assert_eq!((gen0, *first), (0, "a"));
+        assert_eq!(swap.store(Arc::new("b")), 1);
+        assert_eq!(swap.store(Arc::new("c")), 2);
+        let (generation, value) = swap.load_versioned();
+        assert_eq!((generation, *value), (2, "c"));
+        assert_eq!(*swap.load(), "c");
+        // The pair loaded before the stores is unaffected.
+        assert_eq!(*first, "a");
+    }
+
+    #[test]
+    fn versioned_swap_loads_are_atomic_pairs() {
+        let swap = Arc::new(VersionedSwap::from_pointee(0u64));
+        let writer = {
+            let swap = Arc::clone(&swap);
+            thread::spawn(move || {
+                for i in 1..=500u64 {
+                    swap.store(Arc::new(i));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let swap = Arc::clone(&swap);
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        // Every publish stores generation == value, so a
+                        // torn read would break this invariant.
+                        let (generation, value) = swap.load_versioned();
+                        assert_eq!(generation, *value);
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for reader in readers {
+            reader.join().unwrap();
+        }
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub enum WebRequest {
         /// The session to report on.
         session: SessionId,
     },
+    /// An operator asks for the engine's query-result cache counters.
+    CacheStats,
     /// The user logs out.
     Logout {
         /// The session to end.
@@ -87,6 +89,21 @@ pub enum WebResponse {
     },
     /// A personalization report.
     Report(Box<PersonalizationReport>),
+    /// Query-result cache counters.
+    CacheStats {
+        /// Lookups served from the cache.
+        hits: u64,
+        /// Lookups that executed the query.
+        misses: u64,
+        /// Results currently cached.
+        entries: usize,
+        /// Entries dropped because a new cube snapshot was published.
+        invalidations: u64,
+        /// Entries dropped by capacity eviction — a high rate against a
+        /// low hit rate means the working set exceeds the configured
+        /// `cache_capacity`.
+        evictions: u64,
+    },
     /// Logout succeeded.
     LoggedOut,
     /// The request failed.
@@ -217,6 +234,16 @@ impl WebFacade {
                     total_facts: totals,
                 })))
             }
+            WebRequest::CacheStats => {
+                let stats = self.engine.cache_stats();
+                Ok(WebResponse::CacheStats {
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    entries: stats.entries,
+                    invalidations: stats.invalidations,
+                    evictions: stats.evictions,
+                })
+            }
             WebRequest::Logout { session } => {
                 self.engine.end_session(session)?;
                 Ok(WebResponse::LoggedOut)
@@ -307,6 +334,28 @@ mod tests {
             expression: None,
         }) {
             WebResponse::Error { message } => assert!(message.contains("session")),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_aggregates_hit_the_result_cache() {
+        let facade = facade();
+        let session = login(&facade);
+        let aggregate = WebRequest::Aggregate {
+            session,
+            fact: "Sales".into(),
+            measure: "UnitSales".into(),
+            group_by: vec![("Store".into(), "City".into(), "name".into())],
+        };
+        let first = facade.handle(aggregate.clone());
+        let second = facade.handle(aggregate);
+        assert_eq!(first, second);
+        match facade.handle(WebRequest::CacheStats) {
+            WebResponse::CacheStats { hits, entries, .. } => {
+                assert!(hits >= 1, "repeat aggregate should hit, got {hits} hits");
+                assert!(entries >= 1);
+            }
             other => panic!("unexpected response {other:?}"),
         }
     }

@@ -1,4 +1,10 @@
 //! Measure accumulators for group-by aggregation.
+//!
+//! Accumulators carry *mergeable* partial state rather than finished
+//! values: AVG keeps `(sum, count)` and COUNT DISTINCT keeps the value
+//! set, so per-morsel partial aggregates can be combined with
+//! [`Accumulator::merge`] by the parallel executor and only finalised
+//! once at the end.
 
 use crate::value::CellValue;
 use sdwp_model::AggregationFunction;
@@ -48,6 +54,36 @@ impl Accumulator {
         }
         if self.function == AggregationFunction::CountDistinct {
             self.distinct.insert(value.group_key());
+        }
+    }
+
+    /// Merges another accumulator's partial state into this one.
+    ///
+    /// Both accumulators must implement the same aggregation function.
+    /// Merging the states of two disjoint row chunks is equivalent to
+    /// feeding both chunks sequentially through [`Accumulator::update`]
+    /// (the property the parallel executor's equivalence suite proves),
+    /// and merging an empty accumulator is the identity.
+    pub fn merge(&mut self, other: &Accumulator) {
+        debug_assert_eq!(
+            self.function, other.function,
+            "merging accumulators of different aggregation functions"
+        );
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        if self.function == AggregationFunction::CountDistinct {
+            self.distinct.extend(other.distinct.iter().cloned());
         }
     }
 
@@ -157,5 +193,72 @@ mod tests {
     fn function_accessor() {
         let acc = Accumulator::new(AggregationFunction::Max);
         assert_eq!(acc.function(), AggregationFunction::Max);
+    }
+
+    /// Splits `values` at `at`, accumulates both halves separately and
+    /// merges them.
+    fn feed_split(function: AggregationFunction, values: &[CellValue], at: usize) -> CellValue {
+        let (left, right) = values.split_at(at);
+        let mut a = Accumulator::new(function);
+        for v in left {
+            a.update(v);
+        }
+        let mut b = Accumulator::new(function);
+        for v in right {
+            b.update(v);
+        }
+        a.merge(&b);
+        a.finish()
+    }
+
+    #[test]
+    fn merge_agrees_with_sequential_update() {
+        let values = vec![
+            CellValue::Float(1.5),
+            CellValue::Integer(2),
+            CellValue::Null,
+            CellValue::Text("a".into()),
+            CellValue::Text("a".into()),
+            CellValue::Float(-3.0),
+        ];
+        for function in [
+            AggregationFunction::Sum,
+            AggregationFunction::Avg,
+            AggregationFunction::Min,
+            AggregationFunction::Max,
+            AggregationFunction::Count,
+            AggregationFunction::CountDistinct,
+        ] {
+            let sequential = feed(function, &values);
+            for at in 0..=values.len() {
+                assert_eq!(
+                    feed_split(function, &values, at),
+                    sequential,
+                    "{function:?} split at {at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merging_empty_accumulators_is_the_identity() {
+        for function in [
+            AggregationFunction::Sum,
+            AggregationFunction::Avg,
+            AggregationFunction::Min,
+            AggregationFunction::Max,
+            AggregationFunction::Count,
+            AggregationFunction::CountDistinct,
+        ] {
+            let mut acc = Accumulator::new(function);
+            acc.update(&CellValue::Float(4.0));
+            acc.update(&CellValue::Text("x".into()));
+            let before = acc.finish();
+            acc.merge(&Accumulator::new(function));
+            assert_eq!(acc.finish(), before, "{function:?} right identity");
+            let mut fresh = Accumulator::new(function);
+            fresh.merge(&acc);
+            assert_eq!(fresh.finish(), before, "{function:?} left identity");
+        }
     }
 }

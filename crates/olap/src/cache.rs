@@ -1,0 +1,289 @@
+//! A snapshot-keyed query-result cache.
+//!
+//! Repeated OLAP queries are common in BI sessions (dashboards refresh,
+//! several users share a role's view), so the serving layer can reuse a
+//! result as long as nothing it depends on changed. An entry is keyed by
+//! the *cube snapshot generation* (bumped every time the personalization
+//! engine publishes a new cube), the *canonical form of the query* and the
+//! *instance view* it ran through — so a rule firing that publishes a new
+//! cube automatically misses every stale entry, and two sessions with
+//! different personalized views can never observe each other's results.
+
+use crate::query::{Query, QueryResult};
+use crate::view::InstanceView;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// The identity of one cached result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Generation of the cube snapshot the result was computed from.
+    pub generation: u64,
+    /// Canonical text of the query (see [`Query::canonical_key`]).
+    pub query: String,
+    /// The exact instance view the query ran through. Compared and hashed
+    /// by content (so distinct views can never collide into one entry) but
+    /// held behind an `Arc`: sessions already keep their view in an `Arc`,
+    /// so building a key is a refcount bump, not a deep clone of the
+    /// selection sets.
+    pub view: Arc<InstanceView>,
+}
+
+impl CacheKey {
+    /// Builds the key of a `(snapshot, query, view)` execution.
+    pub fn new(generation: u64, query: &Query, view: Arc<InstanceView>) -> Self {
+        CacheKey {
+            generation,
+            query: query.canonical_key(),
+            view,
+        }
+    }
+}
+
+/// Counters describing a cache's behaviour so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to execute the query.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Entries dropped because their snapshot generation became stale.
+    pub invalidations: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<QueryResult>>,
+    /// Insertion order, for FIFO capacity eviction.
+    order: VecDeque<CacheKey>,
+    /// Lowest generation still admissible: a query that was in flight
+    /// across a publish must not park its stale result in the cache.
+    generation_floor: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe result cache. `capacity == 0` disables it: every
+/// lookup misses and nothing is stored.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl QueryCache {
+    /// Creates a cache holding up to `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Creates a disabled cache (every lookup misses).
+    pub fn disabled() -> Self {
+        QueryCache::new(0)
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks a result up, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<QueryResult>> {
+        let mut inner = self.inner.lock().expect("query cache poisoned");
+        match inner.map.get(key).cloned() {
+            Some(result) => {
+                inner.hits += 1;
+                Some(result)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the oldest entry when full. Results whose
+    /// generation fell below the invalidation floor (the query was in
+    /// flight while a new cube was published) are dropped: no future
+    /// lookup could ever read them, so admitting them would only burn
+    /// capacity.
+    pub fn insert(&self, key: CacheKey, result: Arc<QueryResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("query cache poisoned");
+        if key.generation < inner.generation_floor {
+            return;
+        }
+        if inner.map.insert(key.clone(), result).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    if inner.map.remove(&oldest).is_some() {
+                        inner.evictions += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drops every entry computed from a snapshot generation older than
+    /// `generation`. Called when the personalization engine publishes a
+    /// new cube, so stale results are reclaimed eagerly instead of
+    /// lingering until capacity eviction.
+    pub fn invalidate_generations_below(&self, generation: u64) {
+        let mut inner = self.inner.lock().expect("query cache poisoned");
+        inner.generation_floor = inner.generation_floor.max(generation);
+        let before = inner.map.len();
+        inner.map.retain(|key, _| key.generation >= generation);
+        let dropped = (before - inner.map.len()) as u64;
+        inner.invalidations += dropped;
+        if dropped > 0 {
+            inner.order.retain(|key| key.generation >= generation);
+        }
+    }
+
+    /// Removes every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("query cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// A snapshot of the cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("query cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            invalidations: inner.invalidations,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ResultRow;
+    use crate::value::CellValue;
+
+    fn result(tag: f64) -> Arc<QueryResult> {
+        Arc::new(QueryResult {
+            key_names: vec![],
+            value_names: vec!["sum(UnitSales)".into()],
+            rows: vec![ResultRow {
+                keys: vec![],
+                values: vec![CellValue::Float(tag)],
+            }],
+            facts_scanned: 1,
+            facts_matched: 1,
+        })
+    }
+
+    fn key(generation: u64, fact: &str, view: &InstanceView) -> CacheKey {
+        CacheKey::new(
+            generation,
+            &Query::over(fact).measure("UnitSales"),
+            Arc::new(view.clone()),
+        )
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = QueryCache::new(4);
+        let view = InstanceView::unrestricted();
+        let k = key(1, "Sales", &view);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), result(1.0));
+        assert_eq!(
+            cache.get(&k).unwrap().rows[0].values[0],
+            CellValue::Float(1.0)
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_views_never_collide() {
+        let cache = QueryCache::new(4);
+        let mut a = InstanceView::unrestricted();
+        a.select_dimension_members("Store", vec![0]);
+        let mut b = InstanceView::unrestricted();
+        b.select_dimension_members("Store", vec![1]);
+        cache.insert(key(1, "Sales", &a), result(1.0));
+        assert!(cache.get(&key(1, "Sales", &b)).is_none());
+        assert!(cache.get(&key(1, "Sales", &a)).is_some());
+    }
+
+    #[test]
+    fn generation_bump_invalidates_stale_entries() {
+        let cache = QueryCache::new(8);
+        let view = InstanceView::unrestricted();
+        cache.insert(key(1, "Sales", &view), result(1.0));
+        cache.insert(key(2, "Sales", &view), result(2.0));
+        cache.invalidate_generations_below(2);
+        assert!(cache.get(&key(1, "Sales", &view)).is_none());
+        assert!(cache.get(&key(2, "Sales", &view)).is_some());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_is_fifo() {
+        let cache = QueryCache::new(2);
+        let view = InstanceView::unrestricted();
+        cache.insert(key(1, "A", &view), result(1.0));
+        cache.insert(key(1, "B", &view), result(2.0));
+        cache.insert(key(1, "C", &view), result(3.0));
+        assert!(cache.get(&key(1, "A", &view)).is_none());
+        assert!(cache.get(&key(1, "B", &view)).is_some());
+        assert!(cache.get(&key(1, "C", &view)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stale_in_flight_results_are_not_admitted() {
+        let cache = QueryCache::new(8);
+        let view = InstanceView::unrestricted();
+        // A publish raises the floor to generation 2 …
+        cache.invalidate_generations_below(2);
+        // … so a result computed from generation 1 (a query that was in
+        // flight across the publish) must be refused.
+        cache.insert(key(1, "Sales", &view), result(1.0));
+        assert_eq!(cache.stats().entries, 0);
+        cache.insert(key(2, "Sales", &view), result(2.0));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = QueryCache::disabled();
+        assert!(!cache.is_enabled());
+        let view = InstanceView::unrestricted();
+        let k = key(1, "Sales", &view);
+        cache.insert(k.clone(), result(1.0));
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = QueryCache::new(4);
+        let view = InstanceView::unrestricted();
+        cache.insert(key(1, "Sales", &view), result(1.0));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

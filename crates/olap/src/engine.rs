@@ -1,25 +1,142 @@
-//! The query engine: group-by aggregation through personalized views.
+//! The query engine: morsel-parallel group-by aggregation through
+//! personalized views.
+//!
+//! # Execution model
+//!
+//! Execution is a two-phase *morsel* pipeline in the style of
+//! morsel-driven parallelism: the fact table is split into fixed-size row
+//! chunks ("morsels"); scoped worker threads pull morsel indices from a
+//! shared atomic counter and run filter + partial aggregation per morsel
+//! into a private hash table; the partial [`Accumulator`] states are then
+//! merged **in morsel-index order** and finalised once.
+//!
+//! Because morsel boundaries and the merge order depend only on
+//! [`ExecutionConfig::morsel_rows`] — never on the worker count or on
+//! which worker processed which morsel — the result (including every
+//! floating-point partial sum) is bit-for-bit identical whether the
+//! pipeline runs on 1 or N workers. [`QueryEngine::execute_serial_with_view`]
+//! keeps the classic row-at-a-time loop as the reference implementation
+//! the equivalence property suite compares against.
 
 use crate::aggregate::Accumulator;
 use crate::cube::{attribute_column, Cube};
 use crate::error::OlapError;
 use crate::query::{Query, QueryResult, ResultRow};
+use crate::table::Table;
 use crate::value::CellValue;
 use crate::view::InstanceView;
 use sdwp_model::AggregationFunction;
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of fact rows per morsel.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// Tuning knobs of the morsel-parallel executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionConfig {
+    /// Number of worker threads; `0` uses the machine's available
+    /// parallelism.
+    pub workers: usize,
+    /// Fact rows per morsel. The morsel size fixes the partial-merge tree,
+    /// so two runs with equal `morsel_rows` produce identical results
+    /// regardless of `workers`.
+    pub morsel_rows: usize,
+    /// Capacity (entries) of the query-result cache layered on top by
+    /// callers such as `sdwp-core`; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            workers: 0,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// A configuration that runs everything on the calling thread.
+    pub fn serial() -> Self {
+        ExecutionConfig {
+            workers: 1,
+            ..ExecutionConfig::default()
+        }
+    }
+
+    /// Sets the worker count (`0` = available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the morsel size in fact rows (clamped to at least 1).
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.morsel_rows = morsel_rows.max(1);
+        self
+    }
+
+    /// Sets the result-cache capacity (`0` disables caching).
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// The number of worker threads this configuration resolves to.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// The resolved, validated parts of a query that every scan shares.
+struct Resolved<'q> {
+    /// `(column name, aggregation)` per requested measure.
+    measures: Vec<(String, AggregationFunction)>,
+    /// Allowed member sets per filtered dimension. A `BTreeMap` so the
+    /// per-row check order is deterministic across executions.
+    allowed_members: BTreeMap<&'q str, BTreeSet<usize>>,
+}
+
+/// Group-by state: group key string → (key cells, accumulators).
+type GroupMap = HashMap<String, (Vec<CellValue>, Vec<Accumulator>)>;
+
+/// The partial aggregate of one morsel.
+struct MorselPartial {
+    groups: GroupMap,
+    facts_scanned: usize,
+    facts_matched: usize,
+}
 
 /// Executes [`Query`]s against a [`Cube`], optionally through an
 /// [`InstanceView`] (the personalized selection produced by the
 /// `SelectInstance` action).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct QueryEngine;
+pub struct QueryEngine {
+    config: ExecutionConfig,
+}
 
 impl QueryEngine {
-    /// Creates a query engine.
+    /// Creates a query engine with the default (parallel) configuration.
     pub fn new() -> Self {
-        QueryEngine
+        QueryEngine::default()
+    }
+
+    /// Creates a query engine with an explicit execution configuration.
+    pub fn with_config(config: ExecutionConfig) -> Self {
+        QueryEngine { config }
+    }
+
+    /// The engine's execution configuration.
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.config
     }
 
     /// Executes a query without any personalization.
@@ -29,191 +146,127 @@ impl QueryEngine {
 
     /// Executes a query through a personalized instance view: only fact
     /// rows visible through the view participate in the aggregation.
+    ///
+    /// Runs the morsel-parallel pipeline described in the module docs.
+    /// The result is deterministic: it depends on the cube, query, view
+    /// and [`ExecutionConfig::morsel_rows`], but not on the worker count.
     pub fn execute_with_view(
         &self,
         cube: &Cube,
         query: &Query,
         view: &InstanceView,
     ) -> Result<QueryResult, OlapError> {
-        let fact_def =
-            cube.schema()
-                .fact(&query.fact)
-                .ok_or_else(|| OlapError::UnknownElement {
-                    kind: "fact",
-                    name: query.fact.clone(),
-                })?;
-        if query.measures.is_empty() {
-            return Err(OlapError::InvalidQuery {
-                message: "a query needs at least one measure".into(),
-            });
-        }
-
-        // Resolve measures: (column name, aggregation).
-        let mut measures: Vec<(String, AggregationFunction)> = Vec::new();
-        for m in &query.measures {
-            let def = fact_def
-                .measure(&m.measure)
-                .ok_or_else(|| OlapError::UnknownElement {
-                    kind: "measure",
-                    name: m.measure.clone(),
-                })?;
-            measures.push((def.name.clone(), m.aggregation.unwrap_or(def.aggregation)));
-        }
-
-        // Validate group-by references and check the dimensions are reachable.
-        for key in &query.group_by {
-            if !fact_def.references_dimension(&key.dimension) {
-                return Err(OlapError::InvalidQuery {
-                    message: format!(
-                        "fact '{}' is not analysed by dimension '{}'",
-                        fact_def.name, key.dimension
-                    ),
-                });
-            }
-            let dim = cube.schema().dimension(&key.dimension).ok_or_else(|| {
-                OlapError::UnknownElement {
-                    kind: "dimension",
-                    name: key.dimension.clone(),
-                }
-            })?;
-            let level = dim
-                .level(&key.level)
-                .ok_or_else(|| OlapError::UnknownElement {
-                    kind: "level",
-                    name: key.level.clone(),
-                })?;
-            if level.attribute(&key.attribute).is_none() {
-                return Err(OlapError::UnknownElement {
-                    kind: "attribute",
-                    name: format!("{}.{}", key.level, key.attribute),
-                });
-            }
-        }
-
-        // Pre-compute allowed member sets for every filtered dimension.
-        let mut allowed_members: HashMap<&str, BTreeSet<usize>> = HashMap::new();
-        for (dimension, filter) in &query.dimension_filters {
-            if !fact_def.references_dimension(dimension) {
-                return Err(OlapError::InvalidQuery {
-                    message: format!(
-                        "filtered dimension '{dimension}' is not referenced by fact '{}'",
-                        fact_def.name
-                    ),
-                });
-            }
-            let table = &cube.dimension_table(dimension)?.table;
-            let matching: BTreeSet<usize> = filter.matching_rows(table)?.into_iter().collect();
-            match allowed_members.entry(dimension.as_str()) {
-                Entry::Occupied(mut e) => {
-                    let intersection: BTreeSet<usize> =
-                        e.get().intersection(&matching).copied().collect();
-                    e.insert(intersection);
-                }
-                Entry::Vacant(e) => {
-                    e.insert(matching);
-                }
-            }
-        }
-
+        let resolved = resolve(cube, query)?;
         let fact_table = &cube.fact_table(&query.fact)?.table;
         let total_rows = fact_table.len();
+        let morsel_rows = self.config.morsel_rows.max(1);
+        let morsel_count = total_rows.div_ceil(morsel_rows);
+        let workers = self
+            .config
+            .effective_workers()
+            .clamp(1, morsel_count.max(1));
 
-        // Group-by state: group key string -> (key cells, accumulators).
-        let mut groups: HashMap<String, (Vec<CellValue>, Vec<Accumulator>)> = HashMap::new();
+        let next_morsel = AtomicUsize::new(0);
+        let scan_morsels = || {
+            scan_assigned_morsels(
+                cube,
+                query,
+                view,
+                &resolved,
+                fact_table,
+                &next_morsel,
+                morsel_count,
+                morsel_rows,
+                total_rows,
+            )
+        };
+
+        let mut partials: Vec<(usize, Result<MorselPartial, OlapError>)> = if workers <= 1 {
+            scan_morsels()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(scan_morsels)).collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("morsel worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge the partial states in morsel-index order so the combined
+        // accumulator state (and the reported error, if any) never depends
+        // on worker scheduling.
+        partials.sort_by_key(|(morsel, _)| *morsel);
+        let mut groups: GroupMap = HashMap::new();
         let mut facts_scanned = 0usize;
         let mut facts_matched = 0usize;
-        // Cache of member-row → key-cell lookups per group-by attribute.
-        let mut key_cache: Vec<HashMap<usize, CellValue>> =
-            vec![HashMap::new(); query.group_by.len()];
-
-        for fact_row in 0..total_rows {
-            if !view.allows_fact_row(cube, &query.fact, fact_row)? {
-                continue;
-            }
-            facts_scanned += 1;
-
-            // Dimension filters.
-            let mut passes = true;
-            for (dimension, allowed) in &allowed_members {
-                let member = cube.fact_member(&query.fact, fact_row, dimension)?;
-                if !allowed.contains(&member) {
-                    passes = false;
-                    break;
-                }
-            }
-            if !passes {
-                continue;
-            }
-            // Fact filter.
-            if let Some(filter) = &query.fact_filter {
-                if !filter.matches(fact_table, fact_row)? {
-                    continue;
-                }
-            }
-            facts_matched += 1;
-
-            // Build the group key.
-            let mut key_cells = Vec::with_capacity(query.group_by.len());
-            let mut key_string = String::new();
-            for (i, attr) in query.group_by.iter().enumerate() {
-                let member = cube.fact_member(&query.fact, fact_row, &attr.dimension)?;
-                let cell = match key_cache[i].get(&member) {
-                    Some(c) => c.clone(),
-                    None => {
-                        let table = &cube.dimension_table(&attr.dimension)?.table;
-                        let cell =
-                            table.get(member, &attribute_column(&attr.level, &attr.attribute))?;
-                        key_cache[i].insert(member, cell.clone());
-                        cell
+        for (_, partial) in partials {
+            let partial = partial?;
+            facts_scanned += partial.facts_scanned;
+            facts_matched += partial.facts_matched;
+            for (key, (cells, accumulators)) in partial.groups {
+                match groups.entry(key) {
+                    Entry::Vacant(entry) => {
+                        entry.insert((cells, accumulators));
                     }
-                };
-                key_string.push_str(&cell.group_key());
-                key_string.push('\u{1f}');
-                key_cells.push(cell);
-            }
-
-            let entry = groups.entry(key_string).or_insert_with(|| {
-                (
-                    key_cells.clone(),
-                    measures
-                        .iter()
-                        .map(|(_, agg)| Accumulator::new(*agg))
-                        .collect(),
-                )
-            });
-            for ((column, _), acc) in measures.iter().zip(entry.1.iter_mut()) {
-                let value = fact_table.get(fact_row, column)?;
-                acc.update(&value);
+                    Entry::Occupied(mut entry) => {
+                        for (merged, partial_acc) in
+                            entry.get_mut().1.iter_mut().zip(accumulators.iter())
+                        {
+                            merged.merge(partial_acc);
+                        }
+                    }
+                }
             }
         }
 
-        // Materialise and sort rows for deterministic output.
-        let mut rows: Vec<ResultRow> = groups
-            .into_values()
-            .map(|(keys, accs)| ResultRow {
-                keys,
-                values: accs.iter().map(Accumulator::finish).collect(),
-            })
-            .collect();
-        rows.sort_by(|a, b| {
-            let ka: Vec<String> = a.keys.iter().map(CellValue::group_key).collect();
-            let kb: Vec<String> = b.keys.iter().map(CellValue::group_key).collect();
-            ka.cmp(&kb)
-        });
-        if let Some(limit) = query.limit {
-            rows.truncate(limit);
-        }
-
-        Ok(QueryResult {
-            key_names: query.group_by.iter().map(|a| a.label()).collect(),
-            value_names: measures
-                .iter()
-                .map(|(name, agg)| format!("{agg}({name})"))
-                .collect(),
-            rows,
+        Ok(materialise(
+            query,
+            &resolved,
+            groups,
             facts_scanned,
             facts_matched,
-        })
+        ))
+    }
+
+    /// Executes a query serially, without personalization — the
+    /// row-at-a-time reference implementation.
+    pub fn execute_serial(&self, cube: &Cube, query: &Query) -> Result<QueryResult, OlapError> {
+        self.execute_serial_with_view(cube, query, &InstanceView::unrestricted())
+    }
+
+    /// Executes a query through a view with the classic single-threaded
+    /// row-at-a-time loop. This is the reference implementation the
+    /// parallel-equivalence property suite compares
+    /// [`QueryEngine::execute_with_view`] against.
+    pub fn execute_serial_with_view(
+        &self,
+        cube: &Cube,
+        query: &Query,
+        view: &InstanceView,
+    ) -> Result<QueryResult, OlapError> {
+        let resolved = resolve(cube, query)?;
+        let fact_table = &cube.fact_table(&query.fact)?.table;
+        let mut key_cache: Vec<HashMap<usize, CellValue>> =
+            vec![HashMap::new(); query.group_by.len()];
+        let mut groups: GroupMap = HashMap::new();
+        let (facts_scanned, facts_matched) = scan_range(
+            cube,
+            query,
+            view,
+            &resolved,
+            fact_table,
+            0..fact_table.len(),
+            &mut key_cache,
+            &mut groups,
+        )?;
+        Ok(materialise(
+            query,
+            &resolved,
+            groups,
+            facts_scanned,
+            facts_matched,
+        ))
     }
 
     /// Convenience: total of a single measure over the (possibly
@@ -233,6 +286,268 @@ impl QueryEngine {
             .and_then(|r| r.values.first())
             .and_then(CellValue::as_number)
             .unwrap_or(0.0))
+    }
+}
+
+/// Validates the query against the cube's schema and pre-computes the
+/// allowed member sets of every filtered dimension. Shared by the
+/// parallel pipeline and the serial reference so both report identical
+/// errors for invalid queries.
+fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError> {
+    let fact_def = cube
+        .schema()
+        .fact(&query.fact)
+        .ok_or_else(|| OlapError::UnknownElement {
+            kind: "fact",
+            name: query.fact.clone(),
+        })?;
+    if query.measures.is_empty() {
+        return Err(OlapError::InvalidQuery {
+            message: "a query needs at least one measure".into(),
+        });
+    }
+
+    // Resolve measures: (column name, aggregation).
+    let mut measures: Vec<(String, AggregationFunction)> = Vec::new();
+    for m in &query.measures {
+        let def = fact_def
+            .measure(&m.measure)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "measure",
+                name: m.measure.clone(),
+            })?;
+        measures.push((def.name.clone(), m.aggregation.unwrap_or(def.aggregation)));
+    }
+
+    // Validate group-by references and check the dimensions are reachable.
+    for key in &query.group_by {
+        if !fact_def.references_dimension(&key.dimension) {
+            return Err(OlapError::InvalidQuery {
+                message: format!(
+                    "fact '{}' is not analysed by dimension '{}'",
+                    fact_def.name, key.dimension
+                ),
+            });
+        }
+        let dim =
+            cube.schema()
+                .dimension(&key.dimension)
+                .ok_or_else(|| OlapError::UnknownElement {
+                    kind: "dimension",
+                    name: key.dimension.clone(),
+                })?;
+        let level = dim
+            .level(&key.level)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "level",
+                name: key.level.clone(),
+            })?;
+        if level.attribute(&key.attribute).is_none() {
+            return Err(OlapError::UnknownElement {
+                kind: "attribute",
+                name: format!("{}.{}", key.level, key.attribute),
+            });
+        }
+    }
+
+    // Pre-compute allowed member sets for every filtered dimension.
+    let mut allowed_members: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    for (dimension, filter) in &query.dimension_filters {
+        if !fact_def.references_dimension(dimension) {
+            return Err(OlapError::InvalidQuery {
+                message: format!(
+                    "filtered dimension '{dimension}' is not referenced by fact '{}'",
+                    fact_def.name
+                ),
+            });
+        }
+        let table = &cube.dimension_table(dimension)?.table;
+        let matching: BTreeSet<usize> = filter.matching_rows(table)?.into_iter().collect();
+        match allowed_members.entry(dimension.as_str()) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let intersection: BTreeSet<usize> =
+                    e.get().intersection(&matching).copied().collect();
+                e.insert(intersection);
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(matching);
+            }
+        }
+    }
+
+    Ok(Resolved {
+        measures,
+        allowed_members,
+    })
+}
+
+/// Scans one contiguous row range, accumulating into `groups`. The body
+/// of both the serial reference loop (one range covering the whole table)
+/// and each morsel of the parallel pipeline, so the per-row semantics —
+/// view check, dimension filters, fact filter, key build, accumulation,
+/// and every error path — are shared by construction.
+#[allow(clippy::too_many_arguments)]
+fn scan_range(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    fact_table: &Table,
+    rows: Range<usize>,
+    key_cache: &mut [HashMap<usize, CellValue>],
+    groups: &mut GroupMap,
+) -> Result<(usize, usize), OlapError> {
+    let mut facts_scanned = 0usize;
+    let mut facts_matched = 0usize;
+    for fact_row in rows {
+        if !view.allows_fact_row(cube, &query.fact, fact_row)? {
+            continue;
+        }
+        facts_scanned += 1;
+
+        // Dimension filters.
+        let mut passes = true;
+        for (dimension, allowed) in &resolved.allowed_members {
+            let member = cube.fact_member(&query.fact, fact_row, dimension)?;
+            if !allowed.contains(&member) {
+                passes = false;
+                break;
+            }
+        }
+        if !passes {
+            continue;
+        }
+        // Fact filter.
+        if let Some(filter) = &query.fact_filter {
+            if !filter.matches(fact_table, fact_row)? {
+                continue;
+            }
+        }
+        facts_matched += 1;
+
+        // Build the group key.
+        let mut key_cells = Vec::with_capacity(query.group_by.len());
+        let mut key_string = String::new();
+        for (i, attr) in query.group_by.iter().enumerate() {
+            let member = cube.fact_member(&query.fact, fact_row, &attr.dimension)?;
+            let cell = match key_cache[i].get(&member) {
+                Some(c) => c.clone(),
+                None => {
+                    let table = &cube.dimension_table(&attr.dimension)?.table;
+                    let cell =
+                        table.get(member, &attribute_column(&attr.level, &attr.attribute))?;
+                    key_cache[i].insert(member, cell.clone());
+                    cell
+                }
+            };
+            key_string.push_str(&cell.group_key());
+            key_string.push('\u{1f}');
+            key_cells.push(cell);
+        }
+
+        let entry = groups.entry(key_string).or_insert_with(|| {
+            (
+                key_cells.clone(),
+                resolved
+                    .measures
+                    .iter()
+                    .map(|(_, agg)| Accumulator::new(*agg))
+                    .collect(),
+            )
+        });
+        for ((column, _), acc) in resolved.measures.iter().zip(entry.1.iter_mut()) {
+            let value = fact_table.get(fact_row, column)?;
+            acc.update(&value);
+        }
+    }
+    Ok((facts_scanned, facts_matched))
+}
+
+/// The per-worker loop of the parallel pipeline: pulls morsel indices
+/// from the shared counter until the table is exhausted, producing one
+/// partial aggregate per morsel. A morsel that errors records the error
+/// and the worker moves on, so the merge phase can always report the
+/// error of the *lowest-indexed* failing morsel — the same error the
+/// serial reference reports.
+#[allow(clippy::too_many_arguments)]
+fn scan_assigned_morsels(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    fact_table: &Table,
+    next_morsel: &AtomicUsize,
+    morsel_count: usize,
+    morsel_rows: usize,
+    total_rows: usize,
+) -> Vec<(usize, Result<MorselPartial, OlapError>)> {
+    let mut out = Vec::new();
+    // Member-row → key-cell cache, shared across this worker's morsels.
+    let mut key_cache: Vec<HashMap<usize, CellValue>> = vec![HashMap::new(); query.group_by.len()];
+    loop {
+        let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
+        if morsel >= morsel_count {
+            break;
+        }
+        let start = morsel * morsel_rows;
+        let end = (start + morsel_rows).min(total_rows);
+        let mut groups: GroupMap = HashMap::new();
+        let scanned = scan_range(
+            cube,
+            query,
+            view,
+            resolved,
+            fact_table,
+            start..end,
+            &mut key_cache,
+            &mut groups,
+        );
+        out.push((
+            morsel,
+            scanned.map(|(facts_scanned, facts_matched)| MorselPartial {
+                groups,
+                facts_scanned,
+                facts_matched,
+            }),
+        ));
+    }
+    out
+}
+
+/// Finalises the merged group state into a sorted, limited result.
+fn materialise(
+    query: &Query,
+    resolved: &Resolved<'_>,
+    groups: GroupMap,
+    facts_scanned: usize,
+    facts_matched: usize,
+) -> QueryResult {
+    let mut rows: Vec<ResultRow> = groups
+        .into_values()
+        .map(|(keys, accs)| ResultRow {
+            keys,
+            values: accs.iter().map(Accumulator::finish).collect(),
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        let ka: Vec<String> = a.keys.iter().map(CellValue::group_key).collect();
+        let kb: Vec<String> = b.keys.iter().map(CellValue::group_key).collect();
+        ka.cmp(&kb)
+    });
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+
+    QueryResult {
+        key_names: query.group_by.iter().map(|a| a.label()).collect(),
+        value_names: resolved
+            .measures
+            .iter()
+            .map(|(name, agg)| format!("{agg}({name})"))
+            .collect(),
+        rows,
+        facts_scanned,
+        facts_matched,
     }
 }
 
@@ -464,6 +779,131 @@ mod tests {
                     .filter_dimension("Customer", Filter::All)
             )
             .is_err());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_the_sales_cube() {
+        let cube = sales_cube();
+        let serial = QueryEngine::with_config(ExecutionConfig::serial());
+        let queries = [
+            Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "City", "name"))
+                .measure("UnitSales")
+                .measure("StoreCost"),
+            Query::over("Sales")
+                .measure_agg("UnitSales", AggregationFunction::CountDistinct)
+                .measure_agg("StoreCost", AggregationFunction::Min),
+            Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "Store", "name"))
+                .group_by(AttributeRef::new("Time", "Day", "date"))
+                .measure("UnitSales")
+                .limit(5),
+        ];
+        for workers in [1usize, 2, 8] {
+            let parallel = QueryEngine::with_config(
+                ExecutionConfig::default()
+                    .with_workers(workers)
+                    .with_morsel_rows(4),
+            );
+            for query in &queries {
+                assert_eq!(
+                    parallel.execute(&cube, query).unwrap(),
+                    serial.execute_serial(&cube, query).unwrap(),
+                    "workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_preserves_view_restrictions() {
+        let cube = sales_cube();
+        let mut view = InstanceView::unrestricted();
+        view.select_dimension_members("Store", vec![0, 1]);
+        let query = Query::over("Sales").measure("UnitSales");
+        let engine = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(4)
+                .with_morsel_rows(2),
+        );
+        let result = engine.execute_with_view(&cube, &query, &view).unwrap();
+        assert_eq!(result.rows[0].values[0], CellValue::Float(9.0));
+        assert_eq!(result.facts_scanned, 6);
+        assert_eq!(
+            result,
+            engine
+                .execute_serial_with_view(&cube, &query, &view)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let cube = sales_cube();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales")
+            .measure_agg("StoreCost", AggregationFunction::Avg);
+        let reference = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(1)
+                .with_morsel_rows(3),
+        )
+        .execute(&cube, &query)
+        .unwrap();
+        for workers in [2usize, 3, 8] {
+            let result = QueryEngine::with_config(
+                ExecutionConfig::default()
+                    .with_workers(workers)
+                    .with_morsel_rows(3),
+            )
+            .execute(&cube, &query)
+            .unwrap();
+            assert_eq!(result, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_reports_serial_errors() {
+        let cube = sales_cube();
+        let parallel = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(8)
+                .with_morsel_rows(1),
+        );
+        let serial = QueryEngine::with_config(ExecutionConfig::serial());
+        let bad_queries = [
+            Query::over("Returns").measure("UnitSales"),
+            Query::over("Sales"),
+            Query::over("Sales").measure("Profit"),
+            Query::over("Sales")
+                .measure("UnitSales")
+                .filter_fact(Filter::eq("ghost", "x")),
+        ];
+        for query in &bad_queries {
+            let a = parallel.execute(&cube, query).unwrap_err();
+            let b = serial.execute_serial(&cube, query).unwrap_err();
+            assert_eq!(format!("{a}"), format!("{b}"));
+        }
+    }
+
+    #[test]
+    fn execution_config_resolution() {
+        assert_eq!(ExecutionConfig::serial().effective_workers(), 1);
+        assert_eq!(ExecutionConfig::default().with_workers(3).workers, 3);
+        assert_eq!(
+            ExecutionConfig::default().with_morsel_rows(0).morsel_rows,
+            1
+        );
+        assert!(ExecutionConfig::default().effective_workers() >= 1);
+        assert_eq!(
+            ExecutionConfig::default()
+                .with_cache_capacity(7)
+                .cache_capacity,
+            7
+        );
+        let engine = QueryEngine::with_config(ExecutionConfig::serial());
+        assert_eq!(engine.config().workers, 1);
     }
 
     #[test]

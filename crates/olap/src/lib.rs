@@ -14,8 +14,15 @@
 //!   layers, and a fact table with foreign keys and measures;
 //! * [`Filter`] — boolean and spatial predicates over dimension members and
 //!   facts;
-//! * [`Query`] / [`QueryEngine`] — group-by aggregation (roll-up, slice,
-//!   dice) with optional [`InstanceView`] restriction;
+//! * [`Query`] / [`QueryEngine`] — morsel-parallel group-by aggregation
+//!   (roll-up, slice, dice) with optional [`InstanceView`] restriction:
+//!   fixed-size fact-row chunks are filtered and partially aggregated on
+//!   scoped worker threads ([`ExecutionConfig`] sets the worker count and
+//!   morsel size), then the partial [`aggregate::Accumulator`] states are
+//!   merged in morsel order, so results are identical for any worker
+//!   count;
+//! * [`QueryCache`] — a snapshot-generation-keyed result cache the serving
+//!   layer puts in front of the executor;
 //! * [`InstanceView`] — the personalized selection produced by the paper's
 //!   `SelectInstance` action: a subset of dimension members / fact rows
 //!   that every subsequent query is evaluated through;
@@ -26,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
+pub mod cache;
 pub mod column;
 pub mod cube;
 pub mod engine;
@@ -37,9 +45,10 @@ pub mod table;
 pub mod value;
 pub mod view;
 
+pub use cache::{CacheKey, CacheStats, QueryCache};
 pub use column::{Column, ColumnType, Dictionary};
 pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, LayerTable};
-pub use engine::QueryEngine;
+pub use engine::{ExecutionConfig, QueryEngine, DEFAULT_MORSEL_ROWS};
 pub use error::OlapError;
 pub use filter::{CompareOp, Filter, SpatialPredicateOp};
 pub use query::{AttributeRef, MeasureRef, Query, QueryResult, ResultRow};

@@ -140,6 +140,21 @@ impl Query {
         self.limit = Some(limit);
         self
     }
+
+    /// A canonical text form of the query, used as a result-cache key.
+    ///
+    /// Dimension filters are conjunctive, so their order does not affect
+    /// the result; sorting them by dimension name lets two queries that
+    /// differ only in filter order share a cache entry. Everything else is
+    /// order-sensitive (group-by and measure order shape the result) and
+    /// is kept as written.
+    pub fn canonical_key(&self) -> String {
+        let mut canonical = self.clone();
+        canonical
+            .dimension_filters
+            .sort_by(|(a, _), (b, _)| a.cmp(b));
+        format!("{canonical:?}")
+    }
 }
 
 /// One row of a query result: group-key values plus aggregated measures.
@@ -253,6 +268,24 @@ mod tests {
         assert_eq!(q.dimension_filters.len(), 1);
         assert_eq!(q.limit, Some(10));
         assert!(q.fact_filter.is_none());
+    }
+
+    #[test]
+    fn canonical_key_is_order_insensitive_for_filters_only() {
+        let a = Query::over("Sales")
+            .measure("UnitSales")
+            .filter_dimension("Store", Filter::eq("City.name", "Alicante"))
+            .filter_dimension("Time", Filter::eq("Day.date", CellValue::Date(1)));
+        let b = Query::over("Sales")
+            .measure("UnitSales")
+            .filter_dimension("Time", Filter::eq("Day.date", CellValue::Date(1)))
+            .filter_dimension("Store", Filter::eq("City.name", "Alicante"));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        // Measure order shapes the result, so it must stay significant.
+        let c = Query::over("Sales").measure("UnitSales").measure("Cost");
+        let d = Query::over("Sales").measure("Cost").measure("UnitSales");
+        assert_ne!(c.canonical_key(), d.canonical_key());
+        assert_ne!(a.canonical_key(), c.canonical_key());
     }
 
     #[test]

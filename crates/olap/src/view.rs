@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// set of allowed member row ids) or per fact (a set of allowed fact row
 /// ids). A fact row passes the view when its row id is allowed *and* every
 /// foreign key points to an allowed member.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct InstanceView {
     dimension_selections: BTreeMap<String, BTreeSet<usize>>,
     fact_selections: BTreeMap<String, BTreeSet<usize>>,

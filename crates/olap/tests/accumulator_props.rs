@@ -1,0 +1,122 @@
+//! Property suite for [`Accumulator::merge`]: merging partial states is
+//! associative and agrees with sequential `update` feeding for every
+//! aggregation function, including all-null inputs and empty chunks.
+//!
+//! Numeric values are generated as dyadic rationals (multiples of 0.25
+//! inside the `f64` mantissa), so sums are exact and associativity is an
+//! exact property — see `parallel_equivalence.rs` for the rationale.
+
+use proptest::prelude::*;
+use sdwp_model::AggregationFunction;
+use sdwp_olap::aggregate::Accumulator;
+use sdwp_olap::CellValue;
+
+const FUNCTIONS: [AggregationFunction; 6] = [
+    AggregationFunction::Sum,
+    AggregationFunction::Avg,
+    AggregationFunction::Min,
+    AggregationFunction::Max,
+    AggregationFunction::Count,
+    AggregationFunction::CountDistinct,
+];
+
+/// Cell values an accumulator can meet: exact numerics, a small text pool
+/// (so COUNT DISTINCT collides), booleans and plenty of nulls.
+fn cell() -> BoxedStrategy<CellValue> {
+    prop_oneof![
+        (-128i32..129).prop_map(|v| CellValue::Float(f64::from(v) * 0.25)),
+        (-64i64..65).prop_map(CellValue::Integer),
+        (0usize..4).prop_map(|i| CellValue::Text(["a", "b", "c", "d"][i].into())),
+        Just(CellValue::Boolean(true)),
+        Just(CellValue::Null),
+    ]
+    .boxed()
+}
+
+fn accumulate(function: AggregationFunction, values: &[CellValue]) -> Accumulator {
+    let mut acc = Accumulator::new(function);
+    for value in values {
+        acc.update(value);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(acc(left), acc(right)) == acc(left ++ right) for every split
+    /// point of every generated value sequence — the property that makes
+    /// per-morsel partial aggregation correct.
+    #[test]
+    fn merge_agrees_with_sequential_feeding(
+        values in prop::collection::vec(cell(), 0..40),
+        split in any::<usize>(),
+    ) {
+        let at = if values.is_empty() { 0 } else { split % (values.len() + 1) };
+        let (left, right) = values.split_at(at);
+        for function in FUNCTIONS {
+            let sequential = accumulate(function, &values).finish();
+            let mut merged = accumulate(function, left);
+            merged.merge(&accumulate(function, right));
+            prop_assert_eq!(
+                merged.finish(),
+                sequential,
+                "{:?} split at {}",
+                function,
+                at
+            );
+        }
+    }
+
+    /// Merging is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), so the morsel
+    /// merge can be regrouped freely without changing the result.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(cell(), 0..20),
+        b in prop::collection::vec(cell(), 0..20),
+        c in prop::collection::vec(cell(), 0..20),
+    ) {
+        for function in FUNCTIONS {
+            let (acc_a, acc_b, acc_c) = (
+                accumulate(function, &a),
+                accumulate(function, &b),
+                accumulate(function, &c),
+            );
+            // (a ⊕ b) ⊕ c
+            let mut left = acc_a.clone();
+            left.merge(&acc_b);
+            left.merge(&acc_c);
+            // a ⊕ (b ⊕ c)
+            let mut right_tail = acc_b.clone();
+            right_tail.merge(&acc_c);
+            let mut right = acc_a.clone();
+            right.merge(&right_tail);
+            prop_assert_eq!(left.finish(), right.finish(), "{:?}", function);
+        }
+    }
+
+    /// Empty chunks are the identity on both sides, and all-null chunks
+    /// behave exactly like empty ones.
+    #[test]
+    fn empty_and_all_null_chunks_are_identities(
+        values in prop::collection::vec(cell(), 0..30),
+        nulls in 0usize..10,
+    ) {
+        let all_null = vec![CellValue::Null; nulls];
+        for function in FUNCTIONS {
+            let reference = accumulate(function, &values).finish();
+
+            let mut left_id = Accumulator::new(function);
+            left_id.merge(&accumulate(function, &values));
+            prop_assert_eq!(left_id.finish(), reference.clone(), "{:?} left id", function);
+
+            let mut right_id = accumulate(function, &values);
+            right_id.merge(&Accumulator::new(function));
+            prop_assert_eq!(right_id.finish(), reference.clone(), "{:?} right id", function);
+
+            let mut with_nulls = accumulate(function, &values);
+            with_nulls.merge(&accumulate(function, &all_null));
+            prop_assert_eq!(with_nulls.finish(), reference, "{:?} null chunk", function);
+        }
+    }
+}

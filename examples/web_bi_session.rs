@@ -35,6 +35,19 @@ fn show(label: &str, response: &WebResponse) {
             }
         }
         WebResponse::Report(report) => println!("[{label}]\n{report}"),
+        WebResponse::CacheStats {
+            hits,
+            misses,
+            entries,
+            invalidations,
+            evictions,
+        } => {
+            println!(
+                "[{label}] result cache: {hits} hit(s), {misses} miss(es), \
+                 {entries} entrie(s), {invalidations} invalidation(s), \
+                 {evictions} eviction(s)"
+            );
+        }
         WebResponse::LoggedOut => println!("[{label}] logged out"),
         WebResponse::Error { message } => println!("[{label}] error: {message}"),
     }
@@ -94,5 +107,6 @@ fn main() {
     }
     let report = facade.handle(WebRequest::Report { session });
     show("report", &report);
+    show("cache", &facade.handle(WebRequest::CacheStats));
     show("logout", &facade.handle(WebRequest::Logout { session }));
 }

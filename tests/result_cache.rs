@@ -1,0 +1,169 @@
+//! End-to-end behaviour of the snapshot-keyed query-result cache: repeat
+//! queries hit, rule firings that publish a new cube snapshot miss, and
+//! sessions with different personalized views never see each other's
+//! cached results.
+
+use sdwp::core::PersonalizationEngine;
+use sdwp::datagen::{PaperScenario, ScenarioConfig};
+use sdwp::olap::{AttributeRef, ExecutionConfig, Query};
+use sdwp::prml::corpus::ALL_PAPER_RULES;
+use sdwp::user::LocationContext;
+use std::sync::Arc;
+
+fn engine_with_rules() -> (PersonalizationEngine, PaperScenario) {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny().with_seed(2024));
+    let engine = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    engine.register_user(scenario.manager.clone());
+    engine.set_parameter("threshold", 2.0);
+    for rule in ALL_PAPER_RULES {
+        engine.add_rules_text(rule).unwrap();
+    }
+    (engine, scenario)
+}
+
+fn near_store(scenario: &PaperScenario, store: usize) -> LocationContext {
+    let location = scenario.retail.stores[store].location;
+    LocationContext::at_point("office", location.x() + 0.5, location.y())
+}
+
+fn city_query() -> Query {
+    Query::over("Sales")
+        .group_by(AttributeRef::new("Store", "City", "name"))
+        .measure("UnitSales")
+}
+
+#[test]
+fn identical_repeat_query_hits() {
+    let (engine, scenario) = engine_with_rules();
+    let session = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .unwrap();
+    let query = city_query();
+    let first = engine.query(session.id, &query).unwrap();
+    assert_eq!(engine.cache_stats().hits, 0);
+    let second = engine.query(session.id, &query).unwrap();
+    assert_eq!(first, second);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits, 1, "identical repeat query must hit: {stats:?}");
+    assert!(stats.entries >= 1);
+}
+
+#[test]
+fn rule_publish_invalidates_and_misses() {
+    let (engine, scenario) = engine_with_rules();
+    let session = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .unwrap();
+    let query = city_query();
+    engine.query(session.id, &query).unwrap();
+    engine.query(session.id, &query).unwrap();
+    let before = engine.cache_stats();
+    let generation_before = engine.cube_generation();
+
+    // Three AirportCity selections push the interest degree over the
+    // threshold; the next SessionStart fires TrainAirportCity, which adds
+    // the Train layer and publishes a new cube snapshot.
+    for _ in 0..3 {
+        engine
+            .record_spatial_selection(session.id, "GeoMD.Store.City", None)
+            .unwrap();
+    }
+    engine.end_session(session.id).unwrap();
+    let renewed = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .unwrap();
+    assert!(
+        engine.cube_generation() > generation_before,
+        "the Train-layer rule must publish a new snapshot"
+    );
+
+    // Same query, new snapshot: must execute again, not hit stale state.
+    engine.query(renewed.id, &query).unwrap();
+    let after = engine.cache_stats();
+    assert_eq!(after.hits, before.hits, "no hit across a publish");
+    assert!(
+        after.invalidations > 0,
+        "publishing must invalidate stale entries: {after:?}"
+    );
+}
+
+#[test]
+fn sessions_with_different_views_never_share_entries() {
+    let (engine, scenario) = engine_with_rules();
+    // Two managers logging in from different stores get different
+    // personalized views (the 5 km SelectInstance rule).
+    let near = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .unwrap();
+    let far_store = scenario.retail.stores.len() - 1;
+    let far = engine
+        .start_session("regional-manager", Some(near_store(&scenario, far_store)))
+        .unwrap();
+    let view_near = engine.session_view(near.id).unwrap();
+    let view_far = engine.session_view(far.id).unwrap();
+    assert_ne!(
+        *view_near, *view_far,
+        "scenario must give the two sessions different views"
+    );
+
+    let query = city_query();
+    let result_near = engine.query(near.id, &query).unwrap();
+    // The second session's first query must MISS (different view), then
+    // compute its own personalized result.
+    let hits_before = engine.cache_stats().hits;
+    let result_far = engine.query(far.id, &query).unwrap();
+    assert_eq!(
+        engine.cache_stats().hits,
+        hits_before,
+        "a different view must never hit another session's entry"
+    );
+    assert_ne!(
+        result_near, result_far,
+        "different views should produce different personalized results"
+    );
+
+    // Each session still hits its own entry on repeat.
+    assert_eq!(engine.query(near.id, &query).unwrap(), result_near);
+    assert_eq!(engine.query(far.id, &query).unwrap(), result_far);
+    assert_eq!(engine.cache_stats().hits, hits_before + 2);
+}
+
+#[test]
+fn unpersonalized_and_personalized_results_are_cached_separately() {
+    let (engine, scenario) = engine_with_rules();
+    let session = engine
+        .start_session("regional-manager", Some(near_store(&scenario, 0)))
+        .unwrap();
+    let query = city_query();
+    let personalized = engine.query(session.id, &query).unwrap();
+    let full = engine.query_unpersonalized(&query).unwrap();
+    assert!(personalized.facts_scanned <= full.facts_scanned);
+    // Neither lookup may have hit the other's entry.
+    assert_eq!(engine.cache_stats().hits, 0);
+    assert_eq!(engine.query_unpersonalized(&query).unwrap(), full);
+    assert_eq!(engine.cache_stats().hits, 1);
+}
+
+#[test]
+fn disabled_cache_still_serves_correct_results() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny().with_seed(5));
+    let cached = PersonalizationEngine::with_layer_source(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+    );
+    let uncached = PersonalizationEngine::with_execution_config(
+        scenario.cube.clone(),
+        Arc::new(scenario.layer_source()),
+        ExecutionConfig::default().with_cache_capacity(0),
+    );
+    let query = city_query();
+    let a = cached.query_unpersonalized(&query).unwrap();
+    let b = uncached.query_unpersonalized(&query).unwrap();
+    assert_eq!(a, b);
+    uncached.query_unpersonalized(&query).unwrap();
+    let stats = uncached.cache_stats();
+    assert_eq!((stats.hits, stats.entries), (0, 0));
+}
