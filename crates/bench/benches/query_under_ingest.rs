@@ -1,0 +1,151 @@
+//! B13 — query latency and cache behaviour under streaming ingestion.
+//!
+//! Sweeps ingest rate × epoch size while a session runs a dashboard-style
+//! repeated aggregation. What the curves show:
+//!
+//! * **latency** — queries run on immutable published snapshots, so added
+//!   write pressure should cost little on the read path (no read/write
+//!   lock convoy); what does move the needle is the cache: every epoch
+//!   publication that touched `Sales` invalidates the repeated query's
+//!   entry, so higher ingest rates and smaller epochs mean more misses →
+//!   more executor runs;
+//! * **hit rate** (printed after each configuration) — approaches 1 for
+//!   idle ingest, and degrades toward the epoch-publication rate as the
+//!   stream speeds up or epochs shrink.
+//!
+//! Backpressure is visible too: the feeder uses `try_submit` and the
+//! printed summary reports how many batches were shed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdwp_bench::{engine_for, manager_location, scenario_at_scale};
+use sdwp_datagen::{RetailTicker, TickerConfig};
+use sdwp_ingest::{EpochPolicy, IngestConfig};
+use sdwp_olap::{AttributeRef, Query};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+/// (label, appends per feeder batch; 0 = no ingestion at all). One batch
+/// is submitted per ~5 ms, so trickle ≈ 1.6k and torrent ≈ 6.4k appends/s.
+/// The rates are deliberately bounded well below the current write
+/// ceiling: every epoch publication clones the whole master
+/// (O(warehouse) — a known follow-up in ROADMAP.md), so an unbounded
+/// feeder grows the cube quadratically during measurement, the clone
+/// outruns the epoch cadence and the bench never converges on a 1-core
+/// runner.
+const RATES: [(&str, usize); 3] = [("idle", 0), ("trickle", 8), ("torrent", 32)];
+/// Epoch sizes swept (mutations per published snapshot).
+const EPOCH_ROWS: [usize; 2] = [64, 1024];
+
+fn bench_query_under_ingest(c: &mut Criterion) {
+    let scenario = scenario_at_scale(4);
+    let location = manager_location(&scenario);
+    let query = Query::over("Sales")
+        .group_by(AttributeRef::new("Store", "City", "name"))
+        .measure("UnitSales");
+
+    let mut group = c.benchmark_group("B13_query_under_ingest");
+    for (rate_label, appends) in RATES {
+        for epoch_rows in EPOCH_ROWS {
+            // Idle ingestion does not depend on the epoch size; sweep it
+            // once.
+            if appends == 0 && epoch_rows != EPOCH_ROWS[0] {
+                continue;
+            }
+            // A fresh engine per configuration so ingested rows do not
+            // accumulate across parameter points.
+            let engine = Arc::new(engine_for(&scenario));
+            let session = engine
+                .start_session("regional-manager", Some(location.clone()))
+                .expect("login")
+                .id;
+            let stop = Arc::new(AtomicBool::new(false));
+            let feeder = (appends > 0).then(|| {
+                let ingest = engine.start_ingest(
+                    IngestConfig::default().with_queue_depth(32).with_epoch(
+                        EpochPolicy::default()
+                            .with_max_rows(epoch_rows)
+                            .with_max_interval(Duration::from_millis(5)),
+                    ),
+                );
+                let stop = Arc::clone(&stop);
+                let mut ticker = RetailTicker::new(
+                    &scenario,
+                    TickerConfig::default()
+                        .with_appends(appends)
+                        .with_corrections(appends / 8)
+                        .with_retractions(appends / 16),
+                );
+                thread::spawn(move || {
+                    // A shed batch is retried, not regenerated: the ticker
+                    // tracks the warehouse's row ids, so dropping a batch
+                    // it produced would desynchronise every later
+                    // correction/retraction it emits.
+                    let mut pending = None;
+                    while !stop.load(Ordering::Relaxed) {
+                        let batch = pending.take().unwrap_or_else(|| ticker.next_batch());
+                        if let Err(refused) = ingest.try_submit(batch) {
+                            pending = refused.into_batch();
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                })
+            });
+
+            let hits_before = engine.cache_stats();
+            group.bench_with_input(
+                BenchmarkId::new(rate_label, epoch_rows),
+                &epoch_rows,
+                |b, _| {
+                    b.iter(|| {
+                        criterion::black_box(
+                            engine.query(session, &query).expect("query under ingest"),
+                        )
+                    })
+                },
+            );
+
+            stop.store(true, Ordering::Relaxed);
+            if let Some(feeder) = feeder {
+                feeder.join().expect("feeder finishes");
+            }
+            let cache = engine.cache_stats();
+            let (hits, misses) = (
+                cache.hits - hits_before.hits,
+                cache.misses - hits_before.misses,
+            );
+            let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+            match engine.stop_ingest() {
+                Some(stats) => println!(
+                    "    {rate_label}/epoch{epoch_rows}: cache hit rate {hit_rate:.3} \
+                     ({hits} hits / {misses} misses), {} epochs published, \
+                     {} rows ingested, {} submissions deferred by backpressure, \
+                     {} batches failed",
+                    stats.epochs_published,
+                    stats.rows_appended,
+                    stats.batches_rejected,
+                    stats.batches_failed,
+                ),
+                None => println!(
+                    "    {rate_label}: cache hit rate {hit_rate:.3} ({hits} hits / {misses} misses)"
+                ),
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_query_under_ingest
+}
+criterion_main!(benches);

@@ -32,18 +32,63 @@ use crate::report::PersonalizationReport;
 use crate::session::{SessionManager, SessionState};
 use crate::sync::{ArcSwap, VersionedSwap};
 use parking_lot::{Mutex, RwLock};
+use sdwp_ingest::{
+    BatchOutcome, CubeSink, DeltaBatch, IngestConfig, IngestHandle, IngestPipeline, IngestStats,
+};
 use sdwp_model::{Schema, SchemaDiff};
 use sdwp_olap::{
-    CacheKey, CacheStats, Cube, ExecutionConfig, InstanceView, Query, QueryCache, QueryEngine,
-    QueryResult,
+    CacheKey, CacheStats, Cube, ExecutionConfig, InstanceView, OlapError, Query, QueryCache,
+    QueryEngine, QueryResult,
 };
 use sdwp_prml::{
     check_rules, EvalContext, FireReport, LayerSource, NoExternalLayers, Rule, RuleClass,
     RuleEngine, RuntimeEvent,
 };
 use sdwp_user::{LocationContext, ProfileStore, Session, SessionId, UserProfile};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// The shared cube state: the mutex-guarded write master, the published
+/// immutable snapshot and the generation-keyed result cache — everything
+/// both write paths (rule firing and streaming ingestion) coordinate
+/// through. Held in an `Arc` so the ingest worker thread can keep writing
+/// through it with a `'static` handle while the engine serves readers.
+pub(crate) struct CubeState {
+    /// Write master; rule firing and delta application lock it.
+    pub(crate) master: Mutex<Cube>,
+    /// Published read snapshot; queries and reports load it. Every publish
+    /// bumps the generation, which keys (and invalidates) the result cache.
+    pub(crate) snapshot: VersionedSwap<Cube>,
+    /// Snapshot-keyed result cache in front of the executor.
+    pub(crate) result_cache: QueryCache,
+}
+
+/// The ingest side of the engine: batches are applied to the master under
+/// its lock (atomically — validate first, then mutate), and epochs publish
+/// a master clone through the same [`VersionedSwap`] rule firing uses, so
+/// the generation-keyed cache and in-flight queries keep working unchanged.
+impl CubeSink for CubeState {
+    fn apply_batch(&self, batch: &DeltaBatch) -> Result<BatchOutcome, OlapError> {
+        let mut master = self.master.lock();
+        batch.validate(&master)?;
+        Ok(batch.apply(&mut master))
+    }
+
+    fn publish_epoch(&self, changed_facts: &BTreeSet<String>) -> u64 {
+        // Hold the master lock across clone, store and cache maintenance
+        // so an interleaved rule firing cannot publish in between and have
+        // its snapshot (or its cache flush) overtaken by this one.
+        let master = self.master.lock();
+        let generation = self.snapshot.store(Arc::new(master.clone()));
+        // An ingest epoch only changed `changed_facts`' fact tables —
+        // dimension tables and the schema are untouched — so cached
+        // results over other facts stay valid and are re-keyed instead of
+        // flushed.
+        self.result_cache.publish(generation, changed_facts);
+        drop(master);
+        generation
+    }
+}
 
 /// A handle to a started session: the id plus the report of what the
 /// personalization rules did at session start.
@@ -63,11 +108,9 @@ pub struct SessionHandle {
 /// hold different selections concurrently. See the module docs for the
 /// locking discipline that lets all of this happen through `&self`.
 pub struct PersonalizationEngine {
-    /// Write master of the personalized cube; rule firing locks it.
-    master: Mutex<Cube>,
-    /// Published read snapshot; queries and reports load it. Every publish
-    /// bumps the generation, which keys (and invalidates) the result cache.
-    snapshot: VersionedSwap<Cube>,
+    /// The shared cube state (write master, published snapshot, result
+    /// cache) — also the [`CubeSink`] the ingest pipeline writes through.
+    cube_state: Arc<CubeState>,
     original_schema: Schema,
     profiles: ProfileStore,
     /// Immutable rule-set snapshot, hot-swapped on registration.
@@ -78,8 +121,10 @@ pub struct PersonalizationEngine {
     layer_source: Arc<dyn LayerSource + Send + Sync>,
     sessions: SessionManager,
     query_engine: QueryEngine,
-    /// Snapshot-keyed result cache in front of the executor.
-    result_cache: QueryCache,
+    /// The streaming-ingestion pipeline, started lazily by
+    /// [`PersonalizationEngine::start_ingest`]. Shut down (drained,
+    /// final epoch published, worker joined) when the engine drops.
+    ingest: Mutex<Option<IngestPipeline>>,
 }
 
 impl PersonalizationEngine {
@@ -104,8 +149,11 @@ impl PersonalizationEngine {
         let original_schema = cube.schema().clone();
         let snapshot = VersionedSwap::from_pointee(cube.clone());
         PersonalizationEngine {
-            master: Mutex::new(cube),
-            snapshot,
+            cube_state: Arc::new(CubeState {
+                master: Mutex::new(cube),
+                snapshot,
+                result_cache: QueryCache::new(config.cache_capacity),
+            }),
             original_schema,
             profiles: ProfileStore::new(),
             rules: ArcSwap::from_pointee(RuleEngine::new()),
@@ -114,7 +162,7 @@ impl PersonalizationEngine {
             layer_source,
             sessions: SessionManager::new(),
             query_engine: QueryEngine::with_config(config),
-            result_cache: QueryCache::new(config.cache_capacity),
+            ingest: Mutex::new(None),
         }
     }
 
@@ -145,7 +193,7 @@ impl PersonalizationEngine {
         let mut all: Vec<Rule> = current.rules().to_vec();
         all.extend(new_rules.iter().cloned());
         let classes = {
-            let master = self.master.lock();
+            let master = self.cube_state.master.lock();
             check_rules(&all, master.schema())?
         };
         let mut next = RuleEngine::new();
@@ -172,7 +220,7 @@ impl PersonalizationEngine {
     /// `Arc` stays consistent however much later rule firing personalizes
     /// the engine further.
     pub fn cube(&self) -> Arc<Cube> {
-        self.snapshot.load()
+        self.cube_state.snapshot.load()
     }
 
     /// The schema as it was before any personalization.
@@ -183,7 +231,10 @@ impl PersonalizationEngine {
     /// The difference between the original MD schema and the current
     /// (personalized) GeoMD schema — i.e. what the schema rules did.
     pub fn schema_diff(&self) -> SchemaDiff {
-        SchemaDiff::between(&self.original_schema, self.snapshot.load().schema())
+        SchemaDiff::between(
+            &self.original_schema,
+            self.cube_state.snapshot.load().schema(),
+        )
     }
 
     /// Starts an analysis session for a registered user, firing the
@@ -301,25 +352,27 @@ impl PersonalizationEngine {
         query: &Query,
         view: Arc<InstanceView>,
     ) -> Result<QueryResult, CoreError> {
-        let (generation, cube) = self.snapshot.load_versioned();
-        if !self.result_cache.is_enabled() {
+        let (generation, cube) = self.cube_state.snapshot.load_versioned();
+        if !self.cube_state.result_cache.is_enabled() {
             return Ok(self.query_engine.execute_with_view(&cube, query, &view)?);
         }
         let key = CacheKey::new(generation, query, view);
-        if let Some(hit) = self.result_cache.get(&key) {
+        if let Some(hit) = self.cube_state.result_cache.get(&key) {
             return Ok((*hit).clone());
         }
         let result = self
             .query_engine
             .execute_with_view(&cube, query, &key.view)?;
-        self.result_cache.insert(key, Arc::new(result.clone()));
+        self.cube_state
+            .result_cache
+            .insert(key, Arc::new(result.clone()));
         Ok(result)
     }
 
     /// Counters of the query-result cache (hits, misses, entries,
     /// invalidations, evictions).
     pub fn cache_stats(&self) -> CacheStats {
-        self.result_cache.stats()
+        self.cube_state.result_cache.stats()
     }
 
     /// The executor configuration this engine serves queries with.
@@ -329,7 +382,61 @@ impl PersonalizationEngine {
 
     /// The generation of the currently published cube snapshot.
     pub fn cube_generation(&self) -> u64 {
-        self.snapshot.generation()
+        self.cube_state.snapshot.generation()
+    }
+
+    /// The current `(generation, cube)` snapshot pair, read atomically —
+    /// what a query observes. Lets callers pin the exact snapshot a
+    /// result was computed from while ingestion publishes new ones.
+    pub fn cube_versioned(&self) -> (u64, Arc<Cube>) {
+        self.cube_state.snapshot.load_versioned()
+    }
+
+    // ----- streaming ingestion ------------------------------------------
+
+    /// Starts the streaming-ingestion pipeline (idempotent: a second call
+    /// returns a handle onto the already-running pipeline, ignoring
+    /// `config`) and returns a producer handle.
+    ///
+    /// Producers submit [`DeltaBatch`]es through the handle; a dedicated
+    /// worker applies them atomically to the write master and publishes
+    /// immutable snapshots per the configured epoch policy. Readers —
+    /// including sessions mid-query — never block on ingestion and never
+    /// observe a torn batch.
+    pub fn start_ingest(&self, config: IngestConfig) -> IngestHandle {
+        let mut ingest = self.ingest.lock();
+        match ingest.as_ref() {
+            Some(pipeline) => pipeline.handle(),
+            None => {
+                let pipeline = IngestPipeline::start(
+                    Arc::clone(&self.cube_state) as Arc<dyn CubeSink>,
+                    config,
+                );
+                let handle = pipeline.handle();
+                *ingest = Some(pipeline);
+                handle
+            }
+        }
+    }
+
+    /// A producer handle onto the running ingestion pipeline, when one was
+    /// started.
+    pub fn ingest_handle(&self) -> Option<IngestHandle> {
+        self.ingest.lock().as_ref().map(IngestPipeline::handle)
+    }
+
+    /// Counters of the ingestion pipeline (batches, rows, epochs,
+    /// backpressure rejections), when one was started.
+    pub fn ingest_stats(&self) -> Option<IngestStats> {
+        self.ingest.lock().as_ref().map(IngestPipeline::stats)
+    }
+
+    /// Shuts the ingestion pipeline down: pending batches are applied, a
+    /// final epoch is published, the worker joins. Returns the final
+    /// counters, or `None` when no pipeline was running. (Dropping the
+    /// engine does the same implicitly.)
+    pub fn stop_ingest(&self) -> Option<IngestStats> {
+        self.ingest.lock().take().map(IngestPipeline::shutdown)
     }
 
     /// The personalized view of a session (a shared snapshot; the `Arc`
@@ -363,10 +470,13 @@ impl PersonalizationEngine {
     /// cloned once and published for the read path.
     ///
     /// Invariant: outside a firing, master and snapshot hold the same
-    /// content — successful schema changes publish, non-schema firings
-    /// never touch the cube, and an erroring firing rolls the master back
-    /// to the published snapshot so partially applied schema actions never
-    /// leak into later publishes.
+    /// schema/layer/dimension state — successful schema changes publish,
+    /// non-schema firings never touch the cube, and an erroring firing
+    /// rolls that state back to the published snapshot so partially
+    /// applied schema actions never leak into later publishes. Fact
+    /// tables are the streaming-ingest subsystem's territory (the master
+    /// may be an epoch ahead of the snapshot there), so the rollback
+    /// keeps the master's fact tables: rules cannot have touched them.
     fn fire_event(
         &self,
         user_id: &str,
@@ -375,7 +485,7 @@ impl PersonalizationEngine {
     ) -> Result<FireReport, CoreError> {
         let rules = self.rules.load();
         let parameters = self.parameters.read().clone();
-        let mut master = self.master.lock();
+        let mut master = self.cube_state.master.lock();
         let mut profile = self.profiles.get(user_id)?;
         let mut ctx = EvalContext::new(&mut master, &mut profile)
             .with_session(session)
@@ -385,13 +495,18 @@ impl PersonalizationEngine {
         }
         let fired = rules.fire(event, &mut ctx);
         drop(ctx);
-        let published = self.snapshot.load();
+        let published = self.cube_state.snapshot.load();
         let report = match fired {
             Ok(report) => report,
             Err(error) => {
                 // Roll back: a rule may have errored after earlier
                 // statements (or earlier rules) already mutated the cube.
-                *master = (*published).clone();
+                // Restore schema/layer/dimension state from the published
+                // snapshot but keep the master's fact tables — they may
+                // hold ingested-but-unpublished deltas no firing touches.
+                let mut rolled_back = (*published).clone();
+                rolled_back.swap_fact_tables(&mut master);
+                *master = rolled_back;
                 return Err(error.into());
             }
         };
@@ -402,8 +517,10 @@ impl PersonalizationEngine {
         // which automatically invalidates every cached query result
         // computed from the superseded cube.
         if master.schema() != published.schema() {
-            let generation = self.snapshot.store(Arc::new(master.clone()));
-            self.result_cache.invalidate_generations_below(generation);
+            let generation = self.cube_state.snapshot.store(Arc::new(master.clone()));
+            self.cube_state
+                .result_cache
+                .invalidate_generations_below(generation);
         }
         self.profiles.upsert(profile);
         drop(master);
@@ -440,11 +557,14 @@ impl PersonalizationEngine {
         state: &SessionState,
         fire: &FireReport,
     ) -> Result<PersonalizationReport, CoreError> {
-        let cube = self.snapshot.load();
+        let cube = self.cube_state.snapshot.load();
         let mut visible_facts = BTreeMap::new();
         let mut total_facts = BTreeMap::new();
         for fact in &cube.schema().facts {
-            let total = cube.fact_table(&fact.name)?.table.len();
+            // Live rows only: a retracted (tombstoned) row is invisible to
+            // everyone, so counting it as "total" would make an
+            // unrestricted view look personalized.
+            let total = cube.fact_table(&fact.name)?.table.live_len();
             let visible = state.view.visible_fact_count(&cube, &fact.name)?;
             total_facts.insert(fact.name.clone(), total);
             visible_facts.insert(fact.name.clone(), visible);
@@ -738,6 +858,153 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.entries), (0, 0));
         assert_eq!(engine.execution_config().cache_capacity, 0);
+    }
+
+    #[test]
+    fn ingested_epochs_publish_atomic_snapshots() {
+        let (engine, _scenario) = engine();
+        let before_rows = engine.cube().total_live_fact_rows();
+        let before_generation = engine.cube_generation();
+        let handle = engine.start_ingest(
+            sdwp_ingest::IngestConfig::default()
+                .with_epoch(sdwp_ingest::EpochPolicy::default().with_max_rows(1_000_000)),
+        );
+        // A second start returns a handle onto the same pipeline.
+        let again = engine.start_ingest(sdwp_ingest::IngestConfig::default());
+        let batch = DeltaBatch::new()
+            .append(
+                "Sales",
+                vec![
+                    ("Store", 0usize),
+                    ("Customer", 0usize),
+                    ("Product", 0usize),
+                    ("Time", 0usize),
+                ],
+                vec![("UnitSales", sdwp_olap::CellValue::Float(5.0))],
+            )
+            .retract("Sales", 0);
+        handle.submit(batch).unwrap();
+        // Nothing published yet (row threshold unreached, no flush): the
+        // read snapshot still shows the pre-ingest cube.
+        assert_eq!(engine.cube().total_live_fact_rows(), before_rows);
+        let generation = again.flush().unwrap();
+        assert!(generation > before_generation);
+        assert_eq!(engine.cube_generation(), generation);
+        // One append + one retraction: net zero rows, new content.
+        assert_eq!(engine.cube().total_live_fact_rows(), before_rows);
+        assert_eq!(engine.cube().total_fact_rows(), before_rows + 1);
+        let stats = engine.ingest_stats().unwrap();
+        assert_eq!((stats.rows_appended, stats.rows_retracted), (1, 1));
+        assert_eq!(stats.epochs_published, 1);
+        let final_stats = engine.stop_ingest().unwrap();
+        assert_eq!(final_stats.batches_applied, 1);
+        assert!(engine.ingest_handle().is_none());
+        assert!(matches!(
+            handle.submit(DeltaBatch::new()),
+            Err(sdwp_ingest::IngestError::Closed)
+        ));
+    }
+
+    #[test]
+    fn ingest_epochs_scope_cache_invalidation() {
+        let (engine, scenario) = engine();
+        let handle = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales");
+        engine.query(handle.id, &query).unwrap();
+        let ingest = engine.start_ingest(sdwp_ingest::IngestConfig::default());
+
+        // An epoch of empty batches publishes nothing: the cached result
+        // still hits afterwards.
+        ingest.submit(DeltaBatch::new()).unwrap();
+        ingest.flush().unwrap();
+        let hits_before = engine.cache_stats().hits;
+        let generation = engine.cube_generation();
+        engine.query(handle.id, &query).unwrap();
+        assert_eq!(engine.cache_stats().hits, hits_before + 1);
+        assert_eq!(engine.cube_generation(), generation);
+
+        // An epoch that changes Sales invalidates the Sales entry …
+        ingest
+            .submit(DeltaBatch::new().upsert_cell(
+                "Sales",
+                0,
+                "UnitSales",
+                sdwp_olap::CellValue::Float(123.0),
+            ))
+            .unwrap();
+        ingest.flush().unwrap();
+        let stats = engine.cache_stats();
+        assert!(stats.invalidations > 0);
+        let hits_after_publish = stats.hits;
+        let fresh = engine.query(handle.id, &query).unwrap();
+        assert_eq!(
+            engine.cache_stats().hits,
+            hits_after_publish,
+            "must re-execute"
+        );
+        // … and the fresh result reflects the correction when store 0 is
+        // visible through the view (and stays consistent regardless).
+        assert_eq!(
+            fresh,
+            QueryEngine::with_config(*engine.execution_config())
+                .execute_serial_with_view(
+                    &engine.cube(),
+                    &query,
+                    &engine.session_view(handle.id).unwrap()
+                )
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn failed_rule_firing_keeps_ingested_facts() {
+        let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+        let engine = PersonalizationEngine::new(scenario.cube.clone());
+        engine.register_user(sdwp_user::UserProfile::new("u", "U"));
+        engine
+            .add_rules_text(
+                "Rule:boom When SessionStart do \
+                 If (flag > 0) then AddLayer('Partial', POINT) endIf \
+                 If (missingparam > 1) then AddLayer('Q', POINT) endIf endWhen",
+            )
+            .unwrap();
+        engine.set_parameter("flag", 1.0);
+        let ingest = engine.start_ingest(
+            sdwp_ingest::IngestConfig::default()
+                .with_epoch(sdwp_ingest::EpochPolicy::default().with_max_rows(1_000_000)),
+        );
+        // Apply a delta but do NOT publish: it lives only in the master.
+        ingest
+            .submit(DeltaBatch::new().append(
+                "Sales",
+                vec![
+                    ("Store", 0usize),
+                    ("Customer", 0usize),
+                    ("Product", 0usize),
+                    ("Time", 0usize),
+                ],
+                vec![("UnitSales", sdwp_olap::CellValue::Float(7.0))],
+            ))
+            .unwrap();
+        // Wait until the worker has applied (but not published) the batch.
+        while engine.ingest_stats().unwrap().batches_applied == 0 {
+            std::thread::yield_now();
+        }
+        // A failing firing rolls back its schema mutation …
+        assert!(engine.start_session("u", None).is_err());
+        assert!(engine.cube().schema().layer("Partial").is_none());
+        // … without discarding the unpublished ingested row.
+        let generation = ingest.flush().unwrap();
+        assert!(generation > 0);
+        assert_eq!(
+            engine.cube().total_live_fact_rows(),
+            scenario.cube.total_live_fact_rows() + 1,
+            "rollback of a failed firing must keep ingested facts"
+        );
     }
 
     #[test]

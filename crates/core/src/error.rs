@@ -18,6 +18,12 @@ pub enum CoreError {
         /// The offending session id.
         session: u64,
     },
+    /// The streaming-ingestion pipeline refused a submission
+    /// (backpressure or shutdown).
+    Ingest {
+        /// Description of the refusal.
+        message: String,
+    },
     /// A request was malformed.
     BadRequest {
         /// Description of the problem.
@@ -35,6 +41,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownSession { session } => {
                 write!(f, "unknown or ended session {session}")
             }
+            CoreError::Ingest { message } => write!(f, "ingest error: {message}"),
             CoreError::BadRequest { message } => write!(f, "bad request: {message}"),
         }
     }

@@ -11,6 +11,7 @@
 use crate::engine::PersonalizationEngine;
 use crate::error::CoreError;
 use crate::report::PersonalizationReport;
+use sdwp_ingest::{DeltaBatch, IngestConfig};
 use sdwp_olap::{AttributeRef, CellValue, Query};
 use sdwp_user::{LocationContext, SessionId};
 use serde::{Deserialize, Serialize};
@@ -56,6 +57,15 @@ pub enum WebRequest {
     },
     /// An operator asks for the engine's query-result cache counters.
     CacheStats,
+    /// An upstream feed submits a batch of fact deltas (sales appends,
+    /// price corrections, retractions). The batch becomes visible to
+    /// queries atomically, at the next epoch publication.
+    Ingest {
+        /// The delta batch to apply.
+        batch: DeltaBatch,
+    },
+    /// An operator asks for the streaming-ingestion counters.
+    IngestStats,
     /// The user logs out.
     Logout {
         /// The session to end.
@@ -103,6 +113,33 @@ pub enum WebResponse {
         /// low hit rate means the working set exceeds the configured
         /// `cache_capacity`.
         evictions: u64,
+    },
+    /// A delta batch was accepted into the ingest queue (it will become
+    /// visible at the next epoch publication).
+    IngestAccepted {
+        /// Number of deltas queued.
+        deltas: usize,
+    },
+    /// Streaming-ingestion counters.
+    IngestStats {
+        /// Batches accepted into the queue.
+        batches_submitted: u64,
+        /// Batches refused because the queue was full (backpressure).
+        batches_rejected: u64,
+        /// Batches applied to the write master.
+        batches_applied: u64,
+        /// Batches dropped by validation failures.
+        batches_failed: u64,
+        /// Fact rows appended.
+        rows_appended: u64,
+        /// Measure cells overwritten.
+        cells_upserted: u64,
+        /// Fact rows retracted.
+        rows_retracted: u64,
+        /// Snapshots published by the epoch worker.
+        epochs_published: u64,
+        /// Generation of the last published snapshot.
+        last_generation: u64,
     },
     /// Logout succeeded.
     LoggedOut,
@@ -218,7 +255,11 @@ impl WebFacade {
                 let mut visible = std::collections::BTreeMap::new();
                 let mut totals = std::collections::BTreeMap::new();
                 for fact in &cube.schema().facts {
-                    totals.insert(fact.name.clone(), cube.fact_table(&fact.name)?.table.len());
+                    // Live rows only, matching `visible_fact_count`.
+                    totals.insert(
+                        fact.name.clone(),
+                        cube.fact_table(&fact.name)?.table.live_len(),
+                    );
                     visible.insert(
                         fact.name.clone(),
                         view.visible_fact_count(&cube, &fact.name)?,
@@ -242,6 +283,33 @@ impl WebFacade {
                     entries: stats.entries,
                     invalidations: stats.invalidations,
                     evictions: stats.evictions,
+                })
+            }
+            WebRequest::Ingest { batch } => {
+                // First ingest request starts the pipeline with defaults;
+                // operators wanting explicit policies call
+                // `engine().start_ingest` beforehand.
+                let handle = self.engine.start_ingest(IngestConfig::default());
+                let deltas = batch.len();
+                handle
+                    .try_submit(batch)
+                    .map_err(|error| CoreError::Ingest {
+                        message: error.to_string(),
+                    })?;
+                Ok(WebResponse::IngestAccepted { deltas })
+            }
+            WebRequest::IngestStats => {
+                let stats = self.engine.ingest_stats().unwrap_or_default();
+                Ok(WebResponse::IngestStats {
+                    batches_submitted: stats.batches_submitted,
+                    batches_rejected: stats.batches_rejected,
+                    batches_applied: stats.batches_applied,
+                    batches_failed: stats.batches_failed,
+                    rows_appended: stats.rows_appended,
+                    cells_upserted: stats.cells_upserted,
+                    rows_retracted: stats.rows_retracted,
+                    epochs_published: stats.epochs_published,
+                    last_generation: stats.last_generation,
                 })
             }
             WebRequest::Logout { session } => {
@@ -356,6 +424,67 @@ mod tests {
                 assert!(hits >= 1, "repeat aggregate should hit, got {hits} hits");
                 assert!(entries >= 1);
             }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_requests_stream_deltas_into_the_warehouse() {
+        let facade = facade();
+        // Stats before any ingestion: all zeros, no pipeline running.
+        match facade.handle(WebRequest::IngestStats) {
+            WebResponse::IngestStats {
+                batches_submitted,
+                epochs_published,
+                ..
+            } => assert_eq!((batches_submitted, epochs_published), (0, 0)),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let batch = DeltaBatch::new().append(
+            "Sales",
+            vec![
+                ("Store", 0usize),
+                ("Customer", 0usize),
+                ("Product", 0usize),
+                ("Time", 0usize),
+            ],
+            vec![("UnitSales", CellValue::Float(3.0))],
+        );
+        match facade.handle(WebRequest::Ingest { batch }) {
+            WebResponse::IngestAccepted { deltas } => assert_eq!(deltas, 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Drain deterministically, then read the counters.
+        let generation = facade
+            .engine()
+            .ingest_handle()
+            .expect("first Ingest request started the pipeline")
+            .flush()
+            .unwrap();
+        assert!(generation > 0);
+        match facade.handle(WebRequest::IngestStats) {
+            WebResponse::IngestStats {
+                batches_applied,
+                rows_appended,
+                epochs_published,
+                last_generation,
+                ..
+            } => {
+                assert_eq!((batches_applied, rows_appended), (1, 1));
+                assert!(epochs_published >= 1);
+                assert_eq!(last_generation, generation);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // An invalid batch is accepted into the queue but fails to apply.
+        let bad = DeltaBatch::new().retract("Sales", 999_999);
+        assert!(matches!(
+            facade.handle(WebRequest::Ingest { batch: bad }),
+            WebResponse::IngestAccepted { .. }
+        ));
+        facade.engine().ingest_handle().unwrap().flush().unwrap();
+        match facade.handle(WebRequest::IngestStats) {
+            WebResponse::IngestStats { batches_failed, .. } => assert_eq!(batches_failed, 1),
             other => panic!("unexpected response {other:?}"),
         }
     }

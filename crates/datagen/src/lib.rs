@@ -13,7 +13,10 @@
 //!   as a [`sdwp_prml::LayerSource`];
 //! * sales fact rows linking stores, customers, products and days;
 //! * the Fig. 4 spatial-aware user model instance
-//!   ([`scenario::regional_sales_manager`]).
+//!   ([`scenario::regional_sales_manager`]);
+//! * a retail update stream ([`ticker::RetailTicker`]): an infinite
+//!   deterministic ticker of sales appends, price corrections and
+//!   cancellations for the streaming-ingestion pipeline.
 //!
 //! Everything is deterministic under a configured seed so experiments are
 //! repeatable.
@@ -26,8 +29,10 @@ pub mod layers;
 pub mod retail;
 pub mod scenario;
 pub mod spatial;
+pub mod ticker;
 
 pub use config::ScenarioConfig;
 pub use layers::GeneratedLayers;
 pub use retail::RetailData;
 pub use scenario::{PaperScenario, ScenarioBuilder};
+pub use ticker::{RetailTicker, TickerConfig};

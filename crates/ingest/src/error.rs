@@ -1,0 +1,56 @@
+//! Ingestion errors.
+
+use crate::delta::DeltaBatch;
+use std::fmt;
+
+/// Why a submission (or flush) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The bounded submission queue is full — the producer is outrunning
+    /// the apply rate. `try_submit` reports this instead of blocking so
+    /// latency-sensitive producers can shed load; the refused batch is
+    /// handed back (boxed) so a retrying producer does not have to clone
+    /// every batch it submits.
+    Backpressure(Box<DeltaBatch>),
+    /// The pipeline has been shut down; no further batches are accepted.
+    Closed,
+}
+
+impl IngestError {
+    /// Recovers the refused batch from a backpressure error, consuming
+    /// the error. `None` for [`IngestError::Closed`] (the pipeline is
+    /// gone; retrying is pointless).
+    pub fn into_batch(self) -> Option<DeltaBatch> {
+        match self {
+            IngestError::Backpressure(batch) => Some(*batch),
+            IngestError::Closed => None,
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Backpressure(_) => {
+                write!(f, "ingest queue full: producer outruns the apply rate")
+            }
+            IngestError::Closed => write!(f, "ingest pipeline is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let refused = IngestError::Backpressure(Box::new(DeltaBatch::new()));
+        assert!(refused.to_string().contains("full"));
+        assert_eq!(refused.into_batch(), Some(DeltaBatch::new()));
+        assert!(IngestError::Closed.to_string().contains("shut down"));
+        assert_eq!(IngestError::Closed.into_batch(), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Streaming ingestion for the spatial data warehouse: epoch-batched fact
+//! deltas with atomic snapshot publication.
+//!
+//! The read side of the system serves OLAP queries from immutable cube
+//! snapshots; this crate is the write side that keeps those snapshots
+//! *live*. Producers submit [`DeltaBatch`]es of [`FactDelta`]s (append a
+//! fact row, upsert a measure cell, retract a row) into a bounded channel;
+//! a dedicated worker applies them to the mutex-guarded write master and,
+//! per [`EpochPolicy`] (N mutations or T milliseconds, whichever first),
+//! publishes a fresh immutable snapshot. Readers never block on ingestion
+//! and never observe a torn batch: visibility only ever advances at batch
+//! boundaries, whole epochs at a time.
+//!
+//! The pipeline talks to the warehouse through the [`CubeSink`] trait, so
+//! it has no dependency on the serving engine — `sdwp-core` implements the
+//! sink over its write master, `VersionedSwap` snapshot and result cache,
+//! and exposes the pipeline via `PersonalizationEngine::start_ingest`.
+//!
+//! Design influences: epoch/batch amortisation of concurrent work (GLADE's
+//! batched multi-query processing) and bounded ingest queues protecting
+//! serving latency under sustained write pressure (Tempo).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod delta;
+pub mod error;
+pub mod pipeline;
+
+pub use delta::{BatchOutcome, DeltaBatch, FactDelta};
+pub use error::IngestError;
+pub use pipeline::{
+    CubeSink, EpochPolicy, IngestConfig, IngestHandle, IngestPipeline, IngestStats,
+};

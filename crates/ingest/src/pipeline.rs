@@ -1,0 +1,740 @@
+//! The bounded-channel ingestion pipeline and its epoch worker.
+//!
+//! Producers ([`IngestHandle`], cheaply cloneable) submit [`DeltaBatch`]es
+//! into a bounded channel; one dedicated worker thread drains it, applies
+//! each batch atomically to the write master through the [`CubeSink`]
+//! trait, and publishes an immutable cube snapshot whenever the
+//! [`EpochPolicy`] says an epoch is over — after `max_rows` mutations or
+//! `max_interval` of wall clock, whichever comes first. Readers only ever
+//! see published snapshots, so a batch is either entirely visible or not
+//! at all, and queries in flight keep the snapshot they loaded.
+//!
+//! Backpressure is the bounded channel: [`IngestHandle::submit`] blocks
+//! when the queue is full (slowing the producer to the apply rate), while
+//! [`IngestHandle::try_submit`] refuses with
+//! [`IngestError::Backpressure`] so latency-sensitive producers can shed
+//! load instead of stalling.
+
+use crate::delta::{BatchOutcome, DeltaBatch};
+use crate::error::IngestError;
+use parking_lot::Mutex;
+use sdwp_olap::OlapError;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where applied batches go: the engine's write master and snapshot
+/// publisher. Implemented by `sdwp-core` over its mutex-guarded master
+/// cube, `VersionedSwap` snapshot and result cache; kept as a trait so
+/// the pipeline (and its tests) do not depend on the engine crate.
+pub trait CubeSink: Send + Sync {
+    /// Applies one batch **atomically** to the write master: validate
+    /// against the current master first, mutate only if the whole batch is
+    /// valid, and hold the master lock across the batch so concurrent
+    /// writers (rule firing) never interleave inside it.
+    fn apply_batch(&self, batch: &DeltaBatch) -> Result<BatchOutcome, OlapError>;
+
+    /// Publishes the current master as a new immutable snapshot and
+    /// returns the new generation. `changed_facts` is the union of the
+    /// fact tables the epoch's batches changed — the implementor scopes
+    /// result-cache invalidation to exactly those facts.
+    fn publish_epoch(&self, changed_facts: &BTreeSet<String>) -> u64;
+}
+
+/// When to close an epoch and publish a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochPolicy {
+    /// Publish after this many mutations (appended rows + upserted cells +
+    /// retracted rows) have accumulated.
+    pub max_rows: usize,
+    /// Publish this long after the epoch's first unpublished mutation,
+    /// even if `max_rows` was not reached — bounds staleness under a
+    /// trickle of updates.
+    pub max_interval: Duration,
+}
+
+impl Default for EpochPolicy {
+    fn default() -> Self {
+        EpochPolicy {
+            max_rows: 1024,
+            max_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl EpochPolicy {
+    /// Sets the mutation-count trigger (clamped to at least 1).
+    pub fn with_max_rows(mut self, max_rows: usize) -> Self {
+        self.max_rows = max_rows.max(1);
+        self
+    }
+
+    /// Sets the wall-clock trigger.
+    pub fn with_max_interval(mut self, max_interval: Duration) -> Self {
+        self.max_interval = max_interval;
+        self
+    }
+}
+
+/// Configuration of an ingestion pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Capacity of the bounded submission queue (in batches).
+    pub queue_depth: usize,
+    /// The epoch publication policy.
+    pub epoch: EpochPolicy,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_depth: 64,
+            epoch: EpochPolicy::default(),
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Sets the submission-queue depth (clamped to at least 1).
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Sets the epoch policy.
+    pub fn with_epoch(mut self, epoch: EpochPolicy) -> Self {
+        self.epoch = epoch;
+        self
+    }
+}
+
+/// Counters describing a pipeline's behaviour so far.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Batches accepted into the queue.
+    pub batches_submitted: u64,
+    /// Batches refused by `try_submit` because the queue was full.
+    pub batches_rejected: u64,
+    /// Batches applied to the write master.
+    pub batches_applied: u64,
+    /// Batches dropped because they failed validation (the master is
+    /// untouched by a failed batch).
+    pub batches_failed: u64,
+    /// Fact rows appended.
+    pub rows_appended: u64,
+    /// Measure cells overwritten.
+    pub cells_upserted: u64,
+    /// Fact rows retracted.
+    pub rows_retracted: u64,
+    /// Snapshots published by the epoch worker.
+    pub epochs_published: u64,
+    /// Generation of the last published snapshot (0 before the first).
+    pub last_generation: u64,
+    /// Description of the most recent batch failure, when any.
+    pub last_error: Option<String>,
+}
+
+/// Lock-free counter block shared by handles, the worker and the pipeline.
+#[derive(Default)]
+struct Shared {
+    batches_submitted: AtomicU64,
+    batches_rejected: AtomicU64,
+    batches_applied: AtomicU64,
+    batches_failed: AtomicU64,
+    rows_appended: AtomicU64,
+    cells_upserted: AtomicU64,
+    rows_retracted: AtomicU64,
+    epochs_published: AtomicU64,
+    last_generation: AtomicU64,
+    closed: AtomicBool,
+    /// Submission gate: every submission holds a read guard across its
+    /// channel send, and shutdown flips `closed` under the write guard —
+    /// so once the worker observes `closed`, every submission that
+    /// returned `Ok` is already enqueued and its graceful drain cannot
+    /// miss a batch (a bare flag would race a producer blocked inside
+    /// `send` on a full queue).
+    gate: parking_lot::RwLock<()>,
+    last_error: Mutex<Option<String>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> IngestStats {
+        IngestStats {
+            batches_submitted: self.batches_submitted.load(Ordering::Relaxed),
+            batches_rejected: self.batches_rejected.load(Ordering::Relaxed),
+            batches_applied: self.batches_applied.load(Ordering::Relaxed),
+            batches_failed: self.batches_failed.load(Ordering::Relaxed),
+            rows_appended: self.rows_appended.load(Ordering::Relaxed),
+            cells_upserted: self.cells_upserted.load(Ordering::Relaxed),
+            rows_retracted: self.rows_retracted.load(Ordering::Relaxed),
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            last_generation: self.last_generation.load(Ordering::Relaxed),
+            last_error: self.last_error.lock().clone(),
+        }
+    }
+}
+
+enum Msg {
+    Batch(DeltaBatch),
+    /// Publish anything pending and reply with the last generation — the
+    /// producer-side barrier: every batch submitted before the flush is
+    /// applied and published once the reply arrives.
+    Flush(mpsc::SyncSender<u64>),
+}
+
+/// A cloneable producer handle onto an [`IngestPipeline`].
+#[derive(Clone)]
+pub struct IngestHandle {
+    tx: mpsc::SyncSender<Msg>,
+    shared: Arc<Shared>,
+}
+
+impl IngestHandle {
+    /// Submits a batch, **blocking** while the queue is full (the
+    /// backpressure path for bulk producers). Errors once the pipeline is
+    /// shut down.
+    pub fn submit(&self, batch: DeltaBatch) -> Result<(), IngestError> {
+        // Held across the (possibly blocking) send: see `Shared::gate`.
+        // No deadlock with shutdown's write guard — the worker keeps
+        // consuming until `closed` is set, which only happens after every
+        // in-flight send completes and releases its read guard.
+        let _gate = self.shared.gate.read();
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(IngestError::Closed);
+        }
+        self.tx
+            .send(Msg::Batch(batch))
+            .map_err(|_| IngestError::Closed)?;
+        self.shared
+            .batches_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Submits a batch without blocking: a full queue is refused with
+    /// [`IngestError::Backpressure`] (and counted), protecting the
+    /// producer's latency under overload. The refused batch rides back
+    /// inside the error ([`IngestError::into_batch`]) so a retrying
+    /// producer never has to clone what it submits.
+    pub fn try_submit(&self, batch: DeltaBatch) -> Result<(), IngestError> {
+        let _gate = self.shared.gate.read();
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(IngestError::Closed);
+        }
+        match self.tx.try_send(Msg::Batch(batch)) {
+            Ok(()) => {
+                self.shared
+                    .batches_submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(Msg::Batch(batch))) => {
+                self.shared.batches_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(IngestError::Backpressure(Box::new(batch)))
+            }
+            Err(_) => Err(IngestError::Closed),
+        }
+    }
+
+    /// Blocks until every batch submitted before this call has been
+    /// applied and published; returns the generation of the last published
+    /// snapshot. The deterministic synchronisation point for tests,
+    /// examples and graceful drains.
+    pub fn flush(&self) -> Result<u64, IngestError> {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Msg::Flush(reply_tx))
+            .map_err(|_| IngestError::Closed)?;
+        reply_rx.recv().map_err(|_| IngestError::Closed)
+    }
+
+    /// A snapshot of the pipeline's counters.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.snapshot()
+    }
+}
+
+/// The ingestion pipeline: owns the epoch worker thread.
+///
+/// Dropping the pipeline shuts it down gracefully: pending batches are
+/// drained and applied, a final epoch is published, and the worker is
+/// joined.
+pub struct IngestPipeline {
+    handle: IngestHandle,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl IngestPipeline {
+    /// Starts a pipeline over a sink.
+    pub fn start(sink: Arc<dyn CubeSink>, config: IngestConfig) -> Self {
+        let shared = Arc::new(Shared::default());
+        let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let policy = config.epoch;
+            std::thread::Builder::new()
+                .name("sdwp-ingest".into())
+                .spawn(move || worker_loop(rx, sink, shared, policy))
+                .expect("spawning the ingest worker")
+        };
+        IngestPipeline {
+            handle: IngestHandle {
+                tx,
+                shared: Arc::clone(&shared),
+            },
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// A new producer handle.
+    pub fn handle(&self) -> IngestHandle {
+        self.handle.clone()
+    }
+
+    /// A snapshot of the pipeline's counters.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.snapshot()
+    }
+
+    /// Shuts the pipeline down: already-accepted batches are applied, a
+    /// final epoch is published, the worker joins. Outstanding handles
+    /// get [`IngestError::Closed`] from then on. Returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> IngestStats {
+        self.shutdown_in_place();
+        self.shared.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            // The write guard waits for every in-flight submission's read
+            // guard, so all `Ok`-returning submits are enqueued before
+            // `closed` becomes observable and the worker's drain starts.
+            {
+                let _gate = self.shared.gate.write();
+                self.shared.closed.store(true, Ordering::Release);
+            }
+            // Wake the worker if it is parked in recv_timeout; a full
+            // queue is fine (it is about to wake and drain anyway).
+            let (reply_tx, _reply_rx) = mpsc::sync_channel(1);
+            let _ = self.handle.tx.try_send(Msg::Flush(reply_tx));
+            worker.join().expect("ingest worker panicked");
+        }
+    }
+}
+
+impl Drop for IngestPipeline {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The epoch worker: drain → apply → publish on policy triggers.
+fn worker_loop(
+    rx: mpsc::Receiver<Msg>,
+    sink: Arc<dyn CubeSink>,
+    shared: Arc<Shared>,
+    policy: EpochPolicy,
+) {
+    let mut pending_rows: u64 = 0;
+    let mut changed_facts: BTreeSet<String> = BTreeSet::new();
+    let mut epoch_started: Option<Instant> = None;
+
+    let apply = |batch: &DeltaBatch,
+                 pending_rows: &mut u64,
+                 changed_facts: &mut BTreeSet<String>,
+                 epoch_started: &mut Option<Instant>| {
+        match sink.apply_batch(batch) {
+            Ok(outcome) => {
+                shared.batches_applied.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .rows_appended
+                    .fetch_add(outcome.rows_appended, Ordering::Relaxed);
+                shared
+                    .cells_upserted
+                    .fetch_add(outcome.cells_upserted, Ordering::Relaxed);
+                shared
+                    .rows_retracted
+                    .fetch_add(outcome.rows_retracted, Ordering::Relaxed);
+                if outcome.mutations() > 0 {
+                    if *pending_rows == 0 {
+                        *epoch_started = Some(Instant::now());
+                    }
+                    *pending_rows += outcome.mutations();
+                    changed_facts.extend(outcome.changed_facts);
+                }
+            }
+            Err(error) => {
+                shared.batches_failed.fetch_add(1, Ordering::Relaxed);
+                *shared.last_error.lock() = Some(error.to_string());
+            }
+        }
+    };
+
+    let publish = |pending_rows: &mut u64,
+                   changed_facts: &mut BTreeSet<String>,
+                   epoch_started: &mut Option<Instant>| {
+        if *pending_rows == 0 {
+            // Nothing changed: publishing would bump the generation and
+            // (needlessly) stop every cached result from hitting.
+            return;
+        }
+        let generation = sink.publish_epoch(changed_facts);
+        shared.epochs_published.fetch_add(1, Ordering::Relaxed);
+        shared.last_generation.store(generation, Ordering::Relaxed);
+        *pending_rows = 0;
+        changed_facts.clear();
+        *epoch_started = None;
+    };
+
+    loop {
+        if shared.closed.load(Ordering::Acquire) {
+            // Graceful drain: apply everything already accepted, publish
+            // once, exit.
+            while let Ok(msg) = rx.try_recv() {
+                match msg {
+                    Msg::Batch(batch) => apply(
+                        &batch,
+                        &mut pending_rows,
+                        &mut changed_facts,
+                        &mut epoch_started,
+                    ),
+                    Msg::Flush(reply) => {
+                        let _ = reply;
+                    }
+                }
+            }
+            publish(&mut pending_rows, &mut changed_facts, &mut epoch_started);
+            return;
+        }
+
+        let timeout = match epoch_started {
+            Some(started) => policy.max_interval.saturating_sub(started.elapsed()),
+            // Idle: wake at the epoch cadence anyway to notice shutdown.
+            None => policy.max_interval.max(Duration::from_millis(10)),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(Msg::Batch(batch)) => {
+                apply(
+                    &batch,
+                    &mut pending_rows,
+                    &mut changed_facts,
+                    &mut epoch_started,
+                );
+                let interval_elapsed = epoch_started
+                    .map(|started| started.elapsed() >= policy.max_interval)
+                    .unwrap_or(false);
+                if pending_rows >= policy.max_rows as u64 || interval_elapsed {
+                    publish(&mut pending_rows, &mut changed_facts, &mut epoch_started);
+                }
+            }
+            Ok(Msg::Flush(reply)) => {
+                publish(&mut pending_rows, &mut changed_facts, &mut epoch_started);
+                let _ = reply.send(shared.last_generation.load(Ordering::Relaxed));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let interval_elapsed = epoch_started
+                    .map(|started| started.elapsed() >= policy.max_interval)
+                    .unwrap_or(false);
+                if interval_elapsed {
+                    publish(&mut pending_rows, &mut changed_facts, &mut epoch_started);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                publish(&mut pending_rows, &mut changed_facts, &mut epoch_started);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DeltaBatch;
+    use parking_lot::Mutex as PlMutex;
+    use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, SchemaBuilder};
+    use sdwp_olap::{CellValue, Cube};
+
+    fn small_cube() -> Cube {
+        let schema = SchemaBuilder::new("DW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .simple_level("Store", "name")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Store")
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let mut cube = Cube::new(schema);
+        cube.add_dimension_member("Store", vec![("Store.name", CellValue::from("S0"))])
+            .unwrap();
+        cube
+    }
+
+    /// A sink over a bare master cube: publishes are recorded as
+    /// `(generation, live rows, changed facts)` tuples.
+    struct TestSink {
+        master: PlMutex<Cube>,
+        generation: AtomicU64,
+        published: PlMutex<Vec<(u64, usize, BTreeSet<String>)>>,
+        /// Tests hold this to stall the worker inside `apply_batch`.
+        gate: PlMutex<()>,
+    }
+
+    impl TestSink {
+        fn new() -> Self {
+            TestSink {
+                master: PlMutex::new(small_cube()),
+                generation: AtomicU64::new(0),
+                published: PlMutex::new(Vec::new()),
+                gate: PlMutex::new(()),
+            }
+        }
+    }
+
+    impl CubeSink for TestSink {
+        fn apply_batch(&self, batch: &DeltaBatch) -> Result<BatchOutcome, OlapError> {
+            let _gate = self.gate.lock();
+            let mut master = self.master.lock();
+            batch.validate(&master)?;
+            Ok(batch.apply(&mut master))
+        }
+
+        fn publish_epoch(&self, changed_facts: &BTreeSet<String>) -> u64 {
+            let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+            let live = self.master.lock().total_live_fact_rows();
+            self.published
+                .lock()
+                .push((generation, live, changed_facts.clone()));
+            generation
+        }
+    }
+
+    fn append_batch(rows: usize) -> DeltaBatch {
+        let mut batch = DeltaBatch::new();
+        for _ in 0..rows {
+            batch = batch.append(
+                "Sales",
+                vec![("Store", 0usize)],
+                vec![("UnitSales", CellValue::Float(1.0))],
+            );
+        }
+        batch
+    }
+
+    #[test]
+    fn row_threshold_closes_the_epoch() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default().with_epoch(
+                EpochPolicy::default()
+                    .with_max_rows(4)
+                    .with_max_interval(Duration::from_secs(3600)),
+            ),
+        );
+        let handle = pipeline.handle();
+        handle.submit(append_batch(2)).unwrap();
+        handle.submit(append_batch(2)).unwrap();
+        handle.submit(append_batch(1)).unwrap();
+        let generation = handle.flush().unwrap();
+        assert_eq!(generation, 2);
+        let published = sink.published.lock().clone();
+        // Epoch 1 closed at the 4-row threshold; the flush published the
+        // trailing single row.
+        assert_eq!(published.len(), 2);
+        assert_eq!(published[0].1, 4);
+        assert_eq!(published[1].1, 5);
+        assert!(published[0].2.contains("Sales"));
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.batches_applied, 3);
+        assert_eq!(stats.rows_appended, 5);
+        assert_eq!(stats.epochs_published, 2);
+        assert_eq!(stats.last_generation, 2);
+    }
+
+    #[test]
+    fn interval_closes_the_epoch_without_reaching_the_row_threshold() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default().with_epoch(
+                EpochPolicy::default()
+                    .with_max_rows(1_000_000)
+                    .with_max_interval(Duration::from_millis(20)),
+            ),
+        );
+        pipeline.handle().submit(append_batch(1)).unwrap();
+        // Poll: the wall-clock trigger must publish without a flush.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pipeline.stats().epochs_published == 0 {
+            assert!(Instant::now() < deadline, "interval trigger never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sink.published.lock()[0].1, 1);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_the_queue_is_full() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default().with_queue_depth(1),
+        );
+        let handle = pipeline.handle();
+        // Stall the worker inside apply_batch …
+        let gate = sink.gate.lock();
+        handle.submit(append_batch(1)).unwrap(); // worker picks this up and blocks
+                                                 // … wait until the worker actually holds the first batch, then
+                                                 // fill the queue.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match handle.try_submit(append_batch(1)) {
+                Ok(()) => {
+                    if handle.stats().batches_submitted == 2 {
+                        // Both the in-flight and queued slot are taken once
+                        // a further try_submit reports Full.
+                        if let Err(IngestError::Backpressure(_)) =
+                            handle.try_submit(append_batch(1))
+                        {
+                            break;
+                        }
+                    }
+                }
+                Err(IngestError::Backpressure(_)) => break,
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+            assert!(Instant::now() < deadline, "queue never filled");
+        }
+        assert!(handle.stats().batches_rejected >= 1);
+        drop(gate);
+        let stats = pipeline.shutdown();
+        // Everything accepted was applied; nothing was lost.
+        assert_eq!(stats.batches_applied, stats.batches_submitted);
+    }
+
+    #[test]
+    fn failed_batches_are_dropped_whole_and_counted() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default(),
+        );
+        let handle = pipeline.handle();
+        // A batch with one good and one bad delta must not apply at all.
+        let bad = DeltaBatch::new()
+            .append(
+                "Sales",
+                vec![("Store", 0usize)],
+                vec![("UnitSales", CellValue::Float(1.0))],
+            )
+            .retract("Sales", 99);
+        handle.submit(bad).unwrap();
+        handle.submit(append_batch(1)).unwrap();
+        handle.flush().unwrap();
+        let stats = handle.stats();
+        assert_eq!(stats.batches_failed, 1);
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.rows_appended, 1);
+        assert!(stats.last_error.as_deref().unwrap().contains("retract"));
+        assert_eq!(sink.master.lock().total_live_fact_rows(), 1);
+        drop(pipeline);
+    }
+
+    #[test]
+    fn empty_batches_never_publish() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default()
+                .with_epoch(EpochPolicy::default().with_max_interval(Duration::from_millis(10))),
+        );
+        let handle = pipeline.handle();
+        handle.submit(DeltaBatch::new()).unwrap();
+        handle.submit(DeltaBatch::new()).unwrap();
+        assert_eq!(handle.flush().unwrap(), 0);
+        std::thread::sleep(Duration::from_millis(40));
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.batches_applied, 2);
+        assert_eq!(stats.epochs_published, 0, "no-op batches must not publish");
+        assert!(sink.published.lock().is_empty());
+    }
+
+    #[test]
+    fn shutdown_never_loses_an_accepted_batch() {
+        // A producer blocked inside a full-queue `submit` races shutdown:
+        // the submission gate guarantees that once `submit` returns `Ok`,
+        // the graceful drain applies the batch.
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default().with_queue_depth(1).with_epoch(
+                EpochPolicy::default()
+                    .with_max_rows(1_000_000)
+                    .with_max_interval(Duration::from_secs(3600)),
+            ),
+        );
+        let handle = pipeline.handle();
+        // Stall the worker mid-apply and fill the queue so the next
+        // blocking submit parks inside `send`.
+        let gate = sink.gate.lock();
+        handle.submit(append_batch(1)).unwrap();
+        handle.submit(append_batch(1)).unwrap();
+        let blocked = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.submit(append_batch(1)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(gate);
+        let stats = pipeline.shutdown();
+        match blocked.join().expect("submitter finishes") {
+            // Accepted: the drain must have applied it.
+            Ok(()) => assert_eq!(stats.batches_applied, stats.batches_submitted),
+            // Refused: it must not have been counted as submitted.
+            Err(IngestError::Closed) => {
+                assert_eq!(stats.batches_applied, stats.batches_submitted);
+                assert_eq!(stats.batches_submitted, 2);
+            }
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(stats.rows_appended, stats.batches_applied);
+    }
+
+    #[test]
+    fn shutdown_drains_then_closes_handles() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default().with_epoch(
+                EpochPolicy::default()
+                    .with_max_rows(1_000_000)
+                    .with_max_interval(Duration::from_secs(3600)),
+            ),
+        );
+        let handle = pipeline.handle();
+        handle.submit(append_batch(3)).unwrap();
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.rows_appended, 3);
+        assert_eq!(stats.epochs_published, 1, "shutdown publishes the tail");
+        assert!(matches!(
+            handle.submit(append_batch(1)),
+            Err(IngestError::Closed)
+        ));
+        assert!(matches!(
+            handle.try_submit(append_batch(1)),
+            Err(IngestError::Closed)
+        ));
+        assert!(handle.flush().is_err());
+    }
+}

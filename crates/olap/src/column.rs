@@ -139,6 +139,25 @@ impl Column {
         self.len() == 0
     }
 
+    /// Returns `true` when [`Column::push`] / [`Column::set`] would accept
+    /// the value (same coercions: integers into float and date columns,
+    /// nulls everywhere). Lets callers validate a whole row — or a whole
+    /// delta batch — *before* mutating anything, so a failed write can
+    /// never leave ragged columns behind.
+    pub fn accepts(&self, value: &CellValue) -> bool {
+        if matches!(value, CellValue::Null) {
+            return true;
+        }
+        match self {
+            Column::Integer(_) => matches!(value, CellValue::Integer(_)),
+            Column::Float(_) => matches!(value, CellValue::Float(_) | CellValue::Integer(_)),
+            Column::Text { .. } => matches!(value, CellValue::Text(_)),
+            Column::Boolean(_) => matches!(value, CellValue::Boolean(_)),
+            Column::Date(_) => matches!(value, CellValue::Date(_) | CellValue::Integer(_)),
+            Column::Geometry(_) => matches!(value, CellValue::Geometry(_)),
+        }
+    }
+
     /// Appends a value, coercing compatible types (integers into float
     /// columns, integers into date columns). Returns an error on an
     /// incompatible value.
@@ -179,6 +198,71 @@ impl Column {
                 CellValue::Null => v.push(None),
                 other => return Err(mismatch(&other, "geometry")),
             },
+        }
+        Ok(())
+    }
+
+    /// Overwrites the value at `row` in place (the ingest path's cell
+    /// upsert), with the same coercions as [`Column::push`]. Errors on an
+    /// out-of-range row or an incompatible value, leaving the column
+    /// untouched.
+    pub fn set(&mut self, row: usize, value: CellValue) -> Result<(), OlapError> {
+        if row >= self.len() {
+            return Err(OlapError::RowShape {
+                message: format!("row {row} out of range ({} rows)", self.len()),
+            });
+        }
+        if !self.accepts(&value) {
+            return Err(OlapError::TypeMismatch {
+                expected: match self {
+                    Column::Integer(_) => "integer",
+                    Column::Float(_) => "float",
+                    Column::Text { .. } => "text",
+                    Column::Boolean(_) => "boolean",
+                    Column::Date(_) => "date",
+                    Column::Geometry(_) => "geometry",
+                },
+                found: value.type_name().to_string(),
+            });
+        }
+        match self {
+            Column::Integer(v) => {
+                v[row] = match value {
+                    CellValue::Integer(i) => Some(i),
+                    _ => None,
+                }
+            }
+            Column::Float(v) => {
+                v[row] = match value {
+                    CellValue::Float(f) => Some(f),
+                    CellValue::Integer(i) => Some(i as f64),
+                    _ => None,
+                }
+            }
+            Column::Text { codes, dictionary } => {
+                codes[row] = match value {
+                    CellValue::Text(s) => Some(dictionary.intern(&s)),
+                    _ => None,
+                }
+            }
+            Column::Boolean(v) => {
+                v[row] = match value {
+                    CellValue::Boolean(b) => Some(b),
+                    _ => None,
+                }
+            }
+            Column::Date(v) => {
+                v[row] = match value {
+                    CellValue::Date(d) | CellValue::Integer(d) => Some(d),
+                    _ => None,
+                }
+            }
+            Column::Geometry(v) => {
+                v[row] = match value {
+                    CellValue::Geometry(g) => Some(g),
+                    _ => None,
+                }
+            }
         }
         Ok(())
     }
@@ -313,6 +397,42 @@ mod tests {
         assert_eq!(c.get_geometry(0), Some(&g));
         assert_eq!(c.get_geometry(1), None);
         assert!(c.push(CellValue::Integer(1)).is_err());
+    }
+
+    #[test]
+    fn accepts_mirrors_push() {
+        let mut f = Column::new(ColumnType::Float);
+        assert!(f.accepts(&CellValue::Float(1.0)));
+        assert!(f.accepts(&CellValue::Integer(1)));
+        assert!(f.accepts(&CellValue::Null));
+        assert!(!f.accepts(&CellValue::from("x")));
+        assert!(f.push(CellValue::Integer(1)).is_ok());
+        let t = Column::new(ColumnType::Text);
+        assert!(t.accepts(&CellValue::from("x")));
+        assert!(!t.accepts(&CellValue::Float(1.0)));
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut c = Column::new(ColumnType::Float);
+        c.push(CellValue::Float(1.0)).unwrap();
+        c.push(CellValue::Float(2.0)).unwrap();
+        c.set(1, CellValue::Float(9.5)).unwrap();
+        assert_eq!(c.get(1), CellValue::Float(9.5));
+        c.set(0, CellValue::Null).unwrap();
+        assert_eq!(c.get(0), CellValue::Null);
+        // Integer coercion, like push.
+        c.set(0, CellValue::Integer(3)).unwrap();
+        assert_eq!(c.get(0), CellValue::Float(3.0));
+        assert!(c.set(5, CellValue::Float(0.0)).is_err());
+        assert!(c.set(0, CellValue::from("x")).is_err());
+        // The failed set left the previous value in place.
+        assert_eq!(c.get(0), CellValue::Float(3.0));
+
+        let mut t = Column::new(ColumnType::Text);
+        t.push(CellValue::from("old")).unwrap();
+        t.set(0, CellValue::from("new")).unwrap();
+        assert_eq!(t.get(0), CellValue::Text("new".into()));
     }
 
     #[test]

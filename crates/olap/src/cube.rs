@@ -284,6 +284,49 @@ impl Cube {
         table.table.push_row(named)
     }
 
+    /// Overwrites a measure cell of a live fact row (the ingest path's
+    /// upsert, e.g. a price correction). Foreign-key columns are
+    /// immutable — re-pointing a fact at another member would silently
+    /// change what long-lived personalized views and cached results mean;
+    /// retract the row and append a corrected one instead.
+    pub fn upsert_fact_cell(
+        &mut self,
+        fact: &str,
+        row: usize,
+        column: &str,
+        value: CellValue,
+    ) -> Result<(), OlapError> {
+        if column.starts_with("__fk_") {
+            return Err(OlapError::InvalidQuery {
+                message: format!(
+                    "foreign-key column '{column}' is immutable; retract the row and append a corrected one"
+                ),
+            });
+        }
+        let table = self
+            .facts
+            .get_mut(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })?;
+        table.table.set_cell(row, column, value)
+    }
+
+    /// Tombstones a fact row (the ingest path's retraction): scans skip it
+    /// from now on, its id is never reused and later row ids do not shift.
+    /// Idempotent for an already-retracted row.
+    pub fn retract_fact_row(&mut self, fact: &str, row: usize) -> Result<(), OlapError> {
+        let table = self
+            .facts
+            .get_mut(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })?;
+        table.table.retract_row(row)
+    }
+
     /// The dimension-member row id a fact row points to.
     pub fn fact_member(
         &self,
@@ -317,9 +360,32 @@ impl Cube {
         })
     }
 
-    /// Total number of fact rows across all facts.
+    /// Swaps this cube's fact tables with `other`'s, leaving schema,
+    /// dimension and layer tables of both untouched.
+    ///
+    /// This exists for the serving engine's write-side coordination: rule
+    /// firing only ever mutates schema, layer and dimension state, while
+    /// streaming ingestion only ever mutates fact tables — so rolling back
+    /// a failed firing is "take the last published schema state, keep the
+    /// master's (possibly further-ingested) fact tables". Panics when the
+    /// two cubes do not instantiate the same set of facts.
+    pub fn swap_fact_tables(&mut self, other: &mut Cube) {
+        assert!(
+            self.facts.keys().eq(other.facts.keys()),
+            "swap_fact_tables requires cubes over the same facts"
+        );
+        std::mem::swap(&mut self.facts, &mut other.facts);
+    }
+
+    /// Total number of fact rows ever appended across all facts (live and
+    /// retracted).
     pub fn total_fact_rows(&self) -> usize {
         self.facts.values().map(|f| f.table.len()).sum()
+    }
+
+    /// Total number of live (non-retracted) fact rows across all facts.
+    pub fn total_live_fact_rows(&self) -> usize {
+        self.facts.values().map(|f| f.table.live_len()).sum()
     }
 }
 
@@ -466,6 +532,49 @@ mod tests {
         cube.add_layer_instance("Airport", "ALC", Point::new(5.0, 5.0).into())
             .unwrap();
         assert_eq!(cube.layer_table("Airport").unwrap().table.len(), 1);
+    }
+
+    #[test]
+    fn upsert_and_retract_fact_rows() {
+        let mut cube = Cube::new(schema());
+        cube.add_dimension_member("Store", vec![("Store.name", CellValue::from("S0"))])
+            .unwrap();
+        cube.add_dimension_member("Time", vec![("Day.date", CellValue::Date(0))])
+            .unwrap();
+        for i in 0..3 {
+            cube.add_fact_row(
+                "Sales",
+                vec![("Store", 0), ("Time", 0)],
+                vec![("UnitSales", CellValue::Float(i as f64))],
+            )
+            .unwrap();
+        }
+        // Price correction on row 1.
+        cube.upsert_fact_cell("Sales", 1, "UnitSales", CellValue::Float(99.0))
+            .unwrap();
+        assert_eq!(
+            cube.fact_table("Sales")
+                .unwrap()
+                .table
+                .get(1, "UnitSales")
+                .unwrap(),
+            CellValue::Float(99.0)
+        );
+        // Foreign keys are immutable.
+        assert!(cube
+            .upsert_fact_cell("Sales", 1, "__fk_Store", CellValue::Integer(0))
+            .is_err());
+        assert!(cube
+            .upsert_fact_cell("Returns", 0, "UnitSales", CellValue::Float(0.0))
+            .is_err());
+        // Retraction tombstones without shifting ids.
+        cube.retract_fact_row("Sales", 0).unwrap();
+        assert_eq!(cube.total_fact_rows(), 3);
+        assert_eq!(cube.total_live_fact_rows(), 2);
+        assert!(cube.retract_fact_row("Returns", 0).is_err());
+        assert!(cube
+            .upsert_fact_cell("Sales", 0, "UnitSales", CellValue::Float(1.0))
+            .is_err());
     }
 
     #[test]

@@ -4,17 +4,26 @@ use crate::column::{Column, ColumnType};
 use crate::error::OlapError;
 use crate::value::CellValue;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// A named table: an ordered set of typed columns of equal length.
 ///
 /// Dimension tables, layer tables and fact tables are all [`Table`]s; the
 /// [`crate::Cube`] adds the star-schema wiring between them.
+///
+/// Rows are append-only and addressed by their stable row id; a row can be
+/// *retracted* (the ingest path's delete), which tombstones the id — scans
+/// skip it, the id is never reused, and ids of later rows never shift, so
+/// fact-row selections held by long-lived [`crate::InstanceView`]s stay
+/// valid across ingestion.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
     /// Table name.
     pub name: String,
     columns: Vec<(String, Column)>,
     rows: usize,
+    /// Tombstoned row ids (retracted, skipped by scans).
+    retracted: BTreeSet<usize>,
 }
 
 impl Table {
@@ -27,10 +36,12 @@ impl Table {
                 .map(|(n, t)| (n, Column::new(t)))
                 .collect(),
             rows: 0,
+            retracted: BTreeSet::new(),
         }
     }
 
-    /// Number of rows.
+    /// Number of rows ever appended (live and retracted); row ids range
+    /// over `0..len()`.
     pub fn len(&self) -> usize {
         self.rows
     }
@@ -38,6 +49,32 @@ impl Table {
     /// Returns `true` when the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.rows == 0
+    }
+
+    /// Number of live (non-retracted) rows.
+    pub fn live_len(&self) -> usize {
+        self.rows - self.retracted.len()
+    }
+
+    /// Returns `true` when `row` exists and has not been retracted.
+    pub fn is_live(&self, row: usize) -> bool {
+        row < self.rows && !self.retracted.contains(&row)
+    }
+
+    /// Tombstones a row: scans skip it from now on, its id is never
+    /// reused. Retracting an already-retracted row is a no-op (`Ok`), so a
+    /// replayed delta stays idempotent; an out-of-range row is an error.
+    pub fn retract_row(&mut self, row: usize) -> Result<(), OlapError> {
+        if row >= self.rows {
+            return Err(OlapError::RowShape {
+                message: format!(
+                    "cannot retract row {row} of table '{}' ({} rows)",
+                    self.name, self.rows
+                ),
+            });
+        }
+        self.retracted.insert(row);
+        Ok(())
     }
 
     /// Number of columns.
@@ -70,14 +107,24 @@ impl Table {
     /// Appends a row given as `(column name, value)` pairs; missing columns
     /// become null.
     pub fn push_row(&mut self, values: Vec<(&str, CellValue)>) -> Result<usize, OlapError> {
-        // Validate the provided names first so a failed push cannot leave
+        // Validate names *and* types first so a failed push cannot leave
         // ragged columns behind.
-        for (name, _) in &values {
-            if self.column_index(name).is_none() {
-                return Err(OlapError::UnknownColumn {
-                    table: self.name.clone(),
-                    column: (*name).to_string(),
-                });
+        for (name, value) in &values {
+            match self.column(name) {
+                Err(_) => {
+                    return Err(OlapError::UnknownColumn {
+                        table: self.name.clone(),
+                        column: (*name).to_string(),
+                    })
+                }
+                Ok(column) => {
+                    if !column.accepts(value) {
+                        return Err(OlapError::TypeMismatch {
+                            expected: "a value matching the column type",
+                            found: format!("{} for column '{name}'", value.type_name()),
+                        });
+                    }
+                }
             }
         }
         for (col_name, column) in &mut self.columns {
@@ -105,12 +152,55 @@ impl Table {
                 ),
             });
         }
+        for ((name, column), value) in self.columns.iter().zip(values.iter()) {
+            if !column.accepts(value) {
+                return Err(OlapError::TypeMismatch {
+                    expected: "a value matching the column type",
+                    found: format!("{} for column '{name}'", value.type_name()),
+                });
+            }
+        }
         for ((_, column), value) in self.columns.iter_mut().zip(values) {
             column.push(value)?;
         }
         let row = self.rows;
         self.rows += 1;
         Ok(row)
+    }
+
+    /// Overwrites one cell of a live row (the ingest path's cell upsert).
+    /// Errors on an unknown column, an out-of-range or retracted row, or a
+    /// type-incompatible value — always leaving the table untouched.
+    pub fn set_cell(
+        &mut self,
+        row: usize,
+        column: &str,
+        value: CellValue,
+    ) -> Result<(), OlapError> {
+        if !self.is_live(row) {
+            return Err(OlapError::RowShape {
+                message: format!(
+                    "cannot update row {row} of table '{}': {}",
+                    self.name,
+                    if row < self.rows {
+                        "row is retracted"
+                    } else {
+                        "row out of range"
+                    }
+                ),
+            });
+        }
+        let name = self.name.clone();
+        let col = self
+            .columns
+            .iter_mut()
+            .find(|(n, _)| n == column)
+            .map(|(_, c)| c)
+            .ok_or_else(|| OlapError::UnknownColumn {
+                table: name,
+                column: column.to_string(),
+            })?;
+        col.set(row, value)
     }
 
     /// Reads a cell by row index and column name.
@@ -201,6 +291,80 @@ mod tests {
         assert_eq!(t.get(0, "size_sqm").unwrap(), CellValue::Integer(450));
         let err = t.push_row_positional(vec![CellValue::Null]).unwrap_err();
         assert!(matches!(err, OlapError::RowShape { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_in_row_is_rejected_without_corruption() {
+        let mut t = store_table();
+        // "size_sqm" is an integer column; a text value must fail the whole
+        // row, including the columns that would have accepted theirs.
+        let err = t
+            .push_row(vec![
+                ("Store.name", CellValue::from("X")),
+                ("size_sqm", CellValue::from("big")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, OlapError::TypeMismatch { .. }));
+        assert!(t.is_empty());
+        assert_eq!(t.column("Store.name").unwrap().len(), 0);
+        // Same for positional pushes.
+        let err = t
+            .push_row_positional(vec![
+                CellValue::from("X"),
+                CellValue::from("Y"),
+                CellValue::Boolean(true),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, OlapError::TypeMismatch { .. }));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn retraction_tombstones_without_shifting_ids() {
+        let mut t = store_table();
+        for i in 0..3 {
+            t.push_row(vec![("Store.name", CellValue::from(format!("S{i}")))])
+                .unwrap();
+        }
+        assert_eq!((t.len(), t.live_len()), (3, 3));
+        t.retract_row(1).unwrap();
+        assert_eq!((t.len(), t.live_len()), (3, 2));
+        assert!(t.is_live(0) && !t.is_live(1) && t.is_live(2));
+        assert!(!t.is_live(3));
+        // Ids are stable: row 2 still reads its own data.
+        assert_eq!(
+            t.get(2, "Store.name").unwrap(),
+            CellValue::Text("S2".into())
+        );
+        // Idempotent retraction; out-of-range errors.
+        t.retract_row(1).unwrap();
+        assert_eq!(t.live_len(), 2);
+        assert!(t.retract_row(9).is_err());
+        // Appending after a retraction allocates a fresh id.
+        let row = t
+            .push_row(vec![("Store.name", CellValue::from("S3"))])
+            .unwrap();
+        assert_eq!(row, 3);
+        assert_eq!(t.live_len(), 3);
+    }
+
+    #[test]
+    fn set_cell_updates_live_rows_only() {
+        let mut t = store_table();
+        t.push_row(vec![
+            ("Store.name", CellValue::from("Downtown")),
+            ("size_sqm", CellValue::Integer(100)),
+        ])
+        .unwrap();
+        t.set_cell(0, "size_sqm", CellValue::Integer(250)).unwrap();
+        assert_eq!(t.get(0, "size_sqm").unwrap(), CellValue::Integer(250));
+        assert!(t.set_cell(0, "ghost", CellValue::Null).is_err());
+        assert!(t.set_cell(0, "size_sqm", CellValue::from("x")).is_err());
+        assert!(t.set_cell(4, "size_sqm", CellValue::Integer(1)).is_err());
+        t.retract_row(0).unwrap();
+        assert!(t.set_cell(0, "size_sqm", CellValue::Integer(1)).is_err());
+        // The failed updates left the cell as written.
+        assert_eq!(t.get(0, "size_sqm").unwrap(), CellValue::Integer(250));
     }
 
     #[test]

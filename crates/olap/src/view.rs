@@ -127,12 +127,13 @@ impl InstanceView {
         Ok(true)
     }
 
-    /// Counts the fact rows visible through the view.
+    /// Counts the fact rows visible through the view (retracted rows are
+    /// invisible to everyone).
     pub fn visible_fact_count(&self, cube: &Cube, fact: &str) -> Result<usize, OlapError> {
-        let total = cube.fact_table(fact)?.table.len();
+        let table = &cube.fact_table(fact)?.table;
         let mut count = 0;
-        for row in 0..total {
-            if self.allows_fact_row(cube, fact, row)? {
+        for row in 0..table.len() {
+            if table.is_live(row) && self.allows_fact_row(cube, fact, row)? {
                 count += 1;
             }
         }

@@ -48,6 +48,20 @@ fn show(label: &str, response: &WebResponse) {
                  {evictions} eviction(s)"
             );
         }
+        WebResponse::IngestAccepted { deltas } => {
+            println!("[{label}] {deltas} delta(s) queued for ingestion");
+        }
+        WebResponse::IngestStats {
+            batches_applied,
+            rows_appended,
+            epochs_published,
+            ..
+        } => {
+            println!(
+                "[{label}] ingest: {batches_applied} batch(es) applied, \
+                 {rows_appended} row(s) appended, {epochs_published} epoch(s)"
+            );
+        }
         WebResponse::LoggedOut => println!("[{label}] logged out"),
         WebResponse::Error { message } => println!("[{label}] error: {message}"),
     }

@@ -49,6 +49,8 @@ pub use sdwp_datagen as datagen;
 pub use sdwp_geometry as geometry;
 /// Spatial indexes (R-tree, uniform grid).
 pub use sdwp_index as index;
+/// Streaming ingestion (epoch-batched fact deltas, atomic snapshots).
+pub use sdwp_ingest as ingest;
 /// The MD / GeoMD conceptual models.
 pub use sdwp_model as model;
 /// The in-memory spatial OLAP engine.
