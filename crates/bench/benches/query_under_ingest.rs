@@ -35,12 +35,10 @@ fn short() -> Criterion {
 
 /// (label, appends per feeder batch; 0 = no ingestion at all). One batch
 /// is submitted per ~5 ms, so trickle ≈ 1.6k and torrent ≈ 6.4k appends/s.
-/// The rates are deliberately bounded well below the current write
-/// ceiling: every epoch publication clones the whole master
-/// (O(warehouse) — a known follow-up in ROADMAP.md), so an unbounded
-/// feeder grows the cube quadratically during measurement, the clone
-/// outruns the epoch cadence and the bench never converges on a 1-core
-/// runner.
+/// The rates are bounded so the bench converges on a 1-core runner; the
+/// epoch-publication cost itself is near-flat in warehouse size since
+/// fact storage moved to chunked copy-on-write columns (see B14,
+/// `snapshot_publish.rs`).
 const RATES: [(&str, usize); 3] = [("idle", 0), ("trickle", 8), ("torrent", 32)];
 /// Epoch sizes swept (mutations per published snapshot).
 const EPOCH_ROWS: [usize; 2] = [64, 1024];

@@ -1,0 +1,107 @@
+//! B14 — epoch publication cost vs warehouse size: chunked copy-on-write
+//! storage against the flat (monolithic-chunk) layout it replaced.
+//!
+//! One measured iteration is exactly what the ingest worker does per
+//! epoch for a one-row delta: apply the delta to the write master, then
+//! publish (`master.clone()`) while the previous snapshot is still alive
+//! (a reader may hold it). With the old flat layout the apply must copy
+//! the whole dirty column — the snapshot shares it — so the epoch costs
+//! O(warehouse). With fixed-size chunks only the tail chunk is copied and
+//! the clone is a refcount sweep, so the curve should stay near-flat as
+//! the warehouse grows: O(delta), not O(warehouse).
+//!
+//! The flat baseline is simulated faithfully by building the same cube
+//! with one huge chunk per column (chunk size ≥ warehouse size) — the
+//! copy-on-write machinery then degenerates to exactly the pre-chunking
+//! clone-everything behaviour.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, SchemaBuilder};
+use sdwp_olap::{CellValue, Cube, DEFAULT_CHUNK_ROWS};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+/// Warehouse sizes swept (fact rows before the measured deltas).
+const WAREHOUSE_ROWS: [usize; 3] = [10_000, 50_000, 100_000];
+
+fn build_warehouse(rows: usize, chunk_rows: usize) -> Cube {
+    let schema = SchemaBuilder::new("B14")
+        .dimension(
+            DimensionBuilder::new("Store")
+                .simple_level("Store", "name")
+                .build(),
+        )
+        .fact(
+            FactBuilder::new("Sales")
+                .measure("UnitSales", AttributeType::Float)
+                .measure("StoreCost", AttributeType::Float)
+                .dimension("Store")
+                .build(),
+        )
+        .build()
+        .expect("bench schema is valid");
+    let mut cube = Cube::with_chunk_rows(schema, chunk_rows);
+    for i in 0..8 {
+        cube.add_dimension_member(
+            "Store",
+            vec![("Store.name", CellValue::from(format!("S{i}")))],
+        )
+        .expect("member loads");
+    }
+    for i in 0..rows {
+        cube.add_fact_row(
+            "Sales",
+            vec![("Store", i % 8)],
+            vec![
+                ("UnitSales", CellValue::Float((i % 13) as f64)),
+                ("StoreCost", CellValue::Float((i % 7) as f64)),
+            ],
+        )
+        .expect("fact row loads");
+    }
+    cube
+}
+
+fn bench_snapshot_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B14_snapshot_publish");
+    for rows in WAREHOUSE_ROWS {
+        for (layout, chunk_rows) in [("chunked", DEFAULT_CHUNK_ROWS), ("flat", rows + 8_192)] {
+            let mut master = build_warehouse(rows, chunk_rows);
+            // A live reader snapshot, as during serving: it is what forces
+            // the copy-on-write on the next delta.
+            let mut snapshot = Arc::new(master.clone());
+            group.bench_with_input(BenchmarkId::new(layout, rows), &rows, |b, _| {
+                b.iter(|| {
+                    // One epoch: a one-row delta, then publish.
+                    master
+                        .add_fact_row(
+                            "Sales",
+                            vec![("Store", 0)],
+                            vec![
+                                ("UnitSales", CellValue::Float(1.0)),
+                                ("StoreCost", CellValue::Float(2.0)),
+                            ],
+                        )
+                        .expect("delta applies");
+                    snapshot = Arc::new(master.clone());
+                    black_box(Arc::strong_count(&snapshot))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_snapshot_publish
+}
+criterion_main!(benches);

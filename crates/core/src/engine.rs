@@ -33,12 +33,13 @@ use crate::session::{SessionManager, SessionState};
 use crate::sync::{ArcSwap, VersionedSwap};
 use parking_lot::{Mutex, RwLock};
 use sdwp_ingest::{
-    BatchOutcome, CubeSink, DeltaBatch, IngestConfig, IngestHandle, IngestPipeline, IngestStats,
+    BatchOutcome, CompactionOutcome, CompactionPolicy, CubeSink, DeltaBatch, IngestConfig,
+    IngestHandle, IngestPipeline, IngestStats,
 };
 use sdwp_model::{Schema, SchemaDiff};
 use sdwp_olap::{
-    CacheKey, CacheStats, Cube, ExecutionConfig, InstanceView, OlapError, Query, QueryCache,
-    QueryEngine, QueryResult,
+    CacheKey, CacheStats, Cube, ExecutionConfig, FactTableStats, InstanceView, OlapError, Query,
+    QueryCache, QueryEngine, QueryResult,
 };
 use sdwp_prml::{
     check_rules, EvalContext, FireReport, LayerSource, NoExternalLayers, Rule, RuleClass,
@@ -61,6 +62,11 @@ pub(crate) struct CubeState {
     pub(crate) snapshot: VersionedSwap<Cube>,
     /// Snapshot-keyed result cache in front of the executor.
     pub(crate) result_cache: QueryCache,
+    /// The session manager, shared with the engine: compaction remaps
+    /// every open session's fact-row selections right after publishing a
+    /// rewritten table, keeping stored views on the version-aligned fast
+    /// path.
+    pub(crate) sessions: Arc<SessionManager>,
 }
 
 /// The ingest side of the engine: batches are applied to the master under
@@ -88,7 +94,59 @@ impl CubeSink for CubeState {
         drop(master);
         generation
     }
+
+    fn maybe_compact(&self, policy: &CompactionPolicy) -> Vec<CompactionOutcome> {
+        let mut master = self.master.lock();
+        let candidates: Vec<(String, usize, usize)> = master
+            .fact_table_stats()
+            .into_iter()
+            .filter(|s| policy.should_compact(s.total_rows, s.live_rows))
+            .map(|s| (s.fact, s.total_rows, s.live_rows))
+            .collect();
+        let mut outcomes = Vec::new();
+        for (fact, rows_before, live_rows) in candidates {
+            let version_before = master
+                .fact_table(&fact)
+                .expect("candidate fact exists")
+                .compaction_version();
+            let remap = master
+                .compact_fact_table(&fact)
+                .expect("candidate fact exists");
+            // Publish the rewritten table, then remap stored session
+            // views — in that order, and all under the master lock. A
+            // query pairs its view load with a *later* snapshot load, so
+            // it either sees (stale view, compacted snapshot), which the
+            // remap chain resolves, or (remapped view, compacted
+            // snapshot), the aligned fast path; never a remapped view
+            // against the pre-compaction snapshot.
+            let generation = self.snapshot.store(Arc::new(master.clone()));
+            // The rewrite preserves live-row content, but conservatively
+            // drop cached results over this fact with the same scoped
+            // invalidation an ingest epoch uses.
+            let mut changed = BTreeSet::new();
+            changed.insert(fact.clone());
+            self.result_cache.publish(generation, &changed);
+            self.sessions.remap_fact_rows(&fact, &remap, version_before);
+            outcomes.push(CompactionOutcome {
+                fact,
+                rows_before,
+                live_rows,
+                generation,
+            });
+        }
+        outcomes
+    }
+
+    fn fact_stats(&self) -> Vec<FactTableStats> {
+        self.master.lock().fact_table_stats()
+    }
 }
+
+/// How long a read-your-writes query waits for the snapshot to catch up
+/// with the session's pinned generation before refusing. Generous against
+/// the default epoch interval (50 ms) while still bounding worst-case
+/// query latency.
+const READ_YOUR_WRITES_WAIT: std::time::Duration = std::time::Duration::from_millis(500);
 
 /// A handle to a started session: the id plus the report of what the
 /// personalization rules did at session start.
@@ -119,7 +177,7 @@ pub struct PersonalizationEngine {
     rules_write: Mutex<()>,
     parameters: RwLock<BTreeMap<String, f64>>,
     layer_source: Arc<dyn LayerSource + Send + Sync>,
-    sessions: SessionManager,
+    sessions: Arc<SessionManager>,
     query_engine: QueryEngine,
     /// The streaming-ingestion pipeline, started lazily by
     /// [`PersonalizationEngine::start_ingest`]. Shut down (drained,
@@ -148,11 +206,13 @@ impl PersonalizationEngine {
     ) -> Self {
         let original_schema = cube.schema().clone();
         let snapshot = VersionedSwap::from_pointee(cube.clone());
+        let sessions = Arc::new(SessionManager::new());
         PersonalizationEngine {
             cube_state: Arc::new(CubeState {
                 master: Mutex::new(cube),
                 snapshot,
                 result_cache: QueryCache::new(config.cache_capacity),
+                sessions: Arc::clone(&sessions),
             }),
             original_schema,
             profiles: ProfileStore::new(),
@@ -160,7 +220,7 @@ impl PersonalizationEngine {
             rules_write: Mutex::new(()),
             parameters: RwLock::new(BTreeMap::new()),
             layer_source,
-            sessions: SessionManager::new(),
+            sessions,
             query_engine: QueryEngine::with_config(config),
             ingest: Mutex::new(None),
         }
@@ -251,8 +311,9 @@ impl PersonalizationEngine {
             None => Session::start(id, user_id),
         };
         let mut state = SessionState::new(session);
-        let report = self.fire_event(user_id, &state.session, &RuntimeEvent::SessionStart)?;
-        Self::apply_selection_effects(&report, &mut state.view);
+        let (report, fact_versions) =
+            self.fire_event(user_id, &state.session, &RuntimeEvent::SessionStart)?;
+        self.apply_selection_effects(&report, &fact_versions, &mut state.view);
         state.effects.extend(report.effects.iter().cloned());
         let personalization_report = self.build_report(user_id, &state, &report)?;
         self.sessions.insert(state);
@@ -287,9 +348,9 @@ impl PersonalizationEngine {
             element: element.to_string(),
             expression: expression.map(str::to_string),
         };
-        let report = self.fire_event(&user_id, &session_snapshot, &event)?;
+        let (report, fact_versions) = self.fire_event(&user_id, &session_snapshot, &event)?;
         self.sessions.with_session_mut(session_id, |state| {
-            Self::apply_selection_effects(&report, &mut state.view);
+            self.apply_selection_effects(&report, &fact_versions, &mut state.view);
             state.effects.extend(report.effects.iter().cloned());
         })?;
         Ok(report)
@@ -309,7 +370,8 @@ impl PersonalizationEngine {
                 state.session.end();
                 Ok((state.session.user_id.clone(), state.session.clone()))
             })??;
-        let report = self.fire_event(&user_id, &session_snapshot, &RuntimeEvent::SessionEnd)?;
+        let (report, _) =
+            self.fire_event(&user_id, &session_snapshot, &RuntimeEvent::SessionEnd)?;
         self.sessions.with_session_mut(session_id, |state| {
             state.effects.extend(report.effects.iter().cloned());
         })?;
@@ -326,33 +388,65 @@ impl PersonalizationEngine {
     /// triple was executed before; a rule firing that publishes a new
     /// cube bumps the generation and misses every stale entry.
     pub fn query(&self, session_id: SessionId, query: &Query) -> Result<QueryResult, CoreError> {
-        let (active, view) = self.sessions.with_session(session_id, |state| {
-            (state.is_active(), Arc::clone(&state.view))
+        let (active, view, min_generation) = self.sessions.with_session(session_id, |state| {
+            (
+                state.is_active(),
+                Arc::clone(&state.view),
+                state.min_generation,
+            )
         })?;
         if !active {
             return Err(CoreError::UnknownSession {
                 session: session_id,
             });
         }
-        self.query_snapshot(query, view)
+        self.query_snapshot(query, view, min_generation)
     }
 
     /// Executes an OLAP query against the full, unpersonalized cube
     /// (the baseline the paper's approach avoids exposing to users).
     pub fn query_unpersonalized(&self, query: &Query) -> Result<QueryResult, CoreError> {
-        self.query_snapshot(query, Arc::new(InstanceView::unrestricted()))
+        self.query_snapshot(query, Arc::new(InstanceView::unrestricted()), 0)
+    }
+
+    /// Pins a session to a minimum snapshot generation: later queries of
+    /// the session refuse (after a bounded wait for the ingest worker)
+    /// snapshots older than the pin — the read-your-writes contract. A
+    /// producer pins `ingest_stats().last_generation` right after a
+    /// `flush`, and every subsequent query of that session observes its
+    /// writes. Pins only ratchet upwards; returns the effective pin.
+    pub fn pin_session_generation(
+        &self,
+        session_id: SessionId,
+        generation: u64,
+    ) -> Result<u64, CoreError> {
+        self.sessions.with_session_mut(session_id, |state| {
+            if !state.is_active() {
+                return Err(CoreError::UnknownSession {
+                    session: session_id,
+                });
+            }
+            state.min_generation = state.min_generation.max(generation);
+            Ok(state.min_generation)
+        })?
     }
 
     /// The shared cached read path: consistent `(generation, cube)` pair,
     /// cache lookup, parallel execution, cache fill. Takes the view as an
     /// `Arc` (sessions already hold one), so keying the cache is a
     /// refcount bump rather than a deep clone of the selection sets.
+    ///
+    /// `min_generation` is the session's read-your-writes floor: when the
+    /// published snapshot is older, the query waits briefly for the epoch
+    /// worker to catch up and errors with [`CoreError::StaleSnapshot`] if
+    /// it does not.
     fn query_snapshot(
         &self,
         query: &Query,
         view: Arc<InstanceView>,
+        min_generation: u64,
     ) -> Result<QueryResult, CoreError> {
-        let (generation, cube) = self.cube_state.snapshot.load_versioned();
+        let (generation, cube) = self.wait_for_generation(min_generation)?;
         if !self.cube_state.result_cache.is_enabled() {
             return Ok(self.query_engine.execute_with_view(&cube, query, &view)?);
         }
@@ -367,6 +461,31 @@ impl PersonalizationEngine {
             .result_cache
             .insert(key, Arc::new(result.clone()));
         Ok(result)
+    }
+
+    /// Loads a consistent `(generation, cube)` pair at or above
+    /// `min_generation`, polling briefly when the published snapshot lags
+    /// a read-your-writes pin (the epoch worker publishes within its
+    /// `max_interval`, typically tens of milliseconds).
+    fn wait_for_generation(&self, min_generation: u64) -> Result<(u64, Arc<Cube>), CoreError> {
+        let (generation, cube) = self.cube_state.snapshot.load_versioned();
+        if generation >= min_generation {
+            return Ok((generation, cube));
+        }
+        let deadline = std::time::Instant::now() + READ_YOUR_WRITES_WAIT;
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let (generation, cube) = self.cube_state.snapshot.load_versioned();
+            if generation >= min_generation {
+                return Ok((generation, cube));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(CoreError::StaleSnapshot {
+                    published: generation,
+                    required: min_generation,
+                });
+            }
+        }
     }
 
     /// Counters of the query-result cache (hits, misses, entries,
@@ -477,12 +596,18 @@ impl PersonalizationEngine {
     /// tables are the streaming-ingest subsystem's territory (the master
     /// may be an epoch ahead of the snapshot there), so the rollback
     /// keeps the master's fact tables: rules cannot have touched them.
+    /// Besides the fire report, returns each fact table's compaction
+    /// version as observed under the master lock — the numbering any
+    /// `SelectInstance` fact-row selections in the report refer to, so
+    /// [`PersonalizationEngine::apply_selection_effects`] can pin them
+    /// (a compaction interleaving between the firing and the application
+    /// then translates correctly instead of silently misreading ids).
     fn fire_event(
         &self,
         user_id: &str,
         session: &Session,
         event: &RuntimeEvent,
-    ) -> Result<FireReport, CoreError> {
+    ) -> Result<(FireReport, BTreeMap<String, u64>), CoreError> {
         let rules = self.rules.load();
         let parameters = self.parameters.read().clone();
         let mut master = self.cube_state.master.lock();
@@ -523,15 +648,36 @@ impl PersonalizationEngine {
                 .invalidate_generations_below(generation);
         }
         self.profiles.upsert(profile);
+        // Only fact-row selections consume the version map; skip the
+        // allocation on the (common) firings without one.
+        let has_fact_selections = report
+            .effects
+            .iter()
+            .any(|e| e.selections.keys().any(|k| k.starts_with("__fact__")));
+        let fact_versions = if has_fact_selections {
+            master.fact_compaction_versions()
+        } else {
+            BTreeMap::new()
+        };
         drop(master);
-        Ok(report)
+        Ok((report, fact_versions))
     }
 
     /// Applies the SelectInstance effects of a fire report to a view:
-    /// each rule's selection restricts the view conjunctively. The view is
-    /// copy-on-write (`Arc`): concurrent readers keep the snapshot they
-    /// loaded; only the stored view is replaced.
-    fn apply_selection_effects(report: &FireReport, view: &mut Arc<InstanceView>) {
+    /// each rule's selection restricts the view conjunctively, with
+    /// fact-row selections pinned to the compaction version the firing
+    /// observed. If a compaction slipped in between the firing and this
+    /// application (the stored selection is already at a newer version),
+    /// the incoming ids are translated forward through the published
+    /// remap chain first, so the intersection always happens in one
+    /// numbering. The view is copy-on-write (`Arc`): concurrent readers
+    /// keep the snapshot they loaded; only the stored view is replaced.
+    fn apply_selection_effects(
+        &self,
+        report: &FireReport,
+        fact_versions: &BTreeMap<String, u64>,
+        view: &mut Arc<InstanceView>,
+    ) {
         if report
             .effects
             .iter()
@@ -543,7 +689,29 @@ impl PersonalizationEngine {
         for effect in &report.effects {
             for (dimension, members) in &effect.selections {
                 if let Some(fact) = dimension.strip_prefix("__fact__") {
-                    view.select_fact_rows(fact.to_string(), members.iter().copied());
+                    let version = fact_versions.get(fact).copied().unwrap_or(0);
+                    match view.fact_selection_version(fact) {
+                        Some(stored) if stored > version => {
+                            // Compaction raced the firing: re-anchor the
+                            // fired ids to the stored selection's
+                            // numbering. Stored views are remapped under
+                            // the master lock right after each compacted
+                            // snapshot publishes, so the published chain
+                            // always covers `version..stored`.
+                            let cube = self.cube_state.snapshot.load();
+                            let translated = cube
+                                .translate_fact_rows(fact, version, stored, members.iter().copied())
+                                .unwrap_or_else(|_| members.iter().copied().collect());
+                            view.select_fact_rows_at(fact.to_string(), stored, translated);
+                        }
+                        _ => {
+                            view.select_fact_rows_at(
+                                fact.to_string(),
+                                version,
+                                members.iter().copied(),
+                            );
+                        }
+                    }
                 } else {
                     view.select_dimension_members(dimension.clone(), members.iter().copied());
                 }
@@ -1005,6 +1173,84 @@ mod tests {
             scenario.cube.total_live_fact_rows() + 1,
             "rollback of a failed firing must keep ingested facts"
         );
+    }
+
+    #[test]
+    fn pinned_sessions_read_their_own_writes() {
+        let (engine, scenario) = engine();
+        let handle = engine
+            .start_session("regional-manager", Some(near_first_store(&scenario)))
+            .unwrap();
+        let ingest = engine.start_ingest(
+            sdwp_ingest::IngestConfig::default()
+                .with_epoch(sdwp_ingest::EpochPolicy::default().with_max_rows(1_000_000)),
+        );
+        let before = engine.query_unpersonalized(&Query::over("Sales").measure("UnitSales"));
+        assert!(before.is_ok());
+        ingest
+            .submit(DeltaBatch::new().append(
+                "Sales",
+                vec![
+                    ("Store", 0usize),
+                    ("Customer", 0usize),
+                    ("Product", 0usize),
+                    ("Time", 0usize),
+                ],
+                vec![("UnitSales", sdwp_olap::CellValue::Float(5.0))],
+            ))
+            .unwrap();
+        let generation = ingest.flush().unwrap();
+        // Pin the session to the flushed generation: its next query must
+        // observe the appended row.
+        assert_eq!(
+            engine
+                .pin_session_generation(handle.id, generation)
+                .unwrap(),
+            generation
+        );
+        // Pins only ratchet upwards.
+        assert_eq!(
+            engine.pin_session_generation(handle.id, 0).unwrap(),
+            generation
+        );
+        let result = engine
+            .query(handle.id, &Query::over("Sales").measure("UnitSales"))
+            .unwrap();
+        assert!(result.facts_scanned > 0);
+        assert!(engine.cube_generation() >= generation);
+        // A pin beyond anything the worker will publish times out into a
+        // stale-snapshot error instead of hanging.
+        engine
+            .pin_session_generation(handle.id, generation + 100)
+            .unwrap();
+        assert!(matches!(
+            engine.query(handle.id, &Query::over("Sales").measure("UnitSales")),
+            Err(CoreError::StaleSnapshot { required, .. }) if required == generation + 100
+        ));
+        // Unknown sessions cannot be pinned.
+        assert!(engine.pin_session_generation(9_999, 1).is_err());
+    }
+
+    #[test]
+    fn ingest_stats_expose_per_fact_compaction_pressure() {
+        let (engine, _scenario) = engine();
+        let ingest = engine.start_ingest(
+            sdwp_ingest::IngestConfig::default()
+                .with_epoch(sdwp_ingest::EpochPolicy::default().with_max_rows(1_000_000)),
+        );
+        ingest
+            .submit(DeltaBatch::new().retract("Sales", 0).retract("Sales", 1))
+            .unwrap();
+        ingest.flush().unwrap();
+        let stats = engine.ingest_stats().unwrap();
+        let sales = stats
+            .fact_tables
+            .iter()
+            .find(|s| s.fact == "Sales")
+            .expect("Sales gauge");
+        assert_eq!(sales.total_rows - sales.live_rows, 2);
+        assert!(sales.tombstone_ratio > 0.0);
+        assert_eq!(sales.compactions, 0, "compaction is disabled by default");
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum CoreError {
         /// Description of the problem.
         message: String,
     },
+    /// A read-your-writes session required a newer snapshot generation
+    /// than the one published within the wait budget.
+    StaleSnapshot {
+        /// The generation currently published.
+        published: u64,
+        /// The generation the session is pinned to.
+        required: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +51,14 @@ impl fmt::Display for CoreError {
             }
             CoreError::Ingest { message } => write!(f, "ingest error: {message}"),
             CoreError::BadRequest { message } => write!(f, "bad request: {message}"),
+            CoreError::StaleSnapshot {
+                published,
+                required,
+            } => write!(
+                f,
+                "published snapshot generation {published} is older than the session's \
+                 pinned generation {required}"
+            ),
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::error::CoreError;
 use parking_lot::RwLock;
-use sdwp_olap::InstanceView;
+use sdwp_olap::{InstanceView, RowRemap};
 use sdwp_prml::RuleEffect;
 use sdwp_user::{Session, SessionId, SessionStatus};
 use std::collections::HashMap;
@@ -30,6 +30,10 @@ pub struct SessionState {
     pub view: Arc<InstanceView>,
     /// Effects of the rules that fired during this session, in firing order.
     pub effects: Vec<RuleEffect>,
+    /// Read-your-writes floor: queries of this session refuse (after a
+    /// bounded wait) snapshots older than this generation. `0` means no
+    /// pin — any snapshot serves.
+    pub min_generation: u64,
 }
 
 impl SessionState {
@@ -39,6 +43,7 @@ impl SessionState {
             session,
             view: Arc::new(InstanceView::unrestricted()),
             effects: Vec::new(),
+            min_generation: 0,
         }
     }
 
@@ -162,6 +167,23 @@ impl SessionManager {
     /// The number of shards the session map is split into.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Translates every stored session view's selection over `fact`
+    /// through one compaction remap (see
+    /// [`InstanceView::remap_fact_rows`]). Called by the compaction path
+    /// right after it publishes the rewritten snapshot, so stored views
+    /// stay aligned with the current row numbering; views already at a
+    /// different version (or without a selection over the fact) are left
+    /// untouched — queries resolve those through the remap chain instead.
+    pub fn remap_fact_rows(&self, fact: &str, remap: &RowRemap, from_version: u64) {
+        for shard in &self.shards {
+            for state in shard.write().values_mut() {
+                if state.view.fact_selection_version(fact) == Some(from_version) {
+                    Arc::make_mut(&mut state.view).remap_fact_rows(fact, remap, from_version);
+                }
+            }
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use crate::engine::PersonalizationEngine;
 use crate::error::CoreError;
 use crate::report::PersonalizationReport;
 use sdwp_ingest::{DeltaBatch, IngestConfig};
-use sdwp_olap::{AttributeRef, CellValue, Query};
+use sdwp_olap::{AttributeRef, CellValue, FactTableStats, Query};
 use sdwp_user::{LocationContext, SessionId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -66,6 +66,17 @@ pub enum WebRequest {
     },
     /// An operator asks for the streaming-ingestion counters.
     IngestStats,
+    /// The session asks to *read its own writes*: pin it to a minimum
+    /// snapshot generation (typically the `last_generation` reported
+    /// after its deltas were flushed), so later queries of this session
+    /// never observe an older snapshot — they briefly wait for the epoch
+    /// worker, and refuse if it cannot catch up.
+    PinGeneration {
+        /// The session to pin.
+        session: SessionId,
+        /// The minimum snapshot generation (pins only ratchet upwards).
+        generation: u64,
+    },
     /// The user logs out.
     Logout {
         /// The session to end.
@@ -140,6 +151,16 @@ pub enum WebResponse {
         epochs_published: u64,
         /// Generation of the last published snapshot.
         last_generation: u64,
+        /// Fact-table compactions performed by the epoch worker.
+        compactions: u64,
+        /// Per-fact storage gauges (total / live rows, tombstone ratio,
+        /// compactions) — the operator's compaction-pressure dashboard.
+        fact_tables: Vec<FactTableStats>,
+    },
+    /// A session was pinned to a minimum snapshot generation.
+    GenerationPinned {
+        /// The effective pin (pins only ratchet upwards).
+        generation: u64,
     },
     /// Logout succeeded.
     LoggedOut,
@@ -310,7 +331,16 @@ impl WebFacade {
                     rows_retracted: stats.rows_retracted,
                     epochs_published: stats.epochs_published,
                     last_generation: stats.last_generation,
+                    compactions: stats.compactions,
+                    fact_tables: stats.fact_tables,
                 })
+            }
+            WebRequest::PinGeneration {
+                session,
+                generation,
+            } => {
+                let generation = self.engine.pin_session_generation(session, generation)?;
+                Ok(WebResponse::GenerationPinned { generation })
             }
             WebRequest::Logout { session } => {
                 self.engine.end_session(session)?;

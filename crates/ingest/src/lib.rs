@@ -30,5 +30,7 @@ pub mod pipeline;
 pub use delta::{BatchOutcome, DeltaBatch, FactDelta};
 pub use error::IngestError;
 pub use pipeline::{
-    CubeSink, EpochPolicy, IngestConfig, IngestHandle, IngestPipeline, IngestStats,
+    CompactionOutcome, CompactionPolicy, CubeSink, EpochPolicy, IngestConfig, IngestHandle,
+    IngestPipeline, IngestStats,
 };
+pub use sdwp_olap::FactTableStats;

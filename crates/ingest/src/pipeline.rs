@@ -18,7 +18,7 @@
 use crate::delta::{BatchOutcome, DeltaBatch};
 use crate::error::IngestError;
 use parking_lot::Mutex;
-use sdwp_olap::OlapError;
+use sdwp_olap::{FactTableStats, OlapError};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
@@ -42,6 +42,93 @@ pub trait CubeSink: Send + Sync {
     /// fact tables the epoch's batches changed — the implementor scopes
     /// result-cache invalidation to exactly those facts.
     fn publish_epoch(&self, changed_facts: &BTreeSet<String>) -> u64;
+
+    /// Compacts every fact table whose tombstone pressure crosses the
+    /// policy, publishing a fresh snapshot (and remapping whatever
+    /// long-lived row-id selections the implementor tracks) per compacted
+    /// table. Called by the epoch worker right after each publication.
+    /// The default does nothing — sinks without compaction support stay
+    /// valid.
+    fn maybe_compact(&self, _policy: &CompactionPolicy) -> Vec<CompactionOutcome> {
+        Vec::new()
+    }
+
+    /// Per-fact storage counters (total / live rows, tombstone ratio,
+    /// compactions) of the write master, surfaced through
+    /// [`IngestStats::fact_tables`]. The default reports nothing.
+    fn fact_stats(&self) -> Vec<FactTableStats> {
+        Vec::new()
+    }
+}
+
+/// When the epoch worker rewrites a tombstone-heavy fact table.
+///
+/// Disabled by default: compaction remaps stable row ids, so producers
+/// that address rows by id (upserts, retractions) must either re-resolve
+/// ids after a compaction (via the published remap chain) or only ever
+/// append. Enable it by setting a ratio ≤ 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Tombstone ratio (dead rows / total rows) at or above which a fact
+    /// table is compacted. A value above `1.0` disables compaction.
+    pub max_tombstone_ratio: f64,
+    /// Minimum total rows before a table is considered (small tables are
+    /// never worth rewriting).
+    pub min_rows: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy::disabled()
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never compacts (the default).
+    pub fn disabled() -> Self {
+        CompactionPolicy {
+            max_tombstone_ratio: 2.0,
+            min_rows: 1024,
+        }
+    }
+
+    /// Sets the tombstone-ratio trigger (≤ 1.0 enables compaction).
+    pub fn with_max_tombstone_ratio(mut self, ratio: f64) -> Self {
+        self.max_tombstone_ratio = ratio;
+        self
+    }
+
+    /// Sets the minimum table size considered for compaction.
+    pub fn with_min_rows(mut self, min_rows: usize) -> Self {
+        self.min_rows = min_rows;
+        self
+    }
+
+    /// Whether this policy can ever trigger.
+    pub fn is_enabled(&self) -> bool {
+        self.max_tombstone_ratio <= 1.0
+    }
+
+    /// Whether a table with the given row counts should be compacted now.
+    pub fn should_compact(&self, total_rows: usize, live_rows: usize) -> bool {
+        self.is_enabled() && total_rows >= self.min_rows.max(1) && {
+            let dead = (total_rows - live_rows) as f64;
+            dead / total_rows as f64 >= self.max_tombstone_ratio
+        }
+    }
+}
+
+/// What one compaction did, as reported by [`CubeSink::maybe_compact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// The compacted fact table.
+    pub fact: String,
+    /// Rows (live + dead) before the rewrite.
+    pub rows_before: usize,
+    /// Live rows after the rewrite (all of them, by construction).
+    pub live_rows: usize,
+    /// The generation of the snapshot that published the rewrite.
+    pub generation: u64,
 }
 
 /// When to close an epoch and publish a snapshot.
@@ -80,12 +167,14 @@ impl EpochPolicy {
 }
 
 /// Configuration of an ingestion pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IngestConfig {
     /// Capacity of the bounded submission queue (in batches).
     pub queue_depth: usize,
     /// The epoch publication policy.
     pub epoch: EpochPolicy,
+    /// The tombstone-compaction policy (disabled by default).
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for IngestConfig {
@@ -93,6 +182,7 @@ impl Default for IngestConfig {
         IngestConfig {
             queue_depth: 64,
             epoch: EpochPolicy::default(),
+            compaction: CompactionPolicy::disabled(),
         }
     }
 }
@@ -109,10 +199,16 @@ impl IngestConfig {
         self.epoch = epoch;
         self
     }
+
+    /// Sets the compaction policy.
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.compaction = compaction;
+        self
+    }
 }
 
 /// Counters describing a pipeline's behaviour so far.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IngestStats {
     /// Batches accepted into the queue.
     pub batches_submitted: u64,
@@ -133,8 +229,14 @@ pub struct IngestStats {
     pub epochs_published: u64,
     /// Generation of the last published snapshot (0 before the first).
     pub last_generation: u64,
+    /// Fact-table compactions performed by the epoch worker.
+    pub compactions: u64,
     /// Description of the most recent batch failure, when any.
     pub last_error: Option<String>,
+    /// Per-fact storage counters of the write master (live rows,
+    /// tombstone ratio, compactions) — the operator's compaction-pressure
+    /// gauge.
+    pub fact_tables: Vec<FactTableStats>,
 }
 
 /// Lock-free counter block shared by handles, the worker and the pipeline.
@@ -149,6 +251,7 @@ struct Shared {
     rows_retracted: AtomicU64,
     epochs_published: AtomicU64,
     last_generation: AtomicU64,
+    compactions: AtomicU64,
     closed: AtomicBool,
     /// Submission gate: every submission holds a read guard across its
     /// channel send, and shutdown flips `closed` under the write guard —
@@ -172,7 +275,9 @@ impl Shared {
             rows_retracted: self.rows_retracted.load(Ordering::Relaxed),
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
             last_generation: self.last_generation.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
             last_error: self.last_error.lock().clone(),
+            fact_tables: Vec::new(),
         }
     }
 }
@@ -190,6 +295,7 @@ enum Msg {
 pub struct IngestHandle {
     tx: mpsc::SyncSender<Msg>,
     shared: Arc<Shared>,
+    sink: Arc<dyn CubeSink>,
 }
 
 impl IngestHandle {
@@ -251,9 +357,12 @@ impl IngestHandle {
         reply_rx.recv().map_err(|_| IngestError::Closed)
     }
 
-    /// A snapshot of the pipeline's counters.
+    /// A snapshot of the pipeline's counters, including the per-fact
+    /// storage gauges of the sink's write master.
     pub fn stats(&self) -> IngestStats {
-        self.shared.snapshot()
+        let mut stats = self.shared.snapshot();
+        stats.fact_tables = self.sink.fact_stats();
+        stats
     }
 }
 
@@ -274,17 +383,20 @@ impl IngestPipeline {
         let shared = Arc::new(Shared::default());
         let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
         let worker = {
+            let sink = Arc::clone(&sink);
             let shared = Arc::clone(&shared);
             let policy = config.epoch;
+            let compaction = config.compaction;
             std::thread::Builder::new()
                 .name("sdwp-ingest".into())
-                .spawn(move || worker_loop(rx, sink, shared, policy))
+                .spawn(move || worker_loop(rx, sink, shared, policy, compaction))
                 .expect("spawning the ingest worker")
         };
         IngestPipeline {
             handle: IngestHandle {
                 tx,
                 shared: Arc::clone(&shared),
+                sink,
             },
             shared,
             worker: Some(worker),
@@ -296,9 +408,10 @@ impl IngestPipeline {
         self.handle.clone()
     }
 
-    /// A snapshot of the pipeline's counters.
+    /// A snapshot of the pipeline's counters, including the per-fact
+    /// storage gauges of the sink's write master.
     pub fn stats(&self) -> IngestStats {
-        self.shared.snapshot()
+        self.handle.stats()
     }
 
     /// Shuts the pipeline down: already-accepted batches are applied, a
@@ -334,12 +447,14 @@ impl Drop for IngestPipeline {
     }
 }
 
-/// The epoch worker: drain → apply → publish on policy triggers.
+/// The epoch worker: drain → apply → publish on policy triggers, with a
+/// tombstone-compaction check after every publication.
 fn worker_loop(
     rx: mpsc::Receiver<Msg>,
     sink: Arc<dyn CubeSink>,
     shared: Arc<Shared>,
     policy: EpochPolicy,
+    compaction: CompactionPolicy,
 ) {
     let mut pending_rows: u64 = 0;
     let mut changed_facts: BTreeSet<String> = BTreeSet::new();
@@ -390,6 +505,21 @@ fn worker_loop(
         *pending_rows = 0;
         changed_facts.clear();
         *epoch_started = None;
+        // Retractions only accumulate at publication boundaries, so this
+        // is the one place compaction pressure can newly cross the
+        // policy. Each compaction publishes its own snapshot; readers'
+        // stale selections keep resolving through the remap chain.
+        if compaction.is_enabled() {
+            let outcomes = sink.maybe_compact(&compaction);
+            if let Some(last) = outcomes.last() {
+                shared
+                    .compactions
+                    .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+                shared
+                    .last_generation
+                    .store(last.generation, Ordering::Relaxed);
+            }
+        }
     };
 
     loop {
@@ -518,6 +648,32 @@ mod tests {
                 .lock()
                 .push((generation, live, changed_facts.clone()));
             generation
+        }
+
+        fn maybe_compact(&self, policy: &CompactionPolicy) -> Vec<CompactionOutcome> {
+            let mut master = self.master.lock();
+            let candidates: Vec<(String, usize, usize)> = master
+                .fact_table_stats()
+                .into_iter()
+                .filter(|s| policy.should_compact(s.total_rows, s.live_rows))
+                .map(|s| (s.fact, s.total_rows, s.live_rows))
+                .collect();
+            let mut outcomes = Vec::new();
+            for (fact, rows_before, live_rows) in candidates {
+                master.compact_fact_table(&fact).expect("fact exists");
+                let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+                outcomes.push(CompactionOutcome {
+                    fact,
+                    rows_before,
+                    live_rows,
+                    generation,
+                });
+            }
+            outcomes
+        }
+
+        fn fact_stats(&self) -> Vec<FactTableStats> {
+            self.master.lock().fact_table_stats()
         }
     }
 
@@ -709,6 +865,76 @@ mod tests {
             Err(other) => panic!("unexpected {other:?}"),
         }
         assert_eq!(stats.rows_appended, stats.batches_applied);
+    }
+
+    #[test]
+    fn compaction_policy_thresholds() {
+        let disabled = CompactionPolicy::disabled();
+        assert!(!disabled.is_enabled());
+        assert!(!disabled.should_compact(1_000_000, 0));
+        let policy = CompactionPolicy::disabled()
+            .with_max_tombstone_ratio(0.5)
+            .with_min_rows(4);
+        assert!(policy.is_enabled());
+        assert!(!policy.should_compact(2, 0), "below min_rows");
+        assert!(!policy.should_compact(8, 5), "ratio 3/8 under threshold");
+        assert!(policy.should_compact(8, 4));
+        assert!(policy.should_compact(8, 0));
+        assert!(!policy.should_compact(0, 0));
+    }
+
+    #[test]
+    fn tombstone_pressure_triggers_worker_compaction() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default()
+                .with_epoch(
+                    EpochPolicy::default()
+                        .with_max_rows(1_000_000)
+                        .with_max_interval(Duration::from_secs(3600)),
+                )
+                .with_compaction(
+                    CompactionPolicy::disabled()
+                        .with_max_tombstone_ratio(0.5)
+                        .with_min_rows(4),
+                ),
+        );
+        let handle = pipeline.handle();
+        handle.submit(append_batch(6)).unwrap();
+        let after_appends = handle.flush().unwrap();
+        assert_eq!(
+            handle.stats().compactions,
+            0,
+            "no tombstones, no compaction"
+        );
+        // Retract 4 of the 6 rows: ratio 4/6 crosses the 0.5 policy at the
+        // next publication, and the worker rewrites the table.
+        let mut retractions = DeltaBatch::new();
+        for row in 0..4 {
+            retractions = retractions.retract("Sales", row);
+        }
+        handle.submit(retractions).unwrap();
+        let generation = handle.flush().unwrap();
+        assert!(generation > after_appends, "compaction published on top");
+        let stats = handle.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.rows_retracted, 4);
+        // The per-fact gauges show the rewritten table: dense and
+        // tombstone-free, with the compaction counted.
+        let sales = stats
+            .fact_tables
+            .iter()
+            .find(|s| s.fact == "Sales")
+            .expect("Sales gauge");
+        assert_eq!((sales.total_rows, sales.live_rows), (2, 2));
+        assert_eq!(sales.tombstone_ratio, 0.0);
+        assert_eq!(sales.compactions, 1);
+        // The master's remap chain survives for stale selections.
+        assert_eq!(
+            sink.master.lock().fact_table("Sales").unwrap().remaps.len(),
+            1
+        );
     }
 
     #[test]

@@ -6,18 +6,22 @@
 //! [`Accumulator::merge`] by the parallel executor and only finalised
 //! once at the end.
 
+use crate::kernels::NumericAgg;
 use crate::value::CellValue;
 use sdwp_model::AggregationFunction;
 use std::collections::HashSet;
 
 /// An incremental accumulator for one measure within one group.
+///
+/// The numeric state (count / sum / min / max) *is* a
+/// [`NumericAgg`] — the same type the vectorised per-chunk kernels
+/// produce — so the per-row path, the typed fast path and the kernel
+/// path share one implementation of every numeric identity by
+/// construction.
 #[derive(Debug, Clone)]
 pub struct Accumulator {
     function: AggregationFunction,
-    count: u64,
-    sum: f64,
-    min: Option<f64>,
-    max: Option<f64>,
+    numeric: NumericAgg,
     distinct: HashSet<String>,
 }
 
@@ -26,10 +30,7 @@ impl Accumulator {
     pub fn new(function: AggregationFunction) -> Self {
         Accumulator {
             function,
-            count: 0,
-            sum: 0.0,
-            min: None,
-            max: None,
+            numeric: NumericAgg::default(),
             distinct: HashSet::new(),
         }
     }
@@ -46,15 +47,43 @@ impl Accumulator {
         if value.is_null() {
             return;
         }
-        self.count += 1;
-        if let Some(n) = value.as_number() {
-            self.sum += n;
-            self.min = Some(self.min.map_or(n, |m| m.min(n)));
-            self.max = Some(self.max.map_or(n, |m| m.max(n)));
+        match value.as_number() {
+            Some(n) => self.numeric.observe(n),
+            // Non-numeric non-null values still count (COUNT over a text
+            // column) but contribute no sum/min/max.
+            None => self.numeric.count += 1,
         }
         if self.function == AggregationFunction::CountDistinct {
             self.distinct.insert(value.group_key());
         }
+    }
+
+    /// Feeds one non-null numeric value — the typed fast path the morsel
+    /// executor uses for numeric measure columns, equivalent to
+    /// [`Accumulator::update`] with a numeric [`CellValue`] but without
+    /// materialising one. Not valid for COUNT DISTINCT (which needs the
+    /// value's group key); callers route those through `update`.
+    #[inline]
+    pub fn update_number(&mut self, n: f64) {
+        debug_assert_ne!(
+            self.function,
+            AggregationFunction::CountDistinct,
+            "COUNT DISTINCT needs the full value, not the numeric fast path"
+        );
+        self.numeric.observe(n);
+    }
+
+    /// Absorbs the partial state of a vectorised per-chunk kernel run
+    /// ([`NumericAgg`]). Equivalent to feeding the kernel's input rows
+    /// through [`Accumulator::update_number`] one by one; absorbing an
+    /// empty partial is the identity.
+    pub fn absorb(&mut self, partial: &NumericAgg) {
+        debug_assert_ne!(
+            self.function,
+            AggregationFunction::CountDistinct,
+            "COUNT DISTINCT cannot absorb numeric partials"
+        );
+        self.numeric.merge(partial);
     }
 
     /// Merges another accumulator's partial state into this one.
@@ -69,19 +98,7 @@ impl Accumulator {
             self.function, other.function,
             "merging accumulators of different aggregation functions"
         );
-        if other.count == 0 {
-            return;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = match (self.min, other.min) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        self.max = match (self.max, other.max) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        };
+        self.numeric.merge(&other.numeric);
         if self.function == AggregationFunction::CountDistinct {
             self.distinct.extend(other.distinct.iter().cloned());
         }
@@ -89,18 +106,24 @@ impl Accumulator {
 
     /// Finalises the accumulator into a cell value.
     pub fn finish(&self) -> CellValue {
+        let NumericAgg {
+            count,
+            sum,
+            min,
+            max,
+        } = self.numeric;
         match self.function {
-            AggregationFunction::Sum => CellValue::Float(self.sum),
+            AggregationFunction::Sum => CellValue::Float(sum),
             AggregationFunction::Avg => {
-                if self.count == 0 {
+                if count == 0 {
                     CellValue::Null
                 } else {
-                    CellValue::Float(self.sum / self.count as f64)
+                    CellValue::Float(sum / count as f64)
                 }
             }
-            AggregationFunction::Min => self.min.map(CellValue::Float).unwrap_or(CellValue::Null),
-            AggregationFunction::Max => self.max.map(CellValue::Float).unwrap_or(CellValue::Null),
-            AggregationFunction::Count => CellValue::Integer(self.count as i64),
+            AggregationFunction::Min => min.map(CellValue::Float).unwrap_or(CellValue::Null),
+            AggregationFunction::Max => max.map(CellValue::Float).unwrap_or(CellValue::Null),
+            AggregationFunction::Count => CellValue::Integer(count as i64),
             AggregationFunction::CountDistinct => CellValue::Integer(self.distinct.len() as i64),
         }
     }
@@ -237,6 +260,38 @@ mod tests {
                     "{function:?} split at {at}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn numeric_fast_path_agrees_with_update() {
+        use crate::kernels;
+        let values = [1.5, -3.0, 0.25, 7.0];
+        for function in [
+            AggregationFunction::Sum,
+            AggregationFunction::Avg,
+            AggregationFunction::Min,
+            AggregationFunction::Max,
+            AggregationFunction::Count,
+        ] {
+            let mut reference = Accumulator::new(function);
+            let mut typed = Accumulator::new(function);
+            let mut absorbing = Accumulator::new(function);
+            for v in values {
+                reference.update(&CellValue::Float(v));
+                typed.update_number(v);
+            }
+            absorbing.absorb(&kernels::agg_f64(&values));
+            assert_eq!(typed.finish(), reference.finish(), "{function:?} typed");
+            assert_eq!(
+                absorbing.finish(),
+                reference.finish(),
+                "{function:?} absorb"
+            );
+            // Absorbing an empty kernel partial is the identity.
+            let before = absorbing.finish();
+            absorbing.absorb(&kernels::NumericAgg::default());
+            assert_eq!(absorbing.finish(), before);
         }
     }
 

@@ -1,0 +1,386 @@
+//! Fixed-size copy-on-write column chunks.
+//!
+//! Storage is Arrow-style: a column is a sequence of immutable
+//! fixed-capacity chunks shared via [`Arc`]. Cloning a column — which is
+//! what publishing a cube snapshot does — bumps refcounts instead of
+//! copying cell data; mutating a row first copies the one chunk it lands
+//! in ([`Arc::make_mut`]), because the published snapshot still holds a
+//! reference to the old chunk. An ingest epoch's publication cost is
+//! therefore proportional to the *delta* (the dirty chunks), not to the
+//! warehouse.
+//!
+//! Primitive chunks keep values and validity separately (values at null
+//! positions hold `T::default()`), so an all-valid chunk exposes a bare
+//! `&[T]` slice the vectorised aggregation kernels can stream through
+//! without per-row `Option` checks.
+
+use sdwp_geometry::Geometry;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Default number of rows per chunk. Matches the executor's default
+/// morsel size ([`crate::engine::DEFAULT_MORSEL_ROWS`]), so with default
+/// configuration one morsel reads exactly one chunk per column.
+pub const DEFAULT_CHUNK_ROWS: usize = 1024;
+
+/// One fixed-capacity chunk of a primitive column.
+///
+/// Invariants: `validity` is `None` exactly when every row is valid
+/// (`null_count == 0`), and every null position holds `T::default()` —
+/// so structural equality coincides with logical equality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimitiveChunk<T> {
+    values: Vec<T>,
+    /// Per-row validity (`true` = non-null); `None` while all rows are
+    /// valid — the vectorisable common case.
+    validity: Option<Vec<bool>>,
+    null_count: usize,
+}
+
+impl<T: Copy + Default + PartialEq> PrimitiveChunk<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        PrimitiveChunk {
+            values: Vec::with_capacity(capacity),
+            validity: None,
+            null_count: 0,
+        }
+    }
+
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Returns `true` when every row is valid — the kernels' fast path.
+    pub fn all_valid(&self) -> bool {
+        self.null_count == 0
+    }
+
+    /// The raw value slice (null positions hold `T::default()`).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The validity mask, when any row is null.
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.validity.as_deref()
+    }
+
+    fn push(&mut self, value: Option<T>) {
+        match value {
+            Some(v) => {
+                self.values.push(v);
+                if let Some(validity) = &mut self.validity {
+                    validity.push(true);
+                }
+            }
+            None => {
+                if self.validity.is_none() {
+                    self.validity = Some(vec![true; self.values.len()]);
+                }
+                self.values.push(T::default());
+                self.validity
+                    .as_mut()
+                    .expect("validity materialised above")
+                    .push(false);
+                self.null_count += 1;
+            }
+        }
+    }
+
+    fn set(&mut self, index: usize, value: Option<T>) {
+        let was_valid = self.validity.as_ref().map(|v| v[index]).unwrap_or(true);
+        match value {
+            Some(v) => {
+                self.values[index] = v;
+                if !was_valid {
+                    self.validity.as_mut().expect("null implies mask")[index] = true;
+                    self.null_count -= 1;
+                    if self.null_count == 0 {
+                        // Restore the all-valid normal form so equal
+                        // logical content stays structurally equal.
+                        self.validity = None;
+                    }
+                }
+            }
+            None => {
+                self.values[index] = T::default();
+                if was_valid {
+                    if self.validity.is_none() {
+                        self.validity = Some(vec![true; self.values.len()]);
+                    }
+                    self.validity.as_mut().expect("materialised above")[index] = false;
+                    self.null_count += 1;
+                }
+            }
+        }
+    }
+
+    fn get(&self, index: usize) -> Option<T> {
+        let value = self.values.get(index).copied()?;
+        match &self.validity {
+            Some(mask) if !mask[index] => None,
+            _ => Some(value),
+        }
+    }
+}
+
+/// A chunked primitive column: `Arc`-shared fixed-size chunks with
+/// copy-on-write mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimitiveColumn<T> {
+    chunks: Vec<Arc<PrimitiveChunk<T>>>,
+    chunk_rows: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default + PartialEq> PrimitiveColumn<T> {
+    /// Creates an empty column with the given chunk capacity (≥ 1).
+    pub fn new(chunk_rows: usize) -> Self {
+        PrimitiveColumn {
+            chunks: Vec::new(),
+            chunk_rows: chunk_rows.max(1),
+            len: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rows per chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// The column's chunks, for sharing diagnostics and kernels.
+    pub fn chunks(&self) -> &[Arc<PrimitiveChunk<T>>] {
+        &self.chunks
+    }
+
+    /// Appends a value, copying only the tail chunk when it is shared.
+    pub fn push(&mut self, value: Option<T>) {
+        if self.len == self.chunks.len() * self.chunk_rows {
+            self.chunks
+                .push(Arc::new(PrimitiveChunk::with_capacity(self.chunk_rows)));
+        }
+        let chunk = self.chunks.last_mut().expect("tail chunk exists");
+        Arc::make_mut(chunk).push(value);
+        self.len += 1;
+    }
+
+    /// Overwrites a row in place, copying only the chunk it lands in.
+    /// Panics on an out-of-range row (callers bound-check).
+    pub fn set(&mut self, row: usize, value: Option<T>) {
+        assert!(row < self.len, "row {row} out of range ({} rows)", self.len);
+        let chunk = &mut self.chunks[row / self.chunk_rows];
+        Arc::make_mut(chunk).set(row % self.chunk_rows, value);
+    }
+
+    /// Reads a row; `None` when null or out of range.
+    pub fn get(&self, row: usize) -> Option<T> {
+        if row >= self.len {
+            return None;
+        }
+        self.chunks[row / self.chunk_rows].get(row % self.chunk_rows)
+    }
+
+    /// Iterates the `(chunk, local row range)` pairs covering a global
+    /// row range (clamped to the column's length). The per-chunk unit of
+    /// the vectorised kernels; ranges that straddle chunk boundaries
+    /// yield one pair per chunk touched.
+    pub fn chunks_in(&self, rows: Range<usize>) -> ChunkSlices<'_, T> {
+        ChunkSlices {
+            column: self,
+            next: rows.start.min(self.len),
+            end: rows.end.min(self.len),
+        }
+    }
+}
+
+/// Iterator over the chunk sub-slices covering a row range.
+pub struct ChunkSlices<'a, T> {
+    column: &'a PrimitiveColumn<T>,
+    next: usize,
+    end: usize,
+}
+
+impl<'a, T> Iterator for ChunkSlices<'a, T> {
+    type Item = (&'a PrimitiveChunk<T>, Range<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.end {
+            return None;
+        }
+        let chunk_rows = self.column.chunk_rows;
+        let chunk_index = self.next / chunk_rows;
+        let chunk_start = chunk_index * chunk_rows;
+        let lo = self.next - chunk_start;
+        let hi = (self.end - chunk_start).min(chunk_rows);
+        self.next = chunk_start + hi;
+        Some((&self.column.chunks[chunk_index], lo..hi))
+    }
+}
+
+/// A chunked geometry column. Geometries are heap values, so chunks store
+/// them as `Option`s directly (no validity split) — the copy-on-write
+/// sharing is what matters here, not slice kernels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeometryColumn {
+    chunks: Vec<Arc<Vec<Option<Geometry>>>>,
+    chunk_rows: usize,
+    len: usize,
+}
+
+impl GeometryColumn {
+    /// Creates an empty geometry column with the given chunk capacity.
+    pub fn new(chunk_rows: usize) -> Self {
+        GeometryColumn {
+            chunks: Vec::new(),
+            chunk_rows: chunk_rows.max(1),
+            len: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a geometry (or null).
+    pub fn push(&mut self, value: Option<Geometry>) {
+        if self.len == self.chunks.len() * self.chunk_rows {
+            self.chunks
+                .push(Arc::new(Vec::with_capacity(self.chunk_rows)));
+        }
+        let chunk = self.chunks.last_mut().expect("tail chunk exists");
+        Arc::make_mut(chunk).push(value);
+        self.len += 1;
+    }
+
+    /// Overwrites a row in place (copy-on-write). Panics out of range.
+    pub fn set(&mut self, row: usize, value: Option<Geometry>) {
+        assert!(row < self.len, "row {row} out of range ({} rows)", self.len);
+        let chunk = &mut self.chunks[row / self.chunk_rows];
+        Arc::make_mut(chunk)[row % self.chunk_rows] = value;
+    }
+
+    /// Borrows a row's geometry; `None` when null or out of range.
+    pub fn get(&self, row: usize) -> Option<&Geometry> {
+        if row >= self.len {
+            return None;
+        }
+        self.chunks[row / self.chunk_rows][row % self.chunk_rows].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_and_validity_normal_form() {
+        let mut c = PrimitiveColumn::<i64>::new(4);
+        for i in 0..6 {
+            c.push(Some(i));
+        }
+        c.push(None);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.get(3), Some(3));
+        assert_eq!(c.get(6), None);
+        assert_eq!(c.get(7), None);
+        assert_eq!(c.chunks().len(), 2);
+        assert!(c.chunks()[0].all_valid());
+        assert!(!c.chunks()[1].all_valid());
+        // Filling the null back in restores the all-valid normal form.
+        c.set(6, Some(42));
+        assert!(c.chunks()[1].all_valid());
+        assert!(c.chunks()[1].validity().is_none());
+        c.set(0, None);
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.chunks()[0].null_count(), 1);
+    }
+
+    #[test]
+    fn cloning_shares_chunks_and_mutation_copies_one() {
+        let mut c = PrimitiveColumn::<f64>::new(2);
+        for i in 0..6 {
+            c.push(Some(i as f64));
+        }
+        let snapshot = c.clone();
+        assert!(Arc::ptr_eq(&c.chunks()[0], &snapshot.chunks()[0]));
+        c.set(5, Some(99.0));
+        // Only the written chunk diverged.
+        assert!(Arc::ptr_eq(&c.chunks()[0], &snapshot.chunks()[0]));
+        assert!(Arc::ptr_eq(&c.chunks()[1], &snapshot.chunks()[1]));
+        assert!(!Arc::ptr_eq(&c.chunks()[2], &snapshot.chunks()[2]));
+        assert_eq!(snapshot.get(5), Some(5.0));
+        assert_eq!(c.get(5), Some(99.0));
+        // Appends only touch the tail chunk.
+        let snapshot2 = c.clone();
+        c.push(Some(7.0));
+        assert!(Arc::ptr_eq(&c.chunks()[1], &snapshot2.chunks()[1]));
+        assert_eq!(snapshot2.len(), 6);
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn chunk_slices_cover_straddling_ranges() {
+        let mut c = PrimitiveColumn::<i64>::new(3);
+        for i in 0..10 {
+            c.push(Some(i));
+        }
+        // Range 2..8 straddles chunks [0..3), [3..6), [6..9).
+        let parts: Vec<(usize, Range<usize>)> = c
+            .chunks_in(2..8)
+            .map(|(chunk, r)| (chunk.len(), r))
+            .collect();
+        assert_eq!(
+            parts,
+            vec![(3, 2..3), (3, 0..3), (3, 0..2)],
+            "per-chunk sub-ranges"
+        );
+        // Clamped to the column length; empty when out of range.
+        assert_eq!(c.chunks_in(9..99).count(), 1);
+        assert_eq!(c.chunks_in(20..30).count(), 0);
+        assert_eq!(c.chunks_in(5..5).count(), 0);
+    }
+
+    #[test]
+    fn geometry_column_round_trip() {
+        use sdwp_geometry::Point;
+        let mut g = GeometryColumn::new(2);
+        g.push(Some(Point::new(1.0, 2.0).into()));
+        g.push(None);
+        g.push(Some(Point::new(3.0, 4.0).into()));
+        assert_eq!(g.len(), 3);
+        assert!(g.get(0).is_some());
+        assert!(g.get(1).is_none());
+        let snapshot = g.clone();
+        g.set(2, None);
+        assert!(snapshot.get(2).is_some());
+        assert!(g.get(2).is_none());
+    }
+}

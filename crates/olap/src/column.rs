@@ -1,10 +1,20 @@
 //! Typed columnar storage with dictionary encoding for text.
+//!
+//! Columns are backed by the chunked copy-on-write storage of
+//! [`crate::chunk`]: fixed-size `Arc`-shared chunks, so cloning a column
+//! (snapshot publication) is a refcount bump per chunk and a write copies
+//! only the chunk it touches. Numeric columns additionally expose their
+//! chunks to the vectorised aggregation kernels of [`crate::kernels`].
 
+use crate::chunk::{GeometryColumn, PrimitiveColumn, DEFAULT_CHUNK_ROWS};
 use crate::error::OlapError;
+use crate::kernels::{self, NumericAgg};
 use crate::value::CellValue;
 use sdwp_geometry::Geometry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// The physical type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,41 +82,49 @@ impl Dictionary {
     }
 }
 
-/// A typed column of nullable values.
+/// A typed column of nullable values over chunked copy-on-write storage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Column {
     /// Integer column.
-    Integer(Vec<Option<i64>>),
+    Integer(PrimitiveColumn<i64>),
     /// Float column.
-    Float(Vec<Option<f64>>),
+    Float(PrimitiveColumn<f64>),
     /// Dictionary-encoded text column.
     Text {
-        /// Per-row dictionary codes (None = null).
-        codes: Vec<Option<u32>>,
-        /// The shared dictionary for this column.
-        dictionary: Dictionary,
+        /// Per-row dictionary codes (null rows carry no code).
+        codes: PrimitiveColumn<u32>,
+        /// The shared dictionary for this column. `Arc`-shared between a
+        /// snapshot and the write master; interning copies it on write.
+        dictionary: Arc<Dictionary>,
     },
     /// Boolean column.
-    Boolean(Vec<Option<bool>>),
+    Boolean(PrimitiveColumn<bool>),
     /// Date column (days since epoch).
-    Date(Vec<Option<i64>>),
+    Date(PrimitiveColumn<i64>),
     /// Geometry column.
-    Geometry(Vec<Option<Geometry>>),
+    Geometry(GeometryColumn),
 }
 
 impl Column {
-    /// Creates an empty column of the given type.
+    /// Creates an empty column of the given type with the default chunk
+    /// size.
     pub fn new(column_type: ColumnType) -> Self {
+        Column::with_chunk_rows(column_type, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Creates an empty column of the given type with an explicit chunk
+    /// size (rows per chunk, ≥ 1).
+    pub fn with_chunk_rows(column_type: ColumnType, chunk_rows: usize) -> Self {
         match column_type {
-            ColumnType::Integer => Column::Integer(Vec::new()),
-            ColumnType::Float => Column::Float(Vec::new()),
+            ColumnType::Integer => Column::Integer(PrimitiveColumn::new(chunk_rows)),
+            ColumnType::Float => Column::Float(PrimitiveColumn::new(chunk_rows)),
             ColumnType::Text => Column::Text {
-                codes: Vec::new(),
-                dictionary: Dictionary::new(),
+                codes: PrimitiveColumn::new(chunk_rows),
+                dictionary: Arc::new(Dictionary::new()),
             },
-            ColumnType::Boolean => Column::Boolean(Vec::new()),
-            ColumnType::Date => Column::Date(Vec::new()),
-            ColumnType::Geometry => Column::Geometry(Vec::new()),
+            ColumnType::Boolean => Column::Boolean(PrimitiveColumn::new(chunk_rows)),
+            ColumnType::Date => Column::Date(PrimitiveColumn::new(chunk_rows)),
+            ColumnType::Geometry => Column::Geometry(GeometryColumn::new(chunk_rows)),
         }
     }
 
@@ -125,11 +143,10 @@ impl Column {
     /// Number of rows.
     pub fn len(&self) -> usize {
         match self {
-            Column::Integer(v) => v.len(),
+            Column::Integer(v) | Column::Date(v) => v.len(),
             Column::Float(v) => v.len(),
             Column::Text { codes, .. } => codes.len(),
             Column::Boolean(v) => v.len(),
-            Column::Date(v) => v.len(),
             Column::Geometry(v) => v.len(),
         }
     }
@@ -179,7 +196,7 @@ impl Column {
                 other => return Err(mismatch(&other, "float")),
             },
             Column::Text { codes, dictionary } => match value {
-                CellValue::Text(s) => codes.push(Some(dictionary.intern(&s))),
+                CellValue::Text(s) => codes.push(Some(Arc::make_mut(dictionary).intern(&s))),
                 CellValue::Null => codes.push(None),
                 other => return Err(mismatch(&other, "text")),
             },
@@ -205,7 +222,8 @@ impl Column {
     /// Overwrites the value at `row` in place (the ingest path's cell
     /// upsert), with the same coercions as [`Column::push`]. Errors on an
     /// out-of-range row or an incompatible value, leaving the column
-    /// untouched.
+    /// untouched. Copy-on-write: only the chunk holding `row` is copied
+    /// when it is shared with a published snapshot.
     pub fn set(&mut self, row: usize, value: CellValue) -> Result<(), OlapError> {
         if row >= self.len() {
             return Err(OlapError::RowShape {
@@ -226,43 +244,49 @@ impl Column {
             });
         }
         match self {
-            Column::Integer(v) => {
-                v[row] = match value {
+            Column::Integer(v) => v.set(
+                row,
+                match value {
                     CellValue::Integer(i) => Some(i),
                     _ => None,
-                }
-            }
-            Column::Float(v) => {
-                v[row] = match value {
+                },
+            ),
+            Column::Float(v) => v.set(
+                row,
+                match value {
                     CellValue::Float(f) => Some(f),
                     CellValue::Integer(i) => Some(i as f64),
                     _ => None,
-                }
-            }
-            Column::Text { codes, dictionary } => {
-                codes[row] = match value {
-                    CellValue::Text(s) => Some(dictionary.intern(&s)),
+                },
+            ),
+            Column::Text { codes, dictionary } => codes.set(
+                row,
+                match value {
+                    CellValue::Text(s) => Some(Arc::make_mut(dictionary).intern(&s)),
                     _ => None,
-                }
-            }
-            Column::Boolean(v) => {
-                v[row] = match value {
+                },
+            ),
+            Column::Boolean(v) => v.set(
+                row,
+                match value {
                     CellValue::Boolean(b) => Some(b),
                     _ => None,
-                }
-            }
-            Column::Date(v) => {
-                v[row] = match value {
+                },
+            ),
+            Column::Date(v) => v.set(
+                row,
+                match value {
                     CellValue::Date(d) | CellValue::Integer(d) => Some(d),
                     _ => None,
-                }
-            }
-            Column::Geometry(v) => {
-                v[row] = match value {
+                },
+            ),
+            Column::Geometry(v) => v.set(
+                row,
+                match value {
                     CellValue::Geometry(g) => Some(g),
                     _ => None,
-                }
-            }
+                },
+            ),
         }
         Ok(())
     }
@@ -273,38 +297,22 @@ impl Column {
         match self {
             Column::Integer(v) => v
                 .get(row)
-                .copied()
-                .flatten()
                 .map(CellValue::Integer)
                 .unwrap_or(CellValue::Null),
-            Column::Float(v) => v
-                .get(row)
-                .copied()
-                .flatten()
-                .map(CellValue::Float)
-                .unwrap_or(CellValue::Null),
+            Column::Float(v) => v.get(row).map(CellValue::Float).unwrap_or(CellValue::Null),
             Column::Text { codes, dictionary } => codes
                 .get(row)
-                .copied()
-                .flatten()
                 .and_then(|c| dictionary.resolve(c))
                 .map(|s| CellValue::Text(s.to_string()))
                 .unwrap_or(CellValue::Null),
             Column::Boolean(v) => v
                 .get(row)
-                .copied()
-                .flatten()
                 .map(CellValue::Boolean)
                 .unwrap_or(CellValue::Null),
-            Column::Date(v) => v
-                .get(row)
-                .copied()
-                .flatten()
-                .map(CellValue::Date)
-                .unwrap_or(CellValue::Null),
+            Column::Date(v) => v.get(row).map(CellValue::Date).unwrap_or(CellValue::Null),
             Column::Geometry(v) => v
                 .get(row)
-                .and_then(|g| g.clone())
+                .cloned()
                 .map(CellValue::Geometry)
                 .unwrap_or(CellValue::Null),
         }
@@ -313,8 +321,8 @@ impl Column {
     /// Fast numeric accessor used by aggregation.
     pub fn get_number(&self, row: usize) -> Option<f64> {
         match self {
-            Column::Integer(v) | Column::Date(v) => v.get(row).copied().flatten().map(|i| i as f64),
-            Column::Float(v) => v.get(row).copied().flatten(),
+            Column::Integer(v) | Column::Date(v) => v.get(row).map(|i| i as f64),
+            Column::Float(v) => v.get(row),
             _ => None,
         }
     }
@@ -322,9 +330,47 @@ impl Column {
     /// Borrowed geometry accessor used by spatial filters (avoids cloning).
     pub fn get_geometry(&self, row: usize) -> Option<&Geometry> {
         match self {
-            Column::Geometry(v) => v.get(row).and_then(Option::as_ref),
+            Column::Geometry(v) => v.get(row),
             _ => None,
         }
+    }
+
+    /// Runs the vectorised SUM/MIN/MAX/COUNT kernel over a row range
+    /// (clamped to the column length), one chunk sub-slice at a time, or
+    /// `None` for non-numeric columns. All-valid chunks stream through the
+    /// bare value slice; chunks with nulls consult the validity mask.
+    ///
+    /// Observation order is ascending row order, so on exactly
+    /// representable data the partial agrees bit-for-bit with feeding each
+    /// row through [`crate::aggregate::Accumulator::update`].
+    pub fn numeric_agg(&self, rows: Range<usize>) -> Option<NumericAgg> {
+        let mut agg = NumericAgg::default();
+        match self {
+            Column::Integer(column) | Column::Date(column) => {
+                for (chunk, local) in column.chunks_in(rows) {
+                    let part = match chunk.validity() {
+                        None => kernels::agg_i64(&chunk.values()[local]),
+                        Some(mask) => {
+                            kernels::agg_i64_masked(&chunk.values()[local.clone()], &mask[local])
+                        }
+                    };
+                    agg.merge(&part);
+                }
+            }
+            Column::Float(column) => {
+                for (chunk, local) in column.chunks_in(rows) {
+                    let part = match chunk.validity() {
+                        None => kernels::agg_f64(&chunk.values()[local]),
+                        Some(mask) => {
+                            kernels::agg_f64_masked(&chunk.values()[local.clone()], &mask[local])
+                        }
+                    };
+                    agg.merge(&part);
+                }
+            }
+            _ => return None,
+        }
+        Some(agg)
     }
 }
 
@@ -389,6 +435,24 @@ mod tests {
     }
 
     #[test]
+    fn text_dictionary_is_copy_on_write() {
+        let mut c = Column::new(ColumnType::Text);
+        c.push(CellValue::from("a")).unwrap();
+        let snapshot = c.clone();
+        c.push(CellValue::from("b")).unwrap();
+        // The snapshot's dictionary is unaffected by the later intern.
+        if let (Column::Text { dictionary: d1, .. }, Column::Text { dictionary: d2, .. }) =
+            (&snapshot, &c)
+        {
+            assert_eq!(d1.len(), 1);
+            assert_eq!(d2.len(), 2);
+        } else {
+            panic!("expected text columns");
+        }
+        assert_eq!(snapshot.get(0), CellValue::Text("a".into()));
+    }
+
+    #[test]
     fn geometry_column() {
         let mut c = Column::new(ColumnType::Geometry);
         let g: Geometry = Point::new(1.0, 2.0).into();
@@ -447,5 +511,42 @@ mod tests {
         d.push(CellValue::Integer(200)).unwrap();
         assert_eq!(d.get(1), CellValue::Date(200));
         assert_eq!(d.get_number(0), Some(100.0));
+    }
+
+    #[test]
+    fn numeric_agg_matches_per_row_reads() {
+        let mut c = Column::with_chunk_rows(ColumnType::Float, 3);
+        let values = [
+            Some(1.25),
+            None,
+            Some(-2.5),
+            Some(0.75),
+            None,
+            None,
+            Some(8.0),
+        ];
+        for v in values {
+            c.push(v.map(CellValue::Float).unwrap_or(CellValue::Null))
+                .unwrap();
+        }
+        // Boundary-straddling range 1..6 covers parts of three chunks.
+        let agg = c.numeric_agg(1..6).unwrap();
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sum, -2.5 + 0.75);
+        assert_eq!((agg.min, agg.max), (Some(-2.5), Some(0.75)));
+        // Full range, clamped past the end.
+        let full = c.numeric_agg(0..99).unwrap();
+        assert_eq!(full.count, 4);
+        // Non-numeric columns have no kernel.
+        let t = Column::new(ColumnType::Text);
+        assert!(t.numeric_agg(0..1).is_none());
+        // Integer kernel widens like get_number.
+        let mut i = Column::with_chunk_rows(ColumnType::Integer, 2);
+        for v in [Some(1), Some(2), None, Some(-7)] {
+            i.push(v.map(CellValue::Integer).unwrap_or(CellValue::Null))
+                .unwrap();
+        }
+        let ia = i.numeric_agg(0..4).unwrap();
+        assert_eq!((ia.count, ia.sum, ia.min), (3, -4.0, Some(-7.0)));
     }
 }

@@ -1,13 +1,15 @@
 //! The star-schema cube binding instances to an MD/GeoMD schema.
 
+use crate::chunk::DEFAULT_CHUNK_ROWS;
 use crate::column::ColumnType;
 use crate::error::OlapError;
-use crate::table::Table;
+use crate::table::{RowRemap, Table};
 use crate::value::CellValue;
 use sdwp_geometry::Geometry;
 use sdwp_model::{AttributeType, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The instance table of one dimension, at leaf-level grain.
 ///
@@ -42,6 +44,37 @@ pub struct FactTable {
     pub fact: String,
     /// The backing columnar table.
     pub table: Table,
+    /// The stable-row-id remaps of every compaction this table went
+    /// through, oldest first ([`Arc`]-shared across snapshots). A
+    /// selection captured at compaction version `v` (= number of remaps at
+    /// capture time) translates to the current numbering through
+    /// `remaps[v..]`.
+    pub remaps: Vec<Arc<RowRemap>>,
+}
+
+impl FactTable {
+    /// The table's compaction version: how many times it has been
+    /// compacted (and therefore how many remaps a selection may need to
+    /// translate through).
+    pub fn compaction_version(&self) -> u64 {
+        self.remaps.len() as u64
+    }
+}
+
+/// Observable per-fact storage counters: the operator's
+/// compaction-pressure gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactTableStats {
+    /// The fact's name.
+    pub fact: String,
+    /// Rows ever appended under the current numbering (live + dead).
+    pub total_rows: usize,
+    /// Live (non-retracted) rows.
+    pub live_rows: usize,
+    /// Fraction of rows tombstoned (`0.0` for an empty table).
+    pub tombstone_ratio: f64,
+    /// How many times the table has been compacted.
+    pub compactions: u64,
 }
 
 /// Name of the foreign-key column referencing a dimension.
@@ -68,6 +101,8 @@ pub struct Cube {
     dimensions: BTreeMap<String, DimensionTable>,
     layers: BTreeMap<String, LayerTable>,
     facts: BTreeMap<String, FactTable>,
+    /// Rows per storage chunk of every table this cube creates.
+    chunk_rows: usize,
 }
 
 fn column_type_of(attr: &AttributeType) -> ColumnType {
@@ -84,6 +119,14 @@ fn column_type_of(attr: &AttributeType) -> ColumnType {
 impl Cube {
     /// Creates an empty cube for the given conceptual schema.
     pub fn new(schema: Schema) -> Self {
+        Cube::with_chunk_rows(schema, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Creates an empty cube whose tables use an explicit storage chunk
+    /// size. Small chunks are mainly for tests exercising chunk
+    /// boundaries; the default aligns with the executor's morsel size.
+    pub fn with_chunk_rows(schema: Schema, chunk_rows: usize) -> Self {
+        let chunk_rows = chunk_rows.max(1);
         let mut dimensions = BTreeMap::new();
         for dim in &schema.dimensions {
             let mut columns: Vec<(String, ColumnType)> = Vec::new();
@@ -100,7 +143,7 @@ impl Cube {
                 dim.name.clone(),
                 DimensionTable {
                     dimension: dim.name.clone(),
-                    table: Table::new(dim.name.clone(), columns),
+                    table: Table::with_chunk_rows(dim.name.clone(), columns, chunk_rows),
                 },
             );
         }
@@ -111,12 +154,13 @@ impl Cube {
                 layer.name.clone(),
                 LayerTable {
                     layer: layer.name.clone(),
-                    table: Table::new(
+                    table: Table::with_chunk_rows(
                         layer.name.clone(),
                         vec![
                             ("name".to_string(), ColumnType::Text),
                             ("geometry".to_string(), ColumnType::Geometry),
                         ],
+                        chunk_rows,
                     ),
                 },
             );
@@ -136,7 +180,8 @@ impl Cube {
                 fact.name.clone(),
                 FactTable {
                     fact: fact.name.clone(),
-                    table: Table::new(fact.name.clone(), columns),
+                    table: Table::with_chunk_rows(fact.name.clone(), columns, chunk_rows),
+                    remaps: Vec::new(),
                 },
             );
         }
@@ -146,6 +191,7 @@ impl Cube {
             dimensions,
             layers,
             facts,
+            chunk_rows,
         }
     }
 
@@ -199,16 +245,18 @@ impl Cube {
     /// Creates an (empty) instance table for a layer if it does not exist
     /// yet. Called after an `AddLayer` schema-personalization action.
     pub fn ensure_layer_table(&mut self, layer: &str) -> &mut LayerTable {
+        let chunk_rows = self.chunk_rows;
         self.layers
             .entry(layer.to_string())
             .or_insert_with(|| LayerTable {
                 layer: layer.to_string(),
-                table: Table::new(
+                table: Table::with_chunk_rows(
                     layer.to_string(),
                     vec![
                         ("name".to_string(), ColumnType::Text),
                         ("geometry".to_string(), ColumnType::Geometry),
                     ],
+                    chunk_rows,
                 ),
             })
     }
@@ -325,6 +373,80 @@ impl Cube {
                 name: fact.to_string(),
             })?;
         table.table.retract_row(row)
+    }
+
+    /// Compacts a fact table: rewrites its live rows into fresh, dense
+    /// chunks (dropping every tombstone), remaps the stable row ids, and
+    /// appends the resulting [`RowRemap`] to the fact's remap chain so
+    /// selections captured before the compaction keep resolving the same
+    /// live rows. Returns the remap.
+    pub fn compact_fact_table(&mut self, fact: &str) -> Result<Arc<RowRemap>, OlapError> {
+        let fact_table = self
+            .facts
+            .get_mut(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })?;
+        let (compacted, remap) = fact_table.table.compact();
+        let remap = Arc::new(remap);
+        fact_table.table = compacted;
+        fact_table.remaps.push(Arc::clone(&remap));
+        Ok(remap)
+    }
+
+    /// The compaction version of every fact table (how many remaps a
+    /// row-id selection captured now would eventually translate
+    /// through) — the cheap subset of [`Cube::fact_table_stats`] the
+    /// selection-versioning paths need.
+    pub fn fact_compaction_versions(&self) -> BTreeMap<String, u64> {
+        self.facts
+            .values()
+            .map(|f| (f.fact.clone(), f.compaction_version()))
+            .collect()
+    }
+
+    /// Translates fact row ids captured at compaction version
+    /// `from_version` into `to_version`'s numbering by applying the remap
+    /// chain forward; ids whose rows died in an intervening compaction
+    /// drop out. Ids are returned unchanged when the versions are equal
+    /// (or the chain cannot cover the span).
+    pub fn translate_fact_rows(
+        &self,
+        fact: &str,
+        from_version: u64,
+        to_version: u64,
+        rows: impl IntoIterator<Item = usize>,
+    ) -> Result<Vec<usize>, OlapError> {
+        let fact_table = self.fact_table(fact)?;
+        let span = (from_version as usize).min(fact_table.remaps.len())
+            ..(to_version as usize).min(fact_table.remaps.len());
+        let remaps = &fact_table.remaps[span];
+        Ok(rows
+            .into_iter()
+            .filter_map(|row| {
+                let mut row = Some(row);
+                for remap in remaps {
+                    row = row.and_then(|r| remap.new_id(r));
+                }
+                row
+            })
+            .collect())
+    }
+
+    /// Per-fact storage counters (total / live rows, tombstone ratio,
+    /// compactions), in fact-name order.
+    pub fn fact_table_stats(&self) -> Vec<FactTableStats> {
+        self.facts
+            .values()
+            .map(|f| FactTableStats {
+                fact: f.fact.clone(),
+                total_rows: f.table.len(),
+                live_rows: f.table.live_len(),
+                tombstone_ratio: f.table.tombstone_ratio(),
+                compactions: f.compaction_version(),
+            })
+            .collect()
     }
 
     /// The dimension-member row id a fact row points to.
@@ -624,6 +746,57 @@ mod tests {
             .build();
         assert_eq!(cube.total_fact_rows(), 1);
         assert_eq!(cube.layer_table("Airport").unwrap().table.len(), 1);
+    }
+
+    #[test]
+    fn fact_compaction_remaps_and_reports_stats() {
+        let mut cube = Cube::with_chunk_rows(schema(), 2);
+        cube.add_dimension_member("Store", vec![("Store.name", CellValue::from("S0"))])
+            .unwrap();
+        cube.add_dimension_member("Time", vec![("Day.date", CellValue::Date(0))])
+            .unwrap();
+        for i in 0..6 {
+            cube.add_fact_row(
+                "Sales",
+                vec![("Store", 0), ("Time", 0)],
+                vec![("UnitSales", CellValue::Float(i as f64))],
+            )
+            .unwrap();
+        }
+        cube.retract_fact_row("Sales", 0).unwrap();
+        cube.retract_fact_row("Sales", 2).unwrap();
+        let before = cube.fact_table_stats();
+        let sales_before = before.iter().find(|s| s.fact == "Sales").unwrap();
+        assert_eq!((sales_before.total_rows, sales_before.live_rows), (6, 4));
+        assert!(sales_before.tombstone_ratio > 0.3);
+        assert_eq!(sales_before.compactions, 0);
+
+        let remap = cube.compact_fact_table("Sales").unwrap();
+        assert_eq!(remap.live_len(), 4);
+        assert_eq!(remap.new_id(1), Some(0));
+        let table = &cube.fact_table("Sales").unwrap().table;
+        assert_eq!((table.len(), table.live_len()), (4, 4));
+        // Old row 3 (UnitSales = 3.0) is new row 1.
+        assert_eq!(table.get(1, "UnitSales").unwrap(), CellValue::Float(3.0));
+        assert_eq!(cube.fact_table("Sales").unwrap().compaction_version(), 1);
+        let after = cube.fact_table_stats();
+        let sales_after = after.iter().find(|s| s.fact == "Sales").unwrap();
+        assert_eq!(sales_after.tombstone_ratio, 0.0);
+        assert_eq!(sales_after.compactions, 1);
+        assert!(cube.compact_fact_table("Returns").is_err());
+        assert_eq!(cube.fact_compaction_versions()["Sales"], 1);
+        // Forward translation through the chain: live old ids 1,3,4,5 map
+        // to 0..4; dead ids drop out; same-version is the identity.
+        assert_eq!(
+            cube.translate_fact_rows("Sales", 0, 1, vec![0, 1, 3, 5])
+                .unwrap(),
+            vec![0, 1, 3]
+        );
+        assert_eq!(
+            cube.translate_fact_rows("Sales", 1, 1, vec![0, 3]).unwrap(),
+            vec![0, 3]
+        );
+        assert!(cube.translate_fact_rows("Returns", 0, 1, vec![0]).is_err());
     }
 
     #[test]

@@ -17,10 +17,22 @@
 //! pipeline runs on 1 or N workers. [`QueryEngine::execute_serial_with_view`]
 //! keeps the classic row-at-a-time loop as the reference implementation
 //! the equivalence property suite compares against.
+//!
+//! Within a morsel, measure reads are pushed down to the chunked column
+//! storage: numeric measures go through pre-resolved column indices and
+//! typed accessors instead of per-row [`CellValue`] materialisation, and
+//! ungrouped all-numeric aggregates run entirely on the vectorised
+//! per-chunk kernels of [`crate::kernels`] (one `&[f64]` / `&[i64]` slice
+//! pass per chunk, with a validity-mask branch only for chunks that
+//! actually contain nulls). The serial reference stays row-at-a-time on
+//! purpose — it is the semantic yardstick the fast paths are property-
+//! tested against.
 
 use crate::aggregate::Accumulator;
+use crate::column::ColumnType;
 use crate::cube::{attribute_column, Cube};
 use crate::error::OlapError;
+use crate::kernels::NumericAgg;
 use crate::query::{Query, QueryResult, ResultRow};
 use crate::table::Table;
 use crate::value::CellValue;
@@ -96,13 +108,32 @@ impl ExecutionConfig {
     }
 }
 
+/// How the morsel executor reads one measure.
+struct MeasurePlan {
+    /// The measure column's declaration index in the fact table, when it
+    /// exists there (resolved once, so the scan loop never does a
+    /// name lookup per row).
+    column: Option<usize>,
+    /// Whether the column is numeric (integer / float / date) and the
+    /// aggregation can run on bare numbers — the typed fast path. COUNT
+    /// DISTINCT needs the full value and always takes the `CellValue`
+    /// path.
+    numeric: bool,
+}
+
 /// The resolved, validated parts of a query that every scan shares.
 struct Resolved<'q> {
     /// `(column name, aggregation)` per requested measure.
     measures: Vec<(String, AggregationFunction)>,
+    /// Per-measure read plan for the morsel executor, index-aligned with
+    /// `measures`.
+    plans: Vec<MeasurePlan>,
     /// Allowed member sets per filtered dimension. A `BTreeMap` so the
     /// per-row check order is deterministic across executions.
     allowed_members: BTreeMap<&'q str, BTreeSet<usize>>,
+    /// Whether the whole query can run on the vectorised per-chunk
+    /// kernels: no grouping, and every measure on the numeric fast path.
+    vectorised: bool,
 }
 
 /// Group-by state: group key string → (key cells, accumulators).
@@ -307,8 +338,14 @@ fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError>
         });
     }
 
-    // Resolve measures: (column name, aggregation).
+    // Resolve measures: (column name, aggregation) plus the executor's
+    // read plan. A measure column missing from the fact table (it cannot
+    // happen for cubes built through `Cube::new`) keeps `column: None`
+    // and falls back to the name-based read, which reports the same
+    // error, in the same place, as the serial reference.
+    let fact_table = &cube.fact_table(&query.fact)?.table;
     let mut measures: Vec<(String, AggregationFunction)> = Vec::new();
+    let mut plans: Vec<MeasurePlan> = Vec::new();
     for m in &query.measures {
         let def = fact_def
             .measure(&m.measure)
@@ -316,7 +353,19 @@ fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError>
                 kind: "measure",
                 name: m.measure.clone(),
             })?;
-        measures.push((def.name.clone(), m.aggregation.unwrap_or(def.aggregation)));
+        let aggregation = m.aggregation.unwrap_or(def.aggregation);
+        let column = fact_table.column_index(&def.name);
+        let numeric = aggregation != AggregationFunction::CountDistinct
+            && column
+                .map(|idx| {
+                    matches!(
+                        fact_table.column_at(idx).column_type(),
+                        ColumnType::Integer | ColumnType::Float | ColumnType::Date
+                    )
+                })
+                .unwrap_or(false);
+        measures.push((def.name.clone(), aggregation));
+        plans.push(MeasurePlan { column, numeric });
     }
 
     // Validate group-by references and check the dimensions are reachable.
@@ -375,17 +424,22 @@ fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError>
         }
     }
 
+    let vectorised = query.group_by.is_empty() && plans.iter().all(|p| p.numeric);
     Ok(Resolved {
         measures,
+        plans,
         allowed_members,
+        vectorised,
     })
 }
 
-/// Scans one contiguous row range, accumulating into `groups`. The body
-/// of both the serial reference loop (one range covering the whole table)
-/// and each morsel of the parallel pipeline, so the per-row semantics —
-/// view check, dimension filters, fact filter, key build, accumulation,
-/// and every error path — are shared by construction.
+/// Scans one contiguous row range, accumulating into `groups` — the
+/// row-at-a-time **serial reference**: every value goes through
+/// [`Table::get`]'s `CellValue` materialisation. The morsel pipeline's
+/// typed and vectorised scans ([`scan_morsel`]) must stay observably
+/// equivalent to this loop — same groups, same counters, same error for
+/// the same first failing row — which the storage-equivalence and
+/// parallel-equivalence property suites enforce.
 #[allow(clippy::too_many_arguments)]
 fn scan_range(
     cube: &Cube,
@@ -470,6 +524,236 @@ fn scan_range(
     Ok((facts_scanned, facts_matched))
 }
 
+/// One morsel of the parallel pipeline. Dispatches between the
+/// vectorised kernel path (no grouping, all measures numeric) and the
+/// typed row-at-a-time path; both are equivalent to [`scan_range`] — the
+/// serial reference the property suites compare against — by the shared
+/// per-row semantics and, for floats, by summing in ascending row order
+/// within the morsel.
+#[allow(clippy::too_many_arguments)]
+fn scan_morsel(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    fact_table: &Table,
+    rows: Range<usize>,
+    key_cache: &mut [HashMap<usize, CellValue>],
+    groups: &mut GroupMap,
+) -> Result<(usize, usize), OlapError> {
+    if resolved.vectorised {
+        scan_morsel_vectorised(cube, query, view, resolved, fact_table, rows, groups)
+    } else {
+        scan_range_typed(
+            cube, query, view, resolved, fact_table, rows, key_cache, groups,
+        )
+    }
+}
+
+/// One row's selection decision — liveness, view, dimension filters and
+/// fact filter, with the scanned/matched counters updated in exactly the
+/// serial reference's order. Shared by both morsel scans so their
+/// counter and error semantics cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn row_selected(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    fact_table: &Table,
+    fact_row: usize,
+    facts_scanned: &mut usize,
+    facts_matched: &mut usize,
+) -> Result<bool, OlapError> {
+    if !fact_table.is_live(fact_row) || !view.allows_fact_row(cube, &query.fact, fact_row)? {
+        return Ok(false);
+    }
+    *facts_scanned += 1;
+    for (dimension, allowed) in &resolved.allowed_members {
+        let member = cube.fact_member(&query.fact, fact_row, dimension)?;
+        if !allowed.contains(&member) {
+            return Ok(false);
+        }
+    }
+    if let Some(filter) = &query.fact_filter {
+        if !filter.matches(fact_table, fact_row)? {
+            return Ok(false);
+        }
+    }
+    *facts_matched += 1;
+    Ok(true)
+}
+
+/// The typed row-at-a-time morsel scan: identical control flow to
+/// [`scan_range`], but measures are read through pre-resolved column
+/// indices and fed to the accumulators as bare numbers where the column
+/// is numeric — no per-row `CellValue` (or `String`) materialisation on
+/// the hot path.
+#[allow(clippy::too_many_arguments)]
+fn scan_range_typed(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    fact_table: &Table,
+    rows: Range<usize>,
+    key_cache: &mut [HashMap<usize, CellValue>],
+    groups: &mut GroupMap,
+) -> Result<(usize, usize), OlapError> {
+    let mut facts_scanned = 0usize;
+    let mut facts_matched = 0usize;
+    for fact_row in rows {
+        if !row_selected(
+            cube,
+            query,
+            view,
+            resolved,
+            fact_table,
+            fact_row,
+            &mut facts_scanned,
+            &mut facts_matched,
+        )? {
+            continue;
+        }
+
+        let mut key_cells = Vec::with_capacity(query.group_by.len());
+        let mut key_string = String::new();
+        for (i, attr) in query.group_by.iter().enumerate() {
+            let member = cube.fact_member(&query.fact, fact_row, &attr.dimension)?;
+            let cell = match key_cache[i].get(&member) {
+                Some(c) => c.clone(),
+                None => {
+                    let table = &cube.dimension_table(&attr.dimension)?.table;
+                    let cell =
+                        table.get(member, &attribute_column(&attr.level, &attr.attribute))?;
+                    key_cache[i].insert(member, cell.clone());
+                    cell
+                }
+            };
+            key_string.push_str(&cell.group_key());
+            key_string.push('\u{1f}');
+            key_cells.push(cell);
+        }
+
+        let entry = groups.entry(key_string).or_insert_with(|| {
+            (
+                key_cells.clone(),
+                resolved
+                    .measures
+                    .iter()
+                    .map(|(_, agg)| Accumulator::new(*agg))
+                    .collect(),
+            )
+        });
+        for (i, (plan, acc)) in resolved.plans.iter().zip(entry.1.iter_mut()).enumerate() {
+            match plan.column {
+                Some(index) if plan.numeric => {
+                    if let Some(n) = fact_table.column_at(index).get_number(fact_row) {
+                        acc.update_number(n);
+                    }
+                }
+                Some(index) => acc.update(&fact_table.column_at(index).get(fact_row)),
+                None => acc.update(&fact_table.get(fact_row, &resolved.measures[i].0)?),
+            }
+        }
+    }
+    Ok((facts_scanned, facts_matched))
+}
+
+/// Merges each measure column's kernel partial over one run of selected
+/// rows.
+fn accumulate_run(
+    fact_table: &Table,
+    resolved: &Resolved<'_>,
+    partials: &mut [NumericAgg],
+    run: Range<usize>,
+) {
+    for (plan, partial) in resolved.plans.iter().zip(partials.iter_mut()) {
+        let index = plan.column.expect("vectorised plans resolve every column");
+        let part = fact_table
+            .column_at(index)
+            .numeric_agg(run.clone())
+            .expect("vectorised plans are numeric");
+        partial.merge(&part);
+    }
+}
+
+/// The vectorised morsel scan for ungrouped all-numeric aggregates: the
+/// morsel's selected rows are gathered into maximal contiguous runs and
+/// each run is aggregated by the per-chunk slice kernels. When nothing
+/// restricts the scan (no view, no filters), tombstone gaps are the only
+/// run boundaries and no per-row work happens at all.
+fn scan_morsel_vectorised(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    fact_table: &Table,
+    rows: Range<usize>,
+    groups: &mut GroupMap,
+) -> Result<(usize, usize), OlapError> {
+    let mut partials: Vec<NumericAgg> = vec![NumericAgg::default(); resolved.plans.len()];
+    let mut facts_scanned = 0usize;
+    let mut facts_matched = 0usize;
+
+    let unrestricted = view.is_unrestricted()
+        && resolved.allowed_members.is_empty()
+        && query.fact_filter.is_none();
+    if unrestricted {
+        for run in fact_table.live_runs(rows) {
+            facts_scanned += run.len();
+            facts_matched += run.len();
+            accumulate_run(fact_table, resolved, &mut partials, run);
+        }
+    } else {
+        // Per-row selection (the shared `row_selected` mirrors
+        // `scan_range`'s check order and error behaviour), gathering
+        // selected rows into runs.
+        let end = rows.end;
+        let mut run_start: Option<usize> = None;
+        for fact_row in rows {
+            let selected = row_selected(
+                cube,
+                query,
+                view,
+                resolved,
+                fact_table,
+                fact_row,
+                &mut facts_scanned,
+                &mut facts_matched,
+            )?;
+            match (selected, run_start) {
+                (true, None) => run_start = Some(fact_row),
+                (false, Some(start)) => {
+                    accumulate_run(fact_table, resolved, &mut partials, start..fact_row);
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            accumulate_run(fact_table, resolved, &mut partials, start..end);
+        }
+    }
+
+    // Like the reference loop, the single (ungrouped) group exists only
+    // when at least one row matched.
+    if facts_matched > 0 {
+        let accumulators = resolved
+            .measures
+            .iter()
+            .zip(&partials)
+            .map(|((_, agg), partial)| {
+                let mut acc = Accumulator::new(*agg);
+                acc.absorb(partial);
+                acc
+            })
+            .collect();
+        groups.insert(String::new(), (Vec::new(), accumulators));
+    }
+    Ok((facts_scanned, facts_matched))
+}
+
 /// The per-worker loop of the parallel pipeline: pulls morsel indices
 /// from the shared counter until the table is exhausted, producing one
 /// partial aggregate per morsel. A morsel that errors records the error
@@ -499,7 +783,7 @@ fn scan_assigned_morsels(
         let start = morsel * morsel_rows;
         let end = (start + morsel_rows).min(total_rows);
         let mut groups: GroupMap = HashMap::new();
-        let scanned = scan_range(
+        let scanned = scan_morsel(
             cube,
             query,
             view,

@@ -7,7 +7,12 @@
 //! from scratch:
 //!
 //! * [`Column`] / [`Table`] — typed columnar storage with dictionary
-//!   encoding for text;
+//!   encoding for text, over fixed-size `Arc`-shared copy-on-write
+//!   chunks ([`chunk`]) so snapshot clones share every clean chunk, plus
+//!   tombstone compaction ([`Table::compact`] / [`RowRemap`]) that
+//!   rewrites live rows and remaps stable row ids;
+//! * [`kernels`] — vectorised per-chunk SUM/MIN/MAX/COUNT/AVG slice
+//!   kernels the morsel executor pushes numeric aggregation down to;
 //! * [`Cube`] — a star-schema instance bound to an [`sdwp_model::Schema`]:
 //!   one dimension table per dimension (leaf grain, one column per level
 //!   attribute plus per-level geometry columns), layer tables for GeoMD
@@ -34,11 +39,13 @@
 
 pub mod aggregate;
 pub mod cache;
+pub mod chunk;
 pub mod column;
 pub mod cube;
 pub mod engine;
 pub mod error;
 pub mod filter;
+pub mod kernels;
 pub mod query;
 pub mod spatial;
 pub mod table;
@@ -46,12 +53,14 @@ pub mod value;
 pub mod view;
 
 pub use cache::{CacheKey, CacheStats, QueryCache};
+pub use chunk::DEFAULT_CHUNK_ROWS;
 pub use column::{Column, ColumnType, Dictionary};
-pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, LayerTable};
+pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, FactTableStats, LayerTable};
 pub use engine::{ExecutionConfig, QueryEngine, DEFAULT_MORSEL_ROWS};
 pub use error::OlapError;
 pub use filter::{CompareOp, Filter, SpatialPredicateOp};
+pub use kernels::NumericAgg;
 pub use query::{AttributeRef, MeasureRef, Query, QueryResult, ResultRow};
-pub use table::Table;
+pub use table::{RowRemap, Table};
 pub use value::CellValue;
 pub use view::InstanceView;

@@ -1,10 +1,52 @@
 //! Row-addressable tables built from typed columns.
 
+use crate::chunk::DEFAULT_CHUNK_ROWS;
 use crate::column::{Column, ColumnType};
 use crate::error::OlapError;
 use crate::value::CellValue;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// The stable-row-id remap published by one compaction of a [`Table`]:
+/// live rows keep their relative order, so the new id of an old row is its
+/// rank among the surviving ids.
+///
+/// Remaps compose: a table compacted `n` times has a chain of `n` remaps,
+/// and a selection captured at compaction version `v` translates to the
+/// current numbering by applying remaps `v..n` in order (or row ids
+/// translate *backwards* through the same chain via [`RowRemap::old_id`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowRemap {
+    /// The old ids of the surviving rows, ascending; the new id of old row
+    /// `live_old_ids[i]` is `i`.
+    live_old_ids: Vec<usize>,
+}
+
+impl RowRemap {
+    /// Wraps the (ascending) old ids of the rows that survived.
+    pub fn new(live_old_ids: Vec<usize>) -> Self {
+        debug_assert!(live_old_ids.windows(2).all(|w| w[0] < w[1]));
+        RowRemap { live_old_ids }
+    }
+
+    /// The new id of an old row, or `None` when the row was dead at
+    /// compaction time.
+    pub fn new_id(&self, old: usize) -> Option<usize> {
+        self.live_old_ids.binary_search(&old).ok()
+    }
+
+    /// The old id of a new row, or `None` when `new` only exists after the
+    /// compaction (rows appended later).
+    pub fn old_id(&self, new: usize) -> Option<usize> {
+        self.live_old_ids.get(new).copied()
+    }
+
+    /// Number of rows that survived the compaction.
+    pub fn live_len(&self) -> usize {
+        self.live_old_ids.len()
+    }
+}
 
 /// A named table: an ordered set of typed columns of equal length.
 ///
@@ -24,20 +66,42 @@ pub struct Table {
     rows: usize,
     /// Tombstoned row ids (retracted, skipped by scans).
     retracted: BTreeSet<usize>,
+    /// Rows per storage chunk (the copy-on-write granularity).
+    chunk_rows: usize,
 }
 
 impl Table {
-    /// Creates a table from `(column name, type)` pairs.
+    /// Creates a table from `(column name, type)` pairs with the default
+    /// chunk size.
     pub fn new(name: impl Into<String>, columns: Vec<(String, ColumnType)>) -> Self {
+        Table::with_chunk_rows(name, columns, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Creates a table with an explicit storage chunk size (rows per
+    /// chunk, ≥ 1). Small chunks are mainly for tests that want many
+    /// chunk boundaries; the default aligns with the executor's morsel
+    /// size.
+    pub fn with_chunk_rows(
+        name: impl Into<String>,
+        columns: Vec<(String, ColumnType)>,
+        chunk_rows: usize,
+    ) -> Self {
+        let chunk_rows = chunk_rows.max(1);
         Table {
             name: name.into(),
             columns: columns
                 .into_iter()
-                .map(|(n, t)| (n, Column::new(t)))
+                .map(|(n, t)| (n, Column::with_chunk_rows(t, chunk_rows)))
                 .collect(),
             rows: 0,
             retracted: BTreeSet::new(),
+            chunk_rows,
         }
+    }
+
+    /// Rows per storage chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
     }
 
     /// Number of rows ever appended (live and retracted); row ids range
@@ -59,6 +123,76 @@ impl Table {
     /// Returns `true` when `row` exists and has not been retracted.
     pub fn is_live(&self, row: usize) -> bool {
         row < self.rows && !self.retracted.contains(&row)
+    }
+
+    /// Fraction of ever-appended rows that are tombstoned — the
+    /// compaction-pressure signal (`0.0` for an empty table).
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.retracted.len() as f64 / self.rows as f64
+        }
+    }
+
+    /// The maximal runs of live rows within a row range (clamped to the
+    /// table's length): contiguous id ranges containing no tombstone. The
+    /// vectorised executor aggregates each run with one kernel pass per
+    /// chunk instead of a per-row liveness check.
+    pub fn live_runs(&self, rows: Range<usize>) -> Vec<Range<usize>> {
+        let end = rows.end.min(self.rows);
+        let start = rows.start.min(end);
+        let mut runs = Vec::new();
+        let mut cursor = start;
+        for &dead in self.retracted.range(start..end) {
+            if dead > cursor {
+                runs.push(cursor..dead);
+            }
+            cursor = dead + 1;
+        }
+        if cursor < end {
+            runs.push(cursor..end);
+        }
+        runs
+    }
+
+    /// Rewrites the live rows into fresh, dense chunks, dropping every
+    /// tombstone (and, for text columns, re-interning only the strings
+    /// live rows still reference). Live rows keep their relative order;
+    /// the returned [`RowRemap`] translates old stable row ids to the new
+    /// numbering so long-lived selections can follow.
+    pub fn compact(&self) -> (Table, RowRemap) {
+        let mut fresh = Table {
+            name: self.name.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, c)| {
+                    (
+                        n.clone(),
+                        Column::with_chunk_rows(c.column_type(), self.chunk_rows),
+                    )
+                })
+                .collect(),
+            rows: 0,
+            retracted: BTreeSet::new(),
+            chunk_rows: self.chunk_rows,
+        };
+        let mut live_old_ids = Vec::with_capacity(self.live_len());
+        for row in 0..self.rows {
+            if self.retracted.contains(&row) {
+                continue;
+            }
+            live_old_ids.push(row);
+            for (source, target) in self.columns.iter().zip(fresh.columns.iter_mut()) {
+                target
+                    .1
+                    .push(source.1.get(row))
+                    .expect("compaction copies between identical column types");
+            }
+            fresh.rows += 1;
+        }
+        (fresh, RowRemap::new(live_old_ids))
     }
 
     /// Tombstones a row: scans skip it from now on, its id is never
@@ -90,6 +224,12 @@ impl Table {
     /// Index of a column by name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
         self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Borrow a column by declaration index (resolved once by the query
+    /// planner; panics out of range, like slice indexing).
+    pub fn column_at(&self, index: usize) -> &Column {
+        &self.columns[index].1
     }
 
     /// Borrow a column by name.
@@ -365,6 +505,79 @@ mod tests {
         assert!(t.set_cell(0, "size_sqm", CellValue::Integer(1)).is_err());
         // The failed updates left the cell as written.
         assert_eq!(t.get(0, "size_sqm").unwrap(), CellValue::Integer(250));
+    }
+
+    #[test]
+    fn live_runs_and_tombstone_ratio() {
+        let mut t = store_table();
+        for i in 0..8 {
+            t.push_row(vec![("Store.name", CellValue::from(format!("S{i}")))])
+                .unwrap();
+        }
+        assert_eq!(t.tombstone_ratio(), 0.0);
+        assert_eq!(t.live_runs(0..8), vec![0..8]);
+        t.retract_row(2).unwrap();
+        t.retract_row(3).unwrap();
+        t.retract_row(6).unwrap();
+        assert_eq!(t.tombstone_ratio(), 3.0 / 8.0);
+        assert_eq!(t.live_runs(0..8), vec![0..2, 4..6, 7..8]);
+        // Clamped and partial ranges.
+        assert_eq!(t.live_runs(3..99), vec![4..6, 7..8]);
+        assert_eq!(t.live_runs(2..4), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(Table::new("e", vec![]).tombstone_ratio(), 0.0);
+    }
+
+    #[test]
+    fn compaction_rewrites_live_rows_and_remaps_ids() {
+        let mut t = Table::with_chunk_rows(
+            "Store",
+            vec![
+                ("Store.name".to_string(), ColumnType::Text),
+                ("size_sqm".to_string(), ColumnType::Integer),
+            ],
+            2,
+        );
+        for i in 0..6 {
+            t.push_row(vec![
+                ("Store.name", CellValue::from(format!("S{i}"))),
+                ("size_sqm", CellValue::Integer(i)),
+            ])
+            .unwrap();
+        }
+        t.retract_row(0).unwrap();
+        t.retract_row(3).unwrap();
+        t.retract_row(4).unwrap();
+        let (compacted, remap) = t.compact();
+        assert_eq!(compacted.len(), 3);
+        assert_eq!(compacted.live_len(), 3);
+        assert_eq!(compacted.tombstone_ratio(), 0.0);
+        assert_eq!(compacted.chunk_rows(), 2);
+        // Live rows kept their relative order: old 1, 2, 5 → new 0, 1, 2.
+        for (new, old) in [(0usize, 1i64), (1, 2), (2, 5)] {
+            assert_eq!(
+                compacted.get(new, "Store.name").unwrap(),
+                CellValue::Text(format!("S{old}"))
+            );
+            assert_eq!(
+                compacted.get(new, "size_sqm").unwrap(),
+                CellValue::Integer(old)
+            );
+        }
+        assert_eq!(remap.live_len(), 3);
+        assert_eq!(remap.new_id(1), Some(0));
+        assert_eq!(remap.new_id(5), Some(2));
+        assert_eq!(remap.new_id(0), None, "dead rows have no new id");
+        assert_eq!(remap.old_id(2), Some(5));
+        assert_eq!(remap.old_id(3), None, "beyond the surviving rows");
+        // The dictionary was rebuilt: only live strings remain interned.
+        if let Column::Text { dictionary, .. } = compacted.column("Store.name").unwrap() {
+            assert_eq!(dictionary.len(), 3);
+        } else {
+            panic!("expected text column");
+        }
+        // The source table is untouched.
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.live_len(), 3);
     }
 
     #[test]

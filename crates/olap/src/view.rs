@@ -2,8 +2,27 @@
 
 use crate::cube::Cube;
 use crate::error::OlapError;
+use crate::table::RowRemap;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// A fact-row selection pinned to the compaction version of the fact
+/// table its row ids were captured against.
+///
+/// Fact tables can be *compacted* (tombstones dropped, stable row ids
+/// remapped), so a bare row-id set is only meaningful together with the
+/// numbering it refers to. [`InstanceView::allows_fact_row`] translates a
+/// queried row id backwards through the table's remap chain to the
+/// selection's version, so a view captured before a compaction keeps
+/// resolving exactly the live rows it selected.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FactSelection {
+    /// The fact table's compaction version the row ids refer to (= the
+    /// length of the table's remap chain at capture time).
+    pub version: u64,
+    /// The allowed fact row ids, in `version`'s numbering.
+    pub rows: BTreeSet<usize>,
+}
 
 /// The outcome of instance personalization: a restriction of the cube to
 /// the dimension members (and/or fact rows) a decision maker should see.
@@ -20,7 +39,7 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct InstanceView {
     dimension_selections: BTreeMap<String, BTreeSet<usize>>,
-    fact_selections: BTreeMap<String, BTreeSet<usize>>,
+    fact_selections: BTreeMap<String, FactSelection>,
 }
 
 impl InstanceView {
@@ -56,20 +75,76 @@ impl InstanceView {
     }
 
     /// Restricts a fact to the given fact row ids (intersecting with any
-    /// previous selection).
+    /// previous selection), with the ids referring to the fact table's
+    /// *initial* numbering (compaction version 0). Callers selecting
+    /// against a table that has already been compacted use
+    /// [`InstanceView::select_fact_rows_at`].
     pub fn select_fact_rows(
         &mut self,
         fact: impl Into<String>,
+        rows: impl IntoIterator<Item = usize>,
+    ) {
+        self.select_fact_rows_at(fact, 0, rows);
+    }
+
+    /// Restricts a fact to the given fact row ids captured at the given
+    /// compaction version of the fact table (intersecting with any
+    /// previous selection).
+    ///
+    /// When the previous selection was captured at a *different* version,
+    /// the raw id sets are intersected and the newer version kept: the
+    /// serving layer keeps stored views aligned with the current version
+    /// (it remaps them under the same lock that compacts), so a mixed
+    /// intersection only happens in the window between a firing and its
+    /// application, and never widens the view.
+    pub fn select_fact_rows_at(
+        &mut self,
+        fact: impl Into<String>,
+        version: u64,
         rows: impl IntoIterator<Item = usize>,
     ) {
         let fact = fact.into();
         let new: BTreeSet<usize> = rows.into_iter().collect();
         match self.fact_selections.get_mut(&fact) {
             Some(existing) => {
-                *existing = existing.intersection(&new).copied().collect();
+                existing.rows = existing.rows.intersection(&new).copied().collect();
+                existing.version = existing.version.max(version);
             }
             None => {
-                self.fact_selections.insert(fact, new);
+                self.fact_selections
+                    .insert(fact, FactSelection { version, rows: new });
+            }
+        }
+    }
+
+    /// The compaction version a fact's selection was captured at, when the
+    /// fact is restricted.
+    pub fn fact_selection_version(&self, fact: &str) -> Option<u64> {
+        self.fact_selections.get(fact).map(|s| s.version)
+    }
+
+    /// The selected fact-row set (in its capture version's numbering),
+    /// when the fact is restricted.
+    pub fn selected_fact_rows(&self, fact: &str) -> Option<&BTreeSet<usize>> {
+        self.fact_selections.get(fact).map(|s| &s.rows)
+    }
+
+    /// Translates a fact's selection through one compaction remap: row ids
+    /// captured at `from_version` become ids in `from_version + 1`'s
+    /// numbering (rows dead at compaction time drop out). A no-op when the
+    /// fact is unrestricted or its selection is at a different version.
+    /// The serving layer calls this for every open session right after
+    /// publishing a compacted snapshot, keeping stored views on the
+    /// version-aligned fast path of [`InstanceView::allows_fact_row`].
+    pub fn remap_fact_rows(&mut self, fact: &str, remap: &RowRemap, from_version: u64) {
+        if let Some(selection) = self.fact_selections.get_mut(fact) {
+            if selection.version == from_version {
+                selection.rows = selection
+                    .rows
+                    .iter()
+                    .filter_map(|&row| remap.new_id(row))
+                    .collect();
+                selection.version = from_version + 1;
             }
         }
     }
@@ -104,9 +179,30 @@ impl InstanceView {
         fact: &str,
         fact_row: usize,
     ) -> Result<bool, OlapError> {
-        if let Some(rows) = self.fact_selections.get(fact) {
-            if !rows.contains(&fact_row) {
-                return Ok(false);
+        if let Some(selection) = self.fact_selections.get(fact) {
+            let fact_table = cube.fact_table(fact)?;
+            let current = fact_table.compaction_version();
+            let row_at_capture = if selection.version < current {
+                // The table was compacted since the selection was
+                // captured: walk the queried id backwards through the
+                // remap chain to the selection's numbering. A row with no
+                // pre-compaction id was appended later — a closed
+                // selection never contains it.
+                let mut row = Some(fact_row);
+                for remap in fact_table.remaps[selection.version as usize..].iter().rev() {
+                    row = row.and_then(|r| remap.old_id(r));
+                }
+                row
+            } else {
+                // Version-aligned (the steady state) — or, in the tiny
+                // window where a freshly remapped view meets a snapshot
+                // published just before the compaction, best-effort raw
+                // ids.
+                Some(fact_row)
+            };
+            match row_at_capture {
+                Some(row) if selection.rows.contains(&row) => {}
+                _ => return Ok(false),
             }
         }
         let fact_def = cube
@@ -146,8 +242,12 @@ impl InstanceView {
         for (dim, members) in &other.dimension_selections {
             self.select_dimension_members(dim.clone(), members.iter().copied());
         }
-        for (fact, rows) in &other.fact_selections {
-            self.select_fact_rows(fact.clone(), rows.iter().copied());
+        for (fact, selection) in &other.fact_selections {
+            self.select_fact_rows_at(
+                fact.clone(),
+                selection.version,
+                selection.rows.iter().copied(),
+            );
         }
     }
 }
@@ -302,5 +402,63 @@ mod tests {
         let cube = small_cube();
         let view = InstanceView::unrestricted();
         assert!(view.allows_fact_row(&cube, "Returns", 0).is_err());
+    }
+
+    #[test]
+    fn stale_selections_survive_compaction_via_the_remap_chain() {
+        let mut cube = small_cube();
+        // Select fact rows 2, 3 and 5 (stores 1 and 2), then retract rows
+        // 0, 3 and 6 and compact: old ids 1,2,4,5,7 → new ids 0..5.
+        let mut view = InstanceView::unrestricted();
+        view.select_fact_rows("Sales", vec![2, 3, 5]);
+        cube.retract_fact_row("Sales", 0).unwrap();
+        cube.retract_fact_row("Sales", 3).unwrap();
+        cube.retract_fact_row("Sales", 6).unwrap();
+        let visible_before = view.visible_fact_count(&cube, "Sales").unwrap();
+        assert_eq!(visible_before, 2, "rows 2 and 5 are live, 3 is dead");
+        cube.compact_fact_table("Sales").unwrap();
+        // The *stale* view (version 0) still resolves the same live rows
+        // through the remap chain: old 2 → new 1, old 5 → new 3.
+        assert_eq!(view.visible_fact_count(&cube, "Sales").unwrap(), 2);
+        assert!(view.allows_fact_row(&cube, "Sales", 1).unwrap());
+        assert!(view.allows_fact_row(&cube, "Sales", 3).unwrap());
+        assert!(!view.allows_fact_row(&cube, "Sales", 0).unwrap());
+        // Rows appended after the compaction are invisible to the closed
+        // selection.
+        cube.add_fact_row(
+            "Sales",
+            vec![("Store", 0), ("Time", 0)],
+            vec![("UnitSales", CellValue::Float(9.0))],
+        )
+        .unwrap();
+        assert!(!view.allows_fact_row(&cube, "Sales", 5).unwrap());
+
+        // Eagerly remapping the view gives the same answers on the
+        // version-aligned fast path.
+        let remap = cube.fact_table("Sales").unwrap().remaps[0].clone();
+        let mut remapped = view.clone();
+        remapped.remap_fact_rows("Sales", &remap, 0);
+        assert_eq!(remapped.fact_selection_version("Sales"), Some(1));
+        assert_eq!(
+            remapped
+                .selected_fact_rows("Sales")
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(remapped.visible_fact_count(&cube, "Sales").unwrap(), 2);
+        // Remapping at a non-matching version is a no-op.
+        let mut untouched = remapped.clone();
+        untouched.remap_fact_rows("Sales", &remap, 0);
+        assert_eq!(untouched, remapped);
+
+        // A second compaction chains: retract new row 1 (old 2) and
+        // compact again; the original version-0 view still sees old 5.
+        cube.retract_fact_row("Sales", 1).unwrap();
+        cube.compact_fact_table("Sales").unwrap();
+        assert_eq!(view.visible_fact_count(&cube, "Sales").unwrap(), 1);
+        assert_eq!(remapped.visible_fact_count(&cube, "Sales").unwrap(), 1);
     }
 }

@@ -62,6 +62,9 @@ fn show(label: &str, response: &WebResponse) {
                  {rows_appended} row(s) appended, {epochs_published} epoch(s)"
             );
         }
+        WebResponse::GenerationPinned { generation } => {
+            println!("[{label}] session pinned to snapshot generation {generation}");
+        }
         WebResponse::LoggedOut => println!("[{label}] logged out"),
         WebResponse::Error { message } => println!("[{label}] error: {message}"),
     }
