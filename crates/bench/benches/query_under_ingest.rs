@@ -15,11 +15,24 @@
 //!
 //! Backpressure is visible too: the feeder uses `try_submit` and the
 //! printed summary reports how many batches were shed.
+//!
+//! A dedicated **`compacting` configuration** (not part of the epoch
+//! sweep) enables a `CompactionPolicy` (0.3 tombstone ratio over 512
+//! rows): once the retraction stream pushes `Sales` over the policy the
+//! epoch worker rewrites it (renumbering row ids) mid-bench. An
+//! id-addressed producer must then follow the re-anchoring protocol —
+//! flush after each accepted batch (a barrier past any compaction that
+//! batch triggered), then `RetailTicker::re_anchor` through the
+//! published remap chain. Flushing per batch forces one publication per
+//! batch, which is exactly why this runs as its *own* configuration: it
+//! would otherwise collapse the epoch-size axis of the sweep.
+//! The sweep configurations keep compaction disabled and the plain
+//! try_submit/retry feeder, so their curves stay comparable across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdwp_bench::{engine_for, manager_location, scenario_at_scale};
 use sdwp_datagen::{RetailTicker, TickerConfig};
-use sdwp_ingest::{EpochPolicy, IngestConfig};
+use sdwp_ingest::{CompactionPolicy, EpochPolicy, IngestConfig};
 use sdwp_olap::{AttributeRef, Query};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,13 +46,18 @@ fn short() -> Criterion {
         .measurement_time(Duration::from_millis(900))
 }
 
-/// (label, appends per feeder batch; 0 = no ingestion at all). One batch
-/// is submitted per ~5 ms, so trickle ≈ 1.6k and torrent ≈ 6.4k appends/s.
-/// The rates are bounded so the bench converges on a 1-core runner; the
-/// epoch-publication cost itself is near-flat in warehouse size since
-/// fact storage moved to chunked copy-on-write columns (see B14,
-/// `snapshot_publish.rs`).
-const RATES: [(&str, usize); 3] = [("idle", 0), ("trickle", 8), ("torrent", 32)];
+/// (label, appends per feeder batch, compaction + re-anchor protocol on).
+/// `0` appends = no ingestion at all. One batch is submitted per ~5 ms,
+/// so trickle ≈ 1.6k and torrent ≈ 6.4k appends/s. The rates are bounded
+/// so the bench converges on a 1-core runner; the epoch-publication cost
+/// itself is near-flat in warehouse size since fact storage moved to
+/// chunked copy-on-write columns (see B14, `snapshot_publish.rs`).
+const CONFIGS: [(&str, usize, bool); 4] = [
+    ("idle", 0, false),
+    ("trickle", 8, false),
+    ("torrent", 32, false),
+    ("compacting", 8, true),
+];
 /// Epoch sizes swept (mutations per published snapshot).
 const EPOCH_ROWS: [usize; 2] = [64, 1024];
 
@@ -51,11 +69,12 @@ fn bench_query_under_ingest(c: &mut Criterion) {
         .measure("UnitSales");
 
     let mut group = c.benchmark_group("B13_query_under_ingest");
-    for (rate_label, appends) in RATES {
+    for (rate_label, appends, compacting) in CONFIGS {
         for epoch_rows in EPOCH_ROWS {
-            // Idle ingestion does not depend on the epoch size; sweep it
-            // once.
-            if appends == 0 && epoch_rows != EPOCH_ROWS[0] {
+            // Idle ingestion does not depend on the epoch size, and the
+            // compacting protocol flushes per batch (making the epoch
+            // size moot) — sweep those once.
+            if (appends == 0 || compacting) && epoch_rows != EPOCH_ROWS[0] {
                 continue;
             }
             // A fresh engine per configuration so ingested rows do not
@@ -67,14 +86,25 @@ fn bench_query_under_ingest(c: &mut Criterion) {
                 .id;
             let stop = Arc::new(AtomicBool::new(false));
             let feeder = (appends > 0).then(|| {
+                let compaction = if compacting {
+                    CompactionPolicy::disabled()
+                        .with_max_tombstone_ratio(0.3)
+                        .with_min_rows(512)
+                } else {
+                    CompactionPolicy::disabled()
+                };
                 let ingest = engine.start_ingest(
-                    IngestConfig::default().with_queue_depth(32).with_epoch(
-                        EpochPolicy::default()
-                            .with_max_rows(epoch_rows)
-                            .with_max_interval(Duration::from_millis(5)),
-                    ),
+                    IngestConfig::default()
+                        .with_queue_depth(32)
+                        .with_epoch(
+                            EpochPolicy::default()
+                                .with_max_rows(epoch_rows)
+                                .with_max_interval(Duration::from_millis(5)),
+                        )
+                        .with_compaction(compaction),
                 );
                 let stop = Arc::clone(&stop);
+                let feeder_engine = Arc::clone(&engine);
                 let mut ticker = RetailTicker::new(
                     &scenario,
                     TickerConfig::default()
@@ -86,12 +116,25 @@ fn bench_query_under_ingest(c: &mut Criterion) {
                     // A shed batch is retried, not regenerated: the ticker
                     // tracks the warehouse's row ids, so dropping a batch
                     // it produced would desynchronise every later
-                    // correction/retraction it emits.
+                    // correction/retraction it emits. With compaction
+                    // enabled the feeder additionally follows the
+                    // id-addressed producer's re-anchoring protocol:
+                    // flush after every accepted batch, then translate
+                    // its bookkeeping through the published remap chain.
                     let mut pending = None;
                     while !stop.load(Ordering::Relaxed) {
                         let batch = pending.take().unwrap_or_else(|| ticker.next_batch());
-                        if let Err(refused) = ingest.try_submit(batch) {
-                            pending = refused.into_batch();
+                        match ingest.try_submit(batch) {
+                            Ok(()) if compacting => {
+                                if ingest.flush().is_ok() {
+                                    let cube = feeder_engine.cube();
+                                    if let Ok(fact) = cube.fact_table("Sales") {
+                                        ticker.re_anchor(fact);
+                                    }
+                                }
+                            }
+                            Ok(()) => {}
+                            Err(refused) => pending = refused.into_batch(),
                         }
                         thread::sleep(Duration::from_millis(5));
                     }
@@ -126,11 +169,12 @@ fn bench_query_under_ingest(c: &mut Criterion) {
                     "    {rate_label}/epoch{epoch_rows}: cache hit rate {hit_rate:.3} \
                      ({hits} hits / {misses} misses), {} epochs published, \
                      {} rows ingested, {} submissions deferred by backpressure, \
-                     {} batches failed",
+                     {} batches failed, {} compactions",
                     stats.epochs_published,
                     stats.rows_appended,
                     stats.batches_rejected,
                     stats.batches_failed,
+                    stats.compactions,
                 ),
                 None => println!(
                     "    {rate_label}: cache hit rate {hit_rate:.3} ({hits} hits / {misses} misses)"

@@ -67,6 +67,64 @@ pub(crate) struct CubeState {
     /// rewritten table, keeping stored views on the version-aligned fast
     /// path.
     pub(crate) sessions: Arc<SessionManager>,
+    /// Compaction versions observed by in-flight rule firings whose
+    /// selection effects have not been applied to a session view yet.
+    /// Together with the stored views' selection versions, this is the
+    /// floor below which no remap-chain transition can be referenced any
+    /// more — what lets compaction trim the chain instead of growing it
+    /// forever.
+    pub(crate) version_pins: VersionPins,
+}
+
+/// Tracks the fact-table compaction versions in-flight rule firings
+/// observed (under the master lock) until their `SelectInstance` effects
+/// are applied to a session view. [`CubeState::maybe_compact`] takes the
+/// minimum over these pins when deciding how far the remap chain can be
+/// trimmed, so a firing's row ids can always be translated forward no
+/// matter how many compactions interleave before the effects land.
+#[derive(Default)]
+pub(crate) struct VersionPins {
+    next: std::sync::atomic::AtomicU64,
+    pins: Mutex<BTreeMap<u64, BTreeMap<String, u64>>>,
+}
+
+impl VersionPins {
+    /// Registers a firing's observed versions; returns the pin token.
+    fn pin(&self, versions: BTreeMap<String, u64>) -> u64 {
+        let token = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.pins.lock().insert(token, versions);
+        token
+    }
+
+    /// Releases a pin once the firing's effects have been applied.
+    fn release(&self, token: u64) {
+        self.pins.lock().remove(&token);
+    }
+
+    /// The oldest pinned version for a fact, when any firing is in
+    /// flight.
+    fn min_for(&self, fact: &str) -> Option<u64> {
+        self.pins
+            .lock()
+            .values()
+            .filter_map(|versions| versions.get(fact).copied())
+            .min()
+    }
+}
+
+/// RAII release of a firing's version pin: dropped by the caller after
+/// the fire report's selection effects have been applied (or abandoned).
+pub(crate) struct VersionPinGuard {
+    state: Arc<CubeState>,
+    token: Option<u64>,
+}
+
+impl Drop for VersionPinGuard {
+    fn drop(&mut self) {
+        if let Some(token) = self.token {
+            self.state.version_pins.release(token);
+        }
+    }
 }
 
 /// The ingest side of the engine: batches are applied to the master under
@@ -127,6 +185,27 @@ impl CubeSink for CubeState {
             changed.insert(fact.clone());
             self.result_cache.publish(generation, &changed);
             self.sessions.remap_fact_rows(&fact, &remap, version_before);
+            // Trim the remap chain down to what can still be referenced:
+            // stored session views (just remapped to the current version),
+            // in-flight firings that observed an older version, and —
+            // because external producers following the re-anchor protocol
+            // read the chain only after their next flush — always the
+            // latest transition. Everything below that floor is
+            // unreachable and dropped, so the chain stays bounded under
+            // steady compaction.
+            let current_version = version_before + 1;
+            let floor = [
+                self.sessions.min_fact_selection_version(&fact),
+                self.version_pins.min_for(&fact),
+                Some(current_version.saturating_sub(1)),
+            ]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("floor list is never empty");
+            master
+                .trim_fact_remaps(&fact, floor)
+                .expect("candidate fact exists");
             outcomes.push(CompactionOutcome {
                 fact,
                 rows_before,
@@ -213,6 +292,7 @@ impl PersonalizationEngine {
                 snapshot,
                 result_cache: QueryCache::new(config.cache_capacity),
                 sessions: Arc::clone(&sessions),
+                version_pins: VersionPins::default(),
             }),
             original_schema,
             profiles: ProfileStore::new(),
@@ -311,7 +391,13 @@ impl PersonalizationEngine {
             None => Session::start(id, user_id),
         };
         let mut state = SessionState::new(session);
-        let (report, fact_versions) =
+        // The version pin must stay alive until the session is *stored*:
+        // between applying the selection effects and `sessions.insert`,
+        // the new view's captured compaction version is visible neither
+        // through the pins nor through the stored-views floor, and a
+        // concurrent compaction could otherwise trim a remap transition
+        // the view still needs.
+        let (report, fact_versions, _pin) =
             self.fire_event(user_id, &state.session, &RuntimeEvent::SessionStart)?;
         self.apply_selection_effects(&report, &fact_versions, &mut state.view);
         state.effects.extend(report.effects.iter().cloned());
@@ -348,11 +434,12 @@ impl PersonalizationEngine {
             element: element.to_string(),
             expression: expression.map(str::to_string),
         };
-        let (report, fact_versions) = self.fire_event(&user_id, &session_snapshot, &event)?;
+        let (report, fact_versions, pin) = self.fire_event(&user_id, &session_snapshot, &event)?;
         self.sessions.with_session_mut(session_id, |state| {
             self.apply_selection_effects(&report, &fact_versions, &mut state.view);
             state.effects.extend(report.effects.iter().cloned());
         })?;
+        drop(pin);
         Ok(report)
     }
 
@@ -370,7 +457,7 @@ impl PersonalizationEngine {
                 state.session.end();
                 Ok((state.session.user_id.clone(), state.session.clone()))
             })??;
-        let (report, _) =
+        let (report, _, _pin) =
             self.fire_event(&user_id, &session_snapshot, &RuntimeEvent::SessionEnd)?;
         self.sessions.with_session_mut(session_id, |state| {
             state.effects.extend(report.effects.iter().cloned());
@@ -388,13 +475,32 @@ impl PersonalizationEngine {
     /// triple was executed before; a rule firing that publishes a new
     /// cube bumps the generation and misses every stale entry.
     pub fn query(&self, session_id: SessionId, query: &Query) -> Result<QueryResult, CoreError> {
-        let (active, view, min_generation) = self.sessions.with_session(session_id, |state| {
-            (
-                state.is_active(),
-                Arc::clone(&state.view),
-                state.min_generation,
-            )
-        })?;
+        let (active, view, min_generation, _pin) =
+            self.sessions.with_session(session_id, |state| {
+                // Pin the view's fact-selection versions while still under
+                // the session shard lock (mutually exclusive with the
+                // compaction path's eager remap of this shard): the query
+                // keeps this clone of the view — possibly across a
+                // read-your-writes wait — and the remap-chain trimmer must
+                // not drop transitions the clone still needs. Released when
+                // the guard drops after execution.
+                let versions: BTreeMap<String, u64> = state
+                    .view
+                    .fact_selection_versions()
+                    .map(|(fact, version)| (fact.to_string(), version))
+                    .collect();
+                let pin = VersionPinGuard {
+                    state: Arc::clone(&self.cube_state),
+                    token: (!versions.is_empty())
+                        .then(|| self.cube_state.version_pins.pin(versions)),
+                };
+                (
+                    state.is_active(),
+                    Arc::clone(&state.view),
+                    state.min_generation,
+                    pin,
+                )
+            })?;
         if !active {
             return Err(CoreError::UnknownSession {
                 session: session_id,
@@ -607,7 +713,7 @@ impl PersonalizationEngine {
         user_id: &str,
         session: &Session,
         event: &RuntimeEvent,
-    ) -> Result<(FireReport, BTreeMap<String, u64>), CoreError> {
+    ) -> Result<(FireReport, BTreeMap<String, u64>, VersionPinGuard), CoreError> {
         let rules = self.rules.load();
         let parameters = self.parameters.read().clone();
         let mut master = self.cube_state.master.lock();
@@ -659,8 +765,18 @@ impl PersonalizationEngine {
         } else {
             BTreeMap::new()
         };
+        // Pin the observed versions (under the master lock, so a
+        // compaction cannot interleave before the pin lands): until the
+        // caller applies the selection effects and drops the guard, the
+        // remap-chain trimmer must keep every transition from these
+        // versions forward.
+        let pin = VersionPinGuard {
+            state: Arc::clone(&self.cube_state),
+            token: has_fact_selections
+                .then(|| self.cube_state.version_pins.pin(fact_versions.clone())),
+        };
         drop(master);
-        Ok((report, fact_versions))
+        Ok((report, fact_versions, pin))
     }
 
     /// Applies the SelectInstance effects of a fire report to a view:
@@ -690,27 +806,39 @@ impl PersonalizationEngine {
             for (dimension, members) in &effect.selections {
                 if let Some(fact) = dimension.strip_prefix("__fact__") {
                     let version = fact_versions.get(fact).copied().unwrap_or(0);
-                    match view.fact_selection_version(fact) {
-                        Some(stored) if stored > version => {
-                            // Compaction raced the firing: re-anchor the
-                            // fired ids to the stored selection's
-                            // numbering. Stored views are remapped under
-                            // the master lock right after each compacted
-                            // snapshot publishes, so the published chain
-                            // always covers `version..stored`.
-                            let cube = self.cube_state.snapshot.load();
-                            let translated = cube
-                                .translate_fact_rows(fact, version, stored, members.iter().copied())
-                                .unwrap_or_else(|_| members.iter().copied().collect());
-                            view.select_fact_rows_at(fact.to_string(), stored, translated);
-                        }
-                        _ => {
-                            view.select_fact_rows_at(
-                                fact.to_string(),
-                                version,
-                                members.iter().copied(),
-                            );
-                        }
+                    // Re-anchor the fired ids forward if a compaction
+                    // raced the firing: either to the stored selection's
+                    // numbering (stored views are remapped under the
+                    // master lock right after each compacted snapshot
+                    // publishes) or, for a fresh selection, to the
+                    // published table's current version — storing it at
+                    // the lagging `version` would leave a view the eager
+                    // per-compaction remap (which matches versions
+                    // exactly) skips forever, permanently pinning the
+                    // remap-chain trim floor. The firing's version pin is
+                    // still held here, so the published chain always
+                    // covers `version..target`.
+                    let cube = self.cube_state.snapshot.load();
+                    let target = view
+                        .fact_selection_version(fact)
+                        .into_iter()
+                        .chain(
+                            cube.fact_table(fact)
+                                .map(|table| table.compaction_version()),
+                        )
+                        .max()
+                        .unwrap_or(version);
+                    if target > version {
+                        let translated = cube
+                            .translate_fact_rows(fact, version, target, members.iter().copied())
+                            .unwrap_or_else(|_| members.iter().copied().collect());
+                        view.select_fact_rows_at(fact.to_string(), target, translated);
+                    } else {
+                        view.select_fact_rows_at(
+                            fact.to_string(),
+                            version,
+                            members.iter().copied(),
+                        );
                     }
                 } else {
                     view.select_dimension_members(dimension.clone(), members.iter().copied());

@@ -185,6 +185,22 @@ impl SessionManager {
             }
         }
     }
+
+    /// The oldest compaction version any stored session view's selection
+    /// over `fact` was captured at, or `None` when no stored view
+    /// restricts the fact. The remap-chain trimmer uses this as the floor
+    /// below which no transition can be referenced any more.
+    pub fn min_fact_selection_version(&self, fact: &str) -> Option<u64> {
+        let mut min = None;
+        for shard in &self.shards {
+            for state in shard.read().values() {
+                if let Some(version) = state.view.fact_selection_version(fact) {
+                    min = Some(min.map_or(version, |m: u64| m.min(version)));
+                }
+            }
+        }
+        min
+    }
 }
 
 #[cfg(test)]

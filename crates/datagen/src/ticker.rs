@@ -13,7 +13,7 @@ use crate::scenario::PaperScenario;
 use rand::rngs::StdRng;
 use rand::Rng;
 use sdwp_ingest::DeltaBatch;
-use sdwp_olap::CellValue;
+use sdwp_olap::{CellValue, FactTable};
 use std::collections::BTreeSet;
 
 /// Shape of the generated update stream.
@@ -74,6 +74,19 @@ impl TickerConfig {
 /// a row it has already retracted — every produced batch validates against
 /// a cube that applied all previous batches in order. It is an
 /// [`Iterator`], so `ticker.take(n)` is a bounded update stream.
+///
+/// # Compaction: the re-anchoring protocol
+///
+/// The ticker addresses corrections and cancellations by **stable row
+/// id**, so a fact-table compaction (which renumbers live rows) would
+/// desynchronise it. Producers running against a pipeline with a
+/// `CompactionPolicy` enabled must follow the re-anchoring protocol (see
+/// `tests/compaction_consistency.rs`): `flush()` the pipeline — a barrier
+/// after which any compaction the flush triggered has already published —
+/// then call [`RetailTicker::re_anchor`] with the published fact table
+/// before producing the next id-addressed batch. The ticker translates
+/// its bookkeeping through the table's retained remap chain; ids it had
+/// retracted are exactly the ids compaction dropped, so they fall away.
 #[derive(Debug, Clone)]
 pub struct RetailTicker {
     rng: StdRng,
@@ -87,6 +100,8 @@ pub struct RetailTicker {
     fact_rows: usize,
     /// Rows this ticker has retracted (never targeted again).
     retracted: BTreeSet<usize>,
+    /// The fact table's compaction version the ticker's row ids refer to.
+    version_seen: u64,
 }
 
 impl RetailTicker {
@@ -102,6 +117,7 @@ impl RetailTicker {
             days: scenario.retail.days,
             fact_rows: scenario.retail.sales.len(),
             retracted: BTreeSet::new(),
+            version_seen: 0,
         }
     }
 
@@ -109,6 +125,50 @@ impl RetailTicker {
     /// retracted).
     pub fn fact_rows(&self) -> usize {
         self.fact_rows
+    }
+
+    /// The compaction version the ticker's row ids currently refer to.
+    pub fn version_seen(&self) -> u64 {
+        self.version_seen
+    }
+
+    /// Re-anchors the ticker's row-id bookkeeping to the published fact
+    /// table after a flush: if the table was compacted since the last
+    /// anchor, outstanding ids translate forward through the retained
+    /// remap chain (retracted ids are precisely the rows compaction
+    /// dropped, so the retracted set empties) and the virtual row count
+    /// snaps to the table's current length. A no-op when no compaction
+    /// happened. Only call this at a flush barrier — with batches still
+    /// in flight, the table's length would not yet include them.
+    ///
+    /// # Panics
+    /// When the table's retained remap chain no longer covers
+    /// `version_seen` (`remap_base` has been trimmed past it): the
+    /// producer lagged more than the serving layer's retention window,
+    /// and translating through a partial chain would silently address
+    /// the wrong rows. Flushing and re-anchoring after every
+    /// id-addressed batch (the documented protocol) keeps the lag within
+    /// the always-retained latest transition.
+    pub fn re_anchor(&mut self, fact: &FactTable) {
+        let current = fact.compaction_version();
+        if current == self.version_seen {
+            return;
+        }
+        assert!(
+            fact.remap_base <= self.version_seen,
+            "RetailTicker lagged past the retained remap window \
+             (anchored at version {}, chain starts at {}): id-addressed \
+             deltas can no longer be translated safely — flush and \
+             re-anchor after every id-addressed batch",
+            self.version_seen,
+            fact.remap_base,
+        );
+        self.retracted = fact
+            .translate_rows_from(self.version_seen, self.retracted.iter().copied())
+            .into_iter()
+            .collect();
+        self.fact_rows = fact.table.len();
+        self.version_seen = current;
     }
 
     /// Draws a random live row id, or `None` when none is targetable.
@@ -239,6 +299,53 @@ mod tests {
             batch.apply(&mut cube);
         }
         assert!(cube.total_fact_rows() > scenario.cube.total_fact_rows());
+    }
+
+    #[test]
+    fn re_anchoring_survives_compaction() {
+        let scenario = scenario();
+        let mut cube = scenario.cube.clone();
+        let mut ticker = RetailTicker::new(&scenario, TickerConfig::default().with_retractions(3));
+        for batch in ticker.by_ref().take(6) {
+            batch.validate(&cube).expect("pre-compaction batch");
+            batch.apply(&mut cube);
+        }
+        // A no-op anchor before any compaction changes nothing.
+        let rows_before = ticker.fact_rows();
+        ticker.re_anchor(cube.fact_table("Sales").unwrap());
+        assert_eq!(
+            (ticker.version_seen(), ticker.fact_rows()),
+            (0, rows_before)
+        );
+
+        // Compact (renumbering every live row), re-anchor, keep going:
+        // every later id-addressed batch still validates in order.
+        cube.compact_fact_table("Sales").unwrap();
+        ticker.re_anchor(cube.fact_table("Sales").unwrap());
+        assert_eq!(ticker.version_seen(), 1);
+        assert_eq!(
+            ticker.fact_rows(),
+            cube.fact_table("Sales").unwrap().table.len()
+        );
+        // The rows the ticker retracted were exactly the rows compaction
+        // dropped, so its do-not-touch set empties.
+        assert!(ticker.retracted.is_empty());
+        for batch in ticker.by_ref().take(6) {
+            batch.validate(&cube).expect("re-anchored batch validates");
+            batch.apply(&mut cube);
+        }
+        // A second compaction chains through the (possibly trimmed) remap
+        // window the same way.
+        cube.compact_fact_table("Sales").unwrap();
+        cube.trim_fact_remaps("Sales", 1).unwrap();
+        ticker.re_anchor(cube.fact_table("Sales").unwrap());
+        assert_eq!(ticker.version_seen(), 2);
+        for batch in ticker.take(4) {
+            batch
+                .validate(&cube)
+                .expect("batch after trimmed re-anchor");
+            batch.apply(&mut cube);
+        }
     }
 
     #[test]

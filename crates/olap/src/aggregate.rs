@@ -6,10 +6,118 @@
 //! [`Accumulator::merge`] by the parallel executor and only finalised
 //! once at the end.
 
-use crate::kernels::NumericAgg;
+use crate::kernels::{self, NumericAgg};
 use crate::value::CellValue;
 use sdwp_model::AggregationFunction;
 use std::collections::HashSet;
+
+/// Slot-backed accumulator state for one measure across the dense group
+/// slots of one morsel — the flat-vector counterpart of a
+/// `HashMap<group, Accumulator>`.
+///
+/// The grouped morsel executor resolves group keys to dense slot ids and
+/// feeds each measure's gathered `(values, slots)` pair through the
+/// grouped kernels of [`crate::kernels`] into these per-slot vectors; a
+/// slot's state reads back as the same [`NumericAgg`] the row-at-a-time
+/// accumulator would have built, so per-morsel partials merge through the
+/// ordinary [`Accumulator::absorb`]/[`Accumulator::merge`] machinery.
+///
+/// Only the vectors the aggregation function actually needs are
+/// allocated (counts always — every mergeable state needs them — plus
+/// sums for SUM/AVG, mins for MIN, maxs for MAX). COUNT DISTINCT needs
+/// full values and never takes the flat path.
+#[derive(Debug, Clone)]
+pub struct SlotAccumulator {
+    function: AggregationFunction,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl SlotAccumulator {
+    /// Creates the per-slot state for `slots` dense group ids.
+    ///
+    /// # Panics
+    /// COUNT DISTINCT has no numeric slot representation.
+    pub fn new(function: AggregationFunction, slots: usize) -> Self {
+        assert_ne!(
+            function,
+            AggregationFunction::CountDistinct,
+            "COUNT DISTINCT cannot take the flat slot path"
+        );
+        let need_sums = matches!(
+            function,
+            AggregationFunction::Sum | AggregationFunction::Avg
+        );
+        SlotAccumulator {
+            function,
+            counts: vec![0; slots],
+            sums: vec![0.0; if need_sums { slots } else { 0 }],
+            mins: vec![
+                0.0;
+                if function == AggregationFunction::Min {
+                    slots
+                } else {
+                    0
+                }
+            ],
+            maxs: vec![
+                0.0;
+                if function == AggregationFunction::Max {
+                    slots
+                } else {
+                    0
+                }
+            ],
+        }
+    }
+
+    /// The aggregation function this state implements.
+    pub fn function(&self) -> AggregationFunction {
+        self.function
+    }
+
+    /// Feeds a gathered `(values, slots)` pair (nulls already dropped,
+    /// slices parallel) through the function's grouped kernel.
+    pub fn accumulate(&mut self, values: &[f64], slots: &[u32]) {
+        match self.function {
+            AggregationFunction::Sum | AggregationFunction::Avg => {
+                kernels::sum_grouped(values, slots, &mut self.counts, &mut self.sums)
+            }
+            AggregationFunction::Min => {
+                kernels::min_grouped(values, slots, &mut self.counts, &mut self.mins)
+            }
+            AggregationFunction::Max => {
+                kernels::max_grouped(values, slots, &mut self.counts, &mut self.maxs)
+            }
+            AggregationFunction::Count => kernels::count_grouped(slots, &mut self.counts),
+            AggregationFunction::CountDistinct => {
+                unreachable!("COUNT DISTINCT never takes the flat slot path")
+            }
+        }
+    }
+
+    /// Reads one slot's partial state as a [`NumericAgg`] and resets the
+    /// slot, so the vectors can be reused for the next morsel without an
+    /// O(cardinality) clear.
+    pub fn take_slot(&mut self, slot: usize) -> NumericAgg {
+        let count = std::mem::take(&mut self.counts[slot]);
+        let sum = self
+            .sums
+            .get_mut(slot)
+            .map(std::mem::take)
+            .unwrap_or_default();
+        let min = (count > 0 && !self.mins.is_empty()).then(|| self.mins[slot]);
+        let max = (count > 0 && !self.maxs.is_empty()).then(|| self.maxs[slot]);
+        NumericAgg {
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+}
 
 /// An incremental accumulator for one measure within one group.
 ///
@@ -292,6 +400,40 @@ mod tests {
             let before = absorbing.finish();
             absorbing.absorb(&kernels::NumericAgg::default());
             assert_eq!(absorbing.finish(), before);
+        }
+    }
+
+    #[test]
+    fn slot_accumulator_agrees_with_per_group_accumulators() {
+        let values = [1.5, -3.0, 0.25, 7.0, 2.0];
+        let slots = [0u32, 1, 0, 2, 1];
+        for function in [
+            AggregationFunction::Sum,
+            AggregationFunction::Avg,
+            AggregationFunction::Min,
+            AggregationFunction::Max,
+            AggregationFunction::Count,
+        ] {
+            let mut flat = SlotAccumulator::new(function, 3);
+            assert_eq!(flat.function(), function);
+            flat.accumulate(&values, &slots);
+            for slot in 0..3usize {
+                let mut reference = Accumulator::new(function);
+                for (&v, &s) in values.iter().zip(&slots) {
+                    if s as usize == slot {
+                        reference.update_number(v);
+                    }
+                }
+                let mut absorbed = Accumulator::new(function);
+                absorbed.absorb(&flat.take_slot(slot));
+                assert_eq!(
+                    absorbed.finish(),
+                    reference.finish(),
+                    "{function:?} slot {slot}"
+                );
+            }
+            // take_slot reset every slot: a second read is empty.
+            assert_eq!(flat.take_slot(0), NumericAgg::default());
         }
     }
 

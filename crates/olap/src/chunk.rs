@@ -239,6 +239,149 @@ impl<'a, T> Iterator for ChunkSlices<'a, T> {
     }
 }
 
+/// One fixed-capacity chunk of a [`LivenessMap`]: a dead-row bitmap plus
+/// its popcount. A chunk with no words allocated is entirely live — the
+/// normal form for ranges no retraction ever touched, so a map whose
+/// tombstones cluster at one end shares (and compares) cheaply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LivenessChunk {
+    /// Dead-row bitmap, one bit per row (bit set = tombstoned). Empty
+    /// while every row of the chunk is live.
+    words: Vec<u64>,
+    /// Number of set bits.
+    dead: usize,
+}
+
+impl LivenessChunk {
+    fn all_live() -> Self {
+        LivenessChunk {
+            words: Vec::new(),
+            dead: 0,
+        }
+    }
+
+    fn is_dead(&self, local: usize) -> bool {
+        self.words
+            .get(local / 64)
+            .map(|w| w & (1 << (local % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Sets the dead bit; returns `true` when the row was newly dead.
+    fn retract(&mut self, local: usize, chunk_rows: usize) -> bool {
+        if self.words.is_empty() {
+            self.words = vec![0; chunk_rows.div_ceil(64)];
+        }
+        let word = &mut self.words[local / 64];
+        let mask = 1 << (local % 64);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.dead += 1;
+        true
+    }
+}
+
+/// The tombstone set of a [`crate::Table`], as a chunked copy-on-write
+/// bitmap: fixed-size [`Arc`]-shared chunks of dead-row bits, aligned
+/// with the column chunks.
+///
+/// Publishing a snapshot clones the table, so the tombstone set is cloned
+/// once per epoch; as a `BTreeSet<usize>` that clone cost O(tombstones)
+/// on every publication even when the epoch retracted nothing. Here a
+/// clone is a refcount bump per chunk and a retraction copies only the
+/// one chunk it lands in — the same O(delta) publication contract the
+/// value columns already have.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LivenessMap {
+    chunks: Vec<Arc<LivenessChunk>>,
+    chunk_rows: usize,
+    dead: usize,
+}
+
+impl LivenessMap {
+    /// Creates an all-live map with the given chunk capacity (≥ 1).
+    pub fn new(chunk_rows: usize) -> Self {
+        LivenessMap {
+            chunks: Vec::new(),
+            chunk_rows: chunk_rows.max(1),
+            dead: 0,
+        }
+    }
+
+    /// Number of tombstoned rows.
+    pub fn dead_count(&self) -> usize {
+        self.dead
+    }
+
+    /// Returns `true` when `row` has been tombstoned. Rows beyond every
+    /// chunk are live (callers bound-check against their row count).
+    pub fn is_dead(&self, row: usize) -> bool {
+        self.chunks
+            .get(row / self.chunk_rows)
+            .map(|chunk| chunk.is_dead(row % self.chunk_rows))
+            .unwrap_or(false)
+    }
+
+    /// Tombstones a row, copying only the chunk it lands in; idempotent.
+    pub fn retract(&mut self, row: usize) {
+        let chunk_index = row / self.chunk_rows;
+        while self.chunks.len() <= chunk_index {
+            self.chunks.push(Arc::new(LivenessChunk::all_live()));
+        }
+        if Arc::make_mut(&mut self.chunks[chunk_index])
+            .retract(row % self.chunk_rows, self.chunk_rows)
+        {
+            self.dead += 1;
+        }
+    }
+
+    /// The maximal runs of live rows within `rows` (the caller clamps the
+    /// range to its row count): contiguous index ranges containing no
+    /// tombstone. Chunks with no dead rows extend the current run without
+    /// a per-row bit test.
+    pub fn live_runs(&self, rows: Range<usize>) -> Vec<Range<usize>> {
+        let mut runs = Vec::new();
+        let mut run_start: Option<usize> = None;
+        let mut row = rows.start;
+        while row < rows.end {
+            let chunk_index = row / self.chunk_rows;
+            let chunk_end = ((chunk_index + 1) * self.chunk_rows).min(rows.end);
+            match self.chunks.get(chunk_index) {
+                // Fully live chunk (or past the last retraction): the run
+                // continues across the whole chunk.
+                None => {
+                    run_start.get_or_insert(row);
+                    row = chunk_end;
+                }
+                Some(chunk) if chunk.dead == 0 => {
+                    run_start.get_or_insert(row);
+                    row = chunk_end;
+                }
+                Some(chunk) => {
+                    for r in row..chunk_end {
+                        if chunk.is_dead(r % self.chunk_rows) {
+                            if let Some(start) = run_start.take() {
+                                runs.push(start..r);
+                            }
+                        } else {
+                            run_start.get_or_insert(r);
+                        }
+                    }
+                    row = chunk_end;
+                }
+            }
+        }
+        if let Some(start) = run_start {
+            if start < rows.end {
+                runs.push(start..rows.end);
+            }
+        }
+        runs
+    }
+}
+
 /// A chunked geometry column. Geometries are heap values, so chunks store
 /// them as `Option`s directly (no validity split) — the copy-on-write
 /// sharing is what matters here, not slice kernels.
@@ -366,6 +509,42 @@ mod tests {
         assert_eq!(c.chunks_in(9..99).count(), 1);
         assert_eq!(c.chunks_in(20..30).count(), 0);
         assert_eq!(c.chunks_in(5..5).count(), 0);
+    }
+
+    #[test]
+    fn liveness_map_tracks_tombstones() {
+        let mut map = LivenessMap::new(4);
+        assert_eq!(map.dead_count(), 0);
+        assert!(!map.is_dead(0));
+        assert!(!map.is_dead(999));
+        map.retract(2);
+        map.retract(2); // idempotent
+        map.retract(9); // skips a fully-live chunk
+        assert_eq!(map.dead_count(), 2);
+        assert!(map.is_dead(2) && map.is_dead(9));
+        assert!(!map.is_dead(1) && !map.is_dead(8));
+        assert_eq!(map.live_runs(0..12), vec![0..2, 3..9, 10..12]);
+        assert_eq!(map.live_runs(2..3), Vec::<Range<usize>>::new());
+        assert_eq!(map.live_runs(3..3), Vec::<Range<usize>>::new());
+        // Untouched tail chunks are all-live without allocated words.
+        assert_eq!(map.live_runs(10..99), vec![10..99]);
+    }
+
+    #[test]
+    fn liveness_map_clone_is_copy_on_write() {
+        let mut map = LivenessMap::new(2);
+        map.retract(0);
+        map.retract(5);
+        let snapshot = map.clone();
+        assert!(Arc::ptr_eq(&map.chunks[0], &snapshot.chunks[0]));
+        map.retract(1);
+        // Only the written chunk diverged; the snapshot is unaffected.
+        assert!(!Arc::ptr_eq(&map.chunks[0], &snapshot.chunks[0]));
+        assert!(Arc::ptr_eq(&map.chunks[2], &snapshot.chunks[2]));
+        assert!(!snapshot.is_dead(1));
+        assert!(map.is_dead(1));
+        assert_eq!(snapshot.dead_count(), 2);
+        assert_eq!(map.dead_count(), 3);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! only the chunk it touches. Numeric columns additionally expose their
 //! chunks to the vectorised aggregation kernels of [`crate::kernels`].
 
-use crate::chunk::{GeometryColumn, PrimitiveColumn, DEFAULT_CHUNK_ROWS};
+use crate::chunk::{GeometryColumn, PrimitiveChunk, PrimitiveColumn, DEFAULT_CHUNK_ROWS};
 use crate::error::OlapError;
 use crate::kernels::{self, NumericAgg};
 use crate::value::CellValue;
@@ -335,6 +335,94 @@ impl Column {
         }
     }
 
+    /// Typed batch read of a foreign-key column: appends the member ids of
+    /// the given (ascending) row indices to `out`. Mirrors
+    /// [`crate::Cube::fact_member`]'s semantics value-for-value — the
+    /// float round trip (so a pathological negative key clamps to member 0
+    /// exactly like the serial reference), the saturation of oversized
+    /// ids, and the error on a null or non-integer cell — but touches each
+    /// storage chunk once instead of doing a name lookup and a `CellValue`
+    /// materialisation per row.
+    pub fn gather_members(&self, rows: &[u32], out: &mut Vec<u32>) -> Result<(), OlapError> {
+        // The serial reference widens through f64 and casts to usize; the
+        // closures keep the exact same clamping for negative or oversized
+        // keys (negative → member 0), so a pathological key resolves to
+        // the same member on both executors.
+        let clamp = |member: f64| (member as usize).min(u32::MAX as usize) as u32;
+        out.reserve(rows.len());
+        let mut null_row = false;
+        match self {
+            Column::Integer(column) | Column::Date(column) => {
+                for_each_gathered(column, rows, |_, value| match value {
+                    Some(member) => out.push(clamp(member as f64)),
+                    None => null_row = true,
+                });
+            }
+            Column::Float(column) => {
+                for_each_gathered(column, rows, |_, value| match value {
+                    Some(member) => out.push(clamp(member)),
+                    None => null_row = true,
+                });
+            }
+            other => {
+                return Err(OlapError::TypeMismatch {
+                    expected: "integer foreign key",
+                    found: match other.column_type() {
+                        ColumnType::Text => "text",
+                        ColumnType::Boolean => "boolean",
+                        ColumnType::Geometry => "geometry",
+                        _ => "unknown",
+                    }
+                    .to_string(),
+                })
+            }
+        }
+        if null_row {
+            return Err(OlapError::TypeMismatch {
+                expected: "integer foreign key",
+                found: "null".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Gathers the numeric values of the given (ascending) row indices
+    /// into `values`, carrying the group slot of each surviving row along
+    /// into `out_slots` (`rows` and `slots` are parallel): null rows are
+    /// dropped from both, so the grouped kernels downstream run mask-free.
+    /// All-valid chunks take a branch-free fast path; chunks with nulls
+    /// consult the validity mask per row. Returns `false` (gathering
+    /// nothing) for non-numeric columns.
+    pub fn gather_numeric(
+        &self,
+        rows: &[u32],
+        slots: &[u32],
+        values: &mut Vec<f64>,
+        out_slots: &mut Vec<u32>,
+    ) -> bool {
+        debug_assert_eq!(rows.len(), slots.len());
+        match self {
+            Column::Integer(column) | Column::Date(column) => {
+                for_each_gathered(column, rows, |index, value| {
+                    if let Some(v) = value {
+                        values.push(v as f64);
+                        out_slots.push(slots[index]);
+                    }
+                });
+            }
+            Column::Float(column) => {
+                for_each_gathered(column, rows, |index, value| {
+                    if let Some(v) = value {
+                        values.push(v);
+                        out_slots.push(slots[index]);
+                    }
+                });
+            }
+            _ => return false,
+        }
+        true
+    }
+
     /// Runs the vectorised SUM/MIN/MAX/COUNT kernel over a row range
     /// (clamped to the column length), one chunk sub-slice at a time, or
     /// `None` for non-numeric columns. All-valid chunks stream through the
@@ -371,6 +459,45 @@ impl Column {
             _ => return None,
         }
         Some(agg)
+    }
+}
+
+/// Drives a gather over the chunk sub-runs covering the (ascending) row
+/// indices in `rows`: `visit(index, value)` is called once per row, where
+/// `index` is the position in `rows` and `value` is `None` for nulls.
+/// Each storage chunk is located once per contiguous run of selected rows
+/// inside it, and all-valid chunks skip the per-row validity test.
+fn for_each_gathered<T, F>(column: &PrimitiveColumn<T>, rows: &[u32], mut visit: F)
+where
+    T: Copy + Default + PartialEq,
+    F: FnMut(usize, Option<T>),
+{
+    let chunk_rows = column.chunk_rows();
+    let chunks = column.chunks();
+    let mut i = 0;
+    while i < rows.len() {
+        let chunk_index = rows[i] as usize / chunk_rows;
+        let chunk: &PrimitiveChunk<T> = &chunks[chunk_index];
+        let base = chunk_index * chunk_rows;
+        let chunk_end = (base + chunk.len()) as u32;
+        let run_start = i;
+        while i < rows.len() && rows[i] < chunk_end {
+            i += 1;
+        }
+        let values = chunk.values();
+        match chunk.validity() {
+            None => {
+                for (j, &row) in rows[run_start..i].iter().enumerate() {
+                    visit(run_start + j, Some(values[row as usize - base]));
+                }
+            }
+            Some(mask) => {
+                for (j, &row) in rows[run_start..i].iter().enumerate() {
+                    let local = row as usize - base;
+                    visit(run_start + j, mask[local].then(|| values[local]));
+                }
+            }
+        }
     }
 }
 
@@ -511,6 +638,69 @@ mod tests {
         d.push(CellValue::Integer(200)).unwrap();
         assert_eq!(d.get(1), CellValue::Date(200));
         assert_eq!(d.get_number(0), Some(100.0));
+    }
+
+    #[test]
+    fn gather_members_matches_per_row_fk_reads() {
+        let mut fk = Column::with_chunk_rows(ColumnType::Integer, 3);
+        for v in [2i64, 0, 5, 1, 4, 0, 3] {
+            fk.push(CellValue::Integer(v)).unwrap();
+        }
+        let rows = [0u32, 2, 3, 6];
+        let mut out = Vec::new();
+        fk.gather_members(&rows, &mut out).unwrap();
+        assert_eq!(out, vec![2, 5, 1, 3]);
+        // Negative keys clamp to member 0 exactly like the serial cast.
+        let mut weird = Column::new(ColumnType::Integer);
+        weird.push(CellValue::Integer(-7)).unwrap();
+        let mut out = Vec::new();
+        weird.gather_members(&[0], &mut out).unwrap();
+        assert_eq!(out, vec![0]);
+        // Null keys error like `Cube::fact_member`.
+        let mut nullable = Column::new(ColumnType::Integer);
+        nullable.push(CellValue::Null).unwrap();
+        let err = nullable.gather_members(&[0], &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("integer foreign key"));
+        // Non-numeric columns error with the serial reference's wording.
+        let mut text = Column::new(ColumnType::Text);
+        text.push(CellValue::from("x")).unwrap();
+        assert!(text.gather_members(&[0], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn gather_numeric_drops_nulls_and_keeps_slots_parallel() {
+        let mut c = Column::with_chunk_rows(ColumnType::Float, 2);
+        for v in [
+            Some(1.0),
+            None,
+            Some(3.0),
+            Some(4.0),
+            None,
+            Some(6.0),
+            Some(7.0),
+        ] {
+            c.push(v.map(CellValue::Float).unwrap_or(CellValue::Null))
+                .unwrap();
+        }
+        let rows = [0u32, 1, 3, 4, 6];
+        let slots = [10u32, 11, 12, 13, 14];
+        let mut values = Vec::new();
+        let mut out_slots = Vec::new();
+        assert!(c.gather_numeric(&rows, &slots, &mut values, &mut out_slots));
+        assert_eq!(values, vec![1.0, 4.0, 7.0]);
+        assert_eq!(out_slots, vec![10, 12, 14]);
+        // Integer columns widen like get_number.
+        let mut i = Column::with_chunk_rows(ColumnType::Integer, 3);
+        for v in [1i64, 2, 3] {
+            i.push(CellValue::Integer(v)).unwrap();
+        }
+        values.clear();
+        out_slots.clear();
+        assert!(i.gather_numeric(&[1, 2], &[0, 1], &mut values, &mut out_slots));
+        assert_eq!(values, vec![2.0, 3.0]);
+        // Non-numeric columns decline.
+        let t = Column::new(ColumnType::Text);
+        assert!(!t.gather_numeric(&[], &[], &mut values, &mut out_slots));
     }
 
     #[test]

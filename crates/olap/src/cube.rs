@@ -44,20 +44,58 @@ pub struct FactTable {
     pub fact: String,
     /// The backing columnar table.
     pub table: Table,
-    /// The stable-row-id remaps of every compaction this table went
-    /// through, oldest first ([`Arc`]-shared across snapshots). A
-    /// selection captured at compaction version `v` (= number of remaps at
-    /// capture time) translates to the current numbering through
-    /// `remaps[v..]`.
+    /// The retained stable-row-id remaps of this table's compactions,
+    /// oldest first ([`Arc`]-shared across snapshots). `remaps[i]`
+    /// publishes the transition from compaction version `remap_base + i`
+    /// to `remap_base + i + 1`; a selection captured at version `v`
+    /// translates to the current numbering through
+    /// `remaps[v - remap_base ..]`.
     pub remaps: Vec<Arc<RowRemap>>,
+    /// Compaction version of the oldest retained remap's *source*
+    /// numbering. The serving layer trims remaps no live session view (or
+    /// in-flight rule firing) can still reference, so the chain stays
+    /// bounded however many compactions a table goes through; `remap_base`
+    /// records how many were dropped.
+    #[serde(default)]
+    pub remap_base: u64,
 }
 
 impl FactTable {
     /// The table's compaction version: how many times it has been
-    /// compacted (and therefore how many remaps a selection may need to
-    /// translate through).
+    /// compacted (including compactions whose remaps were since trimmed).
     pub fn compaction_version(&self) -> u64 {
-        self.remaps.len() as u64
+        self.remap_base + self.remaps.len() as u64
+    }
+
+    /// The retained remaps covering version transitions from `version`
+    /// onwards — what a selection captured at `version` translates
+    /// through. Transitions older than the trimmed base are gone; the
+    /// serving layer guarantees no live selection references them.
+    pub fn remaps_from(&self, version: u64) -> &[Arc<RowRemap>] {
+        let start = version.saturating_sub(self.remap_base) as usize;
+        &self.remaps[start.min(self.remaps.len())..]
+    }
+
+    /// Translates row ids captured at compaction `version` forward
+    /// through every retained remap to the current numbering; ids whose
+    /// rows died in an intervening compaction drop out. The shared walk
+    /// behind every producer's re-anchor step (callers must hold ids no
+    /// older than the retained window — see [`FactTable::remap_base`]).
+    pub fn translate_rows_from(
+        &self,
+        version: u64,
+        rows: impl IntoIterator<Item = usize>,
+    ) -> Vec<usize> {
+        let remaps = self.remaps_from(version);
+        rows.into_iter()
+            .filter_map(|row| {
+                let mut row = Some(row);
+                for remap in remaps {
+                    row = row.and_then(|r| remap.new_id(r));
+                }
+                row
+            })
+            .collect()
     }
 }
 
@@ -75,6 +113,11 @@ pub struct FactTableStats {
     pub tombstone_ratio: f64,
     /// How many times the table has been compacted.
     pub compactions: u64,
+    /// Remaps still retained on the table's chain (compactions minus the
+    /// versions trimmed once nothing live could reference them) — the
+    /// gauge that shows the chain staying bounded under steady
+    /// compaction.
+    pub remap_chain_len: usize,
 }
 
 /// Name of the foreign-key column referencing a dimension.
@@ -182,6 +225,7 @@ impl Cube {
                     fact: fact.name.clone(),
                     table: Table::with_chunk_rows(fact.name.clone(), columns, chunk_rows),
                     remaps: Vec::new(),
+                    remap_base: 0,
                 },
             );
         }
@@ -419,9 +463,10 @@ impl Cube {
         rows: impl IntoIterator<Item = usize>,
     ) -> Result<Vec<usize>, OlapError> {
         let fact_table = self.fact_table(fact)?;
-        let span = (from_version as usize).min(fact_table.remaps.len())
-            ..(to_version as usize).min(fact_table.remaps.len());
-        let remaps = &fact_table.remaps[span];
+        let base = fact_table.remap_base;
+        let len = fact_table.remaps.len();
+        let clamp = |version: u64| (version.saturating_sub(base) as usize).min(len);
+        let remaps = &fact_table.remaps[clamp(from_version)..clamp(to_version)];
         Ok(rows
             .into_iter()
             .filter_map(|row| {
@@ -432,6 +477,29 @@ impl Cube {
                 row
             })
             .collect())
+    }
+
+    /// Drops the remaps covering version transitions below `min_version` —
+    /// called by the serving layer once no live session view (or
+    /// in-flight firing) holds a selection captured before that version,
+    /// so the chain stays bounded under steady compaction. Returns how
+    /// many remaps were dropped. Clamped to the retained window; trimming
+    /// to the current version drops the whole chain.
+    pub fn trim_fact_remaps(&mut self, fact: &str, min_version: u64) -> Result<usize, OlapError> {
+        let fact_table = self
+            .facts
+            .get_mut(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })?;
+        let drop = (min_version.saturating_sub(fact_table.remap_base) as usize)
+            .min(fact_table.remaps.len());
+        if drop > 0 {
+            fact_table.remaps.drain(..drop);
+            fact_table.remap_base += drop as u64;
+        }
+        Ok(drop)
     }
 
     /// Per-fact storage counters (total / live rows, tombstone ratio,
@@ -445,6 +513,7 @@ impl Cube {
                 live_rows: f.table.live_len(),
                 tombstone_ratio: f.table.tombstone_ratio(),
                 compactions: f.compaction_version(),
+                remap_chain_len: f.remaps.len(),
             })
             .collect()
     }
@@ -797,6 +866,61 @@ mod tests {
             vec![0, 3]
         );
         assert!(cube.translate_fact_rows("Returns", 0, 1, vec![0]).is_err());
+    }
+
+    #[test]
+    fn remap_chain_trimming_keeps_versions_and_drops_prefixes() {
+        let mut cube = Cube::with_chunk_rows(schema(), 2);
+        cube.add_dimension_member("Store", vec![("Store.name", CellValue::from("S0"))])
+            .unwrap();
+        cube.add_dimension_member("Time", vec![("Day.date", CellValue::Date(0))])
+            .unwrap();
+        for i in 0..8 {
+            cube.add_fact_row(
+                "Sales",
+                vec![("Store", 0), ("Time", 0)],
+                vec![("UnitSales", CellValue::Float(i as f64))],
+            )
+            .unwrap();
+        }
+        // Two compaction rounds: retract 0,1 → compact; retract (new) 0 →
+        // compact again. Versions 0→1→2.
+        cube.retract_fact_row("Sales", 0).unwrap();
+        cube.retract_fact_row("Sales", 1).unwrap();
+        cube.compact_fact_table("Sales").unwrap();
+        cube.retract_fact_row("Sales", 0).unwrap();
+        cube.compact_fact_table("Sales").unwrap();
+        let sales = cube.fact_table("Sales").unwrap();
+        assert_eq!(sales.compaction_version(), 2);
+        assert_eq!(sales.remaps.len(), 2);
+        assert_eq!(sales.remaps_from(0).len(), 2);
+        assert_eq!(sales.remaps_from(1).len(), 1);
+
+        // Trim the first transition: the version stays 2, the chain
+        // shrinks, and translation from version 1 still works.
+        assert_eq!(cube.trim_fact_remaps("Sales", 1).unwrap(), 1);
+        let sales = cube.fact_table("Sales").unwrap();
+        assert_eq!(sales.compaction_version(), 2);
+        assert_eq!(sales.remap_base, 1);
+        assert_eq!(sales.remaps.len(), 1);
+        assert_eq!(sales.remaps_from(1).len(), 1);
+        assert_eq!(sales.remaps_from(0).len(), 1, "below-base clamps");
+        // Old version-1 row 1 (the second survivor of round one) → new 0.
+        assert_eq!(
+            cube.translate_fact_rows("Sales", 1, 2, vec![0, 1]).unwrap(),
+            vec![0]
+        );
+        // Trimming is idempotent and clamps to the current version.
+        assert_eq!(cube.trim_fact_remaps("Sales", 1).unwrap(), 0);
+        assert_eq!(cube.trim_fact_remaps("Sales", 99).unwrap(), 1);
+        assert_eq!(cube.fact_table("Sales").unwrap().remap_base, 2);
+        assert!(cube.fact_table("Sales").unwrap().remaps.is_empty());
+        assert!(cube.trim_fact_remaps("Returns", 0).is_err());
+        // The stats gauge reports the retained chain, not the version.
+        let stats = cube.fact_table_stats();
+        let sales_stats = stats.iter().find(|s| s.fact == "Sales").unwrap();
+        assert_eq!(sales_stats.compactions, 2);
+        assert_eq!(sales_stats.remap_chain_len, 0);
     }
 
     #[test]

@@ -27,10 +27,34 @@
 //! actually contain nulls). The serial reference stays row-at-a-time on
 //! purpose — it is the semantic yardstick the fast paths are property-
 //! tested against.
+//!
+//! # Grouped execution: dense ids and selection vectors
+//!
+//! Grouped queries never touch a string key or clone a key `CellValue`
+//! per row on the parallel path. Query resolution walks each group-by
+//! attribute's dimension table **once** and builds a dictionary
+//! `member id → dense key id` (distinct attribute values get consecutive
+//! `u32` ids; the key `CellValue`s live only in the dictionary), so the
+//! per-row cost of key building collapses to one array index. Composite
+//! keys pack the per-attribute dense ids into a single mixed-radix
+//! integer.
+//!
+//! Per morsel the grouped scan first materialises a **selection vector**
+//! (the surviving row indices after liveness, view and filter checks),
+//! batch-resolves the foreign-key columns through typed chunk slices
+//! ([`crate::Column::gather_members`]) into a parallel slot vector, and
+//! then accumulates one measure at a time: when the product of the
+//! dictionary sizes stays under [`ExecutionConfig::group_slot_limit`],
+//! measures are gathered into compacted `(values, slots)` pairs and fed
+//! through the grouped slice kernels of [`crate::kernels`] into flat
+//! per-slot vectors ([`crate::aggregate::SlotAccumulator`]); above the
+//! limit (or when a measure needs full values, e.g. COUNT DISTINCT) the
+//! morsel falls back to an **integer-keyed** hash table. Dense ids are
+//! resolved back to `CellValue`s only once, at finalisation.
 
-use crate::aggregate::Accumulator;
-use crate::column::ColumnType;
-use crate::cube::{attribute_column, Cube};
+use crate::aggregate::{Accumulator, SlotAccumulator};
+use crate::column::{Column, ColumnType};
+use crate::cube::{attribute_column, fk_column, Cube};
 use crate::error::OlapError;
 use crate::kernels::NumericAgg;
 use crate::query::{Query, QueryResult, ResultRow};
@@ -46,6 +70,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Default number of fact rows per morsel.
 pub const DEFAULT_MORSEL_ROWS: usize = 1024;
 
+/// Default cap on the product of group-key dictionary sizes under which
+/// the grouped executor uses flat per-slot vectors instead of a hash
+/// table (64 Ki slots ≈ a few hundred KiB of slot state per worker).
+pub const DEFAULT_GROUP_SLOT_LIMIT: usize = 1 << 16;
+
 /// Tuning knobs of the morsel-parallel executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutionConfig {
@@ -59,6 +88,11 @@ pub struct ExecutionConfig {
     /// Capacity (entries) of the query-result cache layered on top by
     /// callers such as `sdwp-core`; `0` disables caching.
     pub cache_capacity: usize,
+    /// Cap on the total group cardinality (product of the per-attribute
+    /// key-dictionary sizes) under which grouped aggregation runs on flat
+    /// per-slot vectors; above it, morsels fall back to an integer-keyed
+    /// hash table. `0` disables the flat path entirely.
+    pub group_slot_limit: usize,
 }
 
 impl Default for ExecutionConfig {
@@ -67,6 +101,7 @@ impl Default for ExecutionConfig {
             workers: 0,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             cache_capacity: 256,
+            group_slot_limit: DEFAULT_GROUP_SLOT_LIMIT,
         }
     }
 }
@@ -95,6 +130,13 @@ impl ExecutionConfig {
     /// Sets the result-cache capacity (`0` disables caching).
     pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Sets the flat-slot cardinality cap of the grouped executor (`0`
+    /// forces the integer-keyed hash fallback for every grouped query).
+    pub fn with_group_slot_limit(mut self, group_slot_limit: usize) -> Self {
+        self.group_slot_limit = group_slot_limit;
         self
     }
 
@@ -128,20 +170,130 @@ struct Resolved<'q> {
     /// Per-measure read plan for the morsel executor, index-aligned with
     /// `measures`.
     plans: Vec<MeasurePlan>,
-    /// Allowed member sets per filtered dimension. A `BTreeMap` so the
-    /// per-row check order is deterministic across executions.
-    allowed_members: BTreeMap<&'q str, BTreeSet<usize>>,
+    /// Allowed member sets per filtered dimension, each with the
+    /// pre-resolved index of the fact table's FK column (`None` falls
+    /// back to the name-based read, which reports the serial reference's
+    /// error). A `BTreeMap` so the per-row check order is deterministic
+    /// across executions.
+    allowed_members: BTreeMap<&'q str, (Option<usize>, BTreeSet<usize>)>,
     /// Whether the whole query can run on the vectorised per-chunk
     /// kernels: no grouping, and every measure on the numeric fast path.
     vectorised: bool,
 }
 
-/// Group-by state: group key string → (key cells, accumulators).
+/// Group-by state of the **serial reference**: group key string →
+/// (key cells, accumulators). The parallel path never builds these
+/// strings; it keys by dense integer ids ([`GroupId`]).
 type GroupMap = HashMap<String, (Vec<CellValue>, Vec<Accumulator>)>;
+
+/// One group-by attribute pre-resolved for the parallel path: the
+/// dimension walked once into a dense dictionary, so per-row key building
+/// is a single `u32` array index — no `HashMap` probe, no `CellValue`
+/// clone, no string append.
+struct GroupKeyDict {
+    /// Index of the fact table's FK column for the attribute's dimension
+    /// (`None` falls back to the name-based `fact_member` read).
+    fk_column: Option<usize>,
+    /// Member row id → dense key id. Members sharing an attribute value
+    /// (the serial reference collapses them by `CellValue::group_key`)
+    /// share a dense id.
+    member_to_key: Vec<u32>,
+    /// Dense key id → the key `CellValue`, resolved once here and read
+    /// back only at finalisation. Entry 0 is reserved for `Null`, which
+    /// is also what the serial reference reads for an out-of-range
+    /// member.
+    key_values: Vec<CellValue>,
+}
+
+/// Dense id every [`GroupKeyDict`] reserves for the `Null` key value.
+const NULL_KEY: u32 = 0;
+
+/// The grouped execution plan of one parallel query: per-attribute
+/// dictionaries plus the flat-vs-hashed path decision.
+struct GroupPlan {
+    /// Dictionaries in `query.group_by` order. Shorter than the query's
+    /// group-by list only when a build error occurred (see `error`).
+    dicts: Vec<GroupKeyDict>,
+    /// A dictionary build error, replayed with the serial reference's
+    /// per-row semantics: the scan reports it at the first row that
+    /// passes selection and reaches the failing attribute — so a query
+    /// that matches no rows succeeds exactly where the serial loop does.
+    error: Option<(usize, OlapError)>,
+    /// Product of the dictionary sizes — the mixed-radix range of a
+    /// packed group id. `None` when it overflows `u128` (keys fall back
+    /// to [`GroupId::Wide`]).
+    cardinality: Option<u128>,
+    /// `Some(total slots)` when the morsels accumulate into flat per-slot
+    /// vectors (cardinality under the configured limit, every measure
+    /// numeric); `None` uses the integer-keyed hash fallback.
+    flat: Option<usize>,
+}
+
+impl GroupPlan {
+    /// An empty plan for ungrouped queries.
+    fn ungrouped() -> Self {
+        GroupPlan {
+            dicts: Vec::new(),
+            error: None,
+            cardinality: Some(1),
+            flat: None,
+        }
+    }
+
+    /// Resolves a group id back to its key `CellValue`s — the only point
+    /// where the parallel path materialises key cells, once per surviving
+    /// group at finalisation.
+    fn decode(&self, id: &GroupId) -> Vec<CellValue> {
+        match id {
+            GroupId::Packed(value) => {
+                let mut value = *value;
+                let mut cells = vec![CellValue::Null; self.dicts.len()];
+                for (cell, dict) in cells.iter_mut().zip(&self.dicts).rev() {
+                    let radix = dict.key_values.len() as u128;
+                    *cell = dict.key_values[(value % radix) as usize].clone();
+                    value /= radix;
+                }
+                cells
+            }
+            GroupId::Wide(ids) => ids
+                .iter()
+                .zip(&self.dicts)
+                .map(|(&dense, dict)| dict.key_values[dense as usize].clone())
+                .collect(),
+        }
+    }
+}
+
+/// A group key on the parallel path: per-attribute dense ids packed into
+/// one mixed-radix integer, or the raw dense-id tuple when the packed
+/// range would overflow `u128` (astronomical cardinalities only). Never a
+/// string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupId {
+    Packed(u128),
+    Wide(Box<[u32]>),
+}
+
+/// The group state of one morsel's partial aggregate. Key cells are
+/// never materialised here — the merge phase works entirely on integers
+/// and decodes the surviving groups once at finalisation.
+enum MorselGroups {
+    /// Integer group ids → accumulator states, in first-occurrence order
+    /// (the vectorised-ungrouped and hashed paths).
+    Keyed(Vec<(GroupId, Vec<Accumulator>)>),
+    /// The flat dense-slot path: the touched slots in first-occurrence
+    /// order plus, per measure, the slots' kernel partials (parallel to
+    /// `touched`). Merging is a slot-indexed [`NumericAgg::merge`] into
+    /// flat totals — no hashing, no per-group allocation.
+    Flat {
+        touched: Vec<u32>,
+        partials: Vec<Vec<NumericAgg>>,
+    },
+}
 
 /// The partial aggregate of one morsel.
 struct MorselPartial {
-    groups: GroupMap,
+    groups: MorselGroups,
     facts_scanned: usize,
     facts_matched: usize,
 }
@@ -189,6 +341,17 @@ impl QueryEngine {
     ) -> Result<QueryResult, OlapError> {
         let resolved = resolve(cube, query)?;
         let fact_table = &cube.fact_table(&query.fact)?.table;
+        let plan = if query.group_by.is_empty() {
+            GroupPlan::ungrouped()
+        } else {
+            build_group_plan(
+                cube,
+                query,
+                fact_table,
+                &resolved,
+                self.config.group_slot_limit,
+            )
+        };
         let total_rows = fact_table.len();
         let morsel_rows = self.config.morsel_rows.max(1);
         let morsel_count = total_rows.div_ceil(morsel_rows);
@@ -204,6 +367,7 @@ impl QueryEngine {
                 query,
                 view,
                 &resolved,
+                &plan,
                 fact_table,
                 &next_morsel,
                 morsel_count,
@@ -226,35 +390,83 @@ impl QueryEngine {
 
         // Merge the partial states in morsel-index order so the combined
         // accumulator state (and the reported error, if any) never depends
-        // on worker scheduling.
+        // on worker scheduling. The merge works entirely on integer group
+        // ids — slot-indexed into flat totals on the dense path, an
+        // integer-keyed map otherwise; key cells are only decoded for the
+        // groups that survive.
         partials.sort_by_key(|(morsel, _)| *morsel);
-        let mut groups: GroupMap = HashMap::new();
         let mut facts_scanned = 0usize;
         let mut facts_matched = 0usize;
-        for (_, partial) in partials {
-            let partial = partial?;
-            facts_scanned += partial.facts_scanned;
-            facts_matched += partial.facts_matched;
-            for (key, (cells, accumulators)) in partial.groups {
-                match groups.entry(key) {
-                    Entry::Vacant(entry) => {
-                        entry.insert((cells, accumulators));
+        let rows: Vec<(Vec<CellValue>, Vec<Accumulator>)> = if let Some(slots) = plan.flat {
+            let mut seen = vec![false; slots];
+            let mut totals: Vec<Vec<NumericAgg>> = resolved
+                .measures
+                .iter()
+                .map(|_| vec![NumericAgg::default(); slots])
+                .collect();
+            for (_, partial) in partials {
+                let partial = partial?;
+                facts_scanned += partial.facts_scanned;
+                facts_matched += partial.facts_matched;
+                let MorselGroups::Flat { touched, partials } = partial.groups else {
+                    unreachable!("flat plans produce flat partials");
+                };
+                for (index, &slot) in touched.iter().enumerate() {
+                    seen[slot as usize] = true;
+                    for (total, partial) in totals.iter_mut().zip(&partials) {
+                        total[slot as usize].merge(&partial[index]);
                     }
-                    Entry::Occupied(mut entry) => {
-                        for (merged, partial_acc) in
-                            entry.get_mut().1.iter_mut().zip(accumulators.iter())
-                        {
-                            merged.merge(partial_acc);
+                }
+            }
+            (0..slots)
+                .filter(|&slot| seen[slot])
+                .map(|slot| {
+                    let accumulators = resolved
+                        .measures
+                        .iter()
+                        .zip(&totals)
+                        .map(|((_, agg), total)| {
+                            let mut acc = Accumulator::new(*agg);
+                            acc.absorb(&total[slot]);
+                            acc
+                        })
+                        .collect();
+                    (plan.decode(&GroupId::Packed(slot as u128)), accumulators)
+                })
+                .collect()
+        } else {
+            let mut groups: HashMap<GroupId, Vec<Accumulator>> = HashMap::new();
+            for (_, partial) in partials {
+                let partial = partial?;
+                facts_scanned += partial.facts_scanned;
+                facts_matched += partial.facts_matched;
+                let MorselGroups::Keyed(keyed) = partial.groups else {
+                    unreachable!("non-flat plans produce keyed partials");
+                };
+                for (key, accumulators) in keyed {
+                    match groups.entry(key) {
+                        Entry::Vacant(entry) => {
+                            entry.insert(accumulators);
+                        }
+                        Entry::Occupied(mut entry) => {
+                            for (merged, partial_acc) in
+                                entry.get_mut().iter_mut().zip(accumulators.iter())
+                            {
+                                merged.merge(partial_acc);
+                            }
                         }
                     }
                 }
             }
-        }
-
+            groups
+                .into_iter()
+                .map(|(id, accumulators)| (plan.decode(&id), accumulators))
+                .collect()
+        };
         Ok(materialise(
             query,
             &resolved,
-            groups,
+            rows,
             facts_scanned,
             facts_matched,
         ))
@@ -291,10 +503,11 @@ impl QueryEngine {
             &mut key_cache,
             &mut groups,
         )?;
+        let rows = groups.into_values().collect();
         Ok(materialise(
             query,
             &resolved,
-            groups,
+            rows,
             facts_scanned,
             facts_matched,
         ))
@@ -399,8 +612,10 @@ fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError>
         }
     }
 
-    // Pre-compute allowed member sets for every filtered dimension.
-    let mut allowed_members: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    // Pre-compute allowed member sets for every filtered dimension, with
+    // the FK column index pre-resolved for the parallel path's typed
+    // reads.
+    let mut allowed_members: BTreeMap<&str, (Option<usize>, BTreeSet<usize>)> = BTreeMap::new();
     for (dimension, filter) in &query.dimension_filters {
         if !fact_def.references_dimension(dimension) {
             return Err(OlapError::InvalidQuery {
@@ -415,11 +630,11 @@ fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError>
         match allowed_members.entry(dimension.as_str()) {
             std::collections::btree_map::Entry::Occupied(mut e) => {
                 let intersection: BTreeSet<usize> =
-                    e.get().intersection(&matching).copied().collect();
-                e.insert(intersection);
+                    e.get().1.intersection(&matching).copied().collect();
+                e.get_mut().1 = intersection;
             }
             std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(matching);
+                e.insert((fact_table.column_index(&fk_column(dimension)), matching));
             }
         }
     }
@@ -430,6 +645,107 @@ fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError>
         plans,
         allowed_members,
         vectorised,
+    })
+}
+
+/// Builds the grouped execution plan: one dense dictionary per group-by
+/// attribute (the dimension table walked once per query) plus the
+/// flat-vs-hashed decision. Never fails — a dictionary that cannot be
+/// built (a schema attribute with no backing column, impossible for cubes
+/// loaded through [`Cube`]'s constructors) is recorded and replayed with
+/// the serial reference's per-row error semantics.
+fn build_group_plan(
+    cube: &Cube,
+    query: &Query,
+    fact_table: &Table,
+    resolved: &Resolved<'_>,
+    group_slot_limit: usize,
+) -> GroupPlan {
+    let mut dicts = Vec::with_capacity(query.group_by.len());
+    let mut error = None;
+    for (index, attr) in query.group_by.iter().enumerate() {
+        match build_group_dict(cube, fact_table, attr) {
+            Ok(dict) => dicts.push(dict),
+            Err(e) => {
+                error = Some((index, e));
+                break;
+            }
+        }
+    }
+    let cardinality = dicts.iter().try_fold(1u128, |product, dict| {
+        product.checked_mul(dict.key_values.len() as u128)
+    });
+    let flat = match (&error, cardinality) {
+        (None, Some(slots))
+            if resolved.plans.iter().all(|p| p.numeric)
+                && slots <= group_slot_limit.min(u32::MAX as usize) as u128 =>
+        {
+            Some(slots as usize)
+        }
+        _ => None,
+    };
+    GroupPlan {
+        dicts,
+        error,
+        cardinality,
+        flat,
+    }
+}
+
+/// Walks one group-by attribute's dimension table into a dense
+/// dictionary. Members sharing a key value (by `CellValue::group_key`,
+/// the serial reference's grouping identity) share a dense id; id 0 is
+/// reserved for `Null`.
+fn build_group_dict(
+    cube: &Cube,
+    fact_table: &Table,
+    attr: &crate::query::AttributeRef,
+) -> Result<GroupKeyDict, OlapError> {
+    let fk_col = fact_table.column_index(&fk_column(&attr.dimension));
+    let table = &cube.dimension_table(&attr.dimension)?.table;
+    let column = table.column(&attribute_column(&attr.level, &attr.attribute))?;
+    // Text attributes are already dictionary-encoded in storage, and the
+    // interner guarantees distinct codes ↔ distinct strings — exactly the
+    // grouping identity `group_key` provides — so the dense dictionary is
+    // the storage dictionary shifted by the reserved null id, with no
+    // per-member string materialisation at all.
+    if let Column::Text { codes, dictionary } = column {
+        let mut key_values = Vec::with_capacity(dictionary.len() + 1);
+        key_values.push(CellValue::Null);
+        for code in 0..dictionary.len() as u32 {
+            let text = dictionary.resolve(code).expect("codes are dense");
+            key_values.push(CellValue::Text(text.to_string()));
+        }
+        let member_to_key = (0..table.len())
+            .map(|member| codes.get(member).map_or(NULL_KEY, |code| code + 1))
+            .collect();
+        return Ok(GroupKeyDict {
+            fk_column: fk_col,
+            member_to_key,
+            key_values,
+        });
+    }
+    let mut key_values = vec![CellValue::Null];
+    let mut interned: HashMap<String, u32> = HashMap::new();
+    interned.insert(CellValue::Null.group_key(), NULL_KEY);
+    let mut member_to_key = Vec::with_capacity(table.len());
+    for member in 0..table.len() {
+        let cell = column.get(member);
+        let dense = match interned.entry(cell.group_key()) {
+            Entry::Occupied(entry) => *entry.get(),
+            Entry::Vacant(entry) => {
+                let dense = key_values.len() as u32;
+                key_values.push(cell);
+                entry.insert(dense);
+                dense
+            }
+        };
+        member_to_key.push(dense);
+    }
+    Ok(GroupKeyDict {
+        fk_column: fk_col,
+        member_to_key,
+        key_values,
     })
 }
 
@@ -466,9 +782,10 @@ fn scan_range(
         }
         facts_scanned += 1;
 
-        // Dimension filters.
+        // Dimension filters (the classic name-based member read — the
+        // reference the typed parallel path is measured against).
         let mut passes = true;
-        for (dimension, allowed) in &resolved.allowed_members {
+        for (dimension, (_, allowed)) in &resolved.allowed_members {
             let member = cube.fact_member(&query.fact, fact_row, dimension)?;
             if !allowed.contains(&member) {
                 passes = false;
@@ -501,8 +818,15 @@ fn scan_range(
                     cell
                 }
             };
-            key_string.push_str(&cell.group_key());
+            // Length-prefix each attribute's key so the concatenation is
+            // injective even when a text key itself contains the
+            // separator — keeping the serial reference's grouping
+            // identical to the dense-id parallel path, which keys each
+            // attribute independently.
+            let key = cell.group_key();
+            key_string.push_str(&key.len().to_string());
             key_string.push('\u{1f}');
+            key_string.push_str(&key);
             key_cells.push(cell);
         }
 
@@ -525,35 +849,72 @@ fn scan_range(
 }
 
 /// One morsel of the parallel pipeline. Dispatches between the
-/// vectorised kernel path (no grouping, all measures numeric) and the
-/// typed row-at-a-time path; both are equivalent to [`scan_range`] — the
-/// serial reference the property suites compare against — by the shared
-/// per-row semantics and, for floats, by summing in ascending row order
-/// within the morsel.
+/// vectorised kernel path (no grouping, all measures numeric), the flat
+/// dense-slot grouped path, and the integer-keyed hashed path; all are
+/// equivalent to [`scan_range`] — the serial reference the property
+/// suites compare against — by the shared per-row selection semantics
+/// and, for floats, by summing in ascending row order within the morsel.
 #[allow(clippy::too_many_arguments)]
 fn scan_morsel(
     cube: &Cube,
     query: &Query,
     view: &InstanceView,
     resolved: &Resolved<'_>,
+    plan: &GroupPlan,
     fact_table: &Table,
     rows: Range<usize>,
-    key_cache: &mut [HashMap<usize, CellValue>],
-    groups: &mut GroupMap,
-) -> Result<(usize, usize), OlapError> {
+    scratch: &mut Option<FlatScratch>,
+) -> Result<MorselPartial, OlapError> {
     if resolved.vectorised {
-        scan_morsel_vectorised(cube, query, view, resolved, fact_table, rows, groups)
+        let mut groups = Vec::new();
+        let (facts_scanned, facts_matched) =
+            scan_morsel_vectorised(cube, query, view, resolved, fact_table, rows, &mut groups)?;
+        Ok(MorselPartial {
+            groups: MorselGroups::Keyed(groups),
+            facts_scanned,
+            facts_matched,
+        })
+    } else if let Some(scratch) = scratch {
+        scan_morsel_flat(cube, query, view, resolved, plan, fact_table, rows, scratch)
     } else {
-        scan_range_typed(
-            cube, query, view, resolved, fact_table, rows, key_cache, groups,
-        )
+        let mut groups = Vec::new();
+        let (facts_scanned, facts_matched) = scan_morsel_hashed(
+            cube,
+            query,
+            view,
+            resolved,
+            plan,
+            fact_table,
+            rows,
+            &mut groups,
+        )?;
+        Ok(MorselPartial {
+            groups: MorselGroups::Keyed(groups),
+            facts_scanned,
+            facts_matched,
+        })
+    }
+}
+
+/// A single-row typed FK read: the member id a fact row points to,
+/// through a pre-resolved column index. Value-for-value identical to
+/// [`Cube::fact_member`] (float round trip, clamping, error wording)
+/// without the name lookup or the `CellValue` materialisation.
+fn member_at(column: &Column, fact_row: usize) -> Result<usize, OlapError> {
+    match column.get_number(fact_row) {
+        Some(member) => Ok(member as usize),
+        None => Err(OlapError::TypeMismatch {
+            expected: "integer foreign key",
+            found: column.get(fact_row).type_name().to_string(),
+        }),
     }
 }
 
 /// One row's selection decision — liveness, view, dimension filters and
 /// fact filter, with the scanned/matched counters updated in exactly the
-/// serial reference's order. Shared by both morsel scans so their
-/// counter and error semantics cannot drift apart.
+/// serial reference's order. Shared by every morsel scan so their
+/// counter and error semantics cannot drift apart. Dimension filters go
+/// through pre-resolved FK column indices (typed reads) where available.
 #[allow(clippy::too_many_arguments)]
 fn row_selected(
     cube: &Cube,
@@ -565,12 +926,20 @@ fn row_selected(
     facts_scanned: &mut usize,
     facts_matched: &mut usize,
 ) -> Result<bool, OlapError> {
-    if !fact_table.is_live(fact_row) || !view.allows_fact_row(cube, &query.fact, fact_row)? {
+    if !fact_table.is_live(fact_row) {
+        return Ok(false);
+    }
+    // An unrestricted view admits every live row (resolution already
+    // validated the fact), so skip the per-row selection/FK walk.
+    if !view.is_unrestricted() && !view.allows_fact_row(cube, &query.fact, fact_row)? {
         return Ok(false);
     }
     *facts_scanned += 1;
-    for (dimension, allowed) in &resolved.allowed_members {
-        let member = cube.fact_member(&query.fact, fact_row, dimension)?;
+    for (dimension, (fk, allowed)) in &resolved.allowed_members {
+        let member = match fk {
+            Some(index) => member_at(fact_table.column_at(*index), fact_row)?,
+            None => cube.fact_member(&query.fact, fact_row, dimension)?,
+        };
         if !allowed.contains(&member) {
             return Ok(false);
         }
@@ -584,24 +953,78 @@ fn row_selected(
     Ok(true)
 }
 
-/// The typed row-at-a-time morsel scan: identical control flow to
-/// [`scan_range`], but measures are read through pre-resolved column
-/// indices and fed to the accumulators as bare numbers where the column
-/// is numeric — no per-row `CellValue` (or `String`) materialisation on
-/// the hot path.
+/// The dense key id of one group-by attribute for one fact row: a typed
+/// FK read plus one dictionary index. Members outside the dictionary
+/// (impossible through validated loads) read as `Null`, exactly what the
+/// serial reference's out-of-range `Table::get` returns.
+fn dense_key(
+    cube: &Cube,
+    query: &Query,
+    dict: &GroupKeyDict,
+    dimension: &str,
+    fact_table: &Table,
+    fact_row: usize,
+) -> Result<u32, OlapError> {
+    let member = match dict.fk_column {
+        Some(index) => member_at(fact_table.column_at(index), fact_row)?,
+        None => cube.fact_member(&query.fact, fact_row, dimension)?,
+    };
+    Ok(dict.member_to_key.get(member).copied().unwrap_or(NULL_KEY))
+}
+
+/// The integer group id of one fact row, built attribute by attribute in
+/// query order (so FK-read errors surface in the serial reference's
+/// order, and a recorded dictionary-build error replays at the exact
+/// attribute the serial loop would have failed on).
+fn row_group_id(
+    cube: &Cube,
+    query: &Query,
+    plan: &GroupPlan,
+    fact_table: &Table,
+    fact_row: usize,
+) -> Result<GroupId, OlapError> {
+    let mut packed: u128 = 0;
+    let mut wide: Vec<u32> = Vec::new();
+    if plan.cardinality.is_none() {
+        wide.reserve(query.group_by.len());
+    }
+    for (index, attr) in query.group_by.iter().enumerate() {
+        let Some(dict) = plan.dicts.get(index) else {
+            let (_, error) = plan.error.as_ref().expect("missing dict implies an error");
+            return Err(error.clone());
+        };
+        let dense = dense_key(cube, query, dict, &attr.dimension, fact_table, fact_row)?;
+        match plan.cardinality {
+            Some(_) => packed = packed * dict.key_values.len() as u128 + u128::from(dense),
+            None => wide.push(dense),
+        }
+    }
+    Ok(match plan.cardinality {
+        Some(_) => GroupId::Packed(packed),
+        None => GroupId::Wide(wide.into_boxed_slice()),
+    })
+}
+
+/// The integer-keyed hashed morsel scan: the fallback for group
+/// cardinalities above the flat-slot limit and for measures that need
+/// full values (COUNT DISTINCT, text columns). Identical control flow to
+/// [`scan_range`], but group keys are dense integer ids — no string
+/// keys, no per-row key-cell clones — and numeric measures are fed as
+/// bare numbers through pre-resolved column indices.
 #[allow(clippy::too_many_arguments)]
-fn scan_range_typed(
+fn scan_morsel_hashed(
     cube: &Cube,
     query: &Query,
     view: &InstanceView,
     resolved: &Resolved<'_>,
+    plan: &GroupPlan,
     fact_table: &Table,
     rows: Range<usize>,
-    key_cache: &mut [HashMap<usize, CellValue>],
-    groups: &mut GroupMap,
+    out: &mut Vec<(GroupId, Vec<Accumulator>)>,
 ) -> Result<(usize, usize), OlapError> {
     let mut facts_scanned = 0usize;
     let mut facts_matched = 0usize;
+    let mut groups: HashMap<GroupId, usize> = HashMap::new();
     for fact_row in rows {
         if !row_selected(
             cube,
@@ -616,38 +1039,32 @@ fn scan_range_typed(
             continue;
         }
 
-        let mut key_cells = Vec::with_capacity(query.group_by.len());
-        let mut key_string = String::new();
-        for (i, attr) in query.group_by.iter().enumerate() {
-            let member = cube.fact_member(&query.fact, fact_row, &attr.dimension)?;
-            let cell = match key_cache[i].get(&member) {
-                Some(c) => c.clone(),
-                None => {
-                    let table = &cube.dimension_table(&attr.dimension)?.table;
-                    let cell =
-                        table.get(member, &attribute_column(&attr.level, &attr.attribute))?;
-                    key_cache[i].insert(member, cell.clone());
-                    cell
-                }
-            };
-            key_string.push_str(&cell.group_key());
-            key_string.push('\u{1f}');
-            key_cells.push(cell);
-        }
-
-        let entry = groups.entry(key_string).or_insert_with(|| {
-            (
-                key_cells.clone(),
-                resolved
-                    .measures
-                    .iter()
-                    .map(|(_, agg)| Accumulator::new(*agg))
-                    .collect(),
-            )
-        });
-        for (i, (plan, acc)) in resolved.plans.iter().zip(entry.1.iter_mut()).enumerate() {
-            match plan.column {
-                Some(index) if plan.numeric => {
+        let id = row_group_id(cube, query, plan, fact_table, fact_row)?;
+        let slot = match groups.entry(id) {
+            Entry::Occupied(entry) => *entry.get(),
+            Entry::Vacant(entry) => {
+                let slot = out.len();
+                out.push((
+                    entry.key().clone(),
+                    resolved
+                        .measures
+                        .iter()
+                        .map(|(_, agg)| Accumulator::new(*agg))
+                        .collect(),
+                ));
+                entry.insert(slot);
+                slot
+            }
+        };
+        let accumulators = &mut out[slot].1;
+        for (i, (measure_plan, acc)) in resolved
+            .plans
+            .iter()
+            .zip(accumulators.iter_mut())
+            .enumerate()
+        {
+            match measure_plan.column {
+                Some(index) if measure_plan.numeric => {
                     if let Some(n) = fact_table.column_at(index).get_number(fact_row) {
                         acc.update_number(n);
                     }
@@ -658,6 +1075,177 @@ fn scan_range_typed(
         }
     }
     Ok((facts_scanned, facts_matched))
+}
+
+/// Reusable per-worker buffers of the flat grouped scan, sized once per
+/// query (the slot vectors to the plan's total cardinality) and reset
+/// between morsels through the touched-slot list — never an
+/// O(cardinality) clear per morsel.
+struct FlatScratch {
+    /// Selection vector: surviving row ids of the current morsel.
+    sel: Vec<u32>,
+    /// Group slot per selected row (parallel to `sel`).
+    slots: Vec<u32>,
+    /// FK gather buffer (member ids, parallel to `sel`).
+    members: Vec<u32>,
+    /// Gathered non-null measure values and their slots.
+    values: Vec<f64>,
+    value_slots: Vec<u32>,
+    /// Per-slot group-existence flags for the current morsel (a group
+    /// exists once a row matches, even if every measure value is null —
+    /// the serial reference's semantics).
+    slot_seen: Vec<bool>,
+    /// Slots touched by the current morsel, in first-occurrence order.
+    touched: Vec<u32>,
+    /// Per-measure slot-backed accumulator state.
+    measures: Vec<SlotAccumulator>,
+}
+
+impl FlatScratch {
+    fn new(resolved: &Resolved<'_>, slots: usize) -> Self {
+        FlatScratch {
+            sel: Vec::new(),
+            slots: Vec::new(),
+            members: Vec::new(),
+            values: Vec::new(),
+            value_slots: Vec::new(),
+            slot_seen: vec![false; slots],
+            touched: Vec::new(),
+            measures: resolved
+                .measures
+                .iter()
+                .map(|(_, agg)| SlotAccumulator::new(*agg, slots))
+                .collect(),
+        }
+    }
+}
+
+/// The flat dense-slot grouped morsel scan. Three passes over the
+/// morsel, each vectorisable:
+///
+/// 1. materialise the **selection vector** (liveness + view + filters,
+///    via the shared [`row_selected`]);
+/// 2. resolve the FK columns through typed chunk slices
+///    ([`Column::gather_members`]) and fold the per-attribute dense ids
+///    into one mixed-radix **slot vector**;
+/// 3. per measure, gather the column into a compacted null-free
+///    `(values, slots)` pair ([`Column::gather_numeric`]) and run the
+///    grouped slice kernel into the per-slot vectors.
+///
+/// The morsel's partial is then read out of the touched slots in
+/// first-occurrence order, as per-measure [`NumericAgg`] columns the
+/// merge phase adds slot-wise into flat totals.
+#[allow(clippy::too_many_arguments)]
+fn scan_morsel_flat(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    plan: &GroupPlan,
+    fact_table: &Table,
+    rows: Range<usize>,
+    scratch: &mut FlatScratch,
+) -> Result<MorselPartial, OlapError> {
+    let mut facts_scanned = 0usize;
+    let mut facts_matched = 0usize;
+    scratch.sel.clear();
+    for fact_row in rows {
+        if row_selected(
+            cube,
+            query,
+            view,
+            resolved,
+            fact_table,
+            fact_row,
+            &mut facts_scanned,
+            &mut facts_matched,
+        )? {
+            scratch.sel.push(fact_row as u32);
+        }
+    }
+    if scratch.sel.is_empty() {
+        return Ok(MorselPartial {
+            groups: MorselGroups::Flat {
+                touched: Vec::new(),
+                partials: Vec::new(),
+            },
+            facts_scanned,
+            facts_matched,
+        });
+    }
+
+    // Slot vector: one typed FK gather per attribute, folded mixed-radix.
+    scratch.slots.clear();
+    scratch.slots.resize(scratch.sel.len(), 0);
+    for (dict, attr) in plan.dicts.iter().zip(&query.group_by) {
+        scratch.members.clear();
+        match dict.fk_column {
+            Some(index) => fact_table
+                .column_at(index)
+                .gather_members(&scratch.sel, &mut scratch.members)?,
+            None => {
+                for &row in &scratch.sel {
+                    let member = cube.fact_member(&query.fact, row as usize, &attr.dimension)?;
+                    scratch.members.push(member.min(u32::MAX as usize) as u32);
+                }
+            }
+        }
+        let radix = dict.key_values.len() as u32;
+        for (slot, &member) in scratch.slots.iter_mut().zip(&scratch.members) {
+            let dense = dict
+                .member_to_key
+                .get(member as usize)
+                .copied()
+                .unwrap_or(NULL_KEY);
+            *slot = *slot * radix + dense;
+        }
+    }
+
+    // Group existence: a slot is born when its first row matches.
+    for &slot in &scratch.slots {
+        let seen = &mut scratch.slot_seen[slot as usize];
+        if !*seen {
+            scratch.touched.push(slot);
+            *seen = true;
+        }
+    }
+
+    // One kernel pass per measure over the gathered null-free pairs.
+    for (measure_plan, state) in resolved.plans.iter().zip(scratch.measures.iter_mut()) {
+        let index = measure_plan
+            .column
+            .expect("flat plans resolve every measure column");
+        scratch.values.clear();
+        scratch.value_slots.clear();
+        fact_table.column_at(index).gather_numeric(
+            &scratch.sel,
+            &scratch.slots,
+            &mut scratch.values,
+            &mut scratch.value_slots,
+        );
+        state.accumulate(&scratch.values, &scratch.value_slots);
+    }
+
+    // Drain the touched slots into the morsel partial (per-measure
+    // `NumericAgg` columns parallel to the touched list), resetting the
+    // slot state for the next morsel.
+    let mut partials: Vec<Vec<NumericAgg>> = resolved
+        .measures
+        .iter()
+        .map(|_| Vec::with_capacity(scratch.touched.len()))
+        .collect();
+    for &slot in &scratch.touched {
+        scratch.slot_seen[slot as usize] = false;
+        for (state, column) in scratch.measures.iter_mut().zip(partials.iter_mut()) {
+            column.push(state.take_slot(slot as usize));
+        }
+    }
+    let touched = std::mem::take(&mut scratch.touched);
+    Ok(MorselPartial {
+        groups: MorselGroups::Flat { touched, partials },
+        facts_scanned,
+        facts_matched,
+    })
 }
 
 /// Merges each measure column's kernel partial over one run of selected
@@ -690,7 +1278,7 @@ fn scan_morsel_vectorised(
     resolved: &Resolved<'_>,
     fact_table: &Table,
     rows: Range<usize>,
-    groups: &mut GroupMap,
+    groups: &mut Vec<(GroupId, Vec<Accumulator>)>,
 ) -> Result<(usize, usize), OlapError> {
     let mut partials: Vec<NumericAgg> = vec![NumericAgg::default(); resolved.plans.len()];
     let mut facts_scanned = 0usize;
@@ -749,7 +1337,7 @@ fn scan_morsel_vectorised(
                 acc
             })
             .collect();
-        groups.insert(String::new(), (Vec::new(), accumulators));
+        groups.push((GroupId::Packed(0), accumulators));
     }
     Ok((facts_scanned, facts_matched))
 }
@@ -766,6 +1354,7 @@ fn scan_assigned_morsels(
     query: &Query,
     view: &InstanceView,
     resolved: &Resolved<'_>,
+    plan: &GroupPlan,
     fact_table: &Table,
     next_morsel: &AtomicUsize,
     morsel_count: usize,
@@ -773,8 +1362,10 @@ fn scan_assigned_morsels(
     total_rows: usize,
 ) -> Vec<(usize, Result<MorselPartial, OlapError>)> {
     let mut out = Vec::new();
-    // Member-row → key-cell cache, shared across this worker's morsels.
-    let mut key_cache: Vec<HashMap<usize, CellValue>> = vec![HashMap::new(); query.group_by.len()];
+    // Worker-local flat-slot buffers, sized once and reused across this
+    // worker's morsels (reset through the touched list, not by clearing
+    // whole slot vectors).
+    let mut scratch = plan.flat.map(|slots| FlatScratch::new(resolved, slots));
     loop {
         let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
         if morsel >= morsel_count {
@@ -782,39 +1373,32 @@ fn scan_assigned_morsels(
         }
         let start = morsel * morsel_rows;
         let end = (start + morsel_rows).min(total_rows);
-        let mut groups: GroupMap = HashMap::new();
-        let scanned = scan_morsel(
+        let partial = scan_morsel(
             cube,
             query,
             view,
             resolved,
+            plan,
             fact_table,
             start..end,
-            &mut key_cache,
-            &mut groups,
+            &mut scratch,
         );
-        out.push((
-            morsel,
-            scanned.map(|(facts_scanned, facts_matched)| MorselPartial {
-                groups,
-                facts_scanned,
-                facts_matched,
-            }),
-        ));
+        out.push((morsel, partial));
     }
     out
 }
 
-/// Finalises the merged group state into a sorted, limited result.
+/// Finalises the group rows — `(key cells, accumulators)` pairs from
+/// either executor — into a sorted, limited result.
 fn materialise(
     query: &Query,
     resolved: &Resolved<'_>,
-    groups: GroupMap,
+    groups: Vec<(Vec<CellValue>, Vec<Accumulator>)>,
     facts_scanned: usize,
     facts_matched: usize,
 ) -> QueryResult {
     let mut rows: Vec<ResultRow> = groups
-        .into_values()
+        .into_iter()
         .map(|(keys, accs)| ResultRow {
             keys,
             values: accs.iter().map(Accumulator::finish).collect(),

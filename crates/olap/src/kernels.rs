@@ -100,6 +100,72 @@ pub fn agg_i64_masked(values: &[i64], validity: &[bool]) -> NumericAgg {
     agg
 }
 
+// ----- grouped kernels ---------------------------------------------------
+//
+// The grouped morsel path resolves each selected fact row to a dense
+// group slot (`u32`) and gathers each measure column into a compacted
+// `(values, slots)` pair with nulls already dropped (the gather consults
+// the validity mask per chunk; all-valid chunks stream through the bare
+// value slice). The kernels below are therefore mask-free tight loops
+// over parallel slices — one array index per row, no hashing, no
+// `CellValue`, no branches the compiler cannot lift.
+//
+// Each kernel also maintains the per-slot non-null `counts`, because (a)
+// every aggregation's mergeable state ([`NumericAgg`]) needs the count to
+// merge correctly, and (b) MIN/MAX use `counts[slot] == 0` as the
+// first-touch test so their chaining (`assign first, then fold through
+// `f64::min`/`f64::max` in row order`) is exactly the row-at-a-time
+// accumulator's — NaN propagation included.
+
+/// Grouped SUM (and the sum half of AVG): `sums[slot] += value`, summing
+/// in slice order so float results match the row-at-a-time reference.
+pub fn sum_grouped(values: &[f64], slots: &[u32], counts: &mut [u64], sums: &mut [f64]) {
+    debug_assert_eq!(values.len(), slots.len());
+    for (&value, &slot) in values.iter().zip(slots) {
+        let slot = slot as usize;
+        counts[slot] += 1;
+        sums[slot] += value;
+    }
+}
+
+/// Grouped MIN: first value assigns, later values fold through
+/// [`f64::min`] in slice order.
+pub fn min_grouped(values: &[f64], slots: &[u32], counts: &mut [u64], mins: &mut [f64]) {
+    debug_assert_eq!(values.len(), slots.len());
+    for (&value, &slot) in values.iter().zip(slots) {
+        let slot = slot as usize;
+        mins[slot] = if counts[slot] == 0 {
+            value
+        } else {
+            mins[slot].min(value)
+        };
+        counts[slot] += 1;
+    }
+}
+
+/// Grouped MAX: first value assigns, later values fold through
+/// [`f64::max`] in slice order.
+pub fn max_grouped(values: &[f64], slots: &[u32], counts: &mut [u64], maxs: &mut [f64]) {
+    debug_assert_eq!(values.len(), slots.len());
+    for (&value, &slot) in values.iter().zip(slots) {
+        let slot = slot as usize;
+        maxs[slot] = if counts[slot] == 0 {
+            value
+        } else {
+            maxs[slot].max(value)
+        };
+        counts[slot] += 1;
+    }
+}
+
+/// Grouped COUNT of non-null values (the gather already dropped nulls, so
+/// every slot occurrence counts).
+pub fn count_grouped(slots: &[u32], counts: &mut [u64]) {
+    for &slot in slots {
+        counts[slot as usize] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +190,39 @@ mod tests {
         assert_eq!((f.count, f.sum), (2, 4.0));
         let i = agg_i64_masked(&[0, 0], &[false, false]);
         assert_eq!((i.count, i.sum, i.min, i.max), (0, 0.0, None, None));
+    }
+
+    #[test]
+    fn grouped_kernels_agree_with_per_slot_observation() {
+        let values = [1.5, -2.0, 4.0, 0.25, -7.5];
+        let slots = [0u32, 1, 0, 2, 1];
+        let mut counts = [0u64; 3];
+        let mut sums = [0.0; 3];
+        sum_grouped(&values, &slots, &mut counts, &mut sums);
+        assert_eq!(counts, [2, 2, 1]);
+        assert_eq!(sums, [5.5, -9.5, 0.25]);
+
+        let mut counts = [0u64; 3];
+        let mut mins = [0.0; 3];
+        min_grouped(&values, &slots, &mut counts, &mut mins);
+        assert_eq!(mins, [1.5, -7.5, 0.25]);
+
+        let mut counts = [0u64; 3];
+        let mut maxs = [0.0; 3];
+        max_grouped(&values, &slots, &mut counts, &mut maxs);
+        assert_eq!(maxs, [4.0, -2.0, 0.25]);
+
+        let mut counts = [0u64; 3];
+        count_grouped(&slots, &mut counts);
+        assert_eq!(counts, [2, 2, 1]);
+
+        // Per-slot results equal one NumericAgg per slot fed in order.
+        let mut reference = [NumericAgg::default(), NumericAgg::default()];
+        for (&v, &s) in values.iter().zip(&slots).filter(|(_, &s)| s < 2) {
+            reference[s as usize].observe(v);
+        }
+        assert_eq!(reference[0].sum, 5.5);
+        assert_eq!(reference[1].min, Some(-7.5));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   tombstone compaction ([`Table::compact`] / [`RowRemap`]) that
 //!   rewrites live rows and remaps stable row ids;
 //! * [`kernels`] — vectorised per-chunk SUM/MIN/MAX/COUNT/AVG slice
-//!   kernels the morsel executor pushes numeric aggregation down to;
+//!   kernels the morsel executor pushes numeric aggregation down to,
+//!   plus grouped per-slot kernels fed by dense group ids and selection
+//!   vectors (no string keys anywhere on the parallel grouped path);
 //! * [`Cube`] — a star-schema instance bound to an [`sdwp_model::Schema`]:
 //!   one dimension table per dimension (leaf grain, one column per level
 //!   attribute plus per-level geometry columns), layer tables for GeoMD
@@ -56,7 +58,7 @@ pub use cache::{CacheKey, CacheStats, QueryCache};
 pub use chunk::DEFAULT_CHUNK_ROWS;
 pub use column::{Column, ColumnType, Dictionary};
 pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, FactTableStats, LayerTable};
-pub use engine::{ExecutionConfig, QueryEngine, DEFAULT_MORSEL_ROWS};
+pub use engine::{ExecutionConfig, QueryEngine, DEFAULT_GROUP_SLOT_LIMIT, DEFAULT_MORSEL_ROWS};
 pub use error::OlapError;
 pub use filter::{CompareOp, Filter, SpatialPredicateOp};
 pub use kernels::NumericAgg;

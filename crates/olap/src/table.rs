@@ -1,11 +1,10 @@
 //! Row-addressable tables built from typed columns.
 
-use crate::chunk::DEFAULT_CHUNK_ROWS;
+use crate::chunk::{LivenessMap, DEFAULT_CHUNK_ROWS};
 use crate::column::{Column, ColumnType};
 use crate::error::OlapError;
 use crate::value::CellValue;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::ops::Range;
 
 /// The stable-row-id remap published by one compaction of a [`Table`]:
@@ -64,8 +63,10 @@ pub struct Table {
     pub name: String,
     columns: Vec<(String, Column)>,
     rows: usize,
-    /// Tombstoned row ids (retracted, skipped by scans).
-    retracted: BTreeSet<usize>,
+    /// Tombstoned row ids, as a chunked copy-on-write bitmap: cloning the
+    /// table (snapshot publication) bumps chunk refcounts instead of
+    /// copying the whole set, and a retraction copies one chunk.
+    liveness: LivenessMap,
     /// Rows per storage chunk (the copy-on-write granularity).
     chunk_rows: usize,
 }
@@ -94,7 +95,7 @@ impl Table {
                 .map(|(n, t)| (n, Column::with_chunk_rows(t, chunk_rows)))
                 .collect(),
             rows: 0,
-            retracted: BTreeSet::new(),
+            liveness: LivenessMap::new(chunk_rows),
             chunk_rows,
         }
     }
@@ -117,12 +118,12 @@ impl Table {
 
     /// Number of live (non-retracted) rows.
     pub fn live_len(&self) -> usize {
-        self.rows - self.retracted.len()
+        self.rows - self.liveness.dead_count()
     }
 
     /// Returns `true` when `row` exists and has not been retracted.
     pub fn is_live(&self, row: usize) -> bool {
-        row < self.rows && !self.retracted.contains(&row)
+        row < self.rows && !self.liveness.is_dead(row)
     }
 
     /// Fraction of ever-appended rows that are tombstoned — the
@@ -131,7 +132,7 @@ impl Table {
         if self.rows == 0 {
             0.0
         } else {
-            self.retracted.len() as f64 / self.rows as f64
+            self.liveness.dead_count() as f64 / self.rows as f64
         }
     }
 
@@ -142,18 +143,7 @@ impl Table {
     pub fn live_runs(&self, rows: Range<usize>) -> Vec<Range<usize>> {
         let end = rows.end.min(self.rows);
         let start = rows.start.min(end);
-        let mut runs = Vec::new();
-        let mut cursor = start;
-        for &dead in self.retracted.range(start..end) {
-            if dead > cursor {
-                runs.push(cursor..dead);
-            }
-            cursor = dead + 1;
-        }
-        if cursor < end {
-            runs.push(cursor..end);
-        }
-        runs
+        self.liveness.live_runs(start..end)
     }
 
     /// Rewrites the live rows into fresh, dense chunks, dropping every
@@ -175,22 +165,21 @@ impl Table {
                 })
                 .collect(),
             rows: 0,
-            retracted: BTreeSet::new(),
+            liveness: LivenessMap::new(self.chunk_rows),
             chunk_rows: self.chunk_rows,
         };
         let mut live_old_ids = Vec::with_capacity(self.live_len());
-        for row in 0..self.rows {
-            if self.retracted.contains(&row) {
-                continue;
+        for run in self.live_runs(0..self.rows) {
+            for row in run {
+                live_old_ids.push(row);
+                for (source, target) in self.columns.iter().zip(fresh.columns.iter_mut()) {
+                    target
+                        .1
+                        .push(source.1.get(row))
+                        .expect("compaction copies between identical column types");
+                }
+                fresh.rows += 1;
             }
-            live_old_ids.push(row);
-            for (source, target) in self.columns.iter().zip(fresh.columns.iter_mut()) {
-                target
-                    .1
-                    .push(source.1.get(row))
-                    .expect("compaction copies between identical column types");
-            }
-            fresh.rows += 1;
         }
         (fresh, RowRemap::new(live_old_ids))
     }
@@ -207,7 +196,7 @@ impl Table {
                 ),
             });
         }
-        self.retracted.insert(row);
+        self.liveness.retract(row);
         Ok(())
     }
 

@@ -123,6 +123,16 @@ impl InstanceView {
         self.fact_selections.get(fact).map(|s| s.version)
     }
 
+    /// Every restricted fact with its selection's capture version — what
+    /// a reader holding this view still references of each fact table's
+    /// remap chain (the serving layer pins these while a query is in
+    /// flight so chain trimming cannot outrun the view).
+    pub fn fact_selection_versions(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.fact_selections
+            .iter()
+            .map(|(fact, selection)| (fact.as_str(), selection.version))
+    }
+
     /// The selected fact-row set (in its capture version's numbering),
     /// when the fact is restricted.
     pub fn selected_fact_rows(&self, fact: &str) -> Option<&BTreeSet<usize>> {
@@ -185,11 +195,13 @@ impl InstanceView {
             let row_at_capture = if selection.version < current {
                 // The table was compacted since the selection was
                 // captured: walk the queried id backwards through the
-                // remap chain to the selection's numbering. A row with no
-                // pre-compaction id was appended later — a closed
+                // retained remap chain to the selection's numbering (the
+                // serving layer only trims transitions no live selection
+                // references, so the chain covers the span). A row with
+                // no pre-compaction id was appended later — a closed
                 // selection never contains it.
                 let mut row = Some(fact_row);
-                for remap in fact_table.remaps[selection.version as usize..].iter().rev() {
+                for remap in fact_table.remaps_from(selection.version).iter().rev() {
                     row = row.and_then(|r| remap.old_id(r));
                 }
                 row

@@ -282,14 +282,93 @@ proptest! {
             .execute_serial_with_view(&built_cube, &built_query, &built_view)
             .expect("generated queries are valid");
         for workers in [1usize, 2, 8] {
-            // A small prime morsel size forces ragged chunks and many merges.
+            // A small prime morsel size forces ragged chunks and many
+            // merges; slot limit 0 forces every grouped query onto the
+            // integer-keyed hashed fallback while the default keeps the
+            // flat dense-slot path live.
+            for slot_limit in [0usize, sdwp_olap::DEFAULT_GROUP_SLOT_LIMIT] {
+                let engine = QueryEngine::with_config(
+                    ExecutionConfig::default()
+                        .with_workers(workers)
+                        .with_morsel_rows(7)
+                        .with_group_slot_limit(slot_limit),
+                );
+                let parallel = engine
+                    .execute_with_view(&built_cube, &built_query, &built_view)
+                    .expect("parallel execution succeeds where serial does");
+                prop_assert_eq!(
+                    &parallel, &serial,
+                    "workers={} slot_limit={}", workers, slot_limit
+                );
+            }
+        }
+    }
+
+    /// Grouped equivalence across the flat-slot threshold and cardinality
+    /// extremes: the same generated warehouse grouped through every slot
+    /// limit around its exact cardinality — hashed (0), just-below, exact,
+    /// and unbounded — must match the serial reference bit-for-bit.
+    #[test]
+    fn grouped_paths_agree_across_the_slot_threshold(
+        members in prop::collection::vec(0usize..=POOL.len(), 1..40),
+        facts in prop::collection::vec(
+            (any::<usize>(), option_of(-64i32..65)),
+            0..60,
+        ),
+    ) {
+        let mut cube = Cube::new(schema());
+        for (i, a) in members.iter().enumerate() {
+            // High member counts with a small value pool: many members
+            // collapse onto few dense key ids, like city roll-ups do.
+            cube.add_dimension_member(
+                "D0",
+                vec![
+                    ("A.name", pool_cell(*a)),
+                    ("B.name", pool_cell(i % (POOL.len() + 1))),
+                ],
+            ).unwrap();
+        }
+        cube.add_dimension_member("D1", vec![("T.date", CellValue::Date(0))]).unwrap();
+        for (fk, m) in &facts {
+            let mut measures: Vec<(&str, CellValue)> = Vec::new();
+            if let Some(v) = m {
+                measures.push(("M1", CellValue::Float(f64::from(*v) * 0.25)));
+            }
+            cube.add_fact_row("F", vec![("D0", fk % members.len()), ("D1", 0)], measures)
+                .unwrap();
+        }
+        let query = Query::over("F")
+            .group_by(AttributeRef::new("D0", "A", "name"))
+            .group_by(AttributeRef::new("D0", "B", "name"))
+            .measure("M1")
+            .measure_agg("M1", AggregationFunction::Min);
+        let serial = QueryEngine::with_config(ExecutionConfig::serial())
+            .execute_serial_with_view(&cube, &query, &InstanceView::unrestricted())
+            .expect("query is valid");
+        // Exact cardinality = product of (distinct values + reserved null
+        // slot) per attribute, mirroring the engine's dictionary sizes.
+        let distinct = |cells: Vec<CellValue>| {
+            let mut keys: Vec<String> = cells.iter().map(CellValue::group_key).collect();
+            keys.sort();
+            keys.dedup();
+            // +1 unless Null is already among the values (the dictionary
+            // always reserves a null id; a null member value reuses it).
+            keys.len() + usize::from(!cells.iter().any(CellValue::is_null))
+        };
+        let card_a = distinct(members.iter().map(|a| pool_cell(*a)).collect());
+        let card_b = distinct((0..members.len()).map(|i| pool_cell(i % (POOL.len() + 1))).collect());
+        let exact = card_a * card_b;
+        for slot_limit in [0usize, exact.saturating_sub(1), exact, usize::MAX] {
             let engine = QueryEngine::with_config(
-                ExecutionConfig::default().with_workers(workers).with_morsel_rows(7),
+                ExecutionConfig::default()
+                    .with_workers(4)
+                    .with_morsel_rows(5)
+                    .with_group_slot_limit(slot_limit),
             );
             let parallel = engine
-                .execute_with_view(&built_cube, &built_query, &built_view)
-                .expect("parallel execution succeeds where serial does");
-            prop_assert_eq!(&parallel, &serial, "workers={}", workers);
+                .execute(&cube, &query)
+                .expect("parallel execution succeeds");
+            prop_assert_eq!(&parallel, &serial, "slot_limit={}", slot_limit);
         }
     }
 
@@ -330,5 +409,111 @@ proptest! {
             ).execute(&cube, &query).unwrap();
             prop_assert_eq!(&result, &reference, "workers={}", workers);
         }
+    }
+}
+
+/// Text keys containing the serial reference's key separator must not
+/// collapse composite groups: the serial loop length-prefixes each
+/// attribute's key (an injective encoding), agreeing with the dense-id
+/// parallel path, which keys attributes independently by construction.
+#[test]
+fn adversarial_separator_keys_stay_distinct() {
+    let mut cube = Cube::new(schema());
+    // Crafted so naive separator-joined keys would collide:
+    // ("a\u{1f}tb", "c") and ("a", "b\u{1f}tc") concatenate identically.
+    cube.add_dimension_member(
+        "D0",
+        vec![
+            ("A.name", CellValue::from("a\u{1f}tb")),
+            ("B.name", CellValue::from("c")),
+        ],
+    )
+    .unwrap();
+    cube.add_dimension_member(
+        "D0",
+        vec![
+            ("A.name", CellValue::from("a")),
+            ("B.name", CellValue::from("b\u{1f}tc")),
+        ],
+    )
+    .unwrap();
+    cube.add_dimension_member("D1", vec![("T.date", CellValue::Date(0))])
+        .unwrap();
+    for member in 0..2 {
+        cube.add_fact_row(
+            "F",
+            vec![("D0", member), ("D1", 0)],
+            vec![("M1", CellValue::Float(1.0))],
+        )
+        .unwrap();
+    }
+    let query = Query::over("F")
+        .group_by(AttributeRef::new("D0", "A", "name"))
+        .group_by(AttributeRef::new("D0", "B", "name"))
+        .measure("M1");
+    let serial = QueryEngine::with_config(ExecutionConfig::serial())
+        .execute_serial(&cube, &query)
+        .unwrap();
+    assert_eq!(serial.len(), 2, "separator-bearing keys must not merge");
+    for slot_limit in [0usize, sdwp_olap::DEFAULT_GROUP_SLOT_LIMIT] {
+        let parallel = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(2)
+                .with_morsel_rows(1)
+                .with_group_slot_limit(slot_limit),
+        )
+        .execute(&cube, &query)
+        .unwrap();
+        assert_eq!(parallel, serial, "slot_limit={slot_limit}");
+    }
+}
+
+/// All-null measure columns: the group must still exist (a matched row
+/// creates it) with SUM 0.0 / AVG-MIN-MAX null / COUNT 0, identically on
+/// the flat, hashed and serial paths.
+#[test]
+fn all_null_measures_keep_groups_alive_on_every_path() {
+    let mut cube = Cube::new(schema());
+    for name in ["x", "y"] {
+        cube.add_dimension_member(
+            "D0",
+            vec![
+                ("A.name", CellValue::from(name)),
+                ("B.name", CellValue::Null),
+            ],
+        )
+        .unwrap();
+    }
+    cube.add_dimension_member("D1", vec![("T.date", CellValue::Date(0))])
+        .unwrap();
+    for row in 0..10 {
+        // Every M1 cell is null; M3 never written either.
+        cube.add_fact_row("F", vec![("D0", row % 2), ("D1", 0)], vec![])
+            .unwrap();
+    }
+    let query = Query::over("F")
+        .group_by(AttributeRef::new("D0", "A", "name"))
+        .measure("M1")
+        .measure_agg("M1", AggregationFunction::Avg)
+        .measure_agg("M1", AggregationFunction::Min)
+        .measure_agg("M3", AggregationFunction::Count);
+    let serial = QueryEngine::with_config(ExecutionConfig::serial())
+        .execute_serial(&cube, &query)
+        .unwrap();
+    assert_eq!(serial.len(), 2, "all-null groups still materialise");
+    assert_eq!(serial.rows[0].values[0], CellValue::Float(0.0));
+    assert_eq!(serial.rows[0].values[1], CellValue::Null);
+    assert_eq!(serial.rows[0].values[2], CellValue::Null);
+    assert_eq!(serial.rows[0].values[3], CellValue::Integer(0));
+    for slot_limit in [0usize, sdwp_olap::DEFAULT_GROUP_SLOT_LIMIT] {
+        let parallel = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(4)
+                .with_morsel_rows(3)
+                .with_group_slot_limit(slot_limit),
+        )
+        .execute(&cube, &query)
+        .unwrap();
+        assert_eq!(parallel, serial, "slot_limit={slot_limit}");
     }
 }

@@ -225,11 +225,23 @@ fn queries() -> Vec<Query> {
         Query::over("F")
             .measure("M")
             .measure_agg("M", AggregationFunction::CountDistinct),
-        // Grouped: the typed row-at-a-time path.
+        // Grouped all-numeric: the dense flat-slot kernel path (groups
+        // straddle chunk boundaries — chunk_rows is 1..6 while morsels
+        // are 7 rows).
         Query::over("F")
             .group_by(AttributeRef::new("D", "L", "name"))
             .measure("M")
             .measure_agg("N", AggregationFunction::Avg),
+        Query::over("F")
+            .group_by(AttributeRef::new("D", "L", "name"))
+            .measure_agg("M", AggregationFunction::Min)
+            .measure_agg("M", AggregationFunction::Max)
+            .measure_agg("N", AggregationFunction::Count),
+        // Grouped + COUNT DISTINCT: the integer-keyed hashed fallback.
+        Query::over("F")
+            .group_by(AttributeRef::new("D", "L", "name"))
+            .measure_agg("M", AggregationFunction::CountDistinct)
+            .measure("N"),
     ]
 }
 
@@ -257,12 +269,28 @@ proptest! {
                 .execute_serial_with_view(&cube, &query, &view)
                 .expect("generated queries are valid");
             for workers in [1usize, 2, 8] {
-                let parallel = QueryEngine::with_config(
-                    ExecutionConfig::default().with_workers(workers).with_morsel_rows(7),
-                )
-                .execute_with_view(&cube, &query, &view)
-                .expect("parallel execution succeeds where serial does");
-                prop_assert_eq!(&parallel, &serial, "workers={} query={:?}", workers, query);
+                // Slot limit 0 forces the integer-keyed hashed fallback
+                // for grouped queries; the default keeps the flat
+                // dense-slot path live — both must match the serial
+                // string-key reference.
+                for slot_limit in [0usize, sdwp_olap::engine::DEFAULT_GROUP_SLOT_LIMIT] {
+                    let parallel = QueryEngine::with_config(
+                        ExecutionConfig::default()
+                            .with_workers(workers)
+                            .with_morsel_rows(7)
+                            .with_group_slot_limit(slot_limit),
+                    )
+                    .execute_with_view(&cube, &query, &view)
+                    .expect("parallel execution succeeds where serial does");
+                    prop_assert_eq!(
+                        &parallel,
+                        &serial,
+                        "workers={} slot_limit={} query={:?}",
+                        workers,
+                        slot_limit,
+                        query
+                    );
+                }
             }
         }
     }

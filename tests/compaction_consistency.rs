@@ -131,21 +131,15 @@ fn session_views_survive_compaction_under_concurrent_ingest() {
         );
         ingest.submit(batch).expect("submit");
         ingest.flush().expect("flush");
-        // Re-anchor outstanding ids to the current numbering.
+        // Re-anchor outstanding ids to the current numbering. The chain
+        // is trimmed behind live references, so a producer that
+        // re-anchors after every flush walks the retained transitions
+        // (`translate_rows_from`) rather than absolute chain indices.
         let cube = engine.cube();
         let fact_table = cube.fact_table("Sales").expect("Sales exists");
         let current = fact_table.compaction_version();
         if current > version_seen {
-            pending = pending
-                .into_iter()
-                .filter_map(|row| {
-                    let mut row = Some(row);
-                    for remap in &fact_table.remaps[version_seen as usize..] {
-                        row = row.and_then(|r| remap.new_id(r));
-                    }
-                    row
-                })
-                .collect();
+            pending = fact_table.translate_rows_from(version_seen, pending);
             version_seen = current;
         }
     }
@@ -193,6 +187,15 @@ fn session_views_survive_compaction_under_concurrent_ingest() {
     assert!(
         sales.tombstone_ratio < 0.25,
         "compaction kept tombstone pressure under the policy"
+    );
+    // The remap chain was trimmed behind the (eagerly remapped) session
+    // views: however many compactions ran, at most the latest transition
+    // is retained.
+    assert!(
+        sales.remap_chain_len <= 1,
+        "remap chain grew unboundedly: {} retained after {} compactions",
+        sales.remap_chain_len,
+        stats.compactions
     );
     engine.stop_ingest();
 }
