@@ -38,8 +38,8 @@ use sdwp_ingest::{
 };
 use sdwp_model::{Schema, SchemaDiff};
 use sdwp_olap::{
-    CacheKey, CacheStats, Cube, ExecutionConfig, FactTableStats, InstanceView, OlapError, Query,
-    QueryCache, QueryEngine, QueryResult,
+    CacheKey, CacheStats, Cube, DictCacheStats, ExecutionConfig, FactTableStats, GroupDictCache,
+    InstanceView, OlapError, Query, QueryCache, QueryEngine, QueryResult,
 };
 use sdwp_prml::{
     check_rules, EvalContext, FireReport, LayerSource, NoExternalLayers, Rule, RuleClass,
@@ -62,6 +62,12 @@ pub(crate) struct CubeState {
     pub(crate) snapshot: VersionedSwap<Cube>,
     /// Snapshot-keyed result cache in front of the executor.
     pub(crate) result_cache: QueryCache,
+    /// Generation-keyed group-key dictionary cache shared by every query
+    /// (and every member of a batch) against a snapshot. Publishes that
+    /// provably leave dimension tables untouched (ingest epochs, fact
+    /// compaction) advance its generation and keep the dictionaries;
+    /// schema-personalizing publishes flush it.
+    pub(crate) dict_cache: GroupDictCache,
     /// The session manager, shared with the engine: compaction remaps
     /// every open session's fact-row selections right after publishing a
     /// rewritten table, keeping stored views on the version-aligned fast
@@ -149,6 +155,8 @@ impl CubeSink for CubeState {
         // results over other facts stay valid and are re-keyed instead of
         // flushed.
         self.result_cache.publish(generation, changed_facts);
+        // Same proof covers the dictionaries: dimensions are untouched.
+        self.dict_cache.advance(generation);
         drop(master);
         generation
     }
@@ -184,6 +192,9 @@ impl CubeSink for CubeState {
             let mut changed = BTreeSet::new();
             changed.insert(fact.clone());
             self.result_cache.publish(generation, &changed);
+            // Compaction rewrites a fact table; dimension tables — and
+            // with them every group-key dictionary — are untouched.
+            self.dict_cache.advance(generation);
             self.sessions.remap_fact_rows(&fact, &remap, version_before);
             // Trim the remap chain down to what can still be referenced:
             // stored session views (just remapped to the current version),
@@ -291,6 +302,7 @@ impl PersonalizationEngine {
                 master: Mutex::new(cube),
                 snapshot,
                 result_cache: QueryCache::new(config.cache_capacity),
+                dict_cache: GroupDictCache::new(),
                 sessions: Arc::clone(&sessions),
                 version_pins: VersionPins::default(),
             }),
@@ -553,8 +565,11 @@ impl PersonalizationEngine {
         min_generation: u64,
     ) -> Result<QueryResult, CoreError> {
         let (generation, cube) = self.wait_for_generation(min_generation)?;
+        let dicts = Some((&self.cube_state.dict_cache, generation));
         if !self.cube_state.result_cache.is_enabled() {
-            return Ok(self.query_engine.execute_with_view(&cube, query, &view)?);
+            return Ok(self
+                .query_engine
+                .execute_with_view_cached(&cube, query, &view, dicts)?);
         }
         let key = CacheKey::new(generation, query, view);
         if let Some(hit) = self.cube_state.result_cache.get(&key) {
@@ -562,11 +577,112 @@ impl PersonalizationEngine {
         }
         let result = self
             .query_engine
-            .execute_with_view(&cube, query, &key.view)?;
+            .execute_with_view_cached(&cube, query, &key.view, dicts)?;
         self.cube_state
             .result_cache
             .insert(key, Arc::new(result.clone()));
         Ok(result)
+    }
+
+    /// Executes a batch of OLAP queries through a session's personalized
+    /// view in one shared-scan pass: cached members are answered from the
+    /// result cache, and only the misses are executed — together, against
+    /// one snapshot, sharing group-key dictionaries and per-morsel
+    /// selection vectors where the queries' filters coincide. Results are
+    /// positional (`results[i]` answers `queries[i]`) and each is
+    /// bit-identical to what [`PersonalizationEngine::query`] would have
+    /// returned for that query alone.
+    pub fn query_batch(
+        &self,
+        session_id: SessionId,
+        queries: &[Query],
+    ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+        let (active, view, min_generation, _pin) =
+            self.sessions.with_session(session_id, |state| {
+                let versions: BTreeMap<String, u64> = state
+                    .view
+                    .fact_selection_versions()
+                    .map(|(fact, version)| (fact.to_string(), version))
+                    .collect();
+                let pin = VersionPinGuard {
+                    state: Arc::clone(&self.cube_state),
+                    token: (!versions.is_empty())
+                        .then(|| self.cube_state.version_pins.pin(versions)),
+                };
+                (
+                    state.is_active(),
+                    Arc::clone(&state.view),
+                    state.min_generation,
+                    pin,
+                )
+            })?;
+        if !active {
+            return Err(CoreError::UnknownSession {
+                session: session_id,
+            });
+        }
+        self.query_batch_snapshot(queries, view, min_generation)
+    }
+
+    /// Executes a batch of OLAP queries against the full, unpersonalized
+    /// cube in one shared-scan pass.
+    pub fn query_batch_unpersonalized(
+        &self,
+        queries: &[Query],
+    ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+        self.query_batch_snapshot(queries, Arc::new(InstanceView::unrestricted()), 0)
+    }
+
+    /// The shared batched read path: one consistent `(generation, cube)`
+    /// pair for the whole batch, one locked batch lookup in the result
+    /// cache, one shared-scan execution over exactly the misses, then a
+    /// cache fill for every freshly computed result.
+    fn query_batch_snapshot(
+        &self,
+        queries: &[Query],
+        view: Arc<InstanceView>,
+        min_generation: u64,
+    ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+        let (generation, cube) = self.wait_for_generation(min_generation)?;
+        let dicts = Some((&self.cube_state.dict_cache, generation));
+        if !self.cube_state.result_cache.is_enabled() {
+            return Ok(self
+                .query_engine
+                .execute_batch_cached(&cube, queries, &view, dicts)
+                .into_iter()
+                .map(|result| result.map_err(CoreError::from))
+                .collect());
+        }
+        let keys: Vec<CacheKey> = queries
+            .iter()
+            .map(|query| CacheKey::new(generation, query, Arc::clone(&view)))
+            .collect();
+        let cached = self.cube_state.result_cache.get_batch(&keys);
+        let miss_indices: Vec<usize> = cached
+            .iter()
+            .enumerate()
+            .filter_map(|(i, hit)| hit.is_none().then_some(i))
+            .collect();
+        let misses: Vec<Query> = miss_indices.iter().map(|&i| queries[i].clone()).collect();
+        let executed = self
+            .query_engine
+            .execute_batch_cached(&cube, &misses, &view, dicts);
+        let mut results: Vec<Option<Result<QueryResult, CoreError>>> = cached
+            .into_iter()
+            .map(|hit| hit.map(|r| Ok((*r).clone())))
+            .collect();
+        for (&index, executed) in miss_indices.iter().zip(executed) {
+            if let Ok(result) = &executed {
+                self.cube_state
+                    .result_cache
+                    .insert(keys[index].clone(), Arc::new(result.clone()));
+            }
+            results[index] = Some(executed.map_err(CoreError::from));
+        }
+        Ok(results
+            .into_iter()
+            .map(|result| result.expect("every batch slot answered or executed"))
+            .collect())
     }
 
     /// Loads a consistent `(generation, cube)` pair at or above
@@ -598,6 +714,12 @@ impl PersonalizationEngine {
     /// invalidations, evictions).
     pub fn cache_stats(&self) -> CacheStats {
         self.cube_state.result_cache.stats()
+    }
+
+    /// Counters of the group-key dictionary cache (hits, misses, entries,
+    /// invalidations).
+    pub fn dict_cache_stats(&self) -> DictCacheStats {
+        self.cube_state.dict_cache.stats()
     }
 
     /// The executor configuration this engine serves queries with.
@@ -752,6 +874,9 @@ impl PersonalizationEngine {
             self.cube_state
                 .result_cache
                 .invalidate_generations_below(generation);
+            // Schema personalization may have grown dimension tables, so
+            // the cached group-key dictionaries cannot be trusted either.
+            self.cube_state.dict_cache.invalidate(generation);
         }
         self.profiles.upsert(profile);
         // Only fact-row selections consume the version map; skip the

@@ -43,4 +43,4 @@ pub use error::CoreError;
 pub use report::PersonalizationReport;
 pub use session::{SessionManager, SessionState};
 pub use sync::{ArcSwap, VersionedSwap};
-pub use web::{WebFacade, WebRequest, WebResponse};
+pub use web::{BatchEntry, WebFacade, WebRequest, WebResponse};

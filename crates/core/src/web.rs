@@ -50,6 +50,17 @@ pub enum WebRequest {
         /// Group-by keys as `(dimension, level, attribute)` triples.
         group_by: Vec<(String, String, String)>,
     },
+    /// A dashboard refresh: the front-end submits every panel's query at
+    /// once, and the engine answers them in one shared-scan batch —
+    /// cached results come from the result cache, the misses share a
+    /// single morsel-parallel pass over each fact (common filters share
+    /// selection vectors, common group-by attributes share dictionaries).
+    QueryBatch {
+        /// The session issuing the batch.
+        session: SessionId,
+        /// The panel queries, answered positionally.
+        queries: Vec<Query>,
+    },
     /// The user asks for their personalization report.
     Report {
         /// The session to report on.
@@ -107,6 +118,13 @@ pub enum WebResponse {
         rows: Vec<Vec<String>>,
         /// Facts scanned / matched, for transparency.
         facts_matched: usize,
+    },
+    /// Results of a [`WebRequest::QueryBatch`], positionally aligned with
+    /// the submitted queries: a panel whose query failed gets its own
+    /// [`BatchEntry::Error`] without poisoning its neighbours.
+    BatchResult {
+        /// One entry per submitted query, in submission order.
+        results: Vec<BatchEntry>,
     },
     /// A personalization report.
     Report(Box<PersonalizationReport>),
@@ -169,6 +187,47 @@ pub enum WebResponse {
         /// Human-readable description of the failure.
         message: String,
     },
+}
+
+/// One query's outcome inside a [`WebResponse::BatchResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchEntry {
+    /// The query succeeded; same rendering as [`WebResponse::Table`].
+    Table {
+        /// Column headers (group-by labels then measures).
+        columns: Vec<String>,
+        /// Rows of rendered cells.
+        rows: Vec<Vec<String>>,
+        /// Facts matched, for transparency.
+        facts_matched: usize,
+    },
+    /// The query failed (the rest of the batch still answered).
+    Error {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+/// Renders a query result the way [`WebResponse::Table`] does.
+fn render_table(result: &sdwp_olap::QueryResult) -> (Vec<String>, Vec<Vec<String>>) {
+    let columns = result
+        .key_names
+        .iter()
+        .chain(result.value_names.iter())
+        .cloned()
+        .collect();
+    let rows = result
+        .rows
+        .iter()
+        .map(|r| {
+            r.keys
+                .iter()
+                .chain(r.values.iter())
+                .map(CellValue::to_string)
+                .collect()
+        })
+        .collect();
+    (columns, rows)
 }
 
 /// The message-level web interface over a personalization engine.
@@ -246,26 +305,33 @@ impl WebFacade {
                     query = query.group_by(AttributeRef::new(dimension, level, attribute));
                 }
                 let result = self.engine.query(session, &query)?;
+                let (columns, rows) = render_table(&result);
                 Ok(WebResponse::Table {
-                    columns: result
-                        .key_names
-                        .iter()
-                        .chain(result.value_names.iter())
-                        .cloned()
-                        .collect(),
-                    rows: result
-                        .rows
-                        .iter()
-                        .map(|r| {
-                            r.keys
-                                .iter()
-                                .chain(r.values.iter())
-                                .map(CellValue::to_string)
-                                .collect()
-                        })
-                        .collect(),
+                    columns,
+                    rows,
                     facts_matched: result.facts_matched,
                 })
+            }
+            WebRequest::QueryBatch { session, queries } => {
+                let results = self
+                    .engine
+                    .query_batch(session, &queries)?
+                    .into_iter()
+                    .map(|result| match result {
+                        Ok(result) => {
+                            let (columns, rows) = render_table(&result);
+                            BatchEntry::Table {
+                                columns,
+                                rows,
+                                facts_matched: result.facts_matched,
+                            }
+                        }
+                        Err(error) => BatchEntry::Error {
+                            message: error.to_string(),
+                        },
+                    })
+                    .collect();
+                Ok(WebResponse::BatchResult { results })
             }
             WebRequest::Report { session } => {
                 // Rebuild a lightweight report from the current session view
@@ -517,6 +583,102 @@ mod tests {
             WebResponse::IngestStats { batches_failed, .. } => assert_eq!(batches_failed, 1),
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_batch_answers_panels_positionally() {
+        let facade = facade();
+        let session = login(&facade);
+        let by_city = Query::over("Sales")
+            .measure("UnitSales")
+            .group_by(AttributeRef::new("Store", "City", "name"));
+        let total = Query::over("Sales").measure("UnitSales");
+        let broken = Query::over("Sales").measure("NoSuchMeasure");
+        let response = facade.handle(WebRequest::QueryBatch {
+            session,
+            queries: vec![by_city.clone(), broken, total],
+        });
+        let results = match response {
+            WebResponse::BatchResult { results } => results,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(results.len(), 3);
+        // The first entry matches the single-query Aggregate rendering.
+        let single = facade.handle(WebRequest::Aggregate {
+            session,
+            fact: "Sales".into(),
+            measure: "UnitSales".into(),
+            group_by: vec![("Store".into(), "City".into(), "name".into())],
+        });
+        match (&results[0], single) {
+            (
+                BatchEntry::Table {
+                    columns,
+                    rows,
+                    facts_matched,
+                },
+                WebResponse::Table {
+                    columns: single_columns,
+                    rows: single_rows,
+                    facts_matched: single_matched,
+                },
+            ) => {
+                assert_eq!(columns, &single_columns);
+                assert_eq!(rows, &single_rows);
+                assert_eq!(facts_matched, &single_matched);
+            }
+            other => panic!("unexpected pairing {other:?}"),
+        }
+        // The broken panel fails alone; its neighbour still answers.
+        match &results[1] {
+            BatchEntry::Error { message } => assert!(message.contains("NoSuchMeasure")),
+            other => panic!("unexpected entry {other:?}"),
+        }
+        assert!(matches!(&results[2], BatchEntry::Table { .. }));
+    }
+
+    #[test]
+    fn batch_hits_result_and_dictionary_caches() {
+        let facade = facade();
+        let session = login(&facade);
+        let by_city = Query::over("Sales")
+            .measure("UnitSales")
+            .group_by(AttributeRef::new("Store", "City", "name"));
+        let by_city_cost = Query::over("Sales")
+            .measure("StoreCost")
+            .group_by(AttributeRef::new("Store", "City", "name"));
+        // Warm one of the two panels through the single-query path.
+        assert!(matches!(
+            facade.handle(WebRequest::Aggregate {
+                session,
+                fact: "Sales".into(),
+                measure: "UnitSales".into(),
+                group_by: vec![("Store".into(), "City".into(), "name".into())],
+            }),
+            WebResponse::Table { .. }
+        ));
+        let before = facade.engine().cache_stats();
+        let response = facade.handle(WebRequest::QueryBatch {
+            session,
+            queries: vec![by_city.clone(), by_city_cost.clone()],
+        });
+        assert!(matches!(response, WebResponse::BatchResult { .. }));
+        let after = facade.engine().cache_stats();
+        // The warmed panel hit; only the other was executed and inserted.
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(after.entries, before.entries + 1);
+        // Both panels group by the same attribute: the dictionary built
+        // for the warming query was shared, so the cache shows reuse.
+        let dicts = facade.engine().dict_cache_stats();
+        assert!(dicts.hits >= 1, "dictionary reused across batch members");
+        // Re-running the whole batch answers everything from the cache.
+        let again = facade.handle(WebRequest::QueryBatch {
+            session,
+            queries: vec![by_city, by_city_cost],
+        });
+        assert_eq!(response, again);
+        assert_eq!(facade.engine().cache_stats().hits, after.hits + 2);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod dashboard;
 pub mod layers;
 pub mod retail;
 pub mod scenario;
@@ -32,6 +33,7 @@ pub mod spatial;
 pub mod ticker;
 
 pub use config::ScenarioConfig;
+pub use dashboard::{dashboard_batch, OverlapRegime};
 pub use layers::GeneratedLayers;
 pub use retail::RetailData;
 pub use scenario::{PaperScenario, ScenarioBuilder};

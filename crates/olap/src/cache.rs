@@ -175,6 +175,37 @@ impl QueryCache {
         }
     }
 
+    /// Looks up a whole batch of keys under one lock acquisition,
+    /// counting one hit or miss per key. Hits refresh recency exactly as
+    /// [`QueryCache::get`] would; the returned vector is positional
+    /// (`result[i]` answers `keys[i]`), so the batch executor can scan
+    /// only the `None` slots. Duplicate keys in one batch all hit once
+    /// the first occurrence would.
+    pub fn get_batch(&self, keys: &[CacheKey]) -> Vec<Option<Arc<QueryResult>>> {
+        let mut inner = self.inner.lock().expect("query cache poisoned");
+        keys.iter()
+            .map(|key| {
+                let tick = inner.next_tick();
+                match inner.map.get_mut(key) {
+                    Some(entry) => {
+                        let previous = entry.last_used;
+                        entry.last_used = tick;
+                        let result = Arc::clone(&entry.result);
+                        if let Some(stored) = inner.recency.remove(&previous) {
+                            inner.recency.insert(tick, stored);
+                        }
+                        inner.hits += 1;
+                        Some(result)
+                    }
+                    None => {
+                        inner.misses += 1;
+                        None
+                    }
+                }
+            })
+            .collect()
+    }
+
     /// Stores a result, evicting the least-recently-used entry when full.
     /// Results whose generation fell below the invalidation floor (the
     /// query was in flight while a new cube was published) are dropped: no
@@ -480,6 +511,40 @@ mod tests {
         cache.insert(k.clone(), result(1.0));
         assert!(cache.get(&k).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn batch_lookup_answers_hits_positionally_under_one_lock() {
+        let cache = QueryCache::new(4);
+        let view = InstanceView::unrestricted();
+        cache.insert(key(1, "A", &view), result(1.0));
+        cache.insert(key(1, "C", &view), result(3.0));
+        let keys = vec![key(1, "A", &view), key(1, "B", &view), key(1, "C", &view)];
+        let found = cache.get_batch(&keys);
+        assert_eq!(
+            found[0].as_ref().unwrap().rows[0].values[0],
+            CellValue::Float(1.0)
+        );
+        assert!(found[1].is_none());
+        assert_eq!(
+            found[2].as_ref().unwrap().rows[0].values[0],
+            CellValue::Float(3.0)
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn batch_lookup_refreshes_recency() {
+        let cache = QueryCache::new(2);
+        let view = InstanceView::unrestricted();
+        cache.insert(key(1, "A", &view), result(1.0));
+        cache.insert(key(1, "B", &view), result(2.0));
+        // Batch-touch A: B becomes the LRU victim.
+        cache.get_batch(&[key(1, "A", &view)]);
+        cache.insert(key(1, "C", &view), result(3.0));
+        assert!(cache.get(&key(1, "B", &view)).is_none());
+        assert!(cache.get(&key(1, "A", &view)).is_some());
     }
 
     #[test]

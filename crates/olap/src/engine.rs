@@ -55,9 +55,11 @@
 use crate::aggregate::{Accumulator, SlotAccumulator};
 use crate::column::{Column, ColumnType};
 use crate::cube::{attribute_column, fk_column, Cube};
+use crate::dicts::{attr_key, GroupDictCache, GroupKeys, NULL_KEY};
 use crate::error::OlapError;
+use crate::hash::FxHashMap;
 use crate::kernels::NumericAgg;
-use crate::query::{Query, QueryResult, ResultRow};
+use crate::query::{AttributeRef, Query, QueryResult, ResultRow};
 use crate::table::Table;
 use crate::value::CellValue;
 use crate::view::InstanceView;
@@ -66,6 +68,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Default number of fact rows per morsel.
 pub const DEFAULT_MORSEL_ROWS: usize = 1024;
@@ -187,26 +190,19 @@ struct Resolved<'q> {
 type GroupMap = HashMap<String, (Vec<CellValue>, Vec<Accumulator>)>;
 
 /// One group-by attribute pre-resolved for the parallel path: the
-/// dimension walked once into a dense dictionary, so per-row key building
-/// is a single `u32` array index — no `HashMap` probe, no `CellValue`
-/// clone, no string append.
+/// dimension walked once into a dense dictionary ([`GroupKeys`]), so
+/// per-row key building is a single `u32` array index — no `HashMap`
+/// probe, no `CellValue` clone, no string append. The dimension-side
+/// dictionary is `Arc`-shared: within a batch, and (through
+/// [`GroupDictCache`]) across queries until the snapshot generation
+/// moves on; only the fact-side FK column index is per-query state.
 struct GroupKeyDict {
     /// Index of the fact table's FK column for the attribute's dimension
     /// (`None` falls back to the name-based `fact_member` read).
     fk_column: Option<usize>,
-    /// Member row id → dense key id. Members sharing an attribute value
-    /// (the serial reference collapses them by `CellValue::group_key`)
-    /// share a dense id.
-    member_to_key: Vec<u32>,
-    /// Dense key id → the key `CellValue`, resolved once here and read
-    /// back only at finalisation. Entry 0 is reserved for `Null`, which
-    /// is also what the serial reference reads for an out-of-range
-    /// member.
-    key_values: Vec<CellValue>,
+    /// The shared dimension-side dictionary.
+    keys: Arc<GroupKeys>,
 }
-
-/// Dense id every [`GroupKeyDict`] reserves for the `Null` key value.
-const NULL_KEY: u32 = 0;
 
 /// The grouped execution plan of one parallel query: per-attribute
 /// dictionaries plus the flat-vs-hashed path decision.
@@ -249,8 +245,8 @@ impl GroupPlan {
                 let mut value = *value;
                 let mut cells = vec![CellValue::Null; self.dicts.len()];
                 for (cell, dict) in cells.iter_mut().zip(&self.dicts).rev() {
-                    let radix = dict.key_values.len() as u128;
-                    *cell = dict.key_values[(value % radix) as usize].clone();
+                    let radix = dict.keys.key_values.len() as u128;
+                    *cell = dict.keys.key_values[(value % radix) as usize].clone();
                     value /= radix;
                 }
                 cells
@@ -258,7 +254,7 @@ impl GroupPlan {
             GroupId::Wide(ids) => ids
                 .iter()
                 .zip(&self.dicts)
-                .map(|(&dense, dict)| dict.key_values[dense as usize].clone())
+                .map(|(&dense, dict)| dict.keys.key_values[dense as usize].clone())
                 .collect(),
         }
     }
@@ -296,6 +292,58 @@ struct MorselPartial {
     groups: MorselGroups,
     facts_scanned: usize,
     facts_matched: usize,
+}
+
+/// One resolved member of a query batch.
+struct BatchQuery<'q> {
+    /// Position in the caller's batch — results go back in input order.
+    index: usize,
+    query: &'q Query,
+    resolved: Resolved<'q>,
+    plan: GroupPlan,
+    /// The query's filter class (index into its fact group's class
+    /// list).
+    class: usize,
+}
+
+/// One filter class of a fact group: the member queries whose canonical
+/// filter identity coincides, so each morsel materialises one selection
+/// vector for all of them.
+struct FilterClass {
+    /// Index (into the group's query list) of the representative whose
+    /// resolved filter state drives the shared selection. Any member
+    /// would do — equal class keys imply equal selection semantics.
+    rep: usize,
+    /// No view restriction and no filters: the selection is exactly the
+    /// live-run structure of the morsel, with no per-row work at all
+    /// (the batch analogue of the vectorised path's unrestricted fast
+    /// path, here available to every execution path).
+    unrestricted: bool,
+    /// Every member runs the vectorised ungrouped path, which consumes
+    /// contiguous runs directly — an unrestricted class then never
+    /// materialises the selection vector itself.
+    runs_only: bool,
+}
+
+/// The queries of one batch that aggregate the same fact, sharing that
+/// fact's single morsel pass.
+struct FactGroup<'q> {
+    fact: &'q str,
+    queries: Vec<BatchQuery<'q>>,
+    classes: Vec<FilterClass>,
+}
+
+/// The canonical filter identity of a query: dimension filters sorted
+/// by dimension name (they are conjunctive, so order is irrelevant —
+/// the same normalisation [`Query::canonical_key`] applies) plus the
+/// fact filter. Queries with equal keys resolve to identical allowed
+/// member sets against the same snapshot, and therefore select
+/// identical rows with identical counters and per-row errors.
+fn filter_class_key(query: &Query) -> String {
+    let mut filters: Vec<&(String, crate::filter::Filter)> =
+        query.dimension_filters.iter().collect();
+    filters.sort_by(|a, b| a.0.cmp(&b.0));
+    format!("{filters:?}|{:?}", query.fact_filter)
 }
 
 /// Executes [`Query`]s against a [`Cube`], optionally through an
@@ -339,17 +387,34 @@ impl QueryEngine {
         query: &Query,
         view: &InstanceView,
     ) -> Result<QueryResult, OlapError> {
+        self.execute_with_view_cached(cube, query, view, None)
+    }
+
+    /// [`QueryEngine::execute_with_view`] with an optional group-key
+    /// dictionary cache: `dicts` names the cache and the snapshot
+    /// generation `cube` was published at, so group-by dictionaries are
+    /// reused across queries instead of being rebuilt O(dimension
+    /// members) each time. Pass `None` to build per query.
+    pub fn execute_with_view_cached(
+        &self,
+        cube: &Cube,
+        query: &Query,
+        view: &InstanceView,
+        dicts: Option<(&GroupDictCache, u64)>,
+    ) -> Result<QueryResult, OlapError> {
         let resolved = resolve(cube, query)?;
         let fact_table = &cube.fact_table(&query.fact)?.table;
         let plan = if query.group_by.is_empty() {
             GroupPlan::ungrouped()
         } else {
+            let mut lookup = keys_lookup(dicts);
             build_group_plan(
                 cube,
                 query,
                 fact_table,
                 &resolved,
                 self.config.group_slot_limit,
+                &mut lookup,
             )
         };
         let total_rows = fact_table.len();
@@ -376,7 +441,7 @@ impl QueryEngine {
             )
         };
 
-        let mut partials: Vec<(usize, Result<MorselPartial, OlapError>)> = if workers <= 1 {
+        let partials: Vec<(usize, Result<MorselPartial, OlapError>)> = if workers <= 1 {
             scan_morsels()
         } else {
             std::thread::scope(|scope| {
@@ -388,81 +453,7 @@ impl QueryEngine {
             })
         };
 
-        // Merge the partial states in morsel-index order so the combined
-        // accumulator state (and the reported error, if any) never depends
-        // on worker scheduling. The merge works entirely on integer group
-        // ids — slot-indexed into flat totals on the dense path, an
-        // integer-keyed map otherwise; key cells are only decoded for the
-        // groups that survive.
-        partials.sort_by_key(|(morsel, _)| *morsel);
-        let mut facts_scanned = 0usize;
-        let mut facts_matched = 0usize;
-        let rows: Vec<(Vec<CellValue>, Vec<Accumulator>)> = if let Some(slots) = plan.flat {
-            let mut seen = vec![false; slots];
-            let mut totals: Vec<Vec<NumericAgg>> = resolved
-                .measures
-                .iter()
-                .map(|_| vec![NumericAgg::default(); slots])
-                .collect();
-            for (_, partial) in partials {
-                let partial = partial?;
-                facts_scanned += partial.facts_scanned;
-                facts_matched += partial.facts_matched;
-                let MorselGroups::Flat { touched, partials } = partial.groups else {
-                    unreachable!("flat plans produce flat partials");
-                };
-                for (index, &slot) in touched.iter().enumerate() {
-                    seen[slot as usize] = true;
-                    for (total, partial) in totals.iter_mut().zip(&partials) {
-                        total[slot as usize].merge(&partial[index]);
-                    }
-                }
-            }
-            (0..slots)
-                .filter(|&slot| seen[slot])
-                .map(|slot| {
-                    let accumulators = resolved
-                        .measures
-                        .iter()
-                        .zip(&totals)
-                        .map(|((_, agg), total)| {
-                            let mut acc = Accumulator::new(*agg);
-                            acc.absorb(&total[slot]);
-                            acc
-                        })
-                        .collect();
-                    (plan.decode(&GroupId::Packed(slot as u128)), accumulators)
-                })
-                .collect()
-        } else {
-            let mut groups: HashMap<GroupId, Vec<Accumulator>> = HashMap::new();
-            for (_, partial) in partials {
-                let partial = partial?;
-                facts_scanned += partial.facts_scanned;
-                facts_matched += partial.facts_matched;
-                let MorselGroups::Keyed(keyed) = partial.groups else {
-                    unreachable!("non-flat plans produce keyed partials");
-                };
-                for (key, accumulators) in keyed {
-                    match groups.entry(key) {
-                        Entry::Vacant(entry) => {
-                            entry.insert(accumulators);
-                        }
-                        Entry::Occupied(mut entry) => {
-                            for (merged, partial_acc) in
-                                entry.get_mut().iter_mut().zip(accumulators.iter())
-                            {
-                                merged.merge(partial_acc);
-                            }
-                        }
-                    }
-                }
-            }
-            groups
-                .into_iter()
-                .map(|(id, accumulators)| (plan.decode(&id), accumulators))
-                .collect()
-        };
+        let (rows, facts_scanned, facts_matched) = merge_partials(&resolved, &plan, partials)?;
         Ok(materialise(
             query,
             &resolved,
@@ -470,6 +461,221 @@ impl QueryEngine {
             facts_scanned,
             facts_matched,
         ))
+    }
+
+    /// Executes a batch of queries against one snapshot in a single
+    /// shared morsel pass, without personalization. See
+    /// [`QueryEngine::execute_batch_with_view`].
+    pub fn execute_batch(
+        &self,
+        cube: &Cube,
+        queries: &[Query],
+    ) -> Vec<Result<QueryResult, OlapError>> {
+        self.execute_batch_cached(cube, queries, &InstanceView::unrestricted(), None)
+    }
+
+    /// Executes a batch of queries through one personalized view in a
+    /// single shared pass over each fact table (the GLADE-style
+    /// multi-query scan).
+    ///
+    /// All queries are resolved against the snapshot up front (sharing
+    /// group-key dictionaries per attribute); the queries are grouped by
+    /// fact, each fact's rows are scanned **once** morsel-parallel, and
+    /// within a morsel one selection vector is materialised per
+    /// *filter class* — queries whose canonicalised filter sets coincide
+    /// share it — then fed to every member query's own accumulation path
+    /// (vectorised / flat-slot / hashed, the same choice its standalone
+    /// execution makes). Per-query partials merge in morsel-index order,
+    /// so **every result is bit-identical to the query's standalone
+    /// [`QueryEngine::execute_with_view`] execution** — the
+    /// `batch_equivalence` property suite enforces this.
+    ///
+    /// Per-query errors (resolution or scan) come back in the query's
+    /// result slot; one query's failure never poisons its batch mates.
+    pub fn execute_batch_with_view(
+        &self,
+        cube: &Cube,
+        queries: &[Query],
+        view: &InstanceView,
+    ) -> Vec<Result<QueryResult, OlapError>> {
+        self.execute_batch_cached(cube, queries, view, None)
+    }
+
+    /// [`QueryEngine::execute_batch_with_view`] with an optional
+    /// group-key dictionary cache (see
+    /// [`QueryEngine::execute_with_view_cached`]); within the batch,
+    /// dictionaries are shared per attribute even without a cache.
+    pub fn execute_batch_cached(
+        &self,
+        cube: &Cube,
+        queries: &[Query],
+        view: &InstanceView,
+        dicts: Option<(&GroupDictCache, u64)>,
+    ) -> Vec<Result<QueryResult, OlapError>> {
+        let mut results: Vec<Option<Result<QueryResult, OlapError>>> =
+            (0..queries.len()).map(|_| None).collect();
+
+        // Phase 1: resolve and plan every query up front. Resolution
+        // errors land in their result slot immediately; the scan only
+        // sees the survivors. Group-key dictionaries are memoised per
+        // attribute across the whole batch (and served from `dicts`
+        // across batches, when given).
+        let mut base_lookup = keys_lookup(dicts);
+        let mut shared_keys: FxHashMap<(String, String, String), Arc<GroupKeys>> =
+            FxHashMap::default();
+        let mut groups_by_fact: Vec<FactGroup<'_>> = Vec::new();
+        let mut fact_index: HashMap<&str, usize> = HashMap::new();
+        for (index, query) in queries.iter().enumerate() {
+            let resolved = match resolve(cube, query) {
+                Ok(resolved) => resolved,
+                Err(error) => {
+                    results[index] = Some(Err(error));
+                    continue;
+                }
+            };
+            let fact_table = &cube
+                .fact_table(&query.fact)
+                .expect("resolve validated the fact")
+                .table;
+            let plan = if query.group_by.is_empty() {
+                GroupPlan::ungrouped()
+            } else {
+                let mut lookup = |cube: &Cube, attr: &AttributeRef| {
+                    let key = attr_key(attr);
+                    if let Some(keys) = shared_keys.get(&key) {
+                        return Ok(Arc::clone(keys));
+                    }
+                    let keys = base_lookup(cube, attr)?;
+                    shared_keys.insert(key, Arc::clone(&keys));
+                    Ok(keys)
+                };
+                build_group_plan(
+                    cube,
+                    query,
+                    fact_table,
+                    &resolved,
+                    self.config.group_slot_limit,
+                    &mut lookup,
+                )
+            };
+            let at = *fact_index.entry(query.fact.as_str()).or_insert_with(|| {
+                groups_by_fact.push(FactGroup {
+                    fact: query.fact.as_str(),
+                    queries: Vec::new(),
+                    classes: Vec::new(),
+                });
+                groups_by_fact.len() - 1
+            });
+            groups_by_fact[at].queries.push(BatchQuery {
+                index,
+                query,
+                resolved,
+                plan,
+                class: 0,
+            });
+        }
+
+        // Phase 2: assign filter classes within each fact group. Two
+        // queries land in the same class exactly when their canonical
+        // filter identity coincides — identical allowed member sets,
+        // identical counters, identical per-row selection errors — so one
+        // selection vector per morsel serves the whole class.
+        for group in &mut groups_by_fact {
+            let mut class_ids: HashMap<String, usize> = HashMap::new();
+            for j in 0..group.queries.len() {
+                let key = filter_class_key(group.queries[j].query);
+                let class = match class_ids.entry(key) {
+                    Entry::Occupied(entry) => {
+                        let class = *entry.get();
+                        group.classes[class].runs_only &= group.queries[j].resolved.vectorised;
+                        class
+                    }
+                    Entry::Vacant(entry) => {
+                        let class = group.classes.len();
+                        let member = &group.queries[j];
+                        group.classes.push(FilterClass {
+                            rep: j,
+                            unrestricted: view.is_unrestricted()
+                                && member.resolved.allowed_members.is_empty()
+                                && member.query.fact_filter.is_none(),
+                            runs_only: member.resolved.vectorised,
+                        });
+                        entry.insert(class);
+                        class
+                    }
+                };
+                group.queries[j].class = class;
+            }
+        }
+
+        // Phase 3: one morsel-parallel pass per fact group, every worker
+        // producing all member queries' partials for its morsels; then
+        // per-query merges in morsel order (identical to standalone).
+        for group in &groups_by_fact {
+            let fact_table = &cube
+                .fact_table(group.fact)
+                .expect("resolve validated the fact")
+                .table;
+            let total_rows = fact_table.len();
+            let morsel_rows = self.config.morsel_rows.max(1);
+            let morsel_count = total_rows.div_ceil(morsel_rows);
+            let workers = self
+                .config
+                .effective_workers()
+                .clamp(1, morsel_count.max(1));
+            let next_morsel = AtomicUsize::new(0);
+            let scan_morsels = || {
+                scan_assigned_batch_morsels(
+                    cube,
+                    view,
+                    group,
+                    fact_table,
+                    &next_morsel,
+                    morsel_count,
+                    morsel_rows,
+                    total_rows,
+                )
+            };
+            let collected: Vec<(usize, Vec<Result<MorselPartial, OlapError>>)> = if workers <= 1 {
+                scan_morsels()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers).map(|_| scope.spawn(scan_morsels)).collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|handle| handle.join().expect("batch morsel worker panicked"))
+                        .collect()
+                })
+            };
+            let mut per_query: Vec<Vec<(usize, Result<MorselPartial, OlapError>)>> = group
+                .queries
+                .iter()
+                .map(|_| Vec::with_capacity(morsel_count))
+                .collect();
+            for (morsel, parts) in collected {
+                for (j, part) in parts.into_iter().enumerate() {
+                    per_query[j].push((morsel, part));
+                }
+            }
+            for (member, partials) in group.queries.iter().zip(per_query) {
+                let outcome = merge_partials(&member.resolved, &member.plan, partials).map(
+                    |(rows, facts_scanned, facts_matched)| {
+                        materialise(
+                            member.query,
+                            &member.resolved,
+                            rows,
+                            facts_scanned,
+                            facts_matched,
+                        )
+                    },
+                );
+                results[member.index] = Some(outcome);
+            }
+        }
+        results
+            .into_iter()
+            .map(|result| result.expect("every batch query resolved or executed"))
+            .collect()
     }
 
     /// Executes a query serially, without personalization — the
@@ -648,8 +854,25 @@ fn resolve<'q>(cube: &Cube, query: &'q Query) -> Result<Resolved<'q>, OlapError>
     })
 }
 
+/// The group planner's source of dimension-side dictionaries: a plain
+/// per-query build, the generation-keyed [`GroupDictCache`], or a
+/// batch-local memo layered on top of either. [`GroupKeys::build`] is
+/// deterministic, so every source yields interchangeable dictionaries
+/// (and, for a broken attribute, the same error).
+type KeysLookup<'a> = dyn FnMut(&Cube, &AttributeRef) -> Result<Arc<GroupKeys>, OlapError> + 'a;
+
+fn keys_lookup<'a>(
+    dicts: Option<(&'a GroupDictCache, u64)>,
+) -> impl FnMut(&Cube, &AttributeRef) -> Result<Arc<GroupKeys>, OlapError> + 'a {
+    move |cube, attr| match dicts {
+        Some((cache, generation)) => cache.get_or_build(generation, cube, attr),
+        None => GroupKeys::build(cube, attr).map(Arc::new),
+    }
+}
+
 /// Builds the grouped execution plan: one dense dictionary per group-by
-/// attribute (the dimension table walked once per query) plus the
+/// attribute (obtained through `lookup` — built, memoised within a
+/// batch, or served from the generation-keyed cache) plus the
 /// flat-vs-hashed decision. Never fails — a dictionary that cannot be
 /// built (a schema attribute with no backing column, impossible for cubes
 /// loaded through [`Cube`]'s constructors) is recorded and replayed with
@@ -660,12 +883,14 @@ fn build_group_plan(
     fact_table: &Table,
     resolved: &Resolved<'_>,
     group_slot_limit: usize,
+    lookup: &mut KeysLookup<'_>,
 ) -> GroupPlan {
     let mut dicts = Vec::with_capacity(query.group_by.len());
     let mut error = None;
     for (index, attr) in query.group_by.iter().enumerate() {
-        match build_group_dict(cube, fact_table, attr) {
-            Ok(dict) => dicts.push(dict),
+        let fk_column = fact_table.column_index(&fk_column(&attr.dimension));
+        match lookup(cube, attr) {
+            Ok(keys) => dicts.push(GroupKeyDict { fk_column, keys }),
             Err(e) => {
                 error = Some((index, e));
                 break;
@@ -673,7 +898,7 @@ fn build_group_plan(
         }
     }
     let cardinality = dicts.iter().try_fold(1u128, |product, dict| {
-        product.checked_mul(dict.key_values.len() as u128)
+        product.checked_mul(dict.keys.key_values.len() as u128)
     });
     let flat = match (&error, cardinality) {
         (None, Some(slots))
@@ -690,63 +915,6 @@ fn build_group_plan(
         cardinality,
         flat,
     }
-}
-
-/// Walks one group-by attribute's dimension table into a dense
-/// dictionary. Members sharing a key value (by `CellValue::group_key`,
-/// the serial reference's grouping identity) share a dense id; id 0 is
-/// reserved for `Null`.
-fn build_group_dict(
-    cube: &Cube,
-    fact_table: &Table,
-    attr: &crate::query::AttributeRef,
-) -> Result<GroupKeyDict, OlapError> {
-    let fk_col = fact_table.column_index(&fk_column(&attr.dimension));
-    let table = &cube.dimension_table(&attr.dimension)?.table;
-    let column = table.column(&attribute_column(&attr.level, &attr.attribute))?;
-    // Text attributes are already dictionary-encoded in storage, and the
-    // interner guarantees distinct codes ↔ distinct strings — exactly the
-    // grouping identity `group_key` provides — so the dense dictionary is
-    // the storage dictionary shifted by the reserved null id, with no
-    // per-member string materialisation at all.
-    if let Column::Text { codes, dictionary } = column {
-        let mut key_values = Vec::with_capacity(dictionary.len() + 1);
-        key_values.push(CellValue::Null);
-        for code in 0..dictionary.len() as u32 {
-            let text = dictionary.resolve(code).expect("codes are dense");
-            key_values.push(CellValue::Text(text.to_string()));
-        }
-        let member_to_key = (0..table.len())
-            .map(|member| codes.get(member).map_or(NULL_KEY, |code| code + 1))
-            .collect();
-        return Ok(GroupKeyDict {
-            fk_column: fk_col,
-            member_to_key,
-            key_values,
-        });
-    }
-    let mut key_values = vec![CellValue::Null];
-    let mut interned: HashMap<String, u32> = HashMap::new();
-    interned.insert(CellValue::Null.group_key(), NULL_KEY);
-    let mut member_to_key = Vec::with_capacity(table.len());
-    for member in 0..table.len() {
-        let cell = column.get(member);
-        let dense = match interned.entry(cell.group_key()) {
-            Entry::Occupied(entry) => *entry.get(),
-            Entry::Vacant(entry) => {
-                let dense = key_values.len() as u32;
-                key_values.push(cell);
-                entry.insert(dense);
-                dense
-            }
-        };
-        member_to_key.push(dense);
-    }
-    Ok(GroupKeyDict {
-        fk_column: fk_col,
-        member_to_key,
-        key_values,
-    })
 }
 
 /// Scans one contiguous row range, accumulating into `groups` — the
@@ -863,6 +1031,7 @@ fn scan_morsel(
     plan: &GroupPlan,
     fact_table: &Table,
     rows: Range<usize>,
+    sel: &mut Vec<u32>,
     scratch: &mut Option<FlatScratch>,
 ) -> Result<MorselPartial, OlapError> {
     if resolved.vectorised {
@@ -874,26 +1043,66 @@ fn scan_morsel(
             facts_scanned,
             facts_matched,
         })
-    } else if let Some(scratch) = scratch {
-        scan_morsel_flat(cube, query, view, resolved, plan, fact_table, rows, scratch)
     } else {
-        let mut groups = Vec::new();
-        let (facts_scanned, facts_matched) = scan_morsel_hashed(
+        // Selection first (shared with the batch executor), then the
+        // grouped accumulation path the plan chose.
+        let (facts_scanned, facts_matched) =
+            select_rows(cube, query, view, resolved, fact_table, rows, sel)?;
+        if let Some(scratch) = scratch {
+            accumulate_flat(
+                cube,
+                query,
+                resolved,
+                plan,
+                fact_table,
+                sel,
+                facts_scanned,
+                facts_matched,
+                scratch,
+            )
+        } else {
+            let mut groups = Vec::new();
+            accumulate_hashed(cube, query, resolved, plan, fact_table, sel, &mut groups)?;
+            Ok(MorselPartial {
+                groups: MorselGroups::Keyed(groups),
+                facts_scanned,
+                facts_matched,
+            })
+        }
+    }
+}
+
+/// Materialises one morsel's selection vector — the surviving row ids
+/// after liveness, view and filter checks, through the shared
+/// [`row_selected`] semantics — and returns the morsel's counters. One
+/// call serves every query of a batch filter class.
+fn select_rows(
+    cube: &Cube,
+    query: &Query,
+    view: &InstanceView,
+    resolved: &Resolved<'_>,
+    fact_table: &Table,
+    rows: Range<usize>,
+    sel: &mut Vec<u32>,
+) -> Result<(usize, usize), OlapError> {
+    let mut facts_scanned = 0usize;
+    let mut facts_matched = 0usize;
+    sel.clear();
+    for fact_row in rows {
+        if row_selected(
             cube,
             query,
             view,
             resolved,
-            plan,
             fact_table,
-            rows,
-            &mut groups,
-        )?;
-        Ok(MorselPartial {
-            groups: MorselGroups::Keyed(groups),
-            facts_scanned,
-            facts_matched,
-        })
+            fact_row,
+            &mut facts_scanned,
+            &mut facts_matched,
+        )? {
+            sel.push(fact_row as u32);
+        }
     }
+    Ok((facts_scanned, facts_matched))
 }
 
 /// A single-row typed FK read: the member id a fact row points to,
@@ -969,7 +1178,12 @@ fn dense_key(
         Some(index) => member_at(fact_table.column_at(index), fact_row)?,
         None => cube.fact_member(&query.fact, fact_row, dimension)?,
     };
-    Ok(dict.member_to_key.get(member).copied().unwrap_or(NULL_KEY))
+    Ok(dict
+        .keys
+        .member_to_key
+        .get(member)
+        .copied()
+        .unwrap_or(NULL_KEY))
 }
 
 /// The integer group id of one fact row, built attribute by attribute in
@@ -995,7 +1209,7 @@ fn row_group_id(
         };
         let dense = dense_key(cube, query, dict, &attr.dimension, fact_table, fact_row)?;
         match plan.cardinality {
-            Some(_) => packed = packed * dict.key_values.len() as u128 + u128::from(dense),
+            Some(_) => packed = packed * dict.keys.key_values.len() as u128 + u128::from(dense),
             None => wide.push(dense),
         }
     }
@@ -1005,40 +1219,26 @@ fn row_group_id(
     })
 }
 
-/// The integer-keyed hashed morsel scan: the fallback for group
-/// cardinalities above the flat-slot limit and for measures that need
-/// full values (COUNT DISTINCT, text columns). Identical control flow to
-/// [`scan_range`], but group keys are dense integer ids — no string
-/// keys, no per-row key-cell clones — and numeric measures are fed as
-/// bare numbers through pre-resolved column indices.
-#[allow(clippy::too_many_arguments)]
-fn scan_morsel_hashed(
+/// The integer-keyed hashed accumulation over a morsel's selection
+/// vector: the fallback for group cardinalities above the flat-slot
+/// limit and for measures that need full values (COUNT DISTINCT, text
+/// columns). Accumulation order is the selection's ascending row order —
+/// identical to [`scan_range`]'s — but group keys are dense integer ids
+/// fed through the fast integer hasher ([`FxHashMap`]), and numeric
+/// measures are read as bare numbers through pre-resolved column
+/// indices.
+fn accumulate_hashed(
     cube: &Cube,
     query: &Query,
-    view: &InstanceView,
     resolved: &Resolved<'_>,
     plan: &GroupPlan,
     fact_table: &Table,
-    rows: Range<usize>,
+    sel: &[u32],
     out: &mut Vec<(GroupId, Vec<Accumulator>)>,
-) -> Result<(usize, usize), OlapError> {
-    let mut facts_scanned = 0usize;
-    let mut facts_matched = 0usize;
-    let mut groups: HashMap<GroupId, usize> = HashMap::new();
-    for fact_row in rows {
-        if !row_selected(
-            cube,
-            query,
-            view,
-            resolved,
-            fact_table,
-            fact_row,
-            &mut facts_scanned,
-            &mut facts_matched,
-        )? {
-            continue;
-        }
-
+) -> Result<(), OlapError> {
+    let mut groups: FxHashMap<GroupId, usize> = FxHashMap::default();
+    for &row in sel {
+        let fact_row = row as usize;
         let id = row_group_id(cube, query, plan, fact_table, fact_row)?;
         let slot = match groups.entry(id) {
             Entry::Occupied(entry) => *entry.get(),
@@ -1074,7 +1274,7 @@ fn scan_morsel_hashed(
             }
         }
     }
-    Ok((facts_scanned, facts_matched))
+    Ok(())
 }
 
 /// Reusable per-worker buffers of the flat grouped scan, sized once per
@@ -1082,11 +1282,11 @@ fn scan_morsel_hashed(
 /// between morsels through the touched-slot list — never an
 /// O(cardinality) clear per morsel.
 struct FlatScratch {
-    /// Selection vector: surviving row ids of the current morsel.
-    sel: Vec<u32>,
-    /// Group slot per selected row (parallel to `sel`).
+    /// Group slot per selected row (parallel to the selection vector,
+    /// which lives outside the scratch: on the batch path one selection
+    /// is shared by a whole filter class).
     slots: Vec<u32>,
-    /// FK gather buffer (member ids, parallel to `sel`).
+    /// FK gather buffer (member ids, parallel to the selection vector).
     members: Vec<u32>,
     /// Gathered non-null measure values and their slots.
     values: Vec<f64>,
@@ -1104,7 +1304,6 @@ struct FlatScratch {
 impl FlatScratch {
     fn new(resolved: &Resolved<'_>, slots: usize) -> Self {
         FlatScratch {
-            sel: Vec::new(),
             slots: Vec::new(),
             members: Vec::new(),
             values: Vec::new(),
@@ -1120,50 +1319,32 @@ impl FlatScratch {
     }
 }
 
-/// The flat dense-slot grouped morsel scan. Three passes over the
-/// morsel, each vectorisable:
+/// The flat dense-slot grouped accumulation over a morsel's selection
+/// vector. Two passes, each vectorisable:
 ///
-/// 1. materialise the **selection vector** (liveness + view + filters,
-///    via the shared [`row_selected`]);
-/// 2. resolve the FK columns through typed chunk slices
+/// 1. resolve the FK columns through typed chunk slices
 ///    ([`Column::gather_members`]) and fold the per-attribute dense ids
 ///    into one mixed-radix **slot vector**;
-/// 3. per measure, gather the column into a compacted null-free
+/// 2. per measure, gather the column into a compacted null-free
 ///    `(values, slots)` pair ([`Column::gather_numeric`]) and run the
 ///    grouped slice kernel into the per-slot vectors.
 ///
 /// The morsel's partial is then read out of the touched slots in
 /// first-occurrence order, as per-measure [`NumericAgg`] columns the
-/// merge phase adds slot-wise into flat totals.
+/// merge phase adds slot-wise into live-group totals.
 #[allow(clippy::too_many_arguments)]
-fn scan_morsel_flat(
+fn accumulate_flat(
     cube: &Cube,
     query: &Query,
-    view: &InstanceView,
     resolved: &Resolved<'_>,
     plan: &GroupPlan,
     fact_table: &Table,
-    rows: Range<usize>,
+    sel: &[u32],
+    facts_scanned: usize,
+    facts_matched: usize,
     scratch: &mut FlatScratch,
 ) -> Result<MorselPartial, OlapError> {
-    let mut facts_scanned = 0usize;
-    let mut facts_matched = 0usize;
-    scratch.sel.clear();
-    for fact_row in rows {
-        if row_selected(
-            cube,
-            query,
-            view,
-            resolved,
-            fact_table,
-            fact_row,
-            &mut facts_scanned,
-            &mut facts_matched,
-        )? {
-            scratch.sel.push(fact_row as u32);
-        }
-    }
-    if scratch.sel.is_empty() {
+    if sel.is_empty() {
         return Ok(MorselPartial {
             groups: MorselGroups::Flat {
                 touched: Vec::new(),
@@ -1176,23 +1357,24 @@ fn scan_morsel_flat(
 
     // Slot vector: one typed FK gather per attribute, folded mixed-radix.
     scratch.slots.clear();
-    scratch.slots.resize(scratch.sel.len(), 0);
+    scratch.slots.resize(sel.len(), 0);
     for (dict, attr) in plan.dicts.iter().zip(&query.group_by) {
         scratch.members.clear();
         match dict.fk_column {
             Some(index) => fact_table
                 .column_at(index)
-                .gather_members(&scratch.sel, &mut scratch.members)?,
+                .gather_members(sel, &mut scratch.members)?,
             None => {
-                for &row in &scratch.sel {
+                for &row in sel {
                     let member = cube.fact_member(&query.fact, row as usize, &attr.dimension)?;
                     scratch.members.push(member.min(u32::MAX as usize) as u32);
                 }
             }
         }
-        let radix = dict.key_values.len() as u32;
+        let radix = dict.keys.key_values.len() as u32;
         for (slot, &member) in scratch.slots.iter_mut().zip(&scratch.members) {
             let dense = dict
+                .keys
                 .member_to_key
                 .get(member as usize)
                 .copied()
@@ -1218,7 +1400,7 @@ fn scan_morsel_flat(
         scratch.values.clear();
         scratch.value_slots.clear();
         fact_table.column_at(index).gather_numeric(
-            &scratch.sel,
+            sel,
             &scratch.slots,
             &mut scratch.values,
             &mut scratch.value_slots,
@@ -1327,19 +1509,70 @@ fn scan_morsel_vectorised(
     // Like the reference loop, the single (ungrouped) group exists only
     // when at least one row matched.
     if facts_matched > 0 {
-        let accumulators = resolved
-            .measures
-            .iter()
-            .zip(&partials)
-            .map(|((_, agg), partial)| {
-                let mut acc = Accumulator::new(*agg);
-                acc.absorb(partial);
-                acc
-            })
-            .collect();
-        groups.push((GroupId::Packed(0), accumulators));
+        groups.push((GroupId::Packed(0), absorb_partials(resolved, &partials)));
     }
     Ok((facts_scanned, facts_matched))
+}
+
+/// One accumulator per measure, seeded from the kernels' partial states.
+fn absorb_partials(resolved: &Resolved<'_>, partials: &[NumericAgg]) -> Vec<Accumulator> {
+    resolved
+        .measures
+        .iter()
+        .zip(partials)
+        .map(|((_, agg), partial)| {
+            let mut acc = Accumulator::new(*agg);
+            acc.absorb(partial);
+            acc
+        })
+        .collect()
+}
+
+/// Maximal contiguous runs of a sorted selection vector — the batch
+/// path's equivalent of [`scan_morsel_vectorised`]'s inline run
+/// detection, so both feed the slice kernels identical sub-slices (and
+/// therefore produce bit-identical float partials).
+fn selection_runs(sel: &[u32]) -> Vec<Range<usize>> {
+    let mut runs = Vec::new();
+    let mut rows = sel.iter().map(|&row| row as usize);
+    let Some(first) = rows.next() else {
+        return runs;
+    };
+    let mut start = first;
+    let mut prev = first;
+    for row in rows {
+        if row != prev + 1 {
+            runs.push(start..prev + 1);
+            start = row;
+        }
+        prev = row;
+    }
+    runs.push(start..prev + 1);
+    runs
+}
+
+/// The vectorised ungrouped partial over pre-computed selected-row runs
+/// (the batch path; counters come from the shared class selection).
+fn vectorised_partial(
+    fact_table: &Table,
+    resolved: &Resolved<'_>,
+    runs: &[Range<usize>],
+    facts_scanned: usize,
+    facts_matched: usize,
+) -> MorselPartial {
+    let mut partials: Vec<NumericAgg> = vec![NumericAgg::default(); resolved.plans.len()];
+    for run in runs {
+        accumulate_run(fact_table, resolved, &mut partials, run.clone());
+    }
+    let mut groups = Vec::new();
+    if facts_matched > 0 {
+        groups.push((GroupId::Packed(0), absorb_partials(resolved, &partials)));
+    }
+    MorselPartial {
+        groups: MorselGroups::Keyed(groups),
+        facts_scanned,
+        facts_matched,
+    }
 }
 
 /// The per-worker loop of the parallel pipeline: pulls morsel indices
@@ -1362,9 +1595,10 @@ fn scan_assigned_morsels(
     total_rows: usize,
 ) -> Vec<(usize, Result<MorselPartial, OlapError>)> {
     let mut out = Vec::new();
-    // Worker-local flat-slot buffers, sized once and reused across this
-    // worker's morsels (reset through the touched list, not by clearing
-    // whole slot vectors).
+    // Worker-local selection and flat-slot buffers, sized once and
+    // reused across this worker's morsels (the slot state resets through
+    // the touched list, not by clearing whole slot vectors).
+    let mut sel: Vec<u32> = Vec::new();
     let mut scratch = plan.flat.map(|slots| FlatScratch::new(resolved, slots));
     loop {
         let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
@@ -1381,11 +1615,292 @@ fn scan_assigned_morsels(
             plan,
             fact_table,
             start..end,
+            &mut sel,
             &mut scratch,
         );
         out.push((morsel, partial));
     }
     out
+}
+
+/// The per-worker loop of the batch pipeline: like
+/// [`scan_assigned_morsels`], but each pulled morsel is scanned once for
+/// the whole fact group — one selection per filter class, one partial
+/// per member query.
+#[allow(clippy::too_many_arguments)]
+fn scan_assigned_batch_morsels(
+    cube: &Cube,
+    view: &InstanceView,
+    group: &FactGroup<'_>,
+    fact_table: &Table,
+    next_morsel: &AtomicUsize,
+    morsel_count: usize,
+    morsel_rows: usize,
+    total_rows: usize,
+) -> Vec<(usize, Vec<Result<MorselPartial, OlapError>>)> {
+    let mut out = Vec::new();
+    let mut sels: Vec<Vec<u32>> = group.classes.iter().map(|_| Vec::new()).collect();
+    let mut scratches: Vec<Option<FlatScratch>> = group
+        .queries
+        .iter()
+        .map(|member| {
+            member
+                .plan
+                .flat
+                .map(|slots| FlatScratch::new(&member.resolved, slots))
+        })
+        .collect();
+    loop {
+        let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
+        if morsel >= morsel_count {
+            break;
+        }
+        let start = morsel * morsel_rows;
+        let end = (start + morsel_rows).min(total_rows);
+        let partials = scan_batch_morsel(
+            cube,
+            view,
+            group,
+            fact_table,
+            start..end,
+            &mut sels,
+            &mut scratches,
+        );
+        out.push((morsel, partials));
+    }
+    out
+}
+
+/// One class's shared selection outcome for one morsel.
+struct ClassSelection {
+    facts_scanned: usize,
+    facts_matched: usize,
+    /// Pre-computed live runs, present only for unrestricted classes
+    /// (where they double as the selection).
+    runs: Option<Vec<Range<usize>>>,
+}
+
+/// One morsel of the batch pipeline: selection once per filter class,
+/// then each member query's own accumulation path over its class's
+/// shared selection. Returns one partial per member query, in group
+/// order. A selection error is the whole class's error (each member
+/// would have hit it at the same row standalone); accumulation errors
+/// stay per query.
+fn scan_batch_morsel(
+    cube: &Cube,
+    view: &InstanceView,
+    group: &FactGroup<'_>,
+    fact_table: &Table,
+    rows: Range<usize>,
+    sels: &mut [Vec<u32>],
+    scratches: &mut [Option<FlatScratch>],
+) -> Vec<Result<MorselPartial, OlapError>> {
+    // Phase 1: one selection per filter class.
+    let mut selections: Vec<Result<ClassSelection, OlapError>> =
+        Vec::with_capacity(group.classes.len());
+    for (c, class) in group.classes.iter().enumerate() {
+        let rep = &group.queries[class.rep];
+        if class.unrestricted {
+            // Tombstone gaps are the only boundaries: take the live-run
+            // structure directly — no per-row work. `row_selected` with
+            // no filters and an unrestricted view selects exactly the
+            // live rows (and cannot error), so expanding the runs yields
+            // the very vector `select_rows` would have built.
+            let runs = fact_table.live_runs(rows.clone());
+            let live: usize = runs.iter().map(|run| run.len()).sum();
+            if !class.runs_only {
+                let sel = &mut sels[c];
+                sel.clear();
+                for run in &runs {
+                    sel.extend(run.clone().map(|row| row as u32));
+                }
+            }
+            selections.push(Ok(ClassSelection {
+                facts_scanned: live,
+                facts_matched: live,
+                runs: Some(runs),
+            }));
+        } else {
+            selections.push(
+                select_rows(
+                    cube,
+                    rep.query,
+                    view,
+                    &rep.resolved,
+                    fact_table,
+                    rows.clone(),
+                    &mut sels[c],
+                )
+                .map(|(facts_scanned, facts_matched)| ClassSelection {
+                    facts_scanned,
+                    facts_matched,
+                    runs: None,
+                }),
+            );
+        }
+    }
+
+    // Phase 2: per-query accumulation over the shared selections.
+    group
+        .queries
+        .iter()
+        .zip(scratches.iter_mut())
+        .map(|(member, scratch)| {
+            let selection = match &selections[member.class] {
+                Ok(selection) => selection,
+                Err(error) => return Err(error.clone()),
+            };
+            let (facts_scanned, facts_matched) = (selection.facts_scanned, selection.facts_matched);
+            let sel = sels[member.class].as_slice();
+            if member.resolved.vectorised {
+                let derived;
+                let runs: &[Range<usize>] = match &selection.runs {
+                    Some(runs) => runs,
+                    None => {
+                        derived = selection_runs(sel);
+                        &derived
+                    }
+                };
+                Ok(vectorised_partial(
+                    fact_table,
+                    &member.resolved,
+                    runs,
+                    facts_scanned,
+                    facts_matched,
+                ))
+            } else if let Some(scratch) = scratch {
+                accumulate_flat(
+                    cube,
+                    member.query,
+                    &member.resolved,
+                    &member.plan,
+                    fact_table,
+                    sel,
+                    facts_scanned,
+                    facts_matched,
+                    scratch,
+                )
+            } else {
+                let mut groups = Vec::new();
+                accumulate_hashed(
+                    cube,
+                    member.query,
+                    &member.resolved,
+                    &member.plan,
+                    fact_table,
+                    sel,
+                    &mut groups,
+                )?;
+                Ok(MorselPartial {
+                    groups: MorselGroups::Keyed(groups),
+                    facts_scanned,
+                    facts_matched,
+                })
+            }
+        })
+        .collect()
+}
+
+/// Merges per-morsel partials **in morsel-index order** into final group
+/// rows plus the query's counters — shared verbatim by the standalone
+/// and batch executors, so a batched query combines its accumulator
+/// state (and reports the lowest-indexed morsel's error) exactly as its
+/// standalone execution does. The merge works entirely on integer group
+/// ids; key cells are decoded only for the groups that survive.
+///
+/// On the flat path the merge state is keyed by touched slot (a fast
+/// integer-hashed index into first-occurrence-ordered live-group
+/// columns), so its cost scales with the groups the morsels actually
+/// produced — not with the plan's slot-space cardinality.
+#[allow(clippy::type_complexity)]
+fn merge_partials(
+    resolved: &Resolved<'_>,
+    plan: &GroupPlan,
+    mut partials: Vec<(usize, Result<MorselPartial, OlapError>)>,
+) -> Result<(Vec<(Vec<CellValue>, Vec<Accumulator>)>, usize, usize), OlapError> {
+    partials.sort_by_key(|(morsel, _)| *morsel);
+    let mut facts_scanned = 0usize;
+    let mut facts_matched = 0usize;
+    let rows: Vec<(Vec<CellValue>, Vec<Accumulator>)> = if plan.flat.is_some() {
+        let mut slot_index: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut live_slots: Vec<u32> = Vec::new();
+        let mut totals: Vec<Vec<NumericAgg>> = vec![Vec::new(); resolved.measures.len()];
+        for (_, partial) in partials {
+            let partial = partial?;
+            facts_scanned += partial.facts_scanned;
+            facts_matched += partial.facts_matched;
+            let MorselGroups::Flat { touched, partials } = partial.groups else {
+                unreachable!("flat plans produce flat partials");
+            };
+            for (index, &slot) in touched.iter().enumerate() {
+                let at = match slot_index.entry(slot) {
+                    Entry::Occupied(entry) => *entry.get(),
+                    Entry::Vacant(entry) => {
+                        let at = live_slots.len();
+                        live_slots.push(slot);
+                        for total in totals.iter_mut() {
+                            total.push(NumericAgg::default());
+                        }
+                        entry.insert(at);
+                        at
+                    }
+                };
+                for (total, partial) in totals.iter_mut().zip(&partials) {
+                    total[at].merge(&partial[index]);
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..live_slots.len()).collect();
+        order.sort_unstable_by_key(|&at| live_slots[at]);
+        order
+            .into_iter()
+            .map(|at| {
+                let accumulators = resolved
+                    .measures
+                    .iter()
+                    .zip(&totals)
+                    .map(|((_, agg), total)| {
+                        let mut acc = Accumulator::new(*agg);
+                        acc.absorb(&total[at]);
+                        acc
+                    })
+                    .collect();
+                (
+                    plan.decode(&GroupId::Packed(live_slots[at] as u128)),
+                    accumulators,
+                )
+            })
+            .collect()
+    } else {
+        let mut groups: FxHashMap<GroupId, Vec<Accumulator>> = FxHashMap::default();
+        for (_, partial) in partials {
+            let partial = partial?;
+            facts_scanned += partial.facts_scanned;
+            facts_matched += partial.facts_matched;
+            let MorselGroups::Keyed(keyed) = partial.groups else {
+                unreachable!("non-flat plans produce keyed partials");
+            };
+            for (key, accumulators) in keyed {
+                match groups.entry(key) {
+                    Entry::Vacant(entry) => {
+                        entry.insert(accumulators);
+                    }
+                    Entry::Occupied(mut entry) => {
+                        for (merged, partial_acc) in
+                            entry.get_mut().iter_mut().zip(accumulators.iter())
+                        {
+                            merged.merge(partial_acc);
+                        }
+                    }
+                }
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(id, accumulators)| (plan.decode(&id), accumulators))
+            .collect()
+    };
+    Ok((rows, facts_scanned, facts_matched))
 }
 
 /// Finalises the group rows — `(key cells, accumulators)` pairs from
@@ -1845,5 +2360,191 @@ mod tests {
             .unwrap();
         assert!(result.is_empty());
         assert_eq!(result.facts_scanned, 0);
+    }
+
+    /// A dashboard-style batch over the sales cube: shared filters,
+    /// disjoint filters, grouped (flat), ungrouped (vectorised) and
+    /// COUNT DISTINCT (hashed) members.
+    fn dashboard_batch() -> Vec<Query> {
+        vec![
+            Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "City", "name"))
+                .measure("UnitSales"),
+            Query::over("Sales")
+                .measure("UnitSales")
+                .measure("StoreCost"),
+            Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "Store", "name"))
+                .measure("UnitSales")
+                .filter_dimension("Store", Filter::eq("City.name", "Alicante")),
+            Query::over("Sales")
+                .group_by(AttributeRef::new("Time", "Day", "date"))
+                .measure("StoreCost")
+                .filter_dimension("Store", Filter::eq("City.name", "Alicante")),
+            Query::over("Sales")
+                .measure_agg("UnitSales", AggregationFunction::CountDistinct)
+                .filter_dimension("Store", Filter::eq("City.name", "Madrid")),
+            Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "City", "name"))
+                .group_by(AttributeRef::new("Time", "Day", "date"))
+                .measure("UnitSales")
+                .limit(3),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_standalone_execution() {
+        let cube = sales_cube();
+        let queries = dashboard_batch();
+        for workers in [1usize, 2, 8] {
+            for slot_limit in [0usize, DEFAULT_GROUP_SLOT_LIMIT] {
+                let engine = QueryEngine::with_config(
+                    ExecutionConfig::default()
+                        .with_workers(workers)
+                        .with_morsel_rows(4)
+                        .with_group_slot_limit(slot_limit),
+                );
+                let batched = engine.execute_batch(&cube, &queries);
+                assert_eq!(batched.len(), queries.len());
+                for (query, batched) in queries.iter().zip(&batched) {
+                    let standalone = engine.execute(&cube, query).unwrap();
+                    assert_eq!(
+                        batched.as_ref().unwrap(),
+                        &standalone,
+                        "workers={workers} slot_limit={slot_limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_respects_views() {
+        let cube = sales_cube();
+        let mut view = InstanceView::unrestricted();
+        view.select_dimension_members("Store", vec![0, 2]);
+        let engine = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(4)
+                .with_morsel_rows(2),
+        );
+        let queries = dashboard_batch();
+        for (query, batched) in queries
+            .iter()
+            .zip(engine.execute_batch_with_view(&cube, &queries, &view))
+        {
+            assert_eq!(
+                batched.unwrap(),
+                engine.execute_with_view(&cube, query, &view).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors_without_poisoning_the_batch() {
+        let cube = sales_cube();
+        let engine = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(2)
+                .with_morsel_rows(3),
+        );
+        let good = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales");
+        let bad_resolution = Query::over("Sales").measure("Profit");
+        let bad_scan = Query::over("Sales")
+            .measure("UnitSales")
+            .filter_fact(Filter::eq("ghost", "x"));
+        let batch = vec![bad_resolution.clone(), good.clone(), bad_scan.clone()];
+        let results = engine.execute_batch(&cube, &batch);
+        assert_eq!(
+            format!("{}", results[0].as_ref().unwrap_err()),
+            format!("{}", engine.execute(&cube, &bad_resolution).unwrap_err())
+        );
+        assert_eq!(
+            results[1].as_ref().unwrap(),
+            &engine.execute(&cube, &good).unwrap()
+        );
+        assert_eq!(
+            format!("{}", results[2].as_ref().unwrap_err()),
+            format!("{}", engine.execute(&cube, &bad_scan).unwrap_err())
+        );
+    }
+
+    #[test]
+    fn empty_batch_returns_no_results() {
+        let cube = sales_cube();
+        assert!(QueryEngine::new().execute_batch(&cube, &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_shares_dictionaries_through_the_cache() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let dicts = crate::dicts::GroupDictCache::new();
+        let by_city = |measure: &str| {
+            Query::over("Sales")
+                .group_by(AttributeRef::new("Store", "City", "name"))
+                .measure(measure)
+        };
+        let batch = vec![by_city("UnitSales"), by_city("StoreCost")];
+        let view = InstanceView::unrestricted();
+        let first = engine.execute_batch_cached(&cube, &batch, &view, Some((&dicts, 1)));
+        assert!(first.iter().all(Result::is_ok));
+        // One build for the whole batch: the second query's lookup hit
+        // the batch-local memo, so the cache saw a single miss.
+        let stats = dicts.stats();
+        assert_eq!((stats.misses, stats.entries), (1, 1));
+        // A later batch at the same generation hits the cross-batch
+        // cache instead of rebuilding.
+        let second = engine.execute_batch_cached(&cube, &batch, &view, Some((&dicts, 1)));
+        assert_eq!(first[0].as_ref().unwrap(), second[0].as_ref().unwrap());
+        let stats = dicts.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The standalone cached path shares the same dictionaries.
+        let standalone = engine
+            .execute_with_view_cached(&cube, &batch[0], &view, Some((&dicts, 1)))
+            .unwrap();
+        assert_eq!(&standalone, first[0].as_ref().unwrap());
+        assert_eq!(dicts.stats().hits, 2);
+    }
+
+    #[test]
+    fn dict_cache_generation_semantics() {
+        let cube = sales_cube();
+        let engine = QueryEngine::new();
+        let dicts = crate::dicts::GroupDictCache::new();
+        let view = InstanceView::unrestricted();
+        let query = Query::over("Sales")
+            .group_by(AttributeRef::new("Store", "City", "name"))
+            .measure("UnitSales");
+        let expected = engine.execute(&cube, &query).unwrap();
+        let run = |generation: u64| {
+            engine
+                .execute_with_view_cached(&cube, &query, &view, Some((&dicts, generation)))
+                .unwrap()
+        };
+        assert_eq!(run(1), expected);
+        assert_eq!(dicts.stats().misses, 1);
+        // A dimension-preserving publish keeps the entry hitting.
+        dicts.advance(2);
+        assert_eq!(run(2), expected);
+        assert_eq!((dicts.stats().hits, dicts.stats().misses), (1, 1));
+        // A query pinned to an older snapshot builds uncached and leaves
+        // the newer entry alone.
+        assert_eq!(run(1), expected);
+        let stats = dicts.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        // A schema-personalization publish flushes.
+        dicts.invalidate(3);
+        let stats = dicts.stats();
+        assert_eq!((stats.entries, stats.invalidations), (0, 1));
+        assert_eq!(run(3), expected);
+        assert_eq!(dicts.stats().entries, 1);
+        // A lookup at a generation the cache has never seen flushes
+        // conservatively and re-seeds.
+        assert_eq!(run(5), expected);
+        let stats = dicts.stats();
+        assert_eq!((stats.entries, stats.invalidations), (1, 2));
     }
 }

@@ -1,0 +1,129 @@
+//! A fast, non-cryptographic hasher for the executor's integer-keyed
+//! hash tables.
+//!
+//! The grouped fallback path keys its per-morsel tables by dense-packed
+//! integer group ids, and the merge phase re-keys the same ids once per
+//! morsel. `std`'s default SipHash is DoS-resistant but wasteful for
+//! keys that are already uniformly distributed small integers; this is
+//! the classic FxHash multiply-rotate mix (one rotate, one xor, one
+//! multiply per word), which hashes a packed group id in a couple of
+//! cycles. Never use it for keys an adversary controls — the executor's
+//! keys come from the cube's own dictionaries.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// The multiplier of the mix: a randomly chosen odd 64-bit constant
+/// (the same one the rustc hasher uses), so consecutive integers spread
+/// across the whole output range.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate hasher state.
+#[derive(Debug, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one<T: std::hash::Hash>(value: T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        assert_eq!(hash_one(42u128), hash_one(42u128));
+        assert_eq!(hash_one("key"), hash_one("key"));
+        assert_eq!(
+            hash_one(vec![1u32, 2, 3].into_boxed_slice()),
+            hash_one(vec![1u32, 2, 3].into_boxed_slice())
+        );
+    }
+
+    #[test]
+    fn consecutive_integers_spread() {
+        // Dense group ids are the common key; the mix must not map
+        // consecutive ids to consecutive (same-bucket) hashes.
+        let hashes: Vec<u64> = (0u128..64).map(hash_one).collect();
+        let mut distinct: Vec<u64> = hashes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), hashes.len());
+        // Low bits (the bucket index) must differ between neighbours.
+        let low_collisions = hashes
+            .windows(2)
+            .filter(|w| w[0] & 0xff == w[1] & 0xff)
+            .count();
+        assert!(low_collisions < 8, "low bits barely mixed");
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut map: FxHashMap<u128, usize> = FxHashMap::default();
+        for i in 0..1000u128 {
+            map.insert(i, i as usize * 2);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&999), Some(&1998));
+    }
+}

@@ -44,9 +44,11 @@ pub mod cache;
 pub mod chunk;
 pub mod column;
 pub mod cube;
+pub mod dicts;
 pub mod engine;
 pub mod error;
 pub mod filter;
+mod hash;
 pub mod kernels;
 pub mod query;
 pub mod spatial;
@@ -58,6 +60,7 @@ pub use cache::{CacheKey, CacheStats, QueryCache};
 pub use chunk::DEFAULT_CHUNK_ROWS;
 pub use column::{Column, ColumnType, Dictionary};
 pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, FactTableStats, LayerTable};
+pub use dicts::{DictCacheStats, GroupDictCache};
 pub use engine::{ExecutionConfig, QueryEngine, DEFAULT_GROUP_SLOT_LIMIT, DEFAULT_MORSEL_ROWS};
 pub use error::OlapError;
 pub use filter::{CompareOp, Filter, SpatialPredicateOp};

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example web_bi_session`
 
-use sdwp::core::{PersonalizationEngine, WebFacade, WebRequest, WebResponse};
+use sdwp::core::{BatchEntry, PersonalizationEngine, WebFacade, WebRequest, WebResponse};
 use sdwp::datagen::{PaperScenario, ScenarioConfig};
 use sdwp::prml::corpus::ALL_PAPER_RULES;
 use std::sync::Arc;
@@ -32,6 +32,27 @@ fn show(label: &str, response: &WebResponse) {
             );
             for row in rows.iter().take(8) {
                 println!("  {}", row.join(" | "));
+            }
+        }
+        WebResponse::BatchResult { results } => {
+            println!("[{label}] dashboard refresh, {} panel(s):", results.len());
+            for (panel, entry) in results.iter().enumerate() {
+                match entry {
+                    BatchEntry::Table {
+                        columns,
+                        rows,
+                        facts_matched,
+                    } => {
+                        println!(
+                            "  panel {panel}: {} ({facts_matched} facts matched, {} row(s))",
+                            columns.join(" | "),
+                            rows.len()
+                        );
+                    }
+                    BatchEntry::Error { message } => {
+                        println!("  panel {panel}: error: {message}");
+                    }
+                }
             }
         }
         WebResponse::Report(report) => println!("[{label}]\n{report}"),
@@ -112,6 +133,20 @@ fn main() {
         });
         show(label, &response);
     }
+
+    // A dashboard refresh: every panel's query submitted at once, and
+    // answered in one shared-scan batch. The manager's personalized view
+    // still applies to every panel — panels whose city filter falls
+    // outside the visible stores legitimately come back empty.
+    let dashboard = facade.handle(WebRequest::QueryBatch {
+        session,
+        queries: sdwp::datagen::dashboard_batch(
+            sdwp::datagen::OverlapRegime::Mixed,
+            4,
+            ScenarioConfig::default().cities,
+        ),
+    });
+    show("dashboard", &dashboard);
 
     // The user keeps drilling into cities near airports, then logs out.
     for _ in 0..3 {
