@@ -1,0 +1,109 @@
+//! B17 — compiled rule evaluation: event throughput of the compiled
+//! two-phase firing path against the AST interpreter, on one shared
+//! serving engine.
+//!
+//! Two storms per ruleset size:
+//!
+//! * `no_match` — spatial selections no published rule targets. The
+//!   compiled path answers these entirely in its lock-free condition
+//!   phase (precomputed match strings, no master lock, no profile
+//!   clone); the interpreter must take the master lock and walk every
+//!   rule's event spec under it. This is the conditions-only curve the
+//!   experiment exists for.
+//! * `fire` — selections every rule matches, so both paths pay the full
+//!   effect phase under the master lock; the gap left is the compiled
+//!   instruction stream (slot-indexed reads, pre-resolved ids, folded
+//!   constants) against AST walking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdwp_bench::{engine_for, manager_location, scenario_at_scale};
+use sdwp_core::PersonalizationEngine;
+use sdwp_datagen::PaperScenario;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Events fired per measured iteration. Each iteration runs a whole
+/// session lifecycle: `record_spatial_selection` appends to the session's
+/// selection history by contract, so a long-lived session would make
+/// later measurements pay for earlier ones. Keeping login/logout inside
+/// the routine bounds the history identically for every mode.
+const EVENTS_PER_ITER: usize = 64;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+/// `n` rules that all match a spatial selection of `GeoMD.Store.City` and
+/// apply one `SetContent` each (idempotent, so the storm has a steady
+/// state: no layers or selections accumulate across iterations).
+fn storm_rules(n: usize) -> String {
+    (0..n)
+        .map(|i| {
+            format!(
+                "Rule:storm{i} When SpatialSelection(GeoMD.Store.City, 1 = 1) do \
+                 SetContent(SUS.DecisionMaker.storm, {i}) endWhen\n"
+            )
+        })
+        .collect()
+}
+
+/// A serving engine with exactly the storm ruleset published.
+fn storm_engine(scenario: &PaperScenario, rules: usize) -> Arc<PersonalizationEngine> {
+    let engine = engine_for(scenario);
+    engine
+        .reload_rules_text(&storm_rules(rules))
+        .expect("storm rules publish");
+    Arc::new(engine)
+}
+
+fn bench_rule_storm(c: &mut Criterion) {
+    let scenario = scenario_at_scale(1);
+    let location = manager_location(&scenario);
+
+    let mut group = c.benchmark_group("B17_rule_storm");
+    group.throughput(Throughput::Elements(EVENTS_PER_ITER as u64));
+    for rules in [8usize, 32] {
+        let engine = storm_engine(&scenario, rules);
+        for (mode, compiled) in [("interpreted", false), ("compiled", true)] {
+            engine.set_compiled_firing(compiled);
+            for (storm, element) in [
+                // No published rule targets the State level:
+                // conditions-only evaluation.
+                ("no_match", "GeoMD.Store.State"),
+                ("fire", "GeoMD.Store.City"),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{storm}/{mode}"), rules),
+                    &rules,
+                    |b, _| {
+                        b.iter(|| {
+                            let session = engine
+                                .start_session("regional-manager", Some(location.clone()))
+                                .expect("login")
+                                .id;
+                            for _ in 0..EVENTS_PER_ITER {
+                                criterion::black_box(
+                                    engine
+                                        .record_spatial_selection(session, element, None)
+                                        .expect("storm event fires"),
+                                );
+                            }
+                            engine.end_session(session).expect("logout");
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_rule_storm
+}
+criterion_main!(benches);

@@ -31,7 +31,7 @@ use crate::error::CoreError;
 use crate::report::PersonalizationReport;
 use crate::session::{SessionManager, SessionState};
 use crate::sync::{ArcSwap, VersionedSwap};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use sdwp_ingest::{
     BatchOutcome, CompactionOutcome, CompactionPolicy, CubeSink, DeltaBatch, IngestConfig,
     IngestHandle, IngestPipeline, IngestStats,
@@ -42,11 +42,12 @@ use sdwp_olap::{
     InstanceView, OlapError, Query, QueryCache, QueryEngine, QueryResult,
 };
 use sdwp_prml::{
-    check_rules, EvalContext, FireReport, LayerSource, NoExternalLayers, Rule, RuleClass,
-    RuleEngine, RuntimeEvent,
+    CompiledRuleSet, EvalContext, FireReport, LayerSource, NoExternalLayers, PrmlError, Rule,
+    RuleClass, RuleEngine, RuntimeEvent,
 };
 use sdwp_user::{LocationContext, ProfileStore, Session, SessionId, UserProfile};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// The shared cube state: the mutex-guarded write master, the published
@@ -248,6 +249,25 @@ pub struct SessionHandle {
     pub report: PersonalizationReport,
 }
 
+/// The in-service rule set: the AST interpreter (the registration-time
+/// source of truth and the differential-testing oracle) paired with its
+/// compiled form. Published as *one* `ArcSwap` value so a firing that
+/// loaded the pair can never observe a half-swapped state where the
+/// interpreter and compiled rules disagree.
+struct ActiveRules {
+    engine: Arc<RuleEngine>,
+    compiled: Arc<CompiledRuleSet>,
+}
+
+impl ActiveRules {
+    fn empty() -> Self {
+        ActiveRules {
+            engine: Arc::new(RuleEngine::new()),
+            compiled: Arc::new(CompiledRuleSet::default()),
+        }
+    }
+}
+
 /// The personalization engine.
 ///
 /// Schema personalization mutates the engine's cube schema (additively —
@@ -261,10 +281,14 @@ pub struct PersonalizationEngine {
     cube_state: Arc<CubeState>,
     original_schema: Schema,
     profiles: ProfileStore,
-    /// Immutable rule-set snapshot, hot-swapped on registration.
-    rules: ArcSwap<RuleEngine>,
+    /// Immutable rule-set snapshot (interpreter + compiled pair),
+    /// hot-swapped on registration and reload.
+    rules: ArcSwap<ActiveRules>,
     /// Serialises rule registration (load → validate → store).
     rules_write: Mutex<()>,
+    /// Whether events fire through the compiled rule path (default) or
+    /// the AST interpreter (kept for benchmarking and as the oracle).
+    compiled_firing: AtomicBool,
     parameters: RwLock<BTreeMap<String, f64>>,
     layer_source: Arc<dyn LayerSource + Send + Sync>,
     sessions: Arc<SessionManager>,
@@ -308,8 +332,9 @@ impl PersonalizationEngine {
             }),
             original_schema,
             profiles: ProfileStore::new(),
-            rules: ArcSwap::from_pointee(RuleEngine::new()),
+            rules: ArcSwap::from_pointee(ActiveRules::empty()),
             rules_write: Mutex::new(()),
+            compiled_firing: AtomicBool::new(true),
             parameters: RwLock::new(BTreeMap::new()),
             layer_source,
             sessions,
@@ -333,27 +358,50 @@ impl PersonalizationEngine {
         &self.sessions
     }
 
-    /// Adds PRML rules from text, validating them (as a set, together with
-    /// the already-registered rules) against the cube's schema. Safe to
-    /// call while sessions are being served: firing threads keep using the
-    /// rule-set snapshot they loaded.
+    /// Adds PRML rules from text, validating and compiling them (as a
+    /// set, together with the already-registered rules) against the
+    /// cube's schema. Safe to call while sessions are being served:
+    /// firing threads keep using the rule-set snapshot they loaded.
     pub fn add_rules_text(&self, text: &str) -> Result<Vec<RuleClass>, CoreError> {
         let new_rules = sdwp_prml::parse_rules(text)?;
         let _guard = self.rules_write.lock();
         let current = self.rules.load();
-        let existing = current.rules().len();
-        let mut all: Vec<Rule> = current.rules().to_vec();
+        let existing = current.engine.rules().len();
+        let mut all: Vec<Rule> = current.engine.rules().to_vec();
         all.extend(new_rules.iter().cloned());
-        let classes = {
-            let master = self.cube_state.master.lock();
-            check_rules(&all, master.schema())?
-        };
-        let mut next = RuleEngine::new();
-        for rule in all {
-            next.add_rule(rule);
-        }
-        self.rules.store(Arc::new(next));
+        let classes = self.install_rules(all)?;
         Ok(classes[existing..].to_vec())
+    }
+
+    /// Replaces the *entire* rule set with the rules parsed from `text`.
+    ///
+    /// The swap is atomic: in-flight firings keep the interpreter+compiled
+    /// pair they loaded, new firings see the new pair, and any parse,
+    /// typecheck or compile failure leaves the in-service rule set
+    /// untouched and serving.
+    pub fn reload_rules_text(&self, text: &str) -> Result<Vec<RuleClass>, CoreError> {
+        let rules = sdwp_prml::parse_rules(text)?;
+        let _guard = self.rules_write.lock();
+        self.install_rules(rules)
+    }
+
+    /// Validates, compiles and publishes a full rule set. Caller holds
+    /// `rules_write`; on any failure the in-service pair stays untouched.
+    fn install_rules(&self, rules: Vec<Rule>) -> Result<Vec<RuleClass>, CoreError> {
+        let compiled = {
+            let master = self.cube_state.master.lock();
+            CompiledRuleSet::compile(&rules, master.schema())?
+        };
+        let classes = compiled.classes();
+        let mut engine = RuleEngine::new();
+        for rule in rules {
+            engine.add_rule(rule);
+        }
+        self.rules.store(Arc::new(ActiveRules {
+            engine: Arc::new(engine),
+            compiled: Arc::new(compiled),
+        }));
+        Ok(classes)
     }
 
     /// Defines a designer parameter referenced by rules (e.g. `threshold`).
@@ -363,9 +411,27 @@ impl PersonalizationEngine {
             .insert(name.into().to_lowercase(), value);
     }
 
-    /// The current rule-set snapshot.
+    /// The current rule-set snapshot (the AST interpreter view).
     pub fn rules(&self) -> Arc<RuleEngine> {
-        self.rules.load()
+        Arc::clone(&self.rules.load().engine)
+    }
+
+    /// The current compiled rule set (the form events fire through by
+    /// default).
+    pub fn compiled_rules(&self) -> Arc<CompiledRuleSet> {
+        Arc::clone(&self.rules.load().compiled)
+    }
+
+    /// Chooses between compiled (default) and interpreted rule firing.
+    /// The interpreter stays available as the differential-testing oracle
+    /// and for benchmark baselines.
+    pub fn set_compiled_firing(&self, enabled: bool) {
+        self.compiled_firing.store(enabled, Ordering::Release);
+    }
+
+    /// Whether events currently fire through the compiled rule path.
+    pub fn compiled_firing(&self) -> bool {
+        self.compiled_firing.load(Ordering::Acquire)
     }
 
     /// The current (possibly personalized) cube snapshot. The returned
@@ -458,6 +524,12 @@ impl PersonalizationEngine {
     /// Ends a session, firing the SessionEnd rules. Ending an
     /// already-ended (or unknown) session is an error, so a retried or
     /// concurrently racing logout cannot re-fire the SessionEnd rules.
+    ///
+    /// The session's state (personalized view, effect log) is reclaimed
+    /// once the SessionEnd rules have fired: no later request can reach
+    /// an ended session anyway — they all answer `UnknownSession` — and
+    /// retaining the state would grow the session map without bound and
+    /// pin the compaction remap chain on views nobody can query.
     pub fn end_session(&self, session_id: SessionId) -> Result<FireReport, CoreError> {
         let (user_id, session_snapshot) =
             self.sessions.with_session_mut(session_id, |state| {
@@ -471,9 +543,7 @@ impl PersonalizationEngine {
             })??;
         let (report, _, _pin) =
             self.fire_event(&user_id, &session_snapshot, &RuntimeEvent::SessionEnd)?;
-        self.sessions.with_session_mut(session_id, |state| {
-            state.effects.extend(report.effects.iter().cloned());
-        })?;
+        self.sessions.remove(session_id);
         Ok(report)
     }
 
@@ -806,15 +876,22 @@ impl PersonalizationEngine {
 
     // ----- internals ----------------------------------------------------
 
-    /// Fires an event for a user: loads the profile, builds an evaluation
-    /// context over the master cube, runs the rules and writes the
-    /// (possibly updated) profile back.
+    /// Fires an event for a user in two phases.
     ///
-    /// The master mutex is held across profile read → rule run → profile
-    /// write, making the whole firing atomic with respect to other firing
-    /// threads (so two concurrent `SetContent` increments cannot lose an
-    /// update). When the firing actually changed the schema, the master is
-    /// cloned once and published for the read path.
+    /// **Condition phase** (compiled path, lock-free): matches the event
+    /// against the loaded ruleset snapshot without the master lock —
+    /// event matching in PRML is purely textual, so no cube state can be
+    /// observed. When no rule matches, the firing returns immediately
+    /// (after the unknown-user check) without ever locking the master.
+    ///
+    /// **Effect phase**: for matched rules only, the master mutex is
+    /// held across profile read → rule-body run → profile write, making
+    /// the whole firing atomic with respect to other firing threads (so
+    /// two concurrent `SetContent` increments cannot lose an update).
+    /// When the firing actually changed the schema, the master is cloned
+    /// once and published for the read path. The interpreter fallback
+    /// (`set_compiled_firing(false)`) runs both matching and bodies
+    /// under the lock, as the engine always did before compilation.
     ///
     /// Invariant: outside a firing, master and snapshot hold the same
     /// schema/layer/dimension state — successful schema changes publish,
@@ -836,18 +913,69 @@ impl PersonalizationEngine {
         session: &Session,
         event: &RuntimeEvent,
     ) -> Result<(FireReport, BTreeMap<String, u64>, VersionPinGuard), CoreError> {
-        let rules = self.rules.load();
-        let parameters = self.parameters.read().clone();
-        let mut master = self.cube_state.master.lock();
-        let mut profile = self.profiles.get(user_id)?;
-        let mut ctx = EvalContext::new(&mut master, &mut profile)
-            .with_session(session)
-            .with_layer_source(self.layer_source.as_ref());
-        for (name, value) in &parameters {
-            ctx = ctx.with_parameter(name.clone(), *value);
+        // One load of the interpreter+compiled pair: both phases (and the
+        // interpreter fallback) see the same ruleset however many
+        // hot-swaps land mid-firing.
+        let active = self.rules.load();
+        if self.compiled_firing() {
+            // Phase 1 — condition phase: pure precomputed-string matching
+            // against the loaded snapshot. No master lock, no cube access.
+            let matched = active.compiled.matched_rules(event);
+            if matched.is_empty() {
+                // Nothing fires, so the firing cannot touch the cube or
+                // the profile: skip the master lock entirely. Unknown
+                // users must still error exactly like the locking path.
+                self.profiles.get(user_id)?;
+                return Ok((
+                    FireReport::default(),
+                    BTreeMap::new(),
+                    VersionPinGuard {
+                        state: Arc::clone(&self.cube_state),
+                        token: None,
+                    },
+                ));
+            }
+            // Phase 2 — effect application for the matched rules only,
+            // under the master lock.
+            let parameters = self.parameters.read().clone();
+            let mut master = self.cube_state.master.lock();
+            let mut profile = self.profiles.get(user_id)?;
+            let mut ctx = EvalContext::new(&mut master, &mut profile)
+                .with_session(session)
+                .with_layer_source(self.layer_source.as_ref());
+            for (name, value) in &parameters {
+                ctx = ctx.with_parameter(name.clone(), *value);
+            }
+            let fired = active.compiled.fire_matched(&matched, &mut ctx);
+            drop(ctx);
+            self.finish_firing(master, profile, fired)
+        } else {
+            let parameters = self.parameters.read().clone();
+            let mut master = self.cube_state.master.lock();
+            let mut profile = self.profiles.get(user_id)?;
+            let mut ctx = EvalContext::new(&mut master, &mut profile)
+                .with_session(session)
+                .with_layer_source(self.layer_source.as_ref());
+            for (name, value) in &parameters {
+                ctx = ctx.with_parameter(name.clone(), *value);
+            }
+            let fired = active.engine.fire(event, &mut ctx);
+            drop(ctx);
+            self.finish_firing(master, profile, fired)
         }
-        let fired = rules.fire(event, &mut ctx);
-        drop(ctx);
+    }
+
+    /// The shared tail of a firing that ran rule bodies under the master
+    /// lock: roll back on error, publish on a real schema change, write
+    /// the profile back, and pin compaction versions for fact-row
+    /// selections. See [`PersonalizationEngine::fire_event`] for the
+    /// invariants this maintains.
+    fn finish_firing(
+        &self,
+        mut master: MutexGuard<'_, Cube>,
+        profile: UserProfile,
+        fired: Result<FireReport, PrmlError>,
+    ) -> Result<(FireReport, BTreeMap<String, u64>, VersionPinGuard), CoreError> {
         let published = self.cube_state.snapshot.load();
         let report = match fired {
             Ok(report) => report,

@@ -105,6 +105,17 @@ impl SessionManager {
         id
     }
 
+    /// Removes a session's state from the map, returning it when present.
+    ///
+    /// The engine calls this at logout, after the SessionEnd rules fired:
+    /// an ended session's view and effect log would otherwise be retained
+    /// forever, growing the shards without bound and pinning the
+    /// compaction remap chain (see [`Self::min_fact_selection_version`])
+    /// on views no query can reach any more.
+    pub fn remove(&self, id: SessionId) -> Option<SessionState> {
+        self.shard(id).write().remove(&id)
+    }
+
     /// Runs `f` over a shared borrow of a session's state.
     pub fn with_session<R>(
         &self,
@@ -136,7 +147,7 @@ impl SessionManager {
         self.with_session(id, Clone::clone)
     }
 
-    /// Number of tracked sessions (active and ended).
+    /// Number of tracked sessions.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
@@ -229,6 +240,11 @@ mod tests {
         assert_eq!(manager.allocate_id(), 2);
         let snapshot = manager.snapshot(1).unwrap();
         assert!(!snapshot.is_active());
+        let removed = manager.remove(1).expect("session state is present");
+        assert!(!removed.is_active());
+        assert!(manager.is_empty());
+        assert!(manager.remove(1).is_none());
+        assert!(manager.with_session(1, |_| ()).is_err());
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub enum WebRequest {
         /// The minimum snapshot generation (pins only ratchet upwards).
         generation: u64,
     },
+    /// An operator replaces the *entire* rule set with the given PRML
+    /// text (hot reload). The swap is atomic: in-flight firings keep the
+    /// ruleset they loaded, new firings see the new compiled set, and a
+    /// parse/typecheck/compile failure leaves the in-service rules
+    /// untouched and serving.
+    ReloadRules {
+        /// The PRML source of the replacement rule set.
+        rules: String,
+    },
     /// The user logs out.
     Logout {
         /// The session to end.
@@ -179,6 +188,11 @@ pub enum WebResponse {
     GenerationPinned {
         /// The effective pin (pins only ratchet upwards).
         generation: u64,
+    },
+    /// The rule set was replaced and compiled.
+    RulesReloaded {
+        /// The classification of each rule now in service, in order.
+        classes: Vec<sdwp_prml::RuleClass>,
     },
     /// Logout succeeded.
     LoggedOut,
@@ -407,6 +421,10 @@ impl WebFacade {
             } => {
                 let generation = self.engine.pin_session_generation(session, generation)?;
                 Ok(WebResponse::GenerationPinned { generation })
+            }
+            WebRequest::ReloadRules { rules } => {
+                let classes = self.engine.reload_rules_text(&rules)?;
+                Ok(WebResponse::RulesReloaded { classes })
             }
             WebRequest::Logout { session } => {
                 self.engine.end_session(session)?;
@@ -700,6 +718,72 @@ mod tests {
             WebResponse::Error { message } => assert!(message.contains("77")),
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn reload_rules_swaps_the_whole_set() {
+        let facade = facade();
+        assert_eq!(facade.engine().rules().rules().len(), ALL_PAPER_RULES.len());
+        // Replace everything with one acquisition rule.
+        let replacement = "Rule:countLogins When SessionStart do \
+             SetContent(SUS.DecisionMaker.logins, 1) \
+             endWhen";
+        match facade.handle(WebRequest::ReloadRules {
+            rules: replacement.into(),
+        }) {
+            WebResponse::RulesReloaded { classes } => {
+                assert_eq!(classes, vec![sdwp_prml::RuleClass::Acquisition]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(facade.engine().rules().rules().len(), 1);
+        assert_eq!(facade.engine().compiled_rules().len(), 1);
+        // New logins fire the new set: one acquisition rule, no schema
+        // personalization any more.
+        match facade.handle(WebRequest::Login {
+            user: "regional-manager".into(),
+            location: None,
+        }) {
+            WebResponse::LoggedIn { report, .. } => assert_eq!(report.rules_matched, 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_reload_leaves_the_in_service_rules_untouched() {
+        let facade = facade();
+        let before_interpreted = facade.engine().rules();
+        let before_compiled = facade.engine().compiled_rules();
+        // Three failure modes: parse error, typecheck error, and a rule
+        // the compiler rejects up front (unknown model path).
+        let attempts = [
+            "Rule:broken When SessionStart do", // parse: unterminated
+            "Rule:badTarget When SessionStart do \
+             SetContent(MD.Sales.Store, 1) endWhen", // check: non-SUS target
+            "Rule:badPath When SessionStart do \
+             If (MD.NoSuchFact.Level.name = 'x') then \
+             AddLayer('Airport', POINT) endIf endWhen", // unknown path
+        ];
+        for attempt in attempts {
+            match facade.handle(WebRequest::ReloadRules {
+                rules: attempt.into(),
+            }) {
+                WebResponse::Error { .. } => {}
+                other => panic!("reload of {attempt:?} should fail, got {other:?}"),
+            }
+            // The in-service pair is byte-for-byte the one from before.
+            assert!(Arc::ptr_eq(&before_interpreted, &facade.engine().rules()));
+            assert!(Arc::ptr_eq(
+                &before_compiled,
+                &facade.engine().compiled_rules()
+            ));
+        }
+        // And it still serves logins exactly as before.
+        let session = login(&facade);
+        assert_eq!(
+            facade.handle(WebRequest::Logout { session }),
+            WebResponse::LoggedOut
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ use crate::kernels::NumericAgg;
 use crate::query::{AttributeRef, Query, QueryResult, ResultRow};
 use crate::table::Table;
 use crate::value::CellValue;
-use crate::view::InstanceView;
+use crate::view::{InstanceView, ResolvedViewCheck};
 use sdwp_model::AggregationFunction;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -1085,6 +1085,7 @@ fn select_rows(
     rows: Range<usize>,
     sel: &mut Vec<u32>,
 ) -> Result<(usize, usize), OlapError> {
+    let view_check = resolve_view_check(cube, query, view)?;
     let mut facts_scanned = 0usize;
     let mut facts_matched = 0usize;
     sel.clear();
@@ -1092,7 +1093,7 @@ fn select_rows(
         if row_selected(
             cube,
             query,
-            view,
+            view_check.as_ref(),
             resolved,
             fact_table,
             fact_row,
@@ -1103,6 +1104,21 @@ fn select_rows(
         }
     }
     Ok((facts_scanned, facts_matched))
+}
+
+/// Resolves a restricted view's per-row check once per scan (FK column
+/// indices and remap chain hoisted out of the row loop); `None` for an
+/// unrestricted view, which admits every live row.
+fn resolve_view_check<'a>(
+    cube: &'a Cube,
+    query: &Query,
+    view: &'a InstanceView,
+) -> Result<Option<ResolvedViewCheck<'a>>, OlapError> {
+    if view.is_unrestricted() {
+        Ok(None)
+    } else {
+        view.resolve_for_fact(cube, &query.fact).map(Some)
+    }
 }
 
 /// A single-row typed FK read: the member id a fact row points to,
@@ -1122,13 +1138,14 @@ fn member_at(column: &Column, fact_row: usize) -> Result<usize, OlapError> {
 /// One row's selection decision — liveness, view, dimension filters and
 /// fact filter, with the scanned/matched counters updated in exactly the
 /// serial reference's order. Shared by every morsel scan so their
-/// counter and error semantics cannot drift apart. Dimension filters go
-/// through pre-resolved FK column indices (typed reads) where available.
+/// counter and error semantics cannot drift apart. Both the view check
+/// and the dimension filters go through pre-resolved FK column indices
+/// (typed reads) where available.
 #[allow(clippy::too_many_arguments)]
 fn row_selected(
     cube: &Cube,
     query: &Query,
-    view: &InstanceView,
+    view_check: Option<&ResolvedViewCheck<'_>>,
     resolved: &Resolved<'_>,
     fact_table: &Table,
     fact_row: usize,
@@ -1138,10 +1155,12 @@ fn row_selected(
     if !fact_table.is_live(fact_row) {
         return Ok(false);
     }
-    // An unrestricted view admits every live row (resolution already
-    // validated the fact), so skip the per-row selection/FK walk.
-    if !view.is_unrestricted() && !view.allows_fact_row(cube, &query.fact, fact_row)? {
-        return Ok(false);
+    // An unrestricted view (no check resolved) admits every live row, so
+    // skip the per-row selection/FK walk.
+    if let Some(check) = view_check {
+        if !check.allows(cube, &query.fact, fact_table, fact_row)? {
+            return Ok(false);
+        }
     }
     *facts_scanned += 1;
     for (dimension, (fk, allowed)) in &resolved.allowed_members {
@@ -1479,13 +1498,14 @@ fn scan_morsel_vectorised(
         // Per-row selection (the shared `row_selected` mirrors
         // `scan_range`'s check order and error behaviour), gathering
         // selected rows into runs.
+        let view_check = resolve_view_check(cube, query, view)?;
         let end = rows.end;
         let mut run_start: Option<usize> = None;
         for fact_row in rows {
             let selected = row_selected(
                 cube,
                 query,
-                view,
+                view_check.as_ref(),
                 resolved,
                 fact_table,
                 fact_row,

@@ -68,4 +68,4 @@ pub use kernels::NumericAgg;
 pub use query::{AttributeRef, MeasureRef, Query, QueryResult, ResultRow};
 pub use table::{RowRemap, Table};
 pub use value::CellValue;
-pub use view::InstanceView;
+pub use view::{InstanceView, ResolvedViewCheck};

@@ -1,8 +1,8 @@
 //! Personalized instance views over a cube.
 
-use crate::cube::Cube;
+use crate::cube::{fk_column, Cube};
 use crate::error::OlapError;
-use crate::table::RowRemap;
+use crate::table::{RowRemap, Table};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -235,6 +235,56 @@ impl InstanceView {
         Ok(true)
     }
 
+    /// Hoists every per-row name lookup of
+    /// [`InstanceView::allows_fact_row`] out of a scan: the fact's row
+    /// selection with its backward remap walk pre-fetched, and each
+    /// view-restricted dimension the fact references with the fact
+    /// table's FK column index pre-resolved for typed per-row reads.
+    /// Row-for-row decision- and error-equivalent to `allows_fact_row`
+    /// against the same cube (the serial reference keeps calling that
+    /// name-based method directly, so the two paths stay comparable).
+    pub fn resolve_for_fact<'a>(
+        &'a self,
+        cube: &'a Cube,
+        fact: &str,
+    ) -> Result<ResolvedViewCheck<'a>, OlapError> {
+        let fact_table = cube.fact_table(fact)?;
+        let selection = self.fact_selections.get(fact).map(|selection| {
+            let remaps: Vec<&RowRemap> = if selection.version < fact_table.compaction_version() {
+                fact_table
+                    .remaps_from(selection.version)
+                    .iter()
+                    .rev()
+                    .map(|r| r.as_ref())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (&selection.rows, remaps)
+        });
+        let fact_def = cube
+            .schema()
+            .fact(fact)
+            .ok_or_else(|| OlapError::UnknownElement {
+                kind: "fact",
+                name: fact.to_string(),
+            })?;
+        let mut dimensions = Vec::new();
+        for dimension in &fact_def.dimensions {
+            if let Some(selected) = self.dimension_selections.get(dimension) {
+                dimensions.push((
+                    dimension.as_str(),
+                    fact_table.table.column_index(&fk_column(dimension)),
+                    selected,
+                ));
+            }
+        }
+        Ok(ResolvedViewCheck {
+            selection,
+            dimensions,
+        })
+    }
+
     /// Counts the fact rows visible through the view (retracted rows are
     /// invisible to everyone).
     pub fn visible_fact_count(&self, cube: &Cube, fact: &str) -> Result<usize, OlapError> {
@@ -261,6 +311,68 @@ impl InstanceView {
                 selection.rows.iter().copied(),
             );
         }
+    }
+}
+
+/// A view's per-fact row check with the name lookups resolved once, by
+/// [`InstanceView::resolve_for_fact`]: scans then test each row with
+/// [`ResolvedViewCheck::allows`] through typed FK column reads instead
+/// of per-row name-based `fact_member` lookups (and without re-fetching
+/// the fact table or its remap chain on every row).
+pub struct ResolvedViewCheck<'a> {
+    /// The fact's allowed row set plus the remap transitions a queried
+    /// id must walk backwards through (newest first) to reach the
+    /// selection's numbering. `None` when the fact is unrestricted.
+    selection: Option<(&'a BTreeSet<usize>, Vec<&'a RowRemap>)>,
+    /// `(dimension, FK column index, allowed members)` per restricted
+    /// dimension the fact references. A `None` index falls back to the
+    /// name-based read, which reports the reference path's error.
+    dimensions: Vec<(&'a str, Option<usize>, &'a BTreeSet<usize>)>,
+}
+
+impl ResolvedViewCheck<'_> {
+    /// Returns `true` when the fact row is visible — the resolved form
+    /// of [`InstanceView::allows_fact_row`] on the cube this check was
+    /// built against (`fact_table` must be that cube's table for the
+    /// same fact).
+    pub fn allows(
+        &self,
+        cube: &Cube,
+        fact: &str,
+        fact_table: &Table,
+        fact_row: usize,
+    ) -> Result<bool, OlapError> {
+        if let Some((rows, remaps)) = &self.selection {
+            let mut row = Some(fact_row);
+            for remap in remaps {
+                row = row.and_then(|r| remap.old_id(r));
+            }
+            match row {
+                Some(row) if rows.contains(&row) => {}
+                _ => return Ok(false),
+            }
+        }
+        for (dimension, fk, allowed) in &self.dimensions {
+            let member = match fk {
+                Some(index) => {
+                    let column = fact_table.column_at(*index);
+                    match column.get_number(fact_row) {
+                        Some(member) => member as usize,
+                        None => {
+                            return Err(OlapError::TypeMismatch {
+                                expected: "integer foreign key",
+                                found: column.get(fact_row).type_name().to_string(),
+                            })
+                        }
+                    }
+                }
+                None => cube.fact_member(fact, fact_row, dimension)?,
+            };
+            if !allowed.contains(&member) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 }
 

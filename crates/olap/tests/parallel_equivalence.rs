@@ -468,6 +468,64 @@ fn adversarial_separator_keys_stay_distinct() {
     }
 }
 
+/// Regression for the view check's pre-resolved FK indices: a grouped
+/// query through a view restricting both a dimension and the fact's row
+/// set — including a selection captured *before* a compaction, so the
+/// resolved check's hoisted remap walk is exercised — must agree with
+/// the serial reference, which still goes through the name-based
+/// `allows_fact_row`.
+#[test]
+fn view_restricted_grouped_query_matches_serial_reference() {
+    let mut cube = Cube::new(schema());
+    for (a, b) in [(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
+        cube.add_dimension_member(
+            "D0",
+            vec![("A.name", pool_cell(a)), ("B.name", pool_cell(b))],
+        )
+        .unwrap();
+    }
+    cube.add_dimension_member("D1", vec![("T.date", CellValue::Date(0))])
+        .unwrap();
+    for row in 0..24 {
+        cube.add_fact_row(
+            "F",
+            vec![("D0", row % 4), ("D1", 0)],
+            vec![("M1", CellValue::Float(row as f64 * 0.25))],
+        )
+        .unwrap();
+    }
+    // Capture the selection at version 0, then retract and compact so
+    // queried row ids must translate backwards through the remap.
+    let mut view = InstanceView::unrestricted();
+    view.select_dimension_members("D0", [0usize, 1, 2]);
+    view.select_fact_rows("F", (0..24).filter(|r| r % 3 != 0));
+    for row in [1usize, 4, 7, 10] {
+        cube.retract_fact_row("F", row).unwrap();
+    }
+    cube.compact_fact_table("F").unwrap();
+    let query = Query::over("F")
+        .group_by(AttributeRef::new("D0", "A", "name"))
+        .measure("M1")
+        .measure_agg("M1", AggregationFunction::Count);
+    let serial = QueryEngine::with_config(ExecutionConfig::serial())
+        .execute_serial_with_view(&cube, &query, &view)
+        .unwrap();
+    assert!(
+        serial.rows.iter().len() > 1,
+        "the restricted view should still leave several groups"
+    );
+    for workers in [1usize, 2, 4] {
+        let parallel = QueryEngine::with_config(
+            ExecutionConfig::default()
+                .with_workers(workers)
+                .with_morsel_rows(5),
+        )
+        .execute_with_view(&cube, &query, &view)
+        .unwrap();
+        assert_eq!(parallel, serial, "workers={workers}");
+    }
+}
+
 /// All-null measure columns: the group must still exist (a matched row
 /// creates it) with SUM 0.0 / AVG-MIN-MAX null / COUNT 0, identically on
 /// the flat, hashed and serial paths.

@@ -1,0 +1,204 @@
+//! Execution of compiled rule bodies against an evaluation context.
+//!
+//! The executor shares every semantic kernel with the AST interpreter
+//! ([`binary_values`], [`unary_value`], [`call_values`],
+//! [`access_properties`], [`evaluate_model_path`], [`execute_action`],
+//! [`select_value`]) — only the dispatch differs: a postfix value stack
+//! with slot-indexed variable reads instead of tree walking with a
+//! name-scanned scope.
+
+use crate::compile::program::{Binding, CStmt, ModelPlan, Op, Prog};
+use crate::error::PrmlError;
+use crate::eval::action::{execute_action, rename, select_value};
+use crate::eval::context::{EvalContext, RuleEffect};
+use crate::eval::expr::{
+    access_properties, binary_values, call_values, evaluate_model_path, unary_value,
+};
+use crate::eval::value::{InstanceRef, InstanceSource, Value};
+use sdwp_user::{assign_sus_path, resolve_sus_path};
+
+/// Runs a compiled expression program, returning the single value it
+/// leaves on the stack.
+pub(crate) fn run_prog(
+    prog: &Prog,
+    slots: &[Value],
+    ctx: &EvalContext<'_>,
+) -> Result<Value, PrmlError> {
+    let mut stack: Vec<Value> = Vec::with_capacity(4);
+    for op in &prog.ops {
+        match op {
+            Op::Const(value) => stack.push(value.clone()),
+            Op::Fail(message) => return Err(PrmlError::eval("", message.clone())),
+            Op::Slot(slot) => stack.push(slots[usize::from(*slot)].clone()),
+            Op::SlotProps { slot, props } => {
+                let base = &slots[usize::from(*slot)];
+                stack.push(access_properties(base, props, ctx)?);
+            }
+            Op::Param { key, display } => {
+                let value = ctx.parameter(key).ok_or_else(|| {
+                    PrmlError::eval(
+                        "",
+                        format!("'{display}' is not a model path, loop variable or parameter"),
+                    )
+                })?;
+                stack.push(Value::Number(value));
+            }
+            Op::Sus(path) => {
+                let value = resolve_sus_path(ctx.profile, ctx.session, path)
+                    .map_err(|e| PrmlError::eval("", e.to_string()))?;
+                stack.push(Value::from_user(value));
+            }
+            Op::Model(plan) => stack.push(run_model_plan(plan, ctx)?),
+            Op::Unary(op) => {
+                let value = stack.pop().expect("unary operand on stack");
+                stack.push(unary_value(*op, &value)?);
+            }
+            Op::Binary(op) => {
+                let rhs = stack.pop().expect("binary rhs on stack");
+                let lhs = stack.pop().expect("binary lhs on stack");
+                stack.push(binary_values(*op, &lhs, &rhs)?);
+            }
+            Op::Call { function, argc } => {
+                let args = stack.split_off(stack.len() - argc);
+                stack.push(call_values(function, args, ctx)?);
+            }
+        }
+    }
+    Ok(stack.pop().expect("program leaves exactly one value"))
+}
+
+fn run_model_plan(plan: &ModelPlan, ctx: &EvalContext<'_>) -> Result<Value, PrmlError> {
+    let olap_err = |e: sdwp_olap::OlapError| PrmlError::eval("", e.to_string());
+    match plan {
+        ModelPlan::Level { dimension, level } => {
+            let table = &ctx.cube.dimension_table(dimension).map_err(olap_err)?.table;
+            let instances = (0..table.len())
+                .map(|row| {
+                    Value::Instance(InstanceRef::level(dimension.clone(), level.clone(), row))
+                })
+                .collect();
+            Ok(Value::Collection(instances))
+        }
+        ModelPlan::Attribute { dimension, column } => {
+            let table = &ctx.cube.dimension_table(dimension).map_err(olap_err)?.table;
+            let values = (0..table.len())
+                .map(|row| {
+                    table
+                        .get(row, column)
+                        .map(Value::from_cell)
+                        .map_err(olap_err)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Value::Collection(values))
+        }
+        ModelPlan::Dynamic(segments) => evaluate_model_path(segments, ctx),
+    }
+}
+
+/// Runs a compiled statement block.
+pub(crate) fn run_statements(
+    statements: &[CStmt],
+    slots: &mut Vec<Value>,
+    ctx: &mut EvalContext<'_>,
+    effect: &mut RuleEffect,
+) -> Result<(), PrmlError> {
+    for statement in statements {
+        match statement {
+            CStmt::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                let value = run_prog(condition, slots, ctx)?;
+                let holds = value.as_bool().ok_or_else(|| {
+                    PrmlError::eval(
+                        "",
+                        format!(
+                            "condition evaluated to {} instead of a boolean",
+                            value.type_name()
+                        ),
+                    )
+                })?;
+                if holds {
+                    run_statements(then_branch, slots, ctx, effect)?;
+                } else {
+                    run_statements(else_branch, slots, ctx, effect)?;
+                }
+            }
+            CStmt::Foreach {
+                bindings,
+                sources,
+                body,
+            } => {
+                let mut collections: Vec<Vec<Value>> = Vec::with_capacity(sources.len());
+                for source in sources {
+                    match run_prog(source, slots, ctx)? {
+                        Value::Collection(items) => collections.push(items),
+                        other => {
+                            return Err(PrmlError::eval(
+                                "",
+                                format!(
+                                    "Foreach source must be a collection, got a {}",
+                                    other.type_name()
+                                ),
+                            ))
+                        }
+                    }
+                }
+                // Pre-register empty selections for selected dimensions,
+                // so a zero-match loop still restricts the view (§5.2).
+                for (binding, collection) in bindings.iter().zip(&collections) {
+                    if !binding.preselect {
+                        continue;
+                    }
+                    if let Some(Value::Instance(instance)) = collection.first() {
+                        if let InstanceSource::Level { dimension, .. } = &instance.source {
+                            effect.selections.entry(dimension.clone()).or_default();
+                        }
+                    }
+                }
+                iterate(0, bindings, &collections, body, slots, ctx, effect)?;
+            }
+            CStmt::Direct(action) => execute_action(action, ctx, effect)?,
+            CStmt::Select { target } => {
+                let rule = effect.rule.clone();
+                let value = run_prog(target, slots, ctx).map_err(|e| rename(e, &rule))?;
+                select_value(&value, effect, &rule)?;
+            }
+            CStmt::SetContent { value, path } => {
+                let rule = effect.rule.clone();
+                let new_value = run_prog(value, slots, ctx).map_err(|e| rename(e, &rule))?;
+                let path = path
+                    .as_ref()
+                    .map_err(|message| PrmlError::eval(&rule, message.clone()))?;
+                assign_sus_path(ctx.profile, path, new_value.into_user())
+                    .map_err(|e| PrmlError::eval(&rule, e.to_string()))?;
+                effect.set_contents += 1;
+            }
+            CStmt::Fail(message) => {
+                return Err(PrmlError::eval(&effect.rule, message.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn iterate(
+    depth: usize,
+    bindings: &[Binding],
+    collections: &[Vec<Value>],
+    body: &[CStmt],
+    slots: &mut Vec<Value>,
+    ctx: &mut EvalContext<'_>,
+    effect: &mut RuleEffect,
+) -> Result<(), PrmlError> {
+    if depth == bindings.len() {
+        return run_statements(body, slots, ctx, effect);
+    }
+    let slot = usize::from(bindings[depth].slot);
+    for item in &collections[depth] {
+        slots[slot] = item.clone();
+        iterate(depth + 1, bindings, collections, body, slots, ctx, effect)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,427 @@
+//! Compiled rule evaluation.
+//!
+//! [`CompiledRuleSet::compile`] turns a set of parsed rules into a compact
+//! instruction stream after an up-front validation pass (the same
+//! [`check_rules`](crate::typecheck::check_rules) set check the
+//! interpreter path uses — nothing the checker rejects ever compiles).
+//! Compilation pre-resolves everything that cannot change at runtime:
+//!
+//! * event matchers become precomputed strings ([`MatchSpec`]), so the
+//!   **condition (match) phase is lock-free** — deciding which rules an
+//!   event fires touches no cube state at all;
+//! * loop variables read from depth-indexed slots instead of a
+//!   name-scanned scope stack;
+//! * `SUS.` paths are pre-parsed, designer parameters pre-lowercased, and
+//!   level/attribute model paths pre-resolved (layer- and
+//!   spatiality-sensitive paths re-resolve against the live schema,
+//!   because schema rules grow it at runtime);
+//! * literal subtrees are constant-folded through the interpreter's own
+//!   semantic kernels, preserving error wording and evaluation order.
+//!
+//! The AST interpreter in [`crate::eval`] stays untouched as the oracle:
+//! `crates/prml/tests/compiled_equivalence.rs` asserts compiled ≡
+//! interpreted over generated rules and event streams.
+
+mod exec;
+mod program;
+
+pub use program::{CompiledRule, MatchSpec};
+
+use crate::ast::Rule;
+use crate::error::PrmlError;
+use crate::eval::context::{EvalContext, RuleEffect};
+use crate::eval::engine::{attach_rule, FireReport, RuntimeEvent};
+use crate::eval::value::Value;
+use crate::typecheck::{augmented_schema, check_rules, RuleClass};
+use sdwp_model::Schema;
+
+/// An immutable set of compiled rules, ready to be published behind an
+/// `ArcSwap` and hot-swapped without draining in-flight firings.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledRuleSet {
+    rules: Vec<CompiledRule>,
+}
+
+impl CompiledRuleSet {
+    /// Validates and compiles a rule set against a schema.
+    ///
+    /// Validation is the interpreter path's own whole-set check (every
+    /// rule's schema effects applied to a scratch schema first, Fig. 1's
+    /// two-stage process), so anything the interpreter would reject at
+    /// registration is rejected here — and on failure the caller's
+    /// in-service rule set stays untouched.
+    pub fn compile(rules: &[Rule], schema: &Schema) -> Result<CompiledRuleSet, PrmlError> {
+        let classes = check_rules(rules, schema)?;
+        let effective = augmented_schema(rules, schema);
+        let compiled = rules
+            .iter()
+            .zip(classes)
+            .map(|(rule, class)| program::compile_rule(rule, class, &effective))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledRuleSet { rules: compiled })
+    }
+
+    /// The compiled rules, in registration order.
+    pub fn rules(&self) -> &[CompiledRule] {
+        &self.rules
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The classification of each rule, in registration order.
+    pub fn classes(&self) -> Vec<RuleClass> {
+        self.rules.iter().map(|r| r.class).collect()
+    }
+
+    /// The lock-free condition phase: which rules does this event fire?
+    ///
+    /// Pure string comparison over precomputed matchers — no cube access,
+    /// no allocation beyond the result, safe to run against any snapshot
+    /// without holding the master lock.
+    pub fn matched_rules(&self, event: &RuntimeEvent) -> Vec<usize> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, rule)| rule.matcher.matches(event))
+            .map(|(index, _)| index)
+            .collect()
+    }
+
+    /// The effect-application phase: runs the bodies of the rules
+    /// `matched_rules` returned, in registration order, against a mutable
+    /// context (the caller holds whatever lock the context requires).
+    /// Produces the same report — and on failure the same error, wording
+    /// included — as the interpreter's `fire`.
+    pub fn fire_matched(
+        &self,
+        matched: &[usize],
+        ctx: &mut EvalContext<'_>,
+    ) -> Result<FireReport, PrmlError> {
+        let mut report = FireReport {
+            effects: Vec::new(),
+            rules_matched: matched.len(),
+        };
+        for &index in matched {
+            let rule = &self.rules[index];
+            let mut effect = RuleEffect::new(rule.name.clone());
+            let mut slots = vec![Value::Null; rule.slot_count];
+            exec::run_statements(&rule.body, &mut slots, ctx, &mut effect)
+                .map_err(|e| attach_rule(e, &rule.name))?;
+            report.effects.push(effect);
+        }
+        Ok(report)
+    }
+
+    /// Convenience single-call firing (condition phase + effect phase),
+    /// drop-in equivalent to the interpreter's `RuleEngine::fire`.
+    pub fn fire(
+        &self,
+        event: &RuntimeEvent,
+        ctx: &mut EvalContext<'_>,
+    ) -> Result<FireReport, PrmlError> {
+        let matched = self.matched_rules(event);
+        self.fire_matched(&matched, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::*;
+    use crate::eval::context::StaticLayerSource;
+    use crate::eval::engine::RuleEngine;
+    use crate::parser::parse_rules;
+    use sdwp_geometry::{LineString, Point};
+    use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, SchemaBuilder};
+    use sdwp_olap::{CellValue, Cube};
+    use sdwp_user::{Role, Session, SpatialSelectionInterest, UserProfile};
+
+    fn sales_schema() -> Schema {
+        SchemaBuilder::new("SalesDW")
+            .dimension(
+                DimensionBuilder::new("Store")
+                    .level(
+                        "Store",
+                        vec![
+                            sdwp_model::Attribute::descriptor("name", AttributeType::Text),
+                            sdwp_model::Attribute::new("address", AttributeType::Text),
+                        ],
+                    )
+                    .simple_level("City", "name")
+                    .simple_level("State", "name")
+                    .build(),
+            )
+            .dimension(
+                DimensionBuilder::new("Time")
+                    .simple_level("Day", "name")
+                    .build(),
+            )
+            .fact(
+                FactBuilder::new("Sales")
+                    .measure("UnitSales", AttributeType::Float)
+                    .dimension("Store")
+                    .dimension("Time")
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn sales_cube() -> Cube {
+        let mut cube = Cube::new(sales_schema());
+        for i in 0..5 {
+            cube.add_dimension_member(
+                "Store",
+                vec![
+                    ("Store.name", CellValue::from(format!("S{i}"))),
+                    ("City.name", CellValue::from(format!("City{i}"))),
+                    (
+                        "Store.geometry",
+                        CellValue::Geometry(Point::new(i as f64 * 10.0, 0.0).into()),
+                    ),
+                    (
+                        "City.geometry",
+                        CellValue::Geometry(Point::new(i as f64 * 10.0, 1.0).into()),
+                    ),
+                ],
+            )
+            .unwrap();
+        }
+        cube.add_dimension_member("Time", vec![("Day.name", CellValue::from("Mon"))])
+            .unwrap();
+        cube
+    }
+
+    fn manager_profile() -> UserProfile {
+        UserProfile::new("u1", "Octavio")
+            .with_role(Role::new("RegionalSalesManager"))
+            .with_interest(SpatialSelectionInterest::new("AirportCity"))
+    }
+
+    fn layers() -> StaticLayerSource {
+        let mut source = StaticLayerSource::new();
+        source.insert(
+            "Airport",
+            vec![("ALC".to_string(), Point::new(0.0, 1.0).into())],
+        );
+        source.insert(
+            "Train",
+            vec![(
+                "coastal line".to_string(),
+                LineString::from_tuples(&[(0.0, 1.0), (50.0, 1.0)])
+                    .unwrap()
+                    .into(),
+            )],
+        );
+        source
+    }
+
+    /// Fires both engines on identical state and asserts identical
+    /// outcomes (report or error text) plus identical resulting schemas
+    /// and profiles.
+    fn assert_equivalent(rules_text: &[&str], event: &RuntimeEvent, threshold: Option<f64>) {
+        let rules: Vec<Rule> = rules_text
+            .iter()
+            .flat_map(|t| parse_rules(t).unwrap())
+            .collect();
+        let compiled = CompiledRuleSet::compile(&rules, &sales_schema()).unwrap();
+        let mut engine = RuleEngine::new();
+        for rule in &rules {
+            engine.add_rule(rule.clone());
+        }
+
+        let source = layers();
+        let session = Session::start(1, "u1");
+
+        let mut cube_i = sales_cube();
+        let mut profile_i = manager_profile();
+        let mut ctx = EvalContext::new(&mut cube_i, &mut profile_i)
+            .with_session(&session)
+            .with_layer_source(&source);
+        if let Some(t) = threshold {
+            ctx = ctx.with_parameter("threshold", t);
+        }
+        let interpreted = engine.fire(event, &mut ctx);
+        drop(ctx);
+
+        let mut cube_c = sales_cube();
+        let mut profile_c = manager_profile();
+        let mut ctx = EvalContext::new(&mut cube_c, &mut profile_c)
+            .with_session(&session)
+            .with_layer_source(&source);
+        if let Some(t) = threshold {
+            ctx = ctx.with_parameter("threshold", t);
+        }
+        let compiled_result = compiled.fire(event, &mut ctx);
+        drop(ctx);
+
+        match (interpreted, compiled_result) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!("interpreter {a:?} vs compiled {b:?}"),
+        }
+        assert_eq!(cube_i.schema(), cube_c.schema());
+        assert_eq!(profile_i, profile_c);
+    }
+
+    #[test]
+    fn paper_rules_compile_and_match_the_interpreter() {
+        for event in [
+            RuntimeEvent::SessionStart,
+            RuntimeEvent::SessionEnd,
+            RuntimeEvent::spatial_selection("GeoMD.Store.City"),
+        ] {
+            assert_equivalent(&ALL_PAPER_RULES, &event, Some(2.0));
+        }
+    }
+
+    #[test]
+    fn classes_match_the_checker() {
+        let rules: Vec<Rule> = ALL_PAPER_RULES
+            .iter()
+            .flat_map(|t| parse_rules(t).unwrap())
+            .collect();
+        let schema = sales_schema();
+        let compiled = CompiledRuleSet::compile(&rules, &schema).unwrap();
+        assert_eq!(compiled.classes(), check_rules(&rules, &schema).unwrap());
+        assert_eq!(compiled.len(), rules.len());
+        assert!(!compiled.is_empty());
+    }
+
+    #[test]
+    fn matched_rules_is_the_interpreters_event_match() {
+        let rules: Vec<Rule> = ALL_PAPER_RULES
+            .iter()
+            .flat_map(|t| parse_rules(t).unwrap())
+            .collect();
+        let compiled = CompiledRuleSet::compile(&rules, &sales_schema()).unwrap();
+        // Element matched with an explicit expression: exact normalised
+        // text comparison, like the interpreter.
+        let matching = RuntimeEvent::SpatialSelection {
+            element: "GeoMD.Store.City".into(),
+            expression: Some(
+                "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20".into(),
+            ),
+        };
+        assert_eq!(compiled.matched_rules(&matching).len(), 1);
+        let non_matching = RuntimeEvent::SpatialSelection {
+            element: "GeoMD.Store.City".into(),
+            expression: Some("Inside(GeoMD.Store.City.geometry, GeoMD.Airport.geometry)".into()),
+        };
+        assert!(compiled.matched_rules(&non_matching).is_empty());
+        assert!(compiled
+            .matched_rules(&RuntimeEvent::spatial_selection("GeoMD.Customer"))
+            .is_empty());
+    }
+
+    #[test]
+    fn constant_folding_preserves_division_by_zero() {
+        let rules = parse_rules(
+            "Rule:bad When SessionStart do If (1 / 0 > 1) then AddLayer('x', POINT) endIf endWhen",
+        )
+        .unwrap();
+        let compiled = CompiledRuleSet::compile(&rules, &sales_schema()).unwrap();
+        let mut cube = sales_cube();
+        let mut profile = manager_profile();
+        let mut ctx = EvalContext::new(&mut cube, &mut profile);
+        let err = compiled
+            .fire(&RuntimeEvent::SessionStart, &mut ctx)
+            .unwrap_err();
+        assert!(err.to_string().contains("division by zero"));
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn constant_folding_evaluates_literal_arithmetic() {
+        // (2 + 3) * 4 > 10 folds to a constant true: the compiled body is
+        // a bare If whose condition is a single Const op, and firing takes
+        // the then-branch.
+        let rules = parse_rules(
+            "Rule:folded When SessionStart do \
+             If ((2 + 3) * 4 > 10) then SetContent(SUS.DecisionMaker.theme, 'dark') endIf endWhen",
+        )
+        .unwrap();
+        let compiled = CompiledRuleSet::compile(&rules, &sales_schema()).unwrap();
+        let mut cube = sales_cube();
+        let mut profile = manager_profile();
+        let mut ctx = EvalContext::new(&mut cube, &mut profile);
+        let report = compiled
+            .fire(&RuntimeEvent::SessionStart, &mut ctx)
+            .unwrap();
+        assert_eq!(report.effects[0].set_contents, 1);
+    }
+
+    // ----- negative paths: every rejection leaves nothing compiled -----
+
+    #[test]
+    fn unknown_model_path_is_rejected_at_compile() {
+        let rules = parse_rules(
+            "Rule:bad When SessionStart do \
+             If (MD.Sales.Warehouse.name = 'x') then AddLayer('A', POINT) endIf endWhen",
+        )
+        .unwrap();
+        let err = CompiledRuleSet::compile(&rules, &sales_schema()).unwrap_err();
+        assert!(matches!(err, PrmlError::Check { .. }));
+    }
+
+    #[test]
+    fn undeclared_variable_is_rejected_at_compile() {
+        let rules = parse_rules("Rule:bad When SessionStart do SelectInstance(s) endWhen").unwrap();
+        assert!(CompiledRuleSet::compile(&rules, &sales_schema()).is_err());
+    }
+
+    #[test]
+    fn bad_set_content_target_is_rejected_at_compile() {
+        let rules =
+            parse_rules("Rule:bad When SessionStart do SetContent(MD.Sales.UnitSales, 1) endWhen")
+                .unwrap();
+        assert!(CompiledRuleSet::compile(&rules, &sales_schema()).is_err());
+    }
+
+    #[test]
+    fn wrong_operator_arity_is_rejected_at_compile() {
+        let rules = parse_rules(
+            "Rule:bad When SessionStart do \
+             If (Inside(MD.Sales.Store.name) = true) then AddLayer('A', POINT) endIf endWhen",
+        )
+        .unwrap();
+        assert!(CompiledRuleSet::compile(&rules, &sales_schema()).is_err());
+    }
+
+    #[test]
+    fn unknown_operator_is_rejected_at_compile() {
+        let rules = parse_rules(
+            "Rule:bad When SessionStart do \
+             If (Buffer(MD.Sales.Store.name, 5) = true) then AddLayer('A', POINT) endIf endWhen",
+        )
+        .unwrap();
+        assert!(CompiledRuleSet::compile(&rules, &sales_schema()).is_err());
+    }
+
+    #[test]
+    fn shadowed_loop_variable_is_rejected_at_compile() {
+        let rules = parse_rules(
+            "Rule:bad When SessionStart do \
+             Foreach s in (GeoMD.Store) Foreach s in (GeoMD.Store) SelectInstance(s) endForeach endForeach endWhen",
+        )
+        .unwrap();
+        assert!(CompiledRuleSet::compile(&rules, &sales_schema()).is_err());
+    }
+
+    #[test]
+    fn become_spatial_unknown_level_is_rejected_at_compile() {
+        let rules = parse_rules(
+            "Rule:bad When SessionStart do BecomeSpatial(MD.Sales.Warehouse.geometry, POINT) endWhen",
+        )
+        .unwrap();
+        assert!(CompiledRuleSet::compile(&rules, &sales_schema()).is_err());
+    }
+}

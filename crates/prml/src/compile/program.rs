@@ -1,0 +1,497 @@
+//! The compiled instruction stream and the lowering pass that produces it.
+//!
+//! Expressions lower to postfix programs over a value stack; statements
+//! lower to a small tree mirroring the interpreter's control flow but with
+//! loop variables bound to pre-allocated slots instead of a name-scanned
+//! scope stack, SUS paths pre-parsed, designer-parameter keys
+//! pre-lowercased and runtime-immutable model paths pre-resolved.
+//!
+//! Constant folding evaluates literal subtrees at compile time through the
+//! *same* semantic kernels the interpreter uses ([`binary_values`],
+//! [`unary_value`]), so a folded `1 / 0` becomes a [`Op::Fail`] carrying
+//! the interpreter's exact "division by zero" message, raised at the
+//! interpreter's exact evaluation point (left operand before right).
+
+use crate::ast::{Action, BinaryOp, EventSpec, Expr, Rule, Statement, UnaryOp};
+use crate::error::PrmlError;
+use crate::eval::engine::{body_selects_variable, normalise};
+use crate::eval::expr::{binary_values, unary_value};
+use crate::eval::value::Value;
+use crate::pretty::print_expr;
+use crate::typecheck::RuleClass;
+use sdwp_model::{PathExpr, PathPrefix, PathResolver, PathTarget, Schema};
+use sdwp_olap::cube::attribute_column;
+use sdwp_user::SusPath;
+
+/// One instruction of a compiled expression program (postfix order).
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Push a constant (a literal or a constant-folded subtree).
+    Const(Value),
+    /// Raise an evaluation error with this message — a subtree the folder
+    /// proved always fails, raised in the interpreter's evaluation order.
+    Fail(String),
+    /// Push the loop variable bound to this slot.
+    Slot(u16),
+    /// Push a property chain read off the loop variable in this slot.
+    SlotProps {
+        /// The variable's slot.
+        slot: u16,
+        /// The property segments after the variable name.
+        props: Vec<String>,
+    },
+    /// Push a designer parameter.
+    Param {
+        /// Pre-lowercased lookup key.
+        key: String,
+        /// The identifier as written (for the unknown-parameter error).
+        display: String,
+    },
+    /// Push a user-model value (path pre-parsed at compile time).
+    Sus(SusPath),
+    /// Push the value of an `MD.` / `GeoMD.` path.
+    Model(ModelPlan),
+    /// Pop one value and apply a unary operator.
+    Unary(UnaryOp),
+    /// Pop two values and apply a binary operator.
+    Binary(BinaryOp),
+    /// Pop `argc` values and apply a named operator.
+    Call {
+        /// Operator name as written.
+        function: String,
+        /// Number of arguments to pop.
+        argc: usize,
+    },
+}
+
+/// How a compiled `MD.` / `GeoMD.` path reads the cube.
+///
+/// Dimensions, levels and attributes never change at runtime, so paths
+/// resolving to them are pre-resolved (the attribute's physical column
+/// name is precomputed). Layers and geometries *do* change at runtime
+/// (`AddLayer` / `BecomeSpatial` earlier in the same firing), so those
+/// paths re-resolve against the live schema per evaluation, exactly like
+/// the interpreter — including its errors when the schema element does
+/// not exist yet.
+#[derive(Debug, Clone)]
+pub(crate) enum ModelPlan {
+    /// All instances of a pre-resolved level.
+    Level {
+        /// Dimension name.
+        dimension: String,
+        /// Level name.
+        level: String,
+    },
+    /// All values of a level attribute, with the physical column name
+    /// precomputed.
+    Attribute {
+        /// Dimension name.
+        dimension: String,
+        /// Precomputed `attribute_column(level, attribute)` name.
+        column: String,
+    },
+    /// Re-resolve the segments against the live schema at runtime.
+    Dynamic(Vec<String>),
+}
+
+/// A compiled expression: a postfix program leaving one value on the stack.
+#[derive(Debug, Clone)]
+pub(crate) struct Prog {
+    pub(crate) ops: Vec<Op>,
+}
+
+/// A loop-variable binding of a compiled `Foreach`.
+#[derive(Debug, Clone)]
+pub(crate) struct Binding {
+    /// The slot the variable binds to.
+    pub(crate) slot: u16,
+    /// Whether the loop body selects this variable (pre-registers an empty
+    /// dimension selection even when zero instances match, §5.2).
+    pub(crate) preselect: bool,
+}
+
+/// A compiled statement.
+#[derive(Debug, Clone)]
+pub(crate) enum CStmt {
+    /// A conditional.
+    If {
+        condition: Prog,
+        then_branch: Vec<CStmt>,
+        else_branch: Vec<CStmt>,
+    },
+    /// A cartesian-product loop.
+    Foreach {
+        bindings: Vec<Binding>,
+        sources: Vec<Prog>,
+        body: Vec<CStmt>,
+    },
+    /// A schema action (`AddLayer` / `BecomeSpatial`), executed through
+    /// the interpreter's own action executor so the two paths share one
+    /// mutation implementation.
+    Direct(Action),
+    /// `SelectInstance` with a compiled target.
+    Select { target: Prog },
+    /// `SetContent` with the SUS path pre-parsed (or its parse error
+    /// preserved, raised after the value evaluates — the interpreter's
+    /// error order).
+    SetContent {
+        value: Prog,
+        path: Result<SusPath, String>,
+    },
+    /// A statement the compiler proved always fails at runtime.
+    Fail(String),
+}
+
+/// A rule's event specification with all matching text precomputed, so the
+/// condition (match) phase is pure string comparison against the event —
+/// no locks, no cube access, no per-event pretty-printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchSpec {
+    /// Matches `SessionStart` events.
+    SessionStart,
+    /// Matches `SessionEnd` events.
+    SessionEnd,
+    /// Matches `SpatialSelection` events by element text and (when the
+    /// event carries one) normalised condition text.
+    SpatialSelection {
+        /// The pretty-printed element path.
+        element: String,
+        /// The normalised pretty-printed condition.
+        condition: String,
+    },
+}
+
+impl MatchSpec {
+    /// Does this specification match a runtime event? Behaviourally
+    /// identical to the interpreter's event matching, with the rule side
+    /// precomputed at compile time.
+    pub fn matches(&self, event: &crate::eval::engine::RuntimeEvent) -> bool {
+        use crate::eval::engine::RuntimeEvent;
+        match (self, event) {
+            (MatchSpec::SessionStart, RuntimeEvent::SessionStart) => true,
+            (MatchSpec::SessionEnd, RuntimeEvent::SessionEnd) => true,
+            (
+                MatchSpec::SpatialSelection { element, condition },
+                RuntimeEvent::SpatialSelection {
+                    element: event_element,
+                    expression,
+                },
+            ) => {
+                element.eq_ignore_ascii_case(event_element)
+                    && match expression {
+                        None => true,
+                        Some(text) => *condition == normalise(text),
+                    }
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One rule lowered to the compact instruction stream.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// The rule name (attached to evaluation errors, like the
+    /// interpreter).
+    pub name: String,
+    /// The personalization stage the rule belongs to.
+    pub class: RuleClass,
+    /// The precomputed event matcher.
+    pub matcher: MatchSpec,
+    pub(crate) body: Vec<CStmt>,
+    pub(crate) slot_count: usize,
+}
+
+/// Lowers one type-checked rule against the effective (augmented) schema.
+pub(crate) fn compile_rule(
+    rule: &Rule,
+    class: RuleClass,
+    schema: &Schema,
+) -> Result<CompiledRule, PrmlError> {
+    let matcher = match &rule.event {
+        EventSpec::SessionStart => MatchSpec::SessionStart,
+        EventSpec::SessionEnd => MatchSpec::SessionEnd,
+        EventSpec::SpatialSelection { element, condition } => MatchSpec::SpatialSelection {
+            element: print_expr(element),
+            condition: normalise(&print_expr(condition)),
+        },
+    };
+    let mut compiler = Compiler {
+        rule: &rule.name,
+        schema,
+        scope: Vec::new(),
+        max_slots: 0,
+    };
+    let body = compiler.compile_statements(&rule.body)?;
+    Ok(CompiledRule {
+        name: rule.name.clone(),
+        class,
+        matcher,
+        body,
+        slot_count: compiler.max_slots,
+    })
+}
+
+struct Compiler<'a> {
+    rule: &'a str,
+    schema: &'a Schema,
+    /// Statically tracked loop-variable scope; a variable's slot is its
+    /// depth at binding time (the runtime scope stack is exactly the
+    /// lexical nesting, so depth-indexed slots reproduce innermost-wins
+    /// lookup).
+    scope: Vec<String>,
+    max_slots: usize,
+}
+
+/// Where the folder landed for a subtree.
+enum Folded {
+    /// The subtree is a compile-time constant.
+    Const(Value),
+    /// The subtree always fails with this message.
+    Fail(String),
+    /// The subtree needs runtime evaluation.
+    Dyn(Vec<Op>),
+}
+
+impl Folded {
+    fn into_ops(self) -> Vec<Op> {
+        match self {
+            Folded::Const(value) => vec![Op::Const(value)],
+            Folded::Fail(message) => vec![Op::Fail(message)],
+            Folded::Dyn(ops) => ops,
+        }
+    }
+}
+
+/// Extracts the message of an anonymous evaluation error produced by a
+/// shared kernel during folding (kernels always return `Eval` with an
+/// empty rule name).
+fn eval_message(error: PrmlError) -> String {
+    match error {
+        PrmlError::Eval { message, .. } => message,
+        other => other.to_string(),
+    }
+}
+
+impl Compiler<'_> {
+    fn compile_statements(&mut self, statements: &[Statement]) -> Result<Vec<CStmt>, PrmlError> {
+        statements
+            .iter()
+            .map(|s| self.compile_statement(s))
+            .collect()
+    }
+
+    fn compile_statement(&mut self, statement: &Statement) -> Result<CStmt, PrmlError> {
+        match statement {
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => Ok(CStmt::If {
+                condition: self.compile_expr(condition),
+                then_branch: self.compile_statements(then_branch)?,
+                else_branch: self.compile_statements(else_branch)?,
+            }),
+            Statement::Foreach {
+                variables,
+                sources,
+                body,
+            } => {
+                // Sources evaluate in the outer scope, before the loop
+                // variables bind (the interpreter pushes bindings only
+                // once all collections are materialised).
+                let sources: Vec<Prog> = sources.iter().map(|s| self.compile_expr(s)).collect();
+                let mut bindings = Vec::with_capacity(variables.len());
+                for variable in variables {
+                    let slot = self.scope.len();
+                    if slot > usize::from(u16::MAX) {
+                        return Err(PrmlError::Check {
+                            rule: self.rule.to_string(),
+                            message: "too many nested loop variables to compile".into(),
+                        });
+                    }
+                    bindings.push(Binding {
+                        slot: slot as u16,
+                        preselect: body_selects_variable(body, variable),
+                    });
+                    self.scope.push(variable.clone());
+                    self.max_slots = self.max_slots.max(self.scope.len());
+                }
+                let compiled_body = self.compile_statements(body);
+                self.scope.truncate(self.scope.len() - variables.len());
+                Ok(CStmt::Foreach {
+                    bindings,
+                    sources,
+                    body: compiled_body?,
+                })
+            }
+            Statement::Action(action) => Ok(self.compile_action(action)),
+        }
+    }
+
+    fn compile_action(&mut self, action: &Action) -> CStmt {
+        match action {
+            Action::AddLayer { .. } | Action::BecomeSpatial { .. } => CStmt::Direct(action.clone()),
+            Action::SelectInstance { target } => CStmt::Select {
+                target: self.compile_expr(target),
+            },
+            Action::SetContent { target, value } => {
+                let Some(segments) = target.as_path() else {
+                    return CStmt::Fail("SetContent target must be a path".into());
+                };
+                if !segments
+                    .first()
+                    .map(|s| s.eq_ignore_ascii_case("SUS"))
+                    .unwrap_or(false)
+                {
+                    return CStmt::Fail(format!(
+                        "SetContent target '{}' must be a SUS (user model) path",
+                        segments.join(".")
+                    ));
+                }
+                CStmt::SetContent {
+                    value: self.compile_expr(value),
+                    path: SusPath::parse(&segments.join(".")).map_err(|e| e.to_string()),
+                }
+            }
+        }
+    }
+
+    fn compile_expr(&mut self, expr: &Expr) -> Prog {
+        Prog {
+            ops: self.fold(expr).into_ops(),
+        }
+    }
+
+    fn fold(&mut self, expr: &Expr) -> Folded {
+        match expr {
+            Expr::Number(n) => Folded::Const(Value::Number(*n)),
+            Expr::Text(s) => Folded::Const(Value::Text(s.clone())),
+            Expr::Boolean(b) => Folded::Const(Value::Boolean(*b)),
+            Expr::GeometricType(g) => Folded::Const(Value::GeometricType(*g)),
+            Expr::Path(segments) => self.fold_path(segments),
+            Expr::Unary { op, operand } => match self.fold(operand) {
+                Folded::Const(value) => match unary_value(*op, &value) {
+                    Ok(folded) => Folded::Const(folded),
+                    Err(e) => Folded::Fail(eval_message(e)),
+                },
+                Folded::Fail(message) => Folded::Fail(message),
+                Folded::Dyn(mut ops) => {
+                    ops.push(Op::Unary(*op));
+                    Folded::Dyn(ops)
+                }
+            },
+            Expr::Binary { op, left, right } => {
+                let lhs = self.fold(left);
+                let rhs = self.fold(right);
+                match (lhs, rhs) {
+                    // The interpreter evaluates left before right, so a
+                    // failing left subtree swallows the right one...
+                    (Folded::Fail(message), _) => Folded::Fail(message),
+                    // ...and a constant left cannot fail before a failing
+                    // right does.
+                    (Folded::Const(_), Folded::Fail(message)) => Folded::Fail(message),
+                    (Folded::Const(a), Folded::Const(b)) => match binary_values(*op, &a, &b) {
+                        Ok(value) => Folded::Const(value),
+                        Err(e) => Folded::Fail(eval_message(e)),
+                    },
+                    // A dynamic left runs first even when the right always
+                    // fails: its runtime error (if any) must win.
+                    (lhs, rhs) => {
+                        let mut ops = lhs.into_ops();
+                        ops.extend(rhs.into_ops());
+                        ops.push(Op::Binary(*op));
+                        Folded::Dyn(ops)
+                    }
+                }
+            }
+            Expr::Call { function, args } => {
+                // Calls touch the context (distance metric, cube
+                // geometries), so they never fold — but argument order is
+                // preserved, so a folded failing argument still raises at
+                // the interpreter's exact point.
+                let mut ops = Vec::new();
+                for arg in args {
+                    ops.extend(self.fold(arg).into_ops());
+                }
+                ops.push(Op::Call {
+                    function: function.clone(),
+                    argc: args.len(),
+                });
+                Folded::Dyn(ops)
+            }
+        }
+    }
+
+    /// Classifies a path exactly like the interpreter's runtime
+    /// precedence: SUS → MD/GeoMD → loop variable → designer parameter →
+    /// error. The compile-time scope tracks the lexical loop nesting, which
+    /// is precisely the interpreter's runtime binding stack.
+    fn fold_path(&mut self, segments: &[String]) -> Folded {
+        let Some(head) = segments.first() else {
+            return Folded::Fail("empty path expression".into());
+        };
+        if head.eq_ignore_ascii_case("SUS") {
+            return match SusPath::parse(&segments.join(".")) {
+                Ok(path) => Folded::Dyn(vec![Op::Sus(path)]),
+                Err(e) => Folded::Fail(e.to_string()),
+            };
+        }
+        if head.eq_ignore_ascii_case("MD") || head.eq_ignore_ascii_case("GeoMD") {
+            return self.plan_model_path(segments);
+        }
+        if let Some(slot) = self.scope.iter().rposition(|name| name == head) {
+            let slot = slot as u16;
+            return Folded::Dyn(vec![if segments.len() == 1 {
+                Op::Slot(slot)
+            } else {
+                Op::SlotProps {
+                    slot,
+                    props: segments[1..].to_vec(),
+                }
+            }]);
+        }
+        if segments.len() == 1 {
+            return Folded::Dyn(vec![Op::Param {
+                key: head.to_lowercase(),
+                display: head.clone(),
+            }]);
+        }
+        Folded::Fail(format!(
+            "'{}' is not a model path, loop variable or parameter",
+            segments.join(".")
+        ))
+    }
+
+    /// Pre-resolves a model path where the resolution is provably stable
+    /// at runtime. Facts and measures are immutable and always rejected by
+    /// the evaluator, so they fold to the rejection. Levels and attributes
+    /// are immutable and resolve the same against any live schema (layers
+    /// shadow them in resolution order, but a path that resolved *past*
+    /// the layer check cannot start shadowing — the compile schema already
+    /// contains every layer the rule set can add). Everything else —
+    /// layers, geometries, resolution failures — re-resolves at runtime,
+    /// because the live schema augments incrementally as schema rules run.
+    fn plan_model_path(&self, segments: &[String]) -> Folded {
+        let prefix = PathPrefix::parse(&segments[0]).unwrap_or(PathPrefix::GeoMd);
+        let expr = PathExpr::new(prefix, segments[1..].to_vec());
+        let plan = match PathResolver::new(self.schema).resolve(&expr) {
+            Ok(PathTarget::Fact { fact }) | Ok(PathTarget::Measure { fact, .. }) => {
+                return Folded::Fail(format!(
+                    "fact '{fact}' cannot be used directly in a rule expression"
+                ));
+            }
+            Ok(PathTarget::Level { dimension, level }) => ModelPlan::Level { dimension, level },
+            Ok(PathTarget::LevelAttribute {
+                dimension,
+                level,
+                attribute,
+            }) => ModelPlan::Attribute {
+                dimension,
+                column: attribute_column(&level, &attribute),
+            },
+            _ => ModelPlan::Dynamic(segments.to_vec()),
+        };
+        Folded::Dyn(vec![Op::Model(plan)])
+    }
+}

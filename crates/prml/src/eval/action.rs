@@ -88,7 +88,11 @@ pub fn execute_action(
 
 /// Registers a selected value (an instance or a collection of instances) in
 /// the rule effect. Geometries and other scalars cannot be selected.
-fn select_value(value: &Value, effect: &mut RuleEffect, rule: &str) -> Result<(), PrmlError> {
+pub(crate) fn select_value(
+    value: &Value,
+    effect: &mut RuleEffect,
+    rule: &str,
+) -> Result<(), PrmlError> {
     match value {
         Value::Instance(instance) => {
             match &instance.source {
@@ -135,7 +139,7 @@ fn select_value(value: &Value, effect: &mut RuleEffect, rule: &str) -> Result<()
 }
 
 /// Attaches a rule name to errors raised by nested evaluation.
-fn rename(error: PrmlError, rule: &str) -> PrmlError {
+pub(crate) fn rename(error: PrmlError, rule: &str) -> PrmlError {
     match error {
         PrmlError::Eval { rule: r, message } if r.is_empty() => PrmlError::Eval {
             rule: rule.to_string(),

@@ -136,7 +136,7 @@ impl RuleEngine {
 }
 
 /// Attaches the rule name to anonymous evaluation errors.
-fn attach_rule(error: PrmlError, rule: &str) -> PrmlError {
+pub(crate) fn attach_rule(error: PrmlError, rule: &str) -> PrmlError {
     match error {
         PrmlError::Eval { rule: r, message } if r.is_empty() => PrmlError::Eval {
             rule: rule.to_string(),
@@ -147,7 +147,7 @@ fn attach_rule(error: PrmlError, rule: &str) -> PrmlError {
 }
 
 /// Does a rule's event specification match a runtime event?
-fn event_matches(spec: &EventSpec, event: &RuntimeEvent) -> bool {
+pub(crate) fn event_matches(spec: &EventSpec, event: &RuntimeEvent) -> bool {
     match (spec, event) {
         (EventSpec::SessionStart, RuntimeEvent::SessionStart) => true,
         (EventSpec::SessionEnd, RuntimeEvent::SessionEnd) => true,
@@ -174,7 +174,7 @@ fn event_matches(spec: &EventSpec, event: &RuntimeEvent) -> bool {
     }
 }
 
-fn normalise(text: &str) -> String {
+pub(crate) fn normalise(text: &str) -> String {
     text.chars()
         .filter(|c| !c.is_whitespace() && *c != '(' && *c != ')')
         .collect::<String>()
@@ -251,7 +251,7 @@ fn execute_statements(
 
 /// Returns `true` when a statement block (recursively) contains a
 /// `SelectInstance` action whose target is the given loop variable.
-fn body_selects_variable(statements: &[Statement], variable: &str) -> bool {
+pub(crate) fn body_selects_variable(statements: &[Statement], variable: &str) -> bool {
     statements.iter().any(|statement| match statement {
         Statement::Action(crate::ast::Action::SelectInstance { target }) => target
             .as_path()

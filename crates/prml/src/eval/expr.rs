@@ -19,16 +19,7 @@ pub fn evaluate(expr: &Expr, ctx: &EvalContext<'_>) -> Result<Value, PrmlError> 
         Expr::Path(segments) => evaluate_path(segments, ctx),
         Expr::Unary { op, operand } => {
             let value = evaluate(operand, ctx)?;
-            match op {
-                UnaryOp::Neg => value
-                    .as_number()
-                    .map(|n| Value::Number(-n))
-                    .ok_or_else(|| type_error("number", &value)),
-                UnaryOp::Not => value
-                    .as_bool()
-                    .map(|b| Value::Boolean(!b))
-                    .ok_or_else(|| type_error("boolean", &value)),
-            }
+            unary_value(*op, &value)
         }
         Expr::Binary { op, left, right } => evaluate_binary(*op, left, right, ctx),
         Expr::Call { function, args } => evaluate_call(function, args, ctx),
@@ -49,7 +40,7 @@ pub fn evaluate_condition(expr: &Expr, ctx: &EvalContext<'_>) -> Result<bool, Pr
     })
 }
 
-fn type_error(expected: &str, found: &Value) -> PrmlError {
+pub(crate) fn type_error(expected: &str, found: &Value) -> PrmlError {
     PrmlError::eval(
         "",
         format!("expected a {expected}, found {}", found.type_name()),
@@ -64,10 +55,34 @@ fn evaluate_binary(
 ) -> Result<Value, PrmlError> {
     let lhs = evaluate(left, ctx)?;
     let rhs = evaluate(right, ctx)?;
+    binary_values(op, &lhs, &rhs)
+}
+
+/// Applies a unary operator to an already-evaluated operand — the single
+/// semantic kernel shared by the AST interpreter and the compiled
+/// instruction stream, so the two paths cannot drift apart.
+pub(crate) fn unary_value(op: UnaryOp, value: &Value) -> Result<Value, PrmlError> {
+    match op {
+        UnaryOp::Neg => value
+            .as_number()
+            .map(|n| Value::Number(-n))
+            .ok_or_else(|| type_error("number", value)),
+        UnaryOp::Not => value
+            .as_bool()
+            .map(|b| Value::Boolean(!b))
+            .ok_or_else(|| type_error("boolean", value)),
+    }
+}
+
+/// Applies a binary operator to already-evaluated operands (both sides are
+/// always evaluated first — `And`/`Or` do not short-circuit). Shared by
+/// the interpreter and the compiled executor, including constant folding
+/// at compile time.
+pub(crate) fn binary_values(op: BinaryOp, lhs: &Value, rhs: &Value) -> Result<Value, PrmlError> {
     match op {
         BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
-            let a = lhs.as_number().ok_or_else(|| type_error("number", &lhs))?;
-            let b = rhs.as_number().ok_or_else(|| type_error("number", &rhs))?;
+            let a = lhs.as_number().ok_or_else(|| type_error("number", lhs))?;
+            let b = rhs.as_number().ok_or_else(|| type_error("number", rhs))?;
             let result = match op {
                 BinaryOp::Add => a + b,
                 BinaryOp::Sub => a - b,
@@ -83,8 +98,8 @@ fn evaluate_binary(
             Ok(Value::Number(result))
         }
         BinaryOp::And | BinaryOp::Or => {
-            let a = lhs.as_bool().ok_or_else(|| type_error("boolean", &lhs))?;
-            let b = rhs.as_bool().ok_or_else(|| type_error("boolean", &rhs))?;
+            let a = lhs.as_bool().ok_or_else(|| type_error("boolean", lhs))?;
+            let b = rhs.as_bool().ok_or_else(|| type_error("boolean", rhs))?;
             Ok(Value::Boolean(if op == BinaryOp::And {
                 a && b
             } else {
@@ -92,7 +107,7 @@ fn evaluate_binary(
             }))
         }
         BinaryOp::Eq | BinaryOp::Ne => {
-            let equal = values_equal(&lhs, &rhs);
+            let equal = values_equal(lhs, rhs);
             Ok(Value::Boolean(if op == BinaryOp::Eq {
                 equal
             } else {
@@ -100,7 +115,7 @@ fn evaluate_binary(
             }))
         }
         BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
-            let ordering = compare_values(&lhs, &rhs).ok_or_else(|| {
+            let ordering = compare_values(lhs, rhs).ok_or_else(|| {
                 PrmlError::eval(
                     "",
                     format!(
@@ -191,7 +206,10 @@ fn evaluate_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Value, Pr
     ))
 }
 
-fn evaluate_model_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Value, PrmlError> {
+pub(crate) fn evaluate_model_path(
+    segments: &[String],
+    ctx: &EvalContext<'_>,
+) -> Result<Value, PrmlError> {
     let prefix = PathPrefix::parse(&segments[0]).unwrap_or(PathPrefix::GeoMd);
     let expr = PathExpr::new(prefix, segments[1..].to_vec());
     let target = PathResolver::new(ctx.cube.schema())
@@ -292,7 +310,7 @@ fn evaluate_model_path(segments: &[String], ctx: &EvalContext<'_>) -> Result<Val
 }
 
 /// Accesses properties of a value (e.g. `s.geometry`, `c.name`).
-fn access_properties(
+pub(crate) fn access_properties(
     value: &Value,
     properties: &[String],
     ctx: &EvalContext<'_>,
@@ -411,7 +429,16 @@ fn evaluate_call(function: &str, args: &[Expr], ctx: &EvalContext<'_>) -> Result
         .iter()
         .map(|a| evaluate(a, ctx))
         .collect::<Result<_, _>>()?;
+    call_values(function, values, ctx)
+}
 
+/// Applies an operator to already-evaluated arguments — shared by the
+/// interpreter and the compiled executor.
+pub(crate) fn call_values(
+    function: &str,
+    values: Vec<Value>,
+    ctx: &EvalContext<'_>,
+) -> Result<Value, PrmlError> {
     let lower = function.to_ascii_lowercase();
     match lower.as_str() {
         "distance" => match values.len() {

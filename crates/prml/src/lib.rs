@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ast;
+pub mod compile;
 pub mod corpus;
 pub mod error;
 pub mod eval;
@@ -42,6 +43,7 @@ pub mod pretty;
 pub mod typecheck;
 
 pub use ast::{Action, BinaryOp, EventSpec, Expr, Rule, Statement, UnaryOp};
+pub use compile::{CompiledRule, CompiledRuleSet, MatchSpec};
 pub use error::PrmlError;
 pub use eval::context::{
     EvalContext, LayerSource, NoExternalLayers, RuleEffect, StaticLayerSource,
@@ -51,4 +53,4 @@ pub use eval::value::{InstanceRef, InstanceSource, Value};
 pub use metamodel::{classify_rule, MetaClass};
 pub use parser::{parse_rule, parse_rules};
 pub use pretty::print_rule;
-pub use typecheck::{check_rule, check_rules, classify, RuleClass};
+pub use typecheck::{augmented_schema, check_rule, check_rules, classify, RuleClass};

@@ -320,6 +320,19 @@ impl Checker<'_> {
 ///
 /// Returns the classification of each rule, in input order.
 pub fn check_rules(rules: &[Rule], schema: &Schema) -> Result<Vec<RuleClass>, PrmlError> {
+    let effective = augmented_schema(rules, schema);
+    rules
+        .iter()
+        .map(|rule| check_rule(rule, &effective))
+        .collect()
+}
+
+/// Applies the schema effects (`AddLayer` / `BecomeSpatial`) of every rule
+/// to a copy of the schema — the effective GeoMD schema the two-stage
+/// process of Fig. 1 produces. [`check_rules`] validates against it, and
+/// the rule compiler resolves paths against the same schema so both agree
+/// on what a fully personalized warehouse looks like.
+pub fn augmented_schema(rules: &[Rule], schema: &Schema) -> Schema {
     let mut effective = schema.clone();
     for rule in rules {
         for action in rule.actions() {
@@ -336,10 +349,7 @@ pub fn check_rules(rules: &[Rule], schema: &Schema) -> Result<Vec<RuleClass>, Pr
             }
         }
     }
-    rules
-        .iter()
-        .map(|rule| check_rule(rule, &effective))
-        .collect()
+    effective
 }
 
 fn is_model_path(path: &[String]) -> bool {

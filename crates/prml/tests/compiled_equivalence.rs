@@ -1,0 +1,432 @@
+//! The compiled≡interpreted property suite: for arbitrary generated rule
+//! sets and event streams, the compiled rule path (lock-free
+//! `matched_rules` condition phase + `fire_matched` effect phase) must be
+//! indistinguishable from the AST interpreter — same match counts, same
+//! effects, same errors (wording included), same resulting schemas and
+//! profiles — with the interpreter acting as the untouched oracle.
+//!
+//! The generator deliberately produces rules the checker rejects (shadowed
+//! loop variables, undeclared variables, non-SUS `SetContent` targets,
+//! measures used as expressions) and rules whose bodies error at runtime
+//! (division by zero, type mismatches, non-collection `Foreach` sources,
+//! missing parameters): rejected sets must be rejected by the compiler
+//! with the identical message, and erroring firings must error
+//! identically, mutating both worlds identically up to the error point.
+//!
+//! Each stream also exercises the engine-level lifecycle: an erroring
+//! round *rolls back* both worlds to their pre-fire state (what the
+//! engine's master-rollback does), and every other round *re-publishes*
+//! the ruleset by recompiling it from scratch — a freshly compiled set
+//! must be a drop-in replacement mid-stream.
+
+use proptest::prelude::*;
+use sdwp_geometry::{GeometricType, LineString, Point};
+use sdwp_model::{AttributeType, DimensionBuilder, FactBuilder, Schema, SchemaBuilder};
+use sdwp_olap::{CellValue, Cube};
+use sdwp_prml::pretty::print_expr;
+use sdwp_prml::{
+    check_rules, Action, BinaryOp, CompiledRuleSet, EvalContext, EventSpec, Expr, Rule, RuleEngine,
+    RuntimeEvent, Statement, StaticLayerSource, UnaryOp,
+};
+use sdwp_user::{Role, Session, SpatialSelectionInterest, UserProfile};
+
+// ----- fixtures (the paper's sales warehouse, as in the unit tests) -----
+
+fn sales_schema() -> Schema {
+    SchemaBuilder::new("SalesDW")
+        .dimension(
+            DimensionBuilder::new("Store")
+                .level(
+                    "Store",
+                    vec![
+                        sdwp_model::Attribute::descriptor("name", AttributeType::Text),
+                        sdwp_model::Attribute::new("address", AttributeType::Text),
+                    ],
+                )
+                .simple_level("City", "name")
+                .simple_level("State", "name")
+                .build(),
+        )
+        .dimension(
+            DimensionBuilder::new("Time")
+                .simple_level("Day", "name")
+                .build(),
+        )
+        .fact(
+            FactBuilder::new("Sales")
+                .measure("UnitSales", AttributeType::Float)
+                .dimension("Store")
+                .dimension("Time")
+                .build(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn sales_cube() -> Cube {
+    let mut cube = Cube::new(sales_schema());
+    for i in 0..5 {
+        cube.add_dimension_member(
+            "Store",
+            vec![
+                ("Store.name", CellValue::from(format!("S{i}"))),
+                ("City.name", CellValue::from(format!("City{i}"))),
+                (
+                    "Store.geometry",
+                    CellValue::Geometry(Point::new(i as f64 * 10.0, 0.0).into()),
+                ),
+                (
+                    "City.geometry",
+                    CellValue::Geometry(Point::new(i as f64 * 10.0, 1.0).into()),
+                ),
+            ],
+        )
+        .unwrap();
+    }
+    cube.add_dimension_member("Time", vec![("Day.name", CellValue::from("Mon"))])
+        .unwrap();
+    cube
+}
+
+fn manager_profile() -> UserProfile {
+    UserProfile::new("u1", "Octavio")
+        .with_role(Role::new("RegionalSalesManager"))
+        .with_interest(SpatialSelectionInterest::new("AirportCity"))
+}
+
+fn layers() -> StaticLayerSource {
+    let mut source = StaticLayerSource::new();
+    source.insert(
+        "Airport",
+        vec![("ALC".to_string(), Point::new(0.0, 1.0).into())],
+    );
+    source.insert(
+        "Train",
+        vec![(
+            "coastal line".to_string(),
+            LineString::from_tuples(&[(0.0, 1.0), (50.0, 1.0)])
+                .unwrap()
+                .into(),
+        )],
+    );
+    source
+}
+
+// ----- generators -------------------------------------------------------
+
+/// Model/user/parameter paths a generated expression may reference. Most
+/// resolve; `SUS.DecisionMaker.visits` may be unset (runtime error),
+/// `MD.Sales.UnitSales` is a measure (rejected in rule expressions) and
+/// `s.name` references a loop variable that may not be in scope.
+const PATH_POOL: [&str; 10] = [
+    "SUS.DecisionMaker.dm2role.name",
+    "SUS.DecisionMaker.name",
+    "SUS.DecisionMaker.visits",
+    "MD.Sales.Store.City",
+    "MD.Sales.Store.City.name",
+    "MD.Sales.Store.Store.name",
+    "GeoMD.Store.City",
+    "MD.Sales.UnitSales",
+    "threshold",
+    "s.name",
+];
+
+const TEXT_POOL: [&str; 4] = ["RegionalSalesManager", "City1", "Mon", "x"];
+
+/// Uniformly picks one element of a static pool (the vendored proptest
+/// stand-in has no `prop::sample::select`).
+fn pick<T: Copy + 'static>(pool: &'static [T]) -> impl Strategy<Value = T> {
+    (0..pool.len()).prop_map(move |i| pool[i])
+}
+
+fn binary_op() -> impl Strategy<Value = BinaryOp> {
+    pick(&[
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Eq,
+        BinaryOp::Ne,
+        BinaryOp::Lt,
+        BinaryOp::Le,
+        BinaryOp::Gt,
+        BinaryOp::Ge,
+        BinaryOp::And,
+        BinaryOp::Or,
+    ])
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-4i32..=8).prop_map(|n| Expr::Number(f64::from(n) * 0.5)),
+        pick(&TEXT_POOL).prop_map(|t| Expr::Text(t.to_string())),
+        any::<bool>().prop_map(Expr::Boolean),
+        pick(&PATH_POOL).prop_map(Expr::path),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (pick(&[UnaryOp::Neg, UnaryOp::Not]), inner.clone()).prop_map(|(op, operand)| {
+                Expr::Unary {
+                    op,
+                    operand: Box::new(operand),
+                }
+            }),
+            (binary_op(), inner.clone(), inner.clone()).prop_map(|(op, left, right)| {
+                Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call {
+                function: "Distance".into(),
+                args: vec![a, b],
+            }),
+        ]
+    })
+}
+
+fn action_strategy() -> impl Strategy<Value = Statement> {
+    let sus_target = pick(&[
+        "SUS.DecisionMaker.visits",
+        "SUS.DecisionMaker.theme",
+        "MD.Sales.Store", // rejected: SetContent needs a SUS path
+    ])
+    .prop_map(Expr::path);
+    let select_target = pick(&[
+        "s", // a loop variable, declared or not
+        "c",
+        "MD.Sales.Store.City",
+        "GeoMD.Store.City",
+    ])
+    .prop_map(Expr::path);
+    let spatial_element =
+        pick(&["MD.Sales.Store.geometry", "MD.Sales.Store.City.geometry"]).prop_map(Expr::path);
+    prop_oneof![
+        (sus_target, expr_strategy())
+            .prop_map(|(target, value)| Statement::Action(Action::SetContent { target, value })),
+        select_target.prop_map(|target| Statement::Action(Action::SelectInstance { target })),
+        pick(&["Airport", "Train"]).prop_map(|name| Statement::Action(Action::AddLayer {
+            name: name.into(),
+            geometry: GeometricType::Point,
+        })),
+        spatial_element.prop_map(|element| Statement::Action(Action::BecomeSpatial {
+            element,
+            geometry: GeometricType::Point,
+        })),
+    ]
+}
+
+fn loop_header() -> impl Strategy<Value = (Vec<String>, Vec<Expr>)> {
+    let source = pick(&[
+        "MD.Sales.Store.City",
+        "MD.Sales.Store.Store",
+        "GeoMD.Store.City",
+        "SUS.DecisionMaker.name", // rejected: not an MD/GeoMD path
+    ])
+    .prop_map(Expr::path)
+    .boxed();
+    prop_oneof![
+        source
+            .clone()
+            .prop_map(|s| (vec!["s".to_string()], vec![s])),
+        (source.clone(), source)
+            .prop_map(|(a, b)| (vec!["s".to_string(), "c".to_string()], vec![a, b])),
+    ]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Statement> {
+    action_strategy().prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            action_strategy(),
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..2),
+            )
+                .prop_map(|(condition, then_branch, else_branch)| Statement::If {
+                    condition,
+                    then_branch,
+                    else_branch,
+                }),
+            (loop_header(), prop::collection::vec(inner, 0..3)).prop_map(
+                |((variables, sources), body)| Statement::Foreach {
+                    variables,
+                    sources,
+                    body,
+                }
+            ),
+        ]
+    })
+}
+
+fn event_strategy() -> impl Strategy<Value = EventSpec> {
+    let element = pick(&[
+        "GeoMD.Store.City",
+        "MD.Sales.Store.City",
+        "GeoMD.Store.Store",
+    ])
+    .prop_map(Expr::path);
+    prop_oneof![
+        Just(EventSpec::SessionStart),
+        Just(EventSpec::SessionEnd),
+        (element, expr_strategy()).prop_map(|(element, condition)| {
+            EventSpec::SpatialSelection { element, condition }
+        }),
+    ]
+}
+
+/// Derives the round's runtime event from a generated pick: session
+/// events, or a spatial selection aimed at a generated rule's own event
+/// spec (element text from the rule, expression text from its printed
+/// condition when `with_expr`) so the match phase sees both hits and
+/// near-misses.
+fn event_for(pick: u8, with_expr: bool, rules: &[Rule]) -> RuntimeEvent {
+    match pick % 4 {
+        0 => RuntimeEvent::SessionStart,
+        1 => RuntimeEvent::SessionEnd,
+        _ => {
+            let spatial = rules.iter().find_map(|rule| match &rule.event {
+                EventSpec::SpatialSelection { element, condition } => Some((element, condition)),
+                _ => None,
+            });
+            match spatial {
+                Some((element, condition)) => RuntimeEvent::SpatialSelection {
+                    element: print_expr(element),
+                    expression: with_expr.then(|| print_expr(condition)),
+                },
+                None => RuntimeEvent::spatial_selection("GeoMD.Store.City"),
+            }
+        }
+    }
+}
+
+// ----- the property -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled and interpreted execution agree on arbitrary rule sets and
+    /// event streams: match decisions, effects, errors (wording included),
+    /// schemas and profiles — across rollback rounds (erroring firings
+    /// restore the pre-fire world, like the engine's master rollback) and
+    /// re-publish rounds (the ruleset is recompiled mid-stream).
+    #[test]
+    fn compiled_execution_matches_the_interpreter(
+        specs in prop::collection::vec(
+            (event_strategy(), prop::collection::vec(stmt_strategy(), 0..4)),
+            1..4,
+        ),
+        picks in prop::collection::vec((any::<u8>(), any::<bool>()), 1..6),
+        threshold in prop_oneof![Just(None), (-2.0f64..8.0).prop_map(Some)],
+    ) {
+        let rules: Vec<Rule> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (event, body))| Rule {
+                name: format!("r{i}"),
+                event,
+                body,
+            })
+            .collect();
+        let schema = sales_schema();
+        let checked = check_rules(&rules, &schema);
+        let mut compiled = match (checked, CompiledRuleSet::compile(&rules, &schema)) {
+            (Err(check_err), Err(compile_err)) => {
+                // A set the checker rejects is rejected by the compiler
+                // with the identical message; nothing to fire.
+                prop_assert_eq!(check_err.to_string(), compile_err.to_string());
+                return Ok(());
+            }
+            (Ok(classes), Ok(compiled)) => {
+                prop_assert_eq!(classes, compiled.classes());
+                compiled
+            }
+            (checked, compiled) => {
+                return Err(TestCaseError::fail(format!(
+                    "checker and compiler disagree: {checked:?} vs {:?}",
+                    compiled.map(|c| c.len())
+                )))
+            }
+        };
+
+        let mut engine = RuleEngine::new();
+        for rule in &rules {
+            engine.add_rule(rule.clone());
+        }
+
+        // Two identical worlds, advanced in lock-step; the interpreter's
+        // is the oracle.
+        let mut cube_i = sales_cube();
+        let mut profile_i = manager_profile();
+        let mut cube_c = sales_cube();
+        let mut profile_c = manager_profile();
+        let source = layers();
+        let session = Session::start(1, "u1");
+
+        for (round, (pick, with_expr)) in picks.iter().enumerate() {
+            let event = event_for(*pick, *with_expr, &rules);
+            // The pre-fire state both worlds roll back to on error (the
+            // engine restores the published snapshot and drops the
+            // profile clone without upserting).
+            let cube_before = cube_i.clone();
+            let profile_before = profile_i.clone();
+
+            let mut ctx = EvalContext::new(&mut cube_i, &mut profile_i)
+                .with_session(&session)
+                .with_layer_source(&source);
+            if let Some(t) = threshold {
+                ctx = ctx.with_parameter("threshold", t);
+            }
+            let interpreted = engine.fire(&event, &mut ctx);
+            drop(ctx);
+
+            // Compiled path exactly as the engine runs it: lock-free
+            // condition phase first, then the effect phase.
+            let matched = compiled.matched_rules(&event);
+            let mut ctx = EvalContext::new(&mut cube_c, &mut profile_c)
+                .with_session(&session)
+                .with_layer_source(&source);
+            if let Some(t) = threshold {
+                ctx = ctx.with_parameter("threshold", t);
+            }
+            let compiled_fired = compiled.fire_matched(&matched, &mut ctx);
+            drop(ctx);
+
+            let errored = match (interpreted, compiled_fired) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(matched.len(), a.rules_matched, "round {}", round);
+                    prop_assert_eq!(&a, &b, "round {}", round);
+                    false
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(a.to_string(), b.to_string(), "round {}", round);
+                    true
+                }
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "round {round}: interpreter {a:?} vs compiled {b:?}"
+                    )))
+                }
+            };
+
+            // However the round went, both worlds mutated identically.
+            prop_assert_eq!(cube_i.schema(), cube_c.schema(), "round {}", round);
+            prop_assert_eq!(&profile_i, &profile_c, "round {}", round);
+
+            if errored {
+                // Rollback round: restore both worlds to the pre-fire
+                // state, as the serving engine does, and keep streaming.
+                cube_i = cube_before.clone();
+                cube_c = cube_before;
+                profile_i = profile_before.clone();
+                profile_c = profile_before;
+            }
+            if round % 2 == 1 {
+                // Re-publish round: a freshly compiled set must be a
+                // drop-in replacement for the one in service.
+                compiled = CompiledRuleSet::compile(&rules, &schema).unwrap();
+            }
+        }
+    }
+}

@@ -86,6 +86,12 @@ fn show(label: &str, response: &WebResponse) {
         WebResponse::GenerationPinned { generation } => {
             println!("[{label}] session pinned to snapshot generation {generation}");
         }
+        WebResponse::RulesReloaded { classes } => {
+            println!(
+                "[{label}] ruleset replaced: {} rules in service",
+                classes.len()
+            );
+        }
         WebResponse::LoggedOut => println!("[{label}] logged out"),
         WebResponse::Error { message } => println!("[{label}] error: {message}"),
     }

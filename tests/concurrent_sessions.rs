@@ -184,9 +184,9 @@ fn eight_threads_of_concurrent_full_lifecycles() {
         }
     }
 
-    // Every session ever started is tracked and now ended.
-    assert_eq!(engine.sessions().len(), THREADS * ROUNDS);
-    assert!(engine.sessions().active_sessions().is_empty());
+    // Every session was logged out, and logout reclaims the per-session
+    // state — the map does not grow with the login history.
+    assert!(engine.sessions().is_empty());
 }
 
 /// The same exercise through the web facade: cloned handles dispatch
