@@ -37,9 +37,10 @@ use sdwp_ingest::{
     IngestHandle, IngestPipeline, IngestStats,
 };
 use sdwp_model::{Schema, SchemaDiff};
+use sdwp_obs::{ClassId, MetricsRegistry, MetricsSnapshot, Stage};
 use sdwp_olap::{
     CacheKey, CacheStats, Cube, DictCacheStats, ExecutionConfig, FactTableStats, GroupDictCache,
-    InstanceView, OlapError, Query, QueryCache, QueryEngine, QueryResult,
+    InstanceView, OlapError, Query, QueryCache, QueryEngine, QueryObs, QueryResult,
 };
 use sdwp_prml::{
     CompiledRuleSet, EvalContext, FireReport, LayerSource, NoExternalLayers, PrmlError, Rule,
@@ -81,6 +82,11 @@ pub(crate) struct CubeState {
     /// more — what lets compaction trim the chain instead of growing it
     /// forever.
     pub(crate) version_pins: VersionPins,
+    /// The metrics registry both write paths record ingest-stage spans
+    /// into (shared with the engine, which records the query/rule/session
+    /// stages). Ingest always records under the default class — epochs
+    /// serve every tenant.
+    pub(crate) metrics: Arc<MetricsRegistry>,
 }
 
 /// Tracks the fact-table compaction versions in-flight rule firings
@@ -141,11 +147,15 @@ impl Drop for VersionPinGuard {
 impl CubeSink for CubeState {
     fn apply_batch(&self, batch: &DeltaBatch) -> Result<BatchOutcome, OlapError> {
         let mut master = self.master.lock();
+        let validate = self.metrics.span(Stage::IngestValidate, ClassId::DEFAULT);
         batch.validate(&master)?;
+        validate.finish();
+        let _apply = self.metrics.span(Stage::IngestApply, ClassId::DEFAULT);
         Ok(batch.apply(&mut master))
     }
 
     fn publish_epoch(&self, changed_facts: &BTreeSet<String>) -> u64 {
+        let _publish = self.metrics.span(Stage::IngestPublish, ClassId::DEFAULT);
         // Hold the master lock across clone, store and cache maintenance
         // so an interleaved rule firing cannot publish in between and have
         // its snapshot (or its cache flush) overtaken by this one.
@@ -172,6 +182,7 @@ impl CubeSink for CubeState {
             .collect();
         let mut outcomes = Vec::new();
         for (fact, rows_before, live_rows) in candidates {
+            let _compact = self.metrics.span(Stage::IngestCompact, ClassId::DEFAULT);
             let version_before = master
                 .fact_table(&fact)
                 .expect("candidate fact exists")
@@ -297,6 +308,12 @@ pub struct PersonalizationEngine {
     /// [`PersonalizationEngine::start_ingest`]. Shut down (drained,
     /// final epoch published, worker joined) when the engine drops.
     ingest: Mutex<Option<IngestPipeline>>,
+    /// The metrics registry every stage span and latency histogram of
+    /// this engine records into (shared with [`CubeState`] for the
+    /// ingest-side stages). Enabled by default; build the engine with
+    /// [`PersonalizationEngine::with_observability`] and
+    /// [`MetricsRegistry::disabled`] to opt out entirely.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl PersonalizationEngine {
@@ -312,11 +329,30 @@ impl PersonalizationEngine {
     }
 
     /// Creates an engine with an explicit executor configuration (worker
-    /// count, morsel size, result-cache capacity).
+    /// count, morsel size, result-cache capacity). Metrics are recorded
+    /// into a fresh enabled registry.
     pub fn with_execution_config(
         cube: Cube,
         layer_source: Arc<dyn LayerSource + Send + Sync>,
         config: ExecutionConfig,
+    ) -> Self {
+        PersonalizationEngine::with_observability(
+            cube,
+            layer_source,
+            config,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    /// Creates an engine with an explicit executor configuration and an
+    /// explicit metrics registry — pass [`MetricsRegistry::disabled`] to
+    /// run with zero recording cost, or a shared registry to aggregate
+    /// several engines into one exposition.
+    pub fn with_observability(
+        cube: Cube,
+        layer_source: Arc<dyn LayerSource + Send + Sync>,
+        config: ExecutionConfig,
+        metrics: Arc<MetricsRegistry>,
     ) -> Self {
         let original_schema = cube.schema().clone();
         let snapshot = VersionedSwap::from_pointee(cube.clone());
@@ -329,6 +365,7 @@ impl PersonalizationEngine {
                 dict_cache: GroupDictCache::new(),
                 sessions: Arc::clone(&sessions),
                 version_pins: VersionPins::default(),
+                metrics: Arc::clone(&metrics),
             }),
             original_schema,
             profiles: ProfileStore::new(),
@@ -340,6 +377,7 @@ impl PersonalizationEngine {
             sessions,
             query_engine: QueryEngine::with_config(config),
             ingest: Mutex::new(None),
+            metrics,
         }
     }
 
@@ -457,18 +495,36 @@ impl PersonalizationEngine {
 
     /// Starts an analysis session for a registered user, firing the
     /// SessionStart rules (schema personalization first, then instance
-    /// selection) and building the session's personalized view.
+    /// selection) and building the session's personalized view. The
+    /// session records latency samples under the default session class.
     pub fn start_session(
         &self,
         user_id: &str,
         location: Option<LocationContext>,
     ) -> Result<SessionHandle, CoreError> {
+        self.start_session_classed(user_id, location, None)
+    }
+
+    /// [`PersonalizationEngine::start_session`] with an explicit session
+    /// class: every latency sample of the session (query stages, totals,
+    /// rule firings) is keyed by it in the metrics registry, which is how
+    /// per-tenant p50/p99 come out of [`Self::metrics_snapshot`]. The
+    /// class name is registered on first use; once [`sdwp_obs::MAX_CLASSES`]
+    /// names exist, further names alias to the default class.
+    pub fn start_session_classed(
+        &self,
+        user_id: &str,
+        location: Option<LocationContext>,
+        class: Option<&str>,
+    ) -> Result<SessionHandle, CoreError> {
+        let class = class.map_or(ClassId::DEFAULT, |name| self.metrics.register_class(name));
+        let _span = self.metrics.span(Stage::SessionStart, class);
         let id = self.sessions.allocate_id();
         let session = match location {
             Some(loc) => Session::start_at(id, user_id, loc),
             None => Session::start(id, user_id),
         };
-        let mut state = SessionState::new(session);
+        let mut state = SessionState::with_class(session, class);
         // The version pin must stay alive until the session is *stored*:
         // between applying the selection effects and `sessions.insert`,
         // the new view's captured compaction version is visible neither
@@ -476,7 +532,7 @@ impl PersonalizationEngine {
         // concurrent compaction could otherwise trim a remap transition
         // the view still needs.
         let (report, fact_versions, _pin) =
-            self.fire_event(user_id, &state.session, &RuntimeEvent::SessionStart)?;
+            self.fire_event(user_id, &state.session, &RuntimeEvent::SessionStart, class)?;
         self.apply_selection_effects(&report, &fact_versions, &mut state.view);
         state.effects.extend(report.effects.iter().cloned());
         let personalization_report = self.build_report(user_id, &state, &report)?;
@@ -496,7 +552,7 @@ impl PersonalizationEngine {
         element: &str,
         expression: Option<&str>,
     ) -> Result<FireReport, CoreError> {
-        let (user_id, session_snapshot) =
+        let (user_id, session_snapshot, class) =
             self.sessions.with_session_mut(session_id, |state| {
                 if !state.is_active() {
                     return Err(CoreError::UnknownSession {
@@ -506,13 +562,18 @@ impl PersonalizationEngine {
                 state
                     .session
                     .record_spatial_selection(element, expression.unwrap_or_default());
-                Ok((state.session.user_id.clone(), state.session.clone()))
+                Ok((
+                    state.session.user_id.clone(),
+                    state.session.clone(),
+                    state.class,
+                ))
             })??;
         let event = RuntimeEvent::SpatialSelection {
             element: element.to_string(),
             expression: expression.map(str::to_string),
         };
-        let (report, fact_versions, pin) = self.fire_event(&user_id, &session_snapshot, &event)?;
+        let (report, fact_versions, pin) =
+            self.fire_event(&user_id, &session_snapshot, &event, class)?;
         self.sessions.with_session_mut(session_id, |state| {
             self.apply_selection_effects(&report, &fact_versions, &mut state.view);
             state.effects.extend(report.effects.iter().cloned());
@@ -531,7 +592,7 @@ impl PersonalizationEngine {
     /// retaining the state would grow the session map without bound and
     /// pin the compaction remap chain on views nobody can query.
     pub fn end_session(&self, session_id: SessionId) -> Result<FireReport, CoreError> {
-        let (user_id, session_snapshot) =
+        let (user_id, session_snapshot, class) =
             self.sessions.with_session_mut(session_id, |state| {
                 if !state.is_active() {
                     return Err(CoreError::UnknownSession {
@@ -539,10 +600,19 @@ impl PersonalizationEngine {
                     });
                 }
                 state.session.end();
-                Ok((state.session.user_id.clone(), state.session.clone()))
+                Ok((
+                    state.session.user_id.clone(),
+                    state.session.clone(),
+                    state.class,
+                ))
             })??;
-        let (report, _, _pin) =
-            self.fire_event(&user_id, &session_snapshot, &RuntimeEvent::SessionEnd)?;
+        let _span = self.metrics.span(Stage::SessionEnd, class);
+        let (report, _, _pin) = self.fire_event(
+            &user_id,
+            &session_snapshot,
+            &RuntimeEvent::SessionEnd,
+            class,
+        )?;
         self.sessions.remove(session_id);
         Ok(report)
     }
@@ -557,7 +627,7 @@ impl PersonalizationEngine {
     /// triple was executed before; a rule firing that publishes a new
     /// cube bumps the generation and misses every stale entry.
     pub fn query(&self, session_id: SessionId, query: &Query) -> Result<QueryResult, CoreError> {
-        let (active, view, min_generation, _pin) =
+        let (active, view, min_generation, class, _pin) =
             self.sessions.with_session(session_id, |state| {
                 // Pin the view's fact-selection versions while still under
                 // the session shard lock (mutually exclusive with the
@@ -580,6 +650,7 @@ impl PersonalizationEngine {
                     state.is_active(),
                     Arc::clone(&state.view),
                     state.min_generation,
+                    state.class,
                     pin,
                 )
             })?;
@@ -588,13 +659,18 @@ impl PersonalizationEngine {
                 session: session_id,
             });
         }
-        self.query_snapshot(query, view, min_generation)
+        self.query_snapshot(query, view, min_generation, class)
     }
 
     /// Executes an OLAP query against the full, unpersonalized cube
     /// (the baseline the paper's approach avoids exposing to users).
     pub fn query_unpersonalized(&self, query: &Query) -> Result<QueryResult, CoreError> {
-        self.query_snapshot(query, Arc::new(InstanceView::unrestricted()), 0)
+        self.query_snapshot(
+            query,
+            Arc::new(InstanceView::unrestricted()),
+            0,
+            ClassId::DEFAULT,
+        )
     }
 
     /// Pins a session to a minimum snapshot generation: later queries of
@@ -633,21 +709,34 @@ impl PersonalizationEngine {
         query: &Query,
         view: Arc<InstanceView>,
         min_generation: u64,
+        class: ClassId,
     ) -> Result<QueryResult, CoreError> {
+        // End-to-end span: covers the read-your-writes wait, the cache
+        // lookup and (on a miss) the observed execution; records on every
+        // exit, including errors.
+        let _total = self.metrics.span(Stage::QueryTotal, class);
         let (generation, cube) = self.wait_for_generation(min_generation)?;
         let dicts = Some((&self.cube_state.dict_cache, generation));
+        let obs = Some(QueryObs {
+            registry: &self.metrics,
+            class,
+            generation,
+        });
         if !self.cube_state.result_cache.is_enabled() {
             return Ok(self
                 .query_engine
-                .execute_with_view_cached(&cube, query, &view, dicts)?);
+                .execute_with_view_observed(&cube, query, &view, dicts, obs)?);
         }
         let key = CacheKey::new(generation, query, view);
-        if let Some(hit) = self.cube_state.result_cache.get(&key) {
+        let lookup = self.metrics.span(Stage::CacheLookup, class);
+        let hit = self.cube_state.result_cache.get(&key);
+        lookup.finish();
+        if let Some(hit) = hit {
             return Ok((*hit).clone());
         }
         let result = self
             .query_engine
-            .execute_with_view_cached(&cube, query, &key.view, dicts)?;
+            .execute_with_view_observed(&cube, query, &key.view, dicts, obs)?;
         self.cube_state
             .result_cache
             .insert(key, Arc::new(result.clone()));
@@ -667,7 +756,7 @@ impl PersonalizationEngine {
         session_id: SessionId,
         queries: &[Query],
     ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
-        let (active, view, min_generation, _pin) =
+        let (active, view, min_generation, class, _pin) =
             self.sessions.with_session(session_id, |state| {
                 let versions: BTreeMap<String, u64> = state
                     .view
@@ -683,6 +772,7 @@ impl PersonalizationEngine {
                     state.is_active(),
                     Arc::clone(&state.view),
                     state.min_generation,
+                    state.class,
                     pin,
                 )
             })?;
@@ -691,7 +781,7 @@ impl PersonalizationEngine {
                 session: session_id,
             });
         }
-        self.query_batch_snapshot(queries, view, min_generation)
+        self.query_batch_snapshot(queries, view, min_generation, class)
     }
 
     /// Executes a batch of OLAP queries against the full, unpersonalized
@@ -700,7 +790,12 @@ impl PersonalizationEngine {
         &self,
         queries: &[Query],
     ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
-        self.query_batch_snapshot(queries, Arc::new(InstanceView::unrestricted()), 0)
+        self.query_batch_snapshot(
+            queries,
+            Arc::new(InstanceView::unrestricted()),
+            0,
+            ClassId::DEFAULT,
+        )
     }
 
     /// The shared batched read path: one consistent `(generation, cube)`
@@ -712,13 +807,20 @@ impl PersonalizationEngine {
         queries: &[Query],
         view: Arc<InstanceView>,
         min_generation: u64,
+        class: ClassId,
     ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+        let _total = self.metrics.span(Stage::BatchTotal, class);
         let (generation, cube) = self.wait_for_generation(min_generation)?;
         let dicts = Some((&self.cube_state.dict_cache, generation));
+        let obs = Some(QueryObs {
+            registry: &self.metrics,
+            class,
+            generation,
+        });
         if !self.cube_state.result_cache.is_enabled() {
             return Ok(self
                 .query_engine
-                .execute_batch_cached(&cube, queries, &view, dicts)
+                .execute_batch_observed(&cube, queries, &view, dicts, obs)
                 .into_iter()
                 .map(|result| result.map_err(CoreError::from))
                 .collect());
@@ -727,7 +829,9 @@ impl PersonalizationEngine {
             .iter()
             .map(|query| CacheKey::new(generation, query, Arc::clone(&view)))
             .collect();
+        let lookup = self.metrics.span(Stage::CacheLookup, class);
         let cached = self.cube_state.result_cache.get_batch(&keys);
+        lookup.finish();
         let miss_indices: Vec<usize> = cached
             .iter()
             .enumerate()
@@ -736,7 +840,7 @@ impl PersonalizationEngine {
         let misses: Vec<Query> = miss_indices.iter().map(|&i| queries[i].clone()).collect();
         let executed = self
             .query_engine
-            .execute_batch_cached(&cube, &misses, &view, dicts);
+            .execute_batch_observed(&cube, &misses, &view, dicts, obs);
         let mut results: Vec<Option<Result<QueryResult, CoreError>>> = cached
             .into_iter()
             .map(|hit| hit.map(|r| Ok((*r).clone())))
@@ -790,6 +894,77 @@ impl PersonalizationEngine {
     /// invalidations).
     pub fn dict_cache_stats(&self) -> DictCacheStats {
         self.cube_state.dict_cache.stats()
+    }
+
+    /// The metrics registry this engine records into — stage latency
+    /// histograms, the slow-query journal and session classes all live
+    /// here. Shared (`Arc`), so callers can hold it across the engine's
+    /// lifetime or aggregate several engines into one.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Sets the slow-query journal threshold: standalone queries (and
+    /// batch fact groups) whose end-to-end pipeline time meets it are
+    /// journaled with their per-stage breakdown.
+    pub fn set_slow_query_threshold_micros(&self, micros: u64) {
+        self.metrics.journal().set_threshold_micros(micros);
+    }
+
+    /// One aggregate observability snapshot: per-stage latency summaries
+    /// (p50/p90/p99 in µs) keyed by session class, the engine's counters
+    /// (result cache, dictionary cache, session reclamation, ingest) and
+    /// gauges (active sessions, cache entries, ingest queue depth, cube
+    /// generation), and the retained slow-query records.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let cache = self.cache_stats();
+        let dict = self.dict_cache_stats();
+        snap.counters.extend([
+            ("cache_hits".to_string(), cache.hits),
+            ("cache_misses".to_string(), cache.misses),
+            ("cache_invalidations".to_string(), cache.invalidations),
+            ("cache_evictions".to_string(), cache.evictions),
+            ("dict_cache_hits".to_string(), dict.hits),
+            ("dict_cache_misses".to_string(), dict.misses),
+            ("dict_cache_invalidations".to_string(), dict.invalidations),
+            (
+                "sessions_reclaimed".to_string(),
+                self.sessions.sessions_reclaimed(),
+            ),
+        ]);
+        snap.gauges.extend([
+            (
+                "sessions_active".to_string(),
+                self.sessions.sessions_active(),
+            ),
+            ("cache_entries".to_string(), cache.entries as i64),
+            ("dict_cache_entries".to_string(), dict.entries as i64),
+            ("cube_generation".to_string(), self.cube_generation() as i64),
+        ]);
+        if let Some(ingest) = self.ingest_stats() {
+            snap.counters.extend([
+                (
+                    "ingest_batches_submitted".to_string(),
+                    ingest.batches_submitted,
+                ),
+                (
+                    "ingest_batches_rejected".to_string(),
+                    ingest.batches_rejected,
+                ),
+                ("ingest_batches_applied".to_string(), ingest.batches_applied),
+                ("ingest_batches_failed".to_string(), ingest.batches_failed),
+                ("ingest_rows_appended".to_string(), ingest.rows_appended),
+                (
+                    "ingest_epochs_published".to_string(),
+                    ingest.epochs_published,
+                ),
+                ("ingest_compactions".to_string(), ingest.compactions),
+            ]);
+            snap.gauges
+                .push(("ingest_queue_depth".to_string(), ingest.queue_depth as i64));
+        }
+        snap
     }
 
     /// The executor configuration this engine serves queries with.
@@ -912,6 +1087,7 @@ impl PersonalizationEngine {
         user_id: &str,
         session: &Session,
         event: &RuntimeEvent,
+        class: ClassId,
     ) -> Result<(FireReport, BTreeMap<String, u64>, VersionPinGuard), CoreError> {
         // One load of the interpreter+compiled pair: both phases (and the
         // interpreter fallback) see the same ruleset however many
@@ -920,7 +1096,9 @@ impl PersonalizationEngine {
         if self.compiled_firing() {
             // Phase 1 — condition phase: pure precomputed-string matching
             // against the loaded snapshot. No master lock, no cube access.
+            let condition = self.metrics.span(Stage::RuleCondition, class);
             let matched = active.compiled.matched_rules(event);
+            condition.finish();
             if matched.is_empty() {
                 // Nothing fires, so the firing cannot touch the cube or
                 // the profile: skip the master lock entirely. Unknown
@@ -936,7 +1114,9 @@ impl PersonalizationEngine {
                 ));
             }
             // Phase 2 — effect application for the matched rules only,
-            // under the master lock.
+            // under the master lock. The span covers lock acquisition:
+            // waiting for the master *is* part of effect-phase latency.
+            let effect = self.metrics.span(Stage::RuleEffect, class);
             let parameters = self.parameters.read().clone();
             let mut master = self.cube_state.master.lock();
             let mut profile = self.profiles.get(user_id)?;
@@ -948,8 +1128,10 @@ impl PersonalizationEngine {
             }
             let fired = active.compiled.fire_matched(&matched, &mut ctx);
             drop(ctx);
+            effect.finish();
             self.finish_firing(master, profile, fired)
         } else {
+            let span = self.metrics.span(Stage::RuleFireInterpreted, class);
             let parameters = self.parameters.read().clone();
             let mut master = self.cube_state.master.lock();
             let mut profile = self.profiles.get(user_id)?;
@@ -961,6 +1143,7 @@ impl PersonalizationEngine {
             }
             let fired = active.engine.fire(event, &mut ctx);
             drop(ctx);
+            span.finish();
             self.finish_firing(master, profile, fired)
         }
     }

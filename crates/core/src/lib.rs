@@ -41,6 +41,9 @@ pub mod web;
 pub use engine::{PersonalizationEngine, SessionHandle};
 pub use error::CoreError;
 pub use report::PersonalizationReport;
+// Re-exported so facade users can build engines with an explicit
+// registry and read snapshots without naming `sdwp_obs` directly.
+pub use sdwp_obs::{ClassId, MetricsRegistry, MetricsSnapshot, SlowQueryRecord, StageSnapshot};
 pub use session::{SessionManager, SessionState};
 pub use sync::{ArcSwap, VersionedSwap};
 pub use web::{BatchEntry, WebFacade, WebRequest, WebResponse};

@@ -10,6 +10,7 @@
 
 use crate::error::CoreError;
 use parking_lot::RwLock;
+use sdwp_obs::{ClassId, Counter, Gauge};
 use sdwp_olap::{InstanceView, RowRemap};
 use sdwp_prml::RuleEffect;
 use sdwp_user::{Session, SessionId, SessionStatus};
@@ -34,16 +35,28 @@ pub struct SessionState {
     /// bounded wait) snapshots older than this generation. `0` means no
     /// pin — any snapshot serves.
     pub min_generation: u64,
+    /// The session class latency samples of this session are keyed by
+    /// in the metrics registry ([`ClassId::DEFAULT`] when the login did
+    /// not name one).
+    pub class: ClassId,
 }
 
 impl SessionState {
-    /// Creates the state for a freshly started session.
+    /// Creates the state for a freshly started session in the default
+    /// session class.
     pub fn new(session: Session) -> Self {
+        SessionState::with_class(session, ClassId::DEFAULT)
+    }
+
+    /// Creates the state for a freshly started session in an explicit
+    /// session class.
+    pub fn with_class(session: Session, class: ClassId) -> Self {
         SessionState {
             session,
             view: Arc::new(InstanceView::unrestricted()),
             effects: Vec::new(),
             min_generation: 0,
+            class,
         }
     }
 
@@ -65,6 +78,12 @@ const SHARD_COUNT: usize = 16;
 pub struct SessionManager {
     next_id: AtomicU64,
     shards: Vec<RwLock<HashMap<SessionId, SessionState>>>,
+    /// Sessions currently stored across all shards — the observable
+    /// complement of [`Self::reclaimed`] (PR 7 added logout reclamation;
+    /// this pair is how operators watch it work).
+    active: Gauge,
+    /// Sessions removed (reclaimed at logout) over the manager's lifetime.
+    reclaimed: Counter,
 }
 
 impl Default for SessionManager {
@@ -86,6 +105,8 @@ impl SessionManager {
             shards: (0..shards.max(1))
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            active: Gauge::new(),
+            reclaimed: Counter::new(),
         }
     }
 
@@ -101,7 +122,9 @@ impl SessionManager {
     /// Registers a new session state.
     pub fn insert(&self, state: SessionState) -> SessionId {
         let id = state.session.id;
-        self.shard(id).write().insert(id, state);
+        if self.shard(id).write().insert(id, state).is_none() {
+            self.active.inc();
+        }
         id
     }
 
@@ -113,7 +136,23 @@ impl SessionManager {
     /// compaction remap chain (see [`Self::min_fact_selection_version`])
     /// on views no query can reach any more.
     pub fn remove(&self, id: SessionId) -> Option<SessionState> {
-        self.shard(id).write().remove(&id)
+        let removed = self.shard(id).write().remove(&id);
+        if removed.is_some() {
+            self.active.dec();
+            self.reclaimed.inc();
+        }
+        removed
+    }
+
+    /// Sessions currently stored (the `sessions_active` gauge).
+    pub fn sessions_active(&self) -> i64 {
+        self.active.get()
+    }
+
+    /// Sessions reclaimed at logout over the manager's lifetime (the
+    /// `sessions_reclaimed` counter).
+    pub fn sessions_reclaimed(&self) -> u64 {
+        self.reclaimed.get()
     }
 
     /// Runs `f` over a shared borrow of a session's state.
@@ -240,11 +279,17 @@ mod tests {
         assert_eq!(manager.allocate_id(), 2);
         let snapshot = manager.snapshot(1).unwrap();
         assert!(!snapshot.is_active());
+        assert_eq!(manager.sessions_active(), 1);
+        assert_eq!(manager.sessions_reclaimed(), 0);
         let removed = manager.remove(1).expect("session state is present");
         assert!(!removed.is_active());
         assert!(manager.is_empty());
         assert!(manager.remove(1).is_none());
         assert!(manager.with_session(1, |_| ()).is_err());
+        // The gauge pair observes the reclamation exactly once — the
+        // second (no-op) remove above must not double-count.
+        assert_eq!(manager.sessions_active(), 0);
+        assert_eq!(manager.sessions_reclaimed(), 1);
     }
 
     #[test]

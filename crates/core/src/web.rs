@@ -12,6 +12,7 @@ use crate::engine::PersonalizationEngine;
 use crate::error::CoreError;
 use crate::report::PersonalizationReport;
 use sdwp_ingest::{DeltaBatch, IngestConfig};
+use sdwp_obs::MetricsSnapshot;
 use sdwp_olap::{AttributeRef, CellValue, FactTableStats, Query};
 use sdwp_user::{LocationContext, SessionId};
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,10 @@ pub enum WebRequest {
         user: String,
         /// Optional location context `(x, y)`.
         location: Option<(f64, f64)>,
+        /// Optional session class (tenant tier): every latency sample of
+        /// the session is keyed by it in the metrics registry, so
+        /// per-class p50/p99 come out of [`WebRequest::Metrics`].
+        class: Option<String>,
     },
     /// The user performed a spatial selection in the UI.
     SpatialSelection {
@@ -68,6 +73,15 @@ pub enum WebRequest {
     },
     /// An operator asks for the engine's query-result cache counters.
     CacheStats,
+    /// An operator asks for the group-key dictionary cache counters.
+    DictCacheStats,
+    /// An operator asks for the full observability snapshot: per-stage
+    /// latency histograms (p50/p90/p99) keyed by session class, engine
+    /// counters and gauges, and the slow-query journal.
+    Metrics,
+    /// An operator asks for the metrics in the Prometheus text
+    /// exposition format (what a `/metrics` scrape endpoint would serve).
+    MetricsText,
     /// An upstream feed submits a batch of fact deltas (sales appends,
     /// price corrections, retractions). The batch becomes visible to
     /// queries atomically, at the next epoch publication.
@@ -152,6 +166,29 @@ pub enum WebResponse {
         /// `cache_capacity`.
         evictions: u64,
     },
+    /// Group-key dictionary cache counters.
+    DictCacheStats {
+        /// Dictionary lookups served from the cache.
+        hits: u64,
+        /// Dictionary lookups that rebuilt the dictionary.
+        misses: u64,
+        /// Dictionaries currently cached.
+        entries: usize,
+        /// Dictionaries dropped by schema-changing publications.
+        invalidations: u64,
+    },
+    /// The full observability snapshot (see
+    /// [`crate::PersonalizationEngine::metrics_snapshot`]).
+    Metrics {
+        /// Per-stage latency summaries, counters, gauges and the
+        /// slow-query journal.
+        snapshot: MetricsSnapshot,
+    },
+    /// The metrics rendered in the Prometheus text exposition format.
+    MetricsText {
+        /// The exposition body.
+        body: String,
+    },
     /// A delta batch was accepted into the ingest queue (it will become
     /// visible at the next epoch publication).
     IngestAccepted {
@@ -180,6 +217,10 @@ pub enum WebResponse {
         last_generation: u64,
         /// Fact-table compactions performed by the epoch worker.
         compactions: u64,
+        /// Batches accepted but not yet applied or failed — the queue's
+        /// current backlog (sits next to `batches_rejected`: a deep queue
+        /// precedes backpressure rejections).
+        queue_depth: u64,
         /// Per-fact storage gauges (total / live rows, tombstone ratio,
         /// compactions) — the operator's compaction-pressure dashboard.
         fact_tables: Vec<FactTableStats>,
@@ -285,10 +326,16 @@ impl WebFacade {
 
     fn try_handle(&self, request: WebRequest) -> Result<WebResponse, CoreError> {
         match request {
-            WebRequest::Login { user, location } => {
+            WebRequest::Login {
+                user,
+                location,
+                class,
+            } => {
                 let location =
                     location.map(|(x, y)| LocationContext::at_point("reported by browser", x, y));
-                let handle = self.engine.start_session(&user, location)?;
+                let handle =
+                    self.engine
+                        .start_session_classed(&user, location, class.as_deref())?;
                 Ok(WebResponse::LoggedIn {
                     session: handle.id,
                     report: handle.report,
@@ -386,6 +433,21 @@ impl WebFacade {
                     evictions: stats.evictions,
                 })
             }
+            WebRequest::DictCacheStats => {
+                let stats = self.engine.dict_cache_stats();
+                Ok(WebResponse::DictCacheStats {
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    entries: stats.entries,
+                    invalidations: stats.invalidations,
+                })
+            }
+            WebRequest::Metrics => Ok(WebResponse::Metrics {
+                snapshot: self.engine.metrics_snapshot(),
+            }),
+            WebRequest::MetricsText => Ok(WebResponse::MetricsText {
+                body: self.engine.metrics_snapshot().render_prometheus(),
+            }),
             WebRequest::Ingest { batch } => {
                 // First ingest request starts the pipeline with defaults;
                 // operators wanting explicit policies call
@@ -412,6 +474,7 @@ impl WebFacade {
                     epochs_published: stats.epochs_published,
                     last_generation: stats.last_generation,
                     compactions: stats.compactions,
+                    queue_depth: stats.queue_depth,
                     fact_tables: stats.fact_tables,
                 })
             }
@@ -459,6 +522,7 @@ mod tests {
         match facade.handle(WebRequest::Login {
             user: "regional-manager".into(),
             location: Some((50.0, 50.0)),
+            class: None,
         }) {
             WebResponse::LoggedIn { session, report } => {
                 assert!(report.rules_matched > 0);
@@ -705,6 +769,7 @@ mod tests {
         match facade.handle(WebRequest::Login {
             user: "nobody".into(),
             location: None,
+            class: None,
         }) {
             WebResponse::Error { message } => assert!(message.contains("nobody")),
             other => panic!("unexpected response {other:?}"),
@@ -743,6 +808,7 @@ mod tests {
         match facade.handle(WebRequest::Login {
             user: "regional-manager".into(),
             location: None,
+            class: None,
         }) {
             WebResponse::LoggedIn { report, .. } => assert_eq!(report.rules_matched, 1),
             other => panic!("unexpected response {other:?}"),
@@ -791,6 +857,7 @@ mod tests {
         let request = WebRequest::Login {
             user: "regional-manager".into(),
             location: Some((1.0, 2.0)),
+            class: Some("dashboard".into()),
         };
         let json = serde_json_like(&request);
         assert!(json.contains("regional-manager"));

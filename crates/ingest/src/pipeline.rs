@@ -231,6 +231,9 @@ pub struct IngestStats {
     pub last_generation: u64,
     /// Fact-table compactions performed by the epoch worker.
     pub compactions: u64,
+    /// Batches accepted but not yet applied or failed — the queue's
+    /// current backlog (instantaneous, derived from the counters).
+    pub queue_depth: u64,
     /// Description of the most recent batch failure, when any.
     pub last_error: Option<String>,
     /// Per-fact storage counters of the write master (live rows,
@@ -265,17 +268,21 @@ struct Shared {
 
 impl Shared {
     fn snapshot(&self) -> IngestStats {
+        let submitted = self.batches_submitted.load(Ordering::Relaxed);
+        let applied = self.batches_applied.load(Ordering::Relaxed);
+        let failed = self.batches_failed.load(Ordering::Relaxed);
         IngestStats {
-            batches_submitted: self.batches_submitted.load(Ordering::Relaxed),
+            batches_submitted: submitted,
             batches_rejected: self.batches_rejected.load(Ordering::Relaxed),
-            batches_applied: self.batches_applied.load(Ordering::Relaxed),
-            batches_failed: self.batches_failed.load(Ordering::Relaxed),
+            batches_applied: applied,
+            batches_failed: failed,
             rows_appended: self.rows_appended.load(Ordering::Relaxed),
             cells_upserted: self.cells_upserted.load(Ordering::Relaxed),
             rows_retracted: self.rows_retracted.load(Ordering::Relaxed),
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
             last_generation: self.last_generation.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            queue_depth: submitted.saturating_sub(applied + failed),
             last_error: self.last_error.lock().clone(),
             fact_tables: Vec::new(),
         }

@@ -1,0 +1,138 @@
+//! Property suite for [`LatencyHistogram`]: recording then merging
+//! snapshots is exact and order-free, and quantile estimates stay within
+//! the documented factor-of-two envelope of a sorted-vector reference.
+
+use proptest::prelude::*;
+use sdwp_obs::{HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
+use std::sync::Arc;
+
+/// Latency samples a histogram can meet: lots of sub-millisecond values,
+/// a band around bucket boundaries, occasional zeros and rare monsters.
+fn sample() -> BoxedStrategy<u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..16,
+        (0u32..20).prop_map(|b| (1u64 << b) - 1),
+        (0u32..20).prop_map(|b| 1u64 << b),
+        1u64..1_000_000,
+    ]
+    .boxed()
+}
+
+fn feed(values: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(feed(left), feed(right)) == feed(left ++ right) for every
+    /// split point: a merged snapshot is bucket-for-bucket identical to
+    /// the snapshot one histogram would have produced from both streams.
+    #[test]
+    fn merge_agrees_with_combined_stream(
+        values in prop::collection::vec(sample(), 0..200),
+        split in any::<usize>(),
+    ) {
+        let at = if values.is_empty() { 0 } else { split % (values.len() + 1) };
+        let (left, right) = values.split_at(at);
+        let mut merged = feed(left);
+        merged.merge(&feed(right));
+        prop_assert_eq!(merged, feed(&values));
+    }
+
+    /// Merging snapshots is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), so
+    /// per-thread or per-shard histograms can be folded in any grouping.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(sample(), 0..80),
+        b in prop::collection::vec(sample(), 0..80),
+        c in prop::collection::vec(sample(), 0..80),
+    ) {
+        let (sa, sb, sc) = (feed(&a), feed(&b), feed(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut tail = sb.clone();
+        tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&tail);
+        prop_assert_eq!(left, right);
+        // The empty snapshot is the identity on both sides.
+        let mut left_id = HistogramSnapshot::empty();
+        left_id.merge(&sa);
+        prop_assert_eq!(left_id, sa.clone());
+        let mut right_id = sa.clone();
+        right_id.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(right_id, sa);
+    }
+
+    /// Quantile estimates bracket the exact order statistic computed from
+    /// a sorted vector of the same samples: `exact <= estimate`, and for
+    /// non-zero statistics `estimate < 2 * exact` (zero statistics are
+    /// reported exactly).
+    #[test]
+    fn quantile_brackets_sorted_reference(
+        values in prop::collection::vec(sample(), 1..300),
+    ) {
+        let snap = feed(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let estimate = snap.quantile(q);
+            prop_assert!(
+                exact <= estimate,
+                "q={} exact={} estimate={}", q, exact, estimate
+            );
+            if exact == 0 {
+                prop_assert_eq!(estimate, 0, "q={}", q);
+            } else {
+                prop_assert!(
+                    estimate < 2 * exact,
+                    "q={} exact={} estimate={}", q, exact, estimate
+                );
+            }
+        }
+        // Count and sum are exact, not estimates.
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum_micros, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.buckets.len(), HISTOGRAM_BUCKETS);
+    }
+
+    /// Concurrent recording loses nothing: threads hammering one shared
+    /// histogram produce exactly the snapshot of a sequential feed of
+    /// the union of their sample streams.
+    #[test]
+    fn concurrent_recording_is_lossless(
+        chunks in prop::collection::vec(
+            prop::collection::vec(sample(), 0..60),
+            1..6,
+        ),
+    ) {
+        let shared = Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = chunks
+            .iter()
+            .cloned()
+            .map(|chunk| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for v in chunk {
+                        shared.record(v);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let all: Vec<u64> = chunks.concat();
+        prop_assert_eq!(shared.snapshot(), feed(&all));
+    }
+}

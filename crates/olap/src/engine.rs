@@ -64,11 +64,13 @@ use crate::table::Table;
 use crate::value::CellValue;
 use crate::view::{InstanceView, ResolvedViewCheck};
 use sdwp_model::AggregationFunction;
+use sdwp_obs::{ClassId, MetricsRegistry, SlowQueryRecord, Stage};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default number of fact rows per morsel.
 pub const DEFAULT_MORSEL_ROWS: usize = 1024;
@@ -346,6 +348,55 @@ fn filter_class_key(query: &Query) -> String {
     format!("{filters:?}|{:?}", query.fact_filter)
 }
 
+/// Observability context for an observed execution: where to record
+/// per-stage latency samples, the session class they are keyed by, and
+/// the snapshot generation (journaled alongside slow queries).
+///
+/// `Copy` by design — callers pass it down per query; the engine itself
+/// stays stateless. A context whose registry is disabled is dropped at
+/// the entry point, so the pipeline takes zero clock reads in that case.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryObs<'a> {
+    /// Registry stage samples are recorded into.
+    pub registry: &'a MetricsRegistry,
+    /// Session class the query runs under (`ClassId::DEFAULT` when the
+    /// session is unclassified).
+    pub class: ClassId,
+    /// Snapshot generation the query executes against.
+    pub generation: u64,
+}
+
+/// Advances an optional stage clock, returning the microseconds elapsed
+/// since the previous lap (0 when timing is off).
+#[inline]
+fn lap(clock: &mut Option<Instant>) -> u64 {
+    match clock {
+        Some(prev) => {
+            let now = Instant::now();
+            let micros = now.duration_since(*prev).as_micros() as u64;
+            *prev = now;
+            micros
+        }
+        None => 0,
+    }
+}
+
+/// Compact description of a query for the slow-query journal.
+fn query_shape(query: &Query) -> String {
+    let groups: Vec<&str> = query
+        .group_by
+        .iter()
+        .map(|attr| attr.attribute.as_str())
+        .collect();
+    format!(
+        "{} group_by=[{}] measures={} filters={}",
+        query.fact,
+        groups.join(","),
+        query.measures.len(),
+        query.dimension_filters.len() + usize::from(query.fact_filter.is_some())
+    )
+}
+
 /// Executes [`Query`]s against a [`Cube`], optionally through an
 /// [`InstanceView`] (the personalized selection produced by the
 /// `SelectInstance` action).
@@ -402,6 +453,28 @@ impl QueryEngine {
         view: &InstanceView,
         dicts: Option<(&GroupDictCache, u64)>,
     ) -> Result<QueryResult, OlapError> {
+        self.execute_with_view_observed(cube, query, view, dicts, None)
+    }
+
+    /// [`QueryEngine::execute_with_view_cached`] with optional stage
+    /// timing: when `obs` names an enabled registry, the resolve / scan /
+    /// merge / finalize phases are timed individually and recorded as
+    /// [`Stage::QueryResolve`]..[`Stage::QueryFinalize`] keyed by the
+    /// context's session class, and queries slower than the registry's
+    /// journal threshold are journaled with their per-stage breakdown.
+    /// With `obs == None` (or a disabled registry) the pipeline runs
+    /// without a single clock read.
+    pub fn execute_with_view_observed(
+        &self,
+        cube: &Cube,
+        query: &Query,
+        view: &InstanceView,
+        dicts: Option<(&GroupDictCache, u64)>,
+        obs: Option<QueryObs<'_>>,
+    ) -> Result<QueryResult, OlapError> {
+        let obs = obs.filter(|o| o.registry.is_enabled());
+        let mut clock = obs.map(|_| Instant::now());
+
         let resolved = resolve(cube, query)?;
         let fact_table = &cube.fact_table(&query.fact)?.table;
         let plan = if query.group_by.is_empty() {
@@ -417,6 +490,7 @@ impl QueryEngine {
                 &mut lookup,
             )
         };
+        let resolve_micros = lap(&mut clock);
         let total_rows = fact_table.len();
         let morsel_rows = self.config.morsel_rows.max(1);
         let morsel_count = total_rows.div_ceil(morsel_rows);
@@ -452,15 +526,39 @@ impl QueryEngine {
                     .collect()
             })
         };
+        let scan_micros = lap(&mut clock);
 
         let (rows, facts_scanned, facts_matched) = merge_partials(&resolved, &plan, partials)?;
-        Ok(materialise(
-            query,
-            &resolved,
-            rows,
-            facts_scanned,
-            facts_matched,
-        ))
+        let merge_micros = lap(&mut clock);
+        let result = materialise(query, &resolved, rows, facts_scanned, facts_matched);
+        let finalize_micros = lap(&mut clock);
+
+        if let Some(o) = obs {
+            o.registry
+                .record_micros(Stage::QueryResolve, o.class, resolve_micros);
+            o.registry
+                .record_micros(Stage::QueryScan, o.class, scan_micros);
+            o.registry
+                .record_micros(Stage::QueryMerge, o.class, merge_micros);
+            o.registry
+                .record_micros(Stage::QueryFinalize, o.class, finalize_micros);
+            let total_micros = resolve_micros + scan_micros + merge_micros + finalize_micros;
+            let journal = o.registry.journal();
+            if journal.is_slow(total_micros) {
+                journal.record(SlowQueryRecord {
+                    shape: query_shape(query),
+                    class: o.registry.class_name(o.class),
+                    generation: o.generation,
+                    workers,
+                    resolve_micros,
+                    scan_micros,
+                    merge_micros,
+                    finalize_micros,
+                    total_micros,
+                });
+            }
+        }
+        Ok(result)
     }
 
     /// Executes a batch of queries against one snapshot in a single
@@ -512,6 +610,26 @@ impl QueryEngine {
         view: &InstanceView,
         dicts: Option<(&GroupDictCache, u64)>,
     ) -> Vec<Result<QueryResult, OlapError>> {
+        self.execute_batch_observed(cube, queries, view, dicts, None)
+    }
+
+    /// [`QueryEngine::execute_batch_cached`] with optional stage timing:
+    /// resolution of the whole batch records once as
+    /// [`Stage::BatchResolve`]; each fact group's shared morsel pass,
+    /// per-query merges and materialisation record as
+    /// [`Stage::BatchScan`] / [`Stage::BatchMerge`] /
+    /// [`Stage::BatchFinalize`]; fact groups slower than the journal
+    /// threshold are journaled as `batch:{fact}×{queries}` records.
+    pub fn execute_batch_observed(
+        &self,
+        cube: &Cube,
+        queries: &[Query],
+        view: &InstanceView,
+        dicts: Option<(&GroupDictCache, u64)>,
+        obs: Option<QueryObs<'_>>,
+    ) -> Vec<Result<QueryResult, OlapError>> {
+        let obs = obs.filter(|o| o.registry.is_enabled());
+        let mut clock = obs.map(|_| Instant::now());
         let mut results: Vec<Option<Result<QueryResult, OlapError>>> =
             (0..queries.len()).map(|_| None).collect();
 
@@ -607,6 +725,11 @@ impl QueryEngine {
                 group.queries[j].class = class;
             }
         }
+        let resolve_micros = lap(&mut clock);
+        if let Some(o) = obs {
+            o.registry
+                .record_micros(Stage::BatchResolve, o.class, resolve_micros);
+        }
 
         // Phase 3: one morsel-parallel pass per fact group, every worker
         // producing all member queries' partials for its morsels; then
@@ -657,9 +780,21 @@ impl QueryEngine {
                     per_query[j].push((morsel, part));
                 }
             }
-            for (member, partials) in group.queries.iter().zip(per_query) {
-                let outcome = merge_partials(&member.resolved, &member.plan, partials).map(
-                    |(rows, facts_scanned, facts_matched)| {
+            let scan_micros = lap(&mut clock);
+            // Merge every member's partials first, materialise second, so
+            // the two phases time separately (the work is identical to
+            // the interleaved loop — merges and materialisations are
+            // independent per member).
+            let merged: Vec<_> = group
+                .queries
+                .iter()
+                .zip(per_query)
+                .map(|(member, partials)| merge_partials(&member.resolved, &member.plan, partials))
+                .collect();
+            let merge_micros = lap(&mut clock);
+            for (member, outcome) in group.queries.iter().zip(merged) {
+                results[member.index] =
+                    Some(outcome.map(|(rows, facts_scanned, facts_matched)| {
                         materialise(
                             member.query,
                             &member.resolved,
@@ -667,9 +802,31 @@ impl QueryEngine {
                             facts_scanned,
                             facts_matched,
                         )
-                    },
-                );
-                results[member.index] = Some(outcome);
+                    }));
+            }
+            let finalize_micros = lap(&mut clock);
+            if let Some(o) = obs {
+                o.registry
+                    .record_micros(Stage::BatchScan, o.class, scan_micros);
+                o.registry
+                    .record_micros(Stage::BatchMerge, o.class, merge_micros);
+                o.registry
+                    .record_micros(Stage::BatchFinalize, o.class, finalize_micros);
+                let total_micros = resolve_micros + scan_micros + merge_micros + finalize_micros;
+                let journal = o.registry.journal();
+                if journal.is_slow(total_micros) {
+                    journal.record(SlowQueryRecord {
+                        shape: format!("batch:{}×{}", group.fact, group.queries.len()),
+                        class: o.registry.class_name(o.class),
+                        generation: o.generation,
+                        workers,
+                        resolve_micros,
+                        scan_micros,
+                        merge_micros,
+                        finalize_micros,
+                        total_micros,
+                    });
+                }
             }
         }
         results

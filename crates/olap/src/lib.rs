@@ -61,7 +61,9 @@ pub use chunk::DEFAULT_CHUNK_ROWS;
 pub use column::{Column, ColumnType, Dictionary};
 pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, FactTableStats, LayerTable};
 pub use dicts::{DictCacheStats, GroupDictCache};
-pub use engine::{ExecutionConfig, QueryEngine, DEFAULT_GROUP_SLOT_LIMIT, DEFAULT_MORSEL_ROWS};
+pub use engine::{
+    ExecutionConfig, QueryEngine, QueryObs, DEFAULT_GROUP_SLOT_LIMIT, DEFAULT_MORSEL_ROWS,
+};
 pub use error::OlapError;
 pub use filter::{CompareOp, Filter, SpatialPredicateOp};
 pub use kernels::NumericAgg;

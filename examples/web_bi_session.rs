@@ -83,6 +83,33 @@ fn show(label: &str, response: &WebResponse) {
                  {rows_appended} row(s) appended, {epochs_published} epoch(s)"
             );
         }
+        WebResponse::DictCacheStats {
+            hits,
+            misses,
+            entries,
+            invalidations,
+        } => {
+            println!(
+                "[{label}] dictionary cache: {hits} hit(s), {misses} miss(es), \
+                 {entries} entrie(s), {invalidations} invalidation(s)"
+            );
+        }
+        WebResponse::Metrics { snapshot } => {
+            println!(
+                "[{label}] metrics: {} stage row(s), {} slow quer(ies) retained",
+                snapshot.stages.len(),
+                snapshot.slow_queries.len()
+            );
+            for stage in snapshot.stages.iter().take(8) {
+                println!(
+                    "  {} class={} count={} p50={}µs p99={}µs",
+                    stage.stage, stage.class, stage.count, stage.p50, stage.p99
+                );
+            }
+        }
+        WebResponse::MetricsText { body } => {
+            println!("[{label}] Prometheus exposition, {} byte(s)", body.len());
+        }
         WebResponse::GenerationPinned { generation } => {
             println!("[{label}] session pinned to snapshot generation {generation}");
         }
@@ -115,6 +142,7 @@ fn main() {
     let login = facade.handle(WebRequest::Login {
         user: "regional-manager".into(),
         location: Some((store.location.x(), store.location.y())),
+        class: None,
     });
     show("login", &login);
     let session = match login {
@@ -166,5 +194,7 @@ fn main() {
     let report = facade.handle(WebRequest::Report { session });
     show("report", &report);
     show("cache", &facade.handle(WebRequest::CacheStats));
+    show("dict-cache", &facade.handle(WebRequest::DictCacheStats));
+    show("metrics", &facade.handle(WebRequest::Metrics));
     show("logout", &facade.handle(WebRequest::Logout { session }));
 }

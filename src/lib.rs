@@ -53,6 +53,8 @@ pub use sdwp_index as index;
 pub use sdwp_ingest as ingest;
 /// The MD / GeoMD conceptual models.
 pub use sdwp_model as model;
+/// Observability: metrics registry, stage spans, slow-query journal.
+pub use sdwp_obs as obs;
 /// The in-memory spatial OLAP engine.
 pub use sdwp_olap as olap;
 /// The PRML rule language adapted to SDW.

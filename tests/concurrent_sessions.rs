@@ -209,6 +209,7 @@ fn cloned_web_facades_serve_concurrent_logins() {
                 let session = match facade.handle(WebRequest::Login {
                     user,
                     location: Some(location),
+                    class: None,
                 }) {
                     WebResponse::LoggedIn { session, report } => {
                         assert!(report.is_personalized());

@@ -36,6 +36,7 @@ fn two_users_get_different_views() {
     let manager_session = match facade.handle(WebRequest::Login {
         user: "regional-manager".into(),
         location: Some((store.location.x(), store.location.y())),
+        class: None,
     }) {
         WebResponse::LoggedIn { session, report } => {
             assert!(report.is_personalized());
@@ -49,6 +50,7 @@ fn two_users_get_different_views() {
     let analyst_session = match facade.handle(WebRequest::Login {
         user: "analyst".into(),
         location: Some((9_999.0, 9_999.0)),
+        class: None,
     }) {
         WebResponse::LoggedIn { session, report } => {
             // No store near the analyst: everything filtered out.
@@ -92,6 +94,7 @@ fn selections_update_the_profile_until_logout() {
     let session = match facade.handle(WebRequest::Login {
         user: "regional-manager".into(),
         location: Some((store.location.x(), store.location.y())),
+        class: None,
     }) {
         WebResponse::LoggedIn { session, .. } => session,
         other => panic!("unexpected {other:?}"),
