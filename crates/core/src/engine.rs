@@ -39,8 +39,9 @@ use sdwp_ingest::{
 use sdwp_model::{Schema, SchemaDiff};
 use sdwp_obs::{ClassId, MetricsRegistry, MetricsSnapshot, Stage};
 use sdwp_olap::{
-    CacheKey, CacheStats, Cube, DictCacheStats, ExecutionConfig, FactTableStats, GroupDictCache,
-    InstanceView, OlapError, Query, QueryCache, QueryEngine, QueryObs, QueryResult,
+    AdmissionGuard, CacheKey, CacheStats, Cube, DictCacheStats, ExecutionConfig, FactTableStats,
+    GroupDictCache, InstanceView, MorselPool, OlapError, PoolConfig, Query, QueryCache,
+    QueryEngine, QueryObs, QueryResult, TenantPolicy,
 };
 use sdwp_prml::{
     CompiledRuleSet, EvalContext, FireReport, LayerSource, NoExternalLayers, PrmlError, Rule,
@@ -89,38 +90,69 @@ pub(crate) struct CubeState {
     pub(crate) metrics: Arc<MetricsRegistry>,
 }
 
+/// Number of independently locked pin shards. Matches the session
+/// manager's shard count: pins are taken per query / per firing, so the
+/// same fan-out that decontends session lookup decontends pinning.
+const PIN_SHARDS: usize = 16;
+
 /// Tracks the fact-table compaction versions in-flight rule firings
 /// observed (under the master lock) until their `SelectInstance` effects
 /// are applied to a session view. [`CubeState::maybe_compact`] takes the
 /// minimum over these pins when deciding how far the remap chain can be
 /// trimmed, so a firing's row ids can always be translated forward no
 /// matter how many compactions interleave before the effects land.
-#[derive(Default)]
+///
+/// Sharded by pin token (like the session map): `pin` / `release` touch
+/// one shard's lock, so concurrent queries on the shared worker pool no
+/// longer serialise on a single global mutex; only the compaction-side
+/// `min_for` — rare by comparison — walks all shards.
 pub(crate) struct VersionPins {
     next: std::sync::atomic::AtomicU64,
-    pins: Mutex<BTreeMap<u64, BTreeMap<String, u64>>>,
+    shards: Vec<Mutex<BTreeMap<u64, BTreeMap<String, u64>>>>,
+}
+
+impl Default for VersionPins {
+    fn default() -> Self {
+        VersionPins {
+            next: std::sync::atomic::AtomicU64::new(0),
+            shards: (0..PIN_SHARDS)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl VersionPins {
+    fn shard(&self, token: u64) -> &Mutex<BTreeMap<u64, BTreeMap<String, u64>>> {
+        &self.shards[(token as usize) % self.shards.len()]
+    }
+
     /// Registers a firing's observed versions; returns the pin token.
     fn pin(&self, versions: BTreeMap<String, u64>) -> u64 {
         let token = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.pins.lock().insert(token, versions);
+        self.shard(token).lock().insert(token, versions);
         token
     }
 
     /// Releases a pin once the firing's effects have been applied.
     fn release(&self, token: u64) {
-        self.pins.lock().remove(&token);
+        self.shard(token).lock().remove(&token);
     }
 
     /// The oldest pinned version for a fact, when any firing is in
-    /// flight.
+    /// flight. Walks every shard; shard-local minima are combined, which
+    /// is exact because the global minimum is the minimum of the shard
+    /// minima.
     fn min_for(&self, fact: &str) -> Option<u64> {
-        self.pins
-            .lock()
-            .values()
-            .filter_map(|versions| versions.get(fact).copied())
+        self.shards
+            .iter()
+            .filter_map(|shard| {
+                shard
+                    .lock()
+                    .values()
+                    .filter_map(|versions| versions.get(fact).copied())
+                    .min()
+            })
             .min()
     }
 }
@@ -304,6 +336,11 @@ pub struct PersonalizationEngine {
     layer_source: Arc<dyn LayerSource + Send + Sync>,
     sessions: Arc<SessionManager>,
     query_engine: QueryEngine,
+    /// The engine-lifetime morsel worker pool parallel scans run on,
+    /// with its tenant scheduler and admission controller. `None` when
+    /// the executor is configured for a single worker (everything runs
+    /// inline and there is nothing to schedule).
+    morsel_pool: Option<Arc<MorselPool>>,
     /// The streaming-ingestion pipeline, started lazily by
     /// [`PersonalizationEngine::start_ingest`]. Shut down (drained,
     /// final epoch published, worker joined) when the engine drops.
@@ -357,6 +394,21 @@ impl PersonalizationEngine {
         let original_schema = cube.schema().clone();
         let snapshot = VersionedSwap::from_pointee(cube.clone());
         let sessions = Arc::new(SessionManager::new());
+        // The shared worker pool replaces per-query `thread::scope`
+        // spawns: the querying thread always scans, so the pool only
+        // needs `workers - 1` long-lived helpers. A one-worker executor
+        // runs entirely inline and skips the pool.
+        let pool_workers = config.effective_workers().saturating_sub(1);
+        let morsel_pool = (pool_workers > 0).then(|| {
+            Arc::new(MorselPool::with_registry(
+                PoolConfig::default().with_workers(pool_workers),
+                Arc::clone(&metrics),
+            ))
+        });
+        let query_engine = match &morsel_pool {
+            Some(pool) => QueryEngine::with_pool(config, Arc::clone(pool)),
+            None => QueryEngine::with_config(config),
+        };
         PersonalizationEngine {
             cube_state: Arc::new(CubeState {
                 master: Mutex::new(cube),
@@ -375,7 +427,8 @@ impl PersonalizationEngine {
             parameters: RwLock::new(BTreeMap::new()),
             layer_source,
             sessions,
-            query_engine: QueryEngine::with_config(config),
+            query_engine,
+            morsel_pool,
             ingest: Mutex::new(None),
             metrics,
         }
@@ -711,10 +764,14 @@ impl PersonalizationEngine {
         min_generation: u64,
         class: ClassId,
     ) -> Result<QueryResult, CoreError> {
-        // End-to-end span: covers the read-your-writes wait, the cache
-        // lookup and (on a miss) the observed execution; records on every
-        // exit, including errors.
+        // End-to-end span: covers the admission gate, the
+        // read-your-writes wait, the cache lookup and (on a miss) the
+        // observed execution; records on every exit, including errors.
         let _total = self.metrics.span(Stage::QueryTotal, class);
+        // Admission first: a shed query does no work at all — not even a
+        // cache probe — and a guaranteed tenant over budget waits here
+        // (backpressure) before touching any snapshot.
+        let _admission = self.admit_query(class)?;
         let (generation, cube) = self.wait_for_generation(min_generation)?;
         let dicts = Some((&self.cube_state.dict_cache, generation));
         let obs = Some(QueryObs {
@@ -810,6 +867,7 @@ impl PersonalizationEngine {
         class: ClassId,
     ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
         let _total = self.metrics.span(Stage::BatchTotal, class);
+        let _admission = self.admit_query(class)?;
         let (generation, cube) = self.wait_for_generation(min_generation)?;
         let dicts = Some((&self.cube_state.dict_cache, generation));
         let obs = Some(QueryObs {
@@ -911,6 +969,63 @@ impl PersonalizationEngine {
         self.metrics.journal().set_threshold_micros(micros);
     }
 
+    // ----- tenant scheduling and admission ------------------------------
+
+    /// The admission gate in front of both read paths: asks the shared
+    /// pool's controller for a slot under the session class's budgets.
+    /// A best-effort tenant over budget is shed with a typed
+    /// [`CoreError::Overloaded`]; a guaranteed tenant blocks until
+    /// capacity frees. Engines without a pool admit everything.
+    fn admit_query(&self, class: ClassId) -> Result<Option<AdmissionGuard>, CoreError> {
+        match &self.morsel_pool {
+            None => Ok(None),
+            Some(pool) => pool
+                .try_admit(class)
+                .map(Some)
+                .map_err(|shed| CoreError::Overloaded {
+                    class: self.metrics.class_name(shed.class),
+                    in_flight: shed.in_flight,
+                    limit: shed.max_in_flight,
+                }),
+        }
+    }
+
+    /// The shared morsel worker pool, when the executor is parallel —
+    /// its scheduler statistics are also folded into
+    /// [`PersonalizationEngine::metrics_snapshot`].
+    pub fn morsel_pool(&self) -> Option<&Arc<MorselPool>> {
+        self.morsel_pool.as_ref()
+    }
+
+    /// Sets the scheduling and admission policy of a session class
+    /// (registering the class name if it is new) and returns its id.
+    /// Takes effect immediately: weights steer the worker scheduler,
+    /// budgets steer admission of subsequent queries.
+    pub fn set_tenant_policy(&self, class_name: &str, policy: TenantPolicy) -> ClassId {
+        let class = self.metrics.register_class(class_name);
+        if let Some(pool) = &self.morsel_pool {
+            pool.set_policy(class, policy);
+        }
+        class
+    }
+
+    /// One step of the scheduler's latency-target feedback loop: reads
+    /// each tenant's windowed `query_total` p99 from the registry and
+    /// rebalances worker shares toward tenants missing their
+    /// [`TenantPolicy::target_p99_micros`]. Returns the class names
+    /// whose effective share changed. Call it from an operator loop, or
+    /// start the pool's autotune thread for a fixed cadence.
+    pub fn rebalance_worker_shares(&self) -> Vec<(String, u32)> {
+        match &self.morsel_pool {
+            None => Vec::new(),
+            Some(pool) => pool
+                .rebalance()
+                .into_iter()
+                .map(|(class, share)| (self.metrics.class_name(class), share))
+                .collect(),
+        }
+    }
+
     /// One aggregate observability snapshot: per-stage latency summaries
     /// (p50/p90/p99 in µs) keyed by session class, the engine's counters
     /// (result cache, dictionary cache, session reclamation, ingest) and
@@ -963,6 +1078,38 @@ impl PersonalizationEngine {
             ]);
             snap.gauges
                 .push(("ingest_queue_depth".to_string(), ingest.queue_depth as i64));
+        }
+        if let Some(pool) = &self.morsel_pool {
+            let stats = pool.stats();
+            let names = self.metrics.class_names();
+            snap.gauges
+                .push(("scheduler_workers".to_string(), stats.workers as i64));
+            let mut shed_total = 0u64;
+            for tenant in &stats.tenants {
+                shed_total += tenant.shed_total;
+                // Per-tenant series only for registered classes; the
+                // remaining slots are idle and would be noise.
+                let Some(name) = names.get(tenant.class.0 as usize) else {
+                    continue;
+                };
+                snap.gauges.extend([
+                    (
+                        format!("scheduler_queue_depth_{name}"),
+                        tenant.queued as i64,
+                    ),
+                    (
+                        format!("scheduler_in_flight_{name}"),
+                        tenant.in_flight as i64,
+                    ),
+                    (format!("scheduler_share_{name}"), tenant.share as i64),
+                ]);
+                if tenant.shed_total > 0 {
+                    snap.counters
+                        .push((format!("scheduler_shed_{name}"), tenant.shed_total));
+                }
+            }
+            snap.counters
+                .push(("scheduler_shed_total".to_string(), shed_total));
         }
         snap
     }

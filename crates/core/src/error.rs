@@ -29,6 +29,18 @@ pub enum CoreError {
         /// Description of the problem.
         message: String,
     },
+    /// The admission controller shed the query: the session class is
+    /// best-effort and its in-flight / queue-depth budget is exhausted.
+    /// Transient by design — the client should back off and retry.
+    Overloaded {
+        /// The session class that was shed.
+        class: String,
+        /// Queries of the class in flight at the decision.
+        in_flight: usize,
+        /// The class's in-flight budget (`0` = the queue-depth budget
+        /// tripped instead).
+        limit: usize,
+    },
     /// A read-your-writes session required a newer snapshot generation
     /// than the one published within the wait budget.
     StaleSnapshot {
@@ -50,6 +62,14 @@ impl fmt::Display for CoreError {
                 write!(f, "unknown or ended session {session}")
             }
             CoreError::Ingest { message } => write!(f, "ingest error: {message}"),
+            CoreError::Overloaded {
+                class,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "overloaded: class \"{class}\" shed at {in_flight} queries in flight (limit {limit})"
+            ),
             CoreError::BadRequest { message } => write!(f, "bad request: {message}"),
             CoreError::StaleSnapshot {
                 published,

@@ -44,6 +44,7 @@ pub use report::PersonalizationReport;
 // Re-exported so facade users can build engines with an explicit
 // registry and read snapshots without naming `sdwp_obs` directly.
 pub use sdwp_obs::{ClassId, MetricsRegistry, MetricsSnapshot, SlowQueryRecord, StageSnapshot};
+pub use sdwp_olap::{MorselPool, PoolStats, TenantPolicy, TenantStats};
 pub use session::{SessionManager, SessionState};
 pub use sync::{ArcSwap, VersionedSwap};
 pub use web::{BatchEntry, WebFacade, WebRequest, WebResponse};

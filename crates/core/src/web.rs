@@ -237,6 +237,19 @@ pub enum WebResponse {
     },
     /// Logout succeeded.
     LoggedOut,
+    /// The admission controller shed the request: the session class is
+    /// best-effort and its budget is exhausted. Unlike
+    /// [`WebResponse::Error`] this is typed — clients should treat it
+    /// as retryable backpressure (the HTTP layer's 429), not a failure.
+    Overloaded {
+        /// The session class that was shed.
+        class: String,
+        /// Queries of the class in flight at the decision.
+        in_flight: usize,
+        /// The class's in-flight budget (`0` = the queue-depth budget
+        /// tripped instead).
+        limit: usize,
+    },
     /// The request failed.
     Error {
         /// Human-readable description of the failure.
@@ -318,6 +331,15 @@ impl WebFacade {
     pub fn handle(&self, request: WebRequest) -> WebResponse {
         match self.try_handle(request) {
             Ok(response) => response,
+            Err(CoreError::Overloaded {
+                class,
+                in_flight,
+                limit,
+            }) => WebResponse::Overloaded {
+                class,
+                in_flight,
+                limit,
+            },
             Err(error) => WebResponse::Error {
                 message: error.to_string(),
             },

@@ -45,11 +45,14 @@ pub enum Stage {
     SessionStart,
     SessionEnd,
     CacheLookup,
+    // Morsel-pool scheduler: time a helper task item spent queued
+    // between submission and dispatch, keyed by tenant class.
+    SchedulerWait,
 }
 
 impl Stage {
     /// Every stage, in exposition order.
-    pub const ALL: [Stage; 20] = [
+    pub const ALL: [Stage; 21] = [
         Stage::QueryResolve,
         Stage::QueryScan,
         Stage::QueryMerge,
@@ -70,6 +73,7 @@ impl Stage {
         Stage::SessionStart,
         Stage::SessionEnd,
         Stage::CacheLookup,
+        Stage::SchedulerWait,
     ];
 
     /// Stable snake_case name used as the `stage` label in exposition.
@@ -95,6 +99,7 @@ impl Stage {
             Stage::SessionStart => "session_start",
             Stage::SessionEnd => "session_end",
             Stage::CacheLookup => "cache_lookup",
+            Stage::SchedulerWait => "scheduler_wait",
         }
     }
 
@@ -257,6 +262,11 @@ impl MetricsRegistry {
         }
         classes.push(name.to_string());
         ClassId((classes.len() - 1) as u8)
+    }
+
+    /// Every registered class name, index-aligned with [`ClassId`].
+    pub fn class_names(&self) -> Vec<String> {
+        self.classes.lock().clone()
     }
 
     /// Name of a class id (`"default"` for out-of-range ids).

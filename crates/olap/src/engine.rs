@@ -59,6 +59,7 @@ use crate::dicts::{attr_key, GroupDictCache, GroupKeys, NULL_KEY};
 use crate::error::OlapError;
 use crate::hash::FxHashMap;
 use crate::kernels::NumericAgg;
+use crate::pool::MorselPool;
 use crate::query::{AttributeRef, Query, QueryResult, ResultRow};
 use crate::table::Table;
 use crate::value::CellValue;
@@ -366,6 +367,30 @@ pub struct QueryObs<'a> {
     pub generation: u64,
 }
 
+/// Runs one query's morsel loop on the calling thread plus up to
+/// `helpers` shared-pool workers, collecting every participant's
+/// partials. Collection order across participants is arbitrary —
+/// [`merge_partials`] sorts by morsel index, which is what keeps pooled
+/// execution bit-identical to the scoped executor regardless of how
+/// many helpers the scheduler actually dispatched.
+fn run_pooled<T: Send>(
+    pool: &MorselPool,
+    tenant: ClassId,
+    helpers: usize,
+    scan: &(impl Fn() -> Vec<T> + Sync),
+) -> Vec<T> {
+    let collected: std::sync::Mutex<Vec<T>> = std::sync::Mutex::new(Vec::new());
+    let work = || {
+        let partials = scan();
+        collected
+            .lock()
+            .expect("morsel collector poisoned")
+            .extend(partials);
+    };
+    pool.scan(tenant, helpers, &work);
+    collected.into_inner().expect("morsel collector poisoned")
+}
+
 /// Advances an optional stage clock, returning the microseconds elapsed
 /// since the previous lap (0 when timing is off).
 #[inline]
@@ -400,9 +425,15 @@ fn query_shape(query: &Query) -> String {
 /// Executes [`Query`]s against a [`Cube`], optionally through an
 /// [`InstanceView`] (the personalized selection produced by the
 /// `SelectInstance` action).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryEngine {
     config: ExecutionConfig,
+    /// The shared morsel worker pool parallel scans run on. `None`
+    /// falls back to per-query `std::thread::scope` spawns (the
+    /// pre-pool executor, kept as the equivalence reference and for
+    /// standalone `QueryEngine` uses that never see enough queries to
+    /// amortise a pool).
+    pool: Option<Arc<MorselPool>>,
 }
 
 impl QueryEngine {
@@ -413,7 +444,25 @@ impl QueryEngine {
 
     /// Creates a query engine with an explicit execution configuration.
     pub fn with_config(config: ExecutionConfig) -> Self {
-        QueryEngine { config }
+        QueryEngine { config, pool: None }
+    }
+
+    /// Creates a query engine whose parallel scans run on a shared
+    /// [`MorselPool`] instead of per-query `thread::scope` spawns: the
+    /// calling thread always scans, and up to `workers - 1` pool
+    /// workers join it subject to the pool's per-tenant scheduling.
+    /// Results are bit-identical to the scoped executor (enforced by
+    /// the `pool_equivalence` property suite).
+    pub fn with_pool(config: ExecutionConfig, pool: Arc<MorselPool>) -> Self {
+        QueryEngine {
+            config,
+            pool: Some(pool),
+        }
+    }
+
+    /// The shared morsel pool, when this engine executes on one.
+    pub fn pool(&self) -> Option<&Arc<MorselPool>> {
+        self.pool.as_ref()
     }
 
     /// The engine's execution configuration.
@@ -472,6 +521,9 @@ impl QueryEngine {
         dicts: Option<(&GroupDictCache, u64)>,
         obs: Option<QueryObs<'_>>,
     ) -> Result<QueryResult, OlapError> {
+        // The tenant class keys pool scheduling even when the registry
+        // is disabled, so capture it before the enabled filter.
+        let tenant = obs.map(|o| o.class).unwrap_or_default();
         let obs = obs.filter(|o| o.registry.is_enabled());
         let mut clock = obs.map(|_| Instant::now());
 
@@ -517,6 +569,8 @@ impl QueryEngine {
 
         let partials: Vec<(usize, Result<MorselPartial, OlapError>)> = if workers <= 1 {
             scan_morsels()
+        } else if let Some(pool) = &self.pool {
+            run_pooled(pool, tenant, workers - 1, &scan_morsels)
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers).map(|_| scope.spawn(scan_morsels)).collect();
@@ -628,6 +682,7 @@ impl QueryEngine {
         dicts: Option<(&GroupDictCache, u64)>,
         obs: Option<QueryObs<'_>>,
     ) -> Vec<Result<QueryResult, OlapError>> {
+        let tenant = obs.map(|o| o.class).unwrap_or_default();
         let obs = obs.filter(|o| o.registry.is_enabled());
         let mut clock = obs.map(|_| Instant::now());
         let mut results: Vec<Option<Result<QueryResult, OlapError>>> =
@@ -761,6 +816,8 @@ impl QueryEngine {
             };
             let collected: Vec<(usize, Vec<Result<MorselPartial, OlapError>>)> = if workers <= 1 {
                 scan_morsels()
+            } else if let Some(pool) = &self.pool {
+                run_pooled(pool, tenant, workers - 1, &scan_morsels)
             } else {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..workers).map(|_| scope.spawn(scan_morsels)).collect();

@@ -50,6 +50,7 @@ pub mod error;
 pub mod filter;
 mod hash;
 pub mod kernels;
+pub mod pool;
 pub mod query;
 pub mod spatial;
 pub mod table;
@@ -67,6 +68,10 @@ pub use engine::{
 pub use error::OlapError;
 pub use filter::{CompareOp, Filter, SpatialPredicateOp};
 pub use kernels::NumericAgg;
+pub use pool::{
+    AdmissionGuard, MorselPool, PoolConfig, PoolStats, ShedError, TenantPolicy, TenantStats,
+    MAX_TENANTS,
+};
 pub use query::{AttributeRef, MeasureRef, Query, QueryResult, ResultRow};
 pub use table::{RowRemap, Table};
 pub use value::CellValue;

@@ -120,6 +120,13 @@ fn show(label: &str, response: &WebResponse) {
             );
         }
         WebResponse::LoggedOut => println!("[{label}] logged out"),
+        WebResponse::Overloaded {
+            class,
+            in_flight,
+            limit,
+        } => println!(
+            "[{label}] overloaded: class {class} shed ({in_flight} in flight, limit {limit}) — retry later"
+        ),
         WebResponse::Error { message } => println!("[{label}] error: {message}"),
     }
 }

@@ -75,6 +75,8 @@ fn concurrent_readers_never_observe_a_torn_batch() {
             let done = Arc::clone(&done);
             let count_query = count_query.clone();
             let sum_query = sum_query.clone();
+            let parallel = parallel.clone();
+            let serial = serial.clone();
             thread::spawn(move || {
                 let view = InstanceView::unrestricted();
                 let mut observed_generations = 0u64;
