@@ -1,0 +1,236 @@
+//! B20 — degradation under injected faults: the personalized query path
+//! with the fault-injection hooks compiled in, across four regimes —
+//! disarmed (the failpoint checks' standing cost), a slow scan (an armed
+//! `SleepMs` failpoint stretching every Nth morsel, the degraded-but-
+//! surviving case), a deadline cutoff (the same slow scan under a
+//! per-query budget, measuring time-to-typed-refusal instead of
+//! time-to-answer), and panic containment (helper startup panics once in
+//! N; the caller gets `ExecutionPanicked` while the pool keeps serving,
+//! so the regime measures the survivors' latency plus the refusals'
+//! cost).
+//!
+//! Built without the `failpoints` feature only the disarmed regime
+//! exists — which is the point: comparing its numbers against a default
+//! build (B12's standalone roll-up) bounds the framework's overhead at
+//! zero, because the macro expands to nothing.
+//!
+//! Acceptance: the armed regimes refuse *typed* — every non-`Ok` outcome
+//! is `DeadlineExceeded` or `ExecutionPanicked`, never a generic error —
+//! and the deadline regime's time-to-refusal stays near the budget, not
+//! near the degraded full-scan time.
+//!
+//! Criterion reports the mean; the `B20 summary` lines carry the
+//! p50/p99 of the explicit sample loop that EXPERIMENTS.md quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdwp_bench::{default_scenario, manager_location};
+use sdwp_core::PersonalizationEngine;
+use sdwp_olap::{AttributeRef, ExecutionConfig, Query};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(feature = "failpoints")]
+use sdwp_core::CoreError;
+#[cfg(feature = "failpoints")]
+use sdwp_olap::fault::{arm, disarm_all, set_seed, FailAction};
+
+/// Explicit latency samples per regime for the p50/p99 summary lines.
+const SAMPLES: usize = 200;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// Disarms every failpoint when dropped, so a panicking regime cannot
+/// leak an armed point into the next one.
+#[cfg(feature = "failpoints")]
+struct Disarm;
+#[cfg(feature = "failpoints")]
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
+fn percentile(sorted_micros: &[u64], q: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_micros.len() as f64 - 1.0) * q).round() as usize;
+    sorted_micros[rank.min(sorted_micros.len() - 1)]
+}
+
+/// Runs `SAMPLES` queries of `run`, printing the regime's p50/p99.
+fn summarize(label: &str, mut run: impl FnMut() -> u64) {
+    let mut samples: Vec<u64> = (0..SAMPLES).map(|_| run()).collect();
+    samples.sort_unstable();
+    eprintln!(
+        "B20 summary {label}: p50={}µs p99={}µs",
+        percentile(&samples, 0.5),
+        percentile(&samples, 0.99),
+    );
+}
+
+/// The engine under test: the paper scenario with the morsel-parallel
+/// executor, the result cache off (a cache hit would bypass the scan
+/// failpoints), and small morsels so the scan loop evaluates its
+/// failpoint often enough for "once in N" to mean something.
+fn engine() -> Arc<PersonalizationEngine> {
+    let scenario = default_scenario();
+    let engine = sdwp_bench::engine_with_config(
+        &scenario,
+        ExecutionConfig::default()
+            .with_workers(4)
+            .with_morsel_rows(256)
+            .with_cache_capacity(0),
+    );
+    let session = engine
+        .start_session("regional-manager", Some(manager_location(&scenario)))
+        .expect("session starts");
+    SESSION.store(session.id, std::sync::atomic::Ordering::Relaxed);
+    Arc::new(engine)
+}
+
+/// The session id of the engine's one registered user (set by
+/// [`engine`], read by every regime).
+static SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The dashboard panel every regime runs: a city roll-up.
+fn panel() -> Query {
+    Query::over("Sales")
+        .group_by(AttributeRef::new("Store", "City", "name"))
+        .measure("UnitSales")
+}
+
+fn bench_degradation_under_faults(c: &mut Criterion) {
+    let engine = engine();
+    let session = SESSION.load(std::sync::atomic::Ordering::Relaxed);
+    let query = panel();
+
+    let mut group = c.benchmark_group("B20_degradation_under_faults");
+    group.throughput(Throughput::Elements(1));
+
+    // -- disarmed: the framework's standing cost ------------------------
+    summarize("disarmed", || {
+        let start = std::time::Instant::now();
+        black_box(engine.query(session, &query).expect("panel executes"));
+        start.elapsed().as_micros() as u64
+    });
+    group.bench_function("disarmed", |b| {
+        b.iter(|| {
+            engine
+                .query(session, black_box(&query))
+                .expect("panel executes")
+        })
+    });
+
+    #[cfg(feature = "failpoints")]
+    {
+        let _teardown = Disarm;
+        set_seed(42);
+
+        // -- slow scan: degraded but surviving --------------------------
+        // Every 4th morsel stalls 1 ms; the query still completes, just
+        // late — the shape of a sick storage layer, not a dead one.
+        arm("query.scan.morsel", FailAction::SleepMs(1), 4, None);
+        summarize("slow-scan", || {
+            let start = std::time::Instant::now();
+            black_box(
+                engine
+                    .query(session, &query)
+                    .expect("degraded panel survives"),
+            );
+            start.elapsed().as_micros() as u64
+        });
+        group.bench_function("slow-scan", |b| {
+            b.iter(|| {
+                engine
+                    .query(session, black_box(&query))
+                    .expect("degraded panel survives")
+            })
+        });
+
+        // -- deadline cutoff: time-to-typed-refusal ---------------------
+        // The same sick scan under a 2 ms budget: the cancel check
+        // between morsels trips and the caller gets the typed refusal in
+        // about one morsel's degraded time, not the full degraded scan.
+        let budget = Some(Duration::from_millis(2));
+        arm("query.scan.morsel", FailAction::SleepMs(5), 1, None);
+        summarize("deadline-cutoff", || {
+            let start = std::time::Instant::now();
+            match engine.query_with_deadline(session, &query, budget) {
+                Err(CoreError::DeadlineExceeded) => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+            start.elapsed().as_micros() as u64
+        });
+        group.bench_function("deadline-cutoff", |b| {
+            b.iter(
+                || match engine.query_with_deadline(session, black_box(&query), budget) {
+                    Err(CoreError::DeadlineExceeded) => {}
+                    other => panic!("expected DeadlineExceeded, got {other:?}"),
+                },
+            )
+        });
+        disarm_all();
+
+        // -- panic containment: survivors plus typed refusals -----------
+        // One helper startup in 16 panics. A hit query comes back as the
+        // typed `ExecutionPanicked`; everything else completes on the
+        // same (still healthy) pool. The regime's latency mixes both —
+        // which is exactly what a caller behind the facade experiences.
+        // The default panic hook would spam a backtrace per injected
+        // panic; silence it for this regime only.
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        arm(
+            "pool.helper.start",
+            FailAction::Panic("injected helper crash".into()),
+            16,
+            None,
+        );
+        let mut survived = 0u64;
+        let mut contained = 0u64;
+        summarize("panic-containment", || {
+            let start = std::time::Instant::now();
+            match engine.query(session, &query) {
+                Ok(result) => {
+                    black_box(result);
+                    survived += 1;
+                }
+                Err(CoreError::ExecutionPanicked) => contained += 1,
+                Err(other) => panic!("expected containment, got {other:?}"),
+            }
+            start.elapsed().as_micros() as u64
+        });
+        eprintln!("B20 summary panic-containment: {survived} survived, {contained} contained");
+        group.bench_function("panic-containment", |b| {
+            b.iter(|| match engine.query(session, black_box(&query)) {
+                Ok(result) => black_box(result).facts_matched,
+                Err(CoreError::ExecutionPanicked) => 0,
+                Err(other) => panic!("expected containment, got {other:?}"),
+            })
+        });
+        disarm_all();
+        std::panic::set_hook(quiet);
+
+        // The pool outlived every injected crash: a clean query still
+        // completes with nothing armed.
+        engine
+            .query(session, &query)
+            .expect("the pool serves normally after the chaos regimes");
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_degradation_under_faults
+}
+criterion_main!(benches);

@@ -129,7 +129,13 @@ fn bench_query_under_ingest(c: &mut Criterion) {
                                 if ingest.flush().is_ok() {
                                     let cube = feeder_engine.cube();
                                     if let Ok(fact) = cube.fact_table("Sales") {
-                                        ticker.re_anchor(fact);
+                                        // The feeder flushes after every
+                                        // accepted batch, so it can never
+                                        // lag past the remap retention
+                                        // window.
+                                        ticker
+                                            .re_anchor(fact)
+                                            .expect("flush-per-batch feeder never lags");
                                     }
                                 }
                             }

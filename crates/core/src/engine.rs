@@ -39,9 +39,9 @@ use sdwp_ingest::{
 use sdwp_model::{Schema, SchemaDiff};
 use sdwp_obs::{ClassId, MetricsRegistry, MetricsSnapshot, Stage};
 use sdwp_olap::{
-    AdmissionGuard, CacheKey, CacheStats, Cube, DictCacheStats, ExecutionConfig, FactTableStats,
-    GroupDictCache, InstanceView, MorselPool, OlapError, PoolConfig, Query, QueryCache,
-    QueryEngine, QueryObs, QueryResult, TenantPolicy,
+    AdmissionGuard, AdmitError, CacheKey, CacheStats, CancelToken, Cube, DictCacheStats,
+    ExecutionConfig, FactTableStats, GroupDictCache, InstanceView, MorselPool, OlapError,
+    PoolConfig, Query, QueryCache, QueryEngine, QueryObs, QueryResult, TenantPolicy,
 };
 use sdwp_prml::{
     CompiledRuleSet, EvalContext, FireReport, LayerSource, NoExternalLayers, PrmlError, Rule,
@@ -88,6 +88,13 @@ pub(crate) struct CubeState {
     /// stages). Ingest always records under the default class — epochs
     /// serve every tenant.
     pub(crate) metrics: Arc<MetricsRegistry>,
+    /// Remap floors registered by external id-addressed producers, keyed
+    /// `(producer, fact) → anchored compaction version`. The compaction
+    /// trimmer never drops transitions below the per-fact minimum, so a
+    /// producer that lags behind the compaction cadence can still
+    /// translate its stale row ids instead of failing with
+    /// `ProducerLagged`.
+    pub(crate) producer_floors: Mutex<BTreeMap<(String, String), u64>>,
 }
 
 /// Number of independently locked pin shards. Matches the session
@@ -249,9 +256,16 @@ impl CubeSink for CubeState {
             // unreachable and dropped, so the chain stays bounded under
             // steady compaction.
             let current_version = version_before + 1;
+            let producer_floor = self
+                .producer_floors
+                .lock()
+                .iter()
+                .filter_map(|((_, floor_fact), version)| (floor_fact == &fact).then_some(*version))
+                .min();
             let floor = [
                 self.sessions.min_fact_selection_version(&fact),
                 self.version_pins.min_for(&fact),
+                producer_floor,
                 Some(current_version.saturating_sub(1)),
             ]
             .into_iter()
@@ -273,6 +287,36 @@ impl CubeSink for CubeState {
 
     fn fact_stats(&self) -> Vec<FactTableStats> {
         self.master.lock().fact_table_stats()
+    }
+
+    /// Supervisor restart hook: the panicked worker may have applied
+    /// batches it never published, and its epoch bookkeeping is gone —
+    /// republish the master so nothing applied lingers master-only.
+    /// Which facts the lost epoch touched is unknowable, so cached
+    /// results over every fact are conservatively invalidated;
+    /// dimensions are untouched by ingest, so the dictionaries survive.
+    fn on_worker_restart(&self) {
+        let master = self.master.lock();
+        let generation = self.snapshot.store(Arc::new(master.clone()));
+        let changed: BTreeSet<String> = master
+            .fact_table_stats()
+            .into_iter()
+            .map(|stats| stats.fact)
+            .collect();
+        self.result_cache.publish(generation, &changed);
+        self.dict_cache.advance(generation);
+    }
+
+    fn set_producer_floor(&self, producer: &str, fact: &str, version: u64) {
+        self.producer_floors
+            .lock()
+            .insert((producer.to_string(), fact.to_string()), version);
+    }
+
+    fn clear_producer_floor(&self, producer: &str) {
+        self.producer_floors
+            .lock()
+            .retain(|(floor_producer, _), _| floor_producer != producer);
     }
 }
 
@@ -418,6 +462,7 @@ impl PersonalizationEngine {
                 sessions: Arc::clone(&sessions),
                 version_pins: VersionPins::default(),
                 metrics: Arc::clone(&metrics),
+                producer_floors: Mutex::new(BTreeMap::new()),
             }),
             original_schema,
             profiles: ProfileStore::new(),
@@ -680,6 +725,22 @@ impl PersonalizationEngine {
     /// triple was executed before; a rule firing that publishes a new
     /// cube bumps the generation and misses every stale entry.
     pub fn query(&self, session_id: SessionId, query: &Query) -> Result<QueryResult, CoreError> {
+        self.query_with_deadline(session_id, query, None)
+    }
+
+    /// [`PersonalizationEngine::query`] under an explicit per-query
+    /// deadline budget (overriding the executor config's default when
+    /// given). The budget starts *now* and covers the whole lifecycle —
+    /// admission wait, read-your-writes wait and the scan — and an
+    /// expiry cancels the query cooperatively with the typed
+    /// [`CoreError::DeadlineExceeded`]: no partial state, the result
+    /// cache untouched, every admission slot released.
+    pub fn query_with_deadline(
+        &self,
+        session_id: SessionId,
+        query: &Query,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<QueryResult, CoreError> {
         let (active, view, min_generation, class, _pin) =
             self.sessions.with_session(session_id, |state| {
                 // Pin the view's fact-selection versions while still under
@@ -712,7 +773,7 @@ impl PersonalizationEngine {
                 session: session_id,
             });
         }
-        self.query_snapshot(query, view, min_generation, class)
+        self.query_snapshot(query, view, min_generation, class, deadline)
     }
 
     /// Executes an OLAP query against the full, unpersonalized cube
@@ -723,6 +784,7 @@ impl PersonalizationEngine {
             Arc::new(InstanceView::unrestricted()),
             0,
             ClassId::DEFAULT,
+            None,
         )
     }
 
@@ -763,15 +825,21 @@ impl PersonalizationEngine {
         view: Arc<InstanceView>,
         min_generation: u64,
         class: ClassId,
+        deadline: Option<std::time::Duration>,
     ) -> Result<QueryResult, CoreError> {
         // End-to-end span: covers the admission gate, the
         // read-your-writes wait, the cache lookup and (on a miss) the
         // observed execution; records on every exit, including errors.
         let _total = self.metrics.span(Stage::QueryTotal, class);
+        // The budget clock starts here, *before* admission: a query that
+        // spends its whole budget parked in the admission queue comes
+        // back DeadlineExceeded instead of running late.
+        let cancel = self.lifecycle_token(deadline);
         // Admission first: a shed query does no work at all — not even a
         // cache probe — and a guaranteed tenant over budget waits here
-        // (backpressure) before touching any snapshot.
-        let _admission = self.admit_query(class)?;
+        // (backpressure, bounded by the deadline) before touching any
+        // snapshot.
+        let _admission = self.admit_query(class, cancel.deadline())?;
         let (generation, cube) = self.wait_for_generation(min_generation)?;
         let dicts = Some((&self.cube_state.dict_cache, generation));
         let obs = Some(QueryObs {
@@ -782,7 +850,7 @@ impl PersonalizationEngine {
         if !self.cube_state.result_cache.is_enabled() {
             return Ok(self
                 .query_engine
-                .execute_with_view_observed(&cube, query, &view, dicts, obs)?);
+                .execute_with_view_cancellable(&cube, query, &view, dicts, obs, &cancel)?);
         }
         let key = CacheKey::new(generation, query, view);
         let lookup = self.metrics.span(Stage::CacheLookup, class);
@@ -793,11 +861,18 @@ impl PersonalizationEngine {
         }
         let result = self
             .query_engine
-            .execute_with_view_observed(&cube, query, &key.view, dicts, obs)?;
+            .execute_with_view_cancellable(&cube, query, &key.view, dicts, obs, &cancel)?;
         self.cube_state
             .result_cache
             .insert(key, Arc::new(result.clone()));
         Ok(result)
+    }
+
+    /// The cancel token a read path runs under: the explicit per-query
+    /// budget wins, else the executor config's default, else no deadline.
+    fn lifecycle_token(&self, deadline: Option<std::time::Duration>) -> CancelToken {
+        let budget = deadline.or(self.query_engine.config().deadline);
+        CancelToken::with_deadline(budget.map(|budget| std::time::Instant::now() + budget))
     }
 
     /// Executes a batch of OLAP queries through a session's personalized
@@ -812,6 +887,21 @@ impl PersonalizationEngine {
         &self,
         session_id: SessionId,
         queries: &[Query],
+    ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+        self.query_batch_with_deadline(session_id, queries, None)
+    }
+
+    /// [`PersonalizationEngine::query_batch`] under an explicit
+    /// per-batch deadline budget covering admission, the
+    /// read-your-writes wait and every fact group's scan. An expiry
+    /// mid-batch fails the current and every not-yet-scanned group with
+    /// [`CoreError::DeadlineExceeded`]; groups that already completed
+    /// keep their results.
+    pub fn query_batch_with_deadline(
+        &self,
+        session_id: SessionId,
+        queries: &[Query],
+        deadline: Option<std::time::Duration>,
     ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
         let (active, view, min_generation, class, _pin) =
             self.sessions.with_session(session_id, |state| {
@@ -838,7 +928,7 @@ impl PersonalizationEngine {
                 session: session_id,
             });
         }
-        self.query_batch_snapshot(queries, view, min_generation, class)
+        self.query_batch_snapshot(queries, view, min_generation, class, deadline)
     }
 
     /// Executes a batch of OLAP queries against the full, unpersonalized
@@ -852,6 +942,7 @@ impl PersonalizationEngine {
             Arc::new(InstanceView::unrestricted()),
             0,
             ClassId::DEFAULT,
+            None,
         )
     }
 
@@ -865,9 +956,11 @@ impl PersonalizationEngine {
         view: Arc<InstanceView>,
         min_generation: u64,
         class: ClassId,
+        deadline: Option<std::time::Duration>,
     ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
         let _total = self.metrics.span(Stage::BatchTotal, class);
-        let _admission = self.admit_query(class)?;
+        let cancel = self.lifecycle_token(deadline);
+        let _admission = self.admit_query(class, cancel.deadline())?;
         let (generation, cube) = self.wait_for_generation(min_generation)?;
         let dicts = Some((&self.cube_state.dict_cache, generation));
         let obs = Some(QueryObs {
@@ -878,7 +971,7 @@ impl PersonalizationEngine {
         if !self.cube_state.result_cache.is_enabled() {
             return Ok(self
                 .query_engine
-                .execute_batch_observed(&cube, queries, &view, dicts, obs)
+                .execute_batch_cancellable(&cube, queries, &view, dicts, obs, &cancel)
                 .into_iter()
                 .map(|result| result.map_err(CoreError::from))
                 .collect());
@@ -898,7 +991,7 @@ impl PersonalizationEngine {
         let misses: Vec<Query> = miss_indices.iter().map(|&i| queries[i].clone()).collect();
         let executed = self
             .query_engine
-            .execute_batch_observed(&cube, &misses, &view, dicts, obs);
+            .execute_batch_cancellable(&cube, &misses, &view, dicts, obs, &cancel);
         let mut results: Vec<Option<Result<QueryResult, CoreError>>> = cached
             .into_iter()
             .map(|hit| hit.map(|r| Ok((*r).clone())))
@@ -976,18 +1069,37 @@ impl PersonalizationEngine {
     /// A best-effort tenant over budget is shed with a typed
     /// [`CoreError::Overloaded`]; a guaranteed tenant blocks until
     /// capacity frees. Engines without a pool admit everything.
-    fn admit_query(&self, class: ClassId) -> Result<Option<AdmissionGuard>, CoreError> {
+    fn admit_query(
+        &self,
+        class: ClassId,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<AdmissionGuard>, CoreError> {
         match &self.morsel_pool {
             None => Ok(None),
-            Some(pool) => pool
-                .try_admit(class)
-                .map(Some)
-                .map_err(|shed| CoreError::Overloaded {
-                    class: self.metrics.class_name(shed.class),
-                    in_flight: shed.in_flight,
-                    limit: shed.max_in_flight,
-                }),
+            Some(pool) => {
+                pool.admit_until(class, deadline)
+                    .map(Some)
+                    .map_err(|error| match error {
+                        AdmitError::Shed(shed) => CoreError::Overloaded {
+                            class: self.metrics.class_name(shed.class),
+                            in_flight: shed.in_flight,
+                            limit: shed.max_in_flight,
+                        },
+                        AdmitError::DeadlineExceeded { .. } => CoreError::DeadlineExceeded,
+                    })
+            }
         }
+    }
+
+    /// A backoff hint for a shed tenant: the class's recent end-to-end
+    /// p99 in µs (0 when nothing has been recorded yet) — roughly how
+    /// long one queued query takes to drain, so retrying after it has a
+    /// fair chance of finding a free slot.
+    pub fn retry_after_hint_micros(&self, class_name: &str) -> u64 {
+        let class = self.metrics.register_class(class_name);
+        self.metrics
+            .stage_histogram(Stage::QueryTotal, class)
+            .quantile(0.99)
     }
 
     /// The shared morsel worker pool, when the executor is parallel —
@@ -1075,9 +1187,16 @@ impl PersonalizationEngine {
                     ingest.epochs_published,
                 ),
                 ("ingest_compactions".to_string(), ingest.compactions),
+                ("ingest_worker_restarts".to_string(), ingest.worker_restarts),
             ]);
-            snap.gauges
-                .push(("ingest_queue_depth".to_string(), ingest.queue_depth as i64));
+            snap.gauges.extend([
+                ("ingest_queue_depth".to_string(), ingest.queue_depth as i64),
+                (
+                    "ingest_worker_heartbeat_micros".to_string(),
+                    ingest.last_heartbeat_micros as i64,
+                ),
+                ("ingest_worker_down".to_string(), ingest.worker_down as i64),
+            ]);
         }
         if let Some(pool) = &self.morsel_pool {
             let stats = pool.stats();

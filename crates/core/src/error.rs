@@ -49,6 +49,14 @@ pub enum CoreError {
         /// The generation the session is pinned to.
         required: u64,
     },
+    /// The query's deadline expired — while waiting for admission or
+    /// between scan morsels — and it was cancelled cooperatively. No
+    /// partial state escaped: the result cache is untouched and every
+    /// admission slot was released.
+    DeadlineExceeded,
+    /// Query execution panicked on a worker; the panic was contained to
+    /// this query (the morsel pool and all shared state keep serving).
+    ExecutionPanicked,
 }
 
 impl fmt::Display for CoreError {
@@ -79,6 +87,13 @@ impl fmt::Display for CoreError {
                 "published snapshot generation {published} is older than the session's \
                  pinned generation {required}"
             ),
+            CoreError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded; cancelled with no partial state")
+            }
+            CoreError::ExecutionPanicked => write!(
+                f,
+                "query execution panicked; the panic was contained to this query"
+            ),
         }
     }
 }
@@ -93,7 +108,13 @@ impl From<sdwp_prml::PrmlError> for CoreError {
 
 impl From<sdwp_olap::OlapError> for CoreError {
     fn from(e: sdwp_olap::OlapError) -> Self {
-        CoreError::Olap(e)
+        // Lifecycle outcomes keep their identity across the layer
+        // boundary — callers match on them to decide retry semantics.
+        match e {
+            sdwp_olap::OlapError::DeadlineExceeded => CoreError::DeadlineExceeded,
+            sdwp_olap::OlapError::ExecutionPanicked => CoreError::ExecutionPanicked,
+            other => CoreError::Olap(other),
+        }
     }
 }
 
@@ -141,5 +162,15 @@ mod tests {
         }
         .to_string()
         .contains("missing user"));
+    }
+
+    #[test]
+    fn lifecycle_outcomes_keep_their_identity_across_the_boundary() {
+        let e: CoreError = sdwp_olap::OlapError::DeadlineExceeded.into();
+        assert_eq!(e, CoreError::DeadlineExceeded);
+        assert!(e.to_string().contains("deadline"));
+        let e: CoreError = sdwp_olap::OlapError::ExecutionPanicked.into();
+        assert_eq!(e, CoreError::ExecutionPanicked);
+        assert!(e.to_string().contains("contained"));
     }
 }

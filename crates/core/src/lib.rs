@@ -44,7 +44,14 @@ pub use report::PersonalizationReport;
 // Re-exported so facade users can build engines with an explicit
 // registry and read snapshots without naming `sdwp_obs` directly.
 pub use sdwp_obs::{ClassId, MetricsRegistry, MetricsSnapshot, SlowQueryRecord, StageSnapshot};
-pub use sdwp_olap::{MorselPool, PoolStats, TenantPolicy, TenantStats};
+pub use sdwp_olap::{AdmitError, CancelToken, MorselPool, PoolStats, TenantPolicy, TenantStats};
+
+/// The deterministic fault-injection registry (arm/disarm named
+/// failpoints), re-exported for chaos tests driving the whole engine.
+/// Only present under the `failpoints` feature; a default build
+/// contains no failpoint code at all.
+#[cfg(feature = "failpoints")]
+pub use sdwp_olap::fault;
 pub use session::{SessionManager, SessionState};
 pub use sync::{ArcSwap, VersionedSwap};
 pub use web::{BatchEntry, WebFacade, WebRequest, WebResponse};

@@ -54,6 +54,12 @@ pub enum WebRequest {
         measure: String,
         /// Group-by keys as `(dimension, level, attribute)` triples.
         group_by: Vec<(String, String, String)>,
+        /// Optional end-to-end deadline budget in µs. The clock starts
+        /// when the engine picks the request up and covers admission,
+        /// the read-your-writes wait and the scan; an expiry cancels
+        /// the query cooperatively (typed error, no partial state).
+        /// `None` falls back to the executor config's default.
+        deadline_micros: Option<u64>,
     },
     /// A dashboard refresh: the front-end submits every panel's query at
     /// once, and the engine answers them in one shared-scan batch —
@@ -65,6 +71,11 @@ pub enum WebRequest {
         session: SessionId,
         /// The panel queries, answered positionally.
         queries: Vec<Query>,
+        /// Optional deadline budget in µs for the whole batch (see
+        /// [`WebRequest::Aggregate::deadline_micros`]); panels not yet
+        /// scanned at expiry answer with a typed per-panel error while
+        /// completed panels keep their tables.
+        deadline_micros: Option<u64>,
     },
     /// The user asks for their personalization report.
     Report {
@@ -221,6 +232,14 @@ pub enum WebResponse {
         /// current backlog (sits next to `batches_rejected`: a deep queue
         /// precedes backpressure rejections).
         queue_depth: u64,
+        /// Times the supervisor restarted a panicked epoch worker.
+        worker_restarts: u64,
+        /// Wall-clock micros (Unix epoch) of the worker's most recent
+        /// loop iteration — its liveness heartbeat.
+        last_heartbeat_micros: u64,
+        /// True once the restart budget is exhausted and submissions are
+        /// refused with a typed worker-down error.
+        worker_down: bool,
         /// Per-fact storage gauges (total / live rows, tombstone ratio,
         /// compactions) — the operator's compaction-pressure dashboard.
         fact_tables: Vec<FactTableStats>,
@@ -249,6 +268,11 @@ pub enum WebResponse {
         /// The class's in-flight budget (`0` = the queue-depth budget
         /// tripped instead).
         limit: usize,
+        /// Suggested backoff in µs before retrying — the shed class's
+        /// recent end-to-end p99 (roughly one queued query's drain
+        /// time), `0` when the class has no latency history yet. The
+        /// HTTP layer's `Retry-After`.
+        retry_after_hint_micros: u64,
     },
     /// The request failed.
     Error {
@@ -335,11 +359,15 @@ impl WebFacade {
                 class,
                 in_flight,
                 limit,
-            }) => WebResponse::Overloaded {
-                class,
-                in_flight,
-                limit,
-            },
+            }) => {
+                let retry_after_hint_micros = self.engine.retry_after_hint_micros(&class);
+                WebResponse::Overloaded {
+                    class,
+                    in_flight,
+                    limit,
+                    retry_after_hint_micros,
+                }
+            }
             Err(error) => WebResponse::Error {
                 message: error.to_string(),
             },
@@ -382,12 +410,14 @@ impl WebFacade {
                 fact,
                 measure,
                 group_by,
+                deadline_micros,
             } => {
                 let mut query = Query::over(fact).measure(measure);
                 for (dimension, level, attribute) in group_by {
                     query = query.group_by(AttributeRef::new(dimension, level, attribute));
                 }
-                let result = self.engine.query(session, &query)?;
+                let deadline = deadline_micros.map(std::time::Duration::from_micros);
+                let result = self.engine.query_with_deadline(session, &query, deadline)?;
                 let (columns, rows) = render_table(&result);
                 Ok(WebResponse::Table {
                     columns,
@@ -395,10 +425,15 @@ impl WebFacade {
                     facts_matched: result.facts_matched,
                 })
             }
-            WebRequest::QueryBatch { session, queries } => {
+            WebRequest::QueryBatch {
+                session,
+                queries,
+                deadline_micros,
+            } => {
+                let deadline = deadline_micros.map(std::time::Duration::from_micros);
                 let results = self
                     .engine
-                    .query_batch(session, &queries)?
+                    .query_batch_with_deadline(session, &queries, deadline)?
                     .into_iter()
                     .map(|result| match result {
                         Ok(result) => {
@@ -497,6 +532,9 @@ impl WebFacade {
                     last_generation: stats.last_generation,
                     compactions: stats.compactions,
                     queue_depth: stats.queue_depth,
+                    worker_restarts: stats.worker_restarts,
+                    last_heartbeat_micros: stats.last_heartbeat_micros,
+                    worker_down: stats.worker_down,
                     fact_tables: stats.fact_tables,
                 })
             }
@@ -565,6 +603,7 @@ mod tests {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: None,
         });
         match response {
             WebResponse::Table { columns, .. } => {
@@ -615,6 +654,7 @@ mod tests {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: None,
         };
         let first = facade.handle(aggregate.clone());
         let second = facade.handle(aggregate);
@@ -701,6 +741,7 @@ mod tests {
         let response = facade.handle(WebRequest::QueryBatch {
             session,
             queries: vec![by_city.clone(), broken, total],
+            deadline_micros: None,
         });
         let results = match response {
             WebResponse::BatchResult { results } => results,
@@ -713,6 +754,7 @@ mod tests {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: None,
         });
         match (&results[0], single) {
             (
@@ -758,6 +800,7 @@ mod tests {
                 fact: "Sales".into(),
                 measure: "UnitSales".into(),
                 group_by: vec![("Store".into(), "City".into(), "name".into())],
+                deadline_micros: None,
             }),
             WebResponse::Table { .. }
         ));
@@ -765,6 +808,7 @@ mod tests {
         let response = facade.handle(WebRequest::QueryBatch {
             session,
             queries: vec![by_city.clone(), by_city_cost.clone()],
+            deadline_micros: None,
         });
         assert!(matches!(response, WebResponse::BatchResult { .. }));
         let after = facade.engine().cache_stats();
@@ -780,6 +824,7 @@ mod tests {
         let again = facade.handle(WebRequest::QueryBatch {
             session,
             queries: vec![by_city, by_city_cost],
+            deadline_micros: None,
         });
         assert_eq!(response, again);
         assert_eq!(facade.engine().cache_stats().hits, after.hits + 2);
@@ -801,6 +846,7 @@ mod tests {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![],
+            deadline_micros: None,
         }) {
             WebResponse::Error { message } => assert!(message.contains("77")),
             other => panic!("unexpected response {other:?}"),

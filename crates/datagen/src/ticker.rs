@@ -12,7 +12,7 @@
 use crate::scenario::PaperScenario;
 use rand::rngs::StdRng;
 use rand::Rng;
-use sdwp_ingest::DeltaBatch;
+use sdwp_ingest::{DeltaBatch, IngestError};
 use sdwp_olap::{CellValue, FactTable};
 use std::collections::BTreeSet;
 
@@ -141,34 +141,34 @@ impl RetailTicker {
     /// happened. Only call this at a flush barrier — with batches still
     /// in flight, the table's length would not yet include them.
     ///
-    /// # Panics
-    /// When the table's retained remap chain no longer covers
-    /// `version_seen` (`remap_base` has been trimmed past it): the
-    /// producer lagged more than the serving layer's retention window,
-    /// and translating through a partial chain would silently address
-    /// the wrong rows. Flushing and re-anchoring after every
-    /// id-addressed batch (the documented protocol) keeps the lag within
-    /// the always-retained latest transition.
-    pub fn re_anchor(&mut self, fact: &FactTable) {
+    /// # Errors
+    /// [`IngestError::ProducerLagged`] when the table's retained remap
+    /// chain no longer covers `version_seen` (`remap_base` has been
+    /// trimmed past it): the producer lagged more than the serving
+    /// layer's retention window, and translating through a partial chain
+    /// would silently address the wrong rows. The ticker's bookkeeping
+    /// is left untouched so the caller can recover — discard the
+    /// outstanding id-addressed plan and re-anchor after a flush, or
+    /// prevent the trim up front by registering a producer floor
+    /// (`IngestHandle::set_producer_floor`) before lagging.
+    pub fn re_anchor(&mut self, fact: &FactTable) -> Result<(), IngestError> {
         let current = fact.compaction_version();
         if current == self.version_seen {
-            return;
+            return Ok(());
         }
-        assert!(
-            fact.remap_base <= self.version_seen,
-            "RetailTicker lagged past the retained remap window \
-             (anchored at version {}, chain starts at {}): id-addressed \
-             deltas can no longer be translated safely — flush and \
-             re-anchor after every id-addressed batch",
-            self.version_seen,
-            fact.remap_base,
-        );
+        if fact.remap_base > self.version_seen {
+            return Err(IngestError::ProducerLagged {
+                floor: fact.remap_base,
+                requested: self.version_seen,
+            });
+        }
         self.retracted = fact
             .translate_rows_from(self.version_seen, self.retracted.iter().copied())
             .into_iter()
             .collect();
         self.fact_rows = fact.table.len();
         self.version_seen = current;
+        Ok(())
     }
 
     /// Draws a random live row id, or `None` when none is targetable.
@@ -312,7 +312,7 @@ mod tests {
         }
         // A no-op anchor before any compaction changes nothing.
         let rows_before = ticker.fact_rows();
-        ticker.re_anchor(cube.fact_table("Sales").unwrap());
+        ticker.re_anchor(cube.fact_table("Sales").unwrap()).unwrap();
         assert_eq!(
             (ticker.version_seen(), ticker.fact_rows()),
             (0, rows_before)
@@ -321,7 +321,7 @@ mod tests {
         // Compact (renumbering every live row), re-anchor, keep going:
         // every later id-addressed batch still validates in order.
         cube.compact_fact_table("Sales").unwrap();
-        ticker.re_anchor(cube.fact_table("Sales").unwrap());
+        ticker.re_anchor(cube.fact_table("Sales").unwrap()).unwrap();
         assert_eq!(ticker.version_seen(), 1);
         assert_eq!(
             ticker.fact_rows(),
@@ -338,7 +338,7 @@ mod tests {
         // window the same way.
         cube.compact_fact_table("Sales").unwrap();
         cube.trim_fact_remaps("Sales", 1).unwrap();
-        ticker.re_anchor(cube.fact_table("Sales").unwrap());
+        ticker.re_anchor(cube.fact_table("Sales").unwrap()).unwrap();
         assert_eq!(ticker.version_seen(), 2);
         for batch in ticker.take(4) {
             batch
@@ -346,6 +346,34 @@ mod tests {
                 .expect("batch after trimmed re-anchor");
             batch.apply(&mut cube);
         }
+    }
+
+    #[test]
+    fn lagging_past_the_remap_window_is_a_typed_refusal() {
+        let scenario = scenario();
+        let mut cube = scenario.cube.clone();
+        let mut ticker = RetailTicker::new(&scenario, TickerConfig::default().with_retractions(3));
+        for batch in ticker.by_ref().take(4) {
+            batch.validate(&cube).expect("pre-compaction batch");
+            batch.apply(&mut cube);
+        }
+        // Two compactions land while the ticker never re-anchors; the
+        // serving layer then trims the remap chain past the ticker's
+        // anchor (version 0).
+        cube.compact_fact_table("Sales").unwrap();
+        cube.compact_fact_table("Sales").unwrap();
+        cube.trim_fact_remaps("Sales", 1).unwrap();
+        let rows_before = ticker.fact_rows();
+        match ticker.re_anchor(cube.fact_table("Sales").unwrap()) {
+            Err(IngestError::ProducerLagged { floor, requested }) => {
+                assert_eq!((floor, requested), (1, 0));
+            }
+            other => panic!("expected ProducerLagged, got {other:?}"),
+        }
+        // The refusal left the bookkeeping untouched, so the producer can
+        // discard its plan and recover deliberately.
+        assert_eq!(ticker.version_seen(), 0);
+        assert_eq!(ticker.fact_rows(), rows_before);
     }
 
     #[test]

@@ -14,6 +14,24 @@ pub enum IngestError {
     Backpressure(Box<DeltaBatch>),
     /// The pipeline has been shut down; no further batches are accepted.
     Closed,
+    /// The epoch worker died (its supervisor exhausted the restart
+    /// budget); submissions would sit in the queue forever, so they are
+    /// refused with a typed error instead of hanging on a dead channel.
+    WorkerDown,
+    /// A producer's row-id bookkeeping lags past the serving layer's
+    /// retained remap window: its anchored compaction version
+    /// (`requested`) is older than the oldest retained transition
+    /// (`floor`), so id-addressed deltas can no longer be translated
+    /// safely. Recover by discarding outstanding id-addressed work and
+    /// re-anchoring at a flush barrier — or prevent it up front by
+    /// registering a producer floor with the sink so trimming never
+    /// passes the slowest producer.
+    ProducerLagged {
+        /// Oldest compaction version the remap chain still covers.
+        floor: u64,
+        /// The version the producer is still anchored at.
+        requested: u64,
+    },
 }
 
 impl IngestError {
@@ -23,7 +41,9 @@ impl IngestError {
     pub fn into_batch(self) -> Option<DeltaBatch> {
         match self {
             IngestError::Backpressure(batch) => Some(*batch),
-            IngestError::Closed => None,
+            IngestError::Closed | IngestError::WorkerDown | IngestError::ProducerLagged { .. } => {
+                None
+            }
         }
     }
 }
@@ -35,6 +55,17 @@ impl fmt::Display for IngestError {
                 write!(f, "ingest queue full: producer outruns the apply rate")
             }
             IngestError::Closed => write!(f, "ingest pipeline is shut down"),
+            IngestError::WorkerDown => write!(
+                f,
+                "ingest worker is down: the supervisor exhausted its restart budget"
+            ),
+            IngestError::ProducerLagged { floor, requested } => write!(
+                f,
+                "producer lagged past the retained remap window (anchored at \
+                 version {requested}, chain starts at {floor}): discard \
+                 id-addressed work and re-anchor at a flush barrier, or \
+                 register a producer floor with the sink"
+            ),
         }
     }
 }
@@ -52,5 +83,18 @@ mod tests {
         assert_eq!(refused.into_batch(), Some(DeltaBatch::new()));
         assert!(IngestError::Closed.to_string().contains("shut down"));
         assert_eq!(IngestError::Closed.into_batch(), None);
+        assert!(IngestError::WorkerDown
+            .to_string()
+            .contains("restart budget"));
+        assert_eq!(IngestError::WorkerDown.into_batch(), None);
+        let lagged = IngestError::ProducerLagged {
+            floor: 7,
+            requested: 3,
+        };
+        let text = lagged.to_string();
+        assert!(text.contains("version 3"));
+        assert!(text.contains("starts at 7"));
+        assert!(text.contains("re-anchor"));
+        assert_eq!(lagged.into_batch(), None);
     }
 }

@@ -59,6 +59,25 @@ pub trait CubeSink: Send + Sync {
     fn fact_stats(&self) -> Vec<FactTableStats> {
         Vec::new()
     }
+
+    /// Called by the supervisor after the epoch worker panicked and
+    /// before it is restarted. Implementors re-establish a consistent
+    /// externally visible state — `sdwp-core` republishes the write
+    /// master as a fresh snapshot, so mutations applied before the panic
+    /// but never published become visible instead of lingering
+    /// master-only. The default does nothing.
+    fn on_worker_restart(&self) {}
+
+    /// Registers `producer`'s anchored compaction version for `fact`:
+    /// the sink must retain the remap chain back to `version` (i.e.
+    /// never trim past the minimum registered floor), so an id-addressed
+    /// producer that lags behind the compaction cadence can still
+    /// translate its stale row ids. The default does nothing.
+    fn set_producer_floor(&self, _producer: &str, _fact: &str, _version: u64) {}
+
+    /// Drops every floor registered under `producer`, releasing the
+    /// remap history it pinned. The default does nothing.
+    fn clear_producer_floor(&self, _producer: &str) {}
 }
 
 /// When the epoch worker rewrites a tombstone-heavy fact table.
@@ -175,6 +194,10 @@ pub struct IngestConfig {
     pub epoch: EpochPolicy,
     /// The tombstone-compaction policy (disabled by default).
     pub compaction: CompactionPolicy,
+    /// How many times the supervisor restarts a panicking epoch worker
+    /// before declaring the pipeline down (submissions then refuse with
+    /// [`IngestError::WorkerDown`] instead of queueing forever).
+    pub max_worker_restarts: u32,
 }
 
 impl Default for IngestConfig {
@@ -183,6 +206,7 @@ impl Default for IngestConfig {
             queue_depth: 64,
             epoch: EpochPolicy::default(),
             compaction: CompactionPolicy::disabled(),
+            max_worker_restarts: 16,
         }
     }
 }
@@ -203,6 +227,12 @@ impl IngestConfig {
     /// Sets the compaction policy.
     pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
         self.compaction = compaction;
+        self
+    }
+
+    /// Sets the supervisor's worker-restart budget.
+    pub fn with_max_worker_restarts(mut self, max_worker_restarts: u32) -> Self {
+        self.max_worker_restarts = max_worker_restarts;
         self
     }
 }
@@ -234,6 +264,15 @@ pub struct IngestStats {
     /// Batches accepted but not yet applied or failed — the queue's
     /// current backlog (instantaneous, derived from the counters).
     pub queue_depth: u64,
+    /// Times the supervisor restarted a panicked epoch worker.
+    pub worker_restarts: u64,
+    /// Wall-clock micros (since the Unix epoch) of the worker's most
+    /// recent loop iteration — a liveness heartbeat; 0 before the worker
+    /// first runs.
+    pub last_heartbeat_micros: u64,
+    /// True once the supervisor exhausted its restart budget; every
+    /// subsequent submission gets [`IngestError::WorkerDown`].
+    pub worker_down: bool,
     /// Description of the most recent batch failure, when any.
     pub last_error: Option<String>,
     /// Per-fact storage counters of the write master (live rows,
@@ -255,6 +294,14 @@ struct Shared {
     epochs_published: AtomicU64,
     last_generation: AtomicU64,
     compactions: AtomicU64,
+    worker_restarts: AtomicU64,
+    last_heartbeat_micros: AtomicU64,
+    worker_down: AtomicBool,
+    /// True while the worker holds a received batch it has not yet
+    /// counted as applied or failed. A panic mid-apply leaves it set, and
+    /// the supervisor converts the orphan into `batches_failed` so the
+    /// derived `queue_depth` stays balanced across restarts.
+    inflight_batch: AtomicBool,
     closed: AtomicBool,
     /// Submission gate: every submission holds a read guard across its
     /// channel send, and shutdown flips `closed` under the write guard —
@@ -283,6 +330,9 @@ impl Shared {
             last_generation: self.last_generation.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             queue_depth: submitted.saturating_sub(applied + failed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            last_heartbeat_micros: self.last_heartbeat_micros.load(Ordering::Relaxed),
+            worker_down: self.worker_down.load(Ordering::Acquire),
             last_error: self.last_error.lock().clone(),
             fact_tables: Vec::new(),
         }
@@ -315,12 +365,10 @@ impl IngestHandle {
         // consuming until `closed` is set, which only happens after every
         // in-flight send completes and releases its read guard.
         let _gate = self.shared.gate.read();
-        if self.shared.closed.load(Ordering::Acquire) {
-            return Err(IngestError::Closed);
-        }
+        self.refuse_if_unserviceable()?;
         self.tx
             .send(Msg::Batch(batch))
-            .map_err(|_| IngestError::Closed)?;
+            .map_err(|_| self.channel_gone())?;
         self.shared
             .batches_submitted
             .fetch_add(1, Ordering::Relaxed);
@@ -334,9 +382,7 @@ impl IngestHandle {
     /// producer never has to clone what it submits.
     pub fn try_submit(&self, batch: DeltaBatch) -> Result<(), IngestError> {
         let _gate = self.shared.gate.read();
-        if self.shared.closed.load(Ordering::Acquire) {
-            return Err(IngestError::Closed);
-        }
+        self.refuse_if_unserviceable()?;
         match self.tx.try_send(Msg::Batch(batch)) {
             Ok(()) => {
                 self.shared
@@ -348,7 +394,7 @@ impl IngestHandle {
                 self.shared.batches_rejected.fetch_add(1, Ordering::Relaxed);
                 Err(IngestError::Backpressure(Box::new(batch)))
             }
-            Err(_) => Err(IngestError::Closed),
+            Err(_) => Err(self.channel_gone()),
         }
     }
 
@@ -357,11 +403,30 @@ impl IngestHandle {
     /// snapshot. The deterministic synchronisation point for tests,
     /// examples and graceful drains.
     pub fn flush(&self) -> Result<u64, IngestError> {
+        self.refuse_if_unserviceable()?;
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         self.tx
             .send(Msg::Flush(reply_tx))
-            .map_err(|_| IngestError::Closed)?;
-        reply_rx.recv().map_err(|_| IngestError::Closed)
+            .map_err(|_| self.channel_gone())?;
+        // A panic between the worker receiving the flush and replying
+        // drops `reply_tx`; map the broken reply channel through the
+        // same worker-state triage instead of reporting a shutdown.
+        reply_rx.recv().map_err(|_| self.channel_gone())
+    }
+
+    /// Registers this producer's anchored compaction version for `fact`
+    /// with the sink: the remap chain is retained back to `version`, so
+    /// the producer's id-addressed batches keep translating even when it
+    /// lags behind the compaction cadence. Forwards to
+    /// [`CubeSink::set_producer_floor`].
+    pub fn set_producer_floor(&self, producer: &str, fact: &str, version: u64) {
+        self.sink.set_producer_floor(producer, fact, version);
+    }
+
+    /// Releases every remap floor registered under `producer`. Forwards
+    /// to [`CubeSink::clear_producer_floor`].
+    pub fn clear_producer_floor(&self, producer: &str) {
+        self.sink.clear_producer_floor(producer);
     }
 
     /// A snapshot of the pipeline's counters, including the per-fact
@@ -370,6 +435,26 @@ impl IngestHandle {
         let mut stats = self.shared.snapshot();
         stats.fact_tables = self.sink.fact_stats();
         stats
+    }
+
+    fn refuse_if_unserviceable(&self) -> Result<(), IngestError> {
+        if self.shared.worker_down.load(Ordering::Acquire) {
+            return Err(IngestError::WorkerDown);
+        }
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(IngestError::Closed);
+        }
+        Ok(())
+    }
+
+    /// The error for a dead channel: the receiver is only ever dropped by
+    /// shutdown or by the supervisor giving up, so pick the matching one.
+    fn channel_gone(&self) -> IngestError {
+        if self.shared.worker_down.load(Ordering::Acquire) {
+            IngestError::WorkerDown
+        } else {
+            IngestError::Closed
+        }
     }
 }
 
@@ -394,9 +479,10 @@ impl IngestPipeline {
             let shared = Arc::clone(&shared);
             let policy = config.epoch;
             let compaction = config.compaction;
+            let max_restarts = config.max_worker_restarts;
             std::thread::Builder::new()
                 .name("sdwp-ingest".into())
-                .spawn(move || worker_loop(rx, sink, shared, policy, compaction))
+                .spawn(move || supervisor_loop(rx, sink, shared, policy, compaction, max_restarts))
                 .expect("spawning the ingest worker")
         };
         IngestPipeline {
@@ -443,7 +529,10 @@ impl IngestPipeline {
             // queue is fine (it is about to wake and drain anyway).
             let (reply_tx, _reply_rx) = mpsc::sync_channel(1);
             let _ = self.handle.tx.try_send(Msg::Flush(reply_tx));
-            worker.join().expect("ingest worker panicked");
+            // The supervisor contains worker panics, so a join error would
+            // mean the supervisor itself died — nothing useful remains to
+            // do with the process at that point; don't poison shutdown.
+            let _ = worker.join();
         }
     }
 }
@@ -454,12 +543,74 @@ impl Drop for IngestPipeline {
     }
 }
 
-/// The epoch worker: drain → apply → publish on policy triggers, with a
-/// tombstone-compaction check after every publication.
-fn worker_loop(
+/// Wall-clock micros since the Unix epoch, for the worker heartbeat.
+fn now_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Runs the epoch worker under a panic supervisor: a panicking
+/// [`worker_loop`] is contained with `catch_unwind`, the sink is asked to
+/// re-establish a consistent published state
+/// ([`CubeSink::on_worker_restart`]), and the worker restarts on the same
+/// receiver after a capped exponential backoff — submitted batches keep
+/// draining across restarts. A batch orphaned mid-apply is converted to
+/// `batches_failed` so the derived queue depth stays balanced. Once the
+/// restart budget is exhausted the pipeline is declared down: the
+/// receiver drops, and every producer gets [`IngestError::WorkerDown`].
+fn supervisor_loop(
     rx: mpsc::Receiver<Msg>,
     sink: Arc<dyn CubeSink>,
     shared: Arc<Shared>,
+    policy: EpochPolicy,
+    compaction: CompactionPolicy,
+    max_restarts: u32,
+) {
+    let mut restarts: u32 = 0;
+    loop {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(&rx, &sink, &shared, policy, compaction)
+        }));
+        if run.is_ok() {
+            // Graceful exit: shutdown drain finished or every sender hung
+            // up. Nothing to supervise.
+            return;
+        }
+        if shared.inflight_batch.swap(false, Ordering::AcqRel) {
+            shared.batches_failed.fetch_add(1, Ordering::Relaxed);
+            *shared.last_error.lock() =
+                Some("ingest worker panicked mid-apply; the batch was dropped".to_string());
+        } else {
+            *shared.last_error.lock() =
+                Some("ingest worker panicked between batches; restarted".to_string());
+        }
+        shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        restarts += 1;
+        if restarts > max_restarts {
+            shared.worker_down.store(true, Ordering::Release);
+            return;
+        }
+        // Unpublished-but-applied mutations must not linger master-only
+        // across the restart; let the sink republish last-good state.
+        sink.on_worker_restart();
+        // Capped exponential backoff: 2 ms, 4 ms, … capped at 64 ms, so a
+        // crash loop cannot spin the CPU but recovery stays prompt.
+        std::thread::sleep(Duration::from_millis(1u64 << restarts.min(6)));
+    }
+}
+
+/// The epoch worker: drain → apply → publish on policy triggers, with a
+/// tombstone-compaction check after every publication. Borrows the
+/// receiver so the supervisor can re-enter it after a contained panic;
+/// epoch-in-progress state (pending rows, changed facts) is rebuilt from
+/// scratch on each entry — the restart hook has already republished
+/// whatever the lost epoch had applied.
+fn worker_loop(
+    rx: &mpsc::Receiver<Msg>,
+    sink: &Arc<dyn CubeSink>,
+    shared: &Arc<Shared>,
     policy: EpochPolicy,
     compaction: CompactionPolicy,
 ) {
@@ -467,10 +618,18 @@ fn worker_loop(
     let mut changed_facts: BTreeSet<String> = BTreeSet::new();
     let mut epoch_started: Option<Instant> = None;
 
+    shared
+        .last_heartbeat_micros
+        .store(now_micros(), Ordering::Relaxed);
+
     let apply = |batch: &DeltaBatch,
                  pending_rows: &mut u64,
                  changed_facts: &mut BTreeSet<String>,
                  epoch_started: &mut Option<Instant>| {
+        // From here until the applied/failed counter bump, a panic
+        // orphans this batch; the marker lets the supervisor account it.
+        shared.inflight_batch.store(true, Ordering::Release);
+        sdwp_olap::fail_point!("ingest.apply");
         match sink.apply_batch(batch) {
             Ok(outcome) => {
                 shared.batches_applied.fetch_add(1, Ordering::Relaxed);
@@ -496,6 +655,7 @@ fn worker_loop(
                 *shared.last_error.lock() = Some(error.to_string());
             }
         }
+        shared.inflight_batch.store(false, Ordering::Release);
     };
 
     let publish = |pending_rows: &mut u64,
@@ -506,6 +666,7 @@ fn worker_loop(
             // (needlessly) stop every cached result from hitting.
             return;
         }
+        sdwp_olap::fail_point!("ingest.publish");
         let generation = sink.publish_epoch(changed_facts);
         shared.epochs_published.fetch_add(1, Ordering::Relaxed);
         shared.last_generation.store(generation, Ordering::Relaxed);
@@ -530,6 +691,9 @@ fn worker_loop(
     };
 
     loop {
+        shared
+            .last_heartbeat_micros
+            .store(now_micros(), Ordering::Relaxed);
         if shared.closed.load(Ordering::Acquire) {
             // Graceful drain: apply everything already accepted, publish
             // once, exit.
@@ -627,6 +791,13 @@ mod tests {
         published: PlMutex<Vec<(u64, usize, BTreeSet<String>)>>,
         /// Tests hold this to stall the worker inside `apply_batch`.
         gate: PlMutex<()>,
+        /// Tests set this to make the next N `apply_batch` calls panic,
+        /// exercising the supervisor.
+        panics_remaining: AtomicU64,
+        /// `on_worker_restart` invocations observed.
+        restart_hooks: AtomicU64,
+        /// `(producer, fact, version)` floors registered with the sink.
+        floors: PlMutex<Vec<(String, String, u64)>>,
     }
 
     impl TestSink {
@@ -636,6 +807,9 @@ mod tests {
                 generation: AtomicU64::new(0),
                 published: PlMutex::new(Vec::new()),
                 gate: PlMutex::new(()),
+                panics_remaining: AtomicU64::new(0),
+                restart_hooks: AtomicU64::new(0),
+                floors: PlMutex::new(Vec::new()),
             }
         }
     }
@@ -643,9 +817,30 @@ mod tests {
     impl CubeSink for TestSink {
         fn apply_batch(&self, batch: &DeltaBatch) -> Result<BatchOutcome, OlapError> {
             let _gate = self.gate.lock();
+            if self
+                .panics_remaining
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                panic!("TestSink: injected apply panic");
+            }
             let mut master = self.master.lock();
             batch.validate(&master)?;
             Ok(batch.apply(&mut master))
+        }
+
+        fn on_worker_restart(&self) {
+            self.restart_hooks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn set_producer_floor(&self, producer: &str, fact: &str, version: u64) {
+            self.floors
+                .lock()
+                .push((producer.to_string(), fact.to_string(), version));
+        }
+
+        fn clear_producer_floor(&self, producer: &str) {
+            self.floors.lock().retain(|(p, _, _)| p != producer);
         }
 
         fn publish_epoch(&self, changed_facts: &BTreeSet<String>) -> u64 {
@@ -969,5 +1164,86 @@ mod tests {
             Err(IngestError::Closed)
         ));
         assert!(handle.flush().is_err());
+    }
+
+    #[test]
+    fn supervisor_restarts_a_panicking_worker_and_keeps_serving() {
+        let sink = Arc::new(TestSink::new());
+        sink.panics_remaining.store(1, Ordering::Release);
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default().with_epoch(
+                EpochPolicy::default()
+                    .with_max_rows(1_000_000)
+                    .with_max_interval(Duration::from_secs(3600)),
+            ),
+        );
+        let handle = pipeline.handle();
+        handle.submit(append_batch(1)).unwrap(); // lost to the injected panic
+        handle.submit(append_batch(2)).unwrap(); // applied by the restarted worker
+        let generation = handle.flush().expect("pipeline serves after a restart");
+        assert_eq!(generation, 1);
+        let stats = handle.stats();
+        assert_eq!(stats.worker_restarts, 1);
+        assert_eq!(sink.restart_hooks.load(Ordering::Relaxed), 1);
+        assert!(!stats.worker_down);
+        // The orphaned batch is accounted as failed, so the derived
+        // backlog is balanced: nothing is silently "still queued".
+        assert_eq!(stats.batches_failed, 1);
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.rows_appended, 2);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.last_error.as_deref().unwrap().contains("panicked"));
+        assert!(stats.last_heartbeat_micros > 0, "heartbeat never beat");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_declares_the_worker_down() {
+        let sink = Arc::new(TestSink::new());
+        sink.panics_remaining.store(u64::MAX, Ordering::Release);
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default().with_max_worker_restarts(1),
+        );
+        let handle = pipeline.handle();
+        handle.submit(append_batch(1)).unwrap();
+        handle.submit(append_batch(1)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !handle.stats().worker_down {
+            assert!(Instant::now() < deadline, "supervisor never gave up");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(matches!(
+            handle.submit(append_batch(1)),
+            Err(IngestError::WorkerDown)
+        ));
+        assert!(matches!(
+            handle.try_submit(append_batch(1)),
+            Err(IngestError::WorkerDown)
+        ));
+        assert!(matches!(handle.flush(), Err(IngestError::WorkerDown)));
+        let stats = pipeline.shutdown(); // must not hang or panic
+        assert_eq!(stats.worker_restarts, 2, "one restart, one final failure");
+        assert_eq!(stats.batches_failed, 2);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn producer_floors_forward_to_the_sink() {
+        let sink = Arc::new(TestSink::new());
+        let pipeline = IngestPipeline::start(
+            Arc::clone(&sink) as Arc<dyn CubeSink>,
+            IngestConfig::default(),
+        );
+        let handle = pipeline.handle();
+        handle.set_producer_floor("ticker-1", "Sales", 3);
+        handle.set_producer_floor("ticker-2", "Sales", 5);
+        assert_eq!(sink.floors.lock().len(), 2);
+        handle.clear_producer_floor("ticker-1");
+        let floors = sink.floors.lock().clone();
+        assert_eq!(
+            floors,
+            vec![("ticker-2".to_string(), "Sales".to_string(), 5)]
+        );
     }
 }

@@ -19,6 +19,17 @@ pub const DEFAULT_SLOW_QUERY_MICROS: u64 = 10_000;
 /// Default journal capacity (records retained).
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 128;
 
+/// [`SlowQueryRecord::outcome`] of a query that ran to completion.
+pub const OUTCOME_COMPLETED: &str = "completed";
+
+/// [`SlowQueryRecord::outcome`] of a query cancelled by its deadline;
+/// the stage fields past the terminal stage are zero.
+pub const OUTCOME_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+
+/// [`SlowQueryRecord::outcome`] of a query whose execution panicked
+/// (contained); the stage fields past the terminal stage are zero.
+pub const OUTCOME_PANICKED: &str = "panicked";
+
 /// One journaled slow query: what ran, where, and where the time went.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlowQueryRecord {
@@ -41,6 +52,12 @@ pub struct SlowQueryRecord {
     pub finalize_micros: u64,
     /// End-to-end time, in µs (what the threshold compares against).
     pub total_micros: u64,
+    /// How the query ended: [`OUTCOME_COMPLETED`] for ordinary slow
+    /// queries, [`OUTCOME_DEADLINE_EXCEEDED`] / [`OUTCOME_PANICKED`]
+    /// for abnormal exits — those are journaled regardless of the
+    /// threshold (they would otherwise vanish silently), with the zero
+    /// stage fields marking where execution stopped.
+    pub outcome: String,
 }
 
 /// Bounded ring buffer of [`SlowQueryRecord`]s with an atomically
@@ -127,6 +144,7 @@ mod tests {
             merge_micros: total / 4,
             finalize_micros: total / 4,
             total_micros: total,
+            outcome: OUTCOME_COMPLETED.to_string(),
         }
     }
 

@@ -41,6 +41,9 @@ pub mod registry;
 pub mod snapshot;
 
 pub use hist::{HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
-pub use journal::{SlowQueryJournal, SlowQueryRecord};
+pub use journal::{
+    SlowQueryJournal, SlowQueryRecord, OUTCOME_COMPLETED, OUTCOME_DEADLINE_EXCEEDED,
+    OUTCOME_PANICKED,
+};
 pub use registry::{ClassId, Counter, Gauge, MetricsRegistry, Stage, StageSpan, MAX_CLASSES};
 pub use snapshot::{MetricsSnapshot, StageSnapshot};

@@ -1,0 +1,154 @@
+//! Cooperative query cancellation: a shared token scan loops check
+//! between morsels.
+//!
+//! A [`CancelToken`] is created per query execution and shared (by
+//! reference) between the calling thread and every pool helper joining
+//! the same morsel loop. It carries two things:
+//!
+//! - an optional **deadline**: the first participant to observe the
+//!   clock past it trips the token, and every later check fails fast
+//!   without reading the clock again;
+//! - a **poison flag**: when a helper panics mid-morsel, the pool
+//!   poisons the token so the surviving participants stop pulling
+//!   morsels instead of scanning to completion for a result that can no
+//!   longer be merged.
+//!
+//! Checks are one relaxed atomic load plus (while live, with a deadline)
+//! one monotonic clock read per morsel — morsels are thousands of rows,
+//! so the cost vanishes. Crucially the token is *terminal-state* based,
+//! not clock based: once every morsel has been scanned, a deadline that
+//! expires during merge no longer fails the query (the work is done;
+//! throwing it away helps nobody). The executors therefore check
+//! [`CancelToken::terminal_error`] after the scan instead of re-checking
+//! the clock.
+
+use crate::error::OlapError;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+const LIVE: u8 = 0;
+const DEADLINE: u8 = 1;
+const PANICKED: u8 = 2;
+
+/// Shared cancellation state of one query execution. See the module
+/// docs for the checking discipline.
+#[derive(Debug)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    state: AtomicU8,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline: it only trips if poisoned by a panic.
+    pub fn new() -> Self {
+        Self::with_deadline(None)
+    }
+
+    /// A token that trips once the monotonic clock passes `deadline`.
+    pub fn with_deadline(deadline: Option<Instant>) -> Self {
+        CancelToken {
+            deadline,
+            state: AtomicU8::new(LIVE),
+        }
+    }
+
+    /// The deadline this token enforces, if any (admission waits bound
+    /// their `wait_timeout` against it).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The per-morsel check: `Ok(())` while the query should keep
+    /// scanning, a typed error once it should stop. The first caller to
+    /// observe an expired deadline trips the token for everyone.
+    #[inline]
+    pub fn check(&self) -> Result<(), OlapError> {
+        match self.state.load(Ordering::Relaxed) {
+            LIVE => {}
+            DEADLINE => return Err(OlapError::DeadlineExceeded),
+            _ => return Err(OlapError::ExecutionPanicked),
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                let _ = self.state.compare_exchange(
+                    LIVE,
+                    DEADLINE,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return Err(OlapError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks the token panicked: a participant unwound mid-morsel, so
+    /// the morsel set can no longer be completed. Panic dominates a
+    /// concurrent deadline trip — the stronger diagnosis wins.
+    pub fn poison(&self) {
+        self.state.store(PANICKED, Ordering::Release);
+    }
+
+    /// Whether a participant panicked.
+    pub fn is_panicked(&self) -> bool {
+        self.state.load(Ordering::Acquire) == PANICKED
+    }
+
+    /// The terminal outcome, if the token tripped: what the executor
+    /// returns after the scan joined. `None` means the query ran (and
+    /// merged) to completion — an expired deadline observed by *no*
+    /// scan participant does not fail the query.
+    pub fn terminal_error(&self) -> Option<OlapError> {
+        match self.state.load(Ordering::Acquire) {
+            LIVE => None,
+            DEADLINE => Some(OlapError::DeadlineExceeded),
+            _ => Some(OlapError::ExecutionPanicked),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn live_token_checks_clean() {
+        let token = CancelToken::new();
+        assert!(token.check().is_ok());
+        assert_eq!(token.terminal_error(), None);
+        assert!(!token.is_panicked());
+    }
+
+    #[test]
+    fn expired_deadline_trips_for_every_later_check() {
+        let token = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(token.check(), Err(OlapError::DeadlineExceeded));
+        // Later checks fail from state alone, deadline or not.
+        assert_eq!(token.check(), Err(OlapError::DeadlineExceeded));
+        assert_eq!(token.terminal_error(), Some(OlapError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn unexpired_deadline_stays_live() {
+        let token = CancelToken::with_deadline(Some(Instant::now() + Duration::from_secs(60)));
+        assert!(token.check().is_ok());
+        assert_eq!(token.terminal_error(), None);
+    }
+
+    #[test]
+    fn poison_dominates_deadline() {
+        let token = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let _ = token.check(); // trips DEADLINE first
+        token.poison();
+        assert!(token.is_panicked());
+        assert_eq!(token.check(), Err(OlapError::ExecutionPanicked));
+        assert_eq!(token.terminal_error(), Some(OlapError::ExecutionPanicked));
+    }
+}

@@ -53,6 +53,7 @@
 //! resolved back to `CellValue`s only once, at finalisation.
 
 use crate::aggregate::{Accumulator, SlotAccumulator};
+use crate::cancel::CancelToken;
 use crate::column::{Column, ColumnType};
 use crate::cube::{attribute_column, fk_column, Cube};
 use crate::dicts::{attr_key, GroupDictCache, GroupKeys, NULL_KEY};
@@ -99,6 +100,11 @@ pub struct ExecutionConfig {
     /// per-slot vectors; above it, morsels fall back to an integer-keyed
     /// hash table. `0` disables the flat path entirely.
     pub group_slot_limit: usize,
+    /// Per-query execution budget: scan loops check a shared
+    /// [`crate::CancelToken`] between morsels and bail with
+    /// [`crate::OlapError::DeadlineExceeded`] once it expires. `None`
+    /// (the default) lets queries run to completion.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for ExecutionConfig {
@@ -108,6 +114,7 @@ impl Default for ExecutionConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             cache_capacity: 256,
             group_slot_limit: DEFAULT_GROUP_SLOT_LIMIT,
+            deadline: None,
         }
     }
 }
@@ -143,6 +150,12 @@ impl ExecutionConfig {
     /// forces the integer-keyed hash fallback for every grouped query).
     pub fn with_group_slot_limit(mut self, group_slot_limit: usize) -> Self {
         self.group_slot_limit = group_slot_limit;
+        self
+    }
+
+    /// Sets the per-query deadline (`None` = unbounded).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -377,6 +390,7 @@ fn run_pooled<T: Send>(
     pool: &MorselPool,
     tenant: ClassId,
     helpers: usize,
+    cancel: &CancelToken,
     scan: &(impl Fn() -> Vec<T> + Sync),
 ) -> Vec<T> {
     let collected: std::sync::Mutex<Vec<T>> = std::sync::Mutex::new(Vec::new());
@@ -384,11 +398,39 @@ fn run_pooled<T: Send>(
         let partials = scan();
         collected
             .lock()
-            .expect("morsel collector poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .extend(partials);
     };
-    pool.scan(tenant, helpers, &work);
-    collected.into_inner().expect("morsel collector poisoned")
+    // The cancellable scan contains a participant panic (helper or
+    // caller) by poisoning the token instead of re-raising; the
+    // executor turns the poisoned token into a typed error after the
+    // join, so partials collected here are never merged in that case —
+    // recovering the collector lock above is therefore safe.
+    pool.scan_cancellable(tenant, helpers, cancel, &work);
+    collected
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs the single-participant (`workers <= 1`) scan with the same
+/// containment contract as the pooled path: a panic poisons the token
+/// and returns no partials instead of unwinding into the caller.
+fn run_contained<T>(cancel: &CancelToken, scan: &impl Fn() -> Vec<T>) -> Vec<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(scan)) {
+        Ok(partials) => partials,
+        Err(_) => {
+            cancel.poison();
+            Vec::new()
+        }
+    }
+}
+
+/// The journal's outcome marker for an abnormal terminal state.
+fn journal_outcome(error: &OlapError) -> &'static str {
+    match error {
+        OlapError::DeadlineExceeded => sdwp_obs::OUTCOME_DEADLINE_EXCEEDED,
+        _ => sdwp_obs::OUTCOME_PANICKED,
+    }
 }
 
 /// Advances an optional stage clock, returning the microseconds elapsed
@@ -521,12 +563,40 @@ impl QueryEngine {
         dicts: Option<(&GroupDictCache, u64)>,
         obs: Option<QueryObs<'_>>,
     ) -> Result<QueryResult, OlapError> {
+        let cancel =
+            CancelToken::with_deadline(self.config.deadline.map(|budget| Instant::now() + budget));
+        self.execute_with_view_cancellable(cube, query, view, dicts, obs, &cancel)
+    }
+
+    /// [`QueryEngine::execute_with_view_observed`] against an explicit
+    /// [`CancelToken`] (typically carrying the query's deadline,
+    /// computed by the caller so it also covers admission waits). The
+    /// scan loop — caller and every pool helper — checks the token
+    /// between morsels; a tripped token surfaces as the typed
+    /// [`OlapError::DeadlineExceeded`] / [`OlapError::ExecutionPanicked`]
+    /// with **no partial state**: nothing was merged, nothing reaches
+    /// any cache, and (on the pooled path) a participant panic is
+    /// contained to this query instead of unwinding into the caller.
+    pub fn execute_with_view_cancellable(
+        &self,
+        cube: &Cube,
+        query: &Query,
+        view: &InstanceView,
+        dicts: Option<(&GroupDictCache, u64)>,
+        obs: Option<QueryObs<'_>>,
+        cancel: &CancelToken,
+    ) -> Result<QueryResult, OlapError> {
         // The tenant class keys pool scheduling even when the registry
         // is disabled, so capture it before the enabled filter.
         let tenant = obs.map(|o| o.class).unwrap_or_default();
         let obs = obs.filter(|o| o.registry.is_enabled());
         let mut clock = obs.map(|_| Instant::now());
 
+        crate::fail_point!("query.resolve", |message: String| Err(
+            OlapError::InvalidQuery {
+                message: format!("injected: {message}"),
+            }
+        ));
         let resolved = resolve(cube, query)?;
         let fact_table = &cube.fact_table(&query.fact)?.table;
         let plan = if query.group_by.is_empty() {
@@ -564,13 +634,14 @@ impl QueryEngine {
                 morsel_count,
                 morsel_rows,
                 total_rows,
+                cancel,
             )
         };
 
         let partials: Vec<(usize, Result<MorselPartial, OlapError>)> = if workers <= 1 {
-            scan_morsels()
+            run_contained(cancel, &scan_morsels)
         } else if let Some(pool) = &self.pool {
-            run_pooled(pool, tenant, workers - 1, &scan_morsels)
+            run_pooled(pool, tenant, workers - 1, cancel, &scan_morsels)
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers).map(|_| scope.spawn(scan_morsels)).collect();
@@ -582,6 +653,41 @@ impl QueryEngine {
         };
         let scan_micros = lap(&mut clock);
 
+        // Terminal-state check, not a clock check: a deadline that
+        // expires *after* the last morsel was scanned no longer fails
+        // the query, but a tripped token means morsel indices were
+        // consumed without being scanned — merging would silently
+        // produce wrong results, so bail with the typed error. The
+        // abnormal exit is journaled unconditionally (slow or not) with
+        // its terminal stage marked, so cancelled and panicked queries
+        // never vanish from the operator's view.
+        if let Some(error) = cancel.terminal_error() {
+            if let Some(o) = obs {
+                o.registry
+                    .record_micros(Stage::QueryResolve, o.class, resolve_micros);
+                o.registry
+                    .record_micros(Stage::QueryScan, o.class, scan_micros);
+                o.registry.journal().record(SlowQueryRecord {
+                    shape: query_shape(query),
+                    class: o.registry.class_name(o.class),
+                    generation: o.generation,
+                    workers,
+                    resolve_micros,
+                    scan_micros,
+                    merge_micros: 0,
+                    finalize_micros: 0,
+                    total_micros: resolve_micros + scan_micros,
+                    outcome: journal_outcome(&error).to_string(),
+                });
+            }
+            return Err(error);
+        }
+
+        crate::fail_point!("query.merge", |message: String| Err(
+            OlapError::InvalidQuery {
+                message: format!("injected: {message}"),
+            }
+        ));
         let (rows, facts_scanned, facts_matched) = merge_partials(&resolved, &plan, partials)?;
         let merge_micros = lap(&mut clock);
         let result = materialise(query, &resolved, rows, facts_scanned, facts_matched);
@@ -609,6 +715,7 @@ impl QueryEngine {
                     merge_micros,
                     finalize_micros,
                     total_micros,
+                    outcome: sdwp_obs::OUTCOME_COMPLETED.to_string(),
                 });
             }
         }
@@ -681,6 +788,27 @@ impl QueryEngine {
         view: &InstanceView,
         dicts: Option<(&GroupDictCache, u64)>,
         obs: Option<QueryObs<'_>>,
+    ) -> Vec<Result<QueryResult, OlapError>> {
+        let cancel =
+            CancelToken::with_deadline(self.config.deadline.map(|budget| Instant::now() + budget));
+        self.execute_batch_cancellable(cube, queries, view, dicts, obs, &cancel)
+    }
+
+    /// [`QueryEngine::execute_batch_observed`] against an explicit
+    /// [`CancelToken`]. Fact groups run in sequence, so a deadline that
+    /// trips (or a participant that panics) mid-batch fails the current
+    /// group and every not-yet-scanned group with the typed error,
+    /// while groups that already completed keep their results — the
+    /// positional contract (one result per submitted query) holds on
+    /// every exit path.
+    pub fn execute_batch_cancellable(
+        &self,
+        cube: &Cube,
+        queries: &[Query],
+        view: &InstanceView,
+        dicts: Option<(&GroupDictCache, u64)>,
+        obs: Option<QueryObs<'_>>,
+        cancel: &CancelToken,
     ) -> Vec<Result<QueryResult, OlapError>> {
         let tenant = obs.map(|o| o.class).unwrap_or_default();
         let obs = obs.filter(|o| o.registry.is_enabled());
@@ -812,12 +940,13 @@ impl QueryEngine {
                     morsel_count,
                     morsel_rows,
                     total_rows,
+                    cancel,
                 )
             };
             let collected: Vec<(usize, Vec<Result<MorselPartial, OlapError>>)> = if workers <= 1 {
-                scan_morsels()
+                run_contained(cancel, &scan_morsels)
             } else if let Some(pool) = &self.pool {
-                run_pooled(pool, tenant, workers - 1, &scan_morsels)
+                run_pooled(pool, tenant, workers - 1, cancel, &scan_morsels)
             } else {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..workers).map(|_| scope.spawn(scan_morsels)).collect();
@@ -838,6 +967,33 @@ impl QueryEngine {
                 }
             }
             let scan_micros = lap(&mut clock);
+            // A token that tripped during this group's scan: its
+            // members (and every group not yet scanned) fail with the
+            // typed error; groups that already finished keep their
+            // results. Journaled unconditionally with the terminal
+            // stage marked, like the standalone path.
+            if let Some(error) = cancel.terminal_error() {
+                if let Some(o) = obs {
+                    o.registry
+                        .record_micros(Stage::BatchScan, o.class, scan_micros);
+                    o.registry.journal().record(SlowQueryRecord {
+                        shape: format!("batch:{}×{}", group.fact, group.queries.len()),
+                        class: o.registry.class_name(o.class),
+                        generation: o.generation,
+                        workers,
+                        resolve_micros,
+                        scan_micros,
+                        merge_micros: 0,
+                        finalize_micros: 0,
+                        total_micros: resolve_micros + scan_micros,
+                        outcome: journal_outcome(&error).to_string(),
+                    });
+                }
+                for slot in results.iter_mut().filter(|slot| slot.is_none()) {
+                    *slot = Some(Err(error.clone()));
+                }
+                break;
+            }
             // Merge every member's partials first, materialise second, so
             // the two phases time separately (the work is identical to
             // the interleaved loop — merges and materialisations are
@@ -882,6 +1038,7 @@ impl QueryEngine {
                         merge_micros,
                         finalize_micros,
                         total_micros,
+                        outcome: sdwp_obs::OUTCOME_COMPLETED.to_string(),
                     });
                 }
             }
@@ -1827,6 +1984,7 @@ fn scan_assigned_morsels(
     morsel_count: usize,
     morsel_rows: usize,
     total_rows: usize,
+    cancel: &CancelToken,
 ) -> Vec<(usize, Result<MorselPartial, OlapError>)> {
     let mut out = Vec::new();
     // Worker-local selection and flat-slot buffers, sized once and
@@ -1838,6 +1996,26 @@ fn scan_assigned_morsels(
         let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
         if morsel >= morsel_count {
             break;
+        }
+        // Checked after the bounds check, so a trip observed here means
+        // a claimed morsel index goes unscanned — which is exactly what
+        // forces the executor's terminal-state bail-out. (A participant
+        // arriving after exhaustion must not trip the token: the query
+        // completed.)
+        if cancel.check().is_err() {
+            break;
+        }
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(message) = crate::fault::eval("query.scan.morsel") {
+                out.push((
+                    morsel,
+                    Err(OlapError::InvalidQuery {
+                        message: format!("injected: {message}"),
+                    }),
+                ));
+                continue;
+            }
         }
         let start = morsel * morsel_rows;
         let end = (start + morsel_rows).min(total_rows);
@@ -1871,6 +2049,7 @@ fn scan_assigned_batch_morsels(
     morsel_count: usize,
     morsel_rows: usize,
     total_rows: usize,
+    cancel: &CancelToken,
 ) -> Vec<(usize, Vec<Result<MorselPartial, OlapError>>)> {
     let mut out = Vec::new();
     let mut sels: Vec<Vec<u32>> = group.classes.iter().map(|_| Vec::new()).collect();
@@ -1888,6 +2067,28 @@ fn scan_assigned_batch_morsels(
         let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
         if morsel >= morsel_count {
             break;
+        }
+        // Same ordering discipline as `scan_assigned_morsels`.
+        if cancel.check().is_err() {
+            break;
+        }
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(message) = crate::fault::eval("query.batch.morsel") {
+                out.push((
+                    morsel,
+                    group
+                        .queries
+                        .iter()
+                        .map(|_| {
+                            Err(OlapError::InvalidQuery {
+                                message: format!("injected: {message}"),
+                            })
+                        })
+                        .collect(),
+                ));
+                continue;
+            }
         }
         let start = morsel * morsel_rows;
         let end = (start + morsel_rows).min(total_rows);

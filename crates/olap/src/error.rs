@@ -36,6 +36,14 @@ pub enum OlapError {
         /// Description of the problem.
         message: String,
     },
+    /// The query's deadline expired before the scan completed. The
+    /// execution left no partial state behind: nothing was cached, and
+    /// the admission slot was released.
+    DeadlineExceeded,
+    /// A participant of the query's morsel scan panicked. The panic was
+    /// contained to this query — the worker pool keeps serving — but
+    /// its morsel set is incomplete, so no result can be merged.
+    ExecutionPanicked,
 }
 
 impl fmt::Display for OlapError {
@@ -50,6 +58,15 @@ impl fmt::Display for OlapError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             OlapError::InvalidQuery { message } => write!(f, "invalid query: {message}"),
+            OlapError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded before the scan completed")
+            }
+            OlapError::ExecutionPanicked => {
+                write!(
+                    f,
+                    "query execution panicked; the panic was contained to this query"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Deterministic fault injection: a registry of named **failpoints**.
+//!
+//! A failpoint is a named hook compiled into a code path (the pool's
+//! dispatch loop, the executors' scan loops, the ingest worker) that
+//! tests can *arm* to misbehave on demand: panic, sleep, or surface an
+//! injected error. Armed behaviour is driven by a per-point counter and
+//! a process-global seed, so a chaos run that fires "once in N" fires on
+//! the *same* invocations every time — failures reproduce.
+//!
+//! The whole module is gated behind the `failpoints` cargo feature; the
+//! [`fail_point!`](crate::fail_point) macro expands to nothing without
+//! it, so production builds carry zero cost — not even a branch. Crates
+//! that place failpoints must declare their own `failpoints` feature
+//! forwarding to `sdwp_olap/failpoints` (the macro's `#[cfg]` is
+//! evaluated in the *invoking* crate).
+//!
+//! The registry is process-global: tests that arm failpoints must
+//! serialise on a shared lock (see `tests/chaos_consistency.rs`) and
+//! [`disarm_all`] in a drop guard so a failed assertion cannot leak an
+//! armed point into the next test.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with the given message (exercises containment paths).
+    Panic(String),
+    /// Sleep for the given number of milliseconds (exercises deadline
+    /// and cancellation paths), then continue normally.
+    SleepMs(u64),
+    /// Surface the given message to the failpoint site, which maps it
+    /// onto its local error type (exercises typed-error paths).
+    Error(String),
+}
+
+struct PointState {
+    action: FailAction,
+    /// Fire when `(seed + invocation) % one_in == 0`; `1` = every time.
+    one_in: u64,
+    /// Remaining fire budget; `None` = unlimited.
+    remaining: Option<u64>,
+    /// Invocations evaluated since arming.
+    invocations: u64,
+    /// Times the point actually fired.
+    hits: u64,
+}
+
+struct Registry {
+    points: Mutex<HashMap<String, PointState>>,
+    seed: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        points: Mutex::new(HashMap::new()),
+        seed: AtomicU64::new(0),
+    })
+}
+
+/// Locks the point map, recovering from a panic injected while the lock
+/// was held (an armed `Panic` action unwinds through `eval`).
+fn points() -> std::sync::MutexGuard<'static, HashMap<String, PointState>> {
+    registry()
+        .points
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Sets the process-global chaos seed. The seed offsets every point's
+/// firing phase, so sweeping it explores different interleavings while
+/// each individual run stays reproducible.
+pub fn set_seed(seed: u64) {
+    registry().seed.store(seed, Ordering::Relaxed);
+}
+
+/// Arms `name` with `action`, firing once every `one_in` evaluations
+/// (`1` or `0` = every time), at most `limit` times in total (`None` =
+/// unlimited). Re-arming resets the point's counters.
+pub fn arm(name: &str, action: FailAction, one_in: u64, limit: Option<u64>) {
+    points().insert(
+        name.to_string(),
+        PointState {
+            action,
+            one_in: one_in.max(1),
+            remaining: limit,
+            invocations: 0,
+            hits: 0,
+        },
+    );
+}
+
+/// Disarms `name`; later evaluations are free no-ops again.
+pub fn disarm(name: &str) {
+    points().remove(name);
+}
+
+/// Disarms every failpoint (test teardown).
+pub fn disarm_all() {
+    points().clear();
+}
+
+/// Times `name` has fired since it was last armed (`0` when not armed).
+pub fn hits(name: &str) -> u64 {
+    points().get(name).map_or(0, |p| p.hits)
+}
+
+/// Evaluates the failpoint `name`: a no-op returning `None` unless the
+/// point is armed and due to fire. A firing `Panic` action panics here;
+/// a `SleepMs` sleeps and returns `None`; an `Error` returns its
+/// message for the site to map onto a local error type. Called through
+/// [`fail_point!`](crate::fail_point), never directly.
+pub fn eval(name: &str) -> Option<String> {
+    let fired = {
+        let mut points = points();
+        let point = points.get_mut(name)?;
+        let invocation = point.invocations;
+        point.invocations += 1;
+        if point.remaining == Some(0) {
+            return None;
+        }
+        let seed = registry().seed.load(Ordering::Relaxed);
+        if (seed.wrapping_add(invocation)) % point.one_in != 0 {
+            return None;
+        }
+        point.hits += 1;
+        if let Some(remaining) = &mut point.remaining {
+            *remaining -= 1;
+        }
+        point.action.clone()
+    };
+    match fired {
+        FailAction::Panic(message) => panic!("failpoint {name}: {message}"),
+        FailAction::SleepMs(millis) => {
+            std::thread::sleep(Duration::from_millis(millis));
+            None
+        }
+        FailAction::Error(message) => Some(message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The registry is process-global; every test in this module takes
+    /// this lock and disarms on exit so they compose in one process.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            disarm_all();
+        }
+    }
+
+    #[test]
+    fn unarmed_points_are_no_ops() {
+        let _serial = lock();
+        let _guard = Disarm;
+        assert_eq!(eval("never.armed"), None);
+        assert_eq!(hits("never.armed"), 0);
+    }
+
+    #[test]
+    fn error_actions_surface_their_message() {
+        let _serial = lock();
+        let _guard = Disarm;
+        arm("t.error", FailAction::Error("injected".into()), 1, None);
+        assert_eq!(eval("t.error"), Some("injected".into()));
+        assert_eq!(hits("t.error"), 1);
+        disarm("t.error");
+        assert_eq!(eval("t.error"), None);
+    }
+
+    #[test]
+    fn one_in_n_fires_deterministically_under_a_seed() {
+        let _serial = lock();
+        let _guard = Disarm;
+        set_seed(0);
+        arm("t.nth", FailAction::Error("tick".into()), 3, None);
+        let pattern: Vec<bool> = (0..9).map(|_| eval("t.nth").is_some()).collect();
+        // Re-arming resets the invocation counter: same seed, same run.
+        arm("t.nth", FailAction::Error("tick".into()), 3, None);
+        let again: Vec<bool> = (0..9).map(|_| eval("t.nth").is_some()).collect();
+        assert_eq!(pattern, again);
+        assert_eq!(pattern.iter().filter(|fired| **fired).count(), 3);
+        // A different seed shifts the phase but keeps the rate.
+        set_seed(1);
+        arm("t.nth", FailAction::Error("tick".into()), 3, None);
+        let shifted: Vec<bool> = (0..9).map(|_| eval("t.nth").is_some()).collect();
+        assert_ne!(pattern, shifted);
+        assert_eq!(shifted.iter().filter(|fired| **fired).count(), 3);
+        set_seed(0);
+    }
+
+    #[test]
+    fn fire_limit_caps_the_budget() {
+        let _serial = lock();
+        let _guard = Disarm;
+        arm("t.limited", FailAction::Error("once".into()), 1, Some(2));
+        assert!(eval("t.limited").is_some());
+        assert!(eval("t.limited").is_some());
+        assert_eq!(eval("t.limited"), None);
+        assert_eq!(hits("t.limited"), 2);
+    }
+
+    #[test]
+    fn panic_actions_panic_with_the_point_name() {
+        let _serial = lock();
+        let _guard = Disarm;
+        arm("t.panic", FailAction::Panic("boom".into()), 1, None);
+        let outcome = catch_unwind(AssertUnwindSafe(|| eval("t.panic")));
+        let payload = outcome.expect_err("armed panic fires");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("t.panic") && message.contains("boom"));
+        // The registry survives the unwind (no poisoned lock).
+        assert_eq!(hits("t.panic"), 1);
+    }
+}

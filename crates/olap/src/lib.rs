@@ -41,12 +41,15 @@
 
 pub mod aggregate;
 pub mod cache;
+pub mod cancel;
 pub mod chunk;
 pub mod column;
 pub mod cube;
 pub mod dicts;
 pub mod engine;
 pub mod error;
+#[cfg(feature = "failpoints")]
+pub mod fault;
 pub mod filter;
 mod hash;
 pub mod kernels;
@@ -58,6 +61,7 @@ pub mod value;
 pub mod view;
 
 pub use cache::{CacheKey, CacheStats, QueryCache};
+pub use cancel::CancelToken;
 pub use chunk::DEFAULT_CHUNK_ROWS;
 pub use column::{Column, ColumnType, Dictionary};
 pub use cube::{Cube, CubeBuilder, DimensionTable, FactTable, FactTableStats, LayerTable};
@@ -69,10 +73,50 @@ pub use error::OlapError;
 pub use filter::{CompareOp, Filter, SpatialPredicateOp};
 pub use kernels::NumericAgg;
 pub use pool::{
-    AdmissionGuard, MorselPool, PoolConfig, PoolStats, ShedError, TenantPolicy, TenantStats,
-    MAX_TENANTS,
+    AdmissionGuard, AdmitError, MorselPool, PoolConfig, PoolStats, ShedError, TenantPolicy,
+    TenantStats, MAX_TENANTS,
 };
 pub use query::{AttributeRef, MeasureRef, Query, QueryResult, ResultRow};
 pub use table::{RowRemap, Table};
 pub use value::CellValue;
 pub use view::{InstanceView, ResolvedViewCheck};
+
+/// Evaluates a named failpoint (see [`fault`]) — a zero-cost no-op
+/// unless the invoking crate's `failpoints` feature is enabled.
+///
+/// Two forms:
+///
+/// ```ignore
+/// fail_point!("pool.helper.start");              // panic / sleep only
+/// fail_point!("ingest.apply", |msg: String| {    // injected errors
+///     Err(IngestError::from_injected(msg))
+/// });
+/// ```
+///
+/// The second form `return`s the handler's value from the enclosing
+/// function when the armed action is [`fault::FailAction::Error`].
+///
+/// The `#[cfg]` inside the expansion is evaluated in the **invoking**
+/// crate, so every crate placing failpoints must declare its own
+/// `failpoints` cargo feature forwarding to `sdwp_olap/failpoints`.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(message) = $crate::fault::eval($name) {
+                // Panic and sleep actions act inside `eval`; an Error
+                // action is meaningless without a handler — ignore it.
+                let _ = message;
+            }
+        }
+    };
+    ($name:expr, $handler:expr) => {
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(message) = $crate::fault::eval($name) {
+                return $handler(message);
+            }
+        }
+    };
+}

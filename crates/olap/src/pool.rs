@@ -68,6 +68,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use sdwp_obs::{ClassId, HistogramSnapshot, MetricsRegistry, Stage, MAX_CLASSES};
 
 /// Number of tenant queues the pool schedules between — one per
@@ -217,6 +218,35 @@ impl fmt::Display for ShedError {
 
 impl std::error::Error for ShedError {}
 
+/// Outcome of the deadline-bounded admission gate
+/// [`MorselPool::admit_until`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The tenant is best-effort and over budget: shed immediately.
+    Shed(ShedError),
+    /// The tenant is guaranteed, but its query's deadline expired while
+    /// it was blocked waiting for capacity.
+    DeadlineExceeded {
+        /// The tenant whose wait timed out.
+        class: ClassId,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::Shed(shed) => shed.fmt(f),
+            AdmitError::DeadlineExceeded { class } => write!(
+                f,
+                "query deadline expired while class {} waited for admission",
+                class.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
 /// RAII admission slot from [`MorselPool::try_admit`]: the tenant's
 /// in-flight count is released on drop, so no execution path — error or
 /// success — can leak budget.
@@ -280,6 +310,11 @@ struct TaskSet {
     /// frame; the `'static` is a lie made sound by `scan` not returning
     /// until `outstanding` reaches zero.
     work: &'static (dyn Fn() + Send + Sync),
+    /// The query's cancellation token, when it runs on the cancellable
+    /// path: a panicking helper poisons it so the other participants
+    /// stop scanning. Borrows the same stack frame as `work`, under the
+    /// same soundness argument.
+    cancel: Option<&'static CancelToken>,
     tenant: usize,
     enqueued: Instant,
     state: Mutex<TaskState>,
@@ -413,8 +448,35 @@ fn worker_loop(shared: Arc<Shared>) {
             );
         }
         shared.dispatched[set.tenant].fetch_add(1, Ordering::Relaxed);
-        let outcome = catch_unwind(AssertUnwindSafe(|| (set.work)()));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::fail_point!("pool.helper.start");
+            (set.work)()
+        }));
+        if outcome.is_err() {
+            // Contain the panic to its query: poison the query's token
+            // (cancellable path) so surviving participants stop pulling
+            // morsels, and record it on the latch. The worker itself
+            // keeps serving other tenants either way.
+            if let Some(token) = set.cancel {
+                token.poison();
+            }
+        }
         set.complete(outcome.is_err());
+    }
+}
+
+/// Runs the calling thread's side of a scan. On the cancellable path a
+/// caller panic is contained exactly like a helper panic: the token is
+/// poisoned (so helpers stop) and the unwind is swallowed — the
+/// executor turns the poisoned token into a typed error.
+fn run_participant(cancel: Option<&CancelToken>, work: &(dyn Fn() + Send + Sync)) {
+    match cancel {
+        None => work(),
+        Some(token) => {
+            if catch_unwind(AssertUnwindSafe(work)).is_err() {
+                token.poison();
+            }
+        }
     }
 }
 
@@ -426,6 +488,10 @@ fn worker_loop(shared: Arc<Shared>) {
 struct ScanJoin<'a> {
     shared: &'a Shared,
     set: &'a Arc<TaskSet>,
+    /// Legacy (`scan`) behaviour: re-raise a helper panic in the
+    /// submitting thread, matching `thread::scope`. The cancellable
+    /// path turns the panic into a poisoned token instead.
+    reraise: bool,
 }
 
 impl Drop for ScanJoin<'_> {
@@ -445,7 +511,7 @@ impl Drop for ScanJoin<'_> {
         while state.outstanding > 0 {
             state = self.set.done.wait(state).expect("task latch poisoned");
         }
-        if state.panicked && !std::thread::panicking() {
+        if state.panicked && self.reraise && !std::thread::panicking() {
             panic!("morsel worker panicked");
         }
     }
@@ -555,6 +621,23 @@ impl MorselPool {
     /// immediately (best-effort tenants) or blocks until capacity frees
     /// (guaranteed tenants — the ingest `submit` analogue).
     pub fn try_admit(&self, class: ClassId) -> Result<AdmissionGuard, ShedError> {
+        self.admit_until(class, None).map_err(|error| match error {
+            AdmitError::Shed(shed) => shed,
+            // Without a deadline the guaranteed branch waits forever.
+            AdmitError::DeadlineExceeded { .. } => unreachable!("no deadline was given"),
+        })
+    }
+
+    /// The deadline-bounded admission gate: like
+    /// [`MorselPool::try_admit`], but a *guaranteed* tenant blocks only
+    /// until `deadline` — a query whose budget expires while parked in
+    /// admission comes back with a typed
+    /// [`AdmitError::DeadlineExceeded`] instead of waiting forever.
+    pub fn admit_until(
+        &self,
+        class: ClassId,
+        deadline: Option<Instant>,
+    ) -> Result<AdmissionGuard, AdmitError> {
         let t = tenant_index(class);
         let mut inner = self.shared.lock_inner();
         loop {
@@ -571,19 +654,37 @@ impl MorselPool {
             }
             if policy.best_effort {
                 self.shared.shed[t].fetch_add(1, Ordering::Relaxed);
-                return Err(ShedError {
+                return Err(AdmitError::Shed(ShedError {
                     class: ClassId(t as u8),
                     in_flight: inner.in_flight[t],
                     queued: inner.queues[t].len(),
                     max_in_flight: policy.max_in_flight,
                     max_queued: policy.max_queued,
-                });
+                }));
             }
-            inner = self
-                .shared
-                .admit_released
-                .wait(inner)
-                .expect("morsel pool scheduler poisoned");
+            match deadline {
+                None => {
+                    inner = self
+                        .shared
+                        .admit_released
+                        .wait(inner)
+                        .expect("morsel pool scheduler poisoned");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(AdmitError::DeadlineExceeded {
+                            class: ClassId(t as u8),
+                        });
+                    }
+                    let (guard, _timed_out) = self
+                        .shared
+                        .admit_released
+                        .wait_timeout(inner, deadline - now)
+                        .expect("morsel pool scheduler poisoned");
+                    inner = guard;
+                }
+            }
         }
     }
 
@@ -597,19 +698,50 @@ impl MorselPool {
     /// the caller's own loop completes are cancelled; a helper panic is
     /// re-raised here, matching `thread::scope`.
     pub fn scan(&self, class: ClassId, helpers: usize, work: &(dyn Fn() + Send + Sync)) {
+        self.scan_inner(class, helpers, None, work);
+    }
+
+    /// Like [`MorselPool::scan`], but with a shared [`CancelToken`]
+    /// instead of `thread::scope` panic semantics: a panicking
+    /// participant — helper *or* caller — **poisons the token** rather
+    /// than re-raising, the other participants observe it between
+    /// morsels and stop, and `scan_cancellable` returns normally. The
+    /// caller reads the typed outcome from
+    /// [`CancelToken::terminal_error`]; the pool, its scheduler lock
+    /// and the tenant's admission slot all stay healthy.
+    pub fn scan_cancellable(
+        &self,
+        class: ClassId,
+        helpers: usize,
+        cancel: &CancelToken,
+        work: &(dyn Fn() + Send + Sync),
+    ) {
+        self.scan_inner(class, helpers, Some(cancel), work);
+    }
+
+    fn scan_inner(
+        &self,
+        class: ClassId,
+        helpers: usize,
+        cancel: Option<&CancelToken>,
+        work: &(dyn Fn() + Send + Sync),
+    ) {
         if helpers == 0 || self.shared.workers == 0 {
-            work();
+            run_participant(cancel, work);
             return;
         }
         // SAFETY: the closure borrows the caller's stack frame, but
         // every queued item is either executed to completion or removed
         // from the queue under the scheduler lock before `scan` returns
         // (`ScanJoin::drop` runs even when `work` unwinds), so no
-        // worker can dereference `work` after this frame is gone.
+        // worker can dereference `work` after this frame is gone. The
+        // token borrows the same frame under the same argument.
         let work: &'static (dyn Fn() + Send + Sync) = unsafe { std::mem::transmute(work) };
+        let cancel: Option<&'static CancelToken> = unsafe { std::mem::transmute(cancel) };
         let t = tenant_index(class);
         let set = Arc::new(TaskSet {
             work,
+            cancel,
             tenant: t,
             enqueued: Instant::now(),
             state: Mutex::new(TaskState {
@@ -645,8 +777,9 @@ impl MorselPool {
         let join = ScanJoin {
             shared: &self.shared,
             set: &set,
+            reraise: cancel.is_none(),
         };
-        work();
+        run_participant(cancel, work);
         drop(join);
     }
 
@@ -1054,5 +1187,80 @@ mod tests {
         assert_eq!(stats.workers, 2);
         assert_eq!(stats.tenants.len(), MAX_TENANTS);
         assert!(stats.tenants.iter().all(|t| t.queued == 0));
+    }
+
+    #[test]
+    fn cancellable_scan_contains_helper_panic_and_balances_stats() {
+        let pool = MorselPool::new(PoolConfig::default().with_workers(2));
+        let class = ClassId(5);
+        let slot = pool.try_admit(class).expect("within budget");
+        let token = CancelToken::new();
+        let armed = AtomicBool::new(true);
+        let work = || {
+            let is_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sdwp-morsel-"));
+            if is_worker && armed.swap(false, Ordering::Relaxed) {
+                panic!("boom");
+            }
+            if !is_worker {
+                // Give idle workers time to dequeue the helper item
+                // before the join cancels it.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        // Keep submitting until a helper actually took the grenade (a
+        // queued item may be cancelled before running). The panic must
+        // NOT re-raise here: it poisons the token instead.
+        while armed.load(Ordering::Relaxed) {
+            pool.scan_cancellable(class, 2, &token, &work);
+        }
+        assert!(token.is_panicked(), "helper panic poisons the token");
+        assert_eq!(
+            token.terminal_error(),
+            Some(crate::error::OlapError::ExecutionPanicked)
+        );
+        // The admission slot releases normally — nothing leaked.
+        drop(slot);
+        let stats = pool.stats();
+        let tenant = &stats.tenants[5];
+        assert_eq!(
+            (tenant.queued, tenant.in_flight),
+            (0, 0),
+            "panic must leave the scheduler balanced"
+        );
+        // The pool (and its scheduler mutex) keeps serving.
+        let counter = AtomicUsize::new(0);
+        pool.scan(class, 2, &|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counter.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn cancellable_scan_contains_caller_panic() {
+        let pool = MorselPool::new(PoolConfig::default().with_workers(1));
+        let token = CancelToken::new();
+        // Every participant panics — including the calling thread. The
+        // call still returns instead of unwinding.
+        pool.scan_cancellable(ClassId::DEFAULT, 1, &token, &|| panic!("boom"));
+        assert!(token.is_panicked());
+    }
+
+    #[test]
+    fn admit_until_bounds_a_guaranteed_wait_by_the_deadline() {
+        let pool = MorselPool::new(PoolConfig::default().with_workers(1));
+        let class = ClassId(6);
+        pool.set_policy(class, TenantPolicy::default().with_max_in_flight(1));
+        let held = pool.try_admit(class).expect("within budget");
+        let err = pool
+            .admit_until(class, Some(Instant::now() + Duration::from_millis(20)))
+            .expect_err("budget stays full past the deadline");
+        assert_eq!(err, AdmitError::DeadlineExceeded { class });
+        drop(held);
+        let slot = pool
+            .admit_until(class, Some(Instant::now() + Duration::from_secs(5)))
+            .expect("slot freed well before the deadline");
+        drop(slot);
     }
 }

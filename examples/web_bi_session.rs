@@ -124,8 +124,10 @@ fn show(label: &str, response: &WebResponse) {
             class,
             in_flight,
             limit,
+            retry_after_hint_micros,
         } => println!(
-            "[{label}] overloaded: class {class} shed ({in_flight} in flight, limit {limit}) — retry later"
+            "[{label}] overloaded: class {class} shed ({in_flight} in flight, limit {limit}) — \
+             retry in ~{retry_after_hint_micros} µs"
         ),
         WebResponse::Error { message } => println!("[{label}] error: {message}"),
     }
@@ -171,6 +173,7 @@ fn main() {
                 group_by.1.to_string(),
                 group_by.2.to_string(),
             )],
+            deadline_micros: None,
         });
         show(label, &response);
     }
@@ -186,6 +189,7 @@ fn main() {
             4,
             ScenarioConfig::default().cities,
         ),
+        deadline_micros: None,
     });
     show("dashboard", &dashboard);
 

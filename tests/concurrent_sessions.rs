@@ -222,6 +222,7 @@ fn cloned_web_facades_serve_concurrent_logins() {
                     fact: "Sales".into(),
                     measure: "UnitSales".into(),
                     group_by: vec![("Store".into(), "City".into(), "name".into())],
+                    deadline_micros: None,
                 }) {
                     WebResponse::Table { facts_matched, .. } => assert!(facts_matched > 0),
                     other => panic!("unexpected aggregate response {other:?}"),

@@ -54,6 +54,7 @@ fn stage_latencies_are_keyed_by_session_class() {
         fact: "Sales".into(),
         measure: "UnitSales".into(),
         group_by: vec![("Store".into(), "City".into(), "name".into())],
+        deadline_micros: None,
     };
     assert!(matches!(
         facade.handle(aggregate.clone()),
@@ -73,6 +74,7 @@ fn stage_latencies_are_keyed_by_session_class() {
         facade.handle(WebRequest::QueryBatch {
             session,
             queries: vec![by_city, total],
+            deadline_micros: None,
         }),
         WebResponse::BatchResult { .. }
     ));
@@ -200,6 +202,7 @@ fn slow_query_journal_captures_the_stage_breakdown() {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: None,
         }),
         WebResponse::Table { .. }
     ));
@@ -210,6 +213,7 @@ fn slow_query_journal_captures_the_stage_breakdown() {
         facade.handle(WebRequest::QueryBatch {
             session,
             queries: vec![by_city],
+            deadline_micros: None,
         }),
         WebResponse::BatchResult { .. }
     ));
@@ -255,6 +259,7 @@ fn prometheus_text_and_dict_cache_endpoints() {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: None,
         }),
         WebResponse::Table { .. }
     ));
@@ -319,6 +324,7 @@ fn disabled_registry_keeps_the_pipeline_dark() {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: None,
         }),
         WebResponse::Table { .. }
     ));

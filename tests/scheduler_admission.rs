@@ -46,6 +46,7 @@ fn aggregate(session: u64) -> WebRequest {
         fact: "Sales".into(),
         measure: "UnitSales".into(),
         group_by: vec![("Store".into(), "City".into(), "name".into())],
+        deadline_micros: None,
     }
 }
 
@@ -85,6 +86,7 @@ fn best_effort_class_sheds_with_typed_response_and_no_partial_state() {
             class,
             in_flight,
             limit,
+            ..
         } => {
             assert_eq!(class, "dashboard");
             assert_eq!(in_flight, 1);
@@ -97,6 +99,7 @@ fn best_effort_class_sheds_with_typed_response_and_no_partial_state() {
     match facade.handle(WebRequest::QueryBatch {
         session,
         queries: vec![panel],
+        deadline_micros: None,
     }) {
         WebResponse::Overloaded { class, .. } => assert_eq!(class, "dashboard"),
         other => panic!("expected Overloaded for the batch, got {other:?}"),
@@ -226,6 +229,139 @@ fn scheduler_state_surfaces_through_both_metrics_endpoints() {
     assert!(body.contains("sdwp_scheduler_shed_total 1"));
 }
 
+/// A guaranteed-class query that blocks in admission while a deadline is
+/// set expires *in the queue*: the caller gets the typed deadline error
+/// promptly (bounded wait, not a park-forever), nothing was shed, and
+/// the slot accounting stays balanced — once capacity frees, the same
+/// request succeeds.
+#[test]
+fn deadline_expires_while_blocked_in_admission() {
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let facade = facade(&scenario);
+    let class = facade
+        .engine()
+        .set_tenant_policy("analyst", TenantPolicy::default().with_max_in_flight(1));
+    let session = login(&facade, "analyst");
+    let pool = Arc::clone(
+        facade
+            .engine()
+            .morsel_pool()
+            .expect("parallel engine has a pool"),
+    );
+    let slot = pool
+        .try_admit(class)
+        .expect("first admission fits the budget");
+
+    // The budget covers the admission wait: with the slot held, a 20 ms
+    // deadline expires in the queue and surfaces as the typed error —
+    // not a shed, not a hang.
+    let started = std::time::Instant::now();
+    let response = facade.handle(WebRequest::Aggregate {
+        session,
+        fact: "Sales".into(),
+        measure: "UnitSales".into(),
+        group_by: vec![("Store".into(), "City".into(), "name".into())],
+        deadline_micros: Some(20_000),
+    });
+    let waited = started.elapsed();
+    match response {
+        WebResponse::Error { message } => {
+            assert!(
+                message.contains("deadline exceeded"),
+                "expected the typed deadline refusal, got: {message}"
+            );
+        }
+        other => panic!("expected the deadline error, got {other:?}"),
+    }
+    assert!(
+        waited >= Duration::from_millis(20) && waited < Duration::from_secs(5),
+        "the admission wait must be bounded by the deadline, waited {waited:?}"
+    );
+    // Expiring in the queue is not shedding, and it leaks no slot.
+    let snap = metrics(&facade);
+    assert_eq!(snap.counter("scheduler_shed_total"), Some(0));
+    assert_eq!(snap.gauge("scheduler_in_flight_analyst"), Some(1));
+
+    // Capacity frees: the identical request (same deadline, now ample)
+    // succeeds end to end, proving the expiry left no residue behind.
+    drop(slot);
+    assert!(matches!(
+        facade.handle(WebRequest::Aggregate {
+            session,
+            fact: "Sales".into(),
+            measure: "UnitSales".into(),
+            group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: Some(5_000_000),
+        }),
+        WebResponse::Table { .. }
+    ));
+    assert_eq!(
+        metrics(&facade).gauge("scheduler_in_flight_analyst"),
+        Some(0)
+    );
+}
+
+/// Shedding under an armed failpoint: an over-budget best-effort query
+/// is refused with the typed `Overloaded` *before* any faulty stage can
+/// run, and once capacity frees the degraded-but-healthy scan still
+/// answers. Only exists under `--features failpoints`; the armed action
+/// is a sleep, so concurrently running tests are at most slowed, never
+/// corrupted.
+#[cfg(feature = "failpoints")]
+#[test]
+fn shed_stays_typed_while_a_failpoint_is_armed() {
+    use sdwp::olap::fault::{self, FailAction};
+
+    /// Disarms on drop so a failed assertion cannot leak the armed
+    /// point into another test.
+    struct Teardown;
+    impl Drop for Teardown {
+        fn drop(&mut self) {
+            fault::disarm("query.scan.morsel");
+        }
+    }
+
+    let scenario = PaperScenario::generate(ScenarioConfig::tiny());
+    let facade = facade(&scenario);
+    let class = facade.engine().set_tenant_policy(
+        "dashboard",
+        TenantPolicy::default().best_effort().with_max_in_flight(1),
+    );
+    let session = login(&facade, "dashboard");
+    let pool = Arc::clone(
+        facade
+            .engine()
+            .morsel_pool()
+            .expect("parallel engine has a pool"),
+    );
+
+    let _teardown = Teardown;
+    fault::arm("query.scan.morsel", FailAction::SleepMs(5), 1, None);
+
+    // Over budget with the scan stage armed: the shed happens at the
+    // admission gate, so the refusal is still the immediate typed
+    // `Overloaded` — the fault never gets a chance to run.
+    let slot = pool
+        .try_admit(class)
+        .expect("first admission fits the budget");
+    match facade.handle(aggregate(session)) {
+        WebResponse::Overloaded { class, .. } => assert_eq!(class, "dashboard"),
+        other => panic!("expected Overloaded under the armed failpoint, got {other:?}"),
+    }
+    assert_eq!(
+        metrics(&facade).counter("scheduler_shed_dashboard"),
+        Some(1)
+    );
+
+    // Capacity frees: the query runs through the degraded (sleeping)
+    // scan and still completes normally.
+    drop(slot);
+    assert!(matches!(
+        facade.handle(aggregate(session)),
+        WebResponse::Table { .. }
+    ));
+}
+
 #[test]
 fn rebalance_feedback_is_reachable_from_the_engine() {
     let scenario = PaperScenario::generate(ScenarioConfig::tiny());
@@ -242,6 +378,7 @@ fn rebalance_feedback_is_reachable_from_the_engine() {
             facade.handle(WebRequest::QueryBatch {
                 session,
                 queries: vec![sdwp::olap::Query::over("Sales").measure("UnitSales")],
+                deadline_micros: None,
             }),
             WebResponse::BatchResult { .. }
         ));

@@ -67,6 +67,7 @@ fn two_users_get_different_views() {
             fact: "Sales".into(),
             measure: "UnitSales".into(),
             group_by: vec![("Store".into(), "City".into(), "name".into())],
+            deadline_micros: None,
         })
     };
     match aggregate(&mut facade, manager_session) {
@@ -122,6 +123,7 @@ fn selections_update_the_profile_until_logout() {
         fact: "Sales".into(),
         measure: "UnitSales".into(),
         group_by: vec![],
+        deadline_micros: None,
     }) {
         WebResponse::Table { .. } => panic!("query should not run on an ended session"),
         WebResponse::Error { .. } => {}
